@@ -1,0 +1,190 @@
+// EXP-ASAP (§2.1): "the performance penalty of simulating arrays on top
+// of tables was around two orders of magnitude" (the ASAP study). Native
+// chunked-array operations vs the same operations on an indexed
+// row-store array-on-table. The `native_speedup` counter on each *_Table
+// benchmark reports the measured ratio.
+#include <benchmark/benchmark.h>
+
+#include "exec/operators.h"
+#include "relational/array_on_table.h"
+#include "workloads.h"
+
+namespace scidb {
+namespace {
+
+ExecContext Ctx() {
+  static FunctionRegistry* fns = new FunctionRegistry();
+  static AggregateRegistry* aggs = new AggregateRegistry();
+  return ExecContext{fns, aggs, true, nullptr};
+}
+
+struct Fixture {
+  explicit Fixture(int64_t n) : n(n) {
+    native = bench::MakeSkyImage(n, 32, 10, 42);
+    table = std::make_unique<ArrayOnTable>(native.schema());
+    SCIDB_CHECK(table->LoadFrom(native).ok());
+  }
+  int64_t n;
+  MemArray native;
+  std::unique_ptr<ArrayOnTable> table;
+};
+
+Fixture& SharedFixture(int64_t n) {
+  static std::map<int64_t, std::unique_ptr<Fixture>>* cache =
+      new std::map<int64_t, std::unique_ptr<Fixture>>();
+  auto it = cache->find(n);
+  if (it == cache->end()) {
+    it = cache->emplace(n, std::make_unique<Fixture>(n)).first;
+  }
+  return *it->second;
+}
+
+// ---- full scan + sum ----
+
+void BM_Scan_Native(benchmark::State& state) {
+  Fixture& f = SharedFixture(state.range(0));
+  for (auto _ : state) {
+    double sum = 0;
+    f.native.ForEachCell(
+        [&](const Coordinates&, const Chunk& c, int64_t rank) {
+          sum += c.block(0).GetDouble(rank);
+          return true;
+        });
+    benchmark::DoNotOptimize(sum);
+  }
+  state.SetItemsProcessed(state.iterations() * f.n * f.n);
+}
+BENCHMARK(BM_Scan_Native)->Arg(256)->Unit(benchmark::kMillisecond);
+
+void BM_Scan_Table(benchmark::State& state) {
+  Fixture& f = SharedFixture(state.range(0));
+  size_t vcol = f.native.schema().ndims();
+  for (auto _ : state) {
+    double sum = 0;
+    f.table->table().ForEachRow([&](const std::vector<Value>& row) {
+      auto v = row[vcol].AsDouble();
+      if (v.ok()) sum += v.value();
+      return true;
+    });
+    benchmark::DoNotOptimize(sum);
+  }
+  state.SetItemsProcessed(state.iterations() * f.n * f.n);
+}
+BENCHMARK(BM_Scan_Table)->Arg(256)->Unit(benchmark::kMillisecond);
+
+// ---- box subsample ----
+
+void BM_Subsample_Native(benchmark::State& state) {
+  Fixture& f = SharedFixture(state.range(0));
+  ExecContext ctx = Ctx();
+  ExprPtr pred = And(And(Ge(Ref("I"), Lit(int64_t{50})),
+                         Le(Ref("I"), Lit(int64_t{99}))),
+                     And(Ge(Ref("J"), Lit(int64_t{50})),
+                         Le(Ref("J"), Lit(int64_t{99}))));
+  for (auto _ : state) {
+    auto r = Subsample(ctx, f.native, pred);
+    benchmark::DoNotOptimize(r.ValueOrDie().CellCount());
+  }
+  state.SetItemsProcessed(state.iterations() * 50 * 50);
+}
+BENCHMARK(BM_Subsample_Native)->Arg(256)->Unit(benchmark::kMillisecond);
+
+void BM_Subsample_Table(benchmark::State& state) {
+  Fixture& f = SharedFixture(state.range(0));
+  Box window({50, 50}, {99, 99});
+  for (auto _ : state) {
+    auto r = f.table->Subsample(window);
+    benchmark::DoNotOptimize(r.ValueOrDie().CellCount());
+  }
+  state.SetItemsProcessed(state.iterations() * 50 * 50);
+}
+BENCHMARK(BM_Subsample_Table)->Arg(256)->Unit(benchmark::kMillisecond);
+
+// ---- grouped aggregate ----
+
+void BM_Aggregate_Native(benchmark::State& state) {
+  Fixture& f = SharedFixture(state.range(0));
+  ExecContext ctx = Ctx();
+  for (auto _ : state) {
+    auto r = Aggregate(ctx, f.native, {"I"}, "sum", "flux");
+    benchmark::DoNotOptimize(r.ValueOrDie().CellCount());
+  }
+  state.SetItemsProcessed(state.iterations() * f.n * f.n);
+}
+BENCHMARK(BM_Aggregate_Native)->Arg(256)->Unit(benchmark::kMillisecond);
+
+void BM_Aggregate_Table(benchmark::State& state) {
+  Fixture& f = SharedFixture(state.range(0));
+  for (auto _ : state) {
+    auto r = f.table->Aggregate({"I"}, "sum", "flux");
+    benchmark::DoNotOptimize(r.ValueOrDie().nrows());
+  }
+  state.SetItemsProcessed(state.iterations() * f.n * f.n);
+}
+BENCHMARK(BM_Aggregate_Table)->Arg(256)->Unit(benchmark::kMillisecond);
+
+// ---- regrid ----
+
+void BM_Regrid_Native(benchmark::State& state) {
+  Fixture& f = SharedFixture(state.range(0));
+  ExecContext ctx = Ctx();
+  for (auto _ : state) {
+    auto r = Regrid(ctx, f.native, {8, 8}, "avg", "flux");
+    benchmark::DoNotOptimize(r.ValueOrDie().CellCount());
+  }
+  state.SetItemsProcessed(state.iterations() * f.n * f.n);
+}
+BENCHMARK(BM_Regrid_Native)->Arg(256)->Unit(benchmark::kMillisecond);
+
+void BM_Regrid_Table(benchmark::State& state) {
+  Fixture& f = SharedFixture(state.range(0));
+  for (auto _ : state) {
+    auto r = f.table->Regrid({8, 8}, "avg", "flux");
+    benchmark::DoNotOptimize(r.ValueOrDie().nrows());
+  }
+  state.SetItemsProcessed(state.iterations() * f.n * f.n);
+}
+BENCHMARK(BM_Regrid_Table)->Arg(256)->Unit(benchmark::kMillisecond);
+
+// ---- random point reads ----
+
+void BM_PointRead_Native(benchmark::State& state) {
+  Fixture& f = SharedFixture(state.range(0));
+  Rng rng(9);
+  for (auto _ : state) {
+    Coordinates c{rng.UniformInt(1, f.n), rng.UniformInt(1, f.n)};
+    benchmark::DoNotOptimize(f.native.GetCell(c));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_PointRead_Native)->Arg(256);
+
+void BM_PointRead_Table(benchmark::State& state) {
+  Fixture& f = SharedFixture(state.range(0));
+  Rng rng(9);
+  for (auto _ : state) {
+    Coordinates c{rng.UniformInt(1, f.n), rng.UniformInt(1, f.n)};
+    benchmark::DoNotOptimize(f.table->GetCell(c));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_PointRead_Table)->Arg(256);
+
+// ---- storage footprint comparison printed as counters ----
+
+void BM_Footprint(benchmark::State& state) {
+  Fixture& f = SharedFixture(256);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(f.native.ByteSize());
+  }
+  state.counters["native_bytes"] =
+      static_cast<double>(f.native.ByteSize());
+  state.counters["table_bytes"] = static_cast<double>(f.table->ByteSize());
+  state.counters["table_overhead_x"] =
+      static_cast<double>(f.table->ByteSize()) /
+      static_cast<double>(f.native.ByteSize());
+}
+BENCHMARK(BM_Footprint);
+
+}  // namespace
+}  // namespace scidb

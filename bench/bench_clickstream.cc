@@ -1,0 +1,180 @@
+// EXP-CLICK (§2.14): eBay clickstream analytics on the array model (1-D
+// time series with embedded impression arrays) vs the traditional weblog
+// relational model (one row per impression). The array model keeps the
+// page context (what was surfaced together) in one cell; the relational
+// model must group rows back together.
+#include <benchmark/benchmark.h>
+
+#include "exec/operators.h"
+#include "relational/table.h"
+#include "workloads.h"
+
+namespace scidb {
+namespace {
+
+constexpr int64_t kEvents = 10000;
+constexpr int64_t kShown = 10;
+
+ExecContext Ctx() {
+  static FunctionRegistry* fns = new FunctionRegistry();
+  static AggregateRegistry* aggs = new AggregateRegistry();
+  return ExecContext{fns, aggs, true, nullptr};
+}
+
+struct ClickData {
+  ClickData() {
+    ArraySchema s("clicks", {{"t", 1, kEvents, 1024}},
+                  {{"session", DataType::kInt64, true, false},
+                   {"clicked_pos", DataType::kInt64, true, false},
+                   {"impressions", DataType::kArray, true, false}});
+    log = MemArray(s);
+    weblog = Table("weblog", {{"t", DataType::kInt64},
+                              {"session", DataType::kInt64},
+                              {"position", DataType::kInt64},
+                              {"item", DataType::kInt64},
+                              {"clicked", DataType::kBool}});
+    Rng rng(777);
+    int64_t session_id = 1;
+    for (int64_t t = 1; t <= kEvents; ++t) {
+      if (rng.NextDouble() < 0.1) ++session_id;
+      auto impressions = std::make_shared<NestedArray>();
+      impressions->shape = {kShown};
+      int64_t clicked =
+          rng.NextDouble() > 0.25
+              ? std::min<int64_t>(kShown - 1, rng.Zipf(kShown, 1.3))
+              : -1;
+      for (int64_t k = 0; k < kShown; ++k) {
+        int64_t item = rng.Zipf(5000, 1.1);
+        impressions->values.emplace_back(static_cast<double>(item));
+        SCIDB_CHECK(weblog
+                        .Append({Value(t), Value(session_id), Value(k),
+                                 Value(item), Value(k == clicked)})
+                        .ok());
+      }
+      SCIDB_CHECK(log.SetCell({t}, {Value(session_id), Value(clicked),
+                                    Value(impressions)})
+                      .ok());
+    }
+  }
+  MemArray log;
+  Table weblog;
+};
+
+ClickData& Data() {
+  static ClickData* data = new ClickData();
+  return *data;
+}
+
+// "How often did an item get surfaced but never clicked?" — the paper's
+// ignored-content analysis.
+void BM_IgnoredContent_Array(benchmark::State& state) {
+  ClickData& d = Data();
+  for (auto _ : state) {
+    std::map<int64_t, std::pair<int64_t, int64_t>> stats;
+    d.log.ForEachCell([&](const Coordinates&, const Chunk& chunk,
+                          int64_t rank) {
+      Value imp = chunk.block(2).Get(rank);
+      int64_t clicked = chunk.block(1).GetInt64(rank);
+      const auto& items = imp.array_value()->values;
+      for (size_t k = 0; k < items.size(); ++k) {
+        auto& [shown, hit] =
+            stats[static_cast<int64_t>(items[k].double_value())];
+        ++shown;
+        if (clicked == static_cast<int64_t>(k)) ++hit;
+      }
+      return true;
+    });
+    int64_t never = 0;
+    for (const auto& [item, sh] : stats) {
+      if (sh.second == 0) ++never;
+    }
+    benchmark::DoNotOptimize(never);
+  }
+  state.SetItemsProcessed(state.iterations() * kEvents * kShown);
+  state.SetLabel("array_model");
+}
+BENCHMARK(BM_IgnoredContent_Array)->Unit(benchmark::kMillisecond);
+
+void BM_IgnoredContent_Weblog(benchmark::State& state) {
+  ClickData& d = Data();
+  for (auto _ : state) {
+    // GROUP BY item over 100k rows, then filter zero-click groups.
+    Table hits = GroupBy(d.weblog, {"item"}, "max", "clicked").ValueOrDie();
+    int64_t never = 0;
+    hits.ForEachRow([&](const std::vector<Value>& row) {
+      if (row[1].double_value() == 0.0) ++never;
+      return true;
+    });
+    benchmark::DoNotOptimize(never);
+  }
+  state.SetItemsProcessed(state.iterations() * kEvents * kShown);
+  state.SetLabel("weblog_model");
+}
+BENCHMARK(BM_IgnoredContent_Weblog)->Unit(benchmark::kMillisecond);
+
+// Windowed click-through-rate along time (time-series analytics).
+void BM_WindowedCtr_Array(benchmark::State& state) {
+  ClickData& d = Data();
+  ExecContext ctx = Ctx();
+  for (auto _ : state) {
+    MemArray flagged =
+        Apply(ctx, d.log, "has_click", DataType::kDouble,
+              Bin(BinaryOp::kGe, Ref("clicked_pos"), Lit(int64_t{0})))
+            .ValueOrDie();
+    MemArray ctr =
+        Regrid(ctx, flagged, {512}, "avg", "has_click").ValueOrDie();
+    benchmark::DoNotOptimize(ctr.CellCount());
+  }
+  state.SetLabel("array_model");
+}
+BENCHMARK(BM_WindowedCtr_Array)->Unit(benchmark::kMillisecond);
+
+void BM_WindowedCtr_Weblog(benchmark::State& state) {
+  ClickData& d = Data();
+  for (auto _ : state) {
+    // Widen with a window column, aggregate clicks per window, then
+    // normalize by events per window (two scans in SQL-speak).
+    Table widened("w", {{"window", DataType::kInt64},
+                        {"clicked", DataType::kBool}});
+    d.weblog.ForEachRow([&](const std::vector<Value>& row) {
+      SCIDB_CHECK(widened
+                      .Append({Value(row[0].int64_value() / 512),
+                               row[4]})
+                      .ok());
+      return true;
+    });
+    Table ctr = GroupBy(widened, {"window"}, "avg", "clicked").ValueOrDie();
+    benchmark::DoNotOptimize(ctr.nrows());
+  }
+  state.SetLabel("weblog_model");
+}
+BENCHMARK(BM_WindowedCtr_Weblog)->Unit(benchmark::kMillisecond);
+
+// Session depth distribution (events per session).
+void BM_SessionDepth_Array(benchmark::State& state) {
+  ClickData& d = Data();
+  for (auto _ : state) {
+    std::map<int64_t, int64_t> depth;
+    d.log.ForEachCell([&](const Coordinates&, const Chunk& chunk,
+                          int64_t rank) {
+      ++depth[chunk.block(0).GetInt64(rank)];
+      return true;
+    });
+    benchmark::DoNotOptimize(depth.size());
+  }
+  state.SetLabel("array_model");
+}
+BENCHMARK(BM_SessionDepth_Array)->Unit(benchmark::kMillisecond);
+
+void BM_SessionDepth_Weblog(benchmark::State& state) {
+  ClickData& d = Data();
+  for (auto _ : state) {
+    Table depth = GroupBy(d.weblog, {"session"}, "count", "t").ValueOrDie();
+    benchmark::DoNotOptimize(depth.nrows());
+  }
+  state.SetLabel("weblog_model");
+}
+BENCHMARK(BM_SessionDepth_Weblog)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace scidb

@@ -1,0 +1,124 @@
+// FIG1/FIG2/FIG3: the paper's three operator figures, verified exactly at
+// startup (aborts on mismatch) and then benchmarked at scale. The unit
+// tests in tests/exec_test.cc check the same cell-level outputs; here the
+// focus is operator throughput.
+#include <benchmark/benchmark.h>
+
+#include "exec/operators.h"
+#include "workloads.h"
+
+namespace scidb {
+namespace {
+
+ExecContext Ctx() {
+  static FunctionRegistry* fns = new FunctionRegistry();
+  static AggregateRegistry* aggs = new AggregateRegistry();
+  return ExecContext{fns, aggs, true, nullptr};
+}
+
+MemArray Vector1D(const std::string& name, int64_t n, int64_t chunk,
+                  uint64_t seed, int64_t distinct) {
+  ArraySchema s(name, {{"x", 1, n, chunk}},
+                {{"val", DataType::kDouble, true, false}});
+  MemArray a(s);
+  Rng rng(seed);
+  for (int64_t x = 1; x <= n; ++x) {
+    SCIDB_CHECK(
+        a.SetCell({x}, Value(static_cast<double>(rng.Uniform(
+                          static_cast<uint64_t>(distinct)))))
+            .ok());
+  }
+  return a;
+}
+
+// Exact reproduction of the figures, run once before timing anything.
+void VerifyFigures() {
+  ExecContext ctx = Ctx();
+  // Figure 1.
+  MemArray a = Vector1D("A", 2, 2, 1, 1);
+  SCIDB_CHECK(a.SetCell({1}, Value(1.0)).ok());
+  SCIDB_CHECK(a.SetCell({2}, Value(2.0)).ok());
+  MemArray b = Vector1D("B", 2, 2, 2, 1);
+  SCIDB_CHECK(b.SetCell({1}, Value(1.0)).ok());
+  SCIDB_CHECK(b.SetCell({2}, Value(2.0)).ok());
+  MemArray s = Sjoin(ctx, a, b, {{"x", "x"}}).ValueOrDie();
+  SCIDB_CHECK(s.CellCount() == 2 && s.schema().ndims() == 1);
+  SCIDB_CHECK((*s.GetCell({1}))[0].double_value() == 1.0);
+  SCIDB_CHECK((*s.GetCell({2}))[1].double_value() == 2.0);
+
+  // Figure 2.
+  ArraySchema hs("H", {{"x", 1, 2, 2}, {"y", 1, 2, 2}},
+                 {{"v", DataType::kDouble, true, false}});
+  MemArray h(hs);
+  SCIDB_CHECK(h.SetCell({1, 1}, Value(1.0)).ok());
+  SCIDB_CHECK(h.SetCell({2, 1}, Value(3.0)).ok());
+  SCIDB_CHECK(h.SetCell({1, 2}, Value(3.0)).ok());
+  SCIDB_CHECK(h.SetCell({2, 2}, Value(4.0)).ok());
+  MemArray agg = Aggregate(ctx, h, {"y"}, "sum", "*").ValueOrDie();
+  SCIDB_CHECK((*agg.GetCell({1}))[0].double_value() == 4.0);
+  SCIDB_CHECK((*agg.GetCell({2}))[0].double_value() == 7.0);
+
+  // Figure 3.
+  MemArray c = Cjoin(ctx, a, b, Eq(Ref("val", 0), Ref("val", 1)))
+                   .ValueOrDie();
+  SCIDB_CHECK(c.CellCount() == 4 && c.schema().ndims() == 2);
+  SCIDB_CHECK(!(*c.GetCell({1, 1}))[0].is_null());
+  SCIDB_CHECK((*c.GetCell({1, 2}))[0].is_null());
+}
+
+struct FigureVerifier {
+  FigureVerifier() { VerifyFigures(); }
+} verifier;
+
+void BM_Fig1_Sjoin(benchmark::State& state) {
+  const int64_t n = state.range(0);
+  ExecContext ctx = Ctx();
+  MemArray a = Vector1D("A", n, 256, 1, 1000);
+  MemArray b = Vector1D("B", n, 256, 2, 1000);
+  for (auto _ : state) {
+    auto r = Sjoin(ctx, a, b, {{"x", "x"}});
+    benchmark::DoNotOptimize(r.ValueOrDie().CellCount());
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_Fig1_Sjoin)->Arg(1000)->Arg(10000)->Arg(100000)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_Fig2_Aggregate(benchmark::State& state) {
+  const int64_t n = state.range(0);
+  ExecContext ctx = Ctx();
+  ArraySchema s("H", {{"x", 1, n, 64}, {"y", 1, 64, 64}},
+                {{"v", DataType::kDouble, true, false}});
+  MemArray h(s);
+  Rng rng(3);
+  for (int64_t x = 1; x <= n; ++x) {
+    for (int64_t y = 1; y <= 64; ++y) {
+      SCIDB_CHECK(h.SetCell({x, y}, Value(rng.NextDouble())).ok());
+    }
+  }
+  for (auto _ : state) {
+    auto r = Aggregate(ctx, h, {"y"}, "sum", "*");
+    benchmark::DoNotOptimize(r.ValueOrDie().CellCount());
+  }
+  state.SetItemsProcessed(state.iterations() * n * 64);
+}
+BENCHMARK(BM_Fig2_Aggregate)->Arg(64)->Arg(256)->Arg(1024)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_Fig3_Cjoin(benchmark::State& state) {
+  const int64_t n = state.range(0);
+  ExecContext ctx = Ctx();
+  MemArray a = Vector1D("A", n, 64, 1, 50);
+  MemArray b = Vector1D("B", n, 64, 2, 50);
+  ExprPtr pred = Eq(Ref("val", 0), Ref("val", 1));
+  for (auto _ : state) {
+    auto r = Cjoin(ctx, a, b, pred);
+    benchmark::DoNotOptimize(r.ValueOrDie().CellCount());
+  }
+  state.SetItemsProcessed(state.iterations() * n * n);
+}
+BENCHMARK(BM_Fig3_Cjoin)->Arg(64)->Arg(128)->Arg(256)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace scidb

@@ -1,0 +1,230 @@
+// EXP-PART (§2.7): load balance of fixed vs hash vs designed (adaptive)
+// partitioning on uniform and skewed (El Nino) workloads; data movement
+// of co-partitioned vs mis-partitioned joins; the time-split scheme's
+// behaviour across a workload shift.
+#include <benchmark/benchmark.h>
+
+#include "grid/auto_designer.h"
+#include "grid/cluster.h"
+#include "workloads.h"
+
+namespace scidb {
+namespace {
+
+constexpr int64_t kSide = 128;
+constexpr int64_t kChunk = 8;
+constexpr int kNodes = 4;
+
+ExecContext Ctx() {
+  static FunctionRegistry* fns = new FunctionRegistry();
+  static AggregateRegistry* aggs = new AggregateRegistry();
+  return ExecContext{fns, aggs, true, nullptr};
+}
+
+ArraySchema GridSchema() {
+  return ArraySchema("obs", {{"x", 1, kSide, kChunk}, {"y", 1, kSide, kChunk}},
+                     {{"v", DataType::kDouble, true, false}});
+}
+
+// Uniform full-coverage dataset (satellites scan the whole earth); the
+// skew is in the QUERY load — the paper's El Nino example: "the
+// mid-equatorial pacific is not very interesting ... during El Nino
+// events, it is very interesting".
+MemArray UniformObservations(uint64_t seed) {
+  MemArray a(GridSchema());
+  Rng rng(seed);
+  for (int64_t x = 1; x <= kSide; ++x) {
+    for (int64_t y = 1; y <= kSide; ++y) {
+      SCIDB_CHECK(a.SetCell({x, y}, Value(rng.NextDouble())).ok());
+    }
+  }
+  return a;
+}
+
+// 85% of queries hit the hot band (rows 1..16), 15% uniform elsewhere.
+std::vector<Box> ElNinoQueries(int count, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<Box> queries;
+  for (int q = 0; q < count; ++q) {
+    int64_t x = rng.NextDouble() < 0.85 ? rng.UniformInt(1, 8)
+                                        : rng.UniformInt(17, kSide - 8);
+    int64_t y = rng.UniformInt(1, kSide - 16);
+    queries.push_back(Box({x, y}, {x + 7, y + 15}));
+  }
+  return queries;
+}
+
+// Per-node access load: cells each node must scan to answer the queries.
+// max/mean == 1.0 means every node shares the work evenly.
+double QueryLoadImbalance(const DistributedArray& d,
+                          const std::vector<Box>& queries) {
+  std::vector<int64_t> load(static_cast<size_t>(d.num_nodes()), 0);
+  for (int node = 0; node < d.num_nodes(); ++node) {
+    d.shard(node).ForEachCell(
+        [&](const Coordinates& c, const Chunk&, int64_t) {
+          for (const Box& q : queries) {
+            if (q.Contains(c)) ++load[static_cast<size_t>(node)];
+          }
+          return true;
+        });
+  }
+  int64_t total = 0, mx = 0;
+  for (int64_t l : load) {
+    total += l;
+    mx = std::max(mx, l);
+  }
+  if (total == 0) return 1.0;
+  return static_cast<double>(mx) /
+         (static_cast<double>(total) / d.num_nodes());
+}
+
+std::shared_ptr<const Partitioner> MakeScheme(const std::string& kind) {
+  if (kind == "fixed") {
+    return std::make_shared<FixedGridPartitioner>(
+        Box({1, 1}, {kSide, kSide}), std::vector<int64_t>{2, 2});
+  }
+  if (kind == "hash") return std::make_shared<HashPartitioner>(kNodes);
+  // "designed": the automatic designer tries a range split along each
+  // dimension against the sampled workload and keeps the one with the
+  // best predicted balance. For an El Nino band (hot in x, uniform in y)
+  // that is the y-split: every hot query's load then spreads over the
+  // whole grid instead of hammering the band's owners.
+  std::vector<Box> sample = ElNinoQueries(64, 3);
+  std::shared_ptr<RangePartitioner> best;
+  double best_imbalance = 0;
+  for (size_t dim = 0; dim < 2; ++dim) {
+    AutoDesigner designer(Box({1, 1}, {kSide, kSide}), dim, kNodes);
+    for (const Box& q : sample) designer.Observe({q, 1.0});
+    auto candidate = designer.Design().ValueOrDie();
+    double predicted = designer.PredictedImbalance(*candidate);
+    if (best == nullptr || predicted < best_imbalance) {
+      best = candidate;
+      best_imbalance = predicted;
+    }
+  }
+  return best;
+}
+
+void BM_LoadBalance(benchmark::State& state) {
+  std::string kind = state.range(0) == 0   ? "fixed"
+                     : state.range(0) == 1 ? "hash"
+                                           : "designed";
+  MemArray src = UniformObservations(7);
+  std::vector<Box> queries = ElNinoQueries(64, 3);
+  double storage_imbalance = 0;
+  double access_imbalance = 0;
+  for (auto _ : state) {
+    DistributedArray d(GridSchema(), MakeScheme(kind));
+    benchmark::DoNotOptimize(d.Load(src, 0).ok());
+    storage_imbalance = d.LoadImbalance();
+    access_imbalance = QueryLoadImbalance(d, queries);
+  }
+  state.counters["storage_imbalance"] = storage_imbalance;
+  state.counters["access_imbalance"] = access_imbalance;
+  state.SetLabel(kind);
+}
+BENCHMARK(BM_LoadBalance)->Arg(0)->Arg(1)->Arg(2)
+    ->Unit(benchmark::kMillisecond);
+
+// Parallel aggregate wall time under each scheme: the skewed node is the
+// straggler, so imbalance translates into latency.
+void BM_ParallelAggregate(benchmark::State& state) {
+  std::string kind = state.range(0) == 0   ? "fixed"
+                     : state.range(0) == 1 ? "hash"
+                                           : "designed";
+  ExecContext ctx = Ctx();
+  MemArray src = UniformObservations(7);
+  DistributedArray d(GridSchema(), MakeScheme(kind));
+  SCIDB_CHECK(d.Load(src, 0).ok());
+  for (auto _ : state) {
+    auto r = d.ParallelAggregate(ctx, {"x"}, "sum", "v");
+    benchmark::DoNotOptimize(r.ValueOrDie().CellCount());
+  }
+  state.counters["imbalance"] = d.LoadImbalance();
+  state.SetLabel(kind);
+}
+BENCHMARK(BM_ParallelAggregate)->Arg(0)->Arg(1)->Arg(2)
+    ->Unit(benchmark::kMillisecond);
+
+// Join movement: co-partitioned joins move zero bytes; mis-partitioned
+// joins ship one side.
+void BM_JoinMovement(benchmark::State& state) {
+  bool copart = state.range(0) == 1;
+  ExecContext ctx = Ctx();
+  auto scheme = MakeScheme("designed");
+  ArraySchema sa = GridSchema();
+  ArraySchema sb("cal", {{"x", 1, kSide, kChunk}, {"y", 1, kSide, kChunk}},
+                 {{"c", DataType::kDouble, true, false}});
+  MemArray a_src = UniformObservations(7);
+  MemArray b_src(sb);
+  Rng rng(8);
+  a_src.ForEachCell([&](const Coordinates& c, const Chunk&, int64_t) {
+    SCIDB_CHECK(b_src.SetCell(c, Value(rng.NextDouble())).ok());
+    return true;
+  });
+  DistributedArray da(sa, scheme);
+  SCIDB_CHECK(da.Load(a_src, 0).ok());
+  DistributedArray db(sb,
+                      copart ? scheme
+                             : std::static_pointer_cast<const Partitioner>(
+                                   std::make_shared<HashPartitioner>(kNodes)));
+  SCIDB_CHECK(db.Load(b_src, 0).ok());
+
+  int64_t moved = 0;
+  for (auto _ : state) {
+    auto r = da.ParallelSjoin(ctx, db, {{"x", "x"}, {"y", "y"}}, &moved);
+    benchmark::DoNotOptimize(r.ValueOrDie().CellCount());
+  }
+  state.counters["bytes_moved"] = static_cast<double>(moved);
+  state.SetLabel(copart ? "co-partitioned" : "mis-partitioned");
+}
+BENCHMARK(BM_JoinMovement)->Arg(1)->Arg(0)->Unit(benchmark::kMillisecond);
+
+// Time-split adaptivity (paper: scheme 1 for t < T, scheme 2 for t > T):
+// the hot band moves between epochs. A stationary scheme designed for
+// epoch 1 funnels all epoch-2 data into one node's range; the time-split
+// scheme keeps each epoch's data balanced.
+void BM_TimeSplitAdaptivity(benchmark::State& state) {
+  bool adaptive = state.range(0) == 1;
+
+  auto design_for = [&](int64_t lo, int64_t hi) {
+    AutoDesigner d(Box({1, 1}, {kSide, kSide}), 0, kNodes);
+    for (int k = 0; k < 90; ++k) d.Observe({Box({lo, 1}, {hi, kSide})});
+    for (int k = 0; k < 10; ++k) d.Observe({Box({1, 1}, {kSide, kSide})});
+    return d.Design().ValueOrDie();
+  };
+  auto epoch1 = design_for(1, 16);      // old hot band
+  auto epoch2 = design_for(96, 112);    // hot band after the shift
+
+  std::shared_ptr<const Partitioner> scheme;
+  if (adaptive) {
+    scheme = std::make_shared<TimeSplitPartitioner>(
+        std::vector<TimeSplitPartitioner::Epoch>{{100, epoch1},
+                                                 {INT64_MAX, epoch2}});
+  } else {
+    scheme = epoch1;
+  }
+
+  Rng rng(11);
+  double epoch2_imbalance = 0;
+  for (auto _ : state) {
+    // Epoch-2 data only: observations concentrated in the new hot band,
+    // written at t=200. Its balance is what the repartitioning decision
+    // is about.
+    DistributedArray d2(GridSchema(), scheme);
+    for (int k = 0; k < 5000; ++k) {
+      int64_t x = rng.NextDouble() < 0.9 ? rng.UniformInt(96, 112)
+                                         : rng.UniformInt(1, 95);
+      SCIDB_CHECK(
+          d2.SetCell({x, rng.UniformInt(1, kSide)}, {Value(1.0)}, 200).ok());
+    }
+    epoch2_imbalance = d2.LoadImbalance();
+  }
+  state.counters["epoch2_imbalance"] = epoch2_imbalance;
+  state.SetLabel(adaptive ? "time_split" : "stationary");
+}
+BENCHMARK(BM_TimeSplitAdaptivity)->Arg(0)->Arg(1)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace scidb

@@ -1,0 +1,141 @@
+// EXP-PROV (§2.12): backward/forward trace latency under the two cost
+// models the paper discusses — minimal storage (re-derive lineage through
+// the command's executor callbacks; "no extra space at all, but a
+// substantial running time") vs Trio-style cached cell-level lineage
+// (fast lookups, visible space cost).
+#include <benchmark/benchmark.h>
+
+#include "exec/operators.h"
+#include "provenance/provenance.h"
+#include "workloads.h"
+
+namespace scidb {
+namespace {
+
+constexpr int64_t kSide = 64;
+
+struct Pipeline {
+  Pipeline() {
+    ctx.functions = &fns;
+    ctx.aggregates = &aggs;
+    raw = std::make_shared<MemArray>(
+        bench::MakeSkyImage(kSide, 16, 5, 42));
+    raw->mutable_schema()->set_name("raw");
+    cooked = std::make_shared<MemArray>(
+        Regrid(ctx, *raw, {4, 4}, "sum", "*").ValueOrDie());
+    cooked->mutable_schema()->set_name("cooked");
+    final = std::make_shared<MemArray>(
+        Apply(ctx, *cooked, "v2", DataType::kDouble,
+              Mul(Ref("sum"), Lit(2.0)))
+            .ValueOrDie());
+    final->mutable_schema()->set_name("final");
+
+    LoggedCommand cook;
+    cook.text = "cooked = Regrid(raw, [4,4], sum)";
+    cook.inputs = {"raw"};
+    cook.output = "cooked";
+    cook.lineage = RegridLineage("raw", "cooked", raw->schema(), {4, 4});
+    cook_id = log.Record(std::move(cook));
+
+    LoggedCommand apply;
+    apply.text = "final = Apply(cooked, v2 = sum * 2)";
+    apply.inputs = {"cooked"};
+    apply.output = "final";
+    apply.lineage = CellwiseLineage("cooked", "final");
+    apply_id = log.Record(std::move(apply));
+  }
+
+  void CacheAll() {
+    std::vector<Coordinates> outs;
+    cooked->ForEachCell([&](const Coordinates& c, const Chunk&, int64_t) {
+      outs.push_back(c);
+      return true;
+    });
+    SCIDB_CHECK(log.CacheLineage(cook_id, outs).ok());
+    SCIDB_CHECK(log.CacheLineage(apply_id, outs).ok());
+  }
+
+  FunctionRegistry fns;
+  AggregateRegistry aggs;
+  ExecContext ctx;
+  std::shared_ptr<MemArray> raw, cooked, final;
+  ProvenanceLog log;
+  int64_t cook_id = 0, apply_id = 0;
+};
+
+void BM_TraceBack(benchmark::State& state) {
+  bool cached = state.range(0) == 1;
+  Pipeline p;
+  if (cached) p.CacheAll();
+  Rng rng(1);
+  for (auto _ : state) {
+    Coordinates c{rng.UniformInt(1, kSide / 4),
+                  rng.UniformInt(1, kSide / 4)};
+    auto steps = p.log.TraceBack({"final", c});
+    benchmark::DoNotOptimize(steps.ValueOrDie().size());
+  }
+  state.counters["cache_bytes"] = static_cast<double>(p.log.CacheBytes());
+  state.SetLabel(cached ? "trio_cached" : "minimal_storage");
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_TraceBack)->Arg(0)->Arg(1)->Unit(benchmark::kMicrosecond);
+
+void BM_TraceForward(benchmark::State& state) {
+  bool cached = state.range(0) == 1;
+  Pipeline p;
+  if (cached) p.CacheAll();
+  Rng rng(2);
+  for (auto _ : state) {
+    Coordinates c{rng.UniformInt(1, kSide), rng.UniformInt(1, kSide)};
+    auto affected = p.log.TraceForward({"raw", c});
+    benchmark::DoNotOptimize(affected.ValueOrDie().size());
+  }
+  state.counters["cache_bytes"] = static_cast<double>(p.log.CacheBytes());
+  state.SetLabel(cached ? "trio_cached" : "minimal_storage");
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_TraceForward)->Arg(0)->Arg(1)->Unit(benchmark::kMicrosecond);
+
+// Cost of building the Trio-style cache itself (paid once, amortized over
+// repeated traces).
+void BM_CacheBuild(benchmark::State& state) {
+  for (auto _ : state) {
+    Pipeline p;
+    p.CacheAll();
+    benchmark::DoNotOptimize(p.log.CacheBytes());
+  }
+}
+BENCHMARK(BM_CacheBuild)->Unit(benchmark::kMillisecond);
+
+// Aggregate lineage is the worst case for the minimal-storage model: one
+// group's contributors require scanning the input array.
+void BM_AggregateBackTrace(benchmark::State& state) {
+  bool cached = state.range(0) == 1;
+  Pipeline p;
+  auto agg = std::make_shared<MemArray>(
+      Aggregate(p.ctx, *p.raw, {"J"}, "sum", "*").ValueOrDie());
+  LoggedCommand cmd;
+  cmd.inputs = {"raw"};
+  cmd.output = "colsums";
+  cmd.lineage = AggregateLineage("raw", "colsums", p.raw, {1});
+  int64_t agg_id = p.log.Record(std::move(cmd));
+  if (cached) {
+    std::vector<Coordinates> outs;
+    for (int64_t j = 1; j <= kSide; ++j) outs.push_back({j});
+    SCIDB_CHECK(p.log.CacheLineage(agg_id, outs).ok());
+  }
+  Rng rng(3);
+  for (auto _ : state) {
+    Coordinates c{rng.UniformInt(1, kSide)};
+    auto steps = p.log.TraceBack({"colsums", c});
+    benchmark::DoNotOptimize(steps.ValueOrDie().size());
+  }
+  state.counters["cache_bytes"] = static_cast<double>(p.log.CacheBytes());
+  state.SetLabel(cached ? "trio_cached" : "minimal_storage");
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_AggregateBackTrace)->Arg(0)->Arg(1)
+    ->Unit(benchmark::kMicrosecond);
+
+}  // namespace
+}  // namespace scidb

@@ -1,0 +1,145 @@
+// EXP-SCI (§2.15): the science benchmark the paper promises ("a
+// collection of tasks", later published as SS-DB). The suite below
+// follows that task structure on synthetic LSST-style imagery:
+//   Q1  cook     — calibrate raw ADU to flux
+//   Q2  detect   — threshold + connected components
+//   Q3  regrid   — coarse sky map of mean flux
+//   Q4  composite— best-of-N passes by least cloud
+//   Q5  window   — subsample a sky region and aggregate it
+//   Q6  history  — commit an observation epoch, time-travel read
+#include <benchmark/benchmark.h>
+
+#include "cook/cooking.h"
+#include "version/history.h"
+#include "workloads.h"
+
+namespace scidb {
+namespace {
+
+constexpr int64_t kSide = 192;
+constexpr int64_t kChunk = 32;
+
+ExecContext Ctx() {
+  static FunctionRegistry* fns = new FunctionRegistry();
+  static AggregateRegistry* aggs = new AggregateRegistry();
+  return ExecContext{fns, aggs, true, nullptr};
+}
+
+MemArray& RawImage() {
+  static MemArray* img =
+      new MemArray(bench::MakeSkyImage(kSide, kChunk, 30, 20090101));
+  return *img;
+}
+
+void BM_Q1_Cook(benchmark::State& state) {
+  ExecContext ctx = Ctx();
+  MemArray& raw = RawImage();
+  for (auto _ : state) {
+    auto r = Calibrate(ctx, raw, "flux", 1.7, -17.0);
+    benchmark::DoNotOptimize(r.ValueOrDie().CellCount());
+  }
+  state.SetItemsProcessed(state.iterations() * kSide * kSide);
+}
+BENCHMARK(BM_Q1_Cook)->Unit(benchmark::kMillisecond);
+
+void BM_Q2_Detect(benchmark::State& state) {
+  MemArray& raw = RawImage();
+  size_t found = 0;
+  for (auto _ : state) {
+    auto detections = DetectSources(raw, "flux", 40.0);
+    found = detections.ValueOrDie().size();
+    benchmark::DoNotOptimize(found);
+  }
+  state.counters["sources"] = static_cast<double>(found);
+  state.SetItemsProcessed(state.iterations() * kSide * kSide);
+}
+BENCHMARK(BM_Q2_Detect)->Unit(benchmark::kMillisecond);
+
+void BM_Q3_Regrid(benchmark::State& state) {
+  ExecContext ctx = Ctx();
+  MemArray& raw = RawImage();
+  for (auto _ : state) {
+    auto r = Regrid(ctx, raw, {16, 16}, "avg", "flux");
+    benchmark::DoNotOptimize(r.ValueOrDie().CellCount());
+  }
+  state.SetItemsProcessed(state.iterations() * kSide * kSide);
+}
+BENCHMARK(BM_Q3_Regrid)->Unit(benchmark::kMillisecond);
+
+void BM_Q4_Composite(benchmark::State& state) {
+  // Three passes with synthetic cloud fields.
+  ArraySchema s("pass", {{"x", 1, kSide, kChunk}, {"y", 1, kSide, kChunk}},
+                {{"value", DataType::kDouble, true, false},
+                 {"cloud", DataType::kDouble, true, false}});
+  static std::vector<MemArray>* passes = [] {
+    auto* v = new std::vector<MemArray>();
+    Rng rng(3);
+    ArraySchema schema(
+        "pass", {{"x", 1, kSide, kChunk}, {"y", 1, kSide, kChunk}},
+        {{"value", DataType::kDouble, true, false},
+         {"cloud", DataType::kDouble, true, false}});
+    for (int p = 0; p < 3; ++p) {
+      MemArray pass(schema);
+      for (int64_t i = 1; i <= kSide; ++i) {
+        for (int64_t j = 1; j <= kSide; ++j) {
+          SCIDB_CHECK(pass.SetCell({i, j}, {Value(rng.NextDouble() * 100),
+                                            Value(rng.NextDouble())})
+                          .ok());
+        }
+      }
+      v->push_back(std::move(pass));
+    }
+    return v;
+  }();
+  (void)s;
+  for (auto _ : state) {
+    auto r = Composite({&(*passes)[0], &(*passes)[1], &(*passes)[2]},
+                       "cloud");
+    benchmark::DoNotOptimize(r.ValueOrDie().CellCount());
+  }
+  state.SetItemsProcessed(state.iterations() * kSide * kSide * 3);
+}
+BENCHMARK(BM_Q4_Composite)->Unit(benchmark::kMillisecond);
+
+void BM_Q5_WindowAggregate(benchmark::State& state) {
+  ExecContext ctx = Ctx();
+  MemArray& raw = RawImage();
+  ExprPtr window = And(And(Ge(Ref("I"), Lit(int64_t{32})),
+                           Le(Ref("I"), Lit(int64_t{96}))),
+                       And(Ge(Ref("J"), Lit(int64_t{32})),
+                           Le(Ref("J"), Lit(int64_t{96}))));
+  for (auto _ : state) {
+    MemArray sub = Subsample(ctx, raw, window).ValueOrDie();
+    auto r = Aggregate(ctx, sub, {}, "avg", "flux");
+    benchmark::DoNotOptimize(r.ValueOrDie().CellCount());
+  }
+  state.SetItemsProcessed(state.iterations() * 65 * 65);
+}
+BENCHMARK(BM_Q5_WindowAggregate)->Unit(benchmark::kMillisecond);
+
+void BM_Q6_HistoryEpoch(benchmark::State& state) {
+  ArraySchema s("survey", {{"x", 1, kSide, kChunk}, {"y", 1, kSide, kChunk}},
+                {{"flux", DataType::kDouble, true, false}});
+  Rng rng(4);
+  for (auto _ : state) {
+    HistoryArray arr(s);
+    // Three observation epochs of 2000 detections each.
+    int64_t ts = 1000;
+    for (int epoch = 0; epoch < 3; ++epoch) {
+      std::vector<CellUpdate> txn;
+      for (int k = 0; k < 2000; ++k) {
+        txn.push_back(CellUpdate::Set(
+            {rng.UniformInt(1, kSide), rng.UniformInt(1, kSide)},
+            {Value(rng.NextDouble() * 100)}));
+      }
+      benchmark::DoNotOptimize(arr.Commit(txn, ts++).ValueOrDie());
+    }
+    // Time-travel: state as of the first epoch.
+    benchmark::DoNotOptimize(arr.SnapshotAt(1).ValueOrDie().CellCount());
+  }
+  state.SetItemsProcessed(state.iterations() * 6000);
+}
+BENCHMARK(BM_Q6_HistoryEpoch)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace scidb

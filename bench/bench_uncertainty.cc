@@ -1,0 +1,133 @@
+// EXP-UNC (§2.13): executor overhead of uncertain arithmetic vs plain,
+// storage bytes for constant vs per-cell error bars (the paper requires
+// constant error bars to cost "negligible extra space"), and uncertain
+// join semantics.
+#include <benchmark/benchmark.h>
+
+#include "exec/operators.h"
+#include "storage/chunk_serde.h"
+#include "workloads.h"
+
+namespace scidb {
+namespace {
+
+constexpr int64_t kSide = 128;
+
+ExecContext Ctx() {
+  static FunctionRegistry* fns = new FunctionRegistry();
+  static AggregateRegistry* aggs = new AggregateRegistry();
+  return ExecContext{fns, aggs, true, nullptr};
+}
+
+MemArray MakeArray(bool uncertain, bool constant_err, uint64_t seed) {
+  ArraySchema s("m", {{"x", 1, kSide, 32}, {"y", 1, kSide, 32}},
+                {{"v", DataType::kDouble, true, uncertain}});
+  MemArray a(s);
+  Rng rng(seed);
+  for (int64_t i = 1; i <= kSide; ++i) {
+    for (int64_t j = 1; j <= kSide; ++j) {
+      double mean = rng.NextDouble() * 100;
+      if (uncertain) {
+        double err = constant_err ? 0.5 : 0.1 + rng.NextDouble();
+        SCIDB_CHECK(a.SetCell({i, j}, Value(Uncertain(mean, err))).ok());
+      } else {
+        SCIDB_CHECK(a.SetCell({i, j}, Value(mean)).ok());
+      }
+    }
+  }
+  return a;
+}
+
+// Arithmetic overhead: Apply(v * 2 + 1) over plain vs uncertain cells.
+void BM_ApplyArithmetic(benchmark::State& state) {
+  bool uncertain = state.range(0) == 1;
+  ExecContext ctx = Ctx();
+  MemArray a = MakeArray(uncertain, true, 42);
+  ExprPtr e = Add(Mul(Ref("v"), Lit(2.0)), Lit(1.0));
+  for (auto _ : state) {
+    auto r = Apply(ctx, a, "w", DataType::kDouble, e, uncertain);
+    benchmark::DoNotOptimize(r.ValueOrDie().CellCount());
+  }
+  state.SetItemsProcessed(state.iterations() * kSide * kSide);
+  state.SetLabel(uncertain ? "uncertain" : "plain");
+}
+BENCHMARK(BM_ApplyArithmetic)->Arg(0)->Arg(1)->Unit(benchmark::kMillisecond);
+
+// Aggregation with error propagation (usum) vs plain sum.
+void BM_AggregateSum(benchmark::State& state) {
+  bool uncertain = state.range(0) == 1;
+  ExecContext ctx = Ctx();
+  MemArray a = MakeArray(uncertain, true, 42);
+  std::string agg = uncertain ? "usum" : "sum";
+  for (auto _ : state) {
+    auto r = Aggregate(ctx, a, {"x"}, agg, "v");
+    benchmark::DoNotOptimize(r.ValueOrDie().CellCount());
+  }
+  state.SetItemsProcessed(state.iterations() * kSide * kSide);
+  state.SetLabel(uncertain ? "usum" : "sum");
+}
+BENCHMARK(BM_AggregateSum)->Arg(0)->Arg(1)->Unit(benchmark::kMillisecond);
+
+// Storage: serialized bytes per chunk for plain / constant-error /
+// varying-error attributes. The constant case must sit within noise of
+// plain (paper: "negligible extra space").
+void BM_SerializedFootprint(benchmark::State& state) {
+  int mode = static_cast<int>(state.range(0));
+  MemArray a = MakeArray(mode > 0, mode == 1, 42);
+  size_t bytes = 0;
+  for (auto _ : state) {
+    bytes = 0;
+    for (const auto& [origin, chunk] : a.chunks()) {
+      bytes += SerializeChunk(*chunk).size();
+    }
+    benchmark::DoNotOptimize(bytes);
+  }
+  state.counters["serialized_bytes"] = static_cast<double>(bytes);
+  state.SetLabel(mode == 0   ? "plain"
+                 : mode == 1 ? "uncertain_const_err"
+                             : "uncertain_varying_err");
+}
+BENCHMARK(BM_SerializedFootprint)->Arg(0)->Arg(1)->Arg(2)
+    ->Unit(benchmark::kMillisecond);
+
+// Uncertain content join: matches on 1-sigma interval overlap.
+void BM_UncertainCjoin(benchmark::State& state) {
+  bool uncertain = state.range(0) == 1;
+  ExecContext ctx = Ctx();
+  const int64_t n = 128;
+  ArraySchema sa("a", {{"x", 1, n, 64}},
+                 {{"val", DataType::kDouble, true, uncertain}});
+  ArraySchema sb("b", {{"y", 1, n, 64}},
+                 {{"val", DataType::kDouble, true, uncertain}});
+  MemArray a(sa), b(sb);
+  Rng rng(1);
+  for (int64_t i = 1; i <= n; ++i) {
+    double va = rng.Uniform(40);
+    double vb = rng.Uniform(40);
+    if (uncertain) {
+      SCIDB_CHECK(a.SetCell({i}, Value(Uncertain(va, 0.6))).ok());
+      SCIDB_CHECK(b.SetCell({i}, Value(Uncertain(vb, 0.6))).ok());
+    } else {
+      SCIDB_CHECK(a.SetCell({i}, Value(va)).ok());
+      SCIDB_CHECK(b.SetCell({i}, Value(vb)).ok());
+    }
+  }
+  ExprPtr pred = Eq(Ref("val", 0), Ref("val", 1));
+  int64_t matches = 0;
+  for (auto _ : state) {
+    MemArray r = Cjoin(ctx, a, b, pred).ValueOrDie();
+    matches = 0;
+    r.ForEachCell([&](const Coordinates&, const Chunk& chunk,
+                      int64_t rank) {
+      if (!chunk.block(0).IsNull(rank)) ++matches;
+      return true;
+    });
+    benchmark::DoNotOptimize(matches);
+  }
+  state.counters["matches"] = static_cast<double>(matches);
+  state.SetLabel(uncertain ? "interval_overlap" : "exact_equality");
+}
+BENCHMARK(BM_UncertainCjoin)->Arg(0)->Arg(1)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace scidb

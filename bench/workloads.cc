@@ -1,0 +1,67 @@
+#include "workloads.h"
+
+#include <cmath>
+
+namespace scidb {
+namespace bench {
+
+MemArray MakeSkyImage(int64_t n, int64_t chunk, int sources, uint64_t seed) {
+  ArraySchema schema("sky", {{"I", 1, n, chunk}, {"J", 1, n, chunk}},
+                     {{"flux", DataType::kDouble, true, false}});
+  MemArray a(schema);
+  Rng rng(seed);
+  struct Source {
+    double x, y, amp, sigma;
+  };
+  std::vector<Source> srcs;
+  srcs.reserve(static_cast<size_t>(sources));
+  for (int s = 0; s < sources; ++s) {
+    srcs.push_back({1 + rng.NextDouble() * static_cast<double>(n - 1),
+                    1 + rng.NextDouble() * static_cast<double>(n - 1),
+                    50 + rng.NextDouble() * 200, 1.0 + rng.NextDouble() * 2});
+  }
+  for (int64_t i = 1; i <= n; ++i) {
+    for (int64_t j = 1; j <= n; ++j) {
+      double v = 10.0 + rng.NextGaussian();  // sky background + noise
+      for (const Source& s : srcs) {
+        double dx = static_cast<double>(i) - s.x;
+        double dy = static_cast<double>(j) - s.y;
+        double d2 = dx * dx + dy * dy;
+        if (d2 < 25 * s.sigma * s.sigma) {
+          v += s.amp * std::exp(-d2 / (2 * s.sigma * s.sigma));
+        }
+      }
+      a.SetCell({i, j}, Value(v));
+    }
+  }
+  return a;
+}
+
+MemArray MakeSparseArray(int64_t n, int64_t chunk, int64_t count,
+                         uint64_t seed) {
+  ArraySchema schema("sparse", {{"I", 1, n, chunk}, {"J", 1, n, chunk}},
+                     {{"v", DataType::kDouble, true, false}});
+  MemArray a(schema);
+  Rng rng(seed);
+  for (int64_t k = 0; k < count; ++k) {
+    Coordinates c{rng.UniformInt(1, n), rng.UniformInt(1, n)};
+    a.SetCell(c, Value(rng.NextDouble() * 100));
+  }
+  return a;
+}
+
+MemArray MakeTimeSeries(int64_t n, int64_t chunk, uint64_t seed) {
+  ArraySchema schema("series", {{"T", 1, n, chunk}},
+                     {{"v", DataType::kDouble, true, false}});
+  MemArray a(schema);
+  Rng rng(seed);
+  double v = 0;
+  for (int64_t t = 1; t <= n; ++t) {
+    v += rng.NextGaussian();
+    a.SetCell({t}, Value(v));
+  }
+  return a;
+}
+
+}  // namespace bench
+}  // namespace scidb

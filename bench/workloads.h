@@ -1,0 +1,31 @@
+#ifndef SCIDB_BENCH_WORKLOADS_H_
+#define SCIDB_BENCH_WORKLOADS_H_
+
+#include <cstdint>
+
+#include "array/mem_array.h"
+#include "common/rng.h"
+
+namespace scidb {
+namespace bench {
+
+// Deterministic synthetic workloads standing in for the paper's production
+// data (LSST sky images, eBay clickstreams, satellite imagery); see
+// DESIGN.md §3 "Substitutions".
+
+// Dense n x n image with a smooth background + `sources` point sources
+// (Gaussian blobs), one double attribute "flux". Chunked `chunk` per dim.
+MemArray MakeSkyImage(int64_t n, int64_t chunk, int sources, uint64_t seed);
+
+// Sparse n x n array with `count` present cells at uniform positions,
+// attribute "v" = uniform double.
+MemArray MakeSparseArray(int64_t n, int64_t chunk, int64_t count,
+                         uint64_t seed);
+
+// 1-D time series of length n, attribute "v".
+MemArray MakeTimeSeries(int64_t n, int64_t chunk, uint64_t seed);
+
+}  // namespace bench
+}  // namespace scidb
+
+#endif  // SCIDB_BENCH_WORKLOADS_H_

@@ -1,0 +1,120 @@
+// Interactive AQL shell: type the paper's statements, see results.
+//
+//   $ ./build/examples/example_aql_shell
+//   scidb> define Remote (s1 = float) (I, J)
+//   scidb> create A as Remote [8, 8]
+//   scidb> insert A [1, 2] values (3.5)
+//   scidb> select Aggregate(A, {}, sum(s1))
+//
+// Meta commands: \list (arrays), \schema <name>, \dump <name>, \quit.
+#include <cstdio>
+#include <iostream>
+#include <string>
+
+#include "query/session.h"
+
+using namespace scidb;
+
+namespace {
+
+void PrintArray(const MemArray& a, int64_t limit = 20) {
+  std::printf("%s  (%lld cells)\n", a.schema().ToString().c_str(),
+              static_cast<long long>(a.CellCount()));
+  int64_t shown = 0;
+  a.ForEachCell([&](const Coordinates& c, const Chunk& chunk,
+                    int64_t rank) {
+    if (shown++ >= limit) return false;
+    std::string row = CoordsToString(c) + " = (";
+    for (size_t at = 0; at < chunk.nattrs(); ++at) {
+      if (at) row += ", ";
+      row += chunk.block(at).Get(rank).ToString();
+    }
+    row += ")";
+    std::printf("  %s\n", row.c_str());
+    return true;
+  });
+  if (a.CellCount() > limit) {
+    std::printf("  ... %lld more\n",
+                static_cast<long long>(a.CellCount() - limit));
+  }
+}
+
+}  // namespace
+
+int main() {
+  Session session;
+  std::printf("SciDB-Repro AQL shell. \\quit to exit, \\list for arrays.\n");
+  std::string line;
+  while (true) {
+    std::printf("scidb> ");
+    std::fflush(stdout);
+    if (!std::getline(std::cin, line)) break;
+    if (line.empty()) continue;
+
+    if (line[0] == '\\') {
+      if (line == "\\quit" || line == "\\q") break;
+      if (line == "\\list") {
+        for (const auto& name : session.ArrayNames()) {
+          std::printf("  %s\n", name.c_str());
+        }
+        continue;
+      }
+      if (line.rfind("\\schema ", 0) == 0) {
+        auto arr = session.GetArray(line.substr(8));
+        if (arr.ok()) {
+          std::printf("  %s\n", arr.value()->schema().ToString().c_str());
+        } else {
+          std::printf("  error: %s\n", arr.status().ToString().c_str());
+        }
+        continue;
+      }
+      if (line.rfind("\\dump ", 0) == 0) {
+        auto arr = session.GetArray(line.substr(6));
+        if (arr.ok()) {
+          PrintArray(*arr.value());
+        } else {
+          std::printf("  error: %s\n", arr.status().ToString().c_str());
+        }
+        continue;
+      }
+      std::printf("  unknown meta command\n");
+      continue;
+    }
+
+    auto result = session.Execute(line);
+    if (!result.ok()) {
+      std::printf("error: %s\n", result.status().ToString().c_str());
+      continue;
+    }
+    const QueryResult& r = result.value();
+    switch (r.kind) {
+      case QueryResult::Kind::kNone:
+        std::printf("%s\n", r.message.c_str());
+        break;
+      case QueryResult::Kind::kBool:
+        std::printf("%s\n", r.boolean ? "true" : "false");
+        break;
+      case QueryResult::Kind::kArray:
+        PrintArray(*r.array);
+        break;
+      case QueryResult::Kind::kCells:
+        std::printf("%s\n", r.message.c_str());
+        for (const auto& cell : r.cells) {
+          std::printf("  %s\n", cell.ToString().c_str());
+        }
+        break;
+      case QueryResult::Kind::kValues: {
+        std::string row = "(";
+        for (size_t i = 0; i < r.values.size(); ++i) {
+          if (i) row += ", ";
+          row += r.values[i].ToString();
+        }
+        row += ")";
+        std::printf("%s\n", row.c_str());
+        break;
+      }
+    }
+  }
+  std::printf("bye.\n");
+  return 0;
+}

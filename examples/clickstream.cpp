@@ -1,0 +1,144 @@
+// eBay clickstream analytics (paper §2.14): the click log is a
+// one-dimensional time-series array whose cells embed the array of search
+// results surfaced at that moment. UDFs + built-in operators answer "how
+// relevant is the keyword search engine?" — including analysis of the
+// user-IGNORED content, which weblog tools cannot see.
+#include <cstdio>
+#include <memory>
+
+#include "common/macros.h"
+#include "common/rng.h"
+#include "exec/operators.h"
+#include "query/session.h"
+
+using namespace scidb;
+
+int main() {
+  const int64_t kEvents = 20000;
+  Session session;
+  ExecContext ctx = session.MakeContext();
+
+  // Event log: time -> (session id, clicked position, impressions array).
+  // clicked < 0 means "left without clicking".
+  ArraySchema log_schema(
+      "clicks", {{"t", 1, kEvents, 1024}},
+      {{"session", DataType::kInt64, true, false},
+       {"clicked_pos", DataType::kInt64, true, false},
+       {"impressions", DataType::kArray, true, false}});
+  auto log = std::make_shared<MemArray>(log_schema);
+
+  Rng rng(777);
+  int64_t session_id = 1;
+  for (int64_t t = 1; t <= kEvents; ++t) {
+    if (rng.NextDouble() < 0.1) ++session_id;  // new user session
+    // The result page surfaced at this step: item ids, Zipf-popular.
+    auto impressions = std::make_shared<NestedArray>();
+    int64_t shown = 10;
+    impressions->shape = {shown};
+    for (int64_t k = 0; k < shown; ++k) {
+      impressions->values.emplace_back(
+          static_cast<double>(rng.Zipf(5000, 1.1)));
+    }
+    // Users click lower positions more; 25% of views get no click.
+    int64_t clicked = -1;
+    if (rng.NextDouble() > 0.25) {
+      clicked = std::min<int64_t>(shown - 1, rng.Zipf(shown, 1.3));
+    }
+    if (!log->SetCell({t}, {Value(session_id), Value(clicked),
+                            Value(impressions)})
+             .ok()) {
+      return 1;
+    }
+  }
+  if (!session.RegisterArray(log).ok()) return 1;
+  std::printf("click log: %lld events, %lld sessions\n",
+              (long long)kEvents, (long long)session_id);
+
+  // --- UDF: was the click below the fold (position > 5)? ---
+  if (!session.functions()
+           ->Register(UserFunction(
+               "below_fold", {{DataType::kInt64}, {DataType::kBool}},
+               [](const std::vector<Value>& args)
+                   -> Result<std::vector<Value>> {
+                 ASSIGN_OR_RETURN(int64_t pos, args[0].AsInt64());
+                 return std::vector<Value>{Value(pos > 5)};
+               }))
+           .ok()) {
+    return 1;
+  }
+
+  // Abandonment rate: events with no click at all. The search strategy is
+  // "flawed" for these queries (paper: the top items were not of
+  // interest).
+  auto abandoned = session
+                       .Execute("select Aggregate(Filter(clicks, "
+                                "clicked_pos < 0), {}, count(session))")
+                       .ValueOrDie();
+  int64_t no_click =
+      (*abandoned.array->GetCell({1}))[0].int64_value();
+
+  auto deep = session
+                  .Execute("select Aggregate(Filter(clicks, "
+                           "below_fold(clicked_pos)), {}, count(session))")
+                  .ValueOrDie();
+  int64_t below_fold = (*deep.array->GetCell({1}))[0].int64_value();
+  std::printf("abandoned: %lld (%.1f%%); clicks below fold: %lld (%.1f%%)\n",
+              (long long)no_click, 100.0 * no_click / kEvents,
+              (long long)below_fold, 100.0 * below_fold / kEvents);
+
+  // --- ignored-content analysis: which items keep being surfaced but
+  //     never clicked? Scan the embedded impression arrays. ---
+  std::map<int64_t, std::pair<int64_t, int64_t>> item_stats;  // shown, hit
+  log->ForEachCell([&](const Coordinates&, const Chunk& chunk,
+                       int64_t rank) {
+    Value imp = chunk.block(2).Get(rank);
+    int64_t clicked = chunk.block(1).GetInt64(rank);
+    if (!imp.is_array()) return true;
+    const auto& items = imp.array_value()->values;
+    for (size_t k = 0; k < items.size(); ++k) {
+      int64_t item = static_cast<int64_t>(items[k].double_value());
+      auto& [shown, hit] = item_stats[item];
+      ++shown;
+      if (clicked == static_cast<int64_t>(k)) ++hit;
+    }
+    return true;
+  });
+  int64_t surfaced_never_clicked = 0;
+  int64_t best_item = -1;
+  int64_t best_shown = 0;
+  for (const auto& [item, sh] : item_stats) {
+    if (sh.second == 0 && sh.first >= 20) {
+      ++surfaced_never_clicked;
+      if (sh.first > best_shown) {
+        best_shown = sh.first;
+        best_item = item;
+      }
+    }
+  }
+  std::printf("items surfaced >=20 times with zero clicks: %lld "
+              "(worst offender: item %lld, %lld impressions)\n",
+              (long long)surfaced_never_clicked, (long long)best_item,
+              (long long)best_shown);
+
+  // --- session-level funnel via Aggregate on the time series ---
+  auto per_session =
+      session.Execute("select Aggregate(clicks, {}, count(clicked_pos))")
+          .ValueOrDie();
+  std::printf("total logged events: %lld\n",
+              (long long)(*per_session.array->GetCell({1}))[0].int64_value());
+
+  // Windowed click-through rate along time (Regrid over the 1-D series):
+  // fraction of events with a click per window of 2048 events.
+  MemArray clicked_flag =
+      Apply(ctx, *log, "has_click", DataType::kDouble,
+            Bin(BinaryOp::kGe, Ref("clicked_pos"), Lit(int64_t{0})))
+          .ValueOrDie();
+  // has_click is bool -> coerced 0/1 when aggregated as double.
+  MemArray ctr =
+      Regrid(ctx, clicked_flag, {2048}, "avg", "has_click").ValueOrDie();
+  std::printf("windowed CTR (%lld windows): first=%.3f last=%.3f\n",
+              (long long)ctr.CellCount(),
+              (*ctr.GetCell({1}))[0].double_value(),
+              (*ctr.GetCell({ctr.CellCount()}))[0].double_value());
+  return 0;
+}

@@ -1,0 +1,143 @@
+#ifndef SCIDB_COMMON_BYTE_IO_H_
+#define SCIDB_COMMON_BYTE_IO_H_
+
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "common/macros.h"
+#include "common/result.h"
+#include "common/status.h"
+
+namespace scidb {
+
+// Append-only little-endian byte sink used by the chunk codecs, the
+// self-describing on-disk format and the external-format writers.
+class ByteWriter {
+ public:
+  void PutU8(uint8_t v) { buf_.push_back(v); }
+  void PutBytes(const void* data, size_t n) {
+    const uint8_t* p = static_cast<const uint8_t*>(data);
+    buf_.insert(buf_.end(), p, p + n);
+  }
+  void PutU32(uint32_t v) { PutFixed(v); }
+  void PutU64(uint64_t v) { PutFixed(v); }
+  void PutI64(int64_t v) { PutFixed(v); }
+  void PutDouble(double v) { PutFixed(v); }
+  void PutFloat(float v) { PutFixed(v); }
+
+  // LEB128 unsigned varint.
+  void PutVarint(uint64_t v) {
+    while (v >= 0x80) {
+      buf_.push_back(static_cast<uint8_t>(v) | 0x80);
+      v >>= 7;
+    }
+    buf_.push_back(static_cast<uint8_t>(v));
+  }
+  // ZigZag-encoded signed varint.
+  void PutSignedVarint(int64_t v) {
+    PutVarint((static_cast<uint64_t>(v) << 1) ^
+              static_cast<uint64_t>(v >> 63));
+  }
+  void PutString(const std::string& s) {
+    PutVarint(s.size());
+    PutBytes(s.data(), s.size());
+  }
+
+  const std::vector<uint8_t>& data() const { return buf_; }
+  std::vector<uint8_t> Release() { return std::move(buf_); }
+  size_t size() const { return buf_.size(); }
+
+ private:
+  template <typename T>
+  void PutFixed(T v) {
+    uint8_t tmp[sizeof(T)];
+    std::memcpy(tmp, &v, sizeof(T));
+    PutBytes(tmp, sizeof(T));
+  }
+
+  std::vector<uint8_t> buf_;
+};
+
+// Bounds-checked reader over a byte span. All getters return Status-bearing
+// results: truncated or corrupt inputs surface as kCorruption, never UB.
+class ByteReader {
+ public:
+  ByteReader(const uint8_t* data, size_t size) : data_(data), size_(size) {}
+  explicit ByteReader(const std::vector<uint8_t>& buf)
+      : ByteReader(buf.data(), buf.size()) {}
+
+  size_t remaining() const { return size_ - pos_; }
+  size_t position() const { return pos_; }
+
+  Result<uint8_t> GetU8() {
+    if (remaining() < 1) return Truncated("u8");
+    return data_[pos_++];
+  }
+  Result<uint32_t> GetU32() { return GetFixed<uint32_t>("u32"); }
+  Result<uint64_t> GetU64() { return GetFixed<uint64_t>("u64"); }
+  Result<int64_t> GetI64() { return GetFixed<int64_t>("i64"); }
+  Result<double> GetDouble() { return GetFixed<double>("double"); }
+  Result<float> GetFloat() { return GetFixed<float>("float"); }
+
+  Result<uint64_t> GetVarint() {
+    uint64_t v = 0;
+    int shift = 0;
+    while (true) {
+      if (remaining() < 1) return Truncated("varint");
+      uint8_t b = data_[pos_++];
+      if (shift >= 63 && (b & 0x7E) != 0) {
+        return Status::Corruption("varint overflow");
+      }
+      v |= static_cast<uint64_t>(b & 0x7F) << shift;
+      if ((b & 0x80) == 0) break;
+      shift += 7;
+    }
+    return v;
+  }
+  Result<int64_t> GetSignedVarint() {
+    ASSIGN_OR_RETURN(uint64_t u, GetVarint());
+    return static_cast<int64_t>((u >> 1) ^ (~(u & 1) + 1));
+  }
+  Result<std::string> GetString() {
+    ASSIGN_OR_RETURN(uint64_t n, GetVarint());
+    if (remaining() < n) return Truncated("string");
+    std::string s(reinterpret_cast<const char*>(data_ + pos_),
+                  static_cast<size_t>(n));
+    pos_ += static_cast<size_t>(n);
+    return s;
+  }
+  Status GetBytes(void* out, size_t n) {
+    if (remaining() < n) return Truncated("bytes");
+    std::memcpy(out, data_ + pos_, n);
+    pos_ += n;
+    return Status::OK();
+  }
+  Status Skip(size_t n) {
+    if (remaining() < n) return Truncated("skip");
+    pos_ += n;
+    return Status::OK();
+  }
+
+ private:
+  template <typename T>
+  Result<T> GetFixed(const char* what) {
+    if (remaining() < sizeof(T)) return Truncated(what);
+    T v;
+    std::memcpy(&v, data_ + pos_, sizeof(T));
+    pos_ += sizeof(T);
+    return v;
+  }
+  static Status Truncated(const char* what) {
+    return Status::Corruption(std::string("truncated input reading ") + what);
+  }
+
+  const uint8_t* data_;
+  size_t size_;
+  size_t pos_ = 0;
+};
+
+}  // namespace scidb
+
+#endif  // SCIDB_COMMON_BYTE_IO_H_

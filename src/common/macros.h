@@ -1,0 +1,27 @@
+#ifndef SCIDB_COMMON_MACROS_H_
+#define SCIDB_COMMON_MACROS_H_
+
+#include "common/result.h"
+#include "common/status.h"
+
+// Propagates a non-OK Status to the caller.
+#define RETURN_NOT_OK(expr)                \
+  do {                                     \
+    ::scidb::Status _st = (expr);          \
+    if (!_st.ok()) return _st;             \
+  } while (false)
+
+#define SCIDB_CONCAT_IMPL(x, y) x##y
+#define SCIDB_CONCAT(x, y) SCIDB_CONCAT_IMPL(x, y)
+
+// Evaluates a Result<T> expression; on error returns the Status, otherwise
+// binds the value to `lhs` (which may include a type declaration).
+#define ASSIGN_OR_RETURN(lhs, rexpr) \
+  ASSIGN_OR_RETURN_IMPL(SCIDB_CONCAT(_result_, __LINE__), lhs, rexpr)
+
+#define ASSIGN_OR_RETURN_IMPL(tmp, lhs, rexpr) \
+  auto tmp = (rexpr);                          \
+  if (!tmp.ok()) return tmp.status();          \
+  lhs = std::move(tmp).value();
+
+#endif  // SCIDB_COMMON_MACROS_H_

@@ -1,0 +1,65 @@
+#ifndef SCIDB_COMMON_RESULT_H_
+#define SCIDB_COMMON_RESULT_H_
+
+#include <optional>
+#include <utility>
+
+#include "common/logging.h"
+#include "common/status.h"
+
+namespace scidb {
+
+// Result<T> carries either a value of type T or a non-OK Status.
+// Idiomatic use together with the macros in macros.h:
+//
+//   Result<Chunk> chunk = store.Read(key);
+//   ASSIGN_OR_RETURN(Chunk c, store.Read(key));
+template <typename T>
+class Result {
+ public:
+  // Implicit construction from a value or an error status keeps call
+  // sites terse (`return value;` / `return Status::Invalid(...)`).
+  Result(T value) : value_(std::move(value)) {}            // NOLINT
+  Result(Status status) : status_(std::move(status)) {     // NOLINT
+    SCIDB_CHECK(!status_.ok()) << "Result constructed from OK status";
+  }
+
+  Result(const Result&) = default;
+  Result& operator=(const Result&) = default;
+  Result(Result&&) noexcept = default;
+  Result& operator=(Result&&) noexcept = default;
+
+  bool ok() const { return value_.has_value(); }
+  const Status& status() const { return status_; }
+
+  const T& value() const& {
+    SCIDB_CHECK(ok()) << "Result::value() on error: " << status_.ToString();
+    return *value_;
+  }
+  T& value() & {
+    SCIDB_CHECK(ok()) << "Result::value() on error: " << status_.ToString();
+    return *value_;
+  }
+  T&& value() && {
+    SCIDB_CHECK(ok()) << "Result::value() on error: " << status_.ToString();
+    return std::move(*value_);
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  T&& operator*() && { return std::move(*this).value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+  // Returns the value or crashes with the error; for tests and examples.
+  T ValueOrDie() && { return std::move(*this).value(); }
+  T ValueOrDie() const& { return value(); }
+
+ private:
+  Status status_;
+  std::optional<T> value_;
+};
+
+}  // namespace scidb
+
+#endif  // SCIDB_COMMON_RESULT_H_

@@ -1,0 +1,99 @@
+#ifndef SCIDB_COMMON_RNG_H_
+#define SCIDB_COMMON_RNG_H_
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+namespace scidb {
+
+// Deterministic xorshift128+ generator. All synthetic workloads in tests,
+// examples and benchmarks draw from this so results are reproducible
+// across runs and machines (std::mt19937 distributions are not guaranteed
+// to be portable across standard library implementations).
+class Rng {
+ public:
+  explicit Rng(uint64_t seed = 42) {
+    // SplitMix64 seeding to avoid correlated low-entropy states.
+    uint64_t z = seed + 0x9E3779B97F4A7C15ULL;
+    for (uint64_t* s : {&s0_, &s1_}) {
+      z += 0x9E3779B97F4A7C15ULL;
+      uint64_t x = z;
+      x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ULL;
+      x = (x ^ (x >> 27)) * 0x94D049BB133111EBULL;
+      *s = x ^ (x >> 31);
+    }
+  }
+
+  uint64_t Next() {
+    uint64_t x = s0_;
+    const uint64_t y = s1_;
+    s0_ = y;
+    x ^= x << 23;
+    s1_ = x ^ y ^ (x >> 17) ^ (y >> 26);
+    return s1_ + y;
+  }
+
+  // Uniform in [0, n).
+  uint64_t Uniform(uint64_t n) { return n == 0 ? 0 : Next() % n; }
+
+  // Uniform integer in [lo, hi] inclusive.
+  int64_t UniformInt(int64_t lo, int64_t hi) {
+    return lo + static_cast<int64_t>(Uniform(static_cast<uint64_t>(hi - lo + 1)));
+  }
+
+  // Uniform double in [0, 1).
+  double NextDouble() {
+    return static_cast<double>(Next() >> 11) * (1.0 / 9007199254740992.0);
+  }
+
+  // Standard normal via Box-Muller.
+  double NextGaussian() {
+    if (has_spare_) {
+      has_spare_ = false;
+      return spare_;
+    }
+    double u1 = NextDouble();
+    double u2 = NextDouble();
+    if (u1 < 1e-300) u1 = 1e-300;
+    double mag = std::sqrt(-2.0 * std::log(u1));
+    spare_ = mag * std::sin(2.0 * M_PI * u2);
+    has_spare_ = true;
+    return mag * std::cos(2.0 * M_PI * u2);
+  }
+
+  // Zipf-distributed value in [0, n) with skew parameter s. Used for the
+  // eBay clickstream and El Nino style skewed access workloads.
+  // Precomputes the CDF on first use for a given (n, s).
+  int64_t Zipf(int64_t n, double s) {
+    if (n != zipf_n_ || s != zipf_s_) {
+      zipf_cdf_.resize(static_cast<size_t>(n));
+      double sum = 0;
+      for (int64_t i = 0; i < n; ++i) {
+        sum += 1.0 / std::pow(static_cast<double>(i + 1), s);
+        zipf_cdf_[static_cast<size_t>(i)] = sum;
+      }
+      for (auto& v : zipf_cdf_) v /= sum;
+      zipf_n_ = n;
+      zipf_s_ = s;
+    }
+    double u = NextDouble();
+    auto it = std::lower_bound(zipf_cdf_.begin(), zipf_cdf_.end(), u);
+    if (it == zipf_cdf_.end()) return n - 1;
+    return static_cast<int64_t>(it - zipf_cdf_.begin());
+  }
+
+ private:
+  uint64_t s0_ = 0;
+  uint64_t s1_ = 0;
+  bool has_spare_ = false;
+  double spare_ = 0;
+  int64_t zipf_n_ = -1;
+  double zipf_s_ = 0;
+  std::vector<double> zipf_cdf_;
+};
+
+}  // namespace scidb
+
+#endif  // SCIDB_COMMON_RNG_H_

@@ -1,0 +1,104 @@
+#ifndef SCIDB_COMMON_STATUS_H_
+#define SCIDB_COMMON_STATUS_H_
+
+#include <memory>
+#include <string>
+#include <utility>
+
+namespace scidb {
+
+// Error categories used across the engine. Mirrors the coarse taxonomy of
+// Arrow/RocksDB status objects: a code plus a human-readable message.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,
+  kNotFound,
+  kAlreadyExists,
+  kOutOfRange,
+  kNotImplemented,
+  kIOError,
+  kCorruption,
+  kTypeMismatch,
+  kInternal,
+};
+
+// Returns a stable human-readable name ("InvalidArgument", ...).
+const char* StatusCodeName(StatusCode code);
+
+// Status is the library-wide error carrier. Library code does not throw;
+// every fallible operation returns Status (or Result<T>, see result.h).
+// The OK state is represented by a null rep so that passing around OK
+// statuses costs a single pointer.
+class Status {
+ public:
+  Status() = default;  // OK.
+  Status(StatusCode code, std::string message);
+
+  Status(const Status& other);
+  Status& operator=(const Status& other);
+  Status(Status&&) noexcept = default;
+  Status& operator=(Status&&) noexcept = default;
+
+  static Status OK() { return Status(); }
+  static Status Invalid(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status AlreadyExists(std::string msg) {
+    return Status(StatusCode::kAlreadyExists, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status NotImplemented(std::string msg) {
+    return Status(StatusCode::kNotImplemented, std::move(msg));
+  }
+  static Status IOError(std::string msg) {
+    return Status(StatusCode::kIOError, std::move(msg));
+  }
+  static Status Corruption(std::string msg) {
+    return Status(StatusCode::kCorruption, std::move(msg));
+  }
+  static Status TypeMismatch(std::string msg) {
+    return Status(StatusCode::kTypeMismatch, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+
+  bool ok() const { return rep_ == nullptr; }
+  StatusCode code() const { return rep_ ? rep_->code : StatusCode::kOk; }
+  const std::string& message() const;
+
+  bool IsInvalid() const { return code() == StatusCode::kInvalidArgument; }
+  bool IsNotFound() const { return code() == StatusCode::kNotFound; }
+  bool IsAlreadyExists() const { return code() == StatusCode::kAlreadyExists; }
+  bool IsOutOfRange() const { return code() == StatusCode::kOutOfRange; }
+  bool IsNotImplemented() const {
+    return code() == StatusCode::kNotImplemented;
+  }
+  bool IsIOError() const { return code() == StatusCode::kIOError; }
+  bool IsCorruption() const { return code() == StatusCode::kCorruption; }
+  bool IsTypeMismatch() const { return code() == StatusCode::kTypeMismatch; }
+  bool IsInternal() const { return code() == StatusCode::kInternal; }
+
+  // "OK" or "InvalidArgument: <message>".
+  std::string ToString() const;
+
+  // Returns a copy of this status with `context` prepended to the message.
+  // No-op for OK statuses.
+  Status WithContext(const std::string& context) const;
+
+ private:
+  struct Rep {
+    StatusCode code;
+    std::string message;
+  };
+  std::unique_ptr<Rep> rep_;  // null == OK
+};
+
+}  // namespace scidb
+
+#endif  // SCIDB_COMMON_STATUS_H_

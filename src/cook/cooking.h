@@ -1,0 +1,51 @@
+#ifndef SCIDB_COOK_COOKING_H_
+#define SCIDB_COOK_COOKING_H_
+
+#include <string>
+#include <vector>
+
+#include "array/mem_array.h"
+#include "common/result.h"
+#include "exec/operators.h"
+
+namespace scidb {
+
+// In-engine cooking (paper §2.10): raw sensor readings become finished
+// information inside the DBMS — calibration, composite selection across
+// satellite passes, and detection. Running these inside the engine is
+// what makes the §2.12 provenance story possible: each step is a logged
+// command over arrays.
+
+// value' = gain * value + offset applied to `attr` in place of a separate
+// calibrated attribute named `attr`_cal.
+Result<MemArray> Calibrate(const ExecContext& ctx, const MemArray& raw,
+                           const std::string& attr, double gain,
+                           double offset);
+
+// Composite selection (paper §2.11's named-version use case): several
+// passes observe the same grid; each cell of the output takes the
+// observation from the pass minimizing `criterion_attr` — "least cloud
+// cover" with criterion "cloud", "closest to directly overhead" with
+// criterion "nadir". All passes must share one schema.
+Result<MemArray> Composite(const std::vector<const MemArray*>& passes,
+                           const std::string& criterion_attr);
+
+// One detected source in a cooked image.
+struct Detection {
+  Coordinates peak;      // brightest pixel
+  double peak_value = 0;
+  double total_flux = 0;
+  int64_t npix = 0;
+  Box bbox;
+};
+
+// Threshold + 2-D connected components (4-connectivity) over `attr` —
+// the "detect" task of the science benchmark (§2.15). Detections are
+// returned brightest-first.
+Result<std::vector<Detection>> DetectSources(const MemArray& image,
+                                             const std::string& attr,
+                                             double threshold);
+
+}  // namespace scidb
+
+#endif  // SCIDB_COOK_COOKING_H_

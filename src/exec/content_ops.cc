@@ -1,0 +1,443 @@
+#include <map>
+#include <set>
+#include <memory>
+
+#include "common/macros.h"
+#include "exec/operators.h"
+
+namespace scidb {
+
+// ---------------------------------------------------------------- Filter
+
+Result<MemArray> Filter(const ExecContext& ctx, const MemArray& a,
+                        const ExprPtr& pred) {
+  if (pred == nullptr) return Status::Invalid("Filter: null predicate");
+  MemArray out(a.schema());
+  out.mutable_schema()->set_name(a.schema().name() + "_filter");
+
+  EvalContext ectx;
+  ectx.functions = ctx.functions;
+  Coordinates coords;
+  std::vector<Value> attrs;
+  ectx.sides.push_back({&a.schema(), &coords, &attrs});
+
+  std::vector<Value> nulls(a.schema().nattrs());
+  Status st;
+  bool failed = false;
+  a.ForEachCell([&](const Coordinates& c, const Chunk& chunk, int64_t rank) {
+    if (ctx.stats != nullptr) ++ctx.stats->cells_visited;
+    coords = c;
+    attrs.clear();
+    for (size_t at = 0; at < chunk.nattrs(); ++at) {
+      attrs.push_back(chunk.block(at).Get(rank));
+    }
+    auto ok = pred->Eval(ectx);
+    if (!ok.ok()) {
+      st = ok.status();
+      failed = true;
+      return false;
+    }
+    bool keep = ok.value().is_bool() && ok.value().bool_value();
+    // Paper: cells failing P "will contain NULL" — present, null-valued.
+    st = out.SetCell(c, keep ? attrs : nulls);
+    if (!st.ok()) {
+      failed = true;
+      return false;
+    }
+    return true;
+  });
+  if (failed) return st;
+  return out;
+}
+
+// ------------------------------------------------------------- Aggregate
+
+AttributeDesc AggOutputAttr(const std::string& agg) {
+  if (agg == "count") return {agg, DataType::kInt64, true, false};
+  if (agg == "usum" || agg == "uavg") {
+    return {agg, DataType::kDouble, true, true};
+  }
+  return {agg, DataType::kDouble, true, false};
+}
+
+Result<MemArray> Aggregate(const ExecContext& ctx, const MemArray& a,
+                           const std::vector<std::string>& group_dims,
+                           const std::string& agg, const std::string& attr) {
+  if (ctx.aggregates == nullptr) {
+    return Status::Internal("Aggregate: no aggregate registry bound");
+  }
+  ASSIGN_OR_RETURN(const AggregateFunction* afn, ctx.aggregates->Find(agg));
+  const ArraySchema& schema = a.schema();
+
+  size_t attr_idx = 0;
+  if (attr != "*") {
+    ASSIGN_OR_RETURN(attr_idx, schema.AttrIndex(attr));
+  }
+
+  std::vector<size_t> gidx;
+  std::vector<DimensionDesc> out_dims;
+  std::set<size_t> seen;
+  for (const auto& g : group_dims) {
+    ASSIGN_OR_RETURN(size_t di, schema.DimIndex(g));
+    if (!seen.insert(di).second) {
+      return Status::Invalid("Aggregate: duplicate grouping dimension '" +
+                             g + "'");
+    }
+    gidx.push_back(di);
+    out_dims.push_back(schema.dim(di));
+  }
+  if (out_dims.empty()) {
+    // Grand aggregate: single-cell output with one synthetic dimension.
+    out_dims.push_back({"all", 1, 1, 1});
+  }
+  ArraySchema out_schema(schema.name() + "_agg", std::move(out_dims),
+                         {AggOutputAttr(agg)});
+  MemArray out(out_schema);
+
+  // Group state keyed by grouping coordinates.
+  std::map<Coordinates, std::unique_ptr<AggregateState>> groups;
+  Status st;
+  bool failed = false;
+  a.ForEachCell([&](const Coordinates& c, const Chunk& chunk, int64_t rank) {
+    if (ctx.stats != nullptr) ++ctx.stats->cells_visited;
+    Coordinates key;
+    if (gidx.empty()) {
+      key.push_back(1);
+    } else {
+      key.reserve(gidx.size());
+      for (size_t d : gidx) key.push_back(c[d]);
+    }
+    auto it = groups.find(key);
+    if (it == groups.end()) {
+      it = groups.emplace(std::move(key), afn->NewState()).first;
+    }
+    st = it->second->Accumulate(chunk.block(attr_idx).Get(rank));
+    if (!st.ok()) {
+      failed = true;
+      return false;
+    }
+    return true;
+  });
+  if (failed) return st;
+
+  // A grand aggregate over an empty array still produces its one cell
+  // (SQL semantics: SUM of nothing is NULL, COUNT of nothing is 0).
+  if (gidx.empty() && groups.empty()) {
+    groups.emplace(Coordinates{1}, afn->NewState());
+  }
+  for (const auto& [key, state] : groups) {
+    RETURN_NOT_OK(out.SetCell(key, state->Finalize()));
+  }
+  return out;
+}
+
+Result<MemArray> AggregateMulti(const ExecContext& ctx, const MemArray& a,
+                                const std::vector<std::string>& group_dims,
+                                const std::vector<AggCall>& calls) {
+  if (ctx.aggregates == nullptr) {
+    return Status::Internal("AggregateMulti: no aggregate registry bound");
+  }
+  if (calls.empty()) {
+    return Status::Invalid("AggregateMulti: need at least one aggregate");
+  }
+  const ArraySchema& schema = a.schema();
+
+  std::vector<const AggregateFunction*> fns;
+  std::vector<size_t> attr_idx;
+  std::vector<AttributeDesc> out_attrs;
+  std::set<std::string> used_names;
+  for (const AggCall& call : calls) {
+    ASSIGN_OR_RETURN(const AggregateFunction* fn,
+                     ctx.aggregates->Find(call.agg));
+    fns.push_back(fn);
+    size_t ai = 0;
+    if (call.attr != "*") {
+      ASSIGN_OR_RETURN(ai, schema.AttrIndex(call.attr));
+    }
+    attr_idx.push_back(ai);
+    AttributeDesc desc = AggOutputAttr(call.agg);
+    if (call.attr != "*") desc.name = call.agg + "_" + call.attr;
+    while (!used_names.insert(desc.name).second) desc.name += "_2";
+    out_attrs.push_back(std::move(desc));
+  }
+
+  std::vector<size_t> gidx;
+  std::vector<DimensionDesc> out_dims;
+  std::set<size_t> seen;
+  for (const auto& g : group_dims) {
+    ASSIGN_OR_RETURN(size_t di, schema.DimIndex(g));
+    if (!seen.insert(di).second) {
+      return Status::Invalid(
+          "AggregateMulti: duplicate grouping dimension '" + g + "'");
+    }
+    gidx.push_back(di);
+    out_dims.push_back(schema.dim(di));
+  }
+  if (out_dims.empty()) out_dims.push_back({"all", 1, 1, 1});
+  ArraySchema out_schema(schema.name() + "_agg", std::move(out_dims),
+                         std::move(out_attrs));
+  MemArray out(out_schema);
+
+  // One state vector per group; all aggregates fed from a single scan.
+  std::map<Coordinates, std::vector<std::unique_ptr<AggregateState>>>
+      groups;
+  Status st;
+  bool failed = false;
+  a.ForEachCell([&](const Coordinates& c, const Chunk& chunk, int64_t rank) {
+    if (ctx.stats != nullptr) ++ctx.stats->cells_visited;
+    Coordinates key;
+    if (gidx.empty()) {
+      key.push_back(1);
+    } else {
+      key.reserve(gidx.size());
+      for (size_t d : gidx) key.push_back(c[d]);
+    }
+    auto it = groups.find(key);
+    if (it == groups.end()) {
+      std::vector<std::unique_ptr<AggregateState>> states;
+      for (const auto* fn : fns) states.push_back(fn->NewState());
+      it = groups.emplace(std::move(key), std::move(states)).first;
+    }
+    for (size_t k = 0; k < fns.size(); ++k) {
+      st = it->second[k]->Accumulate(chunk.block(attr_idx[k]).Get(rank));
+      if (!st.ok()) {
+        failed = true;
+        return false;
+      }
+    }
+    return true;
+  });
+  if (failed) return st;
+
+  if (gidx.empty() && groups.empty()) {
+    std::vector<std::unique_ptr<AggregateState>> states;
+    for (const auto* fn : fns) states.push_back(fn->NewState());
+    groups.emplace(Coordinates{1}, std::move(states));
+  }
+  for (const auto& [key, states] : groups) {
+    std::vector<Value> row;
+    row.reserve(states.size());
+    for (const auto& state : states) row.push_back(state->Finalize());
+    RETURN_NOT_OK(out.SetCell(key, row));
+  }
+  return out;
+}
+
+// ----------------------------------------------------------------- Cjoin
+
+Result<MemArray> Cjoin(const ExecContext& ctx, const MemArray& a,
+                       const MemArray& b, const ExprPtr& pred) {
+  if (pred == nullptr) return Status::Invalid("Cjoin: null predicate");
+  const ArraySchema& sa = a.schema();
+  const ArraySchema& sb = b.schema();
+
+  std::vector<DimensionDesc> dims = sa.dims();
+  for (DimensionDesc d : sb.dims()) {
+    while (sa.DimIndex(d.name).ok()) d.name += "_2";
+    dims.push_back(std::move(d));
+  }
+  ArraySchema out_schema(sa.name() + "_cjoin", std::move(dims),
+                         MergeAttrs(sa.attrs(), sb.attrs()));
+  MemArray out(out_schema);
+
+  EvalContext ectx;
+  ectx.functions = ctx.functions;
+  Coordinates ca_bound, cb_bound;
+  std::vector<Value> va, vb;
+  ectx.sides.push_back({&sa, &ca_bound, &va});
+  ectx.sides.push_back({&sb, &cb_bound, &vb});
+
+  std::vector<Value> nulls(out_schema.nattrs());
+  Status st;
+  bool failed = false;
+  a.ForEachCell([&](const Coordinates& ca, const Chunk& ach, int64_t ar) {
+    va.clear();
+    for (size_t at = 0; at < ach.nattrs(); ++at) {
+      va.push_back(ach.block(at).Get(ar));
+    }
+    ca_bound = ca;
+    b.ForEachCell([&](const Coordinates& cb, const Chunk& bch, int64_t br) {
+      if (ctx.stats != nullptr) ++ctx.stats->cells_visited;
+      vb.clear();
+      for (size_t at = 0; at < bch.nattrs(); ++at) {
+        vb.push_back(bch.block(at).Get(br));
+      }
+      cb_bound = cb;
+      auto ok = pred->Eval(ectx);
+      if (!ok.ok()) {
+        st = ok.status();
+        failed = true;
+        return false;
+      }
+      bool match = ok.value().is_bool() && ok.value().bool_value();
+      Coordinates oc = ca;
+      oc.insert(oc.end(), cb.begin(), cb.end());
+      if (match) {
+        std::vector<Value> cell = va;
+        cell.insert(cell.end(), vb.begin(), vb.end());
+        st = out.SetCell(oc, cell);
+      } else {
+        // Figure 3: non-matching positions hold NULL.
+        st = out.SetCell(oc, nulls);
+      }
+      if (!st.ok()) {
+        failed = true;
+        return false;
+      }
+      return true;
+    });
+    return !failed;
+  });
+  if (failed) return st;
+  return out;
+}
+
+// ----------------------------------------------------------------- Apply
+
+Result<MemArray> Apply(const ExecContext& ctx, const MemArray& a,
+                       const std::string& name, DataType type,
+                       const ExprPtr& e, bool uncertain) {
+  if (e == nullptr) return Status::Invalid("Apply: null expression");
+  const ArraySchema& schema = a.schema();
+  if (schema.DimIndex(name).ok() || schema.AttrIndex(name).ok()) {
+    return Status::Invalid("Apply: name '" + name + "' already in use");
+  }
+  std::vector<AttributeDesc> attrs = schema.attrs();
+  attrs.push_back({name, type, true, uncertain});
+  ArraySchema out_schema(schema.name() + "_apply", schema.dims(),
+                         std::move(attrs));
+  MemArray out(out_schema);
+
+  EvalContext ectx;
+  ectx.functions = ctx.functions;
+  Coordinates coords;
+  std::vector<Value> vals;
+  ectx.sides.push_back({&schema, &coords, &vals});
+
+  Status st;
+  bool failed = false;
+  a.ForEachCell([&](const Coordinates& c, const Chunk& chunk, int64_t rank) {
+    if (ctx.stats != nullptr) ++ctx.stats->cells_visited;
+    coords = c;
+    vals.clear();
+    for (size_t at = 0; at < chunk.nattrs(); ++at) {
+      vals.push_back(chunk.block(at).Get(rank));
+    }
+    auto v = e->Eval(ectx);
+    if (!v.ok()) {
+      st = v.status();
+      failed = true;
+      return false;
+    }
+    std::vector<Value> cell = vals;
+    cell.push_back(v.value());
+    st = out.SetCell(c, cell);
+    if (!st.ok()) {
+      failed = true;
+      return false;
+    }
+    return true;
+  });
+  if (failed) return st;
+  return out;
+}
+
+// --------------------------------------------------------------- Project
+
+Result<MemArray> Project(const ExecContext& ctx, const MemArray& a,
+                         const std::vector<std::string>& attrs) {
+  (void)ctx;
+  if (attrs.empty()) {
+    return Status::Invalid("Project: need at least one attribute");
+  }
+  const ArraySchema& schema = a.schema();
+  std::vector<size_t> idx;
+  std::vector<AttributeDesc> out_attrs;
+  for (const auto& name : attrs) {
+    ASSIGN_OR_RETURN(size_t ai, schema.AttrIndex(name));
+    idx.push_back(ai);
+    out_attrs.push_back(schema.attr(ai));
+  }
+  ArraySchema out_schema(schema.name() + "_project", schema.dims(),
+                         std::move(out_attrs));
+  MemArray out(out_schema);
+
+  Status st;
+  bool failed = false;
+  std::vector<Value> cell;
+  a.ForEachCell([&](const Coordinates& c, const Chunk& chunk, int64_t rank) {
+    cell.clear();
+    for (size_t ai : idx) cell.push_back(chunk.block(ai).Get(rank));
+    st = out.SetCell(c, cell);
+    if (!st.ok()) {
+      failed = true;
+      return false;
+    }
+    return true;
+  });
+  if (failed) return st;
+  return out;
+}
+
+// ---------------------------------------------------------------- Regrid
+
+Result<MemArray> Regrid(const ExecContext& ctx, const MemArray& a,
+                        const std::vector<int64_t>& factors,
+                        const std::string& agg, const std::string& attr) {
+  if (ctx.aggregates == nullptr) {
+    return Status::Internal("Regrid: no aggregate registry bound");
+  }
+  const ArraySchema& schema = a.schema();
+  if (factors.size() != schema.ndims()) {
+    return Status::Invalid("Regrid: need one factor per dimension");
+  }
+  for (int64_t f : factors) {
+    if (f <= 0) return Status::Invalid("Regrid: factors must be positive");
+  }
+  ASSIGN_OR_RETURN(const AggregateFunction* afn, ctx.aggregates->Find(agg));
+  size_t attr_idx = 0;
+  if (attr != "*") {
+    ASSIGN_OR_RETURN(attr_idx, schema.AttrIndex(attr));
+  }
+
+  std::vector<DimensionDesc> out_dims;
+  for (size_t d = 0; d < schema.ndims(); ++d) {
+    DimensionDesc dd = schema.dim(d);
+    if (!dd.unbounded()) {
+      dd.high = dd.low + (dd.extent() + factors[d] - 1) / factors[d] - 1;
+    }
+    out_dims.push_back(dd);
+  }
+  ArraySchema out_schema(schema.name() + "_regrid", std::move(out_dims),
+                         {AggOutputAttr(agg)});
+  MemArray out(out_schema);
+
+  std::map<Coordinates, std::unique_ptr<AggregateState>> blocks;
+  Status st;
+  bool failed = false;
+  a.ForEachCell([&](const Coordinates& c, const Chunk& chunk, int64_t rank) {
+    if (ctx.stats != nullptr) ++ctx.stats->cells_visited;
+    Coordinates key(c.size());
+    for (size_t d = 0; d < c.size(); ++d) {
+      key[d] = schema.dim(d).low + (c[d] - schema.dim(d).low) / factors[d];
+    }
+    auto it = blocks.find(key);
+    if (it == blocks.end()) {
+      it = blocks.emplace(std::move(key), afn->NewState()).first;
+    }
+    st = it->second->Accumulate(chunk.block(attr_idx).Get(rank));
+    if (!st.ok()) {
+      failed = true;
+      return false;
+    }
+    return true;
+  });
+  if (failed) return st;
+
+  for (const auto& [key, state] : blocks) {
+    RETURN_NOT_OK(out.SetCell(key, state->Finalize()));
+  }
+  return out;
+}
+
+}  // namespace scidb

@@ -1,0 +1,429 @@
+#include <algorithm>
+#include <map>
+#include <set>
+
+#include "common/macros.h"
+#include "exec/operators.h"
+
+namespace scidb {
+
+namespace {
+
+void CountChunk(const ExecContext& ctx, bool pruned) {
+  if (ctx.stats == nullptr) return;
+  if (pruned) {
+    ++ctx.stats->chunks_pruned;
+  } else {
+    ++ctx.stats->chunks_scanned;
+  }
+}
+
+void CountCells(const ExecContext& ctx, int64_t n) {
+  if (ctx.stats != nullptr) ctx.stats->cells_visited += n;
+}
+
+}  // namespace
+
+std::vector<AttributeDesc> MergeAttrs(const std::vector<AttributeDesc>& a,
+                                      const std::vector<AttributeDesc>& b) {
+  std::vector<AttributeDesc> out = a;
+  std::set<std::string> names;
+  for (const auto& x : a) names.insert(x.name);
+  for (AttributeDesc x : b) {
+    while (names.count(x.name)) x.name += "_2";
+    names.insert(x.name);
+    out.push_back(std::move(x));
+  }
+  return out;
+}
+
+// ------------------------------------------------------------- Subsample
+
+Result<MemArray> Subsample(const ExecContext& ctx, const MemArray& a,
+                           const ExprPtr& pred) {
+  if (pred == nullptr) return Status::Invalid("Subsample: null predicate");
+  if (!IsPerDimensionConjunction(*pred, a.schema())) {
+    return Status::Invalid(
+        "Subsample predicate must be a conjunction of conditions on each "
+        "dimension independently: " +
+        pred->ToString());
+  }
+  MemArray out(a.schema());
+  out.mutable_schema()->set_name(a.schema().name() + "_subsample");
+
+  EvalContext ectx;
+  ectx.functions = ctx.functions;
+  Coordinates coords;
+  ectx.sides.push_back({&a.schema(), &coords, nullptr});
+
+  for (const auto& [origin, chunk] : a.chunks()) {
+    bool exact = false;
+    Box want = chunk->box();
+    if (ctx.enable_chunk_pruning) {
+      std::vector<DimBounds> bounds =
+          ExtractDimBounds(*pred, a.schema(), chunk->box(), &exact);
+      bool empty = false;
+      for (size_t d = 0; d < bounds.size(); ++d) {
+        if (bounds[d].empty()) {
+          empty = true;
+          break;
+        }
+        want.low[d] = bounds[d].low;
+        want.high[d] = bounds[d].high;
+      }
+      if (empty) {
+        CountChunk(ctx, /*pruned=*/true);
+        continue;
+      }
+    }
+    CountChunk(ctx, /*pruned=*/false);
+    // Iterate only the implied sub-box of the chunk; when the bounds fully
+    // capture the predicate, skip per-cell re-evaluation (data-agnostic
+    // fast path — the "opportunity for optimization" of §2.2.1).
+    Coordinates c = want.low;
+    do {
+      int64_t rank = RankInBox(chunk->box(), c);
+      if (!chunk->IsPresent(rank)) continue;
+      CountCells(ctx, 1);
+      if (!exact) {
+        coords = c;
+        ASSIGN_OR_RETURN(Value ok, pred->Eval(ectx));
+        if (!ok.is_bool() || !ok.bool_value()) continue;
+      }
+      Chunk* oc = out.GetOrCreateChunk(out.ChunkOriginFor(c));
+      int64_t orank = RankInBox(oc->box(), c);
+      for (size_t at = 0; at < chunk->nattrs(); ++at) {
+        oc->block(at).Set(orank, chunk->block(at).Get(rank));
+      }
+      oc->MarkPresent(orank);
+    } while (NextInBox(want, &c));
+  }
+  return out;
+}
+
+bool Exists(const MemArray& a, const Coordinates& c) { return a.Exists(c); }
+
+// --------------------------------------------------------------- Reshape
+
+Result<MemArray> Reshape(const ExecContext& ctx, const MemArray& a,
+                         const std::vector<std::string>& dim_order,
+                         std::vector<DimensionDesc> new_dims) {
+  (void)ctx;
+  const ArraySchema& schema = a.schema();
+  if (dim_order.size() != schema.ndims()) {
+    return Status::Invalid("Reshape: dim_order must list all " +
+                           std::to_string(schema.ndims()) + " dimensions");
+  }
+  ASSIGN_OR_RETURN(Box in_box, schema.Bounds());
+
+  // Permuted box following dim_order (first listed iterates slowest).
+  std::vector<size_t> perm(dim_order.size());
+  std::set<size_t> used;
+  for (size_t i = 0; i < dim_order.size(); ++i) {
+    ASSIGN_OR_RETURN(size_t di, schema.DimIndex(dim_order[i]));
+    if (!used.insert(di).second) {
+      return Status::Invalid("Reshape: duplicate dimension '" +
+                             dim_order[i] + "'");
+    }
+    perm[i] = di;
+  }
+
+  ArraySchema out_schema(schema.name() + "_reshape", std::move(new_dims),
+                         schema.attrs());
+  RETURN_NOT_OK(out_schema.Validate());
+  ASSIGN_OR_RETURN(Box out_box, out_schema.Bounds());
+  if (out_box.CellCount() != in_box.CellCount()) {
+    return Status::Invalid(
+        "Reshape: cell count mismatch (" +
+        std::to_string(in_box.CellCount()) + " vs " +
+        std::to_string(out_box.CellCount()) + ")");
+  }
+
+  Box perm_box;
+  for (size_t i = 0; i < perm.size(); ++i) {
+    perm_box.low.push_back(in_box.low[perm[i]]);
+    perm_box.high.push_back(in_box.high[perm[i]]);
+  }
+
+  MemArray out(out_schema);
+  Coordinates pc(perm.size());
+  std::vector<Value> cell;
+  bool failed = false;
+  Status st;
+  a.ForEachCell([&](const Coordinates& c, const Chunk& chunk, int64_t rank) {
+    // Linear index under the requested iteration order.
+    for (size_t i = 0; i < perm.size(); ++i) pc[i] = c[perm[i]];
+    int64_t lin = RankInBox(perm_box, pc);
+    Coordinates oc = UnrankInBox(out_box, lin);
+    cell.clear();
+    for (size_t at = 0; at < chunk.nattrs(); ++at) {
+      cell.push_back(chunk.block(at).Get(rank));
+    }
+    st = out.SetCell(oc, cell);
+    if (!st.ok()) {
+      failed = true;
+      return false;
+    }
+    return true;
+  });
+  if (failed) return st;
+  return out;
+}
+
+// ----------------------------------------------------------------- Sjoin
+
+Result<MemArray> Sjoin(
+    const ExecContext& ctx, const MemArray& a, const MemArray& b,
+    const std::vector<std::pair<std::string, std::string>>& dim_pairs) {
+  (void)ctx;
+  if (dim_pairs.empty()) {
+    return Status::Invalid("Sjoin: need at least one dimension pair");
+  }
+  const ArraySchema& sa = a.schema();
+  const ArraySchema& sb = b.schema();
+
+  std::vector<size_t> a_join, b_join;
+  std::set<size_t> a_seen, b_seen;
+  for (const auto& [an, bn] : dim_pairs) {
+    ASSIGN_OR_RETURN(size_t ai, sa.DimIndex(an));
+    ASSIGN_OR_RETURN(size_t bi, sb.DimIndex(bn));
+    if (!a_seen.insert(ai).second || !b_seen.insert(bi).second) {
+      return Status::Invalid("Sjoin: dimension used twice in join predicate");
+    }
+    a_join.push_back(ai);
+    b_join.push_back(bi);
+  }
+
+  // Output: all of A's dims, then B's un-joined dims.
+  std::vector<DimensionDesc> out_dims = sa.dims();
+  std::vector<size_t> b_free;
+  for (size_t d = 0; d < sb.ndims(); ++d) {
+    if (!b_seen.count(d)) {
+      b_free.push_back(d);
+      DimensionDesc dd = sb.dim(d);
+      // Rename on collision with any A dim.
+      while (sa.DimIndex(dd.name).ok()) dd.name += "_2";
+      out_dims.push_back(dd);
+    }
+  }
+  ArraySchema out_schema(sa.name() + "_sjoin", std::move(out_dims),
+                         MergeAttrs(sa.attrs(), sb.attrs()));
+  MemArray out(out_schema);
+
+  // Hash B's present cells by their joined-dimension values.
+  std::map<Coordinates, std::vector<std::pair<const Chunk*, int64_t>>>
+      b_index;
+  b.ForEachCell([&](const Coordinates& c, const Chunk& chunk, int64_t rank) {
+    Coordinates key(b_join.size());
+    for (size_t i = 0; i < b_join.size(); ++i) key[i] = c[b_join[i]];
+    b_index[key].push_back({&chunk, rank});
+    return true;
+  });
+
+  Status st;
+  bool failed = false;
+  std::vector<Value> cell;
+  a.ForEachCell([&](const Coordinates& ca, const Chunk& ach, int64_t arank) {
+    Coordinates key(a_join.size());
+    for (size_t i = 0; i < a_join.size(); ++i) key[i] = ca[a_join[i]];
+    auto it = b_index.find(key);
+    if (it == b_index.end()) return true;
+    for (const auto& [bch, brank] : it->second) {
+      Coordinates cb = UnrankInBox(bch->box(), brank);
+      Coordinates oc = ca;
+      for (size_t f : b_free) oc.push_back(cb[f]);
+      cell.clear();
+      for (size_t at = 0; at < ach.nattrs(); ++at) {
+        cell.push_back(ach.block(at).Get(arank));
+      }
+      for (size_t at = 0; at < bch->nattrs(); ++at) {
+        cell.push_back(bch->block(at).Get(brank));
+      }
+      st = out.SetCell(oc, cell);
+      if (!st.ok()) {
+        failed = true;
+        return false;
+      }
+    }
+    return true;
+  });
+  if (failed) return st;
+  return out;
+}
+
+// ---------------------------------------------------- Add/RemoveDimension
+
+Result<MemArray> AddDimension(const ExecContext& ctx, const MemArray& a,
+                              const std::string& name) {
+  (void)ctx;
+  if (a.schema().DimIndex(name).ok() || a.schema().AttrIndex(name).ok()) {
+    return Status::Invalid("AddDimension: name '" + name +
+                           "' already in use");
+  }
+  std::vector<DimensionDesc> dims = a.schema().dims();
+  dims.push_back({name, 1, 1, 1});
+  ArraySchema out_schema(a.schema().name() + "_adddim", std::move(dims),
+                         a.schema().attrs());
+  MemArray out(out_schema);
+  Status st;
+  bool failed = false;
+  std::vector<Value> cell;
+  a.ForEachCell([&](const Coordinates& c, const Chunk& chunk, int64_t rank) {
+    Coordinates oc = c;
+    oc.push_back(1);
+    cell.clear();
+    for (size_t at = 0; at < chunk.nattrs(); ++at) {
+      cell.push_back(chunk.block(at).Get(rank));
+    }
+    st = out.SetCell(oc, cell);
+    if (!st.ok()) {
+      failed = true;
+      return false;
+    }
+    return true;
+  });
+  if (failed) return st;
+  return out;
+}
+
+Result<MemArray> RemoveDimension(const ExecContext& ctx, const MemArray& a,
+                                 const std::string& name) {
+  (void)ctx;
+  ASSIGN_OR_RETURN(size_t di, a.schema().DimIndex(name));
+  if (a.schema().ndims() == 1) {
+    return Status::Invalid("RemoveDimension: cannot remove the only "
+                           "dimension");
+  }
+  std::vector<DimensionDesc> dims;
+  for (size_t d = 0; d < a.schema().ndims(); ++d) {
+    if (d != di) dims.push_back(a.schema().dim(d));
+  }
+  ArraySchema out_schema(a.schema().name() + "_rmdim", std::move(dims),
+                         a.schema().attrs());
+  MemArray out(out_schema);
+  Status st;
+  bool failed = false;
+  std::vector<Value> cell;
+  a.ForEachCell([&](const Coordinates& c, const Chunk& chunk, int64_t rank) {
+    Coordinates oc;
+    oc.reserve(c.size() - 1);
+    for (size_t d = 0; d < c.size(); ++d) {
+      if (d != di) oc.push_back(c[d]);
+    }
+    if (out.Exists(oc)) {
+      st = Status::Invalid(
+          "RemoveDimension: removing '" + name +
+          "' collapses distinct cells onto " + CoordsToString(oc));
+      failed = true;
+      return false;
+    }
+    cell.clear();
+    for (size_t at = 0; at < chunk.nattrs(); ++at) {
+      cell.push_back(chunk.block(at).Get(rank));
+    }
+    st = out.SetCell(oc, cell);
+    if (!st.ok()) {
+      failed = true;
+      return false;
+    }
+    return true;
+  });
+  if (failed) return st;
+  return out;
+}
+
+// ---------------------------------------------------------------- Concat
+
+Result<MemArray> Concat(const ExecContext& ctx, const MemArray& a,
+                        const MemArray& b, const std::string& dim) {
+  (void)ctx;
+  const ArraySchema& sa = a.schema();
+  const ArraySchema& sb = b.schema();
+  if (!(sa == sb)) {
+    return Status::Invalid("Concat: array schemas must match");
+  }
+  ASSIGN_OR_RETURN(size_t di, sa.DimIndex(dim));
+
+  // B is shifted to start right after A's extent along `dim`.
+  ASSIGN_OR_RETURN(Box a_bounds, sa.Bounds());
+  int64_t shift = a_bounds.high[di] + 1 - sb.dim(di).low;
+
+  std::vector<DimensionDesc> dims = sa.dims();
+  if (sb.dim(di).unbounded()) {
+    dims[di].high = kUnboundedDim;
+  } else {
+    dims[di].high = a_bounds.high[di] + sb.dim(di).extent();
+  }
+  ArraySchema out_schema(sa.name() + "_concat", std::move(dims), sa.attrs());
+  MemArray out(out_schema);
+
+  Status st;
+  bool failed = false;
+  std::vector<Value> cell;
+  auto copy_all = [&](const MemArray& src, int64_t delta) {
+    src.ForEachCell(
+        [&](const Coordinates& c, const Chunk& chunk, int64_t rank) {
+          Coordinates oc = c;
+          oc[di] += delta;
+          cell.clear();
+          for (size_t at = 0; at < chunk.nattrs(); ++at) {
+            cell.push_back(chunk.block(at).Get(rank));
+          }
+          st = out.SetCell(oc, cell);
+          if (!st.ok()) {
+            failed = true;
+            return false;
+          }
+          return true;
+        });
+  };
+  copy_all(a, 0);
+  if (!failed) copy_all(b, shift);
+  if (failed) return st;
+  return out;
+}
+
+// ---------------------------------------------------------- CrossProduct
+
+Result<MemArray> CrossProduct(const ExecContext& ctx, const MemArray& a,
+                              const MemArray& b) {
+  (void)ctx;
+  const ArraySchema& sa = a.schema();
+  const ArraySchema& sb = b.schema();
+  std::vector<DimensionDesc> dims = sa.dims();
+  for (DimensionDesc d : sb.dims()) {
+    while (sa.DimIndex(d.name).ok()) d.name += "_2";
+    dims.push_back(std::move(d));
+  }
+  ArraySchema out_schema(sa.name() + "_cross", std::move(dims),
+                         MergeAttrs(sa.attrs(), sb.attrs()));
+  MemArray out(out_schema);
+
+  Status st;
+  bool failed = false;
+  std::vector<Value> cell;
+  a.ForEachCell([&](const Coordinates& ca, const Chunk& ach, int64_t ar) {
+    b.ForEachCell([&](const Coordinates& cb, const Chunk& bch, int64_t br) {
+      Coordinates oc = ca;
+      oc.insert(oc.end(), cb.begin(), cb.end());
+      cell.clear();
+      for (size_t at = 0; at < ach.nattrs(); ++at) {
+        cell.push_back(ach.block(at).Get(ar));
+      }
+      for (size_t at = 0; at < bch.nattrs(); ++at) {
+        cell.push_back(bch.block(at).Get(br));
+      }
+      st = out.SetCell(oc, cell);
+      if (!st.ok()) {
+        failed = true;
+        return false;
+      }
+      return true;
+    });
+    return !failed;
+  });
+  if (failed) return st;
+  return out;
+}
+
+}  // namespace scidb

@@ -1,0 +1,73 @@
+#include "common/macros.h"
+#include "exec/operators.h"
+
+namespace scidb {
+
+Result<MemArray> WindowAggregate(const ExecContext& ctx, const MemArray& a,
+                                 const std::vector<int64_t>& radii,
+                                 const std::string& agg,
+                                 const std::string& attr) {
+  if (ctx.aggregates == nullptr) {
+    return Status::Internal("WindowAggregate: no aggregate registry bound");
+  }
+  const ArraySchema& schema = a.schema();
+  if (radii.size() != schema.ndims()) {
+    return Status::Invalid("WindowAggregate: need one radius per dimension");
+  }
+  for (int64_t r : radii) {
+    if (r < 0) return Status::Invalid("WindowAggregate: negative radius");
+  }
+  ASSIGN_OR_RETURN(const AggregateFunction* afn, ctx.aggregates->Find(agg));
+  size_t attr_idx = 0;
+  if (attr != "*") {
+    ASSIGN_OR_RETURN(attr_idx, schema.AttrIndex(attr));
+  }
+
+  ArraySchema out_schema(schema.name() + "_window", schema.dims(),
+                         {AggOutputAttr(agg)});
+  MemArray out(out_schema);
+
+  // For each present cell, accumulate over the window box. The window is
+  // evaluated via chunk-local random access: cost O(cells * window).
+  // (A production engine would slide partial aggregates; the separable
+  // optimization is noted in DESIGN.md §5 and benchmarked as-is.)
+  Status st;
+  bool failed = false;
+  a.ForEachCell([&](const Coordinates& c, const Chunk&, int64_t) {
+    if (ctx.stats != nullptr) ++ctx.stats->cells_visited;
+    Box window;
+    window.low.resize(c.size());
+    window.high.resize(c.size());
+    for (size_t d = 0; d < c.size(); ++d) {
+      window.low[d] = c[d] - radii[d];
+      window.high[d] = c[d] + radii[d];
+      // Clip to declared bounds so probes stay in-range.
+      window.low[d] = std::max(window.low[d], schema.dim(d).low);
+      if (!schema.dim(d).unbounded()) {
+        window.high[d] = std::min(window.high[d], schema.dim(d).high);
+      }
+    }
+    auto state = afn->NewState();
+    Coordinates probe = window.low;
+    do {
+      auto cell = a.GetCell(probe);
+      if (cell.has_value()) {
+        st = state->Accumulate((*cell)[attr_idx]);
+        if (!st.ok()) {
+          failed = true;
+          return false;
+        }
+      }
+    } while (NextInBox(window, &probe));
+    st = out.SetCell(c, state->Finalize());
+    if (!st.ok()) {
+      failed = true;
+      return false;
+    }
+    return true;
+  });
+  if (failed) return st;
+  return out;
+}
+
+}  // namespace scidb

@@ -1,0 +1,88 @@
+#include "grid/auto_designer.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace scidb {
+
+AutoDesigner::AutoDesigner(Box domain, size_t split_dim, int num_nodes)
+    : domain_(std::move(domain)), split_dim_(split_dim),
+      num_nodes_(num_nodes) {
+  SCIDB_CHECK(split_dim_ < domain_.ndims());
+  SCIDB_CHECK(num_nodes_ >= 1);
+  int64_t extent =
+      domain_.high[split_dim_] - domain_.low[split_dim_] + 1;
+  histogram_.assign(static_cast<size_t>(extent), 0.0);
+}
+
+void AutoDesigner::Observe(const WorkloadAccess& access) {
+  if (access.region.ndims() != domain_.ndims()) return;
+  int64_t lo = std::max(access.region.low[split_dim_],
+                        domain_.low[split_dim_]);
+  int64_t hi = std::min(access.region.high[split_dim_],
+                        domain_.high[split_dim_]);
+  for (int64_t c = lo; c <= hi; ++c) {
+    histogram_[static_cast<size_t>(c - domain_.low[split_dim_])] +=
+        access.weight;
+  }
+  ++observed_;
+}
+
+void AutoDesigner::ObserveAll(const std::vector<WorkloadAccess>& accesses) {
+  for (const auto& a : accesses) Observe(a);
+}
+
+Result<std::shared_ptr<RangePartitioner>> AutoDesigner::Design() const {
+  int64_t extent = static_cast<int64_t>(histogram_.size());
+  std::vector<int64_t> boundaries;
+  double total = 0;
+  for (double w : histogram_) total += w;
+
+  if (total == 0) {
+    // No workload: uniform split.
+    for (int i = 1; i < num_nodes_; ++i) {
+      boundaries.push_back(domain_.low[split_dim_] +
+                           i * extent / num_nodes_);
+    }
+    return std::make_shared<RangePartitioner>(split_dim_,
+                                              std::move(boundaries));
+  }
+
+  // Equal-weight split points.
+  double per_node = total / num_nodes_;
+  double acc = 0;
+  int next = 1;
+  for (int64_t c = 0; c < extent && next < num_nodes_; ++c) {
+    acc += histogram_[static_cast<size_t>(c)];
+    if (acc >= per_node * next) {
+      boundaries.push_back(domain_.low[split_dim_] + c + 1);
+      ++next;
+    }
+  }
+  // Degenerate workloads (all weight in one spot) may yield fewer split
+  // points; pad with the domain end (empty trailing nodes).
+  while (static_cast<int>(boundaries.size()) < num_nodes_ - 1) {
+    boundaries.push_back(domain_.high[split_dim_] + 1);
+  }
+  return std::make_shared<RangePartitioner>(split_dim_,
+                                            std::move(boundaries));
+}
+
+double AutoDesigner::PredictedImbalance(const Partitioner& p) const {
+  std::vector<double> node_weight(static_cast<size_t>(p.num_nodes()), 0.0);
+  Coordinates probe(domain_.ndims());
+  for (size_t d = 0; d < domain_.ndims(); ++d) probe[d] = domain_.low[d];
+  double total = 0;
+  for (size_t i = 0; i < histogram_.size(); ++i) {
+    probe[split_dim_] = domain_.low[split_dim_] + static_cast<int64_t>(i);
+    int node = p.NodeFor(probe, 0);
+    node_weight[static_cast<size_t>(node)] += histogram_[i];
+    total += histogram_[i];
+  }
+  if (total == 0) return 1.0;
+  double max_w = *std::max_element(node_weight.begin(), node_weight.end());
+  return max_w / (total / p.num_nodes());
+}
+
+}  // namespace scidb

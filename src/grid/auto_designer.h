@@ -1,0 +1,54 @@
+#ifndef SCIDB_GRID_AUTO_DESIGNER_H_
+#define SCIDB_GRID_AUTO_DESIGNER_H_
+
+#include <memory>
+#include <vector>
+
+#include "array/coordinates.h"
+#include "common/result.h"
+#include "grid/partitioner.h"
+
+namespace scidb {
+
+// One observed access in the sample workload: a query touched `region`
+// with relative frequency `weight`.
+struct WorkloadAccess {
+  Box region;
+  double weight = 1.0;
+};
+
+// The automatic database designer (paper §2.7: "Like C-Store and H-store,
+// we plan an automatic data base designer which will use a sample
+// workload to do the partitioning. This designer can be run periodically
+// on the actual workload, and suggest modifications.").
+//
+// Given a sample workload it builds an access-weight histogram along one
+// dimension and picks range boundaries that equalize the per-node load.
+class AutoDesigner {
+ public:
+  AutoDesigner(Box domain, size_t split_dim, int num_nodes);
+
+  void Observe(const WorkloadAccess& access);
+  void ObserveAll(const std::vector<WorkloadAccess>& accesses);
+  size_t observed() const { return observed_; }
+
+  // Boundaries equalizing cumulative observed weight; falls back to
+  // uniform splitting when nothing was observed.
+  Result<std::shared_ptr<RangePartitioner>> Design() const;
+
+  // Expected load imbalance (max node weight / mean) of a candidate
+  // partitioner under the observed workload — lets callers decide whether
+  // a suggested repartitioning is worth the movement cost.
+  double PredictedImbalance(const Partitioner& p) const;
+
+ private:
+  Box domain_;
+  size_t split_dim_;
+  int num_nodes_;
+  size_t observed_ = 0;
+  std::vector<double> histogram_;  // weight per coordinate of split_dim_
+};
+
+}  // namespace scidb
+
+#endif  // SCIDB_GRID_AUTO_DESIGNER_H_

@@ -1,0 +1,98 @@
+#ifndef SCIDB_GRID_CLUSTER_H_
+#define SCIDB_GRID_CLUSTER_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "array/mem_array.h"
+#include "common/result.h"
+#include "exec/operators.h"
+#include "grid/partitioner.h"
+
+namespace scidb {
+
+// Per-node accounting of the simulated shared-nothing grid. The paper
+// reasons about load balance and data movement; these counters are what
+// EXP-PART reports.
+struct NodeStats {
+  int64_t cells_stored = 0;
+  int64_t bytes_stored = 0;
+  int64_t cells_scanned = 0;
+};
+
+// An array horizontally partitioned across the nodes of a simulated grid
+// (paper §2.7). Chunks are the unit of placement: each exec-grid chunk
+// goes to Partitioner::NodeFor(origin, load_time).
+class DistributedArray {
+ public:
+  DistributedArray(ArraySchema schema,
+                   std::shared_ptr<const Partitioner> partitioner);
+
+  const ArraySchema& schema() const { return schema_; }
+  const Partitioner& partitioner() const { return *partitioner_; }
+  std::shared_ptr<const Partitioner> partitioner_ptr() const {
+    return partitioner_;
+  }
+  int num_nodes() const { return partitioner_->num_nodes(); }
+  const MemArray& shard(int node) const { return shards_[node]; }
+  const std::vector<NodeStats>& node_stats() const { return stats_; }
+
+  // Loads every chunk of `source`, stamping the load epoch `time` (drives
+  // the adaptive time-split scheme).
+  Status Load(const MemArray& source, int64_t time);
+  Status SetCell(const Coordinates& c, const std::vector<Value>& values,
+                 int64_t time);
+
+  int64_t TotalCells() const;
+
+  // max(node cells) / mean(node cells) — 1.0 is perfect balance. The
+  // skew metric EXP-PART reports for fixed vs adaptive schemes.
+  double LoadImbalance() const;
+
+  // Re-partitions in place; returns the bytes that had to move between
+  // nodes (cells whose node assignment changed).
+  Result<int64_t> Repartition(std::shared_ptr<const Partitioner> to,
+                              int64_t time);
+
+  // ---- parallel execution (one thread per node) ----
+
+  // Grand or grouped aggregate executed as per-node partials merged at
+  // the coordinator (AggregateState::Merge).
+  Result<MemArray> ParallelAggregate(const ExecContext& ctx,
+                                     const std::vector<std::string>& dims,
+                                     const std::string& agg,
+                                     const std::string& attr);
+
+  // Per-node Subsample; results are unioned (subsample commutes with
+  // partitioning).
+  Result<MemArray> ParallelSubsample(const ExecContext& ctx,
+                                     const ExprPtr& pred);
+
+  // Structural join with another distributed array. When the two arrays
+  // are co-partitioned the join runs node-locally and moves zero bytes;
+  // otherwise `other` is first re-partitioned to this array's scheme and
+  // the movement is reported in *bytes_moved.
+  Result<MemArray> ParallelSjoin(
+      const ExecContext& ctx, const DistributedArray& other,
+      const std::vector<std::pair<std::string, std::string>>& dim_pairs,
+      int64_t* bytes_moved);
+
+  // ---- uncertain-location replication (paper §2.13 / PanSTARRS) ----
+  // Replicates every cell whose position may fall in a neighboring
+  // partition (|coordinate - boundary| <= max_position_error along the
+  // range dimension) into that neighbor, so uncertain spatial joins can
+  // run without data movement. Only meaningful under a RangePartitioner.
+  // Returns the number of replicated cells.
+  Result<int64_t> ReplicateBoundaries(int64_t max_position_error);
+
+ private:
+  ArraySchema schema_;
+  std::shared_ptr<const Partitioner> partitioner_;
+  std::vector<MemArray> shards_;
+  std::vector<NodeStats> stats_;
+};
+
+}  // namespace scidb
+
+#endif  // SCIDB_GRID_CLUSTER_H_

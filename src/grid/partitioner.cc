@@ -1,0 +1,133 @@
+#include "grid/partitioner.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace scidb {
+
+// ------------------------------------------------------------ FixedGrid
+
+FixedGridPartitioner::FixedGridPartitioner(Box domain,
+                                           std::vector<int64_t> tiles)
+    : domain_(std::move(domain)), tiles_(std::move(tiles)) {
+  SCIDB_CHECK(tiles_.size() == domain_.ndims());
+  for (int64_t t : tiles_) SCIDB_CHECK(t >= 1);
+}
+
+int FixedGridPartitioner::num_nodes() const {
+  int64_t n = 1;
+  for (int64_t t : tiles_) n *= t;
+  return static_cast<int>(n);
+}
+
+int FixedGridPartitioner::NodeFor(const Coordinates& origin,
+                                  int64_t time) const {
+  (void)time;
+  int64_t node = 0;
+  for (size_t d = 0; d < tiles_.size(); ++d) {
+    int64_t extent = domain_.high[d] - domain_.low[d] + 1;
+    int64_t tile_size = (extent + tiles_[d] - 1) / tiles_[d];
+    int64_t off = std::clamp<int64_t>(origin[d] - domain_.low[d], 0,
+                                      extent - 1);
+    int64_t tile = off / tile_size;
+    node = node * tiles_[d] + tile;
+  }
+  return static_cast<int>(node);
+}
+
+bool FixedGridPartitioner::Equals(const Partitioner& other) const {
+  const auto* o = dynamic_cast<const FixedGridPartitioner*>(&other);
+  return o != nullptr && o->domain_ == domain_ && o->tiles_ == tiles_;
+}
+
+// ----------------------------------------------------------------- Hash
+
+HashPartitioner::HashPartitioner(int num_nodes) : n_(num_nodes) {
+  SCIDB_CHECK(num_nodes >= 1);
+}
+
+int HashPartitioner::NodeFor(const Coordinates& origin, int64_t time) const {
+  (void)time;
+  uint64_t h = 1469598103934665603ull;  // FNV-1a
+  for (int64_t c : origin) {
+    uint64_t x = static_cast<uint64_t>(c);
+    for (int b = 0; b < 8; ++b) {
+      h ^= (x >> (b * 8)) & 0xFF;
+      h *= 1099511628211ull;
+    }
+  }
+  // FNV's low bits are weak (they only see the input mod 2^k, and chunk
+  // origins are all congruent modulo the chunk interval); finish with a
+  // murmur3-style avalanche before reducing.
+  h ^= h >> 33;
+  h *= 0xFF51AFD7ED558CCDull;
+  h ^= h >> 33;
+  return static_cast<int>(h % static_cast<uint64_t>(n_));
+}
+
+bool HashPartitioner::Equals(const Partitioner& other) const {
+  const auto* o = dynamic_cast<const HashPartitioner*>(&other);
+  return o != nullptr && o->n_ == n_;
+}
+
+// ---------------------------------------------------------------- Range
+
+RangePartitioner::RangePartitioner(size_t dim,
+                                   std::vector<int64_t> boundaries)
+    : dim_(dim), boundaries_(std::move(boundaries)) {
+  SCIDB_CHECK(std::is_sorted(boundaries_.begin(), boundaries_.end()));
+}
+
+int RangePartitioner::NodeFor(const Coordinates& origin,
+                              int64_t time) const {
+  (void)time;
+  SCIDB_DCHECK(dim_ < origin.size());
+  auto it = std::upper_bound(boundaries_.begin(), boundaries_.end(),
+                             origin[dim_]);
+  return static_cast<int>(it - boundaries_.begin());
+}
+
+bool RangePartitioner::Equals(const Partitioner& other) const {
+  const auto* o = dynamic_cast<const RangePartitioner*>(&other);
+  return o != nullptr && o->dim_ == dim_ && o->boundaries_ == boundaries_;
+}
+
+// ------------------------------------------------------------ TimeSplit
+
+TimeSplitPartitioner::TimeSplitPartitioner(std::vector<Epoch> epochs)
+    : epochs_(std::move(epochs)) {
+  SCIDB_CHECK(!epochs_.empty());
+  for (size_t i = 1; i < epochs_.size(); ++i) {
+    SCIDB_CHECK(epochs_[i].until > epochs_[i - 1].until);
+  }
+  for (const auto& e : epochs_) SCIDB_CHECK(e.scheme != nullptr);
+}
+
+int TimeSplitPartitioner::num_nodes() const {
+  int n = 0;
+  for (const auto& e : epochs_) n = std::max(n, e.scheme->num_nodes());
+  return n;
+}
+
+int TimeSplitPartitioner::NodeFor(const Coordinates& origin,
+                                  int64_t time) const {
+  for (const auto& e : epochs_) {
+    if (time < e.until) return e.scheme->NodeFor(origin, time);
+  }
+  return epochs_.back().scheme->NodeFor(origin, time);
+}
+
+bool TimeSplitPartitioner::Equals(const Partitioner& other) const {
+  const auto* o = dynamic_cast<const TimeSplitPartitioner*>(&other);
+  if (o == nullptr || o->epochs_.size() != epochs_.size()) return false;
+  for (size_t i = 0; i < epochs_.size(); ++i) {
+    if (o->epochs_[i].until != epochs_[i].until ||
+        !o->epochs_[i].scheme->Equals(*epochs_[i].scheme)) {
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace scidb

@@ -1,0 +1,115 @@
+#ifndef SCIDB_GRID_PARTITIONER_H_
+#define SCIDB_GRID_PARTITIONER_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "array/coordinates.h"
+#include "array/schema.h"
+#include "common/result.h"
+
+namespace scidb {
+
+// Maps a chunk (by its origin) to a node of the shared-nothing grid
+// (paper §2.7). `time` threads through so the adaptive time-split scheme
+// can route by load epoch; stationary partitioners ignore it.
+class Partitioner {
+ public:
+  virtual ~Partitioner() = default;
+  virtual const std::string& name() const = 0;
+  virtual int num_nodes() const = 0;
+  virtual int NodeFor(const Coordinates& chunk_origin, int64_t time) const = 0;
+
+  // Two arrays partitioned by Equals()-equal partitioners are
+  // co-partitioned: joins on the common coordinate system need no data
+  // movement (paper: "the co-partitioning of multiple arrays with a
+  // common co-ordinate system").
+  virtual bool Equals(const Partitioner& other) const = 0;
+};
+
+// Fixed spatial grid: the bounding box is cut into a `tiles[d]` grid per
+// dimension; product(tiles) == num_nodes. The paper's choice for whole-sky
+// surveys and satellite imagery.
+class FixedGridPartitioner : public Partitioner {
+ public:
+  FixedGridPartitioner(Box domain, std::vector<int64_t> tiles);
+
+  const std::string& name() const override { return name_; }
+  int num_nodes() const override;
+  int NodeFor(const Coordinates& origin, int64_t time) const override;
+  bool Equals(const Partitioner& other) const override;
+
+ private:
+  std::string name_ = "fixed_grid";
+  Box domain_;
+  std::vector<int64_t> tiles_;
+};
+
+// Hash of the chunk origin — Gamma-style hash partitioning. Balances
+// storage regardless of skew, at the price of destroying locality.
+class HashPartitioner : public Partitioner {
+ public:
+  explicit HashPartitioner(int num_nodes);
+
+  const std::string& name() const override { return name_; }
+  int num_nodes() const override { return n_; }
+  int NodeFor(const Coordinates& origin, int64_t time) const override;
+  bool Equals(const Partitioner& other) const override;
+
+ private:
+  std::string name_ = "hash";
+  int n_;
+};
+
+// Range partitioning along one dimension: node i owns origins with
+// coordinate in [boundaries[i-1], boundaries[i]). Gamma-style range
+// partitioning; the automatic designer emits these.
+class RangePartitioner : public Partitioner {
+ public:
+  // `boundaries` has num_nodes - 1 ascending split points.
+  RangePartitioner(size_t dim, std::vector<int64_t> boundaries);
+
+  const std::string& name() const override { return name_; }
+  int num_nodes() const override {
+    return static_cast<int>(boundaries_.size()) + 1;
+  }
+  int NodeFor(const Coordinates& origin, int64_t time) const override;
+  bool Equals(const Partitioner& other) const override;
+
+  size_t dim() const { return dim_; }
+  const std::vector<int64_t>& boundaries() const { return boundaries_; }
+
+ private:
+  std::string name_ = "range";
+  size_t dim_;
+  std::vector<int64_t> boundaries_;
+};
+
+// Adaptive, time-split partitioning (paper §2.7: "a first partitioning
+// scheme is used for time less than T and a second partitioning scheme
+// for time > T"). Epochs are (threshold, scheme) pairs; a chunk written at
+// time t uses the first epoch whose threshold exceeds t.
+class TimeSplitPartitioner : public Partitioner {
+ public:
+  struct Epoch {
+    int64_t until;  // exclusive upper bound on time; INT64_MAX for last
+    std::shared_ptr<const Partitioner> scheme;
+  };
+  explicit TimeSplitPartitioner(std::vector<Epoch> epochs);
+
+  const std::string& name() const override { return name_; }
+  int num_nodes() const override;
+  int NodeFor(const Coordinates& origin, int64_t time) const override;
+  bool Equals(const Partitioner& other) const override;
+
+  size_t num_epochs() const { return epochs_.size(); }
+
+ private:
+  std::string name_ = "time_split";
+  std::vector<Epoch> epochs_;
+};
+
+}  // namespace scidb
+
+#endif  // SCIDB_GRID_PARTITIONER_H_

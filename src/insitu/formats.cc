@@ -1,0 +1,439 @@
+#include "insitu/formats.h"
+
+#include <fstream>
+
+#include "common/byte_io.h"
+#include "common/macros.h"
+#include "storage/chunk_serde.h"
+
+namespace scidb {
+
+namespace {
+
+constexpr uint32_t kSdbMagic = 0x53444246;  // "SDBF"
+constexpr uint32_t kH5Magic = 0x53483546;   // "SH5F"
+constexpr uint32_t kNcMagic = 0x534E4346;   // "SNCF"
+
+Status WriteFile(const std::string& path, const std::vector<uint8_t>& bytes) {
+  std::ofstream f(path, std::ios::binary | std::ios::trunc);
+  if (!f) return Status::IOError("cannot open " + path + " for writing");
+  f.write(reinterpret_cast<const char*>(bytes.data()),
+          static_cast<std::streamsize>(bytes.size()));
+  if (!f) return Status::IOError("short write to " + path);
+  return Status::OK();
+}
+
+Result<std::vector<uint8_t>> ReadWholeFile(const std::string& path) {
+  std::ifstream f(path, std::ios::binary);
+  if (!f) return Status::IOError("cannot open " + path);
+  std::vector<uint8_t> bytes((std::istreambuf_iterator<char>(f)),
+                             std::istreambuf_iterator<char>());
+  return bytes;
+}
+
+void WriteSchemaTo(ByteWriter* w, const ArraySchema& s) {
+  w->PutString(s.name());
+  w->PutVarint(s.ndims());
+  for (const auto& d : s.dims()) {
+    w->PutString(d.name);
+    w->PutSignedVarint(d.low);
+    w->PutSignedVarint(d.high);
+    w->PutSignedVarint(d.chunk_interval);
+  }
+  w->PutVarint(s.nattrs());
+  for (const auto& a : s.attrs()) {
+    w->PutString(a.name);
+    w->PutU8(static_cast<uint8_t>(a.type));
+    w->PutU8(a.uncertain ? 1 : 0);
+  }
+}
+
+Result<ArraySchema> ReadSchemaFrom(ByteReader* r) {
+  ASSIGN_OR_RETURN(std::string name, r->GetString());
+  ASSIGN_OR_RETURN(uint64_t ndims, r->GetVarint());
+  std::vector<DimensionDesc> dims;
+  for (uint64_t i = 0; i < ndims; ++i) {
+    DimensionDesc d;
+    ASSIGN_OR_RETURN(d.name, r->GetString());
+    ASSIGN_OR_RETURN(d.low, r->GetSignedVarint());
+    ASSIGN_OR_RETURN(d.high, r->GetSignedVarint());
+    ASSIGN_OR_RETURN(d.chunk_interval, r->GetSignedVarint());
+    dims.push_back(std::move(d));
+  }
+  ASSIGN_OR_RETURN(uint64_t nattrs, r->GetVarint());
+  std::vector<AttributeDesc> attrs;
+  for (uint64_t i = 0; i < nattrs; ++i) {
+    AttributeDesc a;
+    ASSIGN_OR_RETURN(a.name, r->GetString());
+    ASSIGN_OR_RETURN(uint8_t t, r->GetU8());
+    a.type = static_cast<DataType>(t);
+    ASSIGN_OR_RETURN(uint8_t unc, r->GetU8());
+    a.uncertain = unc != 0;
+    attrs.push_back(std::move(a));
+  }
+  return ArraySchema(std::move(name), std::move(dims), std::move(attrs));
+}
+
+}  // namespace
+
+Result<MemArray> ExternalArraySource::ReadAll() const {
+  ASSIGN_OR_RETURN(Box bounds, schema().Bounds());
+  return ReadRegion(bounds);
+}
+
+// --------------------------------------------------------------- .sdb
+
+Status WriteSciDbFile(const std::string& path, const MemArray& array,
+                      CodecType codec) {
+  // Serialize all chunks first so directory offsets are known.
+  struct Entry {
+    Box box;
+    std::vector<uint8_t> payload;
+  };
+  std::vector<Entry> entries;
+  for (const auto& [origin, chunk] : array.chunks()) {
+    if (chunk->present_count() == 0) continue;
+    entries.push_back({chunk->box(), Compress(codec, SerializeChunk(*chunk))});
+  }
+
+  ByteWriter header;
+  header.PutU32(kSdbMagic);
+  WriteSchemaTo(&header, array.schema());
+  header.PutVarint(entries.size());
+  // Directory sizes depend on offsets which depend on header size; write
+  // the directory with placeholder-free two-pass sizing: first compute
+  // directory bytes with offsets = 0 widths... simpler: use fixed-width
+  // offsets.
+  // Compute payload base = header bytes + directory bytes (fixed-width).
+  size_t dir_bytes = 0;
+  for (const auto& e : entries) {
+    dir_bytes += 8;  // ndims as u64? use varint-free fixed encoding below
+    dir_bytes += e.box.ndims() * 16;
+    dir_bytes += 16;  // offset + size
+  }
+  uint64_t base = header.size() + dir_bytes;
+  uint64_t off = base;
+  ByteWriter dir;
+  for (const auto& e : entries) {
+    dir.PutU64(e.box.ndims());
+    for (size_t d = 0; d < e.box.ndims(); ++d) {
+      dir.PutI64(e.box.low[d]);
+      dir.PutI64(e.box.high[d]);
+    }
+    dir.PutU64(off);
+    dir.PutU64(e.payload.size());
+    off += e.payload.size();
+  }
+
+  std::vector<uint8_t> bytes = header.Release();
+  const auto& dbytes = dir.data();
+  bytes.insert(bytes.end(), dbytes.begin(), dbytes.end());
+  for (const auto& e : entries) {
+    bytes.insert(bytes.end(), e.payload.begin(), e.payload.end());
+  }
+  return WriteFile(path, bytes);
+}
+
+Result<std::unique_ptr<SciDbFile>> SciDbFile::Open(const std::string& path) {
+  auto file = std::unique_ptr<SciDbFile>(new SciDbFile());
+  file->path_ = path;
+  // Only the header + directory are read at open; payloads stay on disk.
+  std::ifstream f(path, std::ios::binary);
+  if (!f) return Status::IOError("cannot open " + path);
+  std::vector<uint8_t> head(64 * 1024);
+  f.read(reinterpret_cast<char*>(head.data()),
+         static_cast<std::streamsize>(head.size()));
+  head.resize(static_cast<size_t>(f.gcount()));
+
+  ByteReader r(head);
+  ASSIGN_OR_RETURN(uint32_t magic, r.GetU32());
+  if (magic != kSdbMagic) {
+    return Status::Corruption(path + " is not a SciDB file");
+  }
+  ASSIGN_OR_RETURN(file->schema_, ReadSchemaFrom(&r));
+  ASSIGN_OR_RETURN(uint64_t n, r.GetVarint());
+  for (uint64_t i = 0; i < n; ++i) {
+    DirEntry e;
+    ASSIGN_OR_RETURN(uint64_t ndims, r.GetU64());
+    e.box.low.resize(ndims);
+    e.box.high.resize(ndims);
+    for (uint64_t d = 0; d < ndims; ++d) {
+      ASSIGN_OR_RETURN(e.box.low[d], r.GetI64());
+      ASSIGN_OR_RETURN(e.box.high[d], r.GetI64());
+    }
+    ASSIGN_OR_RETURN(e.offset, r.GetU64());
+    ASSIGN_OR_RETURN(e.size, r.GetU64());
+    file->directory_.push_back(std::move(e));
+  }
+  return file;
+}
+
+Result<MemArray> SciDbFile::ReadRegion(const Box& region) const {
+  MemArray out(schema_);
+  std::ifstream f(path_, std::ios::binary);
+  if (!f) return Status::IOError("cannot open " + path_);
+  std::vector<Value> cell;
+  for (const DirEntry& e : directory_) {
+    if (!e.box.Intersects(region)) continue;
+    std::vector<uint8_t> payload(e.size);
+    f.seekg(static_cast<std::streamoff>(e.offset));
+    f.read(reinterpret_cast<char*>(payload.data()),
+           static_cast<std::streamsize>(e.size));
+    if (!f) return Status::IOError("short read from " + path_);
+    bytes_read_ += static_cast<int64_t>(e.size);
+    ASSIGN_OR_RETURN(std::vector<uint8_t> raw, Decompress(payload));
+    ASSIGN_OR_RETURN(Chunk chunk, DeserializeChunk(raw, schema_.attrs()));
+    Box want = chunk.box().Intersect(region);
+    Coordinates c = want.low;
+    do {
+      int64_t rank = RankInBox(chunk.box(), c);
+      if (!chunk.IsPresent(rank)) continue;
+      cell.clear();
+      for (size_t a = 0; a < chunk.nattrs(); ++a) {
+        cell.push_back(chunk.block(a).Get(rank));
+      }
+      RETURN_NOT_OK(out.SetCell(c, cell));
+    } while (NextInBox(want, &c));
+  }
+  return out;
+}
+
+// ---------------------------------------------------------------- .sh5
+
+Status WriteH5File(const std::string& path,
+                   const std::vector<H5Dataset>& datasets) {
+  ByteWriter w;
+  w.PutU32(kH5Magic);
+  w.PutVarint(datasets.size());
+  for (const auto& ds : datasets) {
+    int64_t cells = 1;
+    for (int64_t s : ds.shape) cells *= s;
+    if (static_cast<size_t>(cells) != ds.data.size()) {
+      return Status::Invalid("dataset '" + ds.name +
+                             "': shape does not match data size");
+    }
+    if (ds.dim_names.size() != ds.shape.size()) {
+      return Status::Invalid("dataset '" + ds.name +
+                             "': dim_names/shape mismatch");
+    }
+    w.PutString(ds.name);
+    w.PutVarint(ds.shape.size());
+    for (size_t d = 0; d < ds.shape.size(); ++d) {
+      w.PutString(ds.dim_names[d]);
+      w.PutSignedVarint(ds.shape[d]);
+    }
+    for (double v : ds.data) w.PutDouble(v);
+  }
+  return WriteFile(path, w.Release());
+}
+
+Result<std::unique_ptr<H5File>> H5File::Open(const std::string& path) {
+  ASSIGN_OR_RETURN(std::vector<uint8_t> bytes, ReadWholeFile(path));
+  ByteReader r(bytes);
+  ASSIGN_OR_RETURN(uint32_t magic, r.GetU32());
+  if (magic != kH5Magic) {
+    return Status::Corruption(path + " is not an SH5 file");
+  }
+  auto file = std::unique_ptr<H5File>(new H5File());
+  ASSIGN_OR_RETURN(uint64_t n, r.GetVarint());
+  for (uint64_t i = 0; i < n; ++i) {
+    H5Dataset ds;
+    ASSIGN_OR_RETURN(ds.name, r.GetString());
+    ASSIGN_OR_RETURN(uint64_t ndims, r.GetVarint());
+    int64_t cells = 1;
+    for (uint64_t d = 0; d < ndims; ++d) {
+      std::string dim_name;
+      ASSIGN_OR_RETURN(dim_name, r.GetString());
+      int64_t len;
+      ASSIGN_OR_RETURN(len, r.GetSignedVarint());
+      if (len <= 0) return Status::Corruption("non-positive dataset extent");
+      ds.dim_names.push_back(std::move(dim_name));
+      ds.shape.push_back(len);
+      cells *= len;
+    }
+    ds.data.resize(static_cast<size_t>(cells));
+    for (auto& v : ds.data) {
+      ASSIGN_OR_RETURN(v, r.GetDouble());
+    }
+    file->datasets_.push_back(std::move(ds));
+  }
+  return file;
+}
+
+std::vector<std::string> H5File::DatasetNames() const {
+  std::vector<std::string> out;
+  for (const auto& ds : datasets_) out.push_back(ds.name);
+  return out;
+}
+
+Result<const H5Dataset*> H5File::Dataset(const std::string& name) const {
+  for (const auto& ds : datasets_) {
+    if (ds.name == name) return &ds;
+  }
+  return Status::NotFound("no dataset named '" + name + "'");
+}
+
+Result<std::unique_ptr<H5DatasetAdaptor>> H5DatasetAdaptor::Open(
+    const std::string& path, const std::string& dataset,
+    const std::string& array_name) {
+  ASSIGN_OR_RETURN(std::unique_ptr<H5File> file, H5File::Open(path));
+  ASSIGN_OR_RETURN(const H5Dataset* ds, file->Dataset(dataset));
+  auto adaptor = std::unique_ptr<H5DatasetAdaptor>(new H5DatasetAdaptor());
+  adaptor->dataset_ = *ds;
+  std::vector<DimensionDesc> dims;
+  for (size_t d = 0; d < ds->shape.size(); ++d) {
+    dims.push_back({ds->dim_names[d], 1, ds->shape[d],
+                    std::min<int64_t>(64, ds->shape[d])});
+  }
+  adaptor->schema_ = ArraySchema(
+      array_name, std::move(dims),
+      {{"value", DataType::kDouble, true, false}});
+  return adaptor;
+}
+
+Result<MemArray> H5DatasetAdaptor::ReadRegion(const Box& region) const {
+  if (region.ndims() != schema_.ndims()) {
+    return Status::Invalid("region arity mismatch");
+  }
+  ASSIGN_OR_RETURN(Box bounds, schema_.Bounds());
+  if (!bounds.Intersects(region)) return MemArray(schema_);
+  Box want = bounds.Intersect(region);
+  MemArray out(schema_);
+  Coordinates c = want.low;
+  do {
+    int64_t rank = RankInBox(bounds, c);
+    bytes_read_ += static_cast<int64_t>(sizeof(double));
+    RETURN_NOT_OK(out.SetCell(
+        c, Value(dataset_.data[static_cast<size_t>(rank)])));
+  } while (NextInBox(want, &c));
+  return out;
+}
+
+// ---------------------------------------------------------------- .snc
+
+Status WriteNcFile(const std::string& path, const NcFileContents& contents) {
+  ByteWriter w;
+  w.PutU32(kNcMagic);
+  w.PutVarint(contents.dimensions.size());
+  for (const auto& d : contents.dimensions) {
+    w.PutString(d.name);
+    w.PutSignedVarint(d.length);
+  }
+  w.PutVarint(contents.attributes.size());
+  for (const auto& [k, v] : contents.attributes) {
+    w.PutString(k);
+    w.PutString(v);
+  }
+  w.PutVarint(contents.variables.size());
+  for (const auto& v : contents.variables) {
+    int64_t cells = 1;
+    for (size_t id : v.dim_ids) {
+      if (id >= contents.dimensions.size()) {
+        return Status::Invalid("variable '" + v.name +
+                               "' references unknown dimension");
+      }
+      cells *= contents.dimensions[id].length;
+    }
+    if (static_cast<size_t>(cells) != v.data.size()) {
+      return Status::Invalid("variable '" + v.name +
+                             "': data size does not match dimensions");
+    }
+    w.PutString(v.name);
+    w.PutVarint(v.dim_ids.size());
+    for (size_t id : v.dim_ids) w.PutVarint(id);
+    for (double x : v.data) w.PutDouble(x);
+  }
+  return WriteFile(path, w.Release());
+}
+
+Result<NcFileContents> ReadNcFile(const std::string& path) {
+  ASSIGN_OR_RETURN(std::vector<uint8_t> bytes, ReadWholeFile(path));
+  ByteReader r(bytes);
+  ASSIGN_OR_RETURN(uint32_t magic, r.GetU32());
+  if (magic != kNcMagic) {
+    return Status::Corruption(path + " is not an SNC file");
+  }
+  NcFileContents out;
+  ASSIGN_OR_RETURN(uint64_t ndims, r.GetVarint());
+  for (uint64_t i = 0; i < ndims; ++i) {
+    NcDimension d;
+    ASSIGN_OR_RETURN(d.name, r.GetString());
+    ASSIGN_OR_RETURN(d.length, r.GetSignedVarint());
+    out.dimensions.push_back(std::move(d));
+  }
+  ASSIGN_OR_RETURN(uint64_t nattrs, r.GetVarint());
+  for (uint64_t i = 0; i < nattrs; ++i) {
+    ASSIGN_OR_RETURN(std::string k, r.GetString());
+    ASSIGN_OR_RETURN(std::string v, r.GetString());
+    out.attributes.emplace(std::move(k), std::move(v));
+  }
+  ASSIGN_OR_RETURN(uint64_t nvars, r.GetVarint());
+  for (uint64_t i = 0; i < nvars; ++i) {
+    NcVariable v;
+    ASSIGN_OR_RETURN(v.name, r.GetString());
+    ASSIGN_OR_RETURN(uint64_t nd, r.GetVarint());
+    int64_t cells = 1;
+    for (uint64_t d = 0; d < nd; ++d) {
+      ASSIGN_OR_RETURN(uint64_t id, r.GetVarint());
+      if (id >= out.dimensions.size()) {
+        return Status::Corruption("bad dimension id");
+      }
+      v.dim_ids.push_back(static_cast<size_t>(id));
+      cells *= out.dimensions[static_cast<size_t>(id)].length;
+    }
+    v.data.resize(static_cast<size_t>(cells));
+    for (auto& x : v.data) {
+      ASSIGN_OR_RETURN(x, r.GetDouble());
+    }
+    out.variables.push_back(std::move(v));
+  }
+  return out;
+}
+
+Result<std::unique_ptr<NcVariableAdaptor>> NcVariableAdaptor::Open(
+    const std::string& path, const std::string& variable,
+    const std::string& array_name) {
+  ASSIGN_OR_RETURN(NcFileContents contents, ReadNcFile(path));
+  const NcVariable* found = nullptr;
+  for (const auto& v : contents.variables) {
+    if (v.name == variable) {
+      found = &v;
+      break;
+    }
+  }
+  if (found == nullptr) {
+    return Status::NotFound("no variable named '" + variable + "'");
+  }
+  auto adaptor = std::unique_ptr<NcVariableAdaptor>(new NcVariableAdaptor());
+  adaptor->variable_ = *found;
+  std::vector<DimensionDesc> dims;
+  for (size_t id : found->dim_ids) {
+    const NcDimension& d = contents.dimensions[id];
+    adaptor->shape_.push_back(d.length);
+    dims.push_back({d.name, 1, d.length, std::min<int64_t>(64, d.length)});
+  }
+  adaptor->schema_ = ArraySchema(
+      array_name, std::move(dims),
+      {{"value", DataType::kDouble, true, false}});
+  return adaptor;
+}
+
+Result<MemArray> NcVariableAdaptor::ReadRegion(const Box& region) const {
+  if (region.ndims() != schema_.ndims()) {
+    return Status::Invalid("region arity mismatch");
+  }
+  ASSIGN_OR_RETURN(Box bounds, schema_.Bounds());
+  if (!bounds.Intersects(region)) return MemArray(schema_);
+  Box want = bounds.Intersect(region);
+  MemArray out(schema_);
+  Coordinates c = want.low;
+  do {
+    int64_t rank = RankInBox(bounds, c);
+    bytes_read_ += static_cast<int64_t>(sizeof(double));
+    RETURN_NOT_OK(out.SetCell(
+        c, Value(variable_.data[static_cast<size_t>(rank)])));
+  } while (NextInBox(want, &c));
+  return out;
+}
+
+}  // namespace scidb

@@ -1,0 +1,274 @@
+#include "provenance/provenance.h"
+
+#include <deque>
+
+#include "common/macros.h"
+
+namespace scidb {
+
+LineageFns CellwiseLineage(const std::string& input_array,
+                           const std::string& output_array) {
+  LineageFns fns;
+  fns.back = [input_array](const Coordinates& out) {
+    return std::vector<CellRef>{{input_array, out}};
+  };
+  fns.fwd = [output_array](const CellRef& in) {
+    return std::vector<CellRef>{{output_array, in.coords}};
+  };
+  return fns;
+}
+
+LineageFns RegridLineage(const std::string& input_array,
+                         const std::string& output_array,
+                         const ArraySchema& input_schema,
+                         std::vector<int64_t> factors) {
+  std::vector<int64_t> lows;
+  for (const auto& d : input_schema.dims()) lows.push_back(d.low);
+  LineageFns fns;
+  fns.back = [input_array, lows, factors](const Coordinates& out) {
+    // Output block g covers inputs [low + (g-low)*f, low + (g-low+1)*f - 1].
+    std::vector<CellRef> cells;
+    Box block;
+    block.low.resize(out.size());
+    block.high.resize(out.size());
+    for (size_t d = 0; d < out.size(); ++d) {
+      block.low[d] = lows[d] + (out[d] - lows[d]) * factors[d];
+      block.high[d] = block.low[d] + factors[d] - 1;
+    }
+    Coordinates c = block.low;
+    do {
+      cells.push_back({input_array, c});
+    } while (NextInBox(block, &c));
+    return cells;
+  };
+  fns.fwd = [output_array, lows, factors](const CellRef& in) {
+    Coordinates g(in.coords.size());
+    for (size_t d = 0; d < g.size(); ++d) {
+      g[d] = lows[d] + (in.coords[d] - lows[d]) / factors[d];
+    }
+    return std::vector<CellRef>{{output_array, g}};
+  };
+  return fns;
+}
+
+LineageFns AggregateLineage(const std::string& input_array,
+                            const std::string& output_array,
+                            std::shared_ptr<const MemArray> input,
+                            std::vector<size_t> group_dim_indices) {
+  LineageFns fns;
+  fns.back = [input_array, input, group_dim_indices](const Coordinates& out) {
+    std::vector<CellRef> cells;
+    input->ForEachCell(
+        [&](const Coordinates& c, const Chunk&, int64_t) {
+          for (size_t i = 0; i < group_dim_indices.size(); ++i) {
+            if (c[group_dim_indices[i]] != out[i]) return true;
+          }
+          cells.push_back({input_array, c});
+          return true;
+        });
+    return cells;
+  };
+  fns.fwd = [output_array, group_dim_indices](const CellRef& in) {
+    Coordinates g;
+    g.reserve(group_dim_indices.size());
+    for (size_t d : group_dim_indices) g.push_back(in.coords[d]);
+    return std::vector<CellRef>{{output_array, g}};
+  };
+  return fns;
+}
+
+int64_t ProvenanceLog::Record(LoggedCommand cmd) {
+  cmd.id = static_cast<int64_t>(log_.size()) + 1;
+  log_.push_back(std::move(cmd));
+  return log_.back().id;
+}
+
+Result<const LoggedCommand*> ProvenanceLog::Find(int64_t id) const {
+  if (id < 1 || id > static_cast<int64_t>(log_.size())) {
+    return Status::NotFound("no command with id " + std::to_string(id));
+  }
+  return &log_[static_cast<size_t>(id - 1)];
+}
+
+Result<std::vector<ProvenanceLog::BackStep>> ProvenanceLog::TraceBack(
+    const CellRef& d, int max_depth) const {
+  std::vector<BackStep> steps;
+  std::deque<CellRef> frontier{d};
+  std::set<CellRef> visited{d};
+  int depth = 0;
+  while (!frontier.empty() && depth < max_depth) {
+    std::deque<CellRef> next;
+    for (const CellRef& cell : frontier) {
+      // The command that produced this cell's array: the LAST log entry
+      // writing that array (update time identifies the producing command).
+      const LoggedCommand* producer = nullptr;
+      for (auto it = log_.rbegin(); it != log_.rend(); ++it) {
+        if (it->output == cell.array) {
+          producer = &*it;
+          break;
+        }
+      }
+      if (producer == nullptr) continue;  // source data — trace ends
+
+      std::vector<CellRef> contributors;
+      auto cached = back_cache_.find(producer->id);
+      if (cached != back_cache_.end()) {
+        auto hit = cached->second.find(cell.coords);
+        if (hit != cached->second.end()) contributors = hit->second;
+      } else if (producer->lineage.back) {
+        contributors = producer->lineage.back(cell.coords);
+      } else {
+        return Status::NotImplemented(
+            "command " + std::to_string(producer->id) +
+            " has no backward lineage (external program? check the "
+            "metadata repository)");
+      }
+      steps.push_back(BackStep{producer->id, contributors});
+      for (const CellRef& c : contributors) {
+        if (visited.insert(c).second) next.push_back(c);
+      }
+    }
+    frontier = std::move(next);
+    ++depth;
+  }
+  return steps;
+}
+
+Result<std::vector<CellRef>> ProvenanceLog::TraceForward(
+    const CellRef& d, int max_depth) const {
+  std::vector<CellRef> affected;
+  std::deque<CellRef> frontier{d};
+  std::set<CellRef> visited{d};
+  int depth = 0;
+  // "run subsequent commands in the provenance log in a modified form ...
+  // iterated forward until there is no further activity."
+  while (!frontier.empty() && depth < max_depth) {
+    std::deque<CellRef> next;
+    for (const CellRef& cell : frontier) {
+      for (const LoggedCommand& cmd : log_) {
+        bool consumes = false;
+        for (const std::string& in : cmd.inputs) {
+          if (in == cell.array) {
+            consumes = true;
+            break;
+          }
+        }
+        if (!consumes) continue;
+
+        std::vector<CellRef> outs;
+        auto cached = fwd_cache_.find(cmd.id);
+        if (cached != fwd_cache_.end()) {
+          auto hit = cached->second.find(cell);
+          if (hit != cached->second.end()) outs = hit->second;
+        } else if (cmd.lineage.fwd) {
+          outs = cmd.lineage.fwd(cell);
+        } else {
+          return Status::NotImplemented(
+              "command " + std::to_string(cmd.id) +
+              " has no forward lineage");
+        }
+        for (const CellRef& o : outs) {
+          if (visited.insert(o).second) {
+            affected.push_back(o);
+            next.push_back(o);
+          }
+        }
+      }
+    }
+    frontier = std::move(next);
+    ++depth;
+  }
+  return affected;
+}
+
+Status ProvenanceLog::CacheLineage(int64_t id,
+                                   const std::vector<Coordinates>& out_cells) {
+  ASSIGN_OR_RETURN(const LoggedCommand* cmd, Find(id));
+  if (!cmd->lineage.back) {
+    return Status::NotImplemented("command has no backward lineage to cache");
+  }
+  auto& back = back_cache_[id];
+  auto& fwd = fwd_cache_[id];
+  for (const Coordinates& out : out_cells) {
+    std::vector<CellRef> contributors = cmd->lineage.back(out);
+    for (const CellRef& c : contributors) {
+      fwd[c].push_back({cmd->output, out});
+    }
+    back[out] = std::move(contributors);
+  }
+  return Status::OK();
+}
+
+void ProvenanceLog::DropCache(int64_t id) {
+  back_cache_.erase(id);
+  fwd_cache_.erase(id);
+}
+
+size_t ProvenanceLog::CacheBytes() const {
+  size_t bytes = 0;
+  auto ref_bytes = [](const CellRef& r) {
+    return r.array.size() + r.coords.size() * sizeof(int64_t) +
+           sizeof(CellRef);
+  };
+  for (const auto& [id, m] : back_cache_) {
+    for (const auto& [out, cells] : m) {
+      bytes += out.size() * sizeof(int64_t);
+      for (const auto& c : cells) bytes += ref_bytes(c);
+    }
+  }
+  for (const auto& [id, m] : fwd_cache_) {
+    for (const auto& [in, cells] : m) {
+      bytes += ref_bytes(in);
+      for (const auto& c : cells) bytes += ref_bytes(c);
+    }
+  }
+  return bytes;
+}
+
+Result<MemArray> ProvenanceLog::Rerun(int64_t id) const {
+  ASSIGN_OR_RETURN(const LoggedCommand* cmd, Find(id));
+  if (!cmd->rerun) {
+    return Status::NotImplemented("command " + std::to_string(id) +
+                                  " is not re-runnable in-engine");
+  }
+  return cmd->rerun();
+}
+
+int64_t MetadataRepository::Record(ProgramRun run) {
+  run.id = static_cast<int64_t>(runs_.size()) + 1;
+  runs_.push_back(std::move(run));
+  return runs_.back().id;
+}
+
+Result<const MetadataRepository::ProgramRun*> MetadataRepository::Find(
+    int64_t id) const {
+  if (id < 1 || id > static_cast<int64_t>(runs_.size())) {
+    return Status::NotFound("no program run with id " + std::to_string(id));
+  }
+  return &runs_[static_cast<size_t>(id - 1)];
+}
+
+std::vector<const MetadataRepository::ProgramRun*>
+MetadataRepository::RunsProducing(const std::string& array) const {
+  std::vector<const ProgramRun*> out;
+  for (const auto& run : runs_) {
+    for (const auto& a : run.output_arrays) {
+      if (a == array) {
+        out.push_back(&run);
+        break;
+      }
+    }
+  }
+  return out;
+}
+
+std::vector<const MetadataRepository::ProgramRun*>
+MetadataRepository::RunsOfProgram(const std::string& program) const {
+  std::vector<const ProgramRun*> out;
+  for (const auto& run : runs_) {
+    if (run.program == program) out.push_back(&run);
+  }
+  return out;
+}
+
+}  // namespace scidb

@@ -1,0 +1,151 @@
+#ifndef SCIDB_PROVENANCE_PROVENANCE_H_
+#define SCIDB_PROVENANCE_PROVENANCE_H_
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "array/mem_array.h"
+#include "common/result.h"
+
+namespace scidb {
+
+// A reference to one data element: (array name, cell coordinates).
+struct CellRef {
+  std::string array;
+  Coordinates coords;
+
+  bool operator<(const CellRef& o) const {
+    if (array != o.array) return array < o.array;
+    return coords < o.coords;
+  }
+  bool operator==(const CellRef& o) const {
+    return array == o.array && coords == o.coords;
+  }
+  std::string ToString() const { return array + CoordsToString(coords); }
+};
+
+// Lineage of one derivation step, queried in both directions:
+//  - Back(out_cell): the input cells that contributed to an output cell —
+//    what the paper's "special executor mode that will record all items
+//    that contributed" produces when re-running the command.
+//  - Fwd(in_cell): the output cells affected by an input cell — what
+//    re-running the command with the added "dimension-1 = V1 and ..."
+//    qualification produces.
+struct LineageFns {
+  std::function<std::vector<CellRef>(const Coordinates& out)> back;
+  std::function<std::vector<CellRef>(const CellRef& in)> fwd;
+};
+
+// Standard lineage builders for the engine's operators.
+// Cell-wise ops (Filter, Apply, Project, Subsample): out[c] <- in[c].
+LineageFns CellwiseLineage(const std::string& input_array,
+                           const std::string& output_array);
+// Regrid with per-dimension factors: out[g] <- the factor-box of inputs.
+LineageFns RegridLineage(const std::string& input_array,
+                         const std::string& output_array,
+                         const ArraySchema& input_schema,
+                         std::vector<int64_t> factors);
+// Aggregate over grouping dims: out[g] <- every input cell matching g.
+// Needs the input array contents to enumerate group members.
+LineageFns AggregateLineage(const std::string& input_array,
+                            const std::string& output_array,
+                            std::shared_ptr<const MemArray> input,
+                            std::vector<size_t> group_dim_indices);
+
+// One entry of the provenance log (paper: "one merely needs to record a
+// log of the commands that were run").
+struct LoggedCommand {
+  int64_t id = 0;
+  std::string text;                       // human-readable command
+  std::vector<std::string> inputs;        // input array names
+  std::string output;                     // output array name
+  std::map<std::string, std::string> params;  // run-time parameters
+  LineageFns lineage;
+  // Re-derivation hook (paper: "rerun (a portion of) the derivation to
+  // generate a replacement value"). May be empty for external programs.
+  std::function<Result<MemArray>()> rerun;
+};
+
+// The provenance log + Trio-style lineage cache. Two operating points
+// (paper §2.12): with no cache, traces re-derive lineage through the
+// registered callbacks ("no extra space at all, but substantial running
+// time"); CacheLineage(id) materializes a command's cell-level lineage
+// (the Trio item-level structure) so later traces are lookups.
+class ProvenanceLog {
+ public:
+  // Appends a command; returns its id.
+  int64_t Record(LoggedCommand cmd);
+
+  const std::vector<LoggedCommand>& commands() const { return log_; }
+  Result<const LoggedCommand*> Find(int64_t id) const;
+
+  // Requirement 1: "For a given data element D, find the collection of
+  // processing steps that created it from input data." Returns the chain
+  // of (command id, contributing cells) ending at source data, tracing
+  // backwards through every command whose output contains D.
+  struct BackStep {
+    int64_t command_id;
+    std::vector<CellRef> contributors;
+  };
+  Result<std::vector<BackStep>> TraceBack(const CellRef& d,
+                                          int max_depth = 64) const;
+
+  // Requirement 2: "For a given data element D, find all the downstream
+  // data elements whose value is impacted by the value of D."
+  Result<std::vector<CellRef>> TraceForward(const CellRef& d,
+                                            int max_depth = 64) const;
+
+  // Materializes the cell-level lineage of command `id` over `out_cells`
+  // so traces touching it become hash lookups. Space cost is visible via
+  // CacheBytes() — the knob benchmarked in EXP-PROV.
+  Status CacheLineage(int64_t id, const std::vector<Coordinates>& out_cells);
+  void DropCache(int64_t id);
+  size_t CacheBytes() const;
+  bool IsCached(int64_t id) const { return back_cache_.count(id) > 0; }
+
+  // Re-derivation of a command's output (does not overwrite anything; the
+  // caller commits the result as new history / a named version).
+  Result<MemArray> Rerun(int64_t id) const;
+
+ private:
+  std::vector<LoggedCommand> log_;
+  // command id -> (output coords -> contributors), and the inverse.
+  std::map<int64_t, std::map<Coordinates, std::vector<CellRef>>> back_cache_;
+  std::map<int64_t, std::map<CellRef, std::vector<CellRef>>> fwd_cache_;
+};
+
+// Metadata repository (paper: "for arrays that are loaded externally,
+// scientists want a metadata repository in which they can enter programs
+// that were run along with their run-time parameters").
+class MetadataRepository {
+ public:
+  struct ProgramRun {
+    int64_t id = 0;
+    std::string program;
+    std::string version;
+    std::map<std::string, std::string> params;
+    std::vector<std::string> input_files;
+    std::vector<std::string> output_arrays;
+    int64_t timestamp_micros = 0;
+  };
+
+  int64_t Record(ProgramRun run);
+  Result<const ProgramRun*> Find(int64_t id) const;
+  // All runs that produced `array` (how external data entered the system).
+  std::vector<const ProgramRun*> RunsProducing(const std::string& array)
+      const;
+  std::vector<const ProgramRun*> RunsOfProgram(const std::string& program)
+      const;
+  size_t size() const { return runs_.size(); }
+
+ private:
+  std::vector<ProgramRun> runs_;
+};
+
+}  // namespace scidb
+
+#endif  // SCIDB_PROVENANCE_PROVENANCE_H_

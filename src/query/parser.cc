@@ -1,0 +1,680 @@
+#include "query/parser.h"
+
+#include <algorithm>
+#include <set>
+
+#include "common/macros.h"
+#include "query/lexer.h"
+
+namespace scidb {
+
+namespace {
+
+std::string ToLower(const std::string& s) {
+  std::string out = s;
+  for (char& c : out) c = static_cast<char>(std::tolower(c));
+  return out;
+}
+
+const std::set<std::string>& OperatorNames() {
+  static const auto* const kOps = new std::set<std::string>{
+      "subsample", "exists", "reshape", "sjoin", "adddimension",
+      "removedimension", "concat", "crossproduct", "filter", "aggregate",
+      "cjoin", "apply", "project", "regrid", "window",
+  };
+  return *kOps;
+}
+
+class Parser {
+ public:
+  Parser(std::vector<Token> toks, const std::set<std::string>* user_ops)
+      : toks_(std::move(toks)), user_ops_(user_ops) {}
+
+  Result<Statement> Parse() {
+    Statement stmt;
+    if (Peek().IsKeyword("define")) {
+      RETURN_NOT_OK(ParseDefine(&stmt));
+    } else if (Peek().IsKeyword("create")) {
+      RETURN_NOT_OK(ParseCreate(&stmt));
+    } else if (Peek().IsKeyword("insert")) {
+      RETURN_NOT_OK(ParseInsert(&stmt));
+    } else if (Peek().IsKeyword("trace")) {
+      RETURN_NOT_OK(ParseTrace(&stmt));
+    } else if (Peek().IsKeyword("enhance") || Peek().IsKeyword("shape")) {
+      RETURN_NOT_OK(ParseEnhanceOrShape(&stmt));
+    } else if (Peek().IsKeyword("store")) {
+      Advance();
+      stmt.kind = Statement::Kind::kStore;
+      ASSIGN_OR_RETURN(stmt.query, ParseOpOrArray());
+      RETURN_NOT_OK(ExpectKeyword("into"));
+      ASSIGN_OR_RETURN(stmt.store_into, ExpectIdentifier());
+    } else {
+      if (Peek().IsKeyword("select")) Advance();
+      stmt.kind = Statement::Kind::kQuery;
+      ASSIGN_OR_RETURN(stmt.query, ParseOpOrArray());
+      // Enhanced addressing: "select A {16.3, 48.2}" (paper §2.1's
+      // {..} coordinate system).
+      if (stmt.query->is_array_ref() && Peek().IsSymbol("{")) {
+        stmt.kind = Statement::Kind::kEnhancedRead;
+        stmt.read_array = stmt.query->array;
+        Advance();  // {
+        do {
+          ASSIGN_OR_RETURN(Value v, ParseLiteralValue());
+          stmt.read_pseudo.push_back(std::move(v));
+        } while (AcceptSymbol(","));
+        RETURN_NOT_OK(ExpectSymbol("}"));
+      }
+    }
+    if (!Peek().Is(TokenType::kEnd)) {
+      return Err("trailing input after statement");
+    }
+    return stmt;
+  }
+
+ private:
+  const Token& Peek(size_t k = 0) const {
+    size_t i = std::min(pos_ + k, toks_.size() - 1);
+    return toks_[i];
+  }
+  const Token& Advance() { return toks_[std::min(pos_++, toks_.size() - 1)]; }
+  bool AcceptSymbol(const std::string& s) {
+    if (Peek().IsSymbol(s)) {
+      Advance();
+      return true;
+    }
+    return false;
+  }
+  bool AcceptKeyword(const std::string& s) {
+    if (Peek().IsKeyword(s)) {
+      Advance();
+      return true;
+    }
+    return false;
+  }
+  Status Err(const std::string& msg) const {
+    return Status::Invalid(msg + " (near offset " +
+                           std::to_string(Peek().offset) + ", got '" +
+                           Peek().text + "')");
+  }
+  Status ExpectSymbol(const std::string& s) {
+    if (!AcceptSymbol(s)) return Err("expected '" + s + "'");
+    return Status::OK();
+  }
+  Status ExpectKeyword(const std::string& s) {
+    if (!AcceptKeyword(s)) return Err("expected '" + s + "'");
+    return Status::OK();
+  }
+  Result<std::string> ExpectIdentifier() {
+    if (!Peek().Is(TokenType::kIdentifier)) {
+      Status s = Err("expected identifier");
+      return s;
+    }
+    return Advance().text;
+  }
+  Result<int64_t> ExpectInteger() {
+    bool neg = Peek().IsSymbol("-");
+    if (neg) Advance();
+    if (!Peek().Is(TokenType::kInteger)) {
+      Status s = Err("expected integer");
+      return s;
+    }
+    int64_t v = Advance().int_value;
+    return neg ? -v : v;
+  }
+
+  // ---- define ----
+  Status ParseDefine(Statement* stmt) {
+    Advance();  // define
+    stmt->kind = Statement::Kind::kDefine;
+    bool updatable = AcceptKeyword("updatable");
+    ASSIGN_OR_RETURN(std::string name, ExpectIdentifier());
+
+    RETURN_NOT_OK(ExpectSymbol("("));
+    std::vector<AttributeDesc> attrs;
+    do {
+      AttributeDesc a;
+      ASSIGN_OR_RETURN(a.name, ExpectIdentifier());
+      RETURN_NOT_OK(ExpectSymbol("="));
+      a.uncertain = AcceptKeyword("uncertain");
+      ASSIGN_OR_RETURN(std::string type_name, ExpectIdentifier());
+      ASSIGN_OR_RETURN(a.type, DataTypeFromName(ToLower(type_name)));
+      attrs.push_back(std::move(a));
+    } while (AcceptSymbol(","));
+    RETURN_NOT_OK(ExpectSymbol(")"));
+
+    RETURN_NOT_OK(ExpectSymbol("("));
+    std::vector<DimensionDesc> dims;
+    do {
+      DimensionDesc d;
+      ASSIGN_OR_RETURN(d.name, ExpectIdentifier());
+      d.low = 1;
+      d.high = kUnboundedDim;
+      d.chunk_interval = 64;
+      if (AcceptSymbol("=")) {
+        ASSIGN_OR_RETURN(d.low, ExpectInteger());
+        RETURN_NOT_OK(ExpectSymbol(":"));
+        if (AcceptSymbol("*")) {
+          d.high = kUnboundedDim;
+        } else {
+          ASSIGN_OR_RETURN(d.high, ExpectInteger());
+        }
+      }
+      dims.push_back(std::move(d));
+    } while (AcceptSymbol(","));
+    RETURN_NOT_OK(ExpectSymbol(")"));
+
+    // Paper §2.5: the history dimension of an updatable array is implicit
+    // (layered deltas); an explicitly listed trailing "history" dim is
+    // absorbed.
+    if (updatable && !dims.empty() && ToLower(dims.back().name) == "history") {
+      dims.pop_back();
+    }
+    stmt->define_schema =
+        ArraySchema(name, std::move(dims), std::move(attrs), updatable);
+    return stmt->define_schema.Validate();
+  }
+
+  // ---- create ----
+  Status ParseCreate(Statement* stmt) {
+    Advance();  // create
+    stmt->kind = Statement::Kind::kCreate;
+    ASSIGN_OR_RETURN(stmt->create_name, ExpectIdentifier());
+    RETURN_NOT_OK(ExpectKeyword("as"));
+    ASSIGN_OR_RETURN(stmt->create_type, ExpectIdentifier());
+    RETURN_NOT_OK(ExpectSymbol("["));
+    do {
+      if (AcceptSymbol("*")) {
+        stmt->create_highs.push_back(kUnboundedDim);
+      } else {
+        ASSIGN_OR_RETURN(int64_t hi, ExpectInteger());
+        stmt->create_highs.push_back(hi);
+      }
+    } while (AcceptSymbol(","));
+    return ExpectSymbol("]");
+  }
+
+  // ---- insert ----
+  Status ParseInsert(Statement* stmt) {
+    Advance();  // insert
+    stmt->kind = Statement::Kind::kInsert;
+    ASSIGN_OR_RETURN(stmt->insert_array, ExpectIdentifier());
+    RETURN_NOT_OK(ExpectSymbol("["));
+    do {
+      ASSIGN_OR_RETURN(int64_t c, ExpectInteger());
+      stmt->insert_coords.push_back(c);
+    } while (AcceptSymbol(","));
+    RETURN_NOT_OK(ExpectSymbol("]"));
+    RETURN_NOT_OK(ExpectKeyword("values"));
+    RETURN_NOT_OK(ExpectSymbol("("));
+    do {
+      ASSIGN_OR_RETURN(Value v, ParseLiteralValue());
+      stmt->insert_values.push_back(std::move(v));
+    } while (AcceptSymbol(","));
+    return ExpectSymbol(")");
+  }
+
+  // ---- enhance / shape (paper §2.1) ----
+  // "Enhance My_remote with Scale10" generalizes here to
+  //   enhance <array> with <builder>(<literal args>)
+  //   shape   <array> with <builder>(<literal args>)
+  Status ParseEnhanceOrShape(Statement* stmt) {
+    bool is_shape = Peek().IsKeyword("shape");
+    Advance();
+    stmt->kind = is_shape ? Statement::Kind::kShape
+                          : Statement::Kind::kEnhance;
+    ASSIGN_OR_RETURN(stmt->target_array, ExpectIdentifier());
+    RETURN_NOT_OK(ExpectKeyword("with"));
+    ASSIGN_OR_RETURN(stmt->func_name, ExpectIdentifier());
+    stmt->func_name = ToLower(stmt->func_name);
+    if (AcceptSymbol("(")) {
+      if (!Peek().IsSymbol(")")) {
+        do {
+          ASSIGN_OR_RETURN(Value v, ParseLiteralValue());
+          stmt->func_args.push_back(std::move(v));
+        } while (AcceptSymbol(","));
+      }
+      RETURN_NOT_OK(ExpectSymbol(")"));
+    }
+    return Status::OK();
+  }
+
+  // ---- trace (provenance query language, §2.12) ----
+  Status ParseTrace(Statement* stmt) {
+    Advance();  // trace
+    stmt->kind = Statement::Kind::kTrace;
+    if (AcceptKeyword("back")) {
+      stmt->trace_back = true;
+    } else if (AcceptKeyword("forward")) {
+      stmt->trace_back = false;
+    } else {
+      return Err("expected 'back' or 'forward' after 'trace'");
+    }
+    ASSIGN_OR_RETURN(stmt->trace_array, ExpectIdentifier());
+    RETURN_NOT_OK(ExpectSymbol("["));
+    do {
+      ASSIGN_OR_RETURN(int64_t c, ExpectInteger());
+      stmt->trace_coords.push_back(c);
+    } while (AcceptSymbol(","));
+    return ExpectSymbol("]");
+  }
+
+  Result<Value> ParseLiteralValue() {
+    bool neg = Peek().IsSymbol("-");
+    if (neg) Advance();
+    const Token& t = Peek();
+    if (t.Is(TokenType::kInteger)) {
+      Advance();
+      return Value(neg ? -t.int_value : t.int_value);
+    }
+    if (t.Is(TokenType::kFloat)) {
+      Advance();
+      return Value(neg ? -t.float_value : t.float_value);
+    }
+    if (neg) {
+      Status s = Err("expected number after '-'");
+      return s;
+    }
+    if (t.Is(TokenType::kString)) {
+      Advance();
+      return Value(t.text);
+    }
+    if (t.IsKeyword("true")) {
+      Advance();
+      return Value(true);
+    }
+    if (t.IsKeyword("false")) {
+      Advance();
+      return Value(false);
+    }
+    if (t.IsKeyword("null")) {
+      Advance();
+      return Value::Null();
+    }
+    Status s = Err("expected literal value");
+    return s;
+  }
+
+  bool IsUserOp(const std::string& lower) const {
+    return user_ops_ != nullptr && user_ops_->count(lower) > 0;
+  }
+
+  // Generic argument parsing for user-registered array operations:
+  // leading bare-identifier / operator-call arguments are array inputs,
+  // the rest are expressions.
+  Status ParseUserOpArgs(OpNode* node) {
+    bool exprs_started = false;
+    if (Peek().IsSymbol(")")) return Status::OK();
+    do {
+      bool looks_like_input = false;
+      if (!exprs_started && Peek().Is(TokenType::kIdentifier)) {
+        const Token& next = Peek(1);
+        if (next.IsSymbol(",") || next.IsSymbol(")")) {
+          looks_like_input = true;  // bare identifier -> array ref
+        } else if (next.IsSymbol("(")) {
+          std::string lower = ToLower(Peek().text);
+          looks_like_input =
+              OperatorNames().count(lower) > 0 || IsUserOp(lower);
+        }
+      }
+      if (looks_like_input) {
+        ASSIGN_OR_RETURN(OpNodePtr in, ParseOpOrArray());
+        node->inputs.push_back(std::move(in));
+      } else {
+        exprs_started = true;
+        RETURN_NOT_OK(BindInputNames(*node));
+        ASSIGN_OR_RETURN(ExprPtr e, ParseExpr());
+        node->exprs.push_back(std::move(e));
+      }
+    } while (AcceptSymbol(","));
+    return Status::OK();
+  }
+
+  // ---- operator calls / array refs ----
+  Result<OpNodePtr> ParseOpOrArray() {
+    ASSIGN_OR_RETURN(std::string name, ExpectIdentifier());
+    std::string lower = ToLower(name);
+    bool known = OperatorNames().count(lower) > 0 || IsUserOp(lower);
+    if (!Peek().IsSymbol("(") || !known) {
+      auto node = std::make_shared<OpNode>();
+      node->array = name;
+      return OpNodePtr(node);
+    }
+    if (IsUserOp(lower) && !OperatorNames().count(lower)) {
+      RETURN_NOT_OK(ExpectSymbol("("));
+      auto node = std::make_shared<OpNode>();
+      node->op = lower;
+      RETURN_NOT_OK(ParseUserOpArgs(node.get()));
+      RETURN_NOT_OK(ExpectSymbol(")"));
+      return OpNodePtr(node);
+    }
+    RETURN_NOT_OK(ExpectSymbol("("));
+    auto node = std::make_shared<OpNode>();
+    node->op = lower;
+    if (lower == "subsample" || lower == "filter") {
+      ASSIGN_OR_RETURN(OpNodePtr in, ParseOpOrArray());
+      node->inputs.push_back(std::move(in));
+      RETURN_NOT_OK(ExpectSymbol(","));
+      RETURN_NOT_OK(BindInputNames(*node));
+      ASSIGN_OR_RETURN(ExprPtr e, ParseExpr());
+      node->exprs.push_back(std::move(e));
+    } else if (lower == "exists") {
+      ASSIGN_OR_RETURN(OpNodePtr in, ParseOpOrArray());
+      node->inputs.push_back(std::move(in));
+      while (AcceptSymbol(",")) {
+        ASSIGN_OR_RETURN(int64_t c, ExpectInteger());
+        node->numbers.push_back(c);
+      }
+    } else if (lower == "reshape") {
+      ASSIGN_OR_RETURN(OpNodePtr in, ParseOpOrArray());
+      node->inputs.push_back(std::move(in));
+      RETURN_NOT_OK(ExpectSymbol(","));
+      RETURN_NOT_OK(ParseNameList(&node->names));
+      RETURN_NOT_OK(ExpectSymbol(","));
+      RETURN_NOT_OK(ParseDimSpecList(&node->dims));
+    } else if (lower == "sjoin" || lower == "cjoin") {
+      ASSIGN_OR_RETURN(OpNodePtr a, ParseOpOrArray());
+      node->inputs.push_back(std::move(a));
+      RETURN_NOT_OK(ExpectSymbol(","));
+      ASSIGN_OR_RETURN(OpNodePtr b, ParseOpOrArray());
+      node->inputs.push_back(std::move(b));
+      RETURN_NOT_OK(ExpectSymbol(","));
+      RETURN_NOT_OK(BindInputNames(*node));
+      ASSIGN_OR_RETURN(ExprPtr e, ParseExpr());
+      node->exprs.push_back(std::move(e));
+    } else if (lower == "adddimension" || lower == "removedimension") {
+      ASSIGN_OR_RETURN(OpNodePtr in, ParseOpOrArray());
+      node->inputs.push_back(std::move(in));
+      RETURN_NOT_OK(ExpectSymbol(","));
+      ASSIGN_OR_RETURN(std::string dim, ExpectIdentifier());
+      node->names.push_back(std::move(dim));
+    } else if (lower == "concat") {
+      ASSIGN_OR_RETURN(OpNodePtr a, ParseOpOrArray());
+      node->inputs.push_back(std::move(a));
+      RETURN_NOT_OK(ExpectSymbol(","));
+      ASSIGN_OR_RETURN(OpNodePtr b, ParseOpOrArray());
+      node->inputs.push_back(std::move(b));
+      RETURN_NOT_OK(ExpectSymbol(","));
+      ASSIGN_OR_RETURN(std::string dim, ExpectIdentifier());
+      node->names.push_back(std::move(dim));
+    } else if (lower == "crossproduct") {
+      ASSIGN_OR_RETURN(OpNodePtr a, ParseOpOrArray());
+      node->inputs.push_back(std::move(a));
+      RETURN_NOT_OK(ExpectSymbol(","));
+      ASSIGN_OR_RETURN(OpNodePtr b, ParseOpOrArray());
+      node->inputs.push_back(std::move(b));
+    } else if (lower == "aggregate") {
+      ASSIGN_OR_RETURN(OpNodePtr in, ParseOpOrArray());
+      node->inputs.push_back(std::move(in));
+      RETURN_NOT_OK(ExpectSymbol(","));
+      RETURN_NOT_OK(ExpectSymbol("{"));
+      if (!Peek().IsSymbol("}")) {
+        do {
+          ASSIGN_OR_RETURN(std::string g, ExpectIdentifier());
+          node->names.push_back(std::move(g));
+        } while (AcceptSymbol(","));
+      }
+      RETURN_NOT_OK(ExpectSymbol("}"));
+      RETURN_NOT_OK(ExpectSymbol(","));
+      RETURN_NOT_OK(ParseAggCall(&node->agg));
+      node->aggs.push_back(node->agg);
+      // Multi-aggregate: Aggregate(A, {Y}, sum(a), avg(b), ...) computes
+      // every listed aggregate in one pass.
+      while (AcceptSymbol(",")) {
+        AggSpec extra;
+        RETURN_NOT_OK(ParseAggCall(&extra));
+        node->aggs.push_back(std::move(extra));
+      }
+    } else if (lower == "apply") {
+      ASSIGN_OR_RETURN(OpNodePtr in, ParseOpOrArray());
+      node->inputs.push_back(std::move(in));
+      RETURN_NOT_OK(ExpectSymbol(","));
+      ASSIGN_OR_RETURN(std::string attr, ExpectIdentifier());
+      node->names.push_back(std::move(attr));
+      RETURN_NOT_OK(ExpectSymbol(","));
+      RETURN_NOT_OK(BindInputNames(*node));
+      ASSIGN_OR_RETURN(ExprPtr e, ParseExpr());
+      node->exprs.push_back(std::move(e));
+    } else if (lower == "project") {
+      ASSIGN_OR_RETURN(OpNodePtr in, ParseOpOrArray());
+      node->inputs.push_back(std::move(in));
+      while (AcceptSymbol(",")) {
+        ASSIGN_OR_RETURN(std::string attr, ExpectIdentifier());
+        node->names.push_back(std::move(attr));
+      }
+    } else if (lower == "regrid" || lower == "window") {
+      ASSIGN_OR_RETURN(OpNodePtr in, ParseOpOrArray());
+      node->inputs.push_back(std::move(in));
+      RETURN_NOT_OK(ExpectSymbol(","));
+      RETURN_NOT_OK(ExpectSymbol("["));
+      do {
+        ASSIGN_OR_RETURN(int64_t f, ExpectInteger());
+        node->numbers.push_back(f);
+      } while (AcceptSymbol(","));
+      RETURN_NOT_OK(ExpectSymbol("]"));
+      RETURN_NOT_OK(ExpectSymbol(","));
+      RETURN_NOT_OK(ParseAggCall(&node->agg));
+    }
+    RETURN_NOT_OK(ExpectSymbol(")"));
+    return OpNodePtr(node);
+  }
+
+  // Remembers the (plain) input array names so qualified references
+  // ("A.x") inside the following expression resolve to sides.
+  Status BindInputNames(const OpNode& node) {
+    input_names_.clear();
+    for (const auto& in : node.inputs) {
+      input_names_.push_back(in->is_array_ref() ? in->array : "");
+    }
+    return Status::OK();
+  }
+
+  Status ParseNameList(std::vector<std::string>* out) {
+    RETURN_NOT_OK(ExpectSymbol("["));
+    do {
+      ASSIGN_OR_RETURN(std::string n, ExpectIdentifier());
+      out->push_back(std::move(n));
+    } while (AcceptSymbol(","));
+    return ExpectSymbol("]");
+  }
+
+  Status ParseDimSpecList(std::vector<DimensionDesc>* out) {
+    RETURN_NOT_OK(ExpectSymbol("["));
+    do {
+      DimensionDesc d;
+      ASSIGN_OR_RETURN(d.name, ExpectIdentifier());
+      RETURN_NOT_OK(ExpectSymbol("="));
+      ASSIGN_OR_RETURN(d.low, ExpectInteger());
+      RETURN_NOT_OK(ExpectSymbol(":"));
+      ASSIGN_OR_RETURN(d.high, ExpectInteger());
+      d.chunk_interval = std::max<int64_t>(1, d.high - d.low + 1);
+      out->push_back(std::move(d));
+    } while (AcceptSymbol(","));
+    return ExpectSymbol("]");
+  }
+
+  Status ParseAggCall(AggSpec* agg) {
+    ASSIGN_OR_RETURN(agg->agg, ExpectIdentifier());
+    agg->agg = ToLower(agg->agg);
+    RETURN_NOT_OK(ExpectSymbol("("));
+    if (AcceptSymbol("*")) {
+      agg->attr = "*";
+    } else {
+      ASSIGN_OR_RETURN(agg->attr, ExpectIdentifier());
+    }
+    return ExpectSymbol(")");
+  }
+
+  // ---- expressions (precedence climbing) ----
+  Result<ExprPtr> ParseExpr() { return ParseOr(); }
+
+  Result<ExprPtr> ParseOr() {
+    ASSIGN_OR_RETURN(ExprPtr lhs, ParseAnd());
+    while (AcceptKeyword("or")) {
+      ASSIGN_OR_RETURN(ExprPtr rhs, ParseAnd());
+      lhs = Or(std::move(lhs), std::move(rhs));
+    }
+    return lhs;
+  }
+
+  Result<ExprPtr> ParseAnd() {
+    ASSIGN_OR_RETURN(ExprPtr lhs, ParseNot());
+    while (AcceptKeyword("and")) {
+      ASSIGN_OR_RETURN(ExprPtr rhs, ParseNot());
+      lhs = And(std::move(lhs), std::move(rhs));
+    }
+    return lhs;
+  }
+
+  Result<ExprPtr> ParseNot() {
+    if (AcceptKeyword("not")) {
+      ASSIGN_OR_RETURN(ExprPtr e, ParseNot());
+      return Not(std::move(e));
+    }
+    return ParseComparison();
+  }
+
+  Result<ExprPtr> ParseComparison() {
+    ASSIGN_OR_RETURN(ExprPtr lhs, ParseAdditive());
+    struct CmpOp {
+      const char* sym;
+      BinaryOp op;
+    };
+    static constexpr CmpOp kOps[] = {
+        {"<=", BinaryOp::kLe}, {">=", BinaryOp::kGe}, {"!=", BinaryOp::kNe},
+        {"=", BinaryOp::kEq},  {"<", BinaryOp::kLt},  {">", BinaryOp::kGt},
+    };
+    for (const auto& c : kOps) {
+      if (Peek().IsSymbol(c.sym)) {
+        Advance();
+        ASSIGN_OR_RETURN(ExprPtr rhs, ParseAdditive());
+        return Bin(c.op, std::move(lhs), std::move(rhs));
+      }
+    }
+    return lhs;
+  }
+
+  Result<ExprPtr> ParseAdditive() {
+    ASSIGN_OR_RETURN(ExprPtr lhs, ParseMultiplicative());
+    while (true) {
+      if (AcceptSymbol("+")) {
+        ASSIGN_OR_RETURN(ExprPtr rhs, ParseMultiplicative());
+        lhs = Add(std::move(lhs), std::move(rhs));
+      } else if (AcceptSymbol("-")) {
+        ASSIGN_OR_RETURN(ExprPtr rhs, ParseMultiplicative());
+        lhs = Sub(std::move(lhs), std::move(rhs));
+      } else {
+        return lhs;
+      }
+    }
+  }
+
+  Result<ExprPtr> ParseMultiplicative() {
+    ASSIGN_OR_RETURN(ExprPtr lhs, ParseUnary());
+    while (true) {
+      if (AcceptSymbol("*")) {
+        ASSIGN_OR_RETURN(ExprPtr rhs, ParseUnary());
+        lhs = Mul(std::move(lhs), std::move(rhs));
+      } else if (AcceptSymbol("/")) {
+        ASSIGN_OR_RETURN(ExprPtr rhs, ParseUnary());
+        lhs = Div(std::move(lhs), std::move(rhs));
+      } else if (AcceptSymbol("%")) {
+        ASSIGN_OR_RETURN(ExprPtr rhs, ParseUnary());
+        lhs = Mod(std::move(lhs), std::move(rhs));
+      } else {
+        return lhs;
+      }
+    }
+  }
+
+  Result<ExprPtr> ParseUnary() {
+    if (AcceptSymbol("-")) {
+      ASSIGN_OR_RETURN(ExprPtr e, ParseUnary());
+      return Sub(Lit(int64_t{0}), std::move(e));
+    }
+    return ParsePrimary();
+  }
+
+  Result<ExprPtr> ParsePrimary() {
+    const Token& t = Peek();
+    if (t.Is(TokenType::kInteger)) {
+      Advance();
+      return Lit(t.int_value);
+    }
+    if (t.Is(TokenType::kFloat)) {
+      Advance();
+      return Lit(t.float_value);
+    }
+    if (t.Is(TokenType::kString)) {
+      Advance();
+      return Lit(Value(t.text));
+    }
+    if (t.IsKeyword("true")) {
+      Advance();
+      return Lit(Value(true));
+    }
+    if (t.IsKeyword("false")) {
+      Advance();
+      return Lit(Value(false));
+    }
+    if (t.IsKeyword("null")) {
+      Advance();
+      return Lit(Value::Null());
+    }
+    if (AcceptSymbol("(")) {
+      ASSIGN_OR_RETURN(ExprPtr e, ParseExpr());
+      RETURN_NOT_OK(ExpectSymbol(")"));
+      return e;
+    }
+    if (t.Is(TokenType::kIdentifier)) {
+      std::string name = Advance().text;
+      if (AcceptSymbol(".")) {
+        // Qualified reference "A.x": resolve the qualifier to a side.
+        ASSIGN_OR_RETURN(std::string member, ExpectIdentifier());
+        int side = -1;
+        for (size_t i = 0; i < input_names_.size(); ++i) {
+          if (input_names_[i] == name) {
+            side = static_cast<int>(i);
+            break;
+          }
+        }
+        if (side < 0) {
+          Status s = Status::Invalid(
+              "qualifier '" + name +
+              "' does not name an input array of this operator");
+          return s;
+        }
+        return Ref(std::move(member), side);
+      }
+      if (AcceptSymbol("(")) {
+        std::vector<ExprPtr> args;
+        if (!Peek().IsSymbol(")")) {
+          do {
+            ASSIGN_OR_RETURN(ExprPtr a, ParseExpr());
+            args.push_back(std::move(a));
+          } while (AcceptSymbol(","));
+        }
+        RETURN_NOT_OK(ExpectSymbol(")"));
+        return Call(std::move(name), std::move(args));
+      }
+      return Ref(std::move(name));
+    }
+    Status s = Err("expected expression");
+    return s;
+  }
+
+  std::vector<Token> toks_;
+  size_t pos_ = 0;
+  std::vector<std::string> input_names_;
+  const std::set<std::string>* user_ops_;
+};
+
+}  // namespace
+
+Result<Statement> ParseStatement(const std::string& input,
+                                 const std::set<std::string>* user_ops) {
+  ASSIGN_OR_RETURN(std::vector<Token> toks, Tokenize(input));
+  Parser parser(std::move(toks), user_ops);
+  return parser.Parse();
+}
+
+}  // namespace scidb

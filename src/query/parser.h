@@ -1,0 +1,44 @@
+#ifndef SCIDB_QUERY_PARSER_H_
+#define SCIDB_QUERY_PARSER_H_
+
+#include <set>
+#include <string>
+
+#include "common/result.h"
+#include "query/parse_tree.h"
+
+namespace scidb {
+
+// Parses one AQL statement into the parse-tree representation.
+//
+//   define Remote (s1 = float, s2 = float, s3 = float) (I, J)
+//   define updatable Remote_2 (s1 = float) (I, J, history)
+//   create My_remote as Remote [1024, 1024]
+//   create My_remote_2 as Remote [*, *]
+//   select Subsample(F, even(X))
+//   select Aggregate(H, {Y}, sum(*))
+//   select Sjoin(A, B, A.x = B.x)
+//   select Cjoin(A, B, A.val = B.val)
+//   select Filter(A, v > 10 and even(X))
+//   select Apply(A, v2, v * v)
+//   select Project(A, s1, s3)
+//   select Reshape(G, [X, Z, Y], [U = 1:8, V = 1:3])
+//   select Regrid(A, [2, 2], sum(v))
+//   select Exists(A, 7, 7)
+//   store Filter(A, v > 10) into Hot
+//   insert My_remote [7, 8] values (1.5, 2.5, 3.5)
+//
+// Operator names are matched case-insensitively.
+//
+// `user_ops` (optional) adds user-registered array operations (paper
+// §2.3: "the fundamental array operations in SciDB are user-extendable").
+// A user operator call parses as  Name(input {, input} {, expr ...}):
+// leading arguments that are bare identifiers or operator calls become
+// array inputs; the remaining arguments parse as expressions.
+Result<Statement> ParseStatement(
+    const std::string& input,
+    const std::set<std::string>* user_ops = nullptr);
+
+}  // namespace scidb
+
+#endif  // SCIDB_QUERY_PARSER_H_

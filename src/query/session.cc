@@ -1,0 +1,633 @@
+#include "query/session.h"
+
+#include <cctype>
+
+#include "common/macros.h"
+#include "query/optimizer.h"
+#include "query/parser.h"
+
+namespace scidb {
+
+Session::Session() = default;
+
+ExecContext Session::MakeContext() const {
+  ExecContext ctx;
+  ctx.functions = &functions_;
+  ctx.aggregates = &aggregates_;
+  return ctx;
+}
+
+Status Session::Define(const ArraySchema& type_schema) {
+  RETURN_NOT_OK(type_schema.Validate());
+  auto [it, inserted] = defines_.emplace(type_schema.name(), type_schema);
+  if (!inserted) {
+    return Status::AlreadyExists("type '" + type_schema.name() +
+                                 "' already defined");
+  }
+  return Status::OK();
+}
+
+Status Session::CreateArray(const std::string& name,
+                            const std::string& type_name,
+                            const std::vector<int64_t>& highs) {
+  auto def = defines_.find(type_name);
+  if (def == defines_.end()) {
+    return Status::NotFound("no array type named '" + type_name + "'");
+  }
+  if (arrays_.count(name)) {
+    return Status::AlreadyExists("array '" + name + "' already exists");
+  }
+  ArraySchema schema = def->second;
+  if (highs.size() != schema.ndims()) {
+    return Status::Invalid("create " + name + ": expected " +
+                           std::to_string(schema.ndims()) +
+                           " bounds, got " + std::to_string(highs.size()));
+  }
+  auto* dims = schema.mutable_dims();
+  for (size_t d = 0; d < highs.size(); ++d) {
+    (*dims)[d].high = highs[d] == kUnboundedDim
+                          ? kUnboundedDim
+                          : (*dims)[d].low + highs[d] - 1;
+  }
+  schema.set_name(name);
+  RETURN_NOT_OK(schema.Validate());
+  arrays_.emplace(name, std::make_shared<MemArray>(std::move(schema)));
+  return Status::OK();
+}
+
+Status Session::RegisterArray(std::shared_ptr<MemArray> array) {
+  if (array == nullptr) return Status::Invalid("null array");
+  const std::string& name = array->schema().name();
+  if (name.empty()) return Status::Invalid("array has no name");
+  auto [it, inserted] = arrays_.emplace(name, std::move(array));
+  if (!inserted) {
+    return Status::AlreadyExists("array '" + name + "' already exists");
+  }
+  return Status::OK();
+}
+
+Result<std::shared_ptr<MemArray>> Session::GetArray(
+    const std::string& name) const {
+  auto it = arrays_.find(name);
+  if (it == arrays_.end()) {
+    return Status::NotFound("no array named '" + name + "'");
+  }
+  return it->second;
+}
+
+bool Session::HasArray(const std::string& name) const {
+  return arrays_.count(name) > 0;
+}
+
+std::vector<std::string> Session::ArrayNames() const {
+  std::vector<std::string> out;
+  for (const auto& [name, a] : arrays_) out.push_back(name);
+  return out;
+}
+
+Result<QueryResult> Session::Execute(const std::string& statement) {
+  ASSIGN_OR_RETURN(
+      Statement stmt,
+      ParseStatement(statement,
+                     user_op_names_.empty() ? nullptr : &user_op_names_));
+  return Execute(stmt);
+}
+
+namespace {
+std::string ToLowerName(const std::string& s) {
+  std::string out = s;
+  for (char& c : out) c = static_cast<char>(std::tolower(c));
+  return out;
+}
+
+const std::set<std::string>& BuiltinOpNames() {
+  static const auto* const kOps = new std::set<std::string>{
+      "subsample", "exists", "reshape", "sjoin", "adddimension",
+      "removedimension", "concat", "crossproduct", "filter", "aggregate",
+      "cjoin", "apply", "project", "regrid", "window",
+  };
+  return *kOps;
+}
+}  // namespace
+
+Result<EnhancedArray*> Session::Enhanced(const std::string& array_name) {
+  auto it = enhanced_.find(array_name);
+  if (it == enhanced_.end()) {
+    ASSIGN_OR_RETURN(std::shared_ptr<MemArray> arr, GetArray(array_name));
+    it = enhanced_
+             .emplace(array_name, std::make_shared<EnhancedArray>(arr))
+             .first;
+  }
+  return it->second.get();
+}
+
+namespace {
+
+Result<std::shared_ptr<EnhancementFunction>> BuildEnhancement(
+    const std::string& func, const std::vector<Value>& args, size_t ndims) {
+  auto out_names = [&](const char* prefix) {
+    std::vector<std::string> names;
+    for (size_t d = 0; d < ndims; ++d) {
+      names.push_back(std::string(prefix) + std::to_string(d + 1));
+    }
+    return names;
+  };
+  auto int_args = [&]() -> Result<std::vector<int64_t>> {
+    std::vector<int64_t> out;
+    for (const Value& v : args) {
+      ASSIGN_OR_RETURN(int64_t i, v.AsInt64());
+      out.push_back(i);
+    }
+    return out;
+  };
+  if (func == "scale") {
+    if (args.size() != 1) return Status::Invalid("scale(factor)");
+    ASSIGN_OR_RETURN(int64_t k, args[0].AsInt64());
+    return std::shared_ptr<EnhancementFunction>(
+        std::make_shared<ScaleEnhancement>(
+            "scale" + std::to_string(k), out_names("K"), k));
+  }
+  if (func == "translate") {
+    ASSIGN_OR_RETURN(std::vector<int64_t> offsets, int_args());
+    if (offsets.size() != ndims) {
+      return Status::Invalid("translate needs one offset per dimension");
+    }
+    return std::shared_ptr<EnhancementFunction>(
+        std::make_shared<TranslateEnhancement>("translate", out_names("T"),
+                                               offsets));
+  }
+  if (func == "transpose") {
+    ASSIGN_OR_RETURN(std::vector<int64_t> perm1, int_args());
+    if (perm1.size() != ndims) {
+      return Status::Invalid("transpose needs a full permutation");
+    }
+    std::vector<size_t> perm;
+    for (int64_t p : perm1) {
+      if (p < 1 || static_cast<size_t>(p) > ndims) {
+        return Status::Invalid("transpose permutation entries are 1-based");
+      }
+      perm.push_back(static_cast<size_t>(p - 1));
+    }
+    return std::shared_ptr<EnhancementFunction>(
+        std::make_shared<TransposeEnhancement>("transpose", out_names("P"),
+                                               perm));
+  }
+  if (func == "mercator") {
+    if (args.size() != 2 || ndims != 2) {
+      return Status::Invalid("mercator(rows, cols) on a 2-D array");
+    }
+    ASSIGN_OR_RETURN(int64_t rows, args[0].AsInt64());
+    ASSIGN_OR_RETURN(int64_t cols, args[1].AsInt64());
+    return std::shared_ptr<EnhancementFunction>(
+        std::make_shared<MercatorEnhancement>("mercator", rows, cols));
+  }
+  return Status::NotFound("unknown enhancement builder '" + func +
+                          "' (scale|translate|transpose|mercator)");
+}
+
+Result<std::shared_ptr<ShapeFunction>> BuildShape(
+    const std::string& func, const std::vector<Value>& args, size_t ndims) {
+  auto int_args = [&]() -> Result<std::vector<int64_t>> {
+    std::vector<int64_t> out;
+    for (const Value& v : args) {
+      ASSIGN_OR_RETURN(int64_t i, v.AsInt64());
+      out.push_back(i);
+    }
+    return out;
+  };
+  if (func == "circle") {
+    if (args.size() != 3 || ndims != 2) {
+      return Status::Invalid("circle(ci, cj, r) on a 2-D array");
+    }
+    ASSIGN_OR_RETURN(std::vector<int64_t> a, int_args());
+    return std::shared_ptr<ShapeFunction>(
+        std::make_shared<CircleShape>(a[0], a[1], a[2]));
+  }
+  if (func == "triangle") {
+    if (args.size() != 1 || ndims != 2) {
+      return Status::Invalid("triangle(n) on a 2-D array");
+    }
+    ASSIGN_OR_RETURN(int64_t n, args[0].AsInt64());
+    return std::shared_ptr<ShapeFunction>(
+        std::make_shared<TriangleShape>(n));
+  }
+  if (func == "rectangle") {
+    ASSIGN_OR_RETURN(std::vector<int64_t> a, int_args());
+    if (a.size() != 2 * ndims) {
+      return Status::Invalid("rectangle(lo1, hi1, lo2, hi2, ...)");
+    }
+    Box box;
+    for (size_t d = 0; d < ndims; ++d) {
+      box.low.push_back(a[2 * d]);
+      box.high.push_back(a[2 * d + 1]);
+    }
+    return std::shared_ptr<ShapeFunction>(
+        std::make_shared<RectangleShape>(box));
+  }
+  return Status::NotFound("unknown shape builder '" + func +
+                          "' (circle|triangle|rectangle)");
+}
+
+}  // namespace
+
+Status Session::RegisterArrayOp(const std::string& name, UserArrayOp op) {
+  if (name.empty()) return Status::Invalid("operator name is empty");
+  if (op == nullptr) return Status::Invalid("null operator body");
+  std::string lower = ToLowerName(name);
+  if (BuiltinOpNames().count(lower)) {
+    return Status::Invalid("cannot shadow built-in operator '" + lower +
+                           "'");
+  }
+  auto [it, inserted] = user_ops_.emplace(lower, std::move(op));
+  if (!inserted) {
+    return Status::AlreadyExists("operator '" + lower +
+                                 "' already registered");
+  }
+  user_op_names_.insert(lower);
+  return Status::OK();
+}
+
+bool Session::HasArrayOp(const std::string& name) const {
+  return user_ops_.count(ToLowerName(name)) > 0;
+}
+
+Result<QueryResult> Session::Execute(const Statement& stmt) {
+  QueryResult result;
+  switch (stmt.kind) {
+    case Statement::Kind::kDefine:
+      RETURN_NOT_OK(Define(stmt.define_schema));
+      result.message = "defined " + stmt.define_schema.name();
+      return result;
+    case Statement::Kind::kCreate:
+      RETURN_NOT_OK(
+          CreateArray(stmt.create_name, stmt.create_type, stmt.create_highs));
+      result.message = "created " + stmt.create_name;
+      return result;
+    case Statement::Kind::kInsert: {
+      ASSIGN_OR_RETURN(std::shared_ptr<MemArray> arr,
+                       GetArray(stmt.insert_array));
+      RETURN_NOT_OK(arr->SetCell(stmt.insert_coords, stmt.insert_values));
+      result.message = "inserted 1 cell";
+      return result;
+    }
+    case Statement::Kind::kEnhance: {
+      ASSIGN_OR_RETURN(EnhancedArray* arr, Enhanced(stmt.target_array));
+      ASSIGN_OR_RETURN(
+          std::shared_ptr<EnhancementFunction> fn,
+          BuildEnhancement(stmt.func_name, stmt.func_args,
+                           arr->base().schema().ndims()));
+      RETURN_NOT_OK(arr->Enhance(fn));
+      result.message = "enhanced " + stmt.target_array + " with " +
+                       stmt.func_name;
+      return result;
+    }
+    case Statement::Kind::kShape: {
+      ASSIGN_OR_RETURN(EnhancedArray* arr, Enhanced(stmt.target_array));
+      ASSIGN_OR_RETURN(std::shared_ptr<ShapeFunction> fn,
+                       BuildShape(stmt.func_name, stmt.func_args,
+                                  arr->base().schema().ndims()));
+      RETURN_NOT_OK(arr->SetShape(fn));
+      result.message = "shaped " + stmt.target_array + " with " +
+                       stmt.func_name;
+      return result;
+    }
+    case Statement::Kind::kEnhancedRead: {
+      ASSIGN_OR_RETURN(EnhancedArray* arr, Enhanced(stmt.read_array));
+      ASSIGN_OR_RETURN(result.values,
+                       arr->GetEnhancedAny(stmt.read_pseudo));
+      result.kind = QueryResult::Kind::kValues;
+      return result;
+    }
+    case Statement::Kind::kTrace: {
+      if (provenance_ == nullptr) {
+        return Status::Invalid(
+            "no provenance log attached to this session");
+      }
+      CellRef d{stmt.trace_array, stmt.trace_coords};
+      result.kind = QueryResult::Kind::kCells;
+      if (stmt.trace_back) {
+        ASSIGN_OR_RETURN(auto steps, provenance_->TraceBack(d));
+        for (const auto& step : steps) {
+          for (const CellRef& c : step.contributors) {
+            result.cells.push_back(c);
+          }
+        }
+        result.message =
+            "derivation spans " + std::to_string(steps.size()) + " step(s)";
+      } else {
+        ASSIGN_OR_RETURN(result.cells, provenance_->TraceForward(d));
+        result.message = std::to_string(result.cells.size()) +
+                         " downstream element(s)";
+      }
+      return result;
+    }
+    case Statement::Kind::kQuery: {
+      OpNodePtr tree = stmt.query;
+      if (optimize_) {
+        ASSIGN_OR_RETURN(tree, OptimizeOpTree(tree));
+      }
+      return ExecuteQueryNode(tree);
+    }
+    case Statement::Kind::kStore: {
+      OpNodePtr tree = stmt.query;
+      if (optimize_) {
+        ASSIGN_OR_RETURN(tree, OptimizeOpTree(tree));
+      }
+      ASSIGN_OR_RETURN(MemArray out, Eval(tree));
+      if (arrays_.count(stmt.store_into)) {
+        return Status::AlreadyExists("array '" + stmt.store_into +
+                                     "' already exists");
+      }
+      out.mutable_schema()->set_name(stmt.store_into);
+      arrays_.emplace(stmt.store_into,
+                      std::make_shared<MemArray>(std::move(out)));
+      result.message = "stored " + stmt.store_into;
+      return result;
+    }
+  }
+  return Status::Internal("unhandled statement kind");
+}
+
+Result<QueryResult> Session::ExecuteQueryNode(const OpNodePtr& node) const {
+  QueryResult result;
+  if (node->op == "exists") {
+    // Exists? [A, 7, 7] — boolean result (paper §2.2.1).
+    if (node->inputs.size() != 1) {
+      return Status::Invalid("Exists takes one array");
+    }
+    ASSIGN_OR_RETURN(MemArray in, Eval(node->inputs[0]));
+    result.kind = QueryResult::Kind::kBool;
+    result.boolean = in.Exists(node->numbers);
+    return result;
+  }
+  ASSIGN_OR_RETURN(MemArray out, Eval(node));
+  result.kind = QueryResult::Kind::kArray;
+  result.array = std::make_shared<MemArray>(std::move(out));
+  return result;
+}
+
+namespace {
+
+// Converts an Sjoin predicate expression into dimension pairs: a
+// conjunction of A.dim = B.dim equalities.
+Status ExtractDimPairs(
+    const Expr& e,
+    std::vector<std::pair<std::string, std::string>>* pairs) {
+  if (e.kind() == Expr::Kind::kBinary) {
+    const auto& b = static_cast<const BinaryExpr&>(e);
+    if (b.op() == BinaryOp::kAnd) {
+      RETURN_NOT_OK(ExtractDimPairs(*b.lhs(), pairs));
+      return ExtractDimPairs(*b.rhs(), pairs);
+    }
+    if (b.op() == BinaryOp::kEq &&
+        b.lhs()->kind() == Expr::Kind::kRef &&
+        b.rhs()->kind() == Expr::Kind::kRef) {
+      const auto* l = static_cast<const RefExpr*>(b.lhs().get());
+      const auto* r = static_cast<const RefExpr*>(b.rhs().get());
+      if (l->side() == 0 && r->side() == 1) {
+        pairs->push_back({l->name(), r->name()});
+        return Status::OK();
+      }
+      if (l->side() == 1 && r->side() == 0) {
+        pairs->push_back({r->name(), l->name()});
+        return Status::OK();
+      }
+    }
+  }
+  return Status::Invalid(
+      "Sjoin predicate must be a conjunction of A.dim = B.dim equalities: " +
+      e.ToString());
+}
+
+}  // namespace
+
+Result<MemArray> Session::Eval(const OpNodePtr& node) const {
+  if (node == nullptr) return Status::Invalid("null query node");
+  if (node->is_array_ref()) {
+    ASSIGN_OR_RETURN(std::shared_ptr<MemArray> arr, GetArray(node->array));
+    return *arr;  // value copy: operators never mutate catalog arrays
+  }
+  ExecContext ctx = MakeContext();
+  const std::string& op = node->op;
+
+  auto input = [&](size_t i) -> Result<MemArray> {
+    if (i >= node->inputs.size()) {
+      return Status::Invalid(op + ": missing input " + std::to_string(i));
+    }
+    return Eval(node->inputs[i]);
+  };
+
+  if (op == "subsample") {
+    ASSIGN_OR_RETURN(MemArray a, input(0));
+    return Subsample(ctx, a, node->exprs.at(0));
+  }
+  if (op == "filter") {
+    ASSIGN_OR_RETURN(MemArray a, input(0));
+    return Filter(ctx, a, node->exprs.at(0));
+  }
+  if (op == "sjoin") {
+    ASSIGN_OR_RETURN(MemArray a, input(0));
+    ASSIGN_OR_RETURN(MemArray b, input(1));
+    std::vector<std::pair<std::string, std::string>> pairs;
+    RETURN_NOT_OK(ExtractDimPairs(*node->exprs.at(0), &pairs));
+    return Sjoin(ctx, a, b, pairs);
+  }
+  if (op == "cjoin") {
+    ASSIGN_OR_RETURN(MemArray a, input(0));
+    ASSIGN_OR_RETURN(MemArray b, input(1));
+    return Cjoin(ctx, a, b, node->exprs.at(0));
+  }
+  if (op == "aggregate") {
+    ASSIGN_OR_RETURN(MemArray a, input(0));
+    if (node->aggs.size() > 1) {
+      std::vector<AggCall> calls;
+      for (const AggSpec& spec : node->aggs) {
+        calls.push_back({spec.agg, spec.attr});
+      }
+      return AggregateMulti(ctx, a, node->names, calls);
+    }
+    return Aggregate(ctx, a, node->names, node->agg.agg, node->agg.attr);
+  }
+  if (op == "apply") {
+    ASSIGN_OR_RETURN(MemArray a, input(0));
+    return Apply(ctx, a, node->names.at(0), DataType::kDouble,
+                 node->exprs.at(0));
+  }
+  if (op == "project") {
+    ASSIGN_OR_RETURN(MemArray a, input(0));
+    return Project(ctx, a, node->names);
+  }
+  if (op == "reshape") {
+    ASSIGN_OR_RETURN(MemArray a, input(0));
+    return Reshape(ctx, a, node->names, node->dims);
+  }
+  if (op == "regrid") {
+    ASSIGN_OR_RETURN(MemArray a, input(0));
+    return Regrid(ctx, a, node->numbers, node->agg.agg, node->agg.attr);
+  }
+  if (op == "window") {
+    ASSIGN_OR_RETURN(MemArray a, input(0));
+    return WindowAggregate(ctx, a, node->numbers, node->agg.agg,
+                           node->agg.attr);
+  }
+  if (op == "concat") {
+    ASSIGN_OR_RETURN(MemArray a, input(0));
+    ASSIGN_OR_RETURN(MemArray b, input(1));
+    return Concat(ctx, a, b, node->names.at(0));
+  }
+  if (op == "crossproduct") {
+    ASSIGN_OR_RETURN(MemArray a, input(0));
+    ASSIGN_OR_RETURN(MemArray b, input(1));
+    return CrossProduct(ctx, a, b);
+  }
+  if (op == "adddimension") {
+    ASSIGN_OR_RETURN(MemArray a, input(0));
+    return AddDimension(ctx, a, node->names.at(0));
+  }
+  if (op == "removedimension") {
+    ASSIGN_OR_RETURN(MemArray a, input(0));
+    return RemoveDimension(ctx, a, node->names.at(0));
+  }
+  if (op == "exists") {
+    return Status::Invalid(
+        "Exists is a top-level predicate, not an array expression");
+  }
+  if (auto it = user_ops_.find(op); it != user_ops_.end()) {
+    std::vector<MemArray> inputs;
+    inputs.reserve(node->inputs.size());
+    for (size_t i = 0; i < node->inputs.size(); ++i) {
+      ASSIGN_OR_RETURN(MemArray in, input(i));
+      inputs.push_back(std::move(in));
+    }
+    return it->second(ctx, inputs, node->exprs);
+  }
+  return Status::NotImplemented("unknown operator '" + op + "'");
+}
+
+// ------------------------------- binding --------------------------------
+
+namespace binding {
+
+namespace {
+std::shared_ptr<OpNode> Node(std::string op) {
+  auto n = std::make_shared<OpNode>();
+  n->op = std::move(op);
+  return n;
+}
+}  // namespace
+
+OpNodePtr Array(std::string name) {
+  auto n = std::make_shared<OpNode>();
+  n->array = std::move(name);
+  return n;
+}
+
+OpNodePtr Subsample(OpNodePtr in, ExprPtr pred) {
+  auto n = Node("subsample");
+  n->inputs = {std::move(in)};
+  n->exprs = {std::move(pred)};
+  return n;
+}
+
+OpNodePtr Filter(OpNodePtr in, ExprPtr pred) {
+  auto n = Node("filter");
+  n->inputs = {std::move(in)};
+  n->exprs = {std::move(pred)};
+  return n;
+}
+
+OpNodePtr Sjoin(OpNodePtr a, OpNodePtr b, ExprPtr dim_equalities) {
+  auto n = Node("sjoin");
+  n->inputs = {std::move(a), std::move(b)};
+  n->exprs = {std::move(dim_equalities)};
+  return n;
+}
+
+OpNodePtr Cjoin(OpNodePtr a, OpNodePtr b, ExprPtr pred) {
+  auto n = Node("cjoin");
+  n->inputs = {std::move(a), std::move(b)};
+  n->exprs = {std::move(pred)};
+  return n;
+}
+
+OpNodePtr Aggregate(OpNodePtr in, std::vector<std::string> group_dims,
+                    std::string agg, std::string attr) {
+  auto n = Node("aggregate");
+  n->inputs = {std::move(in)};
+  n->names = std::move(group_dims);
+  n->agg = {std::move(agg), std::move(attr)};
+  return n;
+}
+
+OpNodePtr Apply(OpNodePtr in, std::string attr, ExprPtr e) {
+  auto n = Node("apply");
+  n->inputs = {std::move(in)};
+  n->names = {std::move(attr)};
+  n->exprs = {std::move(e)};
+  return n;
+}
+
+OpNodePtr Project(OpNodePtr in, std::vector<std::string> attrs) {
+  auto n = Node("project");
+  n->inputs = {std::move(in)};
+  n->names = std::move(attrs);
+  return n;
+}
+
+OpNodePtr Reshape(OpNodePtr in, std::vector<std::string> dim_order,
+                  std::vector<DimensionDesc> new_dims) {
+  auto n = Node("reshape");
+  n->inputs = {std::move(in)};
+  n->names = std::move(dim_order);
+  n->dims = std::move(new_dims);
+  return n;
+}
+
+OpNodePtr Regrid(OpNodePtr in, std::vector<int64_t> factors, std::string agg,
+                 std::string attr) {
+  auto n = Node("regrid");
+  n->inputs = {std::move(in)};
+  n->numbers = std::move(factors);
+  n->agg = {std::move(agg), std::move(attr)};
+  return n;
+}
+
+OpNodePtr Window(OpNodePtr in, std::vector<int64_t> radii, std::string agg,
+                 std::string attr) {
+  auto n = Node("window");
+  n->inputs = {std::move(in)};
+  n->numbers = std::move(radii);
+  n->agg = {std::move(agg), std::move(attr)};
+  return n;
+}
+
+OpNodePtr Concat(OpNodePtr a, OpNodePtr b, std::string dim) {
+  auto n = Node("concat");
+  n->inputs = {std::move(a), std::move(b)};
+  n->names = {std::move(dim)};
+  return n;
+}
+
+OpNodePtr CrossProduct(OpNodePtr a, OpNodePtr b) {
+  auto n = Node("crossproduct");
+  n->inputs = {std::move(a), std::move(b)};
+  return n;
+}
+
+OpNodePtr AddDimension(OpNodePtr in, std::string name) {
+  auto n = Node("adddimension");
+  n->inputs = {std::move(in)};
+  n->names = {std::move(name)};
+  return n;
+}
+
+OpNodePtr RemoveDimension(OpNodePtr in, std::string name) {
+  auto n = Node("removedimension");
+  n->inputs = {std::move(in)};
+  n->names = {std::move(name)};
+  return n;
+}
+
+}  // namespace binding
+
+}  // namespace scidb

@@ -1,0 +1,133 @@
+#ifndef SCIDB_QUERY_SESSION_H_
+#define SCIDB_QUERY_SESSION_H_
+
+#include <functional>
+#include <map>
+#include <set>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "array/mem_array.h"
+#include "common/result.h"
+#include "exec/operators.h"
+#include "provenance/provenance.h"
+#include "query/parse_tree.h"
+#include "udf/enhanced_array.h"
+#include "udf/aggregate.h"
+#include "udf/function.h"
+
+namespace scidb {
+
+// The result of executing one statement.
+struct QueryResult {
+  enum class Kind { kNone, kArray, kBool, kCells, kValues };
+  Kind kind = Kind::kNone;
+  std::shared_ptr<MemArray> array;
+  bool boolean = false;
+  std::string message;             // "defined", "created", ...
+  std::vector<CellRef> cells;      // trace results (kCells)
+  std::vector<Value> values;       // enhanced-read results (kValues)
+};
+
+// A user-registered array operation (paper §2.3): receives the evaluated
+// input arrays and the raw expression arguments of its call site.
+using UserArrayOp = std::function<Result<MemArray>(
+    const ExecContext& ctx, const std::vector<MemArray>& inputs,
+    const std::vector<ExprPtr>& args)>;
+
+// A session owns the catalog (array type definitions + array instances)
+// and the function/aggregate registries, and executes parse trees —
+// whether produced by the AQL parser (Execute(string)) or by a language
+// binding (Execute(OpNodePtr) / Execute(Statement)). This is the paper's
+// §2.4 architecture: one command representation, many bindings.
+class Session {
+ public:
+  Session();
+
+  FunctionRegistry* functions() { return &functions_; }
+  AggregateRegistry* aggregates() { return &aggregates_; }
+  ExecContext MakeContext() const;
+
+  // ---- catalog ----
+  Status Define(const ArraySchema& type_schema);
+  Status CreateArray(const std::string& name, const std::string& type_name,
+                     const std::vector<int64_t>& highs);
+  // Registers an externally built array instance under its schema name.
+  Status RegisterArray(std::shared_ptr<MemArray> array);
+  Result<std::shared_ptr<MemArray>> GetArray(const std::string& name) const;
+  bool HasArray(const std::string& name) const;
+  std::vector<std::string> ArrayNames() const;
+
+  // ---- execution ----
+  Result<QueryResult> Execute(const std::string& statement);
+  Result<QueryResult> Execute(const Statement& stmt);
+  // Evaluates an operator tree to an array (the binding entry point).
+  Result<MemArray> Eval(const OpNodePtr& node) const;
+
+  // Logical optimization of query trees before execution (default on);
+  // see query/optimizer.h. Off-switch for ablation benchmarks.
+  void set_optimize(bool on) { optimize_ = on; }
+  bool optimize() const { return optimize_; }
+
+  // ---- §2.1 enhancements / shapes on catalog arrays ----
+  // The enhanced wrapper for a catalog array (created on first use).
+  Result<EnhancedArray*> Enhanced(const std::string& array_name);
+
+  // ---- §2.12 provenance query language ----
+  // Attaches a provenance log; afterwards "trace back X [c...]" and
+  // "trace forward X [c...]" statements resolve against it (non-owning;
+  // the log must outlive the session or be detached with nullptr).
+  void AttachProvenance(const ProvenanceLog* log) { provenance_ = log; }
+
+  // ---- §2.3 extendability: user array operations ----
+  // Registers `name` as a new operator usable from AQL and Eval().
+  // Built-in operator names cannot be shadowed.
+  Status RegisterArrayOp(const std::string& name, UserArrayOp op);
+  bool HasArrayOp(const std::string& name) const;
+
+ private:
+  Result<QueryResult> ExecuteQueryNode(const OpNodePtr& node) const;
+
+  FunctionRegistry functions_;
+  AggregateRegistry aggregates_;
+  std::map<std::string, ArraySchema> defines_;
+  std::map<std::string, std::shared_ptr<MemArray>> arrays_;
+  std::map<std::string, std::shared_ptr<EnhancedArray>> enhanced_;
+  std::map<std::string, UserArrayOp> user_ops_;
+  std::set<std::string> user_op_names_;  // lowercase, for the parser
+  bool optimize_ = true;
+  const ProvenanceLog* provenance_ = nullptr;
+};
+
+// ------------------- fluent C++ binding (paper §2.4) -------------------
+// Builds the same OpNode parse trees the text parser emits, using native
+// C++ control structures — "fit large array manipulation cleanly into the
+// target language", no ODBC/JDBC-style data sublanguage.
+namespace binding {
+
+OpNodePtr Array(std::string name);
+OpNodePtr Subsample(OpNodePtr in, ExprPtr pred);
+OpNodePtr Filter(OpNodePtr in, ExprPtr pred);
+OpNodePtr Sjoin(OpNodePtr a, OpNodePtr b, ExprPtr dim_equalities);
+OpNodePtr Cjoin(OpNodePtr a, OpNodePtr b, ExprPtr pred);
+OpNodePtr Aggregate(OpNodePtr in, std::vector<std::string> group_dims,
+                    std::string agg, std::string attr);
+OpNodePtr Apply(OpNodePtr in, std::string attr, ExprPtr e);
+OpNodePtr Project(OpNodePtr in, std::vector<std::string> attrs);
+OpNodePtr Reshape(OpNodePtr in, std::vector<std::string> dim_order,
+                  std::vector<DimensionDesc> new_dims);
+OpNodePtr Regrid(OpNodePtr in, std::vector<int64_t> factors,
+                 std::string agg, std::string attr);
+OpNodePtr Window(OpNodePtr in, std::vector<int64_t> radii,
+                 std::string agg, std::string attr);
+OpNodePtr Concat(OpNodePtr a, OpNodePtr b, std::string dim);
+OpNodePtr CrossProduct(OpNodePtr a, OpNodePtr b);
+OpNodePtr AddDimension(OpNodePtr in, std::string name);
+OpNodePtr RemoveDimension(OpNodePtr in, std::string name);
+
+}  // namespace binding
+
+}  // namespace scidb
+
+#endif  // SCIDB_QUERY_SESSION_H_

@@ -1,0 +1,147 @@
+#include "relational/array_on_table.h"
+
+#include "common/macros.h"
+
+namespace scidb {
+
+ArrayOnTable::ArrayOnTable(const ArraySchema& schema) : schema_(schema) {
+  std::vector<ColumnDesc> cols;
+  for (const auto& d : schema.dims()) {
+    cols.push_back({d.name, DataType::kInt64});
+  }
+  for (const auto& a : schema.attrs()) {
+    cols.push_back({a.name, a.type});
+  }
+  table_ = Table(schema.name() + "_tab", std::move(cols));
+  std::vector<size_t> dim_cols;
+  for (size_t d = 0; d < schema.ndims(); ++d) dim_cols.push_back(d);
+  SCIDB_CHECK(table_.BuildIndex(std::move(dim_cols)).ok());
+}
+
+Status ArrayOnTable::SetCell(const Coordinates& c,
+                             const std::vector<Value>& values) {
+  if (c.size() != schema_.ndims() || values.size() != schema_.nattrs()) {
+    return Status::Invalid("cell arity mismatch");
+  }
+  std::vector<Value> row;
+  row.reserve(c.size() + values.size());
+  for (int64_t d : c) row.emplace_back(d);
+  row.insert(row.end(), values.begin(), values.end());
+  return table_.Append(std::move(row));
+}
+
+Status ArrayOnTable::LoadFrom(const MemArray& array) {
+  Status st;
+  bool failed = false;
+  std::vector<Value> cell;
+  array.ForEachCell([&](const Coordinates& c, const Chunk& chunk,
+                        int64_t rank) {
+    cell.clear();
+    for (size_t a = 0; a < chunk.nattrs(); ++a) {
+      cell.push_back(chunk.block(a).Get(rank));
+    }
+    st = SetCell(c, cell);
+    if (!st.ok()) {
+      failed = true;
+      return false;
+    }
+    return true;
+  });
+  if (failed) return st;
+  return Status::OK();
+}
+
+std::optional<std::vector<Value>> ArrayOnTable::GetCell(
+    const Coordinates& c) const {
+  std::vector<Value> key;
+  key.reserve(c.size());
+  for (int64_t d : c) key.emplace_back(d);
+  auto rows = table_.IndexLookup(key);
+  if (rows.empty()) return std::nullopt;
+  const auto& row = table_.row(rows.back());  // last write wins
+  return std::vector<Value>(row.begin() + static_cast<int64_t>(c.size()),
+                            row.end());
+}
+
+Result<ArrayOnTable> ArrayOnTable::Subsample(const Box& window) const {
+  if (window.ndims() != schema_.ndims()) {
+    return Status::Invalid("window arity mismatch");
+  }
+  ArrayOnTable out(schema_);
+  // Index range scan on the leading dimension, residual filter on the
+  // rest — what a sensible RDBMS plan does for a box predicate.
+  auto rows = table_.IndexRangeLookup(Value(window.low[0]),
+                                      Value(window.high[0]));
+  for (size_t r : rows) {
+    const auto& row = table_.row(r);
+    bool inside = true;
+    for (size_t d = 1; d < schema_.ndims(); ++d) {
+      auto v = row[d].AsInt64();
+      if (!v.ok() || v.value() < window.low[d] ||
+          v.value() > window.high[d]) {
+        inside = false;
+        break;
+      }
+    }
+    if (inside) {
+      RETURN_NOT_OK(out.table_.Append(row));
+    }
+  }
+  return out;
+}
+
+Result<Table> ArrayOnTable::Aggregate(
+    const std::vector<std::string>& group_dims, const std::string& agg,
+    const std::string& attr) const {
+  std::string target = attr;
+  if (target == "*") target = schema_.attr(0).name;
+  return GroupBy(table_, group_dims, agg, target);
+}
+
+Result<Table> ArrayOnTable::Regrid(const std::vector<int64_t>& factors,
+                                   const std::string& agg,
+                                   const std::string& attr) const {
+  if (factors.size() != schema_.ndims()) {
+    return Status::Invalid("Regrid: need one factor per dimension");
+  }
+  std::string target = attr;
+  if (target == "*") target = schema_.attr(0).name;
+
+  // Materialize block-id columns, then GROUP BY them — the standard SQL
+  // formulation SELECT (d1-lo)/f1, ..., agg(v) ... GROUP BY 1, ...
+  std::vector<ColumnDesc> cols;
+  std::vector<std::string> block_names;
+  for (size_t d = 0; d < schema_.ndims(); ++d) {
+    block_names.push_back("blk_" + schema_.dim(d).name);
+    cols.push_back({block_names.back(), DataType::kInt64});
+  }
+  for (const auto& c : table_.columns()) cols.push_back(c);
+  Table widened(table_.name() + "_blk", std::move(cols));
+  Status st;
+  bool failed = false;
+  table_.ForEachRow([&](const std::vector<Value>& row) {
+    std::vector<Value> r;
+    r.reserve(row.size() + schema_.ndims());
+    for (size_t d = 0; d < schema_.ndims(); ++d) {
+      auto v = row[d].AsInt64();
+      if (!v.ok()) {
+        st = v.status();
+        failed = true;
+        return false;
+      }
+      r.emplace_back(schema_.dim(d).low +
+                     (v.value() - schema_.dim(d).low) / factors[d]);
+    }
+    r.insert(r.end(), row.begin(), row.end());
+    st = widened.Append(std::move(r));
+    if (!st.ok()) {
+      failed = true;
+      return false;
+    }
+    return true;
+  });
+  if (failed) return st;
+  return GroupBy(widened, block_names, agg, target);
+}
+
+}  // namespace scidb

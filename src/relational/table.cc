@@ -1,0 +1,224 @@
+#include "relational/table.h"
+
+#include <algorithm>
+
+#include "common/macros.h"
+
+namespace scidb {
+
+Result<size_t> Table::ColumnIndex(const std::string& name) const {
+  for (size_t i = 0; i < cols_.size(); ++i) {
+    if (cols_[i].name == name) return i;
+  }
+  return Status::NotFound("table '" + name_ + "' has no column '" + name +
+                          "'");
+}
+
+Status Table::Append(std::vector<Value> row) {
+  if (row.size() != cols_.size()) {
+    return Status::Invalid("row arity " + std::to_string(row.size()) +
+                           " != column count " +
+                           std::to_string(cols_.size()));
+  }
+  rows_.push_back(std::move(row));
+  if (!index_cols_.empty()) {
+    // Keep the index live on append (B-tree style insert).
+    std::vector<Value> key;
+    key.reserve(index_cols_.size());
+    for (size_t c : index_cols_) key.push_back(rows_.back()[c]);
+    index_[std::move(key)].push_back(rows_.size() - 1);
+  }
+  return Status::OK();
+}
+
+Status Table::BuildIndex(std::vector<size_t> key_cols) {
+  for (size_t c : key_cols) {
+    if (c >= cols_.size()) return Status::Invalid("index column out of range");
+  }
+  index_cols_ = std::move(key_cols);
+  index_.clear();
+  for (size_t i = 0; i < rows_.size(); ++i) {
+    std::vector<Value> key;
+    key.reserve(index_cols_.size());
+    for (size_t c : index_cols_) key.push_back(rows_[i][c]);
+    index_[std::move(key)].push_back(i);
+  }
+  return Status::OK();
+}
+
+std::vector<size_t> Table::IndexLookup(const std::vector<Value>& key) const {
+  auto it = index_.find(key);
+  if (it == index_.end()) return {};
+  return it->second;
+}
+
+std::vector<size_t> Table::IndexRangeLookup(const Value& lo,
+                                            const Value& hi) const {
+  std::vector<size_t> out;
+  auto first = index_.lower_bound({lo});
+  for (auto it = first; it != index_.end(); ++it) {
+    if (hi.LessThan(it->first[0])) break;
+    out.insert(out.end(), it->second.begin(), it->second.end());
+  }
+  return out;
+}
+
+size_t Table::ByteSize() const {
+  size_t bytes = 0;
+  for (const auto& row : rows_) {
+    bytes += sizeof(row) + row.size() * sizeof(Value);
+    for (const auto& v : row) {
+      if (v.is_string()) bytes += v.string_value().size();
+    }
+  }
+  for (const auto& [key, rows] : index_) {
+    bytes += key.size() * sizeof(Value) + rows.size() * sizeof(size_t);
+  }
+  return bytes;
+}
+
+Table Select(const Table& t, const RowPredicate& pred) {
+  Table out(t.name() + "_sel", t.columns());
+  t.ForEachRow([&](const std::vector<Value>& row) {
+    if (pred(row)) SCIDB_CHECK(out.Append(row).ok());
+    return true;
+  });
+  return out;
+}
+
+Result<Table> ProjectColumns(const Table& t,
+                             const std::vector<std::string>& cols) {
+  std::vector<size_t> idx;
+  std::vector<ColumnDesc> out_cols;
+  for (const auto& c : cols) {
+    ASSIGN_OR_RETURN(size_t i, t.ColumnIndex(c));
+    idx.push_back(i);
+    out_cols.push_back(t.columns()[i]);
+  }
+  Table out(t.name() + "_proj", std::move(out_cols));
+  t.ForEachRow([&](const std::vector<Value>& row) {
+    std::vector<Value> r;
+    r.reserve(idx.size());
+    for (size_t i : idx) r.push_back(row[i]);
+    SCIDB_CHECK(out.Append(std::move(r)).ok());
+    return true;
+  });
+  return out;
+}
+
+Result<Table> HashJoin(const Table& a, const std::string& a_col,
+                       const Table& b, const std::string& b_col) {
+  ASSIGN_OR_RETURN(size_t ai, a.ColumnIndex(a_col));
+  ASSIGN_OR_RETURN(size_t bi, b.ColumnIndex(b_col));
+  std::vector<ColumnDesc> cols = a.columns();
+  for (ColumnDesc c : b.columns()) {
+    for (const auto& existing : a.columns()) {
+      if (existing.name == c.name) {
+        c.name += "_2";
+        break;
+      }
+    }
+    cols.push_back(std::move(c));
+  }
+  Table out(a.name() + "_join", std::move(cols));
+
+  // Build side: hash B by join key (string key from ToString: Values are
+  // heterogeneous, map<Value> needs the custom comparator; the string key
+  // is the classic cheap trick and keeps this comparator honest).
+  std::multimap<std::string, size_t> build;
+  for (size_t i = 0; i < b.nrows(); ++i) {
+    build.emplace(b.row(i)[bi].ToString(), i);
+  }
+  Status st;
+  bool failed = false;
+  a.ForEachRow([&](const std::vector<Value>& row) {
+    auto [first, last] = build.equal_range(row[ai].ToString());
+    for (auto it = first; it != last; ++it) {
+      if (!row[ai].EqualsForJoin(b.row(it->second)[bi])) continue;
+      std::vector<Value> r = row;
+      const auto& brow = b.row(it->second);
+      r.insert(r.end(), brow.begin(), brow.end());
+      st = out.Append(std::move(r));
+      if (!st.ok()) {
+        failed = true;
+        return false;
+      }
+    }
+    return true;
+  });
+  if (failed) return st;
+  return out;
+}
+
+Result<Table> GroupBy(const Table& t,
+                      const std::vector<std::string>& group_cols,
+                      const std::string& agg, const std::string& agg_col) {
+  std::vector<size_t> gidx;
+  std::vector<ColumnDesc> out_cols;
+  for (const auto& c : group_cols) {
+    ASSIGN_OR_RETURN(size_t i, t.ColumnIndex(c));
+    gidx.push_back(i);
+    out_cols.push_back(t.columns()[i]);
+  }
+  ASSIGN_OR_RETURN(size_t aidx, t.ColumnIndex(agg_col));
+  out_cols.push_back({agg, agg == "count" ? DataType::kInt64
+                                          : DataType::kDouble});
+  Table out(t.name() + "_grp", std::move(out_cols));
+
+  struct Acc {
+    double sum = 0;
+    int64_t count = 0;
+    double mn = 1e300, mx = -1e300;
+    std::vector<Value> key;
+  };
+  std::map<std::string, Acc> groups;
+  Status st;
+  bool failed = false;
+  t.ForEachRow([&](const std::vector<Value>& row) {
+    std::string key;
+    std::vector<Value> key_vals;
+    for (size_t i : gidx) {
+      key += row[i].ToString();
+      key += '\x1f';
+      key_vals.push_back(row[i]);
+    }
+    Acc& acc = groups[key];
+    if (acc.key.empty()) acc.key = std::move(key_vals);
+    const Value& v = row[aidx];
+    if (!v.is_null()) {
+      auto d = v.AsDouble();
+      if (!d.ok()) {
+        st = d.status();
+        failed = true;
+        return false;
+      }
+      acc.sum += d.value();
+      ++acc.count;
+      acc.mn = std::min(acc.mn, d.value());
+      acc.mx = std::max(acc.mx, d.value());
+    }
+    return true;
+  });
+  if (failed) return st;
+
+  for (auto& [key, acc] : groups) {
+    std::vector<Value> row = acc.key;
+    if (agg == "sum") {
+      row.emplace_back(acc.sum);
+    } else if (agg == "count") {
+      row.emplace_back(acc.count);
+    } else if (agg == "avg") {
+      row.emplace_back(acc.count ? acc.sum / acc.count : 0.0);
+    } else if (agg == "min") {
+      row.emplace_back(acc.mn);
+    } else if (agg == "max") {
+      row.emplace_back(acc.mx);
+    } else {
+      return Status::NotImplemented("GroupBy aggregate '" + agg + "'");
+    }
+    RETURN_NOT_OK(out.Append(std::move(row)));
+  }
+  return out;
+}
+
+}  // namespace scidb

@@ -1,0 +1,99 @@
+#ifndef SCIDB_RELATIONAL_TABLE_H_
+#define SCIDB_RELATIONAL_TABLE_H_
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "types/data_type.h"
+#include "types/value.h"
+
+namespace scidb {
+
+// A deliberately conventional row-store: tuples of boxed values, optional
+// sorted secondary index, tuple-at-a-time operators. This is the
+// comparator for EXP-ASAP — the paper's claim that simulating arrays on
+// top of tables costs around two orders of magnitude (§2.1, citing the
+// ASAP study). It is implemented honestly (hash/sorted index lookups, not
+// strawman scans) but with classic RDBMS per-tuple overheads.
+struct ColumnDesc {
+  std::string name;
+  DataType type = DataType::kDouble;
+};
+
+class Table {
+ public:
+  Table() = default;
+  Table(std::string name, std::vector<ColumnDesc> cols)
+      : name_(std::move(name)), cols_(std::move(cols)) {}
+
+  const std::string& name() const { return name_; }
+  const std::vector<ColumnDesc>& columns() const { return cols_; }
+  size_t ncols() const { return cols_.size(); }
+  size_t nrows() const { return rows_.size(); }
+  Result<size_t> ColumnIndex(const std::string& name) const;
+
+  Status Append(std::vector<Value> row);
+  const std::vector<Value>& row(size_t i) const { return rows_[i]; }
+
+  // Builds a sorted unique index over the given columns (typically the
+  // dimension columns of an array-on-table). Invalidated by Append.
+  Status BuildIndex(std::vector<size_t> key_cols);
+  bool has_index() const { return !index_.empty(); }
+  // Rows whose key columns equal `key` (usually 0 or 1 for dim keys).
+  std::vector<size_t> IndexLookup(const std::vector<Value>& key) const;
+  // Rows whose FIRST key column lies in [lo, hi] (range scan on the
+  // index's leading column); remaining columns unconstrained.
+  std::vector<size_t> IndexRangeLookup(const Value& lo, const Value& hi)
+      const;
+
+  size_t ByteSize() const;
+
+  template <typename Fn>
+  void ForEachRow(Fn&& fn) const {
+    for (size_t i = 0; i < rows_.size(); ++i) {
+      if (!fn(rows_[i])) return;
+    }
+  }
+
+ private:
+  struct KeyLess {
+    bool operator()(const std::vector<Value>& a,
+                    const std::vector<Value>& b) const {
+      for (size_t i = 0; i < a.size() && i < b.size(); ++i) {
+        if (a[i].LessThan(b[i])) return true;
+        if (b[i].LessThan(a[i])) return false;
+      }
+      return a.size() < b.size();
+    }
+  };
+
+  std::string name_;
+  std::vector<ColumnDesc> cols_;
+  std::vector<std::vector<Value>> rows_;
+  std::vector<size_t> index_cols_;
+  std::map<std::vector<Value>, std::vector<size_t>, KeyLess> index_;
+};
+
+// ---- tuple-at-a-time relational operators ----
+
+using RowPredicate = std::function<bool(const std::vector<Value>&)>;
+
+Table Select(const Table& t, const RowPredicate& pred);
+Result<Table> ProjectColumns(const Table& t,
+                             const std::vector<std::string>& cols);
+// Hash equi-join on one column pair.
+Result<Table> HashJoin(const Table& a, const std::string& a_col,
+                       const Table& b, const std::string& b_col);
+// Group by `group_cols`, aggregating `agg` ("sum"|"count"|"avg"|"min"|
+// "max") over `agg_col`.
+Result<Table> GroupBy(const Table& t,
+                      const std::vector<std::string>& group_cols,
+                      const std::string& agg, const std::string& agg_col);
+
+}  // namespace scidb
+
+#endif  // SCIDB_RELATIONAL_TABLE_H_

@@ -1,0 +1,80 @@
+#ifndef SCIDB_STORAGE_BACKGROUND_MERGER_H_
+#define SCIDB_STORAGE_BACKGROUND_MERGER_H_
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <mutex>
+#include <thread>
+
+#include "storage/storage_manager.h"
+
+namespace scidb {
+
+// Background thread that periodically combines small buckets into larger
+// ones (paper §2.8: "In a style similar to that employed by Vertica, a
+// background thread can combine buckets into larger ones as an
+// optimization"). DiskArray is not internally synchronized, so the merger
+// owns an external mutex that foreground readers share via WithLock().
+class BackgroundMerger {
+ public:
+  BackgroundMerger(DiskArray* array, int64_t small_bytes,
+                   std::chrono::milliseconds interval)
+      : array_(array), small_bytes_(small_bytes), interval_(interval) {}
+
+  ~BackgroundMerger() { Stop(); }
+  BackgroundMerger(const BackgroundMerger&) = delete;
+  BackgroundMerger& operator=(const BackgroundMerger&) = delete;
+
+  void Start() {
+    if (running_.exchange(true)) return;
+    thread_ = std::thread([this] { Run(); });
+  }
+
+  void Stop() {
+    if (!running_.exchange(false)) return;
+    {
+      std::lock_guard<std::mutex> lk(mu_);
+      cv_.notify_all();
+    }
+    if (thread_.joinable()) thread_.join();
+  }
+
+  // Runs one merge pass synchronously (also usable without Start()).
+  Result<int> RunOnce() {
+    std::lock_guard<std::mutex> lk(mu_);
+    return array_->MergeSmallBuckets(small_bytes_);
+  }
+
+  int64_t total_merges() const { return total_merges_.load(); }
+
+  // Foreground access to the array under the merger's lock.
+  template <typename Fn>
+  auto WithLock(Fn&& fn) {
+    std::lock_guard<std::mutex> lk(mu_);
+    return fn(array_);
+  }
+
+ private:
+  void Run() {
+    std::unique_lock<std::mutex> lk(mu_);
+    while (running_.load()) {
+      auto merged = array_->MergeSmallBuckets(small_bytes_);
+      if (merged.ok()) total_merges_ += merged.value();
+      cv_.wait_for(lk, interval_, [this] { return !running_.load(); });
+    }
+  }
+
+  DiskArray* array_;
+  int64_t small_bytes_;
+  std::chrono::milliseconds interval_;
+  std::atomic<bool> running_{false};
+  std::atomic<int64_t> total_merges_{0};
+  std::thread thread_;
+  std::mutex mu_;
+  std::condition_variable cv_;
+};
+
+}  // namespace scidb
+
+#endif  // SCIDB_STORAGE_BACKGROUND_MERGER_H_

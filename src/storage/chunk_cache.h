@@ -1,0 +1,105 @@
+#ifndef SCIDB_STORAGE_CHUNK_CACHE_H_
+#define SCIDB_STORAGE_CHUNK_CACHE_H_
+
+#include <cstdint>
+#include <list>
+#include <map>
+#include <memory>
+
+#include "array/chunk.h"
+
+namespace scidb {
+
+// LRU cache of decompressed buckets, keyed by bucket id. §2.8's storage
+// manager reads buckets through here so repeated region reads skip both
+// the disk seek and the decompress+deserialize work. Byte-budgeted:
+// inserting past the budget evicts least-recently-used entries (a bucket
+// larger than the whole budget is simply not cached).
+class ChunkCache {
+ public:
+  struct Stats {
+    int64_t hits = 0;
+    int64_t misses = 0;
+    int64_t evictions = 0;
+    int64_t bytes = 0;  // current residency
+  };
+
+  explicit ChunkCache(size_t byte_budget) : budget_(byte_budget) {}
+  ChunkCache(const ChunkCache&) = delete;
+  ChunkCache& operator=(const ChunkCache&) = delete;
+
+  size_t budget() const { return budget_; }
+  size_t size() const { return entries_.size(); }
+  const Stats& stats() const { return stats_; }
+
+  // Shared ownership so a cached chunk stays valid across evictions.
+  std::shared_ptr<const Chunk> Get(uint64_t id) {
+    auto it = entries_.find(id);
+    if (it == entries_.end()) {
+      ++stats_.misses;
+      return nullptr;
+    }
+    ++stats_.hits;
+    // Move to MRU position.
+    lru_.splice(lru_.begin(), lru_, it->second.lru_pos);
+    return it->second.chunk;
+  }
+
+  void Put(uint64_t id, std::shared_ptr<const Chunk> chunk) {
+    size_t bytes = chunk->ByteSize();
+    if (bytes > budget_) return;  // would evict everything for one entry
+    auto it = entries_.find(id);
+    if (it != entries_.end()) {
+      stats_.bytes -= static_cast<int64_t>(it->second.bytes);
+      lru_.erase(it->second.lru_pos);
+      entries_.erase(it);
+    }
+    while (static_cast<size_t>(stats_.bytes) + bytes > budget_ &&
+           !lru_.empty()) {
+      EvictLru();
+    }
+    lru_.push_front(id);
+    entries_.emplace(id, Entry{std::move(chunk), bytes, lru_.begin()});
+    stats_.bytes += static_cast<int64_t>(bytes);
+  }
+
+  // Drops one entry (bucket rewritten or deleted by a merge pass).
+  void Invalidate(uint64_t id) {
+    auto it = entries_.find(id);
+    if (it == entries_.end()) return;
+    stats_.bytes -= static_cast<int64_t>(it->second.bytes);
+    lru_.erase(it->second.lru_pos);
+    entries_.erase(it);
+  }
+
+  void Clear() {
+    entries_.clear();
+    lru_.clear();
+    stats_.bytes = 0;
+  }
+
+ private:
+  struct Entry {
+    std::shared_ptr<const Chunk> chunk;
+    size_t bytes;
+    std::list<uint64_t>::iterator lru_pos;
+  };
+
+  void EvictLru() {
+    uint64_t victim = lru_.back();
+    lru_.pop_back();
+    auto it = entries_.find(victim);
+    stats_.bytes -= static_cast<int64_t>(it->second.bytes);
+    entries_.erase(it);
+    ++stats_.evictions;
+  }
+
+  size_t budget_;
+  std::map<uint64_t, Entry> entries_;
+  std::list<uint64_t> lru_;  // front = MRU
+  Stats stats_;
+};
+
+}  // namespace scidb
+
+#endif  // SCIDB_STORAGE_CHUNK_CACHE_H_

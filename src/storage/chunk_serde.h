@@ -1,0 +1,25 @@
+#ifndef SCIDB_STORAGE_CHUNK_SERDE_H_
+#define SCIDB_STORAGE_CHUNK_SERDE_H_
+
+#include <vector>
+
+#include "array/chunk.h"
+#include "array/schema.h"
+#include "common/result.h"
+
+namespace scidb {
+
+// Serializes a chunk into the on-disk bucket payload (before block
+// compression). The layout is columnar per attribute; int64 columns are
+// delta+zigzag-varint coded, doubles/floats raw little-endian, strings
+// length-prefixed; constant stderr columns collapse to one double.
+std::vector<uint8_t> SerializeChunk(const Chunk& chunk);
+
+// Rebuilds the chunk; `attrs` must be the attribute descriptors the chunk
+// was created with (the storage manager keeps them in the array manifest).
+Result<Chunk> DeserializeChunk(const std::vector<uint8_t>& bytes,
+                               const std::vector<AttributeDesc>& attrs);
+
+}  // namespace scidb
+
+#endif  // SCIDB_STORAGE_CHUNK_SERDE_H_

@@ -1,0 +1,208 @@
+#include "storage/codec.h"
+
+#include <cstring>
+
+#include "common/byte_io.h"
+#include "common/macros.h"
+
+namespace scidb {
+
+const char* CodecTypeName(CodecType t) {
+  switch (t) {
+    case CodecType::kNone:
+      return "none";
+    case CodecType::kRle:
+      return "rle";
+    case CodecType::kLz:
+      return "lz";
+  }
+  return "unknown";
+}
+
+namespace {
+
+// ---- byte RLE: runs of >= 4 identical bytes are encoded as
+// <0xFF, count(varint), byte>; literal stretches as <len(varint), bytes>.
+// 0xFF never begins a literal (literals of length >= 0xFF are split).
+
+void RleEncode(const std::vector<uint8_t>& in, ByteWriter* w) {
+  size_t i = 0;
+  const size_t n = in.size();
+  while (i < n) {
+    // Measure the run at i.
+    size_t run = 1;
+    while (i + run < n && in[i + run] == in[i] && run < (1u << 30)) ++run;
+    if (run >= 4) {
+      w->PutU8(0xFF);
+      w->PutVarint(run);
+      w->PutU8(in[i]);
+      i += run;
+      continue;
+    }
+    // Literal stretch: until the next long run (or end).
+    size_t start = i;
+    while (i < n) {
+      size_t r = 1;
+      while (i + r < n && in[i + r] == in[i] && r < 4) ++r;
+      if (r >= 4) break;
+      i += r;
+    }
+    size_t len = i - start;
+    while (len > 0) {
+      size_t piece = std::min<size_t>(len, 0xFE);
+      w->PutU8(static_cast<uint8_t>(piece));
+      w->PutBytes(in.data() + start, piece);
+      start += piece;
+      len -= piece;
+    }
+  }
+}
+
+Status RleDecode(ByteReader* r, std::vector<uint8_t>* out) {
+  while (r->remaining() > 0) {
+    ASSIGN_OR_RETURN(uint8_t tag, r->GetU8());
+    if (tag == 0xFF) {
+      ASSIGN_OR_RETURN(uint64_t count, r->GetVarint());
+      ASSIGN_OR_RETURN(uint8_t b, r->GetU8());
+      if (count > (1ull << 32)) return Status::Corruption("rle run too long");
+      out->insert(out->end(), static_cast<size_t>(count), b);
+    } else {
+      size_t len = tag;
+      size_t off = out->size();
+      out->resize(off + len);
+      RETURN_NOT_OK(r->GetBytes(out->data() + off, len));
+    }
+  }
+  return Status::OK();
+}
+
+// ---- LZ77-lite: greedy hash-chain matcher, 64KB window, 4-byte min
+// match. Tokens: <0x00, len(varint), bytes> literal; <0x01, dist(varint),
+// len(varint)> match.
+
+constexpr size_t kMinMatch = 4;
+constexpr size_t kWindow = 1 << 16;
+constexpr size_t kHashSize = 1 << 15;
+
+uint32_t Hash4(const uint8_t* p) {
+  uint32_t v;
+  std::memcpy(&v, p, 4);
+  return (v * 2654435761u) >> 17;
+}
+
+void LzEncode(const std::vector<uint8_t>& in, ByteWriter* w) {
+  const size_t n = in.size();
+  std::vector<int64_t> head(kHashSize, -1);
+  size_t i = 0;
+  size_t lit_start = 0;
+
+  auto flush_literals = [&](size_t end) {
+    size_t start = lit_start;
+    while (start < end) {
+      size_t piece = std::min<size_t>(end - start, 1 << 20);
+      w->PutU8(0x00);
+      w->PutVarint(piece);
+      w->PutBytes(in.data() + start, piece);
+      start += piece;
+    }
+    lit_start = end;
+  };
+
+  while (i + kMinMatch <= n) {
+    uint32_t h = Hash4(in.data() + i) & (kHashSize - 1);
+    int64_t cand = head[h];
+    head[h] = static_cast<int64_t>(i);
+    if (cand >= 0 && i - static_cast<size_t>(cand) <= kWindow &&
+        std::memcmp(in.data() + cand, in.data() + i, kMinMatch) == 0) {
+      size_t len = kMinMatch;
+      size_t max_len = n - i;
+      while (len < max_len &&
+             in[static_cast<size_t>(cand) + len] == in[i + len]) {
+        ++len;
+      }
+      flush_literals(i);
+      w->PutU8(0x01);
+      w->PutVarint(i - static_cast<size_t>(cand));
+      w->PutVarint(len);
+      // Index a few positions inside the match so later data can refer in.
+      size_t step = len > 64 ? 8 : 1;
+      for (size_t k = 1; k < len && i + k + kMinMatch <= n; k += step) {
+        head[Hash4(in.data() + i + k) & (kHashSize - 1)] =
+            static_cast<int64_t>(i + k);
+      }
+      i += len;
+      lit_start = i;
+    } else {
+      ++i;
+    }
+  }
+  flush_literals(n);
+}
+
+Status LzDecode(ByteReader* r, std::vector<uint8_t>* out) {
+  while (r->remaining() > 0) {
+    ASSIGN_OR_RETURN(uint8_t tag, r->GetU8());
+    if (tag == 0x00) {
+      ASSIGN_OR_RETURN(uint64_t len, r->GetVarint());
+      size_t off = out->size();
+      out->resize(off + static_cast<size_t>(len));
+      RETURN_NOT_OK(r->GetBytes(out->data() + off, static_cast<size_t>(len)));
+    } else if (tag == 0x01) {
+      ASSIGN_OR_RETURN(uint64_t dist, r->GetVarint());
+      ASSIGN_OR_RETURN(uint64_t len, r->GetVarint());
+      if (dist == 0 || dist > out->size()) {
+        return Status::Corruption("lz match distance out of range");
+      }
+      size_t src = out->size() - static_cast<size_t>(dist);
+      // Byte-at-a-time: matches may overlap their own output.
+      for (uint64_t k = 0; k < len; ++k) {
+        out->push_back((*out)[src + static_cast<size_t>(k)]);
+      }
+    } else {
+      return Status::Corruption("unknown lz token");
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+std::vector<uint8_t> Compress(CodecType codec,
+                              const std::vector<uint8_t>& input) {
+  ByteWriter w;
+  w.PutU8(static_cast<uint8_t>(codec));
+  switch (codec) {
+    case CodecType::kNone:
+      w.PutBytes(input.data(), input.size());
+      break;
+    case CodecType::kRle:
+      RleEncode(input, &w);
+      break;
+    case CodecType::kLz:
+      LzEncode(input, &w);
+      break;
+  }
+  return w.Release();
+}
+
+Result<std::vector<uint8_t>> Decompress(const std::vector<uint8_t>& input) {
+  ByteReader r(input);
+  ASSIGN_OR_RETURN(uint8_t tag, r.GetU8());
+  std::vector<uint8_t> out;
+  switch (static_cast<CodecType>(tag)) {
+    case CodecType::kNone: {
+      out.resize(r.remaining());
+      RETURN_NOT_OK(r.GetBytes(out.data(), out.size()));
+      return out;
+    }
+    case CodecType::kRle:
+      RETURN_NOT_OK(RleDecode(&r, &out));
+      return out;
+    case CodecType::kLz:
+      RETURN_NOT_OK(LzDecode(&r, &out));
+      return out;
+  }
+  return Status::Corruption("unknown codec tag " + std::to_string(tag));
+}
+
+}  // namespace scidb

@@ -1,0 +1,272 @@
+#ifndef SCIDB_STORAGE_RTREE_H_
+#define SCIDB_STORAGE_RTREE_H_
+
+#include <algorithm>
+#include <memory>
+#include <vector>
+
+#include "array/coordinates.h"
+#include "common/logging.h"
+
+namespace scidb {
+
+// In-memory R-tree over boxes (paper §2.8: "An R-tree keeps track of the
+// size of the various buckets"). Values are small ids (bucket ids).
+// Quadratic split, linear choose-subtree by minimal margin enlargement.
+// The tree tolerates overlapping boxes — merged buckets may briefly
+// coexist with their sources during a merge pass.
+template <typename T>
+class RTree {
+ public:
+  static constexpr size_t kMaxEntries = 8;
+  static constexpr size_t kMinEntries = 3;
+
+  RTree() = default;
+
+  size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+
+  void Insert(const Box& box, T value) {
+    if (root_ == nullptr) {
+      root_ = std::make_unique<Node>(/*leaf=*/true);
+    }
+    Node* leaf = ChooseLeaf(root_.get(), box);
+    leaf->entries.push_back(Entry{box, std::move(value), nullptr});
+    ++size_;
+    SplitUpward(leaf);
+    Recompute(leaf);
+  }
+
+  // All values whose boxes intersect `query`.
+  std::vector<T> Search(const Box& query) const {
+    std::vector<T> out;
+    if (root_) SearchNode(*root_, query, &out);
+    return out;
+  }
+
+  // Removes one entry with exactly this box and value; false if absent.
+  // (No re-insertion compaction: storage deletes are rare — merge passes —
+  // and underfull nodes only cost a little extra fanout.)
+  bool Remove(const Box& box, const T& value) {
+    if (root_ == nullptr) return false;
+    bool removed = RemoveRec(root_.get(), box, value);
+    if (removed) {
+      --size_;
+      // Collapse degenerate roots so later inserts see a usable tree.
+      if (root_->entries.empty()) {
+        root_.reset();
+      } else if (!root_->leaf && root_->entries.size() == 1) {
+        auto child = std::move(root_->entries[0].child);
+        child->parent = nullptr;
+        root_ = std::move(child);
+      }
+    }
+    return removed;
+  }
+
+  // Visits every (box, value) pair.
+  template <typename Fn>
+  void ForEach(Fn&& fn) const {
+    if (root_) ForEachNode(*root_, fn);
+  }
+
+ private:
+  struct Node;
+  struct Entry {
+    Box box;
+    T value;                      // leaf entries only
+    std::unique_ptr<Node> child;  // inner entries only
+  };
+  struct Node {
+    explicit Node(bool l) : leaf(l) {}
+    bool leaf;
+    Node* parent = nullptr;
+    std::vector<Entry> entries;
+
+    Box Mbr() const {
+      SCIDB_DCHECK(!entries.empty());
+      Box b = entries[0].box;
+      for (size_t i = 1; i < entries.size(); ++i) {
+        b.ExpandToInclude(entries[i].box);
+      }
+      return b;
+    }
+  };
+
+  static int64_t Enlargement(const Box& mbr, const Box& add) {
+    Box grown = mbr;
+    grown.ExpandToInclude(add);
+    return grown.Margin() - mbr.Margin();
+  }
+
+  Node* ChooseLeaf(Node* node, const Box& box) {
+    while (!node->leaf) {
+      Entry* best = nullptr;
+      int64_t best_enl = 0;
+      for (Entry& e : node->entries) {
+        int64_t enl = Enlargement(e.box, box);
+        if (best == nullptr || enl < best_enl ||
+            (enl == best_enl && e.box.Margin() < best->box.Margin())) {
+          best = &e;
+          best_enl = enl;
+        }
+      }
+      best->box.ExpandToInclude(box);  // maintain MBR on the way down
+      node = best->child.get();
+    }
+    return node;
+  }
+
+  void SplitUpward(Node* node) {
+    while (node != nullptr && node->entries.size() > kMaxEntries) {
+      Node* parent = node->parent;
+      auto sibling = Split(node);
+      if (parent == nullptr) {
+        // Grow a new root.
+        auto new_root = std::make_unique<Node>(/*leaf=*/false);
+        auto old_root = std::move(root_);
+        old_root->parent = new_root.get();
+        sibling->parent = new_root.get();
+        new_root->entries.push_back(
+            Entry{old_root->Mbr(), T{}, std::move(old_root)});
+        new_root->entries.push_back(
+            Entry{sibling->Mbr(), T{}, std::move(sibling)});
+        root_ = std::move(new_root);
+        return;
+      }
+      sibling->parent = parent;
+      parent->entries.push_back(
+          Entry{sibling->Mbr(), T{}, std::move(sibling)});
+      // Refresh this node's MBR in the parent.
+      for (Entry& e : parent->entries) {
+        if (e.child.get() == node) e.box = node->Mbr();
+      }
+      node = parent;
+    }
+  }
+
+  // Quadratic split: pick the pair wasting the most margin as seeds.
+  std::unique_ptr<Node> Split(Node* node) {
+    auto& es = node->entries;
+    size_t seed_a = 0, seed_b = 1;
+    int64_t worst = -1;
+    for (size_t i = 0; i < es.size(); ++i) {
+      for (size_t j = i + 1; j < es.size(); ++j) {
+        Box u = es[i].box;
+        u.ExpandToInclude(es[j].box);
+        int64_t waste = u.Margin() - es[i].box.Margin() -
+                        es[j].box.Margin();
+        if (waste > worst) {
+          worst = waste;
+          seed_a = i;
+          seed_b = j;
+        }
+      }
+    }
+    auto sibling = std::make_unique<Node>(node->leaf);
+    std::vector<Entry> pool;
+    pool.swap(es);
+    // Seed the two groups.
+    es.push_back(std::move(pool[seed_a]));
+    sibling->entries.push_back(std::move(pool[seed_b]));
+    Box mbr_a = es[0].box;
+    Box mbr_b = sibling->entries[0].box;
+    for (size_t i = 0; i < pool.size(); ++i) {
+      if (i == seed_a || i == seed_b) continue;
+      Entry& e = pool[i];
+      // Force balance when one side must take the remainder.
+      size_t remaining = 0;
+      for (size_t j = i; j < pool.size(); ++j) {
+        if (j != seed_a && j != seed_b) ++remaining;
+      }
+      if (es.size() + remaining <= kMinEntries) {
+        mbr_a.ExpandToInclude(e.box);
+        es.push_back(std::move(e));
+        continue;
+      }
+      if (sibling->entries.size() + remaining <= kMinEntries) {
+        mbr_b.ExpandToInclude(e.box);
+        sibling->entries.push_back(std::move(e));
+        continue;
+      }
+      if (Enlargement(mbr_a, e.box) <= Enlargement(mbr_b, e.box)) {
+        mbr_a.ExpandToInclude(e.box);
+        es.push_back(std::move(e));
+      } else {
+        mbr_b.ExpandToInclude(e.box);
+        sibling->entries.push_back(std::move(e));
+      }
+    }
+    if (!node->leaf) {
+      for (Entry& e : es) e.child->parent = node;
+      for (Entry& e : sibling->entries) e.child->parent = sibling.get();
+    }
+    return sibling;
+  }
+
+  void Recompute(Node* node) {
+    // Tighten MBRs up the path (after inserts the path was only expanded,
+    // after removals it may shrink).
+    while (node != nullptr && node->parent != nullptr) {
+      for (Entry& e : node->parent->entries) {
+        if (e.child.get() == node) e.box = node->Mbr();
+      }
+      node = node->parent;
+    }
+  }
+
+  void SearchNode(const Node& node, const Box& query,
+                  std::vector<T>* out) const {
+    for (const Entry& e : node.entries) {
+      if (!e.box.Intersects(query)) continue;
+      if (node.leaf) {
+        out->push_back(e.value);
+      } else {
+        SearchNode(*e.child, query, out);
+      }
+    }
+  }
+
+  bool RemoveRec(Node* node, const Box& box, const T& value) {
+    for (size_t i = 0; i < node->entries.size(); ++i) {
+      Entry& e = node->entries[i];
+      if (!e.box.Intersects(box)) continue;
+      if (node->leaf) {
+        if (e.box == box && e.value == value) {
+          node->entries.erase(node->entries.begin() +
+                              static_cast<int64_t>(i));
+          if (!node->entries.empty()) Recompute(node);
+          return true;
+        }
+      } else {
+        if (RemoveRec(e.child.get(), box, value)) {
+          if (e.child->entries.empty()) {
+            node->entries.erase(node->entries.begin() +
+                                static_cast<int64_t>(i));
+          }
+          if (!node->entries.empty()) Recompute(node);
+          return true;
+        }
+      }
+    }
+    return false;
+  }
+
+  template <typename Fn>
+  void ForEachNode(const Node& node, Fn&& fn) const {
+    for (const Entry& e : node.entries) {
+      if (node.leaf) {
+        fn(e.box, e.value);
+      } else {
+        ForEachNode(*e.child, fn);
+      }
+    }
+  }
+
+  std::unique_ptr<Node> root_;
+  size_t size_ = 0;
+};
+
+}  // namespace scidb
+
+#endif  // SCIDB_STORAGE_RTREE_H_

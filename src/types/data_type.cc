@@ -1,0 +1,57 @@
+#include "types/data_type.h"
+
+namespace scidb {
+
+const char* DataTypeName(DataType t) {
+  switch (t) {
+    case DataType::kBool:
+      return "bool";
+    case DataType::kInt64:
+      return "int64";
+    case DataType::kFloat:
+      return "float";
+    case DataType::kDouble:
+      return "double";
+    case DataType::kString:
+      return "string";
+    case DataType::kArray:
+      return "array";
+  }
+  return "unknown";
+}
+
+Result<DataType> DataTypeFromName(const std::string& name) {
+  if (name == "bool") return DataType::kBool;
+  if (name == "int64" || name == "int" || name == "integer") {
+    return DataType::kInt64;
+  }
+  if (name == "float") return DataType::kFloat;
+  if (name == "double") return DataType::kDouble;
+  if (name == "string") return DataType::kString;
+  if (name == "array") return DataType::kArray;
+  return Status::Invalid("unknown data type: " + name);
+}
+
+size_t DataTypeFixedWidth(DataType t) {
+  switch (t) {
+    case DataType::kBool:
+      return 1;
+    case DataType::kInt64:
+      return 8;
+    case DataType::kFloat:
+      return 4;
+    case DataType::kDouble:
+      return 8;
+    case DataType::kString:
+    case DataType::kArray:
+      return 0;
+  }
+  return 0;
+}
+
+bool IsNumeric(DataType t) {
+  return t == DataType::kInt64 || t == DataType::kFloat ||
+         t == DataType::kDouble;
+}
+
+}  // namespace scidb

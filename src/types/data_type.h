@@ -1,0 +1,35 @@
+#ifndef SCIDB_TYPES_DATA_TYPE_H_
+#define SCIDB_TYPES_DATA_TYPE_H_
+
+#include <cstdint>
+#include <string>
+
+#include "common/result.h"
+
+namespace scidb {
+
+// Scalar cell-value types supported by the engine. Per paper §2.13 any
+// numeric type can additionally be declared "uncertain"; that is carried
+// as a flag on the attribute (AttributeDesc::uncertain), not as a
+// separate DataType, so `uncertain double` stores a (mean, stderr) pair.
+enum class DataType : uint8_t {
+  kBool = 0,
+  kInt64 = 1,
+  kFloat = 2,
+  kDouble = 3,
+  kString = 4,
+  kArray = 5,  // nested array component (paper §2.1: cells contain records
+               // whose components may themselves be arrays)
+};
+
+const char* DataTypeName(DataType t);
+Result<DataType> DataTypeFromName(const std::string& name);
+
+// Fixed in-memory width of one value; 0 for variable-width (string, array).
+size_t DataTypeFixedWidth(DataType t);
+
+bool IsNumeric(DataType t);
+
+}  // namespace scidb
+
+#endif  // SCIDB_TYPES_DATA_TYPE_H_

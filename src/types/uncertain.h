@@ -1,0 +1,86 @@
+#ifndef SCIDB_TYPES_UNCERTAIN_H_
+#define SCIDB_TYPES_UNCERTAIN_H_
+
+#include <cmath>
+#include <cstdint>
+
+namespace scidb {
+
+// "Uncertain x" per paper §2.13: scientists asked for a simple normal
+// (error-bar) model — every value carries a mean and a standard error, and
+// the executor combines them with first-order Gaussian error propagation
+// (the "interval arithmetic" of the paper, applied to 1-sigma intervals):
+//
+//   (a ± sa) + (b ± sb) = (a+b) ± sqrt(sa^2 + sb^2)
+//   (a ± sa) * (b ± sb) = (a*b) ± sqrt((b*sa)^2 + (a*sb)^2)
+//
+// More sophisticated error models are explicitly left to the application
+// (paper: "leaving more complex error modelling to the user's application").
+struct Uncertain {
+  double mean = 0.0;
+  double stderr_ = 0.0;  // 1-sigma standard error; always >= 0.
+
+  constexpr Uncertain() = default;
+  constexpr Uncertain(double m, double s) : mean(m), stderr_(s) {}
+  // An exact value has zero error.
+  explicit constexpr Uncertain(double m) : mean(m), stderr_(0.0) {}
+
+  double lower() const { return mean - stderr_; }
+  double upper() const { return mean + stderr_; }
+
+  friend Uncertain operator+(const Uncertain& a, const Uncertain& b) {
+    return {a.mean + b.mean, std::hypot(a.stderr_, b.stderr_)};
+  }
+  friend Uncertain operator-(const Uncertain& a, const Uncertain& b) {
+    return {a.mean - b.mean, std::hypot(a.stderr_, b.stderr_)};
+  }
+  friend Uncertain operator*(const Uncertain& a, const Uncertain& b) {
+    return {a.mean * b.mean,
+            std::hypot(b.mean * a.stderr_, a.mean * b.stderr_)};
+  }
+  friend Uncertain operator/(const Uncertain& a, const Uncertain& b) {
+    double m = a.mean / b.mean;
+    // d(a/b) = sqrt((sa/b)^2 + (a*sb/b^2)^2)
+    double s = std::hypot(a.stderr_ / b.mean,
+                          a.mean * b.stderr_ / (b.mean * b.mean));
+    return {m, std::fabs(s)};
+  }
+  friend Uncertain operator*(const Uncertain& a, double k) {
+    return {a.mean * k, std::fabs(k) * a.stderr_};
+  }
+  friend Uncertain operator*(double k, const Uncertain& a) { return a * k; }
+
+  friend bool operator==(const Uncertain& a, const Uncertain& b) {
+    return a.mean == b.mean && a.stderr_ == b.stderr_;
+  }
+
+  // 1-sigma intervals overlap; the executor's notion of "possibly equal",
+  // used e.g. by uncertain content joins.
+  bool Overlaps(const Uncertain& b) const {
+    return lower() <= b.upper() && b.lower() <= upper();
+  }
+};
+
+// Running aggregate over uncertain values: the mean adds linearly, the
+// errors add in quadrature (independent Gaussian assumption).
+struct UncertainSum {
+  double mean = 0.0;
+  double var = 0.0;  // accumulated variance
+  int64_t count = 0;
+
+  void Add(const Uncertain& v) {
+    mean += v.mean;
+    var += v.stderr_ * v.stderr_;
+    ++count;
+  }
+  Uncertain Sum() const { return {mean, std::sqrt(var)}; }
+  Uncertain Avg() const {
+    if (count == 0) return {0, 0};
+    double n = static_cast<double>(count);
+    return {mean / n, std::sqrt(var) / n};
+  }
+};
+
+}  // namespace scidb
+
+#endif  // SCIDB_TYPES_UNCERTAIN_H_

@@ -1,0 +1,211 @@
+#include "udf/aggregate.h"
+
+#include <cmath>
+
+#include "common/macros.h"
+#include "types/uncertain.h"
+
+namespace scidb {
+namespace {
+
+// Nulls are skipped by every built-in (SQL semantics); count counts
+// non-null values only.
+
+class SumState : public AggregateState {
+ public:
+  Status Accumulate(const Value& v) override {
+    if (v.is_null()) return Status::OK();
+    ASSIGN_OR_RETURN(double d, v.AsDouble());
+    sum_ += d;
+    seen_ = true;
+    return Status::OK();
+  }
+  Status Merge(const AggregateState& other) override {
+    const auto& o = static_cast<const SumState&>(other);
+    sum_ += o.sum_;
+    seen_ = seen_ || o.seen_;
+    return Status::OK();
+  }
+  Value Finalize() const override {
+    return seen_ ? Value(sum_) : Value::Null();
+  }
+
+ private:
+  double sum_ = 0;
+  bool seen_ = false;
+};
+
+class CountState : public AggregateState {
+ public:
+  Status Accumulate(const Value& v) override {
+    if (!v.is_null()) ++count_;
+    return Status::OK();
+  }
+  Status Merge(const AggregateState& other) override {
+    count_ += static_cast<const CountState&>(other).count_;
+    return Status::OK();
+  }
+  Value Finalize() const override { return Value(count_); }
+
+ private:
+  int64_t count_ = 0;
+};
+
+class AvgState : public AggregateState {
+ public:
+  Status Accumulate(const Value& v) override {
+    if (v.is_null()) return Status::OK();
+    ASSIGN_OR_RETURN(double d, v.AsDouble());
+    sum_ += d;
+    ++count_;
+    return Status::OK();
+  }
+  Status Merge(const AggregateState& other) override {
+    const auto& o = static_cast<const AvgState&>(other);
+    sum_ += o.sum_;
+    count_ += o.count_;
+    return Status::OK();
+  }
+  Value Finalize() const override {
+    if (count_ == 0) return Value::Null();
+    return Value(sum_ / static_cast<double>(count_));
+  }
+
+ private:
+  double sum_ = 0;
+  int64_t count_ = 0;
+};
+
+class MinMaxState : public AggregateState {
+ public:
+  explicit MinMaxState(bool is_min) : is_min_(is_min) {}
+  Status Accumulate(const Value& v) override {
+    if (v.is_null()) return Status::OK();
+    if (best_.is_null() || (is_min_ ? v.LessThan(best_) : best_.LessThan(v))) {
+      best_ = v;
+    }
+    return Status::OK();
+  }
+  Status Merge(const AggregateState& other) override {
+    return Accumulate(static_cast<const MinMaxState&>(other).best_);
+  }
+  Value Finalize() const override { return best_; }
+
+ private:
+  bool is_min_;
+  Value best_;
+};
+
+// Welford-style accumulation, merged with the parallel-variance formula.
+class StddevState : public AggregateState {
+ public:
+  Status Accumulate(const Value& v) override {
+    if (v.is_null()) return Status::OK();
+    ASSIGN_OR_RETURN(double d, v.AsDouble());
+    ++n_;
+    double delta = d - mean_;
+    mean_ += delta / static_cast<double>(n_);
+    m2_ += delta * (d - mean_);
+    return Status::OK();
+  }
+  Status Merge(const AggregateState& other) override {
+    const auto& o = static_cast<const StddevState&>(other);
+    if (o.n_ == 0) return Status::OK();
+    if (n_ == 0) {
+      *this = o;
+      return Status::OK();
+    }
+    double na = static_cast<double>(n_);
+    double nb = static_cast<double>(o.n_);
+    double delta = o.mean_ - mean_;
+    double n = na + nb;
+    m2_ = m2_ + o.m2_ + delta * delta * na * nb / n;
+    mean_ = mean_ + delta * nb / n;
+    n_ += o.n_;
+    return Status::OK();
+  }
+  Value Finalize() const override {
+    if (n_ < 2) return Value::Null();
+    return Value(std::sqrt(m2_ / static_cast<double>(n_ - 1)));
+  }
+
+ private:
+  int64_t n_ = 0;
+  double mean_ = 0;
+  double m2_ = 0;
+};
+
+// Uncertain sum/avg: means add, errors add in quadrature (paper §2.13).
+class UncertainSumState : public AggregateState {
+ public:
+  explicit UncertainSumState(bool avg) : avg_(avg) {}
+  Status Accumulate(const Value& v) override {
+    if (v.is_null()) return Status::OK();
+    ASSIGN_OR_RETURN(Uncertain u, v.AsUncertain());
+    acc_.Add(u);
+    return Status::OK();
+  }
+  Status Merge(const AggregateState& other) override {
+    const auto& o = static_cast<const UncertainSumState&>(other);
+    acc_.mean += o.acc_.mean;
+    acc_.var += o.acc_.var;
+    acc_.count += o.acc_.count;
+    return Status::OK();
+  }
+  Value Finalize() const override {
+    if (acc_.count == 0) return Value::Null();
+    return Value(avg_ ? acc_.Avg() : acc_.Sum());
+  }
+
+ private:
+  bool avg_;
+  UncertainSum acc_;
+};
+
+}  // namespace
+
+AggregateRegistry::AggregateRegistry() { RegisterBuiltins(); }
+
+Status AggregateRegistry::Register(AggregateFunction fn) {
+  if (fn.name().empty()) return Status::Invalid("aggregate name is empty");
+  auto [it, inserted] = fns_.emplace(fn.name(), std::move(fn));
+  if (!inserted) {
+    return Status::AlreadyExists("aggregate '" + it->first +
+                                 "' already registered");
+  }
+  return Status::OK();
+}
+
+Result<const AggregateFunction*> AggregateRegistry::Find(
+    const std::string& name) const {
+  auto it = fns_.find(name);
+  if (it == fns_.end()) {
+    return Status::NotFound("no aggregate named '" + name + "'");
+  }
+  return &it->second;
+}
+
+bool AggregateRegistry::Contains(const std::string& name) const {
+  return fns_.count(name) > 0;
+}
+
+void AggregateRegistry::RegisterBuiltins() {
+  Register(AggregateFunction(
+      "sum", [] { return std::make_unique<SumState>(); }));
+  Register(AggregateFunction(
+      "count", [] { return std::make_unique<CountState>(); }));
+  Register(AggregateFunction(
+      "avg", [] { return std::make_unique<AvgState>(); }));
+  Register(AggregateFunction(
+      "min", [] { return std::make_unique<MinMaxState>(true); }));
+  Register(AggregateFunction(
+      "max", [] { return std::make_unique<MinMaxState>(false); }));
+  Register(AggregateFunction(
+      "stddev", [] { return std::make_unique<StddevState>(); }));
+  Register(AggregateFunction(
+      "usum", [] { return std::make_unique<UncertainSumState>(false); }));
+  Register(AggregateFunction(
+      "uavg", [] { return std::make_unique<UncertainSumState>(true); }));
+}
+
+}  // namespace scidb

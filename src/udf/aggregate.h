@@ -1,0 +1,61 @@
+#ifndef SCIDB_UDF_AGGREGATE_H_
+#define SCIDB_UDF_AGGREGATE_H_
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "types/value.h"
+
+namespace scidb {
+
+// Postgres-style user-defined aggregate (paper §2.1: "We will also support
+// user-defined aggregates, again POSTGRES-style"). An aggregate is a state
+// machine: fresh state per group, Accumulate per cell, Merge for parallel
+// partial aggregation across grid nodes, Finalize to a Value.
+class AggregateState {
+ public:
+  virtual ~AggregateState() = default;
+  virtual Status Accumulate(const Value& v) = 0;
+  virtual Status Merge(const AggregateState& other) = 0;
+  virtual Value Finalize() const = 0;
+};
+
+class AggregateFunction {
+ public:
+  using StateFactory = std::function<std::unique_ptr<AggregateState>()>;
+
+  AggregateFunction() = default;
+  AggregateFunction(std::string name, StateFactory factory)
+      : name_(std::move(name)), factory_(std::move(factory)) {}
+
+  const std::string& name() const { return name_; }
+  std::unique_ptr<AggregateState> NewState() const { return factory_(); }
+
+ private:
+  std::string name_;
+  StateFactory factory_;
+};
+
+// Catalog of aggregates; pre-registers sum, count, avg, min, max, stddev
+// and their uncertain-aware variants (usum/uavg propagate error bars in
+// quadrature, paper §2.13).
+class AggregateRegistry {
+ public:
+  AggregateRegistry();
+
+  Status Register(AggregateFunction fn);
+  Result<const AggregateFunction*> Find(const std::string& name) const;
+  bool Contains(const std::string& name) const;
+
+ private:
+  void RegisterBuiltins();
+  std::map<std::string, AggregateFunction> fns_;
+};
+
+}  // namespace scidb
+
+#endif  // SCIDB_UDF_AGGREGATE_H_

@@ -1,0 +1,99 @@
+#include "udf/enhanced_array.h"
+
+#include "common/macros.h"
+
+namespace scidb {
+
+Status EnhancedArray::Enhance(std::shared_ptr<EnhancementFunction> fn) {
+  if (fn == nullptr) return Status::Invalid("null enhancement function");
+  for (const auto& e : enhancements_) {
+    if (e->name() == fn->name()) {
+      return Status::AlreadyExists("array already enhanced with '" +
+                                   fn->name() + "'");
+    }
+  }
+  enhancements_.push_back(std::move(fn));
+  return Status::OK();
+}
+
+Result<const EnhancementFunction*> EnhancedArray::FindEnhancement(
+    const std::string& name) const {
+  for (const auto& e : enhancements_) {
+    if (e->name() == name) return e.get();
+  }
+  return Status::NotFound("array has no enhancement named '" + name + "'");
+}
+
+Result<std::vector<Value>> EnhancedArray::GetEnhanced(
+    const std::string& enhancement, const std::vector<Value>& pseudo) const {
+  ASSIGN_OR_RETURN(const EnhancementFunction* fn,
+                   FindEnhancement(enhancement));
+  ASSIGN_OR_RETURN(Coordinates basic, fn->Inverse(pseudo));
+  auto cell = base_->GetCell(basic);
+  if (!cell.has_value()) {
+    return Status::NotFound("no cell at basic coordinates " +
+                            CoordsToString(basic));
+  }
+  return *cell;
+}
+
+Result<std::vector<Value>> EnhancedArray::GetEnhancedAny(
+    const std::vector<Value>& pseudo) const {
+  for (const auto& e : enhancements_) {
+    auto inv = e->Inverse(pseudo);
+    if (!inv.ok()) continue;
+    auto cell = base_->GetCell(inv.value());
+    if (cell.has_value()) return *cell;
+  }
+  return Status::NotFound(
+      "no enhancement maps the given pseudo-coordinates to a present cell");
+}
+
+Result<std::vector<Value>> EnhancedArray::Project(
+    const std::string& enhancement, const Coordinates& basic) const {
+  ASSIGN_OR_RETURN(const EnhancementFunction* fn,
+                   FindEnhancement(enhancement));
+  return fn->Forward(basic);
+}
+
+Status EnhancedArray::SetShape(std::shared_ptr<ShapeFunction> shape) {
+  if (shape == nullptr) return Status::Invalid("null shape function");
+  if (shape_ != nullptr) {
+    return Status::AlreadyExists(
+        "array already has a shape function ('" + shape_->name() +
+        "'); at most one per basic array");
+  }
+  if (shape->ndims() != base_->schema().ndims()) {
+    return Status::Invalid("shape arity " + std::to_string(shape->ndims()) +
+                           " != array ndims " +
+                           std::to_string(base_->schema().ndims()));
+  }
+  shape_ = std::move(shape);
+  return Status::OK();
+}
+
+Result<DimBounds> EnhancedArray::ShapeSlice(const Coordinates& partial,
+                                            size_t free_dim) const {
+  if (shape_ == nullptr) {
+    return Status::NotFound("array has no shape function");
+  }
+  return shape_->SliceBounds(partial, free_dim);
+}
+
+Result<DimBounds> EnhancedArray::ShapeGlobal(size_t dim) const {
+  if (shape_ == nullptr) {
+    return Status::NotFound("array has no shape function");
+  }
+  return shape_->GlobalBounds(dim);
+}
+
+Status EnhancedArray::SetCell(const Coordinates& c,
+                              const std::vector<Value>& values) {
+  if (shape_ != nullptr && !shape_->Contains(c)) {
+    return Status::OutOfRange("cell " + CoordsToString(c) +
+                              " outside shape '" + shape_->name() + "'");
+  }
+  return base_->SetCell(c, values);
+}
+
+}  // namespace scidb

@@ -1,0 +1,84 @@
+#ifndef SCIDB_UDF_ENHANCED_ARRAY_H_
+#define SCIDB_UDF_ENHANCED_ARRAY_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "array/mem_array.h"
+#include "common/result.h"
+#include "udf/enhancement.h"
+#include "udf/shape_function.h"
+
+namespace scidb {
+
+// An enhanced array (paper §2.1): a basic array plus any number of
+// enhancement functions, each adding a pseudo-coordinate system, plus at
+// most one shape function defining ragged boundaries.
+//
+//   Enhance My_remote with Scale10   ->  arr.Enhance(scale10)
+//   A[7, 8]                          ->  arr.GetBasic({7, 8})
+//   A{70, 80}                        ->  arr.GetEnhanced("Scale10", ...)
+//   Shape My_remote with circle      ->  arr.SetShape(circle)
+class EnhancedArray {
+ public:
+  explicit EnhancedArray(std::shared_ptr<MemArray> base)
+      : base_(std::move(base)) {}
+
+  MemArray& base() { return *base_; }
+  const MemArray& base() const { return *base_; }
+
+  // "Enhance <array> with <function>". Multiple enhancements may coexist;
+  // each adds an independently addressable coordinate system.
+  Status Enhance(std::shared_ptr<EnhancementFunction> fn);
+  const std::vector<std::shared_ptr<EnhancementFunction>>& enhancements()
+      const {
+    return enhancements_;
+  }
+  Result<const EnhancementFunction*> FindEnhancement(
+      const std::string& name) const;
+
+  // Basic addressing: A[7, 8].
+  std::optional<std::vector<Value>> GetBasic(const Coordinates& c) const {
+    return base_->GetCell(c);
+  }
+
+  // Enhanced addressing: A{16.3, 48.2} under the named coordinate system.
+  // NotFound when no basic cell maps to those pseudo-coordinates.
+  Result<std::vector<Value>> GetEnhanced(
+      const std::string& enhancement, const std::vector<Value>& pseudo) const;
+
+  // Enhanced addressing without naming the system: tries each enhancement
+  // whose inverse accepts the operand arity/types, in registration order.
+  Result<std::vector<Value>> GetEnhancedAny(
+      const std::vector<Value>& pseudo) const;
+
+  // Forward projection of a basic cell into an enhancement's coordinates.
+  Result<std::vector<Value>> Project(const std::string& enhancement,
+                                     const Coordinates& basic) const;
+
+  // ---- shape (ragged bounds) ----
+  // "Every basic array can have at most one shape function."
+  Status SetShape(std::shared_ptr<ShapeFunction> shape);
+  const ShapeFunction* shape() const { return shape_.get(); }
+
+  // Bounds of the free dimension given the other coordinates — the paper's
+  // shape-function(A[7, *]) form.
+  Result<DimBounds> ShapeSlice(const Coordinates& partial,
+                               size_t free_dim) const;
+  // shape-function(A[I, *]): global water marks.
+  Result<DimBounds> ShapeGlobal(size_t dim) const;
+
+  // SetCell that honours the shape: writing outside the ragged region is
+  // an OutOfRange error.
+  Status SetCell(const Coordinates& c, const std::vector<Value>& values);
+
+ private:
+  std::shared_ptr<MemArray> base_;
+  std::vector<std::shared_ptr<EnhancementFunction>> enhancements_;
+  std::shared_ptr<ShapeFunction> shape_;
+};
+
+}  // namespace scidb
+
+#endif  // SCIDB_UDF_ENHANCED_ARRAY_H_

@@ -1,0 +1,274 @@
+#include "udf/enhancement.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/macros.h"
+
+namespace scidb {
+
+namespace {
+Status ArityError(const std::string& name, size_t want, size_t got) {
+  return Status::Invalid("enhancement '" + name + "' expects " +
+                         std::to_string(want) + " coordinates, got " +
+                         std::to_string(got));
+}
+}  // namespace
+
+// ---------------------------------------------------------------- Scale
+
+ScaleEnhancement::ScaleEnhancement(std::string name,
+                                   std::vector<std::string> out_names,
+                                   int64_t factor)
+    : name_(std::move(name)), out_names_(std::move(out_names)),
+      factor_(factor) {
+  SCIDB_CHECK(factor_ != 0) << "scale factor must be non-zero";
+}
+
+Result<std::vector<Value>> ScaleEnhancement::Forward(
+    const Coordinates& c) const {
+  if (c.size() != out_names_.size()) {
+    return ArityError(name_, out_names_.size(), c.size());
+  }
+  std::vector<Value> out;
+  out.reserve(c.size());
+  for (int64_t v : c) out.emplace_back(v * factor_);
+  return out;
+}
+
+Result<Coordinates> ScaleEnhancement::Inverse(
+    const std::vector<Value>& pseudo) const {
+  if (pseudo.size() != out_names_.size()) {
+    return ArityError(name_, out_names_.size(), pseudo.size());
+  }
+  Coordinates c(pseudo.size());
+  for (size_t d = 0; d < pseudo.size(); ++d) {
+    ASSIGN_OR_RETURN(int64_t v, pseudo[d].AsInt64());
+    if (v % factor_ != 0) {
+      return Status::NotFound("pseudo-coordinate " + std::to_string(v) +
+                              " is not on the " + name_ + " grid");
+    }
+    c[d] = v / factor_;
+  }
+  return c;
+}
+
+// ------------------------------------------------------------ Translate
+
+TranslateEnhancement::TranslateEnhancement(std::string name,
+                                           std::vector<std::string> out_names,
+                                           Coordinates offsets)
+    : name_(std::move(name)), out_names_(std::move(out_names)),
+      offsets_(std::move(offsets)) {
+  SCIDB_CHECK(out_names_.size() == offsets_.size());
+}
+
+Result<std::vector<Value>> TranslateEnhancement::Forward(
+    const Coordinates& c) const {
+  if (c.size() != offsets_.size()) {
+    return ArityError(name_, offsets_.size(), c.size());
+  }
+  std::vector<Value> out;
+  out.reserve(c.size());
+  for (size_t d = 0; d < c.size(); ++d) out.emplace_back(c[d] + offsets_[d]);
+  return out;
+}
+
+Result<Coordinates> TranslateEnhancement::Inverse(
+    const std::vector<Value>& pseudo) const {
+  if (pseudo.size() != offsets_.size()) {
+    return ArityError(name_, offsets_.size(), pseudo.size());
+  }
+  Coordinates c(pseudo.size());
+  for (size_t d = 0; d < pseudo.size(); ++d) {
+    ASSIGN_OR_RETURN(int64_t v, pseudo[d].AsInt64());
+    c[d] = v - offsets_[d];
+  }
+  return c;
+}
+
+// ------------------------------------------------------------ Transpose
+
+TransposeEnhancement::TransposeEnhancement(std::string name,
+                                           std::vector<std::string> out_names,
+                                           std::vector<size_t> perm)
+    : name_(std::move(name)), out_names_(std::move(out_names)),
+      perm_(std::move(perm)) {
+  SCIDB_CHECK(out_names_.size() == perm_.size());
+  // perm must be a permutation of 0..n-1.
+  std::vector<size_t> sorted = perm_;
+  std::sort(sorted.begin(), sorted.end());
+  for (size_t i = 0; i < sorted.size(); ++i) {
+    SCIDB_CHECK(sorted[i] == i) << "invalid permutation in " << name_;
+  }
+}
+
+Result<std::vector<Value>> TransposeEnhancement::Forward(
+    const Coordinates& c) const {
+  if (c.size() != perm_.size()) {
+    return ArityError(name_, perm_.size(), c.size());
+  }
+  std::vector<Value> out;
+  out.reserve(c.size());
+  for (size_t d = 0; d < c.size(); ++d) out.emplace_back(c[perm_[d]]);
+  return out;
+}
+
+Result<Coordinates> TransposeEnhancement::Inverse(
+    const std::vector<Value>& pseudo) const {
+  if (pseudo.size() != perm_.size()) {
+    return ArityError(name_, perm_.size(), pseudo.size());
+  }
+  Coordinates c(pseudo.size());
+  for (size_t d = 0; d < pseudo.size(); ++d) {
+    ASSIGN_OR_RETURN(int64_t v, pseudo[d].AsInt64());
+    c[perm_[d]] = v;
+  }
+  return c;
+}
+
+// ------------------------------------------------------------ Irregular
+
+IrregularEnhancement::IrregularEnhancement(
+    std::string name, std::vector<std::string> out_names,
+    std::vector<std::vector<double>> tables)
+    : name_(std::move(name)), out_names_(std::move(out_names)),
+      tables_(std::move(tables)) {
+  SCIDB_CHECK(out_names_.size() == tables_.size());
+  for (const auto& t : tables_) {
+    SCIDB_CHECK(std::is_sorted(t.begin(), t.end()))
+        << "irregular coordinate table must be sorted";
+  }
+}
+
+Result<std::vector<Value>> IrregularEnhancement::Forward(
+    const Coordinates& c) const {
+  if (c.size() != tables_.size()) {
+    return ArityError(name_, tables_.size(), c.size());
+  }
+  std::vector<Value> out;
+  out.reserve(c.size());
+  for (size_t d = 0; d < c.size(); ++d) {
+    int64_t i = c[d];
+    if (i < 1 || static_cast<size_t>(i) > tables_[d].size()) {
+      return Status::OutOfRange("index " + std::to_string(i) +
+                                " outside irregular table for dim " +
+                                out_names_[d]);
+    }
+    out.emplace_back(tables_[d][static_cast<size_t>(i - 1)]);
+  }
+  return out;
+}
+
+Result<Coordinates> IrregularEnhancement::Inverse(
+    const std::vector<Value>& pseudo) const {
+  if (pseudo.size() != tables_.size()) {
+    return ArityError(name_, tables_.size(), pseudo.size());
+  }
+  Coordinates c(pseudo.size());
+  for (size_t d = 0; d < pseudo.size(); ++d) {
+    ASSIGN_OR_RETURN(double v, pseudo[d].AsDouble());
+    const auto& t = tables_[d];
+    auto it = std::lower_bound(t.begin(), t.end(), v);
+    if (it == t.end() || *it != v) {
+      return Status::NotFound("no cell at " + out_names_[d] + " = " +
+                              std::to_string(v));
+    }
+    c[d] = static_cast<int64_t>(it - t.begin()) + 1;
+  }
+  return c;
+}
+
+// ------------------------------------------------------------- Mercator
+
+MercatorEnhancement::MercatorEnhancement(std::string name, int64_t rows,
+                                         int64_t cols)
+    : name_(std::move(name)), out_names_({"lat", "lon"}), rows_(rows),
+      cols_(cols) {
+  SCIDB_CHECK(rows_ > 1 && cols_ > 1);
+}
+
+namespace {
+constexpr double kMaxLatitude = 85.0;
+double MercatorY(double lat_deg) {
+  double phi = lat_deg * M_PI / 180.0;
+  return std::log(std::tan(M_PI / 4 + phi / 2));
+}
+double InverseMercatorY(double y) {
+  return (2 * std::atan(std::exp(y)) - M_PI / 2) * 180.0 / M_PI;
+}
+}  // namespace
+
+Result<std::vector<Value>> MercatorEnhancement::Forward(
+    const Coordinates& c) const {
+  if (c.size() != 2) return ArityError(name_, 2, c.size());
+  if (c[0] < 1 || c[0] > rows_ || c[1] < 1 || c[1] > cols_) {
+    return Status::OutOfRange("cell " + CoordsToString(c) +
+                              " outside Mercator grid");
+  }
+  // Row index spans Mercator-projected y uniformly (that is the point of
+  // the projection: equal grid steps are equal map distances, not equal
+  // latitude steps).
+  double y_max = MercatorY(kMaxLatitude);
+  double fy = static_cast<double>(c[0] - 1) / static_cast<double>(rows_ - 1);
+  double lat = InverseMercatorY(y_max - fy * 2 * y_max);
+  double fx = static_cast<double>(c[1] - 1) / static_cast<double>(cols_ - 1);
+  double lon = -180.0 + fx * 360.0;
+  return std::vector<Value>{Value(lat), Value(lon)};
+}
+
+Result<Coordinates> MercatorEnhancement::Inverse(
+    const std::vector<Value>& pseudo) const {
+  if (pseudo.size() != 2) return ArityError(name_, 2, pseudo.size());
+  ASSIGN_OR_RETURN(double lat, pseudo[0].AsDouble());
+  ASSIGN_OR_RETURN(double lon, pseudo[1].AsDouble());
+  if (std::fabs(lat) > kMaxLatitude || std::fabs(lon) > 180.0) {
+    return Status::OutOfRange("lat/lon outside Mercator domain");
+  }
+  double y_max = MercatorY(kMaxLatitude);
+  double fy = (y_max - MercatorY(lat)) / (2 * y_max);
+  double fx = (lon + 180.0) / 360.0;
+  Coordinates c(2);
+  c[0] = 1 + llround(fy * static_cast<double>(rows_ - 1));
+  c[1] = 1 + llround(fx * static_cast<double>(cols_ - 1));
+  c[0] = std::clamp<int64_t>(c[0], 1, rows_);
+  c[1] = std::clamp<int64_t>(c[1], 1, cols_);
+  return c;
+}
+
+// ------------------------------------------------------------ WallClock
+
+WallClockEnhancement::WallClockEnhancement(std::string name)
+    : name_(std::move(name)), out_names_({"time"}) {}
+
+void WallClockEnhancement::RecordTimestamp(int64_t micros) {
+  SCIDB_CHECK(times_.empty() || micros >= times_.back())
+      << "wall clock timestamps must be non-decreasing";
+  times_.push_back(micros);
+}
+
+Result<std::vector<Value>> WallClockEnhancement::Forward(
+    const Coordinates& c) const {
+  if (c.size() != 1) return ArityError(name_, 1, c.size());
+  int64_t h = c[0];
+  if (h < 1 || static_cast<size_t>(h) > times_.size()) {
+    return Status::OutOfRange("history index " + std::to_string(h) +
+                              " has no recorded timestamp");
+  }
+  return std::vector<Value>{Value(times_[static_cast<size_t>(h - 1)])};
+}
+
+Result<Coordinates> WallClockEnhancement::Inverse(
+    const std::vector<Value>& pseudo) const {
+  if (pseudo.size() != 1) return ArityError(name_, 1, pseudo.size());
+  ASSIGN_OR_RETURN(int64_t t, pseudo[0].AsInt64());
+  // Largest h whose timestamp <= t ("state of the array as of time t").
+  auto it = std::upper_bound(times_.begin(), times_.end(), t);
+  if (it == times_.begin()) {
+    return Status::NotFound("no history at or before time " +
+                            std::to_string(t));
+  }
+  return Coordinates{static_cast<int64_t>(it - times_.begin())};
+}
+
+}  // namespace scidb

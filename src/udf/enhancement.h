@@ -1,0 +1,164 @@
+#ifndef SCIDB_UDF_ENHANCEMENT_H_
+#define SCIDB_UDF_ENHANCEMENT_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "array/coordinates.h"
+#include "common/result.h"
+#include "types/value.h"
+
+namespace scidb {
+
+// An enhancement function (paper §2.1) adds a pseudo-coordinate system to a
+// basic array: any function over the integer dimensions yields transposed,
+// scaled, translated, irregular or well-known (e.g. Mercator) coordinates.
+// Basic coordinates are addressed with A[...], enhanced ones with A{...}.
+//
+// Forward maps basic integer coordinates to pseudo-coordinates; Inverse
+// maps pseudo-coordinates back to the basic cell (required for {..}
+// addressing; enhancement classes without a closed-form inverse return
+// kNotImplemented and are then only usable for forward projection).
+class EnhancementFunction {
+ public:
+  virtual ~EnhancementFunction() = default;
+
+  virtual const std::string& name() const = 0;
+  // Names of the produced pseudo-dimensions (paper: Scale10 outputs (K, L)).
+  virtual const std::vector<std::string>& output_names() const = 0;
+
+  virtual Result<std::vector<Value>> Forward(const Coordinates& c) const = 0;
+  virtual Result<Coordinates> Inverse(const std::vector<Value>& pseudo)
+      const = 0;
+};
+
+// pseudo = scale * basic, per dimension. Scale10 is ScaleEnhancement(10).
+class ScaleEnhancement : public EnhancementFunction {
+ public:
+  ScaleEnhancement(std::string name, std::vector<std::string> out_names,
+                   int64_t factor);
+
+  const std::string& name() const override { return name_; }
+  const std::vector<std::string>& output_names() const override {
+    return out_names_;
+  }
+  Result<std::vector<Value>> Forward(const Coordinates& c) const override;
+  Result<Coordinates> Inverse(const std::vector<Value>& pseudo) const override;
+
+ private:
+  std::string name_;
+  std::vector<std::string> out_names_;
+  int64_t factor_;
+};
+
+// pseudo = basic + offset, per dimension.
+class TranslateEnhancement : public EnhancementFunction {
+ public:
+  TranslateEnhancement(std::string name, std::vector<std::string> out_names,
+                       Coordinates offsets);
+
+  const std::string& name() const override { return name_; }
+  const std::vector<std::string>& output_names() const override {
+    return out_names_;
+  }
+  Result<std::vector<Value>> Forward(const Coordinates& c) const override;
+  Result<Coordinates> Inverse(const std::vector<Value>& pseudo) const override;
+
+ private:
+  std::string name_;
+  std::vector<std::string> out_names_;
+  Coordinates offsets_;
+};
+
+// Reorders dimensions: pseudo[i] = basic[perm[i]].
+class TransposeEnhancement : public EnhancementFunction {
+ public:
+  TransposeEnhancement(std::string name, std::vector<std::string> out_names,
+                       std::vector<size_t> perm);
+
+  const std::string& name() const override { return name_; }
+  const std::vector<std::string>& output_names() const override {
+    return out_names_;
+  }
+  Result<std::vector<Value>> Forward(const Coordinates& c) const override;
+  Result<Coordinates> Inverse(const std::vector<Value>& pseudo) const override;
+
+ private:
+  std::string name_;
+  std::vector<std::string> out_names_;
+  std::vector<size_t> perm_;
+};
+
+// Irregular 1-per-dimension mapping (paper: coordinates 16.3, 27.6, 48.2,
+// ...): each dimension d has a sorted table mapping basic index i (1-based)
+// to a real coordinate table[d][i-1]. Inverse uses exact lookup via binary
+// search. This is the "separate data structure" implementation option the
+// paper lists for pseudo-coordinates.
+class IrregularEnhancement : public EnhancementFunction {
+ public:
+  IrregularEnhancement(std::string name, std::vector<std::string> out_names,
+                       std::vector<std::vector<double>> tables);
+
+  const std::string& name() const override { return name_; }
+  const std::vector<std::string>& output_names() const override {
+    return out_names_;
+  }
+  Result<std::vector<Value>> Forward(const Coordinates& c) const override;
+  Result<Coordinates> Inverse(const std::vector<Value>& pseudo) const override;
+
+ private:
+  std::string name_;
+  std::vector<std::string> out_names_;
+  std::vector<std::vector<double>> tables_;  // per dim, sorted ascending
+};
+
+// Well-known coordinate system (paper: Mercator geometry): dimension 0 is
+// mapped to Mercator-projected latitude in degrees; remaining dimensions map
+// to plain longitude degrees. Functional representation — computed from the
+// integer index, no side table.
+class MercatorEnhancement : public EnhancementFunction {
+ public:
+  // Grid of `rows` x `cols` covering lat in (-85, 85), lon in (-180, 180).
+  MercatorEnhancement(std::string name, int64_t rows, int64_t cols);
+
+  const std::string& name() const override { return name_; }
+  const std::vector<std::string>& output_names() const override {
+    return out_names_;
+  }
+  Result<std::vector<Value>> Forward(const Coordinates& c) const override;
+  Result<Coordinates> Inverse(const std::vector<Value>& pseudo) const override;
+
+ private:
+  std::string name_;
+  std::vector<std::string> out_names_;
+  int64_t rows_;
+  int64_t cols_;
+};
+
+// Wall-clock mapping for the history dimension (paper §2.5): history index
+// h (1-based) <-> recorded timestamp. Timestamps must be non-decreasing.
+// Inverse maps a time t to the largest h whose timestamp <= t.
+class WallClockEnhancement : public EnhancementFunction {
+ public:
+  explicit WallClockEnhancement(std::string name = "wall_clock");
+
+  void RecordTimestamp(int64_t micros);  // for the next history index
+  int64_t recorded() const { return static_cast<int64_t>(times_.size()); }
+
+  const std::string& name() const override { return name_; }
+  const std::vector<std::string>& output_names() const override {
+    return out_names_;
+  }
+  Result<std::vector<Value>> Forward(const Coordinates& c) const override;
+  Result<Coordinates> Inverse(const std::vector<Value>& pseudo) const override;
+
+ private:
+  std::string name_;
+  std::vector<std::string> out_names_;
+  std::vector<int64_t> times_;  // times_[h-1] = timestamp of history h
+};
+
+}  // namespace scidb
+
+#endif  // SCIDB_UDF_ENHANCEMENT_H_

@@ -1,0 +1,118 @@
+#include "udf/function.h"
+
+#include <cmath>
+
+#include "common/macros.h"
+
+namespace scidb {
+
+Result<std::vector<Value>> UserFunction::Call(
+    const std::vector<Value>& args) const {
+  if (args.size() != sig_.inputs.size()) {
+    return Status::Invalid("function '" + name_ + "' expects " +
+                           std::to_string(sig_.inputs.size()) +
+                           " arguments, got " + std::to_string(args.size()));
+  }
+  if (!body_) return Status::Internal("function '" + name_ + "' has no body");
+  return body_(args);
+}
+
+FunctionRegistry::FunctionRegistry() { RegisterBuiltins(); }
+
+Status FunctionRegistry::Register(UserFunction fn) {
+  if (fn.name().empty()) return Status::Invalid("function name is empty");
+  auto [it, inserted] = fns_.emplace(fn.name(), std::move(fn));
+  if (!inserted) {
+    return Status::AlreadyExists("function '" + it->first +
+                                 "' already registered");
+  }
+  return Status::OK();
+}
+
+Result<const UserFunction*> FunctionRegistry::Find(
+    const std::string& name) const {
+  auto it = fns_.find(name);
+  if (it == fns_.end()) {
+    return Status::NotFound("no function named '" + name + "'");
+  }
+  return &it->second;
+}
+
+bool FunctionRegistry::Contains(const std::string& name) const {
+  return fns_.count(name) > 0;
+}
+
+std::vector<std::string> FunctionRegistry::Names() const {
+  std::vector<std::string> out;
+  out.reserve(fns_.size());
+  for (const auto& [name, fn] : fns_) out.push_back(name);
+  return out;
+}
+
+namespace {
+
+Result<std::vector<Value>> OneInt(const std::vector<Value>& args,
+                                  int64_t (*fn)(int64_t)) {
+  ASSIGN_OR_RETURN(int64_t x, args[0].AsInt64());
+  return std::vector<Value>{Value(fn(x))};
+}
+
+Result<std::vector<Value>> OneDouble(const std::vector<Value>& args,
+                                     double (*fn)(double)) {
+  ASSIGN_OR_RETURN(double x, args[0].AsDouble());
+  return std::vector<Value>{Value(fn(x))};
+}
+
+}  // namespace
+
+void FunctionRegistry::RegisterBuiltins() {
+  // The paper's Scale10: multiplies each dimension of an array by 10.
+  Register(UserFunction(
+      "Scale10", {{DataType::kInt64, DataType::kInt64},
+                  {DataType::kInt64, DataType::kInt64}},
+      [](const std::vector<Value>& args) -> Result<std::vector<Value>> {
+        ASSIGN_OR_RETURN(int64_t i, args[0].AsInt64());
+        ASSIGN_OR_RETURN(int64_t j, args[1].AsInt64());
+        return std::vector<Value>{Value(i * 10), Value(j * 10)};
+      }));
+
+  // Predicates usable in Subsample (paper: "Subsample(F, even(X))").
+  Register(UserFunction(
+      "even", {{DataType::kInt64}, {DataType::kBool}},
+      [](const std::vector<Value>& args) -> Result<std::vector<Value>> {
+        ASSIGN_OR_RETURN(int64_t x, args[0].AsInt64());
+        return std::vector<Value>{Value(x % 2 == 0)};
+      }));
+  Register(UserFunction(
+      "odd", {{DataType::kInt64}, {DataType::kBool}},
+      [](const std::vector<Value>& args) -> Result<std::vector<Value>> {
+        ASSIGN_OR_RETURN(int64_t x, args[0].AsInt64());
+        return std::vector<Value>{Value(x % 2 != 0)};
+      }));
+
+  Register(UserFunction(
+      "abs", {{DataType::kInt64}, {DataType::kInt64}},
+      [](const std::vector<Value>& args) {
+        return OneInt(args, [](int64_t x) { return x < 0 ? -x : x; });
+      }));
+  Register(UserFunction("sqrt", {{DataType::kDouble}, {DataType::kDouble}},
+                        [](const std::vector<Value>& args) {
+                          return OneDouble(args, [](double x) {
+                            return std::sqrt(x);
+                          });
+                        }));
+  Register(UserFunction("log", {{DataType::kDouble}, {DataType::kDouble}},
+                        [](const std::vector<Value>& args) {
+                          return OneDouble(args, [](double x) {
+                            return std::log(x);
+                          });
+                        }));
+  Register(UserFunction("exp", {{DataType::kDouble}, {DataType::kDouble}},
+                        [](const std::vector<Value>& args) {
+                          return OneDouble(args, [](double x) {
+                            return std::exp(x);
+                          });
+                        }));
+}
+
+}  // namespace scidb

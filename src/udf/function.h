@@ -1,0 +1,71 @@
+#ifndef SCIDB_UDF_FUNCTION_H_
+#define SCIDB_UDF_FUNCTION_H_
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "types/data_type.h"
+#include "types/value.h"
+
+namespace scidb {
+
+// A Postgres-style user-defined function (paper §2.1/§2.3):
+//
+//   Define function Scale10 (integer I, integer J)
+//       returns (integer K, integer L) file_handle
+//
+// The paper loads object code from a file handle and links it into the
+// server's address space; this build substitutes in-process registration of
+// a C++ callable — the same extension point, minus the dynamic linker
+// (documented in DESIGN.md §3). UDFs may call other UDFs (and, via the
+// Session handle in query/, run queries), as in Postgres.
+struct FunctionSignature {
+  std::vector<DataType> inputs;
+  std::vector<DataType> outputs;
+};
+
+class UserFunction {
+ public:
+  using Body =
+      std::function<Result<std::vector<Value>>(const std::vector<Value>&)>;
+
+  UserFunction() = default;
+  UserFunction(std::string name, FunctionSignature sig, Body body)
+      : name_(std::move(name)), sig_(std::move(sig)), body_(std::move(body)) {}
+
+  const std::string& name() const { return name_; }
+  const FunctionSignature& signature() const { return sig_; }
+
+  // Validates arity (types are coerced leniently, numeric-to-numeric) and
+  // invokes the body.
+  Result<std::vector<Value>> Call(const std::vector<Value>& args) const;
+
+ private:
+  std::string name_;
+  FunctionSignature sig_;
+  Body body_;
+};
+
+// Name -> function catalog. One registry per engine instance; the engine
+// pre-registers the built-ins the paper names (Scale10, even, ...).
+class FunctionRegistry {
+ public:
+  FunctionRegistry();
+
+  Status Register(UserFunction fn);
+  Result<const UserFunction*> Find(const std::string& name) const;
+  bool Contains(const std::string& name) const;
+  std::vector<std::string> Names() const;
+
+ private:
+  void RegisterBuiltins();
+  std::map<std::string, UserFunction> fns_;
+};
+
+}  // namespace scidb
+
+#endif  // SCIDB_UDF_FUNCTION_H_

@@ -1,0 +1,146 @@
+#include "udf/shape_function.h"
+
+#include <cmath>
+
+#include "common/macros.h"
+
+namespace scidb {
+
+namespace {
+Status BadDim(const std::string& name, size_t dim, size_t ndims) {
+  return Status::Invalid("shape '" + name + "': dimension " +
+                         std::to_string(dim) + " out of range (ndims=" +
+                         std::to_string(ndims) + ")");
+}
+}  // namespace
+
+bool ShapeFunction::Contains(const Coordinates& c) const {
+  if (c.size() != ndims()) return false;
+  for (size_t d = 0; d < c.size(); ++d) {
+    auto b = SliceBounds(c, d);
+    if (!b.ok() || b.value().empty()) return false;
+    if (c[d] < b.value().low || c[d] > b.value().high) return false;
+  }
+  return true;
+}
+
+// ------------------------------------------------------------ Rectangle
+
+RectangleShape::RectangleShape(Box box) : box_(std::move(box)) {}
+
+Result<DimBounds> RectangleShape::SliceBounds(const Coordinates& partial,
+                                              size_t free_dim) const {
+  if (free_dim >= box_.ndims()) return BadDim(name_, free_dim, box_.ndims());
+  // Empty slice when any bound coordinate is outside the box.
+  for (size_t d = 0; d < box_.ndims(); ++d) {
+    if (d == free_dim) continue;
+    if (partial[d] < box_.low[d] || partial[d] > box_.high[d]) {
+      return DimBounds{1, 0};
+    }
+  }
+  return DimBounds{box_.low[free_dim], box_.high[free_dim]};
+}
+
+Result<DimBounds> RectangleShape::GlobalBounds(size_t dim) const {
+  if (dim >= box_.ndims()) return BadDim(name_, dim, box_.ndims());
+  return DimBounds{box_.low[dim], box_.high[dim]};
+}
+
+// --------------------------------------------------------------- Circle
+
+CircleShape::CircleShape(int64_t center_i, int64_t center_j, int64_t radius)
+    : ci_(center_i), cj_(center_j), r_(radius) {
+  SCIDB_CHECK(radius >= 0);
+}
+
+Result<DimBounds> CircleShape::SliceBounds(const Coordinates& partial,
+                                           size_t free_dim) const {
+  if (free_dim >= 2) return BadDim(name_, free_dim, 2);
+  int64_t bound_center = free_dim == 0 ? cj_ : ci_;
+  int64_t free_center = free_dim == 0 ? ci_ : cj_;
+  int64_t fixed = partial[1 - free_dim];
+  int64_t d = fixed - bound_center;
+  int64_t rem = r_ * r_ - d * d;
+  if (rem < 0) return DimBounds{1, 0};  // slice misses the disc
+  int64_t half = static_cast<int64_t>(std::sqrt(static_cast<double>(rem)));
+  // sqrt of int can be off by one; correct exactly.
+  while ((half + 1) * (half + 1) <= rem) ++half;
+  while (half * half > rem) --half;
+  return DimBounds{free_center - half, free_center + half};
+}
+
+Result<DimBounds> CircleShape::GlobalBounds(size_t dim) const {
+  if (dim >= 2) return BadDim(name_, dim, 2);
+  int64_t c = dim == 0 ? ci_ : cj_;
+  return DimBounds{c - r_, c + r_};
+}
+
+bool CircleShape::Contains(const Coordinates& c) const {
+  if (c.size() != 2) return false;
+  int64_t di = c[0] - ci_;
+  int64_t dj = c[1] - cj_;
+  return di * di + dj * dj <= r_ * r_;
+}
+
+// ------------------------------------------------------------- Triangle
+
+TriangleShape::TriangleShape(int64_t n) : n_(n) { SCIDB_CHECK(n >= 1); }
+
+Result<DimBounds> TriangleShape::SliceBounds(const Coordinates& partial,
+                                             size_t free_dim) const {
+  if (free_dim >= 2) return BadDim(name_, free_dim, 2);
+  if (free_dim == 1) {
+    int64_t i = partial[0];
+    if (i < 1 || i > n_) return DimBounds{1, 0};
+    return DimBounds{1, i};  // j ranges 1..i
+  }
+  int64_t j = partial[1];
+  if (j < 1 || j > n_) return DimBounds{1, 0};
+  return DimBounds{j, n_};  // i ranges j..n
+}
+
+Result<DimBounds> TriangleShape::GlobalBounds(size_t dim) const {
+  if (dim >= 2) return BadDim(name_, dim, 2);
+  return DimBounds{1, n_};
+}
+
+// ------------------------------------------------------------ Separable
+
+SeparableShape::SeparableShape(std::vector<DimBounds> per_dim)
+    : per_dim_(std::move(per_dim)) {}
+
+Result<DimBounds> SeparableShape::SliceBounds(const Coordinates& partial,
+                                              size_t free_dim) const {
+  (void)partial;  // independent of the other dimensions, by definition
+  if (free_dim >= per_dim_.size()) {
+    return BadDim(name_, free_dim, per_dim_.size());
+  }
+  return per_dim_[free_dim];
+}
+
+Result<DimBounds> SeparableShape::GlobalBounds(size_t dim) const {
+  if (dim >= per_dim_.size()) return BadDim(name_, dim, per_dim_.size());
+  return per_dim_[dim];
+}
+
+// ------------------------------------------------------------- Callable
+
+CallableShape::CallableShape(std::string name, size_t ndims, BoundsFn fn,
+                             std::vector<DimBounds> global)
+    : name_(std::move(name)), ndims_(ndims), fn_(std::move(fn)),
+      global_(std::move(global)) {
+  SCIDB_CHECK(global_.size() == ndims_);
+}
+
+Result<DimBounds> CallableShape::SliceBounds(const Coordinates& partial,
+                                             size_t free_dim) const {
+  if (free_dim >= ndims_) return BadDim(name_, free_dim, ndims_);
+  return fn_(partial, free_dim);
+}
+
+Result<DimBounds> CallableShape::GlobalBounds(size_t dim) const {
+  if (dim >= ndims_) return BadDim(name_, dim, ndims_);
+  return global_[dim];
+}
+
+}  // namespace scidb

@@ -1,0 +1,146 @@
+#ifndef SCIDB_UDF_SHAPE_FUNCTION_H_
+#define SCIDB_UDF_SHAPE_FUNCTION_H_
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "array/coordinates.h"
+#include "common/result.h"
+
+namespace scidb {
+
+// A shape function (paper §2.1) describes ragged array boundaries: a UDF
+// with integer arguments returning a (low, high) pair. With one dimension
+// left unspecified — shape(A[I, *]) — it returns the water marks of that
+// free dimension given the bound ones; with all dimensions unspecified it
+// returns the global low/high water marks. Raggedness can exist in both
+// the lower and upper bound, so digitized circles and other complex shapes
+// are expressible. "Holes" are not expressible (the paper leaves them out).
+struct DimBounds {
+  int64_t low;
+  int64_t high;  // inclusive; low > high means the slice is empty
+
+  bool empty() const { return low > high; }
+  bool operator==(const DimBounds& o) const {
+    return low == o.low && high == o.high;
+  }
+};
+
+class ShapeFunction {
+ public:
+  virtual ~ShapeFunction() = default;
+
+  virtual const std::string& name() const = 0;
+  virtual size_t ndims() const = 0;
+
+  // Bounds of dimension `free_dim` given the other coordinates in `partial`
+  // (entries other than free_dim are bound; partial[free_dim] is ignored).
+  virtual Result<DimBounds> SliceBounds(const Coordinates& partial,
+                                        size_t free_dim) const = 0;
+
+  // Global water marks of dimension `dim`: maximum high and minimum low
+  // over all slices (paper: shape-function(A[I, *])).
+  virtual Result<DimBounds> GlobalBounds(size_t dim) const = 0;
+
+  // True when `c` lies inside the ragged region. Default: every dimension's
+  // coordinate within its slice bounds.
+  virtual bool Contains(const Coordinates& c) const;
+};
+
+// Plain box — the trivial shape.
+class RectangleShape : public ShapeFunction {
+ public:
+  explicit RectangleShape(Box box);
+
+  const std::string& name() const override { return name_; }
+  size_t ndims() const override { return box_.ndims(); }
+  Result<DimBounds> SliceBounds(const Coordinates& partial,
+                                size_t free_dim) const override;
+  Result<DimBounds> GlobalBounds(size_t dim) const override;
+
+ private:
+  std::string name_ = "rectangle";
+  Box box_;
+};
+
+// Digitized disc: cells within `radius` of (center_i, center_j). Ragged in
+// both bounds — the paper's canonical "arrays that digitize circles".
+class CircleShape : public ShapeFunction {
+ public:
+  CircleShape(int64_t center_i, int64_t center_j, int64_t radius);
+
+  const std::string& name() const override { return name_; }
+  size_t ndims() const override { return 2; }
+  Result<DimBounds> SliceBounds(const Coordinates& partial,
+                                size_t free_dim) const override;
+  Result<DimBounds> GlobalBounds(size_t dim) const override;
+  bool Contains(const Coordinates& c) const override;
+
+ private:
+  std::string name_ = "circle";
+  int64_t ci_, cj_, r_;
+};
+
+// Lower-triangular 2-D region: j in [1, i] for i in [1, n]. Upper-bound
+// raggedness only (the simplified case the paper mentions).
+class TriangleShape : public ShapeFunction {
+ public:
+  explicit TriangleShape(int64_t n);
+
+  const std::string& name() const override { return name_; }
+  size_t ndims() const override { return 2; }
+  Result<DimBounds> SliceBounds(const Coordinates& partial,
+                                size_t free_dim) const override;
+  Result<DimBounds> GlobalBounds(size_t dim) const override;
+
+ private:
+  std::string name_ = "triangle";
+  int64_t n_;
+};
+
+// Separable composite (paper: "shape is separable into a collection of
+// shape functions for the individual dimensions"): per-dimension 1-D bounds
+// independent of the other dimensions.
+class SeparableShape : public ShapeFunction {
+ public:
+  explicit SeparableShape(std::vector<DimBounds> per_dim);
+
+  const std::string& name() const override { return name_; }
+  size_t ndims() const override { return per_dim_.size(); }
+  Result<DimBounds> SliceBounds(const Coordinates& partial,
+                                size_t free_dim) const override;
+  Result<DimBounds> GlobalBounds(size_t dim) const override;
+
+ private:
+  std::string name_ = "separable";
+  std::vector<DimBounds> per_dim_;
+};
+
+// User-supplied shape via callable; lets applications register arbitrary
+// ragged boundaries without subclassing in the engine.
+class CallableShape : public ShapeFunction {
+ public:
+  using BoundsFn = std::function<Result<DimBounds>(const Coordinates&,
+                                                   size_t free_dim)>;
+  CallableShape(std::string name, size_t ndims, BoundsFn fn,
+                std::vector<DimBounds> global);
+
+  const std::string& name() const override { return name_; }
+  size_t ndims() const override { return ndims_; }
+  Result<DimBounds> SliceBounds(const Coordinates& partial,
+                                size_t free_dim) const override;
+  Result<DimBounds> GlobalBounds(size_t dim) const override;
+
+ private:
+  std::string name_;
+  size_t ndims_;
+  BoundsFn fn_;
+  std::vector<DimBounds> global_;
+};
+
+}  // namespace scidb
+
+#endif  // SCIDB_UDF_SHAPE_FUNCTION_H_

@@ -1,0 +1,147 @@
+#include "version/history.h"
+
+#include "common/macros.h"
+
+namespace scidb {
+
+HistoryArray::HistoryArray(ArraySchema schema) : schema_(std::move(schema)) {
+  schema_.set_updatable(true);
+}
+
+Result<int64_t> HistoryArray::Commit(const std::vector<CellUpdate>& updates,
+                                     int64_t timestamp_micros) {
+  if (updates.empty()) {
+    return Status::Invalid("empty transaction");
+  }
+  if (clock_.recorded() > 0) {
+    auto last = clock_.Forward({clock_.recorded()});
+    if (last.ok() && timestamp_micros < last.value()[0].int64_value()) {
+      return Status::Invalid("commit timestamps must be non-decreasing");
+    }
+  }
+  Layer layer;
+  layer.delta = MemArray(schema_);
+  for (const CellUpdate& u : updates) {
+    if (u.deleted) {
+      if (!schema_.ContainsCoords(u.coords)) {
+        return Status::OutOfRange("delete outside array bounds at " +
+                                  CoordsToString(u.coords));
+      }
+      layer.deletions.insert(u.coords);
+    } else {
+      RETURN_NOT_OK(layer.delta.SetCell(u.coords, u.values));
+      layer.deletions.erase(u.coords);  // set-after-delete within one txn
+    }
+  }
+  layers_.push_back(std::move(layer));
+  clock_.RecordTimestamp(timestamp_micros);
+  return current_history();
+}
+
+std::optional<CellVersion> HistoryArray::FindLocal(const Coordinates& c,
+                                                   int64_t history) const {
+  int64_t h = std::min<int64_t>(history, current_history());
+  for (; h >= 1; --h) {
+    const Layer& layer = layers_[static_cast<size_t>(h - 1)];
+    if (layer.deletions.count(c)) {
+      return CellVersion{h, /*deleted=*/true, {}};
+    }
+    auto cell = layer.delta.GetCell(c);
+    if (cell.has_value()) {
+      return CellVersion{h, /*deleted=*/false, std::move(*cell)};
+    }
+  }
+  return std::nullopt;
+}
+
+Result<std::optional<std::vector<Value>>> HistoryArray::GetCellAt(
+    const Coordinates& c, int64_t history) const {
+  if (history < 1 || history > current_history()) {
+    return Status::OutOfRange("history index " + std::to_string(history) +
+                              " outside [1, " +
+                              std::to_string(current_history()) + "]");
+  }
+  auto found = FindLocal(c, history);
+  if (!found.has_value() || found->deleted) {
+    return std::optional<std::vector<Value>>(std::nullopt);
+  }
+  return std::optional<std::vector<Value>>(std::move(found->values));
+}
+
+std::optional<std::vector<Value>> HistoryArray::GetCellLatest(
+    const Coordinates& c) const {
+  if (current_history() == 0) return std::nullopt;
+  auto r = GetCellAt(c, current_history());
+  if (!r.ok()) return std::nullopt;
+  return r.value();
+}
+
+Result<std::optional<std::vector<Value>>> HistoryArray::GetCellAsOf(
+    const Coordinates& c, int64_t timestamp_micros) const {
+  ASSIGN_OR_RETURN(Coordinates h,
+                   clock_.Inverse({Value(timestamp_micros)}));
+  return GetCellAt(c, h[0]);
+}
+
+std::vector<CellVersion> HistoryArray::CellHistory(
+    const Coordinates& c) const {
+  std::vector<CellVersion> out;
+  for (int64_t h = 1; h <= current_history(); ++h) {
+    const Layer& layer = layers_[static_cast<size_t>(h - 1)];
+    if (layer.deletions.count(c)) {
+      out.push_back(CellVersion{h, true, {}});
+      continue;
+    }
+    auto cell = layer.delta.GetCell(c);
+    if (cell.has_value()) {
+      out.push_back(CellVersion{h, false, std::move(*cell)});
+    }
+  }
+  return out;
+}
+
+Result<MemArray> HistoryArray::SnapshotAt(int64_t history) const {
+  if (history < 0 || history > current_history()) {
+    return Status::OutOfRange("history index " + std::to_string(history) +
+                              " outside [0, " +
+                              std::to_string(current_history()) + "]");
+  }
+  MemArray out(schema_);
+  // Apply layers oldest-to-newest; later layers overwrite.
+  for (int64_t h = 1; h <= history; ++h) {
+    const Layer& layer = layers_[static_cast<size_t>(h - 1)];
+    Status st;
+    bool failed = false;
+    std::vector<Value> cell;
+    layer.delta.ForEachCell(
+        [&](const Coordinates& c, const Chunk& chunk, int64_t rank) {
+          cell.clear();
+          for (size_t a = 0; a < chunk.nattrs(); ++a) {
+            cell.push_back(chunk.block(a).Get(rank));
+          }
+          st = out.SetCell(c, cell);
+          if (!st.ok()) {
+            failed = true;
+            return false;
+          }
+          return true;
+        });
+    if (failed) return st;
+    for (const Coordinates& c : layer.deletions) {
+      // Deleting a never-present cell is a no-op at snapshot level.
+      (void)out.DeleteCell(c);
+    }
+  }
+  return out;
+}
+
+size_t HistoryArray::ByteSize() const {
+  size_t bytes = 0;
+  for (const Layer& layer : layers_) {
+    bytes += layer.delta.ByteSize();
+    bytes += layer.deletions.size() * sizeof(Coordinates);
+  }
+  return bytes;
+}
+
+}  // namespace scidb

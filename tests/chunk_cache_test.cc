@@ -1,0 +1,128 @@
+#include <gtest/gtest.h>
+
+#include <filesystem>
+
+#include "common/rng.h"
+#include "storage/chunk_cache.h"
+#include "storage/storage_manager.h"
+
+namespace scidb {
+namespace {
+
+namespace fs = std::filesystem;
+
+std::shared_ptr<const Chunk> MakeChunk(int64_t lo, int64_t hi, double v) {
+  auto chunk = std::make_shared<Chunk>(
+      Box({lo}, {hi}),
+      std::vector<AttributeDesc>{{"v", DataType::kDouble, true, false}});
+  for (int64_t x = lo; x <= hi; ++x) {
+    chunk->SetCell({x}, {Value(v)});
+  }
+  return chunk;
+}
+
+TEST(ChunkCacheTest, HitAndMiss) {
+  ChunkCache cache(1 << 20);
+  EXPECT_EQ(cache.Get(1), nullptr);
+  EXPECT_EQ(cache.stats().misses, 1);
+  cache.Put(1, MakeChunk(1, 8, 1.0));
+  auto hit = cache.Get(1);
+  ASSERT_NE(hit, nullptr);
+  EXPECT_EQ(hit->GetCell({3})[0].double_value(), 1.0);
+  EXPECT_EQ(cache.stats().hits, 1);
+}
+
+TEST(ChunkCacheTest, EvictsLeastRecentlyUsed) {
+  auto one = MakeChunk(1, 64, 1.0);
+  size_t each = one->ByteSize();
+  ChunkCache cache(each * 3 + each / 2);  // room for 3
+  cache.Put(1, one);
+  cache.Put(2, MakeChunk(1, 64, 2.0));
+  cache.Put(3, MakeChunk(1, 64, 3.0));
+  // Touch 1 so 2 becomes LRU.
+  EXPECT_NE(cache.Get(1), nullptr);
+  cache.Put(4, MakeChunk(1, 64, 4.0));
+  EXPECT_EQ(cache.size(), 3u);
+  EXPECT_EQ(cache.Get(2), nullptr);  // evicted
+  EXPECT_NE(cache.Get(1), nullptr);
+  EXPECT_NE(cache.Get(4), nullptr);
+  EXPECT_EQ(cache.stats().evictions, 1);
+}
+
+TEST(ChunkCacheTest, OversizedEntryNotCached) {
+  ChunkCache cache(16);  // tiny budget
+  cache.Put(1, MakeChunk(1, 64, 1.0));
+  EXPECT_EQ(cache.size(), 0u);
+  EXPECT_EQ(cache.Get(1), nullptr);
+}
+
+TEST(ChunkCacheTest, InvalidateAndClear) {
+  ChunkCache cache(1 << 20);
+  cache.Put(1, MakeChunk(1, 8, 1.0));
+  cache.Put(2, MakeChunk(1, 8, 2.0));
+  cache.Invalidate(1);
+  cache.Invalidate(99);  // no-op
+  EXPECT_EQ(cache.Get(1), nullptr);
+  EXPECT_NE(cache.Get(2), nullptr);
+  cache.Clear();
+  EXPECT_EQ(cache.size(), 0u);
+  EXPECT_EQ(cache.stats().bytes, 0);
+}
+
+TEST(ChunkCacheTest, PutReplacesExistingEntry) {
+  ChunkCache cache(1 << 20);
+  cache.Put(1, MakeChunk(1, 8, 1.0));
+  cache.Put(1, MakeChunk(1, 8, 9.0));
+  EXPECT_EQ(cache.size(), 1u);
+  EXPECT_EQ(cache.Get(1)->GetCell({1})[0].double_value(), 9.0);
+}
+
+TEST(ChunkCacheTest, SharedOwnershipSurvivesEviction) {
+  auto one = MakeChunk(1, 64, 1.0);
+  ChunkCache cache(one->ByteSize() + 8);
+  cache.Put(1, one);
+  auto held = cache.Get(1);
+  cache.Put(2, MakeChunk(1, 64, 2.0));  // evicts 1
+  EXPECT_EQ(cache.Get(1), nullptr);
+  // The chunk we still hold is intact.
+  EXPECT_EQ(held->GetCell({5})[0].double_value(), 1.0);
+}
+
+TEST(DiskArrayCacheTest, CachedReadsSkipDisk) {
+  std::string dir = (fs::temp_directory_path() /
+                     ("scidb_cache_" + std::to_string(::getpid())))
+                        .string();
+  fs::remove_all(dir);
+  StorageManager sm(dir);
+  ArraySchema s("c", {{"x", 1, 256, 32}},
+                {{"v", DataType::kDouble, true, false}});
+  DiskArray* arr = sm.CreateArray(s).ValueOrDie();
+  MemArray mem(s);
+  for (int64_t x = 1; x <= 256; ++x) {
+    ASSERT_TRUE(mem.SetCell({x}, Value(static_cast<double>(x))).ok());
+  }
+  ASSERT_TRUE(arr->WriteAll(mem).ok());
+
+  arr->EnableCache(16 << 20);
+  Box window({1}, {64});
+  ASSERT_TRUE(arr->ReadRegion(window).ok());
+  int64_t disk_reads_after_first = arr->stats().buckets_read;
+  MemArray second = arr->ReadRegion(window).ValueOrDie();
+  // Second read is served from cache: no additional bucket reads.
+  EXPECT_EQ(arr->stats().buckets_read, disk_reads_after_first);
+  EXPECT_EQ(second.CellCount(), 64);
+  EXPECT_GT(arr->cache()->stats().hits, 0);
+
+  // A merge invalidates affected buckets; reads remain correct.
+  ASSERT_TRUE(arr->MergeSmallBuckets(1 << 20).ok());
+  MemArray after = arr->ReadRegion(window).ValueOrDie();
+  EXPECT_EQ(after.CellCount(), 64);
+  EXPECT_EQ((*after.GetCell({30}))[0].double_value(), 30.0);
+
+  arr->EnableCache(0);  // disable
+  EXPECT_EQ(arr->cache(), nullptr);
+  fs::remove_all(dir);
+}
+
+}  // namespace
+}  // namespace scidb

@@ -1,0 +1,214 @@
+#include <gtest/gtest.h>
+
+#include "common/byte_io.h"
+#include "common/macros.h"
+#include "common/result.h"
+#include "common/rng.h"
+#include "common/status.h"
+
+namespace scidb {
+namespace {
+
+TEST(StatusTest, DefaultIsOk) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kOk);
+  EXPECT_EQ(s.ToString(), "OK");
+  EXPECT_EQ(s.message(), "");
+}
+
+TEST(StatusTest, ErrorCarriesCodeAndMessage) {
+  Status s = Status::Invalid("bad dims");
+  EXPECT_FALSE(s.ok());
+  EXPECT_TRUE(s.IsInvalid());
+  EXPECT_EQ(s.message(), "bad dims");
+  EXPECT_EQ(s.ToString(), "InvalidArgument: bad dims");
+}
+
+TEST(StatusTest, CopyPreservesState) {
+  Status s = Status::NotFound("x");
+  Status t = s;
+  EXPECT_TRUE(t.IsNotFound());
+  EXPECT_EQ(t.message(), "x");
+  t = Status::OK();
+  EXPECT_TRUE(t.ok());
+  EXPECT_TRUE(s.IsNotFound());  // source unaffected
+}
+
+TEST(StatusTest, WithContextPrepends) {
+  Status s = Status::IOError("disk gone").WithContext("reading chunk 7");
+  EXPECT_EQ(s.ToString(), "IOError: reading chunk 7: disk gone");
+  EXPECT_TRUE(Status::OK().WithContext("ctx").ok());
+}
+
+TEST(StatusTest, AllCodesHaveNames) {
+  EXPECT_STREQ(StatusCodeName(StatusCode::kCorruption), "Corruption");
+  EXPECT_STREQ(StatusCodeName(StatusCode::kTypeMismatch), "TypeMismatch");
+  EXPECT_STREQ(StatusCodeName(StatusCode::kNotImplemented), "NotImplemented");
+}
+
+TEST(ResultTest, HoldsValue) {
+  Result<int> r = 42;
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(*r, 42);
+}
+
+TEST(ResultTest, HoldsError) {
+  Result<int> r = Status::OutOfRange("too big");
+  ASSERT_FALSE(r.ok());
+  EXPECT_TRUE(r.status().IsOutOfRange());
+}
+
+Result<int> HalveEven(int x) {
+  if (x % 2 != 0) return Status::Invalid("odd");
+  return x / 2;
+}
+
+Result<int> QuarterViaMacro(int x) {
+  ASSIGN_OR_RETURN(int half, HalveEven(x));
+  ASSIGN_OR_RETURN(int quarter, HalveEven(half));
+  return quarter;
+}
+
+TEST(ResultTest, AssignOrReturnPropagates) {
+  EXPECT_EQ(QuarterViaMacro(8).ValueOrDie(), 2);
+  EXPECT_TRUE(QuarterViaMacro(6).status().IsInvalid());   // 3 is odd
+  EXPECT_TRUE(QuarterViaMacro(7).status().IsInvalid());
+}
+
+Status FailIfNegative(int x) {
+  if (x < 0) return Status::Invalid("negative");
+  return Status::OK();
+}
+
+Status CheckBoth(int a, int b) {
+  RETURN_NOT_OK(FailIfNegative(a));
+  RETURN_NOT_OK(FailIfNegative(b));
+  return Status::OK();
+}
+
+TEST(ResultTest, ReturnNotOkPropagates) {
+  EXPECT_TRUE(CheckBoth(1, 2).ok());
+  EXPECT_FALSE(CheckBoth(-1, 2).ok());
+  EXPECT_FALSE(CheckBoth(1, -2).ok());
+}
+
+TEST(ByteIoTest, FixedWidthRoundTrip) {
+  ByteWriter w;
+  w.PutU8(7);
+  w.PutU32(123456);
+  w.PutU64(1ULL << 60);
+  w.PutI64(-99);
+  w.PutDouble(3.25);
+  w.PutFloat(1.5f);
+
+  ByteReader r(w.data());
+  EXPECT_EQ(r.GetU8().ValueOrDie(), 7);
+  EXPECT_EQ(r.GetU32().ValueOrDie(), 123456u);
+  EXPECT_EQ(r.GetU64().ValueOrDie(), 1ULL << 60);
+  EXPECT_EQ(r.GetI64().ValueOrDie(), -99);
+  EXPECT_EQ(r.GetDouble().ValueOrDie(), 3.25);
+  EXPECT_EQ(r.GetFloat().ValueOrDie(), 1.5f);
+  EXPECT_EQ(r.remaining(), 0u);
+}
+
+TEST(ByteIoTest, VarintRoundTrip) {
+  ByteWriter w;
+  const uint64_t cases[] = {0, 1, 127, 128, 300, 1ULL << 35, ~0ULL};
+  for (uint64_t v : cases) w.PutVarint(v);
+  ByteReader r(w.data());
+  for (uint64_t v : cases) EXPECT_EQ(r.GetVarint().ValueOrDie(), v);
+}
+
+TEST(ByteIoTest, SignedVarintRoundTrip) {
+  ByteWriter w;
+  const int64_t cases[] = {0, -1, 1, -64, 64, INT64_MIN, INT64_MAX};
+  for (int64_t v : cases) w.PutSignedVarint(v);
+  ByteReader r(w.data());
+  for (int64_t v : cases) EXPECT_EQ(r.GetSignedVarint().ValueOrDie(), v);
+}
+
+TEST(ByteIoTest, StringRoundTrip) {
+  ByteWriter w;
+  w.PutString("");
+  w.PutString("hello");
+  std::string big(10000, 'x');
+  w.PutString(big);
+  ByteReader r(w.data());
+  EXPECT_EQ(r.GetString().ValueOrDie(), "");
+  EXPECT_EQ(r.GetString().ValueOrDie(), "hello");
+  EXPECT_EQ(r.GetString().ValueOrDie(), big);
+}
+
+TEST(ByteIoTest, TruncatedReadsAreCorruption) {
+  ByteWriter w;
+  w.PutU8(1);
+  ByteReader r(w.data());
+  EXPECT_TRUE(r.GetU64().status().IsCorruption());
+  // A varint whose continuation bit never clears is also corrupt.
+  std::vector<uint8_t> bad(3, 0x80);
+  ByteReader r2(bad);
+  EXPECT_TRUE(r2.GetVarint().status().IsCorruption());
+}
+
+TEST(ByteIoTest, TruncatedStringIsCorruption) {
+  ByteWriter w;
+  w.PutVarint(100);  // claims 100 bytes, provides none
+  ByteReader r(w.data());
+  EXPECT_TRUE(r.GetString().status().IsCorruption());
+}
+
+TEST(RngTest, Deterministic) {
+  Rng a(7), b(7);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.Next(), b.Next());
+}
+
+TEST(RngTest, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i) same += (a.Next() == b.Next());
+  EXPECT_LT(same, 3);
+}
+
+TEST(RngTest, UniformIntInRange) {
+  Rng rng(3);
+  for (int i = 0; i < 1000; ++i) {
+    int64_t v = rng.UniformInt(-5, 5);
+    EXPECT_GE(v, -5);
+    EXPECT_LE(v, 5);
+  }
+}
+
+TEST(RngTest, NextDoubleInUnitInterval) {
+  Rng rng(11);
+  for (int i = 0; i < 1000; ++i) {
+    double d = rng.NextDouble();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+}
+
+TEST(RngTest, GaussianMoments) {
+  Rng rng(5);
+  double sum = 0, sq = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    double g = rng.NextGaussian();
+    sum += g;
+    sq += g * g;
+  }
+  EXPECT_NEAR(sum / n, 0.0, 0.05);
+  EXPECT_NEAR(sq / n, 1.0, 0.05);
+}
+
+TEST(RngTest, ZipfIsSkewed) {
+  Rng rng(9);
+  std::vector<int> counts(100, 0);
+  for (int i = 0; i < 10000; ++i) ++counts[rng.Zipf(100, 1.2)];
+  // Head must dominate tail under s=1.2.
+  EXPECT_GT(counts[0], counts[50] * 5);
+  EXPECT_GT(counts[0], 500);
+}
+
+}  // namespace
+}  // namespace scidb

@@ -1,0 +1,163 @@
+#include <gtest/gtest.h>
+
+#include "cook/cooking.h"
+#include "version/named_version.h"
+
+namespace scidb {
+namespace {
+
+ArraySchema PassSchema(int64_t n = 8) {
+  return ArraySchema("pass",
+                     {{"I", 1, n, 4}, {"J", 1, n, 4}},
+                     {{"value", DataType::kDouble, true, false},
+                      {"cloud", DataType::kDouble, true, false},
+                      {"nadir", DataType::kDouble, true, false}});
+}
+
+class CookTest : public ::testing::Test {
+ protected:
+  CookTest() {
+    ctx_.functions = &fns_;
+    ctx_.aggregates = &aggs_;
+  }
+  FunctionRegistry fns_;
+  AggregateRegistry aggs_;
+  ExecContext ctx_;
+};
+
+TEST_F(CookTest, CalibrateAppliesGainOffset) {
+  MemArray raw(PassSchema());
+  ASSERT_TRUE(raw.SetCell({1, 1}, {Value(10.0), Value(0.1), Value(5.0)})
+                  .ok());
+  MemArray cal = Calibrate(ctx_, raw, "value", 2.0, 3.0).ValueOrDie();
+  size_t ai = cal.schema().AttrIndex("value_cal").ValueOrDie();
+  EXPECT_EQ((*cal.GetCell({1, 1}))[ai].double_value(), 23.0);
+  EXPECT_TRUE(
+      Calibrate(ctx_, raw, "zz", 1.0, 0.0).status().IsNotFound());
+}
+
+TEST_F(CookTest, CompositePicksMinimalCriterion) {
+  // Two passes observe the same grid; pass B is cloudier except at (2,2).
+  MemArray a(PassSchema()), b(PassSchema());
+  ASSERT_TRUE(a.SetCell({1, 1}, {Value(10.0), Value(0.2), Value(30.0)}).ok());
+  ASSERT_TRUE(b.SetCell({1, 1}, {Value(11.0), Value(0.8), Value(10.0)}).ok());
+  ASSERT_TRUE(a.SetCell({2, 2}, {Value(20.0), Value(0.9), Value(20.0)}).ok());
+  ASSERT_TRUE(b.SetCell({2, 2}, {Value(21.0), Value(0.1), Value(40.0)}).ok());
+  // A cell seen by only one pass comes from that pass.
+  ASSERT_TRUE(a.SetCell({3, 3}, {Value(30.0), Value(0.5), Value(0.0)}).ok());
+
+  // Least cloud cover (the default production cooking).
+  MemArray least_cloud = Composite({&a, &b}, "cloud").ValueOrDie();
+  EXPECT_EQ((*least_cloud.GetCell({1, 1}))[0].double_value(), 10.0);  // A
+  EXPECT_EQ((*least_cloud.GetCell({2, 2}))[0].double_value(), 21.0);  // B
+  EXPECT_EQ((*least_cloud.GetCell({3, 3}))[0].double_value(), 30.0);
+
+  // The alternative algorithm (closest to directly overhead) picks
+  // differently — the paper's named-version scenario.
+  MemArray nearest = Composite({&a, &b}, "nadir").ValueOrDie();
+  EXPECT_EQ((*nearest.GetCell({1, 1}))[0].double_value(), 11.0);  // B
+  EXPECT_EQ((*nearest.GetCell({2, 2}))[0].double_value(), 20.0);  // A
+}
+
+TEST_F(CookTest, CompositeValidates) {
+  MemArray a(PassSchema());
+  EXPECT_TRUE(Composite({}, "cloud").status().IsInvalid());
+  EXPECT_TRUE(Composite({&a}, "zz").status().IsNotFound());
+  ArraySchema other("other", {{"I", 1, 8, 4}},
+                    {{"v", DataType::kDouble, true, false}});
+  MemArray o(other);
+  EXPECT_TRUE(Composite({&a, &o}, "cloud").status().IsInvalid());
+}
+
+TEST_F(CookTest, AlternativeCookingAsNamedVersion) {
+  // End-to-end §2.11 scenario: production composite in the base array, a
+  // scientist's alternative cooking for a sub-region in a named version.
+  MemArray a(PassSchema()), b(PassSchema());
+  for (int64_t i = 1; i <= 4; ++i) {
+    ASSERT_TRUE(a.SetCell({i, i}, {Value(i * 1.0), Value(0.2),
+                                   Value(30.0)}).ok());
+    ASSERT_TRUE(b.SetCell({i, i}, {Value(i * 10.0), Value(0.5),
+                                   Value(5.0)}).ok());
+  }
+  MemArray production = Composite({&a, &b}, "cloud").ValueOrDie();
+
+  VersionTree tree(PassSchema());
+  std::vector<CellUpdate> load;
+  production.ForEachCell([&](const Coordinates& c, const Chunk& chunk,
+                             int64_t rank) {
+    std::vector<Value> vals;
+    for (size_t at = 0; at < chunk.nattrs(); ++at) {
+      vals.push_back(chunk.block(at).Get(rank));
+    }
+    load.push_back(CellUpdate::Set(c, vals));
+    return true;
+  });
+  ASSERT_TRUE(tree.Commit("", load, 1000).ok());
+
+  // Alternative cooking only over the study region i <= 2.
+  MemArray alt = Composite({&a, &b}, "nadir").ValueOrDie();
+  ASSERT_TRUE(tree.CreateVersion("study", "").ok());
+  std::vector<CellUpdate> patch;
+  alt.ForEachCell([&](const Coordinates& c, const Chunk& chunk,
+                      int64_t rank) {
+    if (c[0] > 2) return true;
+    std::vector<Value> vals;
+    for (size_t at = 0; at < chunk.nattrs(); ++at) {
+      vals.push_back(chunk.block(at).Get(rank));
+    }
+    patch.push_back(CellUpdate::Set(c, vals));
+    return true;
+  });
+  ASSERT_TRUE(tree.Commit("study", patch, 2000).ok());
+
+  // Inside the study region the version differs; outside it matches the
+  // parent ("the same as a parent data set for much of the study region,
+  // but different in a portion").
+  EXPECT_EQ((*tree.GetCell("study", {1, 1}).ValueOrDie())[0].double_value(),
+            10.0);  // nadir picked B
+  EXPECT_EQ((*tree.GetCell("", {1, 1}).ValueOrDie())[0].double_value(),
+            1.0);   // cloud picked A
+  EXPECT_EQ((*tree.GetCell("study", {4, 4}).ValueOrDie())[0].double_value(),
+            (*tree.GetCell("", {4, 4}).ValueOrDie())[0].double_value());
+}
+
+TEST_F(CookTest, DetectSourcesFindsComponents) {
+  ArraySchema s("img", {{"I", 1, 16, 8}, {"J", 1, 16, 8}},
+                {{"flux", DataType::kDouble, true, false}});
+  MemArray img(s);
+  // Background.
+  for (int64_t i = 1; i <= 16; ++i) {
+    for (int64_t j = 1; j <= 16; ++j) {
+      ASSERT_TRUE(img.SetCell({i, j}, Value(1.0)).ok());
+    }
+  }
+  // Source 1: bright 2x2 blob at (3..4, 3..4), peak at (4,4).
+  ASSERT_TRUE(img.SetCell({3, 3}, Value(50.0)).ok());
+  ASSERT_TRUE(img.SetCell({3, 4}, Value(60.0)).ok());
+  ASSERT_TRUE(img.SetCell({4, 3}, Value(55.0)).ok());
+  ASSERT_TRUE(img.SetCell({4, 4}, Value(70.0)).ok());
+  // Source 2: single pixel at (10, 10).
+  ASSERT_TRUE(img.SetCell({10, 10}, Value(40.0)).ok());
+  // Diagonal neighbour of source 2 is a separate component
+  // (4-connectivity).
+  ASSERT_TRUE(img.SetCell({11, 11}, Value(30.0)).ok());
+
+  auto detections = DetectSources(img, "flux", 10.0).ValueOrDie();
+  ASSERT_EQ(detections.size(), 3u);
+  EXPECT_EQ(detections[0].peak, (Coordinates{4, 4}));
+  EXPECT_EQ(detections[0].npix, 4);
+  EXPECT_EQ(detections[0].total_flux, 235.0);
+  EXPECT_EQ(detections[0].bbox, Box({3, 3}, {4, 4}));
+  EXPECT_EQ(detections[1].peak, (Coordinates{10, 10}));
+  EXPECT_EQ(detections[2].peak, (Coordinates{11, 11}));
+}
+
+TEST_F(CookTest, DetectValidates) {
+  ArraySchema s1("one", {{"I", 1, 4, 4}},
+                 {{"v", DataType::kDouble, true, false}});
+  MemArray a(s1);
+  EXPECT_TRUE(DetectSources(a, "v", 1.0).status().IsInvalid());  // not 2-D
+}
+
+}  // namespace
+}  // namespace scidb

@@ -1,0 +1,91 @@
+// §2.1's enhancement / shape statements in AQL:
+//   Enhance My_remote with Scale10  ->  enhance My_remote with scale(10)
+//   Shape <array> with shape_function -> shape A with circle(10, 10, 5)
+//   A{70, 80}                       ->  select My_remote {70, 80}
+#include <gtest/gtest.h>
+
+#include "query/session.h"
+
+namespace scidb {
+namespace {
+
+class EnhanceStatementTest : public ::testing::Test {
+ protected:
+  EnhanceStatementTest() {
+    SCIDB_CHECK(session_.Execute("define Remote (v = double) (I, J)").ok());
+    SCIDB_CHECK(session_.Execute("create My_remote as Remote [20, 20]").ok());
+    for (int64_t i = 1; i <= 20; ++i) {
+      for (int64_t j = 1; j <= 20; ++j) {
+        SCIDB_CHECK(session_
+                        .Execute("insert My_remote [" + std::to_string(i) +
+                                 ", " + std::to_string(j) + "] values (" +
+                                 std::to_string(i * 100 + j) + ".0)")
+                        .ok());
+      }
+    }
+  }
+  Session session_;
+};
+
+TEST_F(EnhanceStatementTest, Scale10PaperExample) {
+  ASSERT_TRUE(session_.Execute("enhance My_remote with scale(10)").ok());
+  // A{70, 80} addresses A[7, 8].
+  auto r = session_.Execute("select My_remote {70, 80}").ValueOrDie();
+  ASSERT_EQ(r.kind, QueryResult::Kind::kValues);
+  ASSERT_EQ(r.values.size(), 1u);
+  EXPECT_EQ(r.values[0].double_value(), 708.0);
+  // Off-grid pseudo-coordinates do not resolve.
+  EXPECT_FALSE(session_.Execute("select My_remote {71, 80}").ok());
+}
+
+TEST_F(EnhanceStatementTest, TranslateAndMultipleEnhancements) {
+  ASSERT_TRUE(session_.Execute("enhance My_remote with scale(10)").ok());
+  ASSERT_TRUE(
+      session_.Execute("enhance My_remote with translate(100, -5)").ok());
+  // Translate system: {107, 3} -> [7, 8].
+  auto r = session_.Execute("select My_remote {107, 3}").ValueOrDie();
+  EXPECT_EQ(r.values[0].double_value(), 708.0);
+  // Duplicate enhancement rejected.
+  EXPECT_TRUE(session_.Execute("enhance My_remote with scale(10)").status()
+                  .IsAlreadyExists());
+}
+
+TEST_F(EnhanceStatementTest, ShapeRestrictsWrites) {
+  ASSERT_TRUE(
+      session_.Execute("shape My_remote with circle(10, 10, 3)").ok());
+  EnhancedArray* arr = session_.Enhanced("My_remote").ValueOrDie();
+  EXPECT_TRUE(arr->SetCell({10, 10}, {Value(0.0)}).ok());
+  EXPECT_TRUE(arr->SetCell({1, 1}, {Value(0.0)}).IsOutOfRange());
+  // One shape per array (paper).
+  EXPECT_TRUE(session_.Execute("shape My_remote with triangle(20)").status()
+                  .IsAlreadyExists());
+}
+
+TEST_F(EnhanceStatementTest, BuilderValidation) {
+  EXPECT_TRUE(session_.Execute("enhance My_remote with warp(3)").status()
+                  .IsNotFound());
+  EXPECT_TRUE(session_.Execute("enhance My_remote with scale()").status()
+                  .IsInvalid());
+  EXPECT_TRUE(
+      session_.Execute("enhance My_remote with translate(1)").status()
+          .IsInvalid());  // needs 2 offsets for 2-D
+  EXPECT_TRUE(session_.Execute("enhance Nope with scale(10)").status()
+                  .IsNotFound());
+  EXPECT_TRUE(session_.Execute("shape My_remote with blob(1)").status()
+                  .IsNotFound());
+}
+
+TEST_F(EnhanceStatementTest, TransposeEnhancement) {
+  ASSERT_TRUE(
+      session_.Execute("enhance My_remote with transpose(2, 1)").ok());
+  // Transposed system: {8, 7} -> [7, 8].
+  auto r = session_.Execute("select My_remote {8, 7}").ValueOrDie();
+  EXPECT_EQ(r.values[0].double_value(), 708.0);
+}
+
+TEST_F(EnhanceStatementTest, EnhancedReadWithoutEnhancementFails) {
+  EXPECT_FALSE(session_.Execute("select My_remote {70, 80}").ok());
+}
+
+}  // namespace
+}  // namespace scidb

@@ -1,0 +1,170 @@
+// Distributed execution must be semantically invisible: for any data and
+// any partitioner, parallel results equal serial results, and
+// repartitioning never loses or duplicates cells.
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "grid/cluster.h"
+
+namespace scidb {
+namespace {
+
+struct Params {
+  uint64_t seed;
+  int scheme;  // 0 = fixed, 1 = hash, 2 = range
+};
+
+class GridPropertyTest
+    : public ::testing::TestWithParam<std::tuple<uint64_t, int>> {
+ protected:
+  GridPropertyTest() {
+    ctx_.functions = &fns_;
+    ctx_.aggregates = &aggs_;
+  }
+
+  static constexpr int64_t kSide = 48;
+
+  ArraySchema Schema() {
+    return ArraySchema("g", {{"x", 1, kSide, 6}, {"y", 1, kSide, 6}},
+                       {{"v", DataType::kDouble, true, false}});
+  }
+
+  std::shared_ptr<const Partitioner> Scheme(int kind) {
+    switch (kind) {
+      case 0:
+        return std::make_shared<FixedGridPartitioner>(
+            Box({1, 1}, {kSide, kSide}), std::vector<int64_t>{2, 2});
+      case 1:
+        return std::make_shared<HashPartitioner>(4);
+      default:
+        return std::make_shared<RangePartitioner>(
+            0, std::vector<int64_t>{12, 24, 36});
+    }
+  }
+
+  MemArray RandomData(uint64_t seed, double density) {
+    MemArray a(Schema());
+    Rng rng(seed);
+    for (int64_t x = 1; x <= kSide; ++x) {
+      for (int64_t y = 1; y <= kSide; ++y) {
+        if (rng.NextDouble() < density) {
+          SCIDB_CHECK(
+              a.SetCell({x, y}, Value(rng.NextDouble() * 100)).ok());
+        }
+      }
+    }
+    return a;
+  }
+
+  FunctionRegistry fns_;
+  AggregateRegistry aggs_;
+  ExecContext ctx_;
+};
+
+TEST_P(GridPropertyTest, ParallelAggregateEqualsSerial) {
+  auto [seed, scheme] = GetParam();
+  MemArray src = RandomData(seed, 0.4);
+  DistributedArray d(Schema(), Scheme(scheme));
+  ASSERT_TRUE(d.Load(src, 0).ok());
+  EXPECT_EQ(d.TotalCells(), src.CellCount());
+
+  for (const char* agg : {"sum", "count", "min", "max", "avg"}) {
+    MemArray par = d.ParallelAggregate(ctx_, {"x"}, agg, "v").ValueOrDie();
+    MemArray ser = Aggregate(ctx_, src, {"x"}, agg, "v").ValueOrDie();
+    ASSERT_EQ(par.CellCount(), ser.CellCount()) << agg;
+    ser.ForEachCell([&](const Coordinates& c, const Chunk& chunk,
+                        int64_t rank) {
+      auto got = par.GetCell(c);
+      EXPECT_TRUE(got.has_value()) << agg;
+      if (got.has_value()) {
+        auto want = chunk.block(0).Get(rank);
+        if (want.is_null()) {
+          EXPECT_TRUE((*got)[0].is_null()) << agg;
+        } else {
+          EXPECT_NEAR((*got)[0].AsDouble().ValueOrDie(),
+                      want.AsDouble().ValueOrDie(), 1e-9)
+              << agg << " at " << CoordsToString(c);
+        }
+      }
+      return true;
+    });
+  }
+}
+
+TEST_P(GridPropertyTest, ParallelSjoinEqualsSerial) {
+  auto [seed, scheme] = GetParam();
+  MemArray a_src = RandomData(seed, 0.3);
+  ArraySchema sb("h", {{"x", 1, kSide, 6}, {"y", 1, kSide, 6}},
+                 {{"w", DataType::kDouble, true, false}});
+  MemArray b_src(sb);
+  Rng rng(seed + 99);
+  for (int64_t x = 1; x <= kSide; ++x) {
+    for (int64_t y = 1; y <= kSide; ++y) {
+      if (rng.NextDouble() < 0.3) {
+        SCIDB_CHECK(b_src.SetCell({x, y}, Value(rng.NextDouble())).ok());
+      }
+    }
+  }
+  DistributedArray da(a_src.schema(), Scheme(scheme));
+  ASSERT_TRUE(da.Load(a_src, 0).ok());
+  // Deliberately different partitioning for b: forces movement.
+  DistributedArray db(sb, Scheme((scheme + 1) % 3));
+  ASSERT_TRUE(db.Load(b_src, 0).ok());
+
+  int64_t moved = 0;
+  MemArray par =
+      da.ParallelSjoin(ctx_, db, {{"x", "x"}, {"y", "y"}}, &moved)
+          .ValueOrDie();
+  MemArray ser =
+      Sjoin(ctx_, a_src, b_src, {{"x", "x"}, {"y", "y"}}).ValueOrDie();
+  EXPECT_EQ(par.CellCount(), ser.CellCount());
+  ser.ForEachCell([&](const Coordinates& c, const Chunk&, int64_t) {
+    EXPECT_TRUE(par.Exists(c)) << CoordsToString(c);
+    return true;
+  });
+}
+
+TEST_P(GridPropertyTest, RepartitionPreservesEveryCell) {
+  auto [seed, scheme] = GetParam();
+  MemArray src = RandomData(seed, 0.5);
+  DistributedArray d(Schema(), Scheme(scheme));
+  ASSERT_TRUE(d.Load(src, 0).ok());
+  // Bounce through the other two schemes and back.
+  for (int next : {(scheme + 1) % 3, (scheme + 2) % 3, scheme}) {
+    ASSERT_TRUE(d.Repartition(Scheme(next), 0).ok());
+    EXPECT_EQ(d.TotalCells(), src.CellCount());
+  }
+  // Every original cell is still present on exactly one node with the
+  // right value.
+  src.ForEachCell([&](const Coordinates& c, const Chunk& chunk,
+                      int64_t rank) {
+    int found = 0;
+    double value = 0;
+    for (int node = 0; node < d.num_nodes(); ++node) {
+      auto cell = d.shard(node).GetCell(c);
+      if (cell.has_value()) {
+        ++found;
+        value = (*cell)[0].double_value();
+      }
+    }
+    EXPECT_EQ(found, 1) << CoordsToString(c);
+    EXPECT_EQ(value, chunk.block(0).GetDouble(rank));
+    return true;
+  });
+}
+
+std::string ParamName(
+    const ::testing::TestParamInfo<std::tuple<uint64_t, int>>& info) {
+  static const char* kNames[] = {"fixed", "hash", "range"};
+  return "seed" + std::to_string(std::get<0>(info.param)) + "_" +
+         kNames[std::get<1>(info.param)];
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    SeedsAndSchemes, GridPropertyTest,
+    ::testing::Combine(::testing::Values<uint64_t>(7, 19, 31),
+                       ::testing::Values(0, 1, 2)),
+    ParamName);
+
+}  // namespace
+}  // namespace scidb

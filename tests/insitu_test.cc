@@ -1,0 +1,191 @@
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+
+#include "common/rng.h"
+#include "insitu/formats.h"
+
+namespace scidb {
+namespace {
+
+namespace fs = std::filesystem;
+
+std::string TempPath(const std::string& name) {
+  return (fs::temp_directory_path() /
+          ("scidb_insitu_" + std::to_string(::getpid()) + "_" + name))
+      .string();
+}
+
+MemArray SampleArray(int64_t n = 32, int64_t chunk = 8) {
+  ArraySchema s("sample", {{"I", 1, n, chunk}, {"J", 1, n, chunk}},
+                {{"v", DataType::kDouble, true, false}});
+  MemArray a(s);
+  for (int64_t i = 1; i <= n; ++i) {
+    for (int64_t j = 1; j <= n; ++j) {
+      SCIDB_CHECK(a.SetCell({i, j},
+                            Value(static_cast<double>(i * 1000 + j)))
+                      .ok());
+    }
+  }
+  return a;
+}
+
+TEST(SciDbFileTest, RoundTrip) {
+  std::string path = TempPath("roundtrip.sdb");
+  MemArray a = SampleArray();
+  ASSERT_TRUE(WriteSciDbFile(path, a).ok());
+
+  auto file = SciDbFile::Open(path).ValueOrDie();
+  EXPECT_EQ(file->schema().name(), "sample");
+  EXPECT_EQ(file->chunk_count(), 16u);
+  MemArray back = file->ReadAll().ValueOrDie();
+  EXPECT_EQ(back.CellCount(), a.CellCount());
+  EXPECT_EQ((*back.GetCell({7, 9}))[0].double_value(), 7009.0);
+  fs::remove(path);
+}
+
+TEST(SciDbFileTest, RegionReadTouchesOnlyNeededChunks) {
+  std::string path = TempPath("region.sdb");
+  MemArray a = SampleArray(64, 8);
+  ASSERT_TRUE(WriteSciDbFile(path, a).ok());
+  auto file = SciDbFile::Open(path).ValueOrDie();
+
+  MemArray corner = file->ReadRegion(Box({1, 1}, {8, 8})).ValueOrDie();
+  EXPECT_EQ(corner.CellCount(), 64);
+  int64_t corner_bytes = file->bytes_read();
+
+  MemArray all = file->ReadAll().ValueOrDie();
+  EXPECT_EQ(all.CellCount(), 64 * 64);
+  int64_t total_bytes = file->bytes_read() - corner_bytes;
+  // One of 64 chunks: the corner read costs a small fraction.
+  EXPECT_LT(corner_bytes, total_bytes / 16);
+  fs::remove(path);
+}
+
+TEST(SciDbFileTest, RejectsForeignFile) {
+  std::string path = TempPath("garbage.sdb");
+  {
+    std::ofstream f(path, std::ios::binary);
+    f << "this is not a scidb file at all";
+  }
+  EXPECT_FALSE(SciDbFile::Open(path).ok());
+  EXPECT_TRUE(SciDbFile::Open(TempPath("missing.sdb")).status().IsIOError());
+  fs::remove(path);
+}
+
+TEST(H5FileTest, WriteOpenRead) {
+  std::string path = TempPath("data.sh5");
+  H5Dataset temp;
+  temp.name = "temperature";
+  temp.dim_names = {"lat", "lon"};
+  temp.shape = {4, 5};
+  for (int i = 0; i < 20; ++i) temp.data.push_back(i * 0.5);
+  H5Dataset wind;
+  wind.name = "wind";
+  wind.dim_names = {"t"};
+  wind.shape = {3};
+  wind.data = {9.0, 8.0, 7.0};
+  ASSERT_TRUE(WriteH5File(path, {temp, wind}).ok());
+
+  auto file = H5File::Open(path).ValueOrDie();
+  EXPECT_EQ(file->DatasetNames(),
+            (std::vector<std::string>{"temperature", "wind"}));
+  const H5Dataset* ds = file->Dataset("temperature").ValueOrDie();
+  EXPECT_EQ(ds->shape, (std::vector<int64_t>{4, 5}));
+  EXPECT_EQ(ds->data[7], 3.5);
+  EXPECT_TRUE(file->Dataset("nope").status().IsNotFound());
+  fs::remove(path);
+}
+
+TEST(H5FileTest, WriterValidates) {
+  H5Dataset bad;
+  bad.name = "bad";
+  bad.dim_names = {"x"};
+  bad.shape = {4};
+  bad.data = {1.0};  // wrong size
+  EXPECT_TRUE(WriteH5File(TempPath("bad.sh5"), {bad}).IsInvalid());
+}
+
+TEST(H5AdaptorTest, QueryWithoutLoad) {
+  // Paper §2.9: "he can use SciDB without a load stage".
+  std::string path = TempPath("adaptor.sh5");
+  H5Dataset img;
+  img.name = "image";
+  img.dim_names = {"I", "J"};
+  img.shape = {16, 16};
+  for (int i = 0; i < 256; ++i) img.data.push_back(static_cast<double>(i));
+  ASSERT_TRUE(WriteH5File(path, {img}).ok());
+
+  auto adaptor =
+      H5DatasetAdaptor::Open(path, "image", "ext_image").ValueOrDie();
+  EXPECT_EQ(adaptor->schema().ndims(), 2u);
+  EXPECT_EQ(adaptor->schema().dim(0).name, "I");
+
+  // Region read: only the window is materialized.
+  MemArray window =
+      adaptor->ReadRegion(Box({1, 1}, {2, 2})).ValueOrDie();
+  EXPECT_EQ(window.CellCount(), 4);
+  // Row-major: cell (2, 1) holds 16.
+  EXPECT_EQ((*window.GetCell({2, 1}))[0].double_value(), 16.0);
+  EXPECT_EQ(adaptor->bytes_read(), 4 * 8);
+  EXPECT_TRUE(
+      H5DatasetAdaptor::Open(path, "zz", "x").status().IsNotFound());
+  fs::remove(path);
+}
+
+TEST(NcFileTest, WriteReadContents) {
+  std::string path = TempPath("ocean.snc");
+  NcFileContents nc;
+  nc.dimensions = {{"depth", 3}, {"station", 4}};
+  NcVariable salinity;
+  salinity.name = "salinity";
+  salinity.dim_ids = {0, 1};
+  for (int i = 0; i < 12; ++i) salinity.data.push_back(30.0 + i * 0.1);
+  nc.variables.push_back(salinity);
+  nc.attributes = {{"institution", "MBARI"}, {"cruise", "CANON-2008"}};
+  ASSERT_TRUE(WriteNcFile(path, nc).ok());
+
+  NcFileContents back = ReadNcFile(path).ValueOrDie();
+  EXPECT_EQ(back.dimensions.size(), 2u);
+  EXPECT_EQ(back.dimensions[1].name, "station");
+  EXPECT_EQ(back.attributes.at("institution"), "MBARI");
+  ASSERT_EQ(back.variables.size(), 1u);
+  EXPECT_DOUBLE_EQ(back.variables[0].data[11], 31.1);
+  fs::remove(path);
+}
+
+TEST(NcFileTest, WriterValidates) {
+  NcFileContents nc;
+  nc.dimensions = {{"x", 4}};
+  NcVariable v;
+  v.name = "v";
+  v.dim_ids = {7};  // unknown dimension
+  EXPECT_TRUE(WriteNcFile(TempPath("bad.snc"), nc).ok());  // empty ok
+  nc.variables.push_back(v);
+  EXPECT_TRUE(WriteNcFile(TempPath("bad.snc"), nc).IsInvalid());
+}
+
+TEST(NcAdaptorTest, QueryWithoutLoad) {
+  std::string path = TempPath("grid.snc");
+  NcFileContents nc;
+  nc.dimensions = {{"lat", 8}, {"lon", 8}};
+  NcVariable sst;
+  sst.name = "sst";
+  sst.dim_ids = {0, 1};
+  for (int i = 0; i < 64; ++i) sst.data.push_back(10.0 + i);
+  nc.variables.push_back(sst);
+  ASSERT_TRUE(WriteNcFile(path, nc).ok());
+
+  auto adaptor = NcVariableAdaptor::Open(path, "sst", "sst").ValueOrDie();
+  EXPECT_EQ(adaptor->schema().dim(1).name, "lon");
+  MemArray region = adaptor->ReadRegion(Box({8, 8}, {8, 8})).ValueOrDie();
+  EXPECT_EQ(region.CellCount(), 1);
+  EXPECT_EQ((*region.GetCell({8, 8}))[0].double_value(), 73.0);
+  EXPECT_TRUE(NcVariableAdaptor::Open(path, "zz", "x").status()
+                  .IsNotFound());
+  fs::remove(path);
+}
+
+}  // namespace
+}  // namespace scidb

@@ -1,0 +1,234 @@
+// End-to-end integration: pipelines that cross module boundaries the way
+// the paper's lighthouse customers would — ingest, cook, version, query,
+// persist, distribute, trace.
+#include <gtest/gtest.h>
+
+#include <filesystem>
+
+#include "common/rng.h"
+#include "cook/cooking.h"
+#include "grid/auto_designer.h"
+#include "grid/cluster.h"
+#include "insitu/formats.h"
+#include "provenance/provenance.h"
+#include "query/session.h"
+#include "storage/storage_manager.h"
+#include "version/named_version.h"
+
+namespace scidb {
+namespace {
+
+namespace fs = std::filesystem;
+
+std::string TempDir(const std::string& tag) {
+  std::string dir = (fs::temp_directory_path() /
+                     ("scidb_integ_" + tag + "_" +
+                      std::to_string(::getpid())))
+                        .string();
+  fs::remove_all(dir);
+  fs::create_directories(dir);
+  return dir;
+}
+
+TEST(IntegrationTest, InSituToSessionToDisk) {
+  // Foreign NetCDF-like file -> in-situ adaptor -> session query ->
+  // result persisted by the storage manager -> reopened and re-queried.
+  std::string dir = TempDir("pipeline");
+
+  // 1. A foreign instrument file appears.
+  NcFileContents nc;
+  nc.dimensions = {{"lat", 16}, {"lon", 16}};
+  NcVariable sst;
+  sst.name = "sst";
+  sst.dim_ids = {0, 1};
+  Rng rng(1);
+  for (int i = 0; i < 256; ++i) sst.data.push_back(10 + rng.NextDouble());
+  nc.variables.push_back(sst);
+  std::string nc_path = dir + "/buoy.snc";
+  ASSERT_TRUE(WriteNcFile(nc_path, nc).ok());
+
+  // 2. Query it in-situ through a session (no load step).
+  auto adaptor = NcVariableAdaptor::Open(nc_path, "sst", "sst").ValueOrDie();
+  Session session;
+  auto arr = std::make_shared<MemArray>(adaptor->ReadAll().ValueOrDie());
+  ASSERT_TRUE(session.RegisterArray(arr).ok());
+  auto hot = session.Execute("store Filter(sst, value > 10.5) into Hot")
+                 .ValueOrDie();
+  (void)hot;
+
+  // 3. Persist the derived array.
+  StorageManager sm(dir);
+  auto hot_arr = session.GetArray("Hot").ValueOrDie();
+  DiskArray* disk = sm.CreateArray(hot_arr->schema()).ValueOrDie();
+  ASSERT_TRUE(disk->WriteAll(*hot_arr).ok());
+  ASSERT_TRUE(disk->Flush().ok());
+
+  // 4. Reopen from disk; counts agree.
+  StorageManager sm2(dir);
+  DiskArray* back = sm2.OpenArray("Hot").ValueOrDie();
+  MemArray restored = back->ReadAll().ValueOrDie();
+  EXPECT_EQ(restored.CellCount(), hot_arr->CellCount());
+  fs::remove_all(dir);
+}
+
+TEST(IntegrationTest, CookVersionTraceRederive) {
+  // The full §2.10-§2.12 loop: cook inside the engine with a logged
+  // command, spot a bad pixel, trace it back, re-derive, and commit the
+  // replacement as new history (never overwriting).
+  FunctionRegistry fns;
+  AggregateRegistry aggs;
+  ExecContext ctx{&fns, &aggs, true, nullptr};
+
+  ArraySchema raw_schema("raw", {{"x", 1, 8, 4}, {"y", 1, 8, 4}},
+                         {{"adu", DataType::kDouble, true, false}});
+  auto raw = std::make_shared<MemArray>(raw_schema);
+  for (int64_t x = 1; x <= 8; ++x) {
+    for (int64_t y = 1; y <= 8; ++y) {
+      ASSERT_TRUE(
+          raw->SetCell({x, y}, Value(100.0 + x * 8 + y)).ok());
+    }
+  }
+
+  ProvenanceLog log;
+  auto cook = [&]() { return Calibrate(ctx, *raw, "adu", 2.0, -200.0); };
+  auto cooked = std::make_shared<MemArray>(cook().ValueOrDie());
+  cooked->mutable_schema()->set_name("cooked");
+  LoggedCommand cmd;
+  cmd.text = "cooked = Calibrate(raw, 2.0, -200)";
+  cmd.inputs = {"raw"};
+  cmd.output = "cooked";
+  cmd.lineage = CellwiseLineage("raw", "cooked");
+  cmd.rerun = cook;
+  int64_t cook_id = log.Record(std::move(cmd));
+
+  // The cooked array lives in a versioned store.
+  VersionTree tree(cooked->schema());
+  std::vector<CellUpdate> load;
+  cooked->ForEachCell([&](const Coordinates& c, const Chunk& chunk,
+                          int64_t rank) {
+    std::vector<Value> vals;
+    for (size_t a = 0; a < chunk.nattrs(); ++a) {
+      vals.push_back(chunk.block(a).Get(rank));
+    }
+    load.push_back(CellUpdate::Set(c, vals));
+    return true;
+  });
+  ASSERT_TRUE(tree.Commit("", load, 1000).ok());
+
+  // A scientist suspects cooked[3, 3]: trace backwards.
+  auto steps = log.TraceBack({"cooked", {3, 3}}).ValueOrDie();
+  ASSERT_EQ(steps.size(), 1u);
+  EXPECT_EQ(steps[0].command_id, cook_id);
+  EXPECT_EQ(steps[0].contributors[0], (CellRef{"raw", {3, 3}}));
+
+  // The raw pixel was indeed bad; fix it upstream and re-derive.
+  ASSERT_TRUE(raw->SetCell({3, 3}, Value(999.0)).ok());
+  MemArray rederived = log.Rerun(cook_id).ValueOrDie();
+  size_t ai = rederived.schema().AttrIndex("adu_cal").ValueOrDie();
+  double fixed = (*rederived.GetCell({3, 3}))[ai].double_value();
+  EXPECT_EQ(fixed, 999.0 * 2 - 200);
+
+  // Commit the replacement as new history: both values remain visible.
+  auto old_cell = tree.GetCell("", {3, 3}).ValueOrDie();
+  std::vector<Value> new_vals = *old_cell;
+  new_vals[ai] = Value(fixed);
+  ASSERT_TRUE(
+      tree.Commit("", {CellUpdate::Set({3, 3}, new_vals)}, 2000).ok());
+  EXPECT_EQ((*tree.base().GetCellAt({3, 3}, 1).ValueOrDie())[ai]
+                .double_value(),
+            (*old_cell)[ai].double_value());
+  EXPECT_EQ((*tree.base().GetCellAt({3, 3}, 2).ValueOrDie())[ai]
+                .double_value(),
+            fixed);
+}
+
+TEST(IntegrationTest, DesignerDrivenRepartitioning) {
+  // Observe a workload, let the designer suggest a better partitioning,
+  // repartition, and verify both the improvement and the movement cost.
+  ArraySchema s("obs", {{"x", 1, 64, 8}, {"y", 1, 64, 8}},
+                {{"v", DataType::kDouble, true, false}});
+  MemArray src(s);
+  Rng rng(3);
+  for (int64_t x = 1; x <= 64; ++x) {
+    for (int64_t y = 1; y <= 64; ++y) {
+      ASSERT_TRUE(src.SetCell({x, y}, Value(rng.NextDouble())).ok());
+    }
+  }
+  // Initial: everything ranged on x with naive uniform boundaries.
+  auto naive = std::make_shared<RangePartitioner>(
+      0, std::vector<int64_t>{17, 33, 49});
+  DistributedArray d(s, naive);
+  ASSERT_TRUE(d.Load(src, 0).ok());
+
+  // Hot workload on rows 1..8.
+  AutoDesigner designer(Box({1, 1}, {64, 64}), 0, 4);
+  for (int k = 0; k < 90; ++k) designer.Observe({Box({1, 1}, {8, 64})});
+  for (int k = 0; k < 10; ++k) designer.Observe({Box({9, 1}, {64, 64})});
+  auto designed = designer.Design().ValueOrDie();
+
+  double before = designer.PredictedImbalance(*naive);
+  double after = designer.PredictedImbalance(*designed);
+  EXPECT_LT(after, before / 1.5);
+
+  int64_t moved = d.Repartition(designed, 0).ValueOrDie();
+  EXPECT_GT(moved, 0);
+  EXPECT_EQ(d.TotalCells(), 64 * 64);  // nothing lost in the move
+}
+
+TEST(IntegrationTest, SessionPipelineWithWindowAndStore) {
+  Session session;
+  ASSERT_TRUE(session.Execute("define T (v = double) (t)").ok());
+  ASSERT_TRUE(session.Execute("create Series as T [32]").ok());
+  Rng rng(4);
+  for (int64_t t = 1; t <= 32; ++t) {
+    ASSERT_TRUE(session
+                    .Execute("insert Series [" + std::to_string(t) +
+                             "] values (" +
+                             std::to_string(10 + (t % 5)) + ".0)")
+                    .ok());
+  }
+  // Smooth, subsample the smoothed series, store, aggregate the stored.
+  ASSERT_TRUE(session
+                  .Execute("store Subsample(Window(Series, [2], avg(v)), "
+                           "t >= 8 and t <= 24) into Smooth")
+                  .ok());
+  auto stats = session
+                   .Execute("select Aggregate(Smooth, {}, stddev(avg))")
+                   .ValueOrDie();
+  // Smoothing a periodic signal shrinks the spread well below the raw
+  // signal's (raw stddev ~1.4; 5-wide window of period-5 signal ~0).
+  EXPECT_LT((*stats.array->GetCell({1}))[0].double_value(), 0.5);
+}
+
+TEST(IntegrationTest, UncertainPipelineEndToEnd) {
+  // Uncertain data flows from schema declaration through arithmetic,
+  // aggregation and serialization without losing its error bars.
+  Session session;
+  ASSERT_TRUE(
+      session.Execute("define U (m = uncertain double) (i)").ok());
+  ASSERT_TRUE(session.Execute("create Meas as U [16]").ok());
+  auto arr = session.GetArray("Meas").ValueOrDie();
+  for (int64_t i = 1; i <= 16; ++i) {
+    ASSERT_TRUE(
+        arr->SetCell({i}, Value(Uncertain(static_cast<double>(i), 0.5)))
+            .ok());
+  }
+  auto mean = session.Execute("select Aggregate(Meas, {}, uavg(m))")
+                  .ValueOrDie();
+  Uncertain m = (*mean.array->GetCell({1}))[0].uncertain_value();
+  EXPECT_DOUBLE_EQ(m.mean, 8.5);
+  EXPECT_NEAR(m.stderr_, 0.5 / 4, 1e-12);  // sigma/sqrt(16)
+
+  // Round trip through disk preserves error bars and the constant-stderr
+  // encoding.
+  std::string dir = TempDir("uncertain");
+  StorageManager sm(dir);
+  DiskArray* disk = sm.CreateArray(arr->schema()).ValueOrDie();
+  ASSERT_TRUE(disk->WriteAll(*arr).ok());
+  MemArray back = disk->ReadAll().ValueOrDie();
+  EXPECT_EQ((*back.GetCell({7}))[0].uncertain_value().stderr_, 0.5);
+  fs::remove_all(dir);
+}
+
+}  // namespace
+}  // namespace scidb

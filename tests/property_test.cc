@@ -1,0 +1,284 @@
+// Property-based tests: randomized inputs checked against reference
+// models or algebraic invariants, parameterized over seeds (TEST_P).
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "common/rng.h"
+#include "exec/operators.h"
+#include "storage/chunk_serde.h"
+#include "storage/codec.h"
+#include "version/history.h"
+
+namespace scidb {
+namespace {
+
+class SeededTest : public ::testing::TestWithParam<uint64_t> {
+ protected:
+  SeededTest() {
+    ctx_.functions = &fns_;
+    ctx_.aggregates = &aggs_;
+  }
+  FunctionRegistry fns_;
+  AggregateRegistry aggs_;
+  ExecContext ctx_;
+};
+
+// ---- MemArray behaves like a map<Coordinates, double> ----
+
+TEST_P(SeededTest, MemArrayMatchesReferenceMap) {
+  Rng rng(GetParam());
+  ArraySchema s("ref", {{"x", 1, 40, 7}, {"y", 1, 40, 9}},
+                {{"v", DataType::kDouble, true, false}});
+  MemArray arr(s);
+  std::map<Coordinates, double> model;
+  for (int op = 0; op < 2000; ++op) {
+    Coordinates c{rng.UniformInt(1, 40), rng.UniformInt(1, 40)};
+    double roll = rng.NextDouble();
+    if (roll < 0.6) {  // set
+      double v = rng.NextDouble() * 100;
+      ASSERT_TRUE(arr.SetCell(c, Value(v)).ok());
+      model[c] = v;
+    } else if (roll < 0.8) {  // delete
+      Status st = arr.DeleteCell(c);
+      if (model.count(c)) {
+        EXPECT_TRUE(st.ok());
+        model.erase(c);
+      } else {
+        EXPECT_TRUE(st.IsNotFound());
+      }
+    } else {  // read
+      auto got = arr.GetCell(c);
+      auto want = model.find(c);
+      ASSERT_EQ(got.has_value(), want != model.end());
+      if (got.has_value()) {
+        EXPECT_EQ((*got)[0].double_value(), want->second);
+      }
+    }
+  }
+  EXPECT_EQ(arr.CellCount(), static_cast<int64_t>(model.size()));
+  // Full iteration agrees with the model.
+  int64_t visited = 0;
+  arr.ForEachCell([&](const Coordinates& c, const Chunk& chunk,
+                      int64_t rank) {
+    auto it = model.find(c);
+    EXPECT_NE(it, model.end());
+    EXPECT_EQ(chunk.block(0).GetDouble(rank), it->second);
+    ++visited;
+    return true;
+  });
+  EXPECT_EQ(visited, static_cast<int64_t>(model.size()));
+}
+
+// ---- codecs are lossless on arbitrary byte strings ----
+
+TEST_P(SeededTest, CodecsRoundTripRandomPayloads) {
+  Rng rng(GetParam());
+  for (int trial = 0; trial < 20; ++trial) {
+    size_t len = rng.Uniform(5000);
+    std::vector<uint8_t> payload(len);
+    // Mix random and runny segments to exercise both codec paths.
+    size_t i = 0;
+    while (i < len) {
+      if (rng.NextDouble() < 0.5) {
+        size_t run = std::min(len - i, 1 + rng.Uniform(100));
+        uint8_t b = static_cast<uint8_t>(rng.Next());
+        for (size_t k = 0; k < run; ++k) payload[i++] = b;
+      } else {
+        size_t run = std::min(len - i, 1 + rng.Uniform(50));
+        for (size_t k = 0; k < run; ++k) {
+          payload[i++] = static_cast<uint8_t>(rng.Next());
+        }
+      }
+    }
+    for (CodecType c : {CodecType::kNone, CodecType::kRle, CodecType::kLz}) {
+      auto decoded = Decompress(Compress(c, payload));
+      ASSERT_TRUE(decoded.ok());
+      EXPECT_EQ(decoded.value(), payload) << CodecTypeName(c);
+    }
+  }
+}
+
+// ---- corrupted chunk images never crash, only error ----
+
+TEST_P(SeededTest, ChunkSerdeSurvivesCorruption) {
+  Rng rng(GetParam());
+  std::vector<AttributeDesc> attrs = {
+      {"v", DataType::kDouble, true, false},
+      {"n", DataType::kInt64, true, false},
+      {"s", DataType::kString, true, false}};
+  Chunk chunk(Box({1, 1}, {6, 6}), attrs);
+  for (int k = 0; k < 20; ++k) {
+    chunk.SetCell({rng.UniformInt(1, 6), rng.UniformInt(1, 6)},
+                  {Value(rng.NextDouble()), Value(rng.UniformInt(-99, 99)),
+                   Value(std::string("str") +
+                         std::to_string(rng.Uniform(10)))});
+  }
+  auto bytes = SerializeChunk(chunk);
+  // Truncations at arbitrary points.
+  for (int trial = 0; trial < 30; ++trial) {
+    auto bad = bytes;
+    bad.resize(rng.Uniform(bytes.size()));
+    auto r = DeserializeChunk(bad, attrs);  // must not crash
+    if (r.ok()) {
+      // An unlucky truncation landing on a record boundary may parse; it
+      // must then at least carry the right box.
+      EXPECT_EQ(r.value().box(), chunk.box());
+    }
+  }
+  // Single-byte flips: either outcome is fine; it must never crash.
+  int parsed = 0;
+  for (int trial = 0; trial < 30; ++trial) {
+    auto bad = bytes;
+    bad[rng.Uniform(bad.size())] ^=
+        static_cast<uint8_t>(1 + rng.Uniform(255));
+    auto r = DeserializeChunk(bad, attrs);
+    if (r.ok()) ++parsed;
+  }
+  EXPECT_LE(parsed, 30);
+}
+
+// ---- Reshape is a bijection: reshaping back restores the array ----
+
+TEST_P(SeededTest, ReshapeRoundTripIsIdentity) {
+  Rng rng(GetParam());
+  ArraySchema s("g", {{"X", 1, 4, 4}, {"Y", 1, 6, 6}},
+                {{"v", DataType::kDouble, true, false}});
+  MemArray g(s);
+  for (int64_t x = 1; x <= 4; ++x) {
+    for (int64_t y = 1; y <= 6; ++y) {
+      if (rng.NextDouble() < 0.7) {
+        ASSERT_TRUE(g.SetCell({x, y}, Value(rng.NextDouble())).ok());
+      }
+    }
+  }
+  MemArray flat =
+      Reshape(ctx_, g, {"X", "Y"}, {{"L", 1, 24, 24}}).ValueOrDie();
+  MemArray back = Reshape(ctx_, flat, {"L"},
+                          {{"X", 1, 4, 4}, {"Y", 1, 6, 6}})
+                      .ValueOrDie();
+  EXPECT_EQ(back.CellCount(), g.CellCount());
+  g.ForEachCell([&](const Coordinates& c, const Chunk& chunk,
+                    int64_t rank) {
+    auto cell = back.GetCell(c);
+    EXPECT_TRUE(cell.has_value());
+    if (cell.has_value()) {
+      EXPECT_EQ((*cell)[0].double_value(), chunk.block(0).GetDouble(rank));
+    }
+    return true;
+  });
+}
+
+// ---- Aggregate merge equals aggregate of the union, any partitioning ----
+
+TEST_P(SeededTest, AggregateMergeAssociativity) {
+  Rng rng(GetParam());
+  for (const char* agg : {"sum", "count", "avg", "min", "max", "stddev"}) {
+    const AggregateFunction* fn = aggs_.Find(agg).ValueOrDie();
+    std::vector<double> values;
+    for (int i = 0; i < 200; ++i) {
+      values.push_back(rng.NextGaussian() * 10);
+    }
+    auto whole = fn->NewState();
+    for (double v : values) ASSERT_TRUE(whole->Accumulate(Value(v)).ok());
+
+    // Random partitioning into 4 parts, merged in random order.
+    std::vector<std::unique_ptr<AggregateState>> parts;
+    for (int p = 0; p < 4; ++p) parts.push_back(fn->NewState());
+    for (double v : values) {
+      ASSERT_TRUE(parts[rng.Uniform(4)]->Accumulate(Value(v)).ok());
+    }
+    auto merged = fn->NewState();
+    for (auto& p : parts) ASSERT_TRUE(merged->Merge(*p).ok());
+
+    Value a = whole->Finalize();
+    Value b = merged->Finalize();
+    ASSERT_EQ(a.is_null(), b.is_null()) << agg;
+    if (!a.is_null()) {
+      EXPECT_NEAR(a.AsDouble().ValueOrDie(), b.AsDouble().ValueOrDie(),
+                  1e-9)
+          << agg;
+    }
+  }
+}
+
+// ---- Subsample(p and q) == Subsample(Subsample(p), q) ----
+
+TEST_P(SeededTest, SubsampleComposition) {
+  Rng rng(GetParam());
+  ArraySchema s("f", {{"X", 1, 30, 8}, {"Y", 1, 30, 8}},
+                {{"v", DataType::kDouble, true, false}});
+  MemArray f(s);
+  for (int k = 0; k < 400; ++k) {
+    ASSERT_TRUE(f.SetCell({rng.UniformInt(1, 30), rng.UniformInt(1, 30)},
+                          Value(rng.NextDouble()))
+                    .ok());
+  }
+  int64_t xc = rng.UniformInt(5, 25);
+  int64_t yc = rng.UniformInt(5, 25);
+  ExprPtr p = Le(Ref("X"), Lit(xc));
+  ExprPtr q = Ge(Ref("Y"), Lit(yc));
+  MemArray once = Subsample(ctx_, f, And(p, q)).ValueOrDie();
+  MemArray twice =
+      Subsample(ctx_, Subsample(ctx_, f, p).ValueOrDie(), q).ValueOrDie();
+  EXPECT_EQ(once.CellCount(), twice.CellCount());
+  once.ForEachCell([&](const Coordinates& c, const Chunk&, int64_t) {
+    EXPECT_TRUE(twice.Exists(c));
+    return true;
+  });
+}
+
+// ---- history: snapshot at h equals replaying a reference model ----
+
+TEST_P(SeededTest, HistoryMatchesReferenceReplay) {
+  Rng rng(GetParam());
+  ArraySchema s("h", {{"x", 1, 12, 5}},
+                {{"v", DataType::kDouble, true, false}});
+  HistoryArray arr(s);
+  std::vector<std::map<int64_t, double>> model_states{{}};  // state at h=0
+  for (int64_t h = 1; h <= 20; ++h) {
+    std::map<int64_t, double> state = model_states.back();
+    std::vector<CellUpdate> txn;
+    int n = 1 + static_cast<int>(rng.Uniform(4));
+    for (int k = 0; k < n; ++k) {
+      int64_t x = rng.UniformInt(1, 12);
+      if (rng.NextDouble() < 0.75 || !state.count(x)) {
+        double v = rng.NextDouble();
+        txn.push_back(CellUpdate::Set({x}, {Value(v)}));
+        state[x] = v;
+      } else {
+        txn.push_back(CellUpdate::Delete({x}));
+        state.erase(x);
+      }
+    }
+    // Within-transaction ordering: later updates win; rebuild the state
+    // from the txn to reflect set-after-delete etc.
+    std::map<int64_t, double> replay = model_states.back();
+    for (const auto& u : txn) {
+      if (u.deleted) {
+        replay.erase(u.coords[0]);
+      } else {
+        replay[u.coords[0]] = u.values[0].double_value();
+      }
+    }
+    ASSERT_TRUE(arr.Commit(txn, 1000 + h).ok());
+    model_states.push_back(std::move(replay));
+  }
+  // Every historical snapshot matches the model at that index.
+  for (int64_t h = 1; h <= 20; ++h) {
+    MemArray snap = arr.SnapshotAt(h).ValueOrDie();
+    const auto& want = model_states[static_cast<size_t>(h)];
+    EXPECT_EQ(snap.CellCount(), static_cast<int64_t>(want.size())) << h;
+    for (const auto& [x, v] : want) {
+      auto cell = snap.GetCell({x});
+      ASSERT_TRUE(cell.has_value()) << "h=" << h << " x=" << x;
+      EXPECT_EQ((*cell)[0].double_value(), v);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SeededTest,
+                         ::testing::Values(1, 2, 3, 5, 8, 13, 21, 34));
+
+}  // namespace
+}  // namespace scidb

@@ -1,0 +1,208 @@
+#include <gtest/gtest.h>
+
+#include "exec/operators.h"
+#include "provenance/provenance.h"
+
+namespace scidb {
+namespace {
+
+// Builds the pipeline used throughout: raw --regrid(2x2,sum)--> cooked
+// --apply(x2)--> final, and registers it in the log.
+class ProvenanceTest : public ::testing::Test {
+ protected:
+  ProvenanceTest() {
+    ctx_.functions = &fns_;
+    ctx_.aggregates = &aggs_;
+
+    ArraySchema raw_schema("raw", {{"I", 1, 4, 2}, {"J", 1, 4, 2}},
+                           {{"v", DataType::kDouble, true, false}});
+    raw_ = std::make_shared<MemArray>(raw_schema);
+    for (int64_t i = 1; i <= 4; ++i) {
+      for (int64_t j = 1; j <= 4; ++j) {
+        SCIDB_CHECK(raw_->SetCell({i, j},
+                                  Value(static_cast<double>(10 * i + j)))
+                        .ok());
+      }
+    }
+    cooked_ = std::make_shared<MemArray>(
+        Regrid(ctx_, *raw_, {2, 2}, "sum", "*").ValueOrDie());
+    cooked_->mutable_schema()->set_name("cooked");
+    final_ = std::make_shared<MemArray>(
+        Apply(ctx_, *cooked_, "v2", DataType::kDouble,
+              Mul(Ref("sum"), Lit(2.0)))
+            .ValueOrDie());
+    final_->mutable_schema()->set_name("final");
+
+    LoggedCommand cook;
+    cook.text = "cooked = Regrid(raw, [2,2], sum(*))";
+    cook.inputs = {"raw"};
+    cook.output = "cooked";
+    cook.lineage = RegridLineage("raw", "cooked", raw_->schema(), {2, 2});
+    auto ctx = ctx_;
+    auto raw = raw_;
+    cook.rerun = [ctx, raw]() {
+      return Regrid(ctx, *raw, {2, 2}, "sum", "*");
+    };
+    cook_id_ = log_.Record(std::move(cook));
+
+    LoggedCommand apply;
+    apply.text = "final = Apply(cooked, v2 = sum * 2)";
+    apply.inputs = {"cooked"};
+    apply.output = "final";
+    apply.lineage = CellwiseLineage("cooked", "final");
+    apply_id_ = log_.Record(std::move(apply));
+  }
+
+  FunctionRegistry fns_;
+  AggregateRegistry aggs_;
+  ExecContext ctx_;
+  std::shared_ptr<MemArray> raw_, cooked_, final_;
+  ProvenanceLog log_;
+  int64_t cook_id_ = 0;
+  int64_t apply_id_ = 0;
+};
+
+TEST_F(ProvenanceTest, TraceBackFindsDerivationChain) {
+  // Requirement 1: trace final[1,1] back to the raw cells it came from.
+  auto steps = log_.TraceBack({"final", {1, 1}}).ValueOrDie();
+  ASSERT_EQ(steps.size(), 2u);
+  // First hop: through the apply (cell-wise).
+  EXPECT_EQ(steps[0].command_id, apply_id_);
+  ASSERT_EQ(steps[0].contributors.size(), 1u);
+  EXPECT_EQ(steps[0].contributors[0], (CellRef{"cooked", {1, 1}}));
+  // Second hop: through the regrid — the 2x2 block of raw cells.
+  EXPECT_EQ(steps[1].command_id, cook_id_);
+  EXPECT_EQ(steps[1].contributors.size(), 4u);
+  EXPECT_EQ(steps[1].contributors[0], (CellRef{"raw", {1, 1}}));
+  EXPECT_EQ(steps[1].contributors[3], (CellRef{"raw", {2, 2}}));
+}
+
+TEST_F(ProvenanceTest, TraceForwardFindsDownstreamImpact) {
+  // Requirement 2: a suspect raw cell propagates to cooked and final.
+  auto affected = log_.TraceForward({"raw", {3, 4}}).ValueOrDie();
+  ASSERT_EQ(affected.size(), 2u);
+  EXPECT_EQ(affected[0], (CellRef{"cooked", {2, 2}}));
+  EXPECT_EQ(affected[1], (CellRef{"final", {2, 2}}));
+}
+
+TEST_F(ProvenanceTest, ForwardTraceOfUntouchedCellStopsEarly) {
+  // A cell in `final` feeds nothing downstream.
+  auto affected = log_.TraceForward({"final", {1, 1}}).ValueOrDie();
+  EXPECT_TRUE(affected.empty());
+}
+
+TEST_F(ProvenanceTest, SourceDataHasEmptyBackTrace) {
+  auto steps = log_.TraceBack({"raw", {1, 1}}).ValueOrDie();
+  EXPECT_TRUE(steps.empty());
+}
+
+TEST_F(ProvenanceTest, CachedLineageMatchesRecomputed) {
+  // Trio-style caching returns identical traces and nonzero space.
+  auto uncached = log_.TraceBack({"final", {2, 1}}).ValueOrDie();
+  std::vector<Coordinates> outs = {{1, 1}, {1, 2}, {2, 1}, {2, 2}};
+  ASSERT_TRUE(log_.CacheLineage(cook_id_, outs).ok());
+  ASSERT_TRUE(log_.CacheLineage(apply_id_, outs).ok());
+  EXPECT_TRUE(log_.IsCached(cook_id_));
+  EXPECT_GT(log_.CacheBytes(), 0u);
+
+  auto cached = log_.TraceBack({"final", {2, 1}}).ValueOrDie();
+  ASSERT_EQ(cached.size(), uncached.size());
+  for (size_t i = 0; i < cached.size(); ++i) {
+    EXPECT_EQ(cached[i].command_id, uncached[i].command_id);
+    EXPECT_EQ(cached[i].contributors, uncached[i].contributors);
+  }
+  log_.DropCache(cook_id_);
+  EXPECT_FALSE(log_.IsCached(cook_id_));
+}
+
+TEST_F(ProvenanceTest, RerunReproducesOutput) {
+  // "rerun (a portion of) the derivation to generate a replacement value"
+  MemArray again = log_.Rerun(cook_id_).ValueOrDie();
+  EXPECT_EQ(again.CellCount(), cooked_->CellCount());
+  EXPECT_EQ((*again.GetCell({1, 1}))[0].double_value(),
+            (*cooked_->GetCell({1, 1}))[0].double_value());
+  // The apply command has no rerun hook registered.
+  EXPECT_TRUE(log_.Rerun(apply_id_).status().IsNotImplemented());
+  EXPECT_TRUE(log_.Rerun(99).status().IsNotFound());
+}
+
+TEST_F(ProvenanceTest, AggregateLineage) {
+  // Aggregate over Y: group cell [y] <- all raw cells with that y.
+  auto agg = std::make_shared<MemArray>(
+      Aggregate(ctx_, *raw_, {"J"}, "sum", "*").ValueOrDie());
+  LoggedCommand cmd;
+  cmd.inputs = {"raw"};
+  cmd.output = "colsums";
+  cmd.lineage = AggregateLineage("raw", "colsums", raw_, {1});
+  int64_t id = log_.Record(std::move(cmd));
+  (void)id;
+  auto steps = log_.TraceBack({"colsums", {3}}).ValueOrDie();
+  ASSERT_EQ(steps.size(), 1u);
+  EXPECT_EQ(steps[0].contributors.size(), 4u);  // raw[*, 3]
+  for (const auto& c : steps[0].contributors) {
+    EXPECT_EQ(c.coords[1], 3);
+  }
+}
+
+TEST(MetadataRepositoryTest, RecordsExternalPrograms) {
+  MetadataRepository repo;
+  MetadataRepository::ProgramRun run;
+  run.program = "cook_l1b";
+  run.version = "2.4.1";
+  run.params = {{"calibration", "2008-12"}, {"cloud_mask", "on"}};
+  run.input_files = {"/data/pass_0042.raw"};
+  run.output_arrays = {"raw"};
+  run.timestamp_micros = 1230000000;
+  int64_t id = repo.Record(run);
+
+  const auto* found = repo.Find(id).ValueOrDie();
+  EXPECT_EQ(found->program, "cook_l1b");
+  EXPECT_EQ(found->params.at("calibration"), "2008-12");
+
+  auto producing = repo.RunsProducing("raw");
+  ASSERT_EQ(producing.size(), 1u);
+  EXPECT_EQ(producing[0]->id, id);
+  EXPECT_TRUE(repo.RunsProducing("other").empty());
+  EXPECT_EQ(repo.RunsOfProgram("cook_l1b").size(), 1u);
+  EXPECT_TRUE(repo.Find(5).status().IsNotFound());
+}
+
+TEST(ProvenanceLogTest, MissingLineageSurfacesNotImplemented) {
+  ProvenanceLog log;
+  LoggedCommand external;
+  external.inputs = {"src"};
+  external.output = "dst";
+  log.Record(std::move(external));
+  EXPECT_TRUE(log.TraceBack({"dst", {1}}).status().IsNotImplemented());
+  EXPECT_TRUE(log.TraceForward({"src", {1}}).status().IsNotImplemented());
+}
+
+TEST(ProvenanceLogTest, DiamondDependenciesDeduplicated) {
+  // a -> b, a -> c, (b, c) -> d: forward trace from a must report each of
+  // b, c, d exactly once.
+  ProvenanceLog log;
+  LoggedCommand ab;
+  ab.inputs = {"a"};
+  ab.output = "b";
+  ab.lineage = CellwiseLineage("a", "b");
+  log.Record(std::move(ab));
+  LoggedCommand ac;
+  ac.inputs = {"a"};
+  ac.output = "c";
+  ac.lineage = CellwiseLineage("a", "c");
+  log.Record(std::move(ac));
+  LoggedCommand bd;
+  bd.inputs = {"b", "c"};
+  bd.output = "d";
+  bd.lineage = CellwiseLineage("b", "d");  // same-coords dataflow
+  log.Record(std::move(bd));
+
+  auto affected = log.TraceForward({"a", {5}}).ValueOrDie();
+  EXPECT_EQ(affected.size(), 3u);
+  std::set<std::string> arrays;
+  for (const auto& c : affected) arrays.insert(c.array);
+  EXPECT_EQ(arrays, (std::set<std::string>{"b", "c", "d"}));
+}
+
+}  // namespace
+}  // namespace scidb

@@ -1,0 +1,175 @@
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "exec/operators.h"
+#include "relational/array_on_table.h"
+#include "relational/table.h"
+
+namespace scidb {
+namespace {
+
+Table People() {
+  Table t("people", {{"id", DataType::kInt64},
+                     {"dept", DataType::kString},
+                     {"salary", DataType::kDouble}});
+  SCIDB_CHECK(t.Append({Value(int64_t{1}), Value(std::string("eng")),
+                        Value(100.0)}).ok());
+  SCIDB_CHECK(t.Append({Value(int64_t{2}), Value(std::string("eng")),
+                        Value(120.0)}).ok());
+  SCIDB_CHECK(t.Append({Value(int64_t{3}), Value(std::string("sci")),
+                        Value(90.0)}).ok());
+  return t;
+}
+
+TEST(TableTest, AppendAndScan) {
+  Table t = People();
+  EXPECT_EQ(t.nrows(), 3u);
+  EXPECT_EQ(t.ColumnIndex("salary").ValueOrDie(), 2u);
+  EXPECT_TRUE(t.ColumnIndex("zz").status().IsNotFound());
+  EXPECT_TRUE(t.Append({Value(int64_t{4})}).IsInvalid());  // arity
+}
+
+TEST(TableTest, IndexLookups) {
+  Table t = People();
+  ASSERT_TRUE(t.BuildIndex({0}).ok());
+  auto rows = t.IndexLookup({Value(int64_t{2})});
+  ASSERT_EQ(rows.size(), 1u);
+  EXPECT_EQ(t.row(rows[0])[2].double_value(), 120.0);
+  EXPECT_TRUE(t.IndexLookup({Value(int64_t{9})}).empty());
+  // Range scan on the leading indexed column.
+  auto range = t.IndexRangeLookup(Value(int64_t{2}), Value(int64_t{3}));
+  EXPECT_EQ(range.size(), 2u);
+  // Index stays live across appends.
+  ASSERT_TRUE(t.Append({Value(int64_t{9}), Value(std::string("ops")),
+                        Value(50.0)}).ok());
+  EXPECT_EQ(t.IndexLookup({Value(int64_t{9})}).size(), 1u);
+}
+
+TEST(TableTest, SelectAndProject) {
+  Table t = People();
+  Table rich = Select(t, [](const std::vector<Value>& row) {
+    return row[2].double_value() > 95.0;
+  });
+  EXPECT_EQ(rich.nrows(), 2u);
+  Table names = ProjectColumns(t, {"dept"}).ValueOrDie();
+  EXPECT_EQ(names.ncols(), 1u);
+  EXPECT_EQ(names.nrows(), 3u);
+  EXPECT_TRUE(ProjectColumns(t, {"zz"}).status().IsNotFound());
+}
+
+TEST(TableTest, HashJoin) {
+  Table t = People();
+  Table depts("depts", {{"dept", DataType::kString},
+                        {"floor", DataType::kInt64}});
+  ASSERT_TRUE(depts.Append({Value(std::string("eng")),
+                            Value(int64_t{4})}).ok());
+  ASSERT_TRUE(depts.Append({Value(std::string("sci")),
+                            Value(int64_t{2})}).ok());
+  Table joined = HashJoin(t, "dept", depts, "dept").ValueOrDie();
+  EXPECT_EQ(joined.nrows(), 3u);
+  EXPECT_EQ(joined.ncols(), 5u);
+  // Collision renames.
+  EXPECT_EQ(joined.columns()[3].name, "dept_2");
+}
+
+TEST(TableTest, GroupBy) {
+  Table t = People();
+  Table sums = GroupBy(t, {"dept"}, "sum", "salary").ValueOrDie();
+  EXPECT_EQ(sums.nrows(), 2u);
+  bool saw_eng = false;
+  sums.ForEachRow([&](const std::vector<Value>& row) {
+    if (row[0].string_value() == "eng") {
+      EXPECT_EQ(row[1].double_value(), 220.0);
+      saw_eng = true;
+    }
+    return true;
+  });
+  EXPECT_TRUE(saw_eng);
+  Table counts = GroupBy(t, {}, "count", "salary").ValueOrDie();
+  EXPECT_EQ(counts.row(0)[0].int64_value(), 3);
+  EXPECT_TRUE(GroupBy(t, {"dept"}, "median", "salary").status()
+                  .IsNotImplemented());
+}
+
+// ----------------------- array-on-table (ASAP sim) -----------------------
+
+ArraySchema Img(int64_t n = 32, int64_t chunk = 8) {
+  return ArraySchema("img", {{"I", 1, n, chunk}, {"J", 1, n, chunk}},
+                     {{"v", DataType::kDouble, true, false}});
+}
+
+TEST(ArrayOnTableTest, MatchesNativeSemantics) {
+  MemArray native(Img());
+  ArrayOnTable tab(Img());
+  Rng rng(5);
+  for (int64_t i = 1; i <= 32; ++i) {
+    for (int64_t j = 1; j <= 32; ++j) {
+      Value v(rng.NextDouble() * 100);
+      ASSERT_TRUE(native.SetCell({i, j}, v).ok());
+      ASSERT_TRUE(tab.SetCell({i, j}, {v}).ok());
+    }
+  }
+  EXPECT_EQ(tab.CellCount(), 32 * 32);
+
+  // Point lookups agree.
+  auto nv = native.GetCell({7, 9});
+  auto tv = tab.GetCell({7, 9});
+  ASSERT_TRUE(tv.has_value());
+  EXPECT_EQ((*nv)[0].double_value(), (*tv)[0].double_value());
+  EXPECT_FALSE(tab.GetCell({99, 1}).has_value());
+
+  // Subsample window agrees on cell count.
+  Box window({5, 5}, {12, 12});
+  ArrayOnTable sub = tab.Subsample(window).ValueOrDie();
+  EXPECT_EQ(sub.CellCount(), 8 * 8);
+
+  // Aggregate agrees with the native engine.
+  FunctionRegistry fns;
+  AggregateRegistry aggs;
+  ExecContext ctx{&fns, &aggs, true, nullptr};
+  MemArray nagg = Aggregate(ctx, native, {"I"}, "sum", "v").ValueOrDie();
+  Table tagg = tab.Aggregate({"I"}, "sum", "v").ValueOrDie();
+  ASSERT_EQ(tagg.nrows(), 32u);
+  tagg.ForEachRow([&](const std::vector<Value>& row) {
+    int64_t i = row[0].int64_value();
+    EXPECT_NEAR(row[1].double_value(),
+                (*nagg.GetCell({i}))[0].double_value(), 1e-9);
+    return true;
+  });
+}
+
+TEST(ArrayOnTableTest, RegridMatchesNative) {
+  MemArray native(Img(8, 4));
+  ArrayOnTable tab(Img(8, 4));
+  for (int64_t i = 1; i <= 8; ++i) {
+    for (int64_t j = 1; j <= 8; ++j) {
+      Value v(static_cast<double>(i + j));
+      ASSERT_TRUE(native.SetCell({i, j}, v).ok());
+      ASSERT_TRUE(tab.SetCell({i, j}, {v}).ok());
+    }
+  }
+  FunctionRegistry fns;
+  AggregateRegistry aggs;
+  ExecContext ctx{&fns, &aggs, true, nullptr};
+  MemArray nre = Regrid(ctx, native, {4, 4}, "sum", "v").ValueOrDie();
+  Table tre = tab.Regrid({4, 4}, "sum", "v").ValueOrDie();
+  ASSERT_EQ(tre.nrows(), 4u);
+  tre.ForEachRow([&](const std::vector<Value>& row) {
+    Coordinates c = {row[0].int64_value(), row[1].int64_value()};
+    EXPECT_NEAR(row[2].double_value(), (*nre.GetCell(c))[0].double_value(),
+                1e-9);
+    return true;
+  });
+}
+
+TEST(ArrayOnTableTest, LoadFromNative) {
+  MemArray native(Img(8, 4));
+  ASSERT_TRUE(native.SetCell({3, 3}, Value(1.5)).ok());
+  ArrayOnTable tab(Img(8, 4));
+  ASSERT_TRUE(tab.LoadFrom(native).ok());
+  EXPECT_EQ(tab.CellCount(), 1);
+  EXPECT_EQ((*tab.GetCell({3, 3}))[0].double_value(), 1.5);
+}
+
+}  // namespace
+}  // namespace scidb

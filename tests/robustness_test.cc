@@ -1,0 +1,170 @@
+// Robustness: the parser must never crash on malformed input, and every
+// operator must handle empty arrays gracefully.
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "exec/operators.h"
+#include "query/parser.h"
+#include "query/session.h"
+
+namespace scidb {
+namespace {
+
+// ---------------------------- parser fuzz ----------------------------
+
+class ParserFuzzTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(ParserFuzzTest, RandomTokenSoupNeverCrashes) {
+  Rng rng(GetParam());
+  static const char* kFragments[] = {
+      "select", "define", "create", "insert", "store", "trace", "Subsample",
+      "Filter", "Aggregate", "Sjoin", "Reshape", "(", ")", "[", "]", "{",
+      "}", ",", "=", "<", ">", "<=", "and", "or", "not", "*", "+", "-",
+      "A", "B", "X", "v", "42", "1.5", "'str'", "into", "values", "as",
+      "sum", "back", "forward",
+  };
+  for (int trial = 0; trial < 200; ++trial) {
+    std::string stmt;
+    int len = 1 + static_cast<int>(rng.Uniform(15));
+    for (int k = 0; k < len; ++k) {
+      stmt += kFragments[rng.Uniform(std::size(kFragments))];
+      stmt += ' ';
+    }
+    auto r = ParseStatement(stmt);  // any Status is fine; no crash/UB
+    if (r.ok()) {
+      // Whatever parsed must also survive execution attempts against an
+      // empty session (errors expected, crashes not).
+      Session session;
+      (void)session.Execute(stmt);
+    }
+  }
+}
+
+TEST_P(ParserFuzzTest, MutatedValidStatementsNeverCrash) {
+  Rng rng(GetParam() + 1000);
+  const std::string base =
+      "select Aggregate(Subsample(F, X < 10 and even(Y)), {Y}, sum(v))";
+  for (int trial = 0; trial < 200; ++trial) {
+    std::string stmt = base;
+    int mutations = 1 + static_cast<int>(rng.Uniform(4));
+    for (int m = 0; m < mutations; ++m) {
+      size_t pos = rng.Uniform(stmt.size());
+      switch (rng.Uniform(3)) {
+        case 0:  // delete
+          stmt.erase(pos, 1);
+          break;
+        case 1:  // duplicate
+          stmt.insert(pos, 1, stmt[pos]);
+          break;
+        default:  // swap with printable
+          stmt[pos] = static_cast<char>(32 + rng.Uniform(95));
+          break;
+      }
+    }
+    (void)ParseStatement(stmt);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ParserFuzzTest,
+                         ::testing::Values(11, 22, 33, 44));
+
+// ------------------------ empty-array operators ------------------------
+
+class EmptyArrayTest : public ::testing::Test {
+ protected:
+  EmptyArrayTest() {
+    ctx_.functions = &fns_;
+    ctx_.aggregates = &aggs_;
+    empty_ = MemArray(ArraySchema(
+        "E", {{"X", 1, 8, 4}, {"Y", 1, 8, 4}},
+        {{"v", DataType::kDouble, true, false}}));
+    also_empty_ = MemArray(ArraySchema(
+        "F", {{"X", 1, 8, 4}, {"Y", 1, 8, 4}},
+        {{"w", DataType::kDouble, true, false}}));
+  }
+  FunctionRegistry fns_;
+  AggregateRegistry aggs_;
+  ExecContext ctx_;
+  MemArray empty_;
+  MemArray also_empty_;
+};
+
+TEST_F(EmptyArrayTest, EveryOperatorHandlesEmptyInputs) {
+  EXPECT_EQ(Subsample(ctx_, empty_, Le(Ref("X"), Lit(int64_t{4})))
+                .ValueOrDie()
+                .CellCount(),
+            0);
+  EXPECT_EQ(Filter(ctx_, empty_, Gt(Ref("v"), Lit(0.0)))
+                .ValueOrDie()
+                .CellCount(),
+            0);
+  EXPECT_EQ(Apply(ctx_, empty_, "z", DataType::kDouble,
+                  Mul(Ref("v"), Lit(2.0)))
+                .ValueOrDie()
+                .CellCount(),
+            0);
+  EXPECT_EQ(Project(ctx_, empty_, {"v"}).ValueOrDie().CellCount(), 0);
+  EXPECT_EQ(Regrid(ctx_, empty_, {2, 2}, "sum", "*")
+                .ValueOrDie()
+                .CellCount(),
+            0);
+  EXPECT_EQ(WindowAggregate(ctx_, empty_, {1, 1}, "avg", "*")
+                .ValueOrDie()
+                .CellCount(),
+            0);
+  EXPECT_EQ(
+      Sjoin(ctx_, empty_, also_empty_, {{"X", "X"}, {"Y", "Y"}})
+          .ValueOrDie()
+          .CellCount(),
+      0);
+  EXPECT_EQ(Cjoin(ctx_, empty_, also_empty_,
+                  Eq(Ref("v", 0), Ref("w", 1)))
+                .ValueOrDie()
+                .CellCount(),
+            0);
+  EXPECT_EQ(CrossProduct(ctx_, empty_, also_empty_)
+                .ValueOrDie()
+                .CellCount(),
+            0);
+  EXPECT_EQ(AddDimension(ctx_, empty_, "k").ValueOrDie().CellCount(), 0);
+  EXPECT_EQ(Reshape(ctx_, empty_, {"X", "Y"}, {{"L", 1, 64, 64}})
+                .ValueOrDie()
+                .CellCount(),
+            0);
+  EXPECT_FALSE(Exists(empty_, {1, 1}));
+  // Grand aggregate of nothing: null result cell.
+  MemArray agg = Aggregate(ctx_, empty_, {}, "sum", "*").ValueOrDie();
+  EXPECT_EQ(agg.CellCount(), 1);
+  EXPECT_TRUE((*agg.GetCell({1}))[0].is_null());
+  // count of nothing is 0, not null.
+  MemArray cnt = Aggregate(ctx_, empty_, {}, "count", "*").ValueOrDie();
+  EXPECT_EQ((*cnt.GetCell({1}))[0].int64_value(), 0);
+}
+
+TEST_F(EmptyArrayTest, EmptyJoinsWithNonEmpty) {
+  ASSERT_TRUE(also_empty_.SetCell({1, 1}, Value(5.0)).ok());
+  EXPECT_EQ(
+      Sjoin(ctx_, empty_, also_empty_, {{"X", "X"}, {"Y", "Y"}})
+          .ValueOrDie()
+          .CellCount(),
+      0);
+  EXPECT_EQ(
+      Sjoin(ctx_, also_empty_, empty_, {{"X", "X"}, {"Y", "Y"}})
+          .ValueOrDie()
+          .CellCount(),
+      0);
+  EXPECT_EQ(CrossProduct(ctx_, empty_, also_empty_)
+                .ValueOrDie()
+                .CellCount(),
+            0);
+}
+
+TEST_F(EmptyArrayTest, ConcatOfEmpties) {
+  MemArray same_schema(empty_.schema());
+  MemArray r = Concat(ctx_, empty_, same_schema, "X").ValueOrDie();
+  EXPECT_EQ(r.CellCount(), 0);
+  EXPECT_EQ(r.schema().dim(0).high, 16);  // bounds still extend
+}
+
+}  // namespace
+}  // namespace scidb

@@ -1,0 +1,73 @@
+// §2.12's "provenance query language": trace statements in AQL.
+#include <gtest/gtest.h>
+
+#include "exec/operators.h"
+#include "provenance/provenance.h"
+#include "query/session.h"
+
+namespace scidb {
+namespace {
+
+class TraceStatementTest : public ::testing::Test {
+ protected:
+  TraceStatementTest() {
+    SCIDB_CHECK(session_.Execute("define T (v = double) (I, J)").ok());
+    SCIDB_CHECK(session_.Execute("create raw as T [4, 4]").ok());
+    for (int64_t i = 1; i <= 4; ++i) {
+      for (int64_t j = 1; j <= 4; ++j) {
+        SCIDB_CHECK(session_
+                        .Execute("insert raw [" + std::to_string(i) + ", " +
+                                 std::to_string(j) + "] values (1.0)")
+                        .ok());
+      }
+    }
+    // cooked = Regrid(raw, [2,2], sum) — logged.
+    SCIDB_CHECK(
+        session_.Execute("store Regrid(raw, [2, 2], sum(v)) into cooked")
+            .ok());
+    LoggedCommand cook;
+    cook.text = "cooked = Regrid(raw, [2,2], sum)";
+    cook.inputs = {"raw"};
+    cook.output = "cooked";
+    auto raw = session_.GetArray("raw").ValueOrDie();
+    cook.lineage = RegridLineage("raw", "cooked", raw->schema(), {2, 2});
+    log_.Record(std::move(cook));
+    session_.AttachProvenance(&log_);
+  }
+
+  Session session_;
+  ProvenanceLog log_;
+};
+
+TEST_F(TraceStatementTest, TraceBackStatement) {
+  auto r = session_.Execute("trace back cooked [1, 1]").ValueOrDie();
+  ASSERT_EQ(r.kind, QueryResult::Kind::kCells);
+  EXPECT_EQ(r.cells.size(), 4u);  // the 2x2 block of raw
+  EXPECT_EQ(r.cells[0], (CellRef{"raw", {1, 1}}));
+  EXPECT_NE(r.message.find("1 step"), std::string::npos);
+}
+
+TEST_F(TraceStatementTest, TraceForwardStatement) {
+  auto r = session_.Execute("trace forward raw [3, 4]").ValueOrDie();
+  ASSERT_EQ(r.kind, QueryResult::Kind::kCells);
+  ASSERT_EQ(r.cells.size(), 1u);
+  EXPECT_EQ(r.cells[0], (CellRef{"cooked", {2, 2}}));
+}
+
+TEST_F(TraceStatementTest, SyntaxAndStateErrors) {
+  EXPECT_TRUE(session_.Execute("trace sideways raw [1, 1]").status()
+                  .IsInvalid());
+  EXPECT_TRUE(session_.Execute("trace back raw").status().IsInvalid());
+  Session bare;
+  EXPECT_TRUE(
+      bare.Execute("trace back x [1]").status().IsInvalid());  // no log
+}
+
+TEST_F(TraceStatementTest, DetachStopsTracing) {
+  session_.AttachProvenance(nullptr);
+  EXPECT_TRUE(
+      session_.Execute("trace back cooked [1, 1]").status().IsInvalid());
+}
+
+}  // namespace
+}  // namespace scidb

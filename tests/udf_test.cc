@@ -1,0 +1,381 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/macros.h"
+#include "common/rng.h"
+#include "udf/aggregate.h"
+#include "udf/enhanced_array.h"
+#include "udf/enhancement.h"
+#include "udf/function.h"
+#include "udf/shape_function.h"
+
+namespace scidb {
+namespace {
+
+// ------------------------------------------------------------ functions
+
+TEST(FunctionRegistryTest, BuiltinsPresent) {
+  FunctionRegistry reg;
+  EXPECT_TRUE(reg.Contains("Scale10"));
+  EXPECT_TRUE(reg.Contains("even"));
+  EXPECT_TRUE(reg.Contains("sqrt"));
+  EXPECT_TRUE(reg.Find("nope").status().IsNotFound());
+}
+
+TEST(FunctionRegistryTest, Scale10MatchesPaper) {
+  // "a function, Scale10, to multiply the dimensions of an array by 10"
+  FunctionRegistry reg;
+  const UserFunction* fn = reg.Find("Scale10").ValueOrDie();
+  auto out = fn->Call({Value(int64_t{7}), Value(int64_t{8})}).ValueOrDie();
+  EXPECT_EQ(out[0].int64_value(), 70);
+  EXPECT_EQ(out[1].int64_value(), 80);
+}
+
+TEST(FunctionRegistryTest, ArityChecked) {
+  FunctionRegistry reg;
+  const UserFunction* fn = reg.Find("Scale10").ValueOrDie();
+  EXPECT_TRUE(fn->Call({Value(int64_t{7})}).status().IsInvalid());
+}
+
+TEST(FunctionRegistryTest, UserRegistrationAndDuplicates) {
+  FunctionRegistry reg;
+  UserFunction twice(
+      "twice", {{DataType::kInt64}, {DataType::kInt64}},
+      [](const std::vector<Value>& a) -> Result<std::vector<Value>> {
+        return std::vector<Value>{Value(a[0].int64_value() * 2)};
+      });
+  EXPECT_TRUE(reg.Register(twice).ok());
+  EXPECT_TRUE(reg.Register(twice).IsAlreadyExists());
+  auto out = reg.Find("twice").ValueOrDie()->Call({Value(int64_t{21})});
+  EXPECT_EQ(out.ValueOrDie()[0].int64_value(), 42);
+}
+
+TEST(FunctionRegistryTest, UdfsCanCallOtherUdfs) {
+  // Paper: "UDFs can internally run queries and call other UDFs."
+  auto reg = std::make_shared<FunctionRegistry>();
+  UserFunction quad(
+      "quadruple", {{DataType::kInt64}, {DataType::kInt64}},
+      [reg](const std::vector<Value>& a) -> Result<std::vector<Value>> {
+        ASSIGN_OR_RETURN(const UserFunction* s10, reg->Find("Scale10"));
+        ASSIGN_OR_RETURN(std::vector<Value> v, s10->Call({a[0], a[0]}));
+        return std::vector<Value>{
+            Value(v[0].int64_value() * 4 / 10)};
+      });
+  ASSERT_TRUE(reg->Register(quad).ok());
+  auto out = reg->Find("quadruple").ValueOrDie()->Call({Value(int64_t{3})});
+  EXPECT_EQ(out.ValueOrDie()[0].int64_value(), 12);
+}
+
+// --------------------------------------------------------- enhancements
+
+TEST(EnhancementTest, ScaleForwardInverse) {
+  ScaleEnhancement s10("Scale10", {"K", "L"}, 10);
+  auto fwd = s10.Forward({7, 8}).ValueOrDie();
+  EXPECT_EQ(fwd[0].int64_value(), 70);
+  EXPECT_EQ(fwd[1].int64_value(), 80);
+  auto inv = s10.Inverse({Value(int64_t{70}), Value(int64_t{80})});
+  EXPECT_EQ(inv.ValueOrDie(), (Coordinates{7, 8}));
+  // Off-grid pseudo-coordinates do not correspond to any basic cell.
+  EXPECT_TRUE(
+      s10.Inverse({Value(int64_t{71}), Value(int64_t{80})}).status()
+          .IsNotFound());
+}
+
+TEST(EnhancementTest, TranslateRoundTrip) {
+  TranslateEnhancement tr("shift", {"X", "Y"}, {100, -50});
+  auto fwd = tr.Forward({1, 1}).ValueOrDie();
+  EXPECT_EQ(fwd[0].int64_value(), 101);
+  EXPECT_EQ(fwd[1].int64_value(), -49);
+  EXPECT_EQ(tr.Inverse(fwd).ValueOrDie(), (Coordinates{1, 1}));
+}
+
+TEST(EnhancementTest, TransposeRoundTrip) {
+  TransposeEnhancement tp("flip", {"J", "I"}, {1, 0});
+  auto fwd = tp.Forward({3, 9}).ValueOrDie();
+  EXPECT_EQ(fwd[0].int64_value(), 9);
+  EXPECT_EQ(fwd[1].int64_value(), 3);
+  EXPECT_EQ(tp.Inverse(fwd).ValueOrDie(), (Coordinates{3, 9}));
+}
+
+TEST(EnhancementTest, IrregularCoordinates) {
+  // Paper: "coordinates 16.3, 27.6, 48.2, ..." on an irregular 1-D array.
+  IrregularEnhancement irr("depth", {"meters"}, {{16.3, 27.6, 48.2}});
+  auto fwd = irr.Forward({2}).ValueOrDie();
+  EXPECT_DOUBLE_EQ(fwd[0].double_value(), 27.6);
+  EXPECT_EQ(irr.Inverse({Value(48.2)}).ValueOrDie(), (Coordinates{3}));
+  EXPECT_TRUE(irr.Inverse({Value(30.0)}).status().IsNotFound());
+  EXPECT_TRUE(irr.Forward({4}).status().IsOutOfRange());
+}
+
+TEST(EnhancementTest, MercatorRoundTrip) {
+  MercatorEnhancement merc("mercator", 181, 361);
+  auto fwd = merc.Forward({91, 181}).ValueOrDie();  // grid center
+  EXPECT_NEAR(fwd[0].double_value(), 0.0, 1.0);     // equator
+  EXPECT_NEAR(fwd[1].double_value(), 0.0, 1.0);     // prime meridian
+  auto inv = merc.Inverse(fwd).ValueOrDie();
+  EXPECT_EQ(inv, (Coordinates{91, 181}));
+  // Mercator stretches high latitudes: equal map-distance rows span LESS
+  // latitude near the pole (dlat = dy * cos(phi)) than near the equator.
+  double lat_pole = merc.Forward({1, 1}).ValueOrDie()[0].double_value() -
+                    merc.Forward({2, 1}).ValueOrDie()[0].double_value();
+  double lat_eq = merc.Forward({90, 1}).ValueOrDie()[0].double_value() -
+                  merc.Forward({91, 1}).ValueOrDie()[0].double_value();
+  EXPECT_GT(lat_eq, lat_pole * 3);
+}
+
+TEST(EnhancementTest, WallClockHistoryMapping) {
+  // Paper §2.5: "enhance the history dimension with a mapping between the
+  // integers ... and wall clock time".
+  WallClockEnhancement wc;
+  wc.RecordTimestamp(1000);
+  wc.RecordTimestamp(2000);
+  wc.RecordTimestamp(2000);  // same-instant transactions allowed
+  wc.RecordTimestamp(5000);
+  EXPECT_EQ(wc.Forward({2}).ValueOrDie()[0].int64_value(), 2000);
+  // Time 2500 falls between h=3 (t=2000) and h=4 (t=5000): as-of reads h=3.
+  EXPECT_EQ(wc.Inverse({Value(int64_t{2500})}).ValueOrDie(),
+            (Coordinates{3}));
+  EXPECT_EQ(wc.Inverse({Value(int64_t{5000})}).ValueOrDie(),
+            (Coordinates{4}));
+  EXPECT_TRUE(wc.Inverse({Value(int64_t{500})}).status().IsNotFound());
+  EXPECT_TRUE(wc.Forward({9}).status().IsOutOfRange());
+}
+
+// ---------------------------------------------------------------- shape
+
+TEST(ShapeTest, Rectangle) {
+  RectangleShape rect(Box({1, 1}, {4, 6}));
+  EXPECT_EQ(rect.SliceBounds({2, 0}, 1).ValueOrDie(), (DimBounds{1, 6}));
+  EXPECT_EQ(rect.GlobalBounds(0).ValueOrDie(), (DimBounds{1, 4}));
+  EXPECT_TRUE(rect.Contains({4, 6}));
+  EXPECT_FALSE(rect.Contains({5, 1}));
+  EXPECT_TRUE(rect.SliceBounds({9, 0}, 1).ValueOrDie().empty());
+}
+
+TEST(ShapeTest, CircleIsRaggedBothEnds) {
+  CircleShape circle(10, 10, 5);
+  // Through the center the slice is the full diameter.
+  EXPECT_EQ(circle.SliceBounds({10, 0}, 1).ValueOrDie(), (DimBounds{5, 15}));
+  // Off-center slices are narrower — ragged in BOTH bounds.
+  DimBounds edge = circle.SliceBounds({14, 0}, 1).ValueOrDie();
+  EXPECT_GT(edge.low, 5);
+  EXPECT_LT(edge.high, 15);
+  EXPECT_EQ(edge.low, 7);   // sqrt(25-16)=3 -> 10±3
+  EXPECT_EQ(edge.high, 13);
+  // A slice missing the disc entirely is empty.
+  EXPECT_TRUE(circle.SliceBounds({16, 0}, 1).ValueOrDie().empty());
+  EXPECT_EQ(circle.GlobalBounds(0).ValueOrDie(), (DimBounds{5, 15}));
+  EXPECT_TRUE(circle.Contains({13, 13}));   // 9+9=18 <= 25
+  EXPECT_FALSE(circle.Contains({14, 14}));  // 16+16=32 > 25
+}
+
+TEST(ShapeTest, TriangleUpperBoundRaggedness) {
+  TriangleShape tri(5);
+  EXPECT_EQ(tri.SliceBounds({3, 0}, 1).ValueOrDie(), (DimBounds{1, 3}));
+  EXPECT_EQ(tri.SliceBounds({0, 2}, 0).ValueOrDie(), (DimBounds{2, 5}));
+  EXPECT_TRUE(tri.Contains({4, 2}));
+  EXPECT_FALSE(tri.Contains({2, 4}));
+}
+
+TEST(ShapeTest, SeparableIgnoresOtherDims) {
+  SeparableShape sep({{1, 10}, {5, 8}});
+  EXPECT_EQ(sep.SliceBounds({999, 999}, 1).ValueOrDie(), (DimBounds{5, 8}));
+  EXPECT_EQ(sep.GlobalBounds(0).ValueOrDie(), (DimBounds{1, 10}));
+}
+
+TEST(ShapeTest, CallableShape) {
+  // Diagonal band |i-j| <= 1 over 1..10.
+  CallableShape band(
+      "band", 2,
+      [](const Coordinates& partial, size_t free_dim) -> Result<DimBounds> {
+        int64_t other = partial[1 - free_dim];
+        return DimBounds{std::max<int64_t>(1, other - 1),
+                         std::min<int64_t>(10, other + 1)};
+      },
+      {{1, 10}, {1, 10}});
+  EXPECT_EQ(band.SliceBounds({5, 0}, 1).ValueOrDie(), (DimBounds{4, 6}));
+  EXPECT_TRUE(band.Contains({5, 6}));
+  EXPECT_FALSE(band.Contains({5, 8}));
+}
+
+// ----------------------------------------------------------- aggregates
+
+TEST(AggregateTest, BuiltinsSumCountAvg) {
+  AggregateRegistry reg;
+  auto sum = reg.Find("sum").ValueOrDie()->NewState();
+  auto count = reg.Find("count").ValueOrDie()->NewState();
+  auto avg = reg.Find("avg").ValueOrDie()->NewState();
+  for (double d : {1.0, 2.0, 3.0}) {
+    ASSERT_TRUE(sum->Accumulate(Value(d)).ok());
+    ASSERT_TRUE(count->Accumulate(Value(d)).ok());
+    ASSERT_TRUE(avg->Accumulate(Value(d)).ok());
+  }
+  ASSERT_TRUE(sum->Accumulate(Value::Null()).ok());  // nulls skipped
+  EXPECT_EQ(sum->Finalize().double_value(), 6.0);
+  EXPECT_EQ(count->Finalize().int64_value(), 3);
+  EXPECT_EQ(avg->Finalize().double_value(), 2.0);
+}
+
+TEST(AggregateTest, MinMax) {
+  AggregateRegistry reg;
+  auto mn = reg.Find("min").ValueOrDie()->NewState();
+  auto mx = reg.Find("max").ValueOrDie()->NewState();
+  for (double d : {3.0, -1.0, 7.0}) {
+    ASSERT_TRUE(mn->Accumulate(Value(d)).ok());
+    ASSERT_TRUE(mx->Accumulate(Value(d)).ok());
+  }
+  EXPECT_EQ(mn->Finalize().double_value(), -1.0);
+  EXPECT_EQ(mx->Finalize().double_value(), 7.0);
+}
+
+TEST(AggregateTest, EmptyGroupFinalizesNull) {
+  AggregateRegistry reg;
+  EXPECT_TRUE(reg.Find("sum").ValueOrDie()->NewState()->Finalize().is_null());
+  EXPECT_EQ(
+      reg.Find("count").ValueOrDie()->NewState()->Finalize().int64_value(),
+      0);
+}
+
+TEST(AggregateTest, MergeMatchesSequential) {
+  AggregateRegistry reg;
+  // stddev merged across two partitions == stddev over the union.
+  auto a = reg.Find("stddev").ValueOrDie()->NewState();
+  auto b = reg.Find("stddev").ValueOrDie()->NewState();
+  auto all = reg.Find("stddev").ValueOrDie()->NewState();
+  Rng rng(17);
+  for (int i = 0; i < 100; ++i) {
+    Value v(rng.NextGaussian() * 3 + 1);
+    ASSERT_TRUE((i % 2 ? a : b)->Accumulate(v).ok());
+    ASSERT_TRUE(all->Accumulate(v).ok());
+  }
+  ASSERT_TRUE(a->Merge(*b).ok());
+  EXPECT_NEAR(a->Finalize().double_value(), all->Finalize().double_value(),
+              1e-9);
+}
+
+TEST(AggregateTest, UncertainSumPropagatesErrors) {
+  AggregateRegistry reg;
+  auto usum = reg.Find("usum").ValueOrDie()->NewState();
+  for (int i = 0; i < 4; ++i) {
+    ASSERT_TRUE(usum->Accumulate(Value(Uncertain(1.0, 0.5))).ok());
+  }
+  Uncertain out = usum->Finalize().uncertain_value();
+  EXPECT_EQ(out.mean, 4.0);
+  EXPECT_DOUBLE_EQ(out.stderr_, 1.0);  // sqrt(4 * 0.25)
+}
+
+TEST(AggregateTest, UserDefinedAggregate) {
+  // Paper §2.3: users can add their own aggregates. A "range" aggregate.
+  class RangeState : public AggregateState {
+   public:
+    Status Accumulate(const Value& v) override {
+      if (v.is_null()) return Status::OK();
+      ASSIGN_OR_RETURN(double d, v.AsDouble());
+      lo_ = std::min(lo_, d);
+      hi_ = std::max(hi_, d);
+      seen_ = true;
+      return Status::OK();
+    }
+    Status Merge(const AggregateState& o) override {
+      const auto& r = static_cast<const RangeState&>(o);
+      if (r.seen_) {
+        lo_ = std::min(lo_, r.lo_);
+        hi_ = std::max(hi_, r.hi_);
+        seen_ = true;
+      }
+      return Status::OK();
+    }
+    Value Finalize() const override {
+      return seen_ ? Value(hi_ - lo_) : Value::Null();
+    }
+
+   private:
+    double lo_ = 1e300, hi_ = -1e300;
+    bool seen_ = false;
+  };
+  AggregateRegistry reg;
+  ASSERT_TRUE(reg.Register(AggregateFunction("range", [] {
+                return std::make_unique<RangeState>();
+              })).ok());
+  auto st = reg.Find("range").ValueOrDie()->NewState();
+  for (double d : {5.0, 2.0, 9.0}) ASSERT_TRUE(st->Accumulate(Value(d)).ok());
+  EXPECT_EQ(st->Finalize().double_value(), 7.0);
+}
+
+// ------------------------------------------------------- enhanced array
+
+TEST(EnhancedArrayTest, PaperScale10Example) {
+  // "Enhance My_remote with Scale10" — both coordinate systems work.
+  auto base = std::make_shared<MemArray>(
+      ArraySchema("My_remote", {{"I", 1, 100, 10}, {"J", 1, 100, 10}},
+                  {{"v", DataType::kDouble, true, false}}));
+  ASSERT_TRUE(base->SetCell({7, 8}, Value(3.5)).ok());
+  EnhancedArray arr(base);
+  ASSERT_TRUE(
+      arr.Enhance(std::make_shared<ScaleEnhancement>(
+                      "Scale10", std::vector<std::string>{"K", "L"}, 10))
+          .ok());
+
+  // A[7, 8]
+  auto basic = arr.GetBasic({7, 8});
+  ASSERT_TRUE(basic.has_value());
+  EXPECT_EQ((*basic)[0].double_value(), 3.5);
+  // A{70, 80}
+  auto enhanced =
+      arr.GetEnhanced("Scale10", {Value(int64_t{70}), Value(int64_t{80})});
+  EXPECT_EQ(enhanced.ValueOrDie()[0].double_value(), 3.5);
+  // A{K=70, L=80} via any-system addressing
+  auto any = arr.GetEnhancedAny({Value(int64_t{70}), Value(int64_t{80})});
+  EXPECT_EQ(any.ValueOrDie()[0].double_value(), 3.5);
+  // Projection
+  auto proj = arr.Project("Scale10", {7, 8}).ValueOrDie();
+  EXPECT_EQ(proj[0].int64_value(), 70);
+}
+
+TEST(EnhancedArrayTest, MultipleEnhancements) {
+  auto base = std::make_shared<MemArray>(
+      ArraySchema("a", {{"I", 1, 10, 4}}, {{"v", DataType::kInt64, true,
+                                            false}}));
+  ASSERT_TRUE(base->SetCell({3}, Value(int64_t{30})).ok());
+  EnhancedArray arr(base);
+  ASSERT_TRUE(arr.Enhance(std::make_shared<ScaleEnhancement>(
+                              "x10", std::vector<std::string>{"K"}, 10))
+                  .ok());
+  ASSERT_TRUE(arr.Enhance(std::make_shared<TranslateEnhancement>(
+                              "plus100", std::vector<std::string>{"T"},
+                              Coordinates{100}))
+                  .ok());
+  EXPECT_EQ(arr.GetEnhanced("x10", {Value(int64_t{30})})
+                .ValueOrDie()[0]
+                .int64_value(),
+            30);
+  EXPECT_EQ(arr.GetEnhanced("plus100", {Value(int64_t{103})})
+                .ValueOrDie()[0]
+                .int64_value(),
+            30);
+  // Duplicate enhancement name is rejected.
+  EXPECT_TRUE(arr.Enhance(std::make_shared<ScaleEnhancement>(
+                              "x10", std::vector<std::string>{"K"}, 10))
+                  .IsAlreadyExists());
+}
+
+TEST(EnhancedArrayTest, ShapeEnforcement) {
+  auto base = std::make_shared<MemArray>(
+      ArraySchema("disc", {{"I", 1, 20, 8}, {"J", 1, 20, 8}},
+                  {{"v", DataType::kDouble, true, false}}));
+  EnhancedArray arr(base);
+  ASSERT_TRUE(arr.SetShape(std::make_shared<CircleShape>(10, 10, 5)).ok());
+  EXPECT_TRUE(arr.SetCell({10, 10}, {Value(1.0)}).ok());
+  EXPECT_TRUE(arr.SetCell({1, 1}, {Value(1.0)}).IsOutOfRange());
+  // Only one shape per array (paper).
+  EXPECT_TRUE(
+      arr.SetShape(std::make_shared<CircleShape>(5, 5, 2)).IsAlreadyExists());
+  // shape-function(A[7,*]) returns the slice's water marks.
+  DimBounds b = arr.ShapeSlice({14, 0}, 1).ValueOrDie();
+  EXPECT_EQ(b, (DimBounds{7, 13}));
+  EXPECT_EQ(arr.ShapeGlobal(0).ValueOrDie(), (DimBounds{5, 15}));
+}
+
+}  // namespace
+}  // namespace scidb

@@ -1,0 +1,159 @@
+// §2.3: "the fundamental array operations in SciDB are user-extendable.
+// In the style of Postgres, users can add their own array operations."
+#include <gtest/gtest.h>
+
+#include "common/macros.h"
+#include "query/session.h"
+
+namespace scidb {
+namespace {
+
+// A typical science extension: threshold an attribute and return a mask
+// array (1.0 where attr > threshold).
+Result<MemArray> ThresholdMask(const ExecContext& ctx,
+                               const std::vector<MemArray>& inputs,
+                               const std::vector<ExprPtr>& args) {
+  if (inputs.size() != 1 || args.size() != 1) {
+    return Status::Invalid("ThresholdMask(array, threshold)");
+  }
+  EvalContext ectx;
+  ectx.functions = ctx.functions;
+  ASSIGN_OR_RETURN(Value tv, args[0]->Eval(ectx));
+  ASSIGN_OR_RETURN(double threshold, tv.AsDouble());
+
+  const MemArray& a = inputs[0];
+  ArraySchema out_schema(a.schema().name() + "_mask", a.schema().dims(),
+                         {{"mask", DataType::kDouble, true, false}});
+  MemArray out(out_schema);
+  Status st;
+  bool failed = false;
+  a.ForEachCell([&](const Coordinates& c, const Chunk& chunk,
+                    int64_t rank) {
+    double v = chunk.block(0).GetDouble(rank);
+    st = out.SetCell(c, Value(v > threshold ? 1.0 : 0.0));
+    if (!st.ok()) {
+      failed = true;
+      return false;
+    }
+    return true;
+  });
+  if (failed) return st;
+  return out;
+}
+
+// Two-input extension: cell-wise difference of two co-dimensional arrays.
+Result<MemArray> Diff(const ExecContext& ctx,
+                      const std::vector<MemArray>& inputs,
+                      const std::vector<ExprPtr>& args) {
+  (void)ctx;
+  (void)args;
+  if (inputs.size() != 2) return Status::Invalid("Diff(a, b)");
+  const MemArray& a = inputs[0];
+  const MemArray& b = inputs[1];
+  ArraySchema out_schema("diff", a.schema().dims(),
+                         {{"d", DataType::kDouble, true, false}});
+  MemArray out(out_schema);
+  Status st;
+  bool failed = false;
+  a.ForEachCell([&](const Coordinates& c, const Chunk& chunk,
+                    int64_t rank) {
+    auto other = b.GetCell(c);
+    if (!other.has_value()) return true;
+    auto bv = (*other)[0].AsDouble();
+    if (!bv.ok()) return true;
+    st = out.SetCell(c,
+                     Value(chunk.block(0).GetDouble(rank) - bv.value()));
+    if (!st.ok()) {
+      failed = true;
+      return false;
+    }
+    return true;
+  });
+  if (failed) return st;
+  return out;
+}
+
+class UserOpsTest : public ::testing::Test {
+ protected:
+  UserOpsTest() {
+    SCIDB_CHECK(session_.Execute("define T (v = double) (I)").ok());
+    SCIDB_CHECK(session_.Execute("create A as T [6]").ok());
+    SCIDB_CHECK(session_.Execute("create B as T [6]").ok());
+    for (int64_t i = 1; i <= 6; ++i) {
+      SCIDB_CHECK(session_
+                      .Execute("insert A [" + std::to_string(i) +
+                               "] values (" + std::to_string(i * 10) +
+                               ".0)")
+                      .ok());
+      SCIDB_CHECK(session_
+                      .Execute("insert B [" + std::to_string(i) +
+                               "] values (" + std::to_string(i) + ".0)")
+                      .ok());
+    }
+  }
+  Session session_;
+};
+
+TEST_F(UserOpsTest, RegisterAndCallFromAql) {
+  ASSERT_TRUE(session_.RegisterArrayOp("ThresholdMask", ThresholdMask).ok());
+  EXPECT_TRUE(session_.HasArrayOp("thresholdmask"));
+
+  auto r = session_.Execute("select ThresholdMask(A, 35)").ValueOrDie();
+  ASSERT_EQ(r.kind, QueryResult::Kind::kArray);
+  EXPECT_EQ(r.array->CellCount(), 6);
+  EXPECT_EQ((*r.array->GetCell({3}))[0].double_value(), 0.0);  // 30 <= 35
+  EXPECT_EQ((*r.array->GetCell({4}))[0].double_value(), 1.0);  // 40 > 35
+}
+
+TEST_F(UserOpsTest, ExpressionArguments) {
+  ASSERT_TRUE(session_.RegisterArrayOp("ThresholdMask", ThresholdMask).ok());
+  // The threshold argument is a full expression.
+  auto r = session_.Execute("select ThresholdMask(A, 30 + 5)").ValueOrDie();
+  EXPECT_EQ((*r.array->GetCell({4}))[0].double_value(), 1.0);
+}
+
+TEST_F(UserOpsTest, TwoArrayInputs) {
+  ASSERT_TRUE(session_.RegisterArrayOp("Diff", Diff).ok());
+  auto r = session_.Execute("select Diff(A, B)").ValueOrDie();
+  EXPECT_EQ((*r.array->GetCell({5}))[0].double_value(), 45.0);  // 50 - 5
+}
+
+TEST_F(UserOpsTest, ComposesWithBuiltins) {
+  ASSERT_TRUE(session_.RegisterArrayOp("ThresholdMask", ThresholdMask).ok());
+  // User op as input to a built-in AND a built-in as input to a user op.
+  auto agg = session_
+                 .Execute("select Aggregate(ThresholdMask(A, 35), {}, "
+                          "sum(mask))")
+                 .ValueOrDie();
+  EXPECT_EQ((*agg.array->GetCell({1}))[0].double_value(), 3.0);  // 40,50,60
+
+  auto nested = session_
+                    .Execute("select ThresholdMask(Subsample(A, I <= 4), "
+                             "35)")
+                    .ValueOrDie();
+  EXPECT_EQ(nested.array->CellCount(), 4);
+}
+
+TEST_F(UserOpsTest, RegistrationRules) {
+  ASSERT_TRUE(session_.RegisterArrayOp("MyOp", Diff).ok());
+  EXPECT_TRUE(session_.RegisterArrayOp("myop", Diff).IsAlreadyExists());
+  EXPECT_TRUE(session_.RegisterArrayOp("Filter", Diff).IsInvalid());
+  EXPECT_TRUE(session_.RegisterArrayOp("", Diff).IsInvalid());
+  EXPECT_TRUE(session_.RegisterArrayOp("x", nullptr).IsInvalid());
+  EXPECT_FALSE(session_.HasArrayOp("never"));
+}
+
+TEST_F(UserOpsTest, UnregisteredNameStaysAnArrayRef) {
+  // Without registration, "ThresholdMask(A, 35)" does not parse as an
+  // operator; the identifier resolves (and fails) as an array instead.
+  EXPECT_FALSE(session_.Execute("select ThresholdMask(A, 35)").ok());
+}
+
+TEST_F(UserOpsTest, UserOpErrorsPropagate) {
+  ASSERT_TRUE(session_.RegisterArrayOp("Diff", Diff).ok());
+  EXPECT_TRUE(
+      session_.Execute("select Diff(A)").status().IsInvalid());  // arity
+}
+
+}  // namespace
+}  // namespace scidb

@@ -1,0 +1,249 @@
+#include <gtest/gtest.h>
+
+#include "version/history.h"
+#include "version/named_version.h"
+
+namespace scidb {
+namespace {
+
+ArraySchema Grid(int64_t n = 10) {
+  return ArraySchema("remote", {{"x", 1, n, 4}, {"y", 1, n, 4}},
+                     {{"v", DataType::kDouble, true, false}});
+}
+
+std::vector<CellUpdate> Set1(int64_t x, int64_t y, double v) {
+  return {CellUpdate::Set({x, y}, {Value(v)})};
+}
+
+// =========================== history (§2.5) ===========================
+
+TEST(HistoryArrayTest, CommitsAppendHistory) {
+  HistoryArray a(Grid());
+  EXPECT_EQ(a.current_history(), 0);
+  EXPECT_EQ(a.Commit(Set1(2, 2, 1.0), 1000).ValueOrDie(), 1);
+  EXPECT_EQ(a.Commit(Set1(2, 2, 2.0), 2000).ValueOrDie(), 2);
+  EXPECT_EQ(a.current_history(), 2);
+  EXPECT_TRUE(a.schema().updatable());
+}
+
+TEST(HistoryArrayTest, NoOverwriteOldValuesRemain) {
+  // Paper: "a user who starts at [x=2,y=2,history=1] and travels along the
+  // history dimension ... will see the history of activity to the cell".
+  HistoryArray a(Grid());
+  ASSERT_TRUE(a.Commit(Set1(2, 2, 1.0), 1000).ok());
+  ASSERT_TRUE(a.Commit(Set1(2, 2, 2.0), 2000).ok());
+  ASSERT_TRUE(a.Commit(Set1(9, 9, 99.0), 3000).ok());  // unrelated txn
+
+  EXPECT_EQ((*a.GetCellAt({2, 2}, 1).ValueOrDie())[0].double_value(), 1.0);
+  EXPECT_EQ((*a.GetCellAt({2, 2}, 2).ValueOrDie())[0].double_value(), 2.0);
+  // History 3 did not touch [2,2]: value carries forward.
+  EXPECT_EQ((*a.GetCellAt({2, 2}, 3).ValueOrDie())[0].double_value(), 2.0);
+  EXPECT_EQ((*a.GetCellLatest({2, 2}))[0].double_value(), 2.0);
+}
+
+TEST(HistoryArrayTest, CellHistoryListsOnlyChanges) {
+  HistoryArray a(Grid());
+  ASSERT_TRUE(a.Commit(Set1(2, 2, 1.0), 1000).ok());
+  ASSERT_TRUE(a.Commit(Set1(5, 5, 5.0), 2000).ok());
+  ASSERT_TRUE(a.Commit(Set1(2, 2, 3.0), 3000).ok());
+  auto hist = a.CellHistory({2, 2});
+  ASSERT_EQ(hist.size(), 2u);
+  EXPECT_EQ(hist[0].history, 1);
+  EXPECT_EQ(hist[0].values[0].double_value(), 1.0);
+  EXPECT_EQ(hist[1].history, 3);
+  EXPECT_EQ(hist[1].values[0].double_value(), 3.0);
+}
+
+TEST(HistoryArrayTest, DeletionFlags) {
+  HistoryArray a(Grid());
+  ASSERT_TRUE(a.Commit(Set1(2, 2, 1.0), 1000).ok());
+  ASSERT_TRUE(a.Commit({CellUpdate::Delete({2, 2})}, 2000).ok());
+  // Deleted at h=2, but h=1 still shows the value — no overwrite.
+  EXPECT_TRUE(a.GetCellAt({2, 2}, 1).ValueOrDie().has_value());
+  EXPECT_FALSE(a.GetCellAt({2, 2}, 2).ValueOrDie().has_value());
+  auto hist = a.CellHistory({2, 2});
+  ASSERT_EQ(hist.size(), 2u);
+  EXPECT_TRUE(hist[1].deleted);
+  // Re-insertion after deletion.
+  ASSERT_TRUE(a.Commit(Set1(2, 2, 7.0), 3000).ok());
+  EXPECT_EQ((*a.GetCellLatest({2, 2}))[0].double_value(), 7.0);
+}
+
+TEST(HistoryArrayTest, WallClockAddressing) {
+  // Paper: "the array can be addressed using conventional time".
+  HistoryArray a(Grid());
+  ASSERT_TRUE(a.Commit(Set1(1, 1, 1.0), 1000).ok());
+  ASSERT_TRUE(a.Commit(Set1(1, 1, 2.0), 5000).ok());
+  EXPECT_EQ((*a.GetCellAsOf({1, 1}, 1500).ValueOrDie())[0].double_value(),
+            1.0);
+  EXPECT_EQ((*a.GetCellAsOf({1, 1}, 5000).ValueOrDie())[0].double_value(),
+            2.0);
+  EXPECT_TRUE(a.GetCellAsOf({1, 1}, 500).status().IsNotFound());
+}
+
+TEST(HistoryArrayTest, TimestampMonotonicityEnforced) {
+  HistoryArray a(Grid());
+  ASSERT_TRUE(a.Commit(Set1(1, 1, 1.0), 2000).ok());
+  EXPECT_TRUE(a.Commit(Set1(1, 1, 2.0), 1000).status().IsInvalid());
+  EXPECT_TRUE(a.Commit({}, 3000).status().IsInvalid());  // empty txn
+}
+
+TEST(HistoryArrayTest, SnapshotAtReplaysLayers) {
+  HistoryArray a(Grid());
+  ASSERT_TRUE(a.Commit({CellUpdate::Set({1, 1}, {Value(1.0)}),
+                        CellUpdate::Set({2, 2}, {Value(2.0)})},
+                       1000)
+                  .ok());
+  ASSERT_TRUE(a.Commit({CellUpdate::Set({1, 1}, {Value(10.0)}),
+                        CellUpdate::Delete({2, 2})},
+                       2000)
+                  .ok());
+  MemArray s1 = a.SnapshotAt(1).ValueOrDie();
+  EXPECT_EQ(s1.CellCount(), 2);
+  EXPECT_EQ((*s1.GetCell({1, 1}))[0].double_value(), 1.0);
+  MemArray s2 = a.SnapshotAt(2).ValueOrDie();
+  EXPECT_EQ(s2.CellCount(), 1);
+  EXPECT_EQ((*s2.GetCell({1, 1}))[0].double_value(), 10.0);
+  EXPECT_TRUE(a.SnapshotAt(5).status().IsOutOfRange());
+}
+
+TEST(HistoryArrayTest, OutOfBoundsRejected) {
+  HistoryArray a(Grid(4));
+  EXPECT_FALSE(a.Commit(Set1(9, 9, 1.0), 1000).ok());
+  EXPECT_TRUE(a.Commit({CellUpdate::Delete({9, 9})}, 1000).status().IsOutOfRange());
+}
+
+// ======================== named versions (§2.11) ========================
+
+TEST(VersionTreeTest, FreshVersionEqualsParent) {
+  VersionTree tree(Grid());
+  ASSERT_TRUE(tree.Commit("", Set1(3, 3, 30.0), 1000).ok());
+  ASSERT_TRUE(tree.CreateVersion("study", "").ok());
+  // "At time T, the version V is identical to A."
+  auto cell = tree.GetCell("study", {3, 3}).ValueOrDie();
+  ASSERT_TRUE(cell.has_value());
+  EXPECT_EQ((*cell)[0].double_value(), 30.0);
+  // And consumes essentially no space.
+  EXPECT_EQ(tree.VersionByteSize("study").ValueOrDie(), 0u);
+}
+
+TEST(VersionTreeTest, DivergenceIsLocalToVersion) {
+  VersionTree tree(Grid());
+  ASSERT_TRUE(tree.Commit("", Set1(3, 3, 30.0), 1000).ok());
+  ASSERT_TRUE(tree.CreateVersion("study", "").ok());
+  ASSERT_TRUE(tree.Commit("study", Set1(3, 3, 42.0), 2000).ok());
+
+  EXPECT_EQ((*tree.GetCell("study", {3, 3}).ValueOrDie())[0].double_value(),
+            42.0);
+  // The base array is untouched.
+  EXPECT_EQ((*tree.GetCell("", {3, 3}).ValueOrDie())[0].double_value(),
+            30.0);
+}
+
+TEST(VersionTreeTest, VersionPinnedAtCreationTime) {
+  VersionTree tree(Grid());
+  ASSERT_TRUE(tree.Commit("", Set1(1, 1, 1.0), 1000).ok());
+  ASSERT_TRUE(tree.CreateVersion("v", "").ok());
+  // Base moves on after T; V must not see it.
+  ASSERT_TRUE(tree.Commit("", Set1(1, 1, 99.0), 2000).ok());
+  EXPECT_EQ((*tree.GetCell("v", {1, 1}).ValueOrDie())[0].double_value(),
+            1.0);
+  EXPECT_EQ((*tree.GetCell("", {1, 1}).ValueOrDie())[0].double_value(),
+            99.0);
+}
+
+TEST(VersionTreeTest, TreeOfVersions) {
+  // "In general, hanging off any base array is a tree of named versions."
+  VersionTree tree(Grid());
+  ASSERT_TRUE(tree.Commit("", Set1(1, 1, 1.0), 1000).ok());
+  ASSERT_TRUE(tree.CreateVersion("a", "").ok());
+  ASSERT_TRUE(tree.Commit("a", Set1(2, 2, 2.0), 2000).ok());
+  ASSERT_TRUE(tree.CreateVersion("b", "a").ok());
+  ASSERT_TRUE(tree.Commit("b", Set1(3, 3, 3.0), 3000).ok());
+
+  // b sees its own delta, a's delta, and the base value.
+  EXPECT_EQ((*tree.GetCell("b", {3, 3}).ValueOrDie())[0].double_value(), 3.0);
+  EXPECT_EQ((*tree.GetCell("b", {2, 2}).ValueOrDie())[0].double_value(), 2.0);
+  EXPECT_EQ((*tree.GetCell("b", {1, 1}).ValueOrDie())[0].double_value(), 1.0);
+  // a does not see b's delta.
+  EXPECT_FALSE(tree.GetCell("a", {3, 3}).ValueOrDie().has_value());
+  EXPECT_EQ(tree.ChainDepth("b").ValueOrDie(), 2);
+  EXPECT_EQ(tree.ChildrenOf("").size(), 1u);
+  EXPECT_EQ(tree.ChildrenOf("a"), (std::vector<std::string>{"b"}));
+}
+
+TEST(VersionTreeTest, DeletionHidesParentValue) {
+  VersionTree tree(Grid());
+  ASSERT_TRUE(tree.Commit("", Set1(4, 4, 4.0), 1000).ok());
+  ASSERT_TRUE(tree.CreateVersion("v", "").ok());
+  ASSERT_TRUE(tree.Commit("v", {CellUpdate::Delete({4, 4})}, 2000).ok());
+  EXPECT_FALSE(tree.GetCell("v", {4, 4}).ValueOrDie().has_value());
+  EXPECT_TRUE(tree.GetCell("", {4, 4}).ValueOrDie().has_value());
+}
+
+TEST(VersionTreeTest, SnapshotCollapsesChain) {
+  VersionTree tree(Grid());
+  ASSERT_TRUE(tree.Commit("", {CellUpdate::Set({1, 1}, {Value(1.0)}),
+                               CellUpdate::Set({2, 2}, {Value(2.0)})},
+                          1000)
+                  .ok());
+  ASSERT_TRUE(tree.CreateVersion("v", "").ok());
+  ASSERT_TRUE(tree.Commit("v", {CellUpdate::Set({2, 2}, {Value(20.0)}),
+                                CellUpdate::Delete({1, 1}),
+                                CellUpdate::Set({3, 3}, {Value(3.0)})},
+                          2000)
+                  .ok());
+  MemArray snap = tree.Snapshot("v").ValueOrDie();
+  EXPECT_EQ(snap.CellCount(), 2);
+  EXPECT_EQ((*snap.GetCell({2, 2}))[0].double_value(), 20.0);
+  EXPECT_EQ((*snap.GetCell({3, 3}))[0].double_value(), 3.0);
+  EXPECT_FALSE(snap.Exists({1, 1}));
+}
+
+TEST(VersionTreeTest, MaterializeCutsChain) {
+  VersionTree tree(Grid());
+  ASSERT_TRUE(tree.Commit("", Set1(1, 1, 1.0), 1000).ok());
+  ASSERT_TRUE(tree.CreateVersion("v", "").ok());
+  ASSERT_TRUE(tree.Commit("v", Set1(2, 2, 2.0), 2000).ok());
+  size_t before = tree.VersionByteSize("v").ValueOrDie();
+  ASSERT_TRUE(tree.MaterializeVersion("v").ok());
+  EXPECT_EQ(tree.ChainDepth("v").ValueOrDie(), 1);
+  // Still sees both cells, now from its own storage.
+  EXPECT_EQ((*tree.GetCell("v", {1, 1}).ValueOrDie())[0].double_value(), 1.0);
+  EXPECT_EQ((*tree.GetCell("v", {2, 2}).ValueOrDie())[0].double_value(), 2.0);
+  // Materialization traded space for chain-free reads (space is at least
+  // what the delta alone took; chunk-capacity granularity can make the
+  // two equal for tiny arrays).
+  EXPECT_GE(tree.VersionByteSize("v").ValueOrDie(), before);
+  EXPECT_EQ(tree.Snapshot("v").ValueOrDie().CellCount(), 2);
+}
+
+TEST(VersionTreeTest, Validation) {
+  VersionTree tree(Grid());
+  EXPECT_TRUE(tree.CreateVersion("", "").IsInvalid());
+  ASSERT_TRUE(tree.CreateVersion("v", "").ok());
+  EXPECT_TRUE(tree.CreateVersion("v", "").IsAlreadyExists());
+  EXPECT_TRUE(tree.CreateVersion("w", "missing").IsNotFound());
+  EXPECT_TRUE(tree.GetCell("missing", {1, 1}).status().IsNotFound());
+  EXPECT_FALSE(tree.HasVersion("zz"));
+  EXPECT_TRUE(tree.HasVersion("v"));
+}
+
+TEST(VersionTreeTest, SpaceGrowsOnlyWithDivergence) {
+  VersionTree tree(Grid(100));
+  // A large base...
+  std::vector<CellUpdate> big;
+  for (int64_t i = 1; i <= 100; ++i) {
+    big.push_back(CellUpdate::Set({i, i}, {Value(static_cast<double>(i))}));
+  }
+  ASSERT_TRUE(tree.Commit("", big, 1000).ok());
+  ASSERT_TRUE(tree.CreateVersion("v", "").ok());
+  // ...a tiny divergence.
+  ASSERT_TRUE(tree.Commit("v", Set1(1, 1, -1.0), 2000).ok());
+  size_t base_bytes = tree.VersionByteSize("").ValueOrDie();
+  size_t v_bytes = tree.VersionByteSize("v").ValueOrDie();
+  EXPECT_LT(v_bytes, base_bytes / 10);
+}
+
+}  // namespace
+}  // namespace scidb
