@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_array_vs_table.dir/bench_array_vs_table.cc.o"
+  "CMakeFiles/bench_array_vs_table.dir/bench_array_vs_table.cc.o.d"
+  "CMakeFiles/bench_array_vs_table.dir/workloads.cc.o"
+  "CMakeFiles/bench_array_vs_table.dir/workloads.cc.o.d"
+  "bench_array_vs_table"
+  "bench_array_vs_table.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_array_vs_table.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

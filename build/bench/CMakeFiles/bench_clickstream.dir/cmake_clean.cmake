@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_clickstream.dir/bench_clickstream.cc.o"
+  "CMakeFiles/bench_clickstream.dir/bench_clickstream.cc.o.d"
+  "CMakeFiles/bench_clickstream.dir/workloads.cc.o"
+  "CMakeFiles/bench_clickstream.dir/workloads.cc.o.d"
+  "bench_clickstream"
+  "bench_clickstream.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_clickstream.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

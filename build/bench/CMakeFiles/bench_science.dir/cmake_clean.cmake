@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_science.dir/bench_science.cc.o"
+  "CMakeFiles/bench_science.dir/bench_science.cc.o.d"
+  "CMakeFiles/bench_science.dir/workloads.cc.o"
+  "CMakeFiles/bench_science.dir/workloads.cc.o.d"
+  "bench_science"
+  "bench_science.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_science.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_astronomy_survey.dir/astronomy_survey.cpp.o"
+  "CMakeFiles/example_astronomy_survey.dir/astronomy_survey.cpp.o.d"
+  "example_astronomy_survey"
+  "example_astronomy_survey.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_astronomy_survey.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_clickstream.dir/clickstream.cpp.o"
+  "CMakeFiles/example_clickstream.dir/clickstream.cpp.o.d"
+  "example_clickstream"
+  "example_clickstream.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_clickstream.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

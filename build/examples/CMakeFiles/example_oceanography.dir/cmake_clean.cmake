@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_oceanography.dir/oceanography.cpp.o"
+  "CMakeFiles/example_oceanography.dir/oceanography.cpp.o.d"
+  "example_oceanography"
+  "example_oceanography.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_oceanography.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_remote_sensing.dir/remote_sensing.cpp.o"
+  "CMakeFiles/example_remote_sensing.dir/remote_sensing.cpp.o.d"
+  "example_remote_sensing"
+  "example_remote_sensing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_remote_sensing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

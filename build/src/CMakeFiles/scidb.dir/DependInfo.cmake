@@ -1,0 +1,51 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/array/chunk.cc" "src/CMakeFiles/scidb.dir/array/chunk.cc.o" "gcc" "src/CMakeFiles/scidb.dir/array/chunk.cc.o.d"
+  "/root/repo/src/array/coordinates.cc" "src/CMakeFiles/scidb.dir/array/coordinates.cc.o" "gcc" "src/CMakeFiles/scidb.dir/array/coordinates.cc.o.d"
+  "/root/repo/src/array/mem_array.cc" "src/CMakeFiles/scidb.dir/array/mem_array.cc.o" "gcc" "src/CMakeFiles/scidb.dir/array/mem_array.cc.o.d"
+  "/root/repo/src/array/schema.cc" "src/CMakeFiles/scidb.dir/array/schema.cc.o" "gcc" "src/CMakeFiles/scidb.dir/array/schema.cc.o.d"
+  "/root/repo/src/common/status.cc" "src/CMakeFiles/scidb.dir/common/status.cc.o" "gcc" "src/CMakeFiles/scidb.dir/common/status.cc.o.d"
+  "/root/repo/src/cook/cooking.cc" "src/CMakeFiles/scidb.dir/cook/cooking.cc.o" "gcc" "src/CMakeFiles/scidb.dir/cook/cooking.cc.o.d"
+  "/root/repo/src/exec/content_ops.cc" "src/CMakeFiles/scidb.dir/exec/content_ops.cc.o" "gcc" "src/CMakeFiles/scidb.dir/exec/content_ops.cc.o.d"
+  "/root/repo/src/exec/expression.cc" "src/CMakeFiles/scidb.dir/exec/expression.cc.o" "gcc" "src/CMakeFiles/scidb.dir/exec/expression.cc.o.d"
+  "/root/repo/src/exec/structural_ops.cc" "src/CMakeFiles/scidb.dir/exec/structural_ops.cc.o" "gcc" "src/CMakeFiles/scidb.dir/exec/structural_ops.cc.o.d"
+  "/root/repo/src/exec/window.cc" "src/CMakeFiles/scidb.dir/exec/window.cc.o" "gcc" "src/CMakeFiles/scidb.dir/exec/window.cc.o.d"
+  "/root/repo/src/grid/auto_designer.cc" "src/CMakeFiles/scidb.dir/grid/auto_designer.cc.o" "gcc" "src/CMakeFiles/scidb.dir/grid/auto_designer.cc.o.d"
+  "/root/repo/src/grid/cluster.cc" "src/CMakeFiles/scidb.dir/grid/cluster.cc.o" "gcc" "src/CMakeFiles/scidb.dir/grid/cluster.cc.o.d"
+  "/root/repo/src/grid/partitioner.cc" "src/CMakeFiles/scidb.dir/grid/partitioner.cc.o" "gcc" "src/CMakeFiles/scidb.dir/grid/partitioner.cc.o.d"
+  "/root/repo/src/insitu/formats.cc" "src/CMakeFiles/scidb.dir/insitu/formats.cc.o" "gcc" "src/CMakeFiles/scidb.dir/insitu/formats.cc.o.d"
+  "/root/repo/src/provenance/provenance.cc" "src/CMakeFiles/scidb.dir/provenance/provenance.cc.o" "gcc" "src/CMakeFiles/scidb.dir/provenance/provenance.cc.o.d"
+  "/root/repo/src/query/lexer.cc" "src/CMakeFiles/scidb.dir/query/lexer.cc.o" "gcc" "src/CMakeFiles/scidb.dir/query/lexer.cc.o.d"
+  "/root/repo/src/query/optimizer.cc" "src/CMakeFiles/scidb.dir/query/optimizer.cc.o" "gcc" "src/CMakeFiles/scidb.dir/query/optimizer.cc.o.d"
+  "/root/repo/src/query/parser.cc" "src/CMakeFiles/scidb.dir/query/parser.cc.o" "gcc" "src/CMakeFiles/scidb.dir/query/parser.cc.o.d"
+  "/root/repo/src/query/session.cc" "src/CMakeFiles/scidb.dir/query/session.cc.o" "gcc" "src/CMakeFiles/scidb.dir/query/session.cc.o.d"
+  "/root/repo/src/relational/array_on_table.cc" "src/CMakeFiles/scidb.dir/relational/array_on_table.cc.o" "gcc" "src/CMakeFiles/scidb.dir/relational/array_on_table.cc.o.d"
+  "/root/repo/src/relational/table.cc" "src/CMakeFiles/scidb.dir/relational/table.cc.o" "gcc" "src/CMakeFiles/scidb.dir/relational/table.cc.o.d"
+  "/root/repo/src/storage/chunk_serde.cc" "src/CMakeFiles/scidb.dir/storage/chunk_serde.cc.o" "gcc" "src/CMakeFiles/scidb.dir/storage/chunk_serde.cc.o.d"
+  "/root/repo/src/storage/codec.cc" "src/CMakeFiles/scidb.dir/storage/codec.cc.o" "gcc" "src/CMakeFiles/scidb.dir/storage/codec.cc.o.d"
+  "/root/repo/src/storage/storage_manager.cc" "src/CMakeFiles/scidb.dir/storage/storage_manager.cc.o" "gcc" "src/CMakeFiles/scidb.dir/storage/storage_manager.cc.o.d"
+  "/root/repo/src/types/data_type.cc" "src/CMakeFiles/scidb.dir/types/data_type.cc.o" "gcc" "src/CMakeFiles/scidb.dir/types/data_type.cc.o.d"
+  "/root/repo/src/types/value.cc" "src/CMakeFiles/scidb.dir/types/value.cc.o" "gcc" "src/CMakeFiles/scidb.dir/types/value.cc.o.d"
+  "/root/repo/src/udf/aggregate.cc" "src/CMakeFiles/scidb.dir/udf/aggregate.cc.o" "gcc" "src/CMakeFiles/scidb.dir/udf/aggregate.cc.o.d"
+  "/root/repo/src/udf/enhanced_array.cc" "src/CMakeFiles/scidb.dir/udf/enhanced_array.cc.o" "gcc" "src/CMakeFiles/scidb.dir/udf/enhanced_array.cc.o.d"
+  "/root/repo/src/udf/enhancement.cc" "src/CMakeFiles/scidb.dir/udf/enhancement.cc.o" "gcc" "src/CMakeFiles/scidb.dir/udf/enhancement.cc.o.d"
+  "/root/repo/src/udf/function.cc" "src/CMakeFiles/scidb.dir/udf/function.cc.o" "gcc" "src/CMakeFiles/scidb.dir/udf/function.cc.o.d"
+  "/root/repo/src/udf/shape_function.cc" "src/CMakeFiles/scidb.dir/udf/shape_function.cc.o" "gcc" "src/CMakeFiles/scidb.dir/udf/shape_function.cc.o.d"
+  "/root/repo/src/version/history.cc" "src/CMakeFiles/scidb.dir/version/history.cc.o" "gcc" "src/CMakeFiles/scidb.dir/version/history.cc.o.d"
+  "/root/repo/src/version/named_version.cc" "src/CMakeFiles/scidb.dir/version/named_version.cc.o" "gcc" "src/CMakeFiles/scidb.dir/version/named_version.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cook_test.dir/cook_test.cc.o"
+  "CMakeFiles/cook_test.dir/cook_test.cc.o.d"
+  "cook_test"
+  "cook_test.pdb"
+  "cook_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cook_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

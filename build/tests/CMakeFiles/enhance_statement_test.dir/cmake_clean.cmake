@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/enhance_statement_test.dir/enhance_statement_test.cc.o"
+  "CMakeFiles/enhance_statement_test.dir/enhance_statement_test.cc.o.d"
+  "enhance_statement_test"
+  "enhance_statement_test.pdb"
+  "enhance_statement_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/enhance_statement_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exec_edge_test.dir/exec_edge_test.cc.o"
+  "CMakeFiles/exec_edge_test.dir/exec_edge_test.cc.o.d"
+  "exec_edge_test"
+  "exec_edge_test.pdb"
+  "exec_edge_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exec_edge_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

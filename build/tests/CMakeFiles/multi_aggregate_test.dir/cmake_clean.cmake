@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/multi_aggregate_test.dir/multi_aggregate_test.cc.o"
+  "CMakeFiles/multi_aggregate_test.dir/multi_aggregate_test.cc.o.d"
+  "multi_aggregate_test"
+  "multi_aggregate_test.pdb"
+  "multi_aggregate_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/multi_aggregate_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/trace_statement_test.dir/trace_statement_test.cc.o"
+  "CMakeFiles/trace_statement_test.dir/trace_statement_test.cc.o.d"
+  "trace_statement_test"
+  "trace_statement_test.pdb"
+  "trace_statement_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/trace_statement_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/user_ops_test.dir/user_ops_test.cc.o"
+  "CMakeFiles/user_ops_test.dir/user_ops_test.cc.o.d"
+  "user_ops_test"
+  "user_ops_test.pdb"
+  "user_ops_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/user_ops_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
