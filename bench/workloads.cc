@@ -2,8 +2,20 @@
 
 #include <cmath>
 
+#include "common/logging.h"
+
 namespace scidb {
 namespace bench {
+namespace {
+
+// Generators write strictly in-bounds cells; a SetCell failure is a bug
+// in the generator, so crash loudly instead of dropping the Status.
+void MustSet(MemArray& a, const Coordinates& c, const Value& v) {
+  Status st = a.SetCell(c, v);
+  SCIDB_CHECK(st.ok()) << "workload generator: " << st.ToString();
+}
+
+}  // namespace
 
 MemArray MakeSkyImage(int64_t n, int64_t chunk, int sources, uint64_t seed) {
   ArraySchema schema("sky", {{"I", 1, n, chunk}, {"J", 1, n, chunk}},
@@ -31,7 +43,7 @@ MemArray MakeSkyImage(int64_t n, int64_t chunk, int sources, uint64_t seed) {
           v += s.amp * std::exp(-d2 / (2 * s.sigma * s.sigma));
         }
       }
-      a.SetCell({i, j}, Value(v));
+      MustSet(a, {i, j}, Value(v));
     }
   }
   return a;
@@ -45,7 +57,7 @@ MemArray MakeSparseArray(int64_t n, int64_t chunk, int64_t count,
   Rng rng(seed);
   for (int64_t k = 0; k < count; ++k) {
     Coordinates c{rng.UniformInt(1, n), rng.UniformInt(1, n)};
-    a.SetCell(c, Value(rng.NextDouble() * 100));
+    MustSet(a, c, Value(rng.NextDouble() * 100));
   }
   return a;
 }
@@ -58,7 +70,7 @@ MemArray MakeTimeSeries(int64_t n, int64_t chunk, uint64_t seed) {
   double v = 0;
   for (int64_t t = 1; t <= n; ++t) {
     v += rng.NextGaussian();
-    a.SetCell({t}, Value(v));
+    MustSet(a, {t}, Value(v));
   }
   return a;
 }

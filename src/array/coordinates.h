@@ -29,14 +29,14 @@ struct Box {
 
   size_t ndims() const { return low.size(); }
 
-  bool Contains(const Coordinates& c) const {
+  [[nodiscard]] bool Contains(const Coordinates& c) const {
     for (size_t d = 0; d < low.size(); ++d) {
       if (c[d] < low[d] || c[d] > high[d]) return false;
     }
     return true;
   }
 
-  bool Intersects(const Box& o) const {
+  [[nodiscard]] bool Intersects(const Box& o) const {
     for (size_t d = 0; d < low.size(); ++d) {
       if (o.high[d] < low[d] || o.low[d] > high[d]) return false;
     }
@@ -87,7 +87,7 @@ Coordinates UnrankInBox(const Box& box, int64_t rank);
 // Odometer-style iteration over all cells of a box in row-major order
 // (last dimension fastest). Returns false when iteration wraps past the
 // end. `c` must start at box.low.
-bool NextInBox(const Box& box, Coordinates* c);
+[[nodiscard]] bool NextInBox(const Box& box, Coordinates* c);
 
 }  // namespace scidb
 

@@ -41,7 +41,7 @@ class MemArray {
   Status SetCell(const Coordinates& c, const Value& v);  // 1-attribute arrays
   // Empty optional when the cell is absent ("Exists? == false").
   std::optional<std::vector<Value>> GetCell(const Coordinates& c) const;
-  bool Exists(const Coordinates& c) const;
+  [[nodiscard]] bool Exists(const Coordinates& c) const;
   Status DeleteCell(const Coordinates& c);
 
   int64_t CellCount() const;
@@ -71,7 +71,9 @@ class MemArray {
       const int64_t cap = chunk->cell_capacity();
       c = box.low;
       for (int64_t rank = 0; rank < cap; ++rank) {
-        if (rank > 0) NextInBox(box, &c);
+        // rank < cap guarantees the odometer has not wrapped, so the
+        // has-more result carries no information here.
+        if (rank > 0) (void)NextInBox(box, &c);
         if (!chunk->IsPresent(rank)) continue;
         if (!fn(c, *chunk, rank)) return;
       }

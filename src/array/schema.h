@@ -81,7 +81,7 @@ class ArraySchema {
   // The full logical box [low, high] per dimension. Invalid for schemas
   // with unbounded dimensions (callers use the storage high-water mark).
   Result<Box> Bounds() const;
-  bool HasUnboundedDim() const;
+  [[nodiscard]] bool HasUnboundedDim() const;
 
   // Validates shape invariants: nonempty dims/attrs, unique names,
   // positive chunk intervals, low <= high.
@@ -89,7 +89,7 @@ class ArraySchema {
 
   // True when `c` lies inside the declared bounds (unbounded dims accept
   // any coordinate >= low).
-  bool ContainsCoords(const Coordinates& c) const;
+  [[nodiscard]] bool ContainsCoords(const Coordinates& c) const;
 
   // "define Remote (s1=float,s2=float) (I,J)" style rendering.
   std::string ToString() const;

@@ -110,8 +110,13 @@ class ByteReader {
   }
   Status GetBytes(void* out, size_t n) {
     if (remaining() < n) return Truncated("bytes");
-    std::memcpy(out, data_ + pos_, n);
-    pos_ += n;
+    // n == 0 must not reach memcpy: an empty buffer's data() may be null,
+    // and memcpy's arguments are declared nonnull (UBSan trips even for
+    // zero-length copies).
+    if (n > 0) {
+      std::memcpy(out, data_ + pos_, n);
+      pos_ += n;
+    }
     return Status::OK();
   }
   Status Skip(size_t n) {

@@ -3,6 +3,7 @@
 
 #include "common/result.h"
 #include "common/status.h"
+#include "common/thread_annotations.h"
 
 // Propagates a non-OK Status to the caller.
 #define RETURN_NOT_OK(expr)                \

@@ -14,8 +14,12 @@ namespace scidb {
 //
 //   Result<Chunk> chunk = store.Read(key);
 //   ASSIGN_OR_RETURN(Chunk c, store.Read(key));
+//
+// [[nodiscard]] at class level: ignoring a Result silently drops both the
+// value and the error; callers must consume it (or explicitly cast to
+// void with a justification comment).
 template <typename T>
-class Result {
+class [[nodiscard]] Result {
  public:
   // Implicit construction from a value or an error status keeps call
   // sites terse (`return value;` / `return Status::Invalid(...)`).
@@ -29,8 +33,8 @@ class Result {
   Result(Result&&) noexcept = default;
   Result& operator=(Result&&) noexcept = default;
 
-  bool ok() const { return value_.has_value(); }
-  const Status& status() const { return status_; }
+  [[nodiscard]] bool ok() const { return value_.has_value(); }
+  [[nodiscard]] const Status& status() const { return status_; }
 
   const T& value() const& {
     SCIDB_CHECK(ok()) << "Result::value() on error: " << status_.ToString();

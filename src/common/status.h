@@ -29,7 +29,11 @@ const char* StatusCodeName(StatusCode code);
 // every fallible operation returns Status (or Result<T>, see result.h).
 // The OK state is represented by a null rep so that passing around OK
 // statuses costs a single pointer.
-class Status {
+//
+// The class-level [[nodiscard]] makes every function returning Status by
+// value warn when the result is ignored; the lint gate (tools/lint.py)
+// compiles a probe with -Werror=unused-result to keep this enforced.
+class [[nodiscard]] Status {
  public:
   Status() = default;  // OK.
   Status(StatusCode code, std::string message);
@@ -68,9 +72,11 @@ class Status {
     return Status(StatusCode::kInternal, std::move(msg));
   }
 
-  bool ok() const { return rep_ == nullptr; }
-  StatusCode code() const { return rep_ ? rep_->code : StatusCode::kOk; }
-  const std::string& message() const;
+  [[nodiscard]] bool ok() const { return rep_ == nullptr; }
+  [[nodiscard]] StatusCode code() const {
+    return rep_ ? rep_->code : StatusCode::kOk;
+  }
+  [[nodiscard]] const std::string& message() const;
 
   bool IsInvalid() const { return code() == StatusCode::kInvalidArgument; }
   bool IsNotFound() const { return code() == StatusCode::kNotFound; }

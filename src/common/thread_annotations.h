@@ -1,0 +1,51 @@
+#ifndef SCIDB_COMMON_THREAD_ANNOTATIONS_H_
+#define SCIDB_COMMON_THREAD_ANNOTATIONS_H_
+
+// Clang thread-safety-analysis attribute macros (compile with
+// -Wthread-safety). Under GCC (which has no such analysis) every macro
+// expands to nothing, so annotated code builds identically everywhere.
+// Usage mirrors Abseil/LLVM: annotate shared state with GUARDED_BY(mu)
+// and the functions that touch it with EXCLUSIVE_LOCKS_REQUIRED(mu) /
+// LOCKS_EXCLUDED(mu); see common/mutex.h for the annotated lock types.
+
+#if defined(__clang__)
+#define SCIDB_THREAD_ANNOTATION(x) __attribute__((x))
+#else
+#define SCIDB_THREAD_ANNOTATION(x)
+#endif
+
+// On data members: readable/writable only while holding capability `x`.
+#define GUARDED_BY(x) SCIDB_THREAD_ANNOTATION(guarded_by(x))
+// On pointer members: the pointee (not the pointer) is protected by `x`.
+#define PT_GUARDED_BY(x) SCIDB_THREAD_ANNOTATION(pt_guarded_by(x))
+
+// On functions: caller must hold the capability exclusively / shared.
+#define EXCLUSIVE_LOCKS_REQUIRED(...) \
+  SCIDB_THREAD_ANNOTATION(exclusive_locks_required(__VA_ARGS__))
+#define SHARED_LOCKS_REQUIRED(...) \
+  SCIDB_THREAD_ANNOTATION(shared_locks_required(__VA_ARGS__))
+// On functions: caller must NOT hold the capability (non-reentrant locks).
+#define LOCKS_EXCLUDED(...) SCIDB_THREAD_ANNOTATION(locks_excluded(__VA_ARGS__))
+
+// On lock types and their members.
+#define CAPABILITY(x) SCIDB_THREAD_ANNOTATION(capability(x))
+#define SCOPED_CAPABILITY SCIDB_THREAD_ANNOTATION(scoped_lockable)
+#define ACQUIRE(...) SCIDB_THREAD_ANNOTATION(acquire_capability(__VA_ARGS__))
+#define TRY_ACQUIRE(...) \
+  SCIDB_THREAD_ANNOTATION(try_acquire_capability(__VA_ARGS__))
+#define RELEASE(...) SCIDB_THREAD_ANNOTATION(release_capability(__VA_ARGS__))
+#define ASSERT_CAPABILITY(x) SCIDB_THREAD_ANNOTATION(assert_capability(x))
+#define RETURN_CAPABILITY(x) SCIDB_THREAD_ANNOTATION(lock_returned(x))
+
+// Lock-ordering documentation.
+#define ACQUIRED_BEFORE(...) \
+  SCIDB_THREAD_ANNOTATION(acquired_before(__VA_ARGS__))
+#define ACQUIRED_AFTER(...) SCIDB_THREAD_ANNOTATION(acquired_after(__VA_ARGS__))
+
+// Escape hatch for code the analysis cannot model (condition-variable
+// wait loops, lock handoff across threads). Use sparingly; justify with
+// a comment at every use site.
+#define NO_THREAD_SAFETY_ANALYSIS \
+  SCIDB_THREAD_ANNOTATION(no_thread_safety_analysis)
+
+#endif  // SCIDB_COMMON_THREAD_ANNOTATIONS_H_

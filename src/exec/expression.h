@@ -181,7 +181,8 @@ ExprPtr Call(std::string fn, std::vector<ExprPtr> args);
 // True when the predicate is a conjunction of conditions each over at most
 // one distinct dimension of `schema` and no attributes — the paper's
 // Subsample restriction ("X = 3 and Y < 4" legal, "X = Y" not).
-bool IsPerDimensionConjunction(const Expr& pred, const ArraySchema& schema);
+[[nodiscard]] bool IsPerDimensionConjunction(const Expr& pred,
+                                             const ArraySchema& schema);
 
 // Conservative per-dimension bounds implied by the predicate within
 // `domain`: simple comparisons against literals tighten bounds; anything

@@ -40,7 +40,7 @@ Result<MemArray> Subsample(const ExecContext& ctx, const MemArray& a,
                            const ExprPtr& pred);
 
 // Exists? [A, 7, 7]
-bool Exists(const MemArray& a, const Coordinates& c);
+[[nodiscard]] bool Exists(const MemArray& a, const Coordinates& c);
 
 // Reshape(G, [X, Z, Y], [U = 1:8, V = 1:3]): relinearizes the array by
 // iterating `dim_order` (first-listed slowest) and refolding into

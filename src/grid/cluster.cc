@@ -53,8 +53,16 @@ Status DistributedArray::SetCell(const Coordinates& c,
                             std::to_string(node));
   }
   RETURN_NOT_OK(shards_[static_cast<size_t>(node)].SetCell(c, values));
-  ++stats_[static_cast<size_t>(node)].cells_stored;
+  {
+    MutexLock lk(stats_mu_);
+    ++stats_[static_cast<size_t>(node)].cells_stored;
+  }
   return Status::OK();
+}
+
+std::vector<NodeStats> DistributedArray::node_stats() const {
+  MutexLock lk(stats_mu_);
+  return stats_;
 }
 
 int64_t DistributedArray::TotalCells() const {
@@ -106,10 +114,13 @@ Result<int64_t> DistributedArray::Repartition(
   if (failed) return st;
   shards_ = std::move(next);
   partitioner_ = std::move(to);
-  stats_.assign(static_cast<size_t>(num_nodes()), NodeStats{});
-  for (int i = 0; i < num_nodes(); ++i) {
-    stats_[static_cast<size_t>(i)].cells_stored =
-        shards_[static_cast<size_t>(i)].CellCount();
+  {
+    MutexLock lk(stats_mu_);
+    stats_.assign(static_cast<size_t>(num_nodes()), NodeStats{});
+    for (int i = 0; i < num_nodes(); ++i) {
+      stats_[static_cast<size_t>(i)].cells_stored =
+          shards_[static_cast<size_t>(i)].CellCount();
+    }
   }
   return bytes_moved;
 }
@@ -120,11 +131,8 @@ Result<MemArray> DistributedArray::ParallelAggregate(
   // Per-node partial aggregation into mergeable state maps on worker
   // threads, then a coordinator merge (AggregateState::Merge). Finalized
   // values cannot be merged (avg of avgs is wrong), hence states travel,
-  // not results.
-  for (int node = 0; node < num_nodes(); ++node) {
-    stats_[static_cast<size_t>(node)].cells_scanned +=
-        shards_[static_cast<size_t>(node)].CellCount();
-  }
+  // not results. Each worker records its own node's scan count under
+  // stats_mu_.
   if (ctx.aggregates == nullptr) {
     return Status::Internal("no aggregate registry");
   }
@@ -147,6 +155,11 @@ Result<MemArray> DistributedArray::ParallelAggregate(
     std::vector<Status> worker_status(static_cast<size_t>(num_nodes()));
     for (int node = 0; node < num_nodes(); ++node) {
       workers.emplace_back([&, node] {
+        {
+          MutexLock lk(stats_mu_);
+          stats_[static_cast<size_t>(node)].cells_scanned +=
+              shards_[static_cast<size_t>(node)].CellCount();
+        }
         auto& groups = node_states[static_cast<size_t>(node)];
         shards_[static_cast<size_t>(node)].ForEachCell(
             [&](const Coordinates& c, const Chunk& chunk, int64_t rank) {

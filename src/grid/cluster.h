@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "array/mem_array.h"
+#include "common/mutex.h"
 #include "common/result.h"
 #include "exec/operators.h"
 #include "grid/partitioner.h"
@@ -36,7 +37,10 @@ class DistributedArray {
   }
   int num_nodes() const { return partitioner_->num_nodes(); }
   const MemArray& shard(int node) const { return shards_[node]; }
-  const std::vector<NodeStats>& node_stats() const { return stats_; }
+  // Snapshot of the per-node counters. Returns a copy: worker threads of
+  // the Parallel* operators update the counters under stats_mu_, so a
+  // reference into stats_ would be a data race waiting for a caller.
+  std::vector<NodeStats> node_stats() const LOCKS_EXCLUDED(stats_mu_);
 
   // Loads every chunk of `source`, stamping the load epoch `time` (drives
   // the adaptive time-split scheme).
@@ -90,7 +94,10 @@ class DistributedArray {
   ArraySchema schema_;
   std::shared_ptr<const Partitioner> partitioner_;
   std::vector<MemArray> shards_;
-  std::vector<NodeStats> stats_;
+  // Per-node accounting; written by the coordinator on load/repartition
+  // and by one worker thread per node during parallel execution.
+  mutable Mutex stats_mu_;
+  std::vector<NodeStats> stats_ GUARDED_BY(stats_mu_);
 };
 
 }  // namespace scidb

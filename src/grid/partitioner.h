@@ -25,7 +25,7 @@ class Partitioner {
   // co-partitioned: joins on the common coordinate system need no data
   // movement (paper: "the co-partitioning of multiple arrays with a
   // common co-ordinate system").
-  virtual bool Equals(const Partitioner& other) const = 0;
+  [[nodiscard]] virtual bool Equals(const Partitioner& other) const = 0;
 };
 
 // Fixed spatial grid: the bounding box is cut into a `tiles[d]` grid per

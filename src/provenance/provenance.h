@@ -105,7 +105,9 @@ class ProvenanceLog {
   Status CacheLineage(int64_t id, const std::vector<Coordinates>& out_cells);
   void DropCache(int64_t id);
   size_t CacheBytes() const;
-  bool IsCached(int64_t id) const { return back_cache_.count(id) > 0; }
+  [[nodiscard]] bool IsCached(int64_t id) const {
+    return back_cache_.count(id) > 0;
+  }
 
   // Re-derivation of a command's output (does not overwrite anything; the
   // caller commits the result as new history / a named version).

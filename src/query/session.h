@@ -56,7 +56,7 @@ class Session {
   // Registers an externally built array instance under its schema name.
   Status RegisterArray(std::shared_ptr<MemArray> array);
   Result<std::shared_ptr<MemArray>> GetArray(const std::string& name) const;
-  bool HasArray(const std::string& name) const;
+  [[nodiscard]] bool HasArray(const std::string& name) const;
   std::vector<std::string> ArrayNames() const;
 
   // ---- execution ----
@@ -84,7 +84,7 @@ class Session {
   // Registers `name` as a new operator usable from AQL and Eval().
   // Built-in operator names cannot be shadowed.
   Status RegisterArrayOp(const std::string& name, UserArrayOp op);
-  bool HasArrayOp(const std::string& name) const;
+  [[nodiscard]] bool HasArrayOp(const std::string& name) const;
 
  private:
   Result<QueryResult> ExecuteQueryNode(const OpNodePtr& node) const;

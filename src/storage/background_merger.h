@@ -3,10 +3,10 @@
 
 #include <atomic>
 #include <chrono>
-#include <condition_variable>
-#include <mutex>
 #include <thread>
+#include <utility>
 
+#include "common/mutex.h"
 #include "storage/storage_manager.h"
 
 namespace scidb {
@@ -16,6 +16,17 @@ namespace scidb {
 // background thread can combine buckets into larger ones as an
 // optimization"). DiskArray is not internally synchronized, so the merger
 // owns an external mutex that foreground readers share via WithLock().
+//
+// Thread-safety discipline (checked by clang -Wthread-safety):
+//   - mu_ guards the DiskArray and all merger state flags. running_ is a
+//     plain bool under mu_ rather than an atomic: the stop signal must be
+//     observed inside the cv wait under the same lock, and an atomic read
+//     outside it would be exactly the unsynchronized-flag pattern TSan
+//     flags.
+//   - Start()/Stop() manage thread_ and must be called from the owning
+//     thread (they are lifecycle operations, like ~BackgroundMerger).
+//   - total_merges_ stays atomic so perf counters never contend with a
+//     merge pass in flight.
 class BackgroundMerger {
  public:
   BackgroundMerger(DiskArray* array, int64_t small_bytes,
@@ -26,53 +37,73 @@ class BackgroundMerger {
   BackgroundMerger(const BackgroundMerger&) = delete;
   BackgroundMerger& operator=(const BackgroundMerger&) = delete;
 
-  void Start() {
-    if (running_.exchange(true)) return;
+  void Start() LOCKS_EXCLUDED(mu_) {
+    {
+      MutexLock lk(mu_);
+      if (running_) return;
+      running_ = true;
+    }
     thread_ = std::thread([this] { Run(); });
   }
 
-  void Stop() {
-    if (!running_.exchange(false)) return;
+  void Stop() LOCKS_EXCLUDED(mu_) {
     {
-      std::lock_guard<std::mutex> lk(mu_);
+      MutexLock lk(mu_);
+      if (!running_) return;
+      running_ = false;
       cv_.notify_all();
     }
     if (thread_.joinable()) thread_.join();
   }
 
   // Runs one merge pass synchronously (also usable without Start()).
-  Result<int> RunOnce() {
-    std::lock_guard<std::mutex> lk(mu_);
+  Result<int> RunOnce() LOCKS_EXCLUDED(mu_) {
+    MutexLock lk(mu_);
     return array_->MergeSmallBuckets(small_bytes_);
   }
 
   int64_t total_merges() const { return total_merges_.load(); }
 
+  // The most recent merge-pass failure, or OK. Background errors must
+  // not vanish: the Run loop cannot return a Status to anyone, so it
+  // parks failures here for the foreground to inspect.
+  Status last_error() const LOCKS_EXCLUDED(mu_) {
+    MutexLock lk(mu_);
+    return last_error_;
+  }
+
   // Foreground access to the array under the merger's lock.
   template <typename Fn>
-  auto WithLock(Fn&& fn) {
-    std::lock_guard<std::mutex> lk(mu_);
+  auto WithLock(Fn&& fn) LOCKS_EXCLUDED(mu_) {
+    MutexLock lk(mu_);
     return fn(array_);
   }
 
  private:
-  void Run() {
-    std::unique_lock<std::mutex> lk(mu_);
-    while (running_.load()) {
-      auto merged = array_->MergeSmallBuckets(small_bytes_);
-      if (merged.ok()) total_merges_ += merged.value();
-      cv_.wait_for(lk, interval_, [this] { return !running_.load(); });
+  void Run() LOCKS_EXCLUDED(mu_) {
+    mu_.lock();
+    while (running_) {
+      Result<int> merged = array_->MergeSmallBuckets(small_bytes_);
+      if (merged.ok()) {
+        total_merges_ += merged.value();
+      } else {
+        last_error_ = merged.status();
+      }
+      cv_.wait_for(mu_, interval_,
+                   [this]() NO_THREAD_SAFETY_ANALYSIS { return !running_; });
     }
+    mu_.unlock();
   }
 
-  DiskArray* array_;
-  int64_t small_bytes_;
-  std::chrono::milliseconds interval_;
-  std::atomic<bool> running_{false};
+  DiskArray* const array_ PT_GUARDED_BY(mu_);
+  const int64_t small_bytes_;
+  const std::chrono::milliseconds interval_;
   std::atomic<int64_t> total_merges_{0};
-  std::thread thread_;
-  std::mutex mu_;
-  std::condition_variable cv_;
+  std::thread thread_;  // owner-thread only (Start/Stop/dtor)
+  mutable Mutex mu_;
+  CondVar cv_;
+  bool running_ GUARDED_BY(mu_) = false;
+  Status last_error_ GUARDED_BY(mu_);
 };
 
 }  // namespace scidb

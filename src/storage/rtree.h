@@ -47,7 +47,7 @@ class RTree {
   // Removes one entry with exactly this box and value; false if absent.
   // (No re-insertion compaction: storage deletes are rare — merge passes —
   // and underfull nodes only cost a little extra fanout.)
-  bool Remove(const Box& box, const T& value) {
+  [[nodiscard]] bool Remove(const Box& box, const T& value) {
     if (root_ == nullptr) return false;
     bool removed = RemoveRec(root_.get(), box, value);
     if (removed) {

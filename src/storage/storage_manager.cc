@@ -5,6 +5,7 @@
 #include <cstdio>
 #include <filesystem>
 #include <fstream>
+#include <iostream>
 
 #include "common/byte_io.h"
 #include "common/macros.h"
@@ -74,7 +75,16 @@ Result<ArraySchema> ReadSchemaFrom(ByteReader* r) {
 DiskArray::~DiskArray() {
   // Persist the manifest on teardown; never for a shell object that failed
   // to open (no schema), which must not leave a stray manifest behind.
-  if (schema_.ndims() > 0) Flush();
+  // Destructors have no error channel, so a failed flush is reported to
+  // stderr instead of silently discarded; callers needing a hard
+  // guarantee call Flush() themselves and check the Status.
+  if (schema_.ndims() > 0) {
+    Status st = Flush();
+    if (!st.ok()) {
+      std::cerr << "WARN DiskArray::~DiskArray flush failed: "
+                << st.ToString() << std::endl;
+    }
+  }
 }
 
 Status DiskArray::AppendPayload(const std::vector<uint8_t>& payload,
@@ -266,8 +276,12 @@ Result<int> DiskArray::MergeSmallBuckets(int64_t small_bytes) {
     }
     uint64_t id_a = first->id;
     uint64_t id_b = second->id;
-    rtree_.Remove(first->box, id_a);
-    rtree_.Remove(second->box, id_b);
+    // A bucket the manifest knows about must be indexed; failure here
+    // means the R-tree and bucket table have diverged (index corruption).
+    SCIDB_CHECK(rtree_.Remove(first->box, id_a))
+        << "bucket " << id_a << " missing from R-tree";
+    SCIDB_CHECK(rtree_.Remove(second->box, id_b))
+        << "bucket " << id_b << " missing from R-tree";
     buckets_.erase(id_a);
     buckets_.erase(id_b);
     if (cache_ != nullptr) {
@@ -396,7 +410,14 @@ StorageManager::StorageManager(std::string dir) : dir_(std::move(dir)) {
   fs::create_directories(dir_, ec);
 }
 
-StorageManager::~StorageManager() { FlushAll(); }
+StorageManager::~StorageManager() {
+  // Same policy as ~DiskArray: report, don't drop.
+  Status st = FlushAll();
+  if (!st.ok()) {
+    std::cerr << "WARN StorageManager::~StorageManager flush failed: "
+              << st.ToString() << std::endl;
+  }
+}
 
 Result<DiskArray*> StorageManager::CreateArray(const ArraySchema& schema,
                                                CodecType codec) {

@@ -56,7 +56,7 @@ struct Uncertain {
 
   // 1-sigma intervals overlap; the executor's notion of "possibly equal",
   // used e.g. by uncertain content joins.
-  bool Overlaps(const Uncertain& b) const {
+  [[nodiscard]] bool Overlaps(const Uncertain& b) const {
     return lower() <= b.upper() && b.lower() <= upper();
   }
 };

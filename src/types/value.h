@@ -78,11 +78,11 @@ class Value {
 
   // Equality is exact (NULL != NULL, mirroring the executor's join
   // semantics where NULL never matches).
-  bool EqualsForJoin(const Value& other) const;
+  [[nodiscard]] bool EqualsForJoin(const Value& other) const;
 
   // Total ordering over non-null values of the same family; used by tests
   // and min/max aggregates. Null sorts first.
-  bool LessThan(const Value& other) const;
+  [[nodiscard]] bool LessThan(const Value& other) const;
 
   std::string ToString() const;
 

@@ -190,21 +190,25 @@ bool AggregateRegistry::Contains(const std::string& name) const {
 }
 
 void AggregateRegistry::RegisterBuiltins() {
-  Register(AggregateFunction(
-      "sum", [] { return std::make_unique<SumState>(); }));
-  Register(AggregateFunction(
+  // A builtin failing to register (duplicate name) is a programming
+  // error, not a runtime condition; crash rather than drop the Status.
+  auto must = [this](AggregateFunction fn) {
+    Status st = Register(std::move(fn));
+    SCIDB_CHECK(st.ok()) << "builtin aggregate: " << st.ToString();
+  };
+  must(AggregateFunction("sum", [] { return std::make_unique<SumState>(); }));
+  must(AggregateFunction(
       "count", [] { return std::make_unique<CountState>(); }));
-  Register(AggregateFunction(
-      "avg", [] { return std::make_unique<AvgState>(); }));
-  Register(AggregateFunction(
+  must(AggregateFunction("avg", [] { return std::make_unique<AvgState>(); }));
+  must(AggregateFunction(
       "min", [] { return std::make_unique<MinMaxState>(true); }));
-  Register(AggregateFunction(
+  must(AggregateFunction(
       "max", [] { return std::make_unique<MinMaxState>(false); }));
-  Register(AggregateFunction(
+  must(AggregateFunction(
       "stddev", [] { return std::make_unique<StddevState>(); }));
-  Register(AggregateFunction(
+  must(AggregateFunction(
       "usum", [] { return std::make_unique<UncertainSumState>(false); }));
-  Register(AggregateFunction(
+  must(AggregateFunction(
       "uavg", [] { return std::make_unique<UncertainSumState>(true); }));
 }
 

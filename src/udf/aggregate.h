@@ -49,7 +49,7 @@ class AggregateRegistry {
 
   Status Register(AggregateFunction fn);
   Result<const AggregateFunction*> Find(const std::string& name) const;
-  bool Contains(const std::string& name) const;
+  [[nodiscard]] bool Contains(const std::string& name) const;
 
  private:
   void RegisterBuiltins();

@@ -66,8 +66,14 @@ Result<std::vector<Value>> OneDouble(const std::vector<Value>& args,
 }  // namespace
 
 void FunctionRegistry::RegisterBuiltins() {
+  // Builtins registering into a fresh registry cannot collide; a failure
+  // here is a programming error, so crash instead of dropping the Status.
+  auto must = [this](UserFunction fn) {
+    Status st = Register(std::move(fn));
+    SCIDB_CHECK(st.ok()) << "builtin function: " << st.ToString();
+  };
   // The paper's Scale10: multiplies each dimension of an array by 10.
-  Register(UserFunction(
+  must(UserFunction(
       "Scale10", {{DataType::kInt64, DataType::kInt64},
                   {DataType::kInt64, DataType::kInt64}},
       [](const std::vector<Value>& args) -> Result<std::vector<Value>> {
@@ -77,37 +83,37 @@ void FunctionRegistry::RegisterBuiltins() {
       }));
 
   // Predicates usable in Subsample (paper: "Subsample(F, even(X))").
-  Register(UserFunction(
+  must(UserFunction(
       "even", {{DataType::kInt64}, {DataType::kBool}},
       [](const std::vector<Value>& args) -> Result<std::vector<Value>> {
         ASSIGN_OR_RETURN(int64_t x, args[0].AsInt64());
         return std::vector<Value>{Value(x % 2 == 0)};
       }));
-  Register(UserFunction(
+  must(UserFunction(
       "odd", {{DataType::kInt64}, {DataType::kBool}},
       [](const std::vector<Value>& args) -> Result<std::vector<Value>> {
         ASSIGN_OR_RETURN(int64_t x, args[0].AsInt64());
         return std::vector<Value>{Value(x % 2 != 0)};
       }));
 
-  Register(UserFunction(
+  must(UserFunction(
       "abs", {{DataType::kInt64}, {DataType::kInt64}},
       [](const std::vector<Value>& args) {
         return OneInt(args, [](int64_t x) { return x < 0 ? -x : x; });
       }));
-  Register(UserFunction("sqrt", {{DataType::kDouble}, {DataType::kDouble}},
+  must(UserFunction("sqrt", {{DataType::kDouble}, {DataType::kDouble}},
                         [](const std::vector<Value>& args) {
                           return OneDouble(args, [](double x) {
                             return std::sqrt(x);
                           });
                         }));
-  Register(UserFunction("log", {{DataType::kDouble}, {DataType::kDouble}},
+  must(UserFunction("log", {{DataType::kDouble}, {DataType::kDouble}},
                         [](const std::vector<Value>& args) {
                           return OneDouble(args, [](double x) {
                             return std::log(x);
                           });
                         }));
-  Register(UserFunction("exp", {{DataType::kDouble}, {DataType::kDouble}},
+  must(UserFunction("exp", {{DataType::kDouble}, {DataType::kDouble}},
                         [](const std::vector<Value>& args) {
                           return OneDouble(args, [](double x) {
                             return std::exp(x);

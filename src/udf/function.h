@@ -58,7 +58,7 @@ class FunctionRegistry {
 
   Status Register(UserFunction fn);
   Result<const UserFunction*> Find(const std::string& name) const;
-  bool Contains(const std::string& name) const;
+  [[nodiscard]] bool Contains(const std::string& name) const;
   std::vector<std::string> Names() const;
 
  private:

@@ -30,7 +30,7 @@ class VersionTree {
   //  invisible to V (V diverged at T).
   Status CreateVersion(const std::string& name, const std::string& parent);
 
-  bool HasVersion(const std::string& name) const;
+  [[nodiscard]] bool HasVersion(const std::string& name) const;
   std::vector<std::string> VersionNames() const;
   // Children of `parent` ("" = base) — the version tree structure.
   std::vector<std::string> ChildrenOf(const std::string& parent) const;

@@ -1,0 +1,303 @@
+#!/usr/bin/env python3
+"""Project lint gate: invariants clang-tidy cannot express.
+
+Checks enforced over src/ (library code only):
+  no-throw        C++ exceptions are banned in library code; fallible
+                  operations return Status/Result<T> (DESIGN.md).
+  no-naked-new    `new` must be immediately owned (unique_ptr/shared_ptr
+                  constructor argument) or be a static leaky singleton;
+                  `delete` expressions are banned outright.
+  status-ladder   Manual `if (!st.ok()) return st;` ladders must use
+                  RETURN_NOT_OK / ASSIGN_OR_RETURN from common/macros.h.
+  include-guard   Header guards are SCIDB_<PATH>_<FILE>_H_.
+
+Plus a compile probe (--probe-compiler): discarding a Status must fail to
+compile under -Werror=unused-result, proving the [[nodiscard]] contract
+holds; a control TU that consumes the Status must succeed.
+
+If clang-tidy is on PATH the repo .clang-tidy config is also run over the
+library sources (skipped with a notice otherwise; --require-clang-tidy
+turns the skip into a failure for CI images that ship clang).
+
+Exit code 0 when clean, 1 when any violation is found. A line containing
+NOLINT is exempt from the regex checks.
+"""
+
+import argparse
+import os
+import re
+import shutil
+import subprocess
+import sys
+import tempfile
+
+# ---------------------------------------------------------------- helpers
+
+
+def strip_comments_and_strings(text):
+    """Blanks out comments and string/char literals, preserving line
+    structure so reported line numbers stay correct."""
+    out = []
+    i, n = 0, len(text)
+    state = "code"  # code | line_comment | block_comment | string | char
+    while i < n:
+        c = text[i]
+        nxt = text[i + 1] if i + 1 < n else ""
+        if state == "code":
+            if c == "/" and nxt == "/":
+                state = "line_comment"
+                out.append("  ")
+                i += 2
+                continue
+            if c == "/" and nxt == "*":
+                state = "block_comment"
+                out.append("  ")
+                i += 2
+                continue
+            if c == '"':
+                state = "string"
+                out.append(" ")
+                i += 1
+                continue
+            if c == "'":
+                state = "char"
+                out.append(" ")
+                i += 1
+                continue
+            out.append(c)
+        elif state == "line_comment":
+            if c == "\n":
+                state = "code"
+                out.append(c)
+            else:
+                out.append(" ")
+        elif state == "block_comment":
+            if c == "*" and nxt == "/":
+                state = "code"
+                out.append("  ")
+                i += 2
+                continue
+            out.append(c if c == "\n" else " ")
+        elif state in ("string", "char"):
+            quote = '"' if state == "string" else "'"
+            if c == "\\":
+                out.append("  ")
+                i += 2
+                continue
+            if c == quote:
+                state = "code"
+            out.append(c if c == "\n" else " ")
+        i += 1
+    return "".join(out)
+
+
+class Linter:
+    def __init__(self, root):
+        self.root = root
+        self.violations = []
+
+    def report(self, path, line, check, msg):
+        rel = os.path.relpath(path, self.root)
+        self.violations.append("%s:%d: [%s] %s" % (rel, line, check, msg))
+
+    # ------------------------------------------------------------ checks
+
+    def check_file(self, path):
+        with open(path, encoding="utf-8") as f:
+            raw = f.read()
+        code = strip_comments_and_strings(raw)
+        raw_lines = raw.splitlines()
+        code_lines = code.splitlines()
+
+        def exempt(lineno):
+            return "NOLINT" in raw_lines[lineno - 1]
+
+        self._check_throw(path, code_lines, exempt)
+        self._check_new_delete(path, code_lines, exempt)
+        self._check_status_ladder(path, code, raw_lines)
+        if path.endswith(".h"):
+            self._check_include_guard(path, raw)
+
+    def _check_throw(self, path, code_lines, exempt):
+        for lineno, line in enumerate(code_lines, 1):
+            if re.search(r"\bthrow\b", line) and not exempt(lineno):
+                self.report(path, lineno, "no-throw",
+                            "library code must not throw; return a Status")
+
+    _NEW_ALLOWED = re.compile(
+        r"(static\s[^=]*=\s*new\b"          # leaky singleton
+        r"|(unique_ptr|shared_ptr)\s*<[^;]*>\s*\(\s*new\b)")  # owned at birth
+
+    def _check_new_delete(self, path, code_lines, exempt):
+        for lineno, line in enumerate(code_lines, 1):
+            if exempt(lineno):
+                continue
+            if re.search(r"\bnew\b", line) and not self._NEW_ALLOWED.search(
+                    line):
+                self.report(
+                    path, lineno, "no-naked-new",
+                    "`new` must be owned at birth (smart-pointer ctor) or "
+                    "a static leaky singleton; use std::make_unique")
+            # `= delete` declarations are fine; delete-expressions are not.
+            stripped = re.sub(r"=\s*delete\b", "", line)
+            if re.search(r"\bdelete\b(\s*\[\s*\])?\s", stripped):
+                self.report(path, lineno, "no-naked-new",
+                            "`delete` expression; memory must be owned by "
+                            "smart pointers")
+
+    _LADDER = re.compile(
+        r"if\s*\(\s*!\s*([A-Za-z_]\w*)\s*\.\s*ok\s*\(\s*\)\s*\)\s*"
+        r"(?:\{\s*)?return\s+\1(\s*\.\s*status\s*\(\s*\))?\s*;")
+
+    def _check_status_ladder(self, path, code, raw_lines):
+        # macros.h defines RETURN_NOT_OK itself in terms of this pattern.
+        if path.endswith(os.path.join("common", "macros.h")):
+            return
+        for m in self._LADDER.finditer(code):
+            lineno = code[:m.start()].count("\n") + 1
+            if "NOLINT" in raw_lines[lineno - 1]:
+                continue
+            fix = ("ASSIGN_OR_RETURN" if m.group(2) else "RETURN_NOT_OK")
+            self.report(path, lineno, "status-ladder",
+                        "manual .ok() ladder; use %s" % fix)
+
+    def _check_include_guard(self, path, raw):
+        rel = os.path.relpath(path, os.path.join(self.root, "src"))
+        expected = "SCIDB_" + re.sub(r"[^A-Za-z0-9]", "_", rel).upper() + "_"
+        m = re.search(r"^#ifndef\s+(\S+)\s*\n#define\s+(\S+)", raw, re.M)
+        if not m:
+            self.report(path, 1, "include-guard",
+                        "missing #ifndef/#define include guard")
+            return
+        if m.group(1) != expected or m.group(2) != expected:
+            self.report(path, 1, "include-guard",
+                        "guard is %s, expected %s" % (m.group(1), expected))
+        if not re.search(r"#endif\s*//\s*" + re.escape(expected), raw):
+            self.report(path, 1, "include-guard",
+                        "closing #endif lacks `// %s` comment" % expected)
+
+
+# --------------------------------------------------- nodiscard compile probe
+
+PROBE_COMMON = """
+#include "common/result.h"
+#include "common/status.h"
+scidb::Status Fallible() { return scidb::Status::Invalid("probe"); }
+scidb::Result<int> FallibleResult() { return scidb::Status::Invalid("p"); }
+"""
+
+PROBE_DISCARD = PROBE_COMMON + """
+int main() {
+  Fallible();          // must warn: discarded Status
+  FallibleResult();    // must warn: discarded Result
+  return 0;
+}
+"""
+
+PROBE_CONSUME = PROBE_COMMON + """
+int main() {
+  scidb::Status st = Fallible();
+  scidb::Result<int> r = FallibleResult();
+  return (st.ok() ? 1 : 0) + (r.ok() ? 1 : 0);
+}
+"""
+
+
+def run_probe(compiler, std, root):
+    """Returns a list of failure strings (empty on success)."""
+    if shutil.which(compiler) is None:
+        return ["--probe-compiler %r not found; pass a C++ compiler on "
+                "PATH or an absolute path" % compiler]
+    failures = []
+    with tempfile.TemporaryDirectory(prefix="scidb_lint_") as tmp:
+        cases = [
+            ("discard", PROBE_DISCARD, False),  # expected to FAIL to compile
+            ("consume", PROBE_CONSUME, True),   # expected to compile
+        ]
+        for name, source, want_success in cases:
+            src = os.path.join(tmp, name + ".cc")
+            with open(src, "w", encoding="utf-8") as f:
+                f.write(source)
+            cmd = [
+                compiler, "-std=" + std, "-fsyntax-only",
+                "-Werror=unused-result",
+                "-I", os.path.join(root, "src"), src,
+            ]
+            proc = subprocess.run(cmd, capture_output=True, text=True)
+            ok = proc.returncode == 0
+            if ok != want_success:
+                if want_success:
+                    failures.append(
+                        "probe '%s': expected to compile but failed:\n%s"
+                        % (name, proc.stderr.strip()))
+                else:
+                    failures.append(
+                        "probe '%s': discarding a Status/Result compiled "
+                        "cleanly under -Werror=unused-result; the "
+                        "[[nodiscard]] contract is broken" % name)
+    return failures
+
+
+# ------------------------------------------------------------- clang-tidy
+
+
+def run_clang_tidy(root, require):
+    tidy = shutil.which("clang-tidy")
+    if tidy is None:
+        msg = "clang-tidy not found on PATH; skipping .clang-tidy checks"
+        if require:
+            return ["--require-clang-tidy set but " + msg]
+        print("NOTE: " + msg)
+        return []
+    sources = []
+    for dirpath, _, files in os.walk(os.path.join(root, "src")):
+        sources += [os.path.join(dirpath, f) for f in files
+                    if f.endswith(".cc")]
+    cmd = [tidy, "--quiet", "--warnings-as-errors=*"] + sorted(sources) + [
+        "--", "-std=c++20", "-I", os.path.join(root, "src")]
+    proc = subprocess.run(cmd, capture_output=True, text=True)
+    if proc.returncode != 0:
+        return ["clang-tidy violations:\n" + proc.stdout.strip()]
+    return []
+
+
+# ------------------------------------------------------------------ main
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("--root", default=os.path.dirname(
+        os.path.dirname(os.path.abspath(__file__))))
+    ap.add_argument("--probe-compiler", default=None,
+                    help="C++ compiler used for the -Werror=unused-result "
+                         "probe (skipped when omitted)")
+    ap.add_argument("--probe-std", default="c++20")
+    ap.add_argument("--require-clang-tidy", action="store_true")
+    args = ap.parse_args()
+
+    root = os.path.abspath(args.root)
+    linter = Linter(root)
+    nfiles = 0
+    for dirpath, dirnames, files in os.walk(os.path.join(root, "src")):
+        dirnames.sort()
+        for name in sorted(files):
+            if name.endswith((".h", ".cc")):
+                linter.check_file(os.path.join(dirpath, name))
+                nfiles += 1
+
+    failures = list(linter.violations)
+    if args.probe_compiler:
+        failures += run_probe(args.probe_compiler, args.probe_std, root)
+    failures += run_clang_tidy(root, args.require_clang_tidy)
+
+    if failures:
+        print("lint: %d problem(s) in %d files:" % (len(failures), nfiles))
+        for f in failures:
+            print("  " + f)
+        return 1
+    print("lint: OK (%d files, %d checks + nodiscard probe)" % (nfiles, 4))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
