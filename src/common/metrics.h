@@ -1,0 +1,195 @@
+#ifndef SCIDB_COMMON_METRICS_H_
+#define SCIDB_COMMON_METRICS_H_
+
+#include <atomic>
+#include <bit>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/mutex.h"
+#include "common/result.h"
+
+namespace scidb {
+
+// Process-wide observability registry (DESIGN.md §7). Every module exports
+// named counters, gauges, and latency histograms through the singleton
+// `Metrics::Instance()`; the AQL `explain analyze` path and
+// tools/metrics_dump read them back as structured snapshots.
+//
+// Naming scheme: `scidb.<module>.<name>`, lower case, dot-separated
+// (e.g. "scidb.storage.cache.hits", "scidb.exec.op.filter").
+//
+// Hot-path contract: registration (the name -> handle lookup) takes a
+// mutex and is expected once per call site (cache the returned pointer,
+// typically in a function-local static). Increments/records on the
+// returned handles are lock-free relaxed atomics, safe from any thread,
+// and become no-ops when the registry is disabled via
+// `Metrics::set_enabled(false)` (one relaxed atomic load + branch).
+
+namespace metrics_internal {
+// Global enable flag, read on every increment. Relaxed is correct: the
+// flag only gates best-effort accounting, never synchronizes data.
+extern std::atomic<bool> g_enabled;
+inline bool Enabled() {
+  return g_enabled.load(std::memory_order_relaxed);
+}
+}  // namespace metrics_internal
+
+// Monotonically increasing event count.
+class Counter {
+ public:
+  void Inc(int64_t n = 1) {
+    if (!metrics_internal::Enabled()) return;
+    value_.fetch_add(n, std::memory_order_relaxed);
+  }
+  int64_t value() const { return value_.load(std::memory_order_relaxed); }
+  void Reset() { value_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<int64_t> value_{0};
+};
+
+// Instantaneous level (cache residency bytes, open arrays, ...).
+class Gauge {
+ public:
+  void Set(int64_t v) {
+    if (!metrics_internal::Enabled()) return;
+    value_.store(v, std::memory_order_relaxed);
+  }
+  void Add(int64_t n) {
+    if (!metrics_internal::Enabled()) return;
+    value_.fetch_add(n, std::memory_order_relaxed);
+  }
+  int64_t value() const { return value_.load(std::memory_order_relaxed); }
+  void Reset() { value_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<int64_t> value_{0};
+};
+
+// Log-linear-bucket histogram for latencies and sizes: each power of two
+// is subdivided into 4 linear sub-buckets (HdrHistogram-style), so the
+// relative bucket width is bounded by 25% at any magnitude while the whole
+// int64 range fits in kNumBuckets fixed slots. Values are non-negative;
+// negative inputs clamp to 0.
+class Histogram {
+ public:
+  static constexpr int kSubBits = 2;                 // 4 sub-buckets/octave
+  static constexpr int kSubCount = 1 << kSubBits;
+  static constexpr int kNumBuckets = (63 - kSubBits) * kSubCount + kSubCount;
+
+  // Bucket index for a value: identity below kSubCount, log-linear above.
+  static int BucketIndex(int64_t v) {
+    if (v < 0) v = 0;
+    if (v < kSubCount) return static_cast<int>(v);
+    int exp = 63 - std::countl_zero(static_cast<uint64_t>(v));
+    int sub = static_cast<int>((v >> (exp - kSubBits)) & (kSubCount - 1));
+    return (exp - kSubBits + 1) * kSubCount + sub;
+  }
+
+  // Smallest value that lands in bucket `i` (inclusive lower bound).
+  static int64_t BucketLowerBound(int i) {
+    if (i < kSubCount) return i;
+    int group = i / kSubCount;
+    int sub = i % kSubCount;
+    int exp = group + kSubBits - 1;
+    return static_cast<int64_t>(kSubCount + sub) << (exp - kSubBits);
+  }
+
+  void Record(int64_t v) {
+    if (!metrics_internal::Enabled()) return;
+    if (v < 0) v = 0;
+    buckets_[BucketIndex(v)].fetch_add(1, std::memory_order_relaxed);
+    count_.fetch_add(1, std::memory_order_relaxed);
+    sum_.fetch_add(v, std::memory_order_relaxed);
+  }
+
+  int64_t count() const { return count_.load(std::memory_order_relaxed); }
+  int64_t sum() const { return sum_.load(std::memory_order_relaxed); }
+  int64_t bucket_count(int i) const {
+    return buckets_[i].load(std::memory_order_relaxed);
+  }
+
+  // Approximate p-th percentile (0..100): the lower bound of the bucket
+  // holding the p-th ranked sample. 0 when empty.
+  int64_t Percentile(double p) const;
+
+  void Reset() {
+    for (auto& b : buckets_) b.store(0, std::memory_order_relaxed);
+    count_.store(0, std::memory_order_relaxed);
+    sum_.store(0, std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<int64_t> buckets_[kNumBuckets] = {};
+  std::atomic<int64_t> count_{0};
+  std::atomic<int64_t> sum_{0};
+};
+
+// Point-in-time copy of every registered metric, detached from the live
+// atomics so it can be serialized, diffed, and shipped across threads.
+struct MetricsSnapshot {
+  enum class Kind { kCounter, kGauge, kHistogram };
+  struct Entry {
+    std::string name;
+    Kind kind = Kind::kCounter;
+    int64_t value = 0;           // counter / gauge
+    int64_t count = 0;           // histogram
+    int64_t sum = 0;             // histogram
+    // Non-empty histogram buckets as {lower_bound, count} pairs.
+    std::vector<std::pair<int64_t, int64_t>> buckets;
+  };
+  std::vector<Entry> entries;
+
+  // nullptr when no metric has that name.
+  const Entry* find(const std::string& name) const;
+};
+
+std::string SnapshotToText(const MetricsSnapshot& snap);
+std::string SnapshotToJson(const MetricsSnapshot& snap);
+// Inverse of SnapshotToJson; Invalid/Corruption on malformed input. Used
+// by tests to prove the JSON export is lossless and by external scrapers.
+Result<MetricsSnapshot> SnapshotFromJson(const std::string& json);
+
+// The process-wide registry. Handles returned by counter()/gauge()/
+// histogram() are owned by the registry and stay valid for the process
+// lifetime (Reset() zeroes values but never invalidates handles).
+class Metrics {
+ public:
+  static Metrics& Instance();
+
+  Counter* counter(const std::string& name) LOCKS_EXCLUDED(mu_);
+  Gauge* gauge(const std::string& name) LOCKS_EXCLUDED(mu_);
+  Histogram* histogram(const std::string& name) LOCKS_EXCLUDED(mu_);
+
+  // Process-wide kill switch for all increments (ablation / overhead
+  // benchmarks). Registration and snapshots still work when disabled.
+  static void set_enabled(bool on) {
+    metrics_internal::g_enabled.store(on, std::memory_order_relaxed);
+  }
+  static bool enabled() { return metrics_internal::Enabled(); }
+
+  MetricsSnapshot Snapshot() const LOCKS_EXCLUDED(mu_);
+  std::string TextSnapshot() const { return SnapshotToText(Snapshot()); }
+  std::string JsonSnapshot() const { return SnapshotToJson(Snapshot()); }
+
+  // Zeroes every value; registrations (and handle pointers) survive.
+  void Reset() LOCKS_EXCLUDED(mu_);
+
+ private:
+  Metrics() = default;
+
+  mutable Mutex mu_;
+  std::map<std::string, std::unique_ptr<Counter>> counters_ GUARDED_BY(mu_);
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_ GUARDED_BY(mu_);
+  std::map<std::string, std::unique_ptr<Histogram>> histograms_
+      GUARDED_BY(mu_);
+};
+
+}  // namespace scidb
+
+#endif  // SCIDB_COMMON_METRICS_H_

@@ -1,0 +1,86 @@
+#ifndef SCIDB_COMMON_TRACE_H_
+#define SCIDB_COMMON_TRACE_H_
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace scidb {
+
+// Per-query tracing (DESIGN.md §7): `explain analyze` executes a query
+// with one TraceNode per operator, each timed by an RAII TraceSpan. The
+// clock source is injectable so tests can assert exact timings; the
+// default is the monotonic steady clock.
+
+// Nanoseconds from an arbitrary epoch, monotone non-decreasing.
+using TraceClock = std::function<uint64_t()>;
+
+// The default clock: std::chrono::steady_clock in nanoseconds.
+uint64_t SteadyNowNs();
+
+// One node of the annotated operator tree. `label` matches the plain
+// `explain` plan line for the same operator so the two outputs are
+// shape-comparable; `notes` carries per-operator measurements (cells
+// visited, chunk-cache hits, ...) in insertion order.
+struct TraceNode {
+  std::string label;
+  uint64_t wall_ns = 0;
+  int64_t out_cells = -1;  // -1 = no array output (e.g. boolean Exists)
+  std::vector<std::pair<std::string, double>> notes;
+  std::vector<std::unique_ptr<TraceNode>> children;
+
+  TraceNode* AddChild() {
+    children.push_back(std::make_unique<TraceNode>());
+    return children.back().get();
+  }
+  void AddNote(std::string key, double value) {
+    notes.push_back({std::move(key), value});
+  }
+  const double* FindNote(const std::string& key) const {
+    for (const auto& [k, v] : notes) {
+      if (k == key) return &v;
+    }
+    return nullptr;
+  }
+};
+
+// The full record of one traced statement: phase timings (parse ->
+// optimize -> execute) plus the per-operator tree.
+struct QueryTrace {
+  std::string statement;
+  uint64_t parse_ns = 0;
+  uint64_t optimize_ns = 0;
+  uint64_t execute_ns = 0;
+  TraceNode root;
+
+  // Renders the annotated tree ("explain analyze" output). When
+  // `analyze` is false only the tree shape (labels + indentation) is
+  // printed — identical to what plain `explain` shows.
+  std::string ToString(bool analyze = true) const;
+};
+
+// RAII span: stamps `node->wall_ns` with the elapsed clock time on
+// destruction. The clock reference must outlive the span.
+class TraceSpan {
+ public:
+  TraceSpan(const TraceClock& clock, TraceNode* node)
+      : clock_(&clock), node_(node), start_((*clock_)()) {}
+  ~TraceSpan() { node_->wall_ns = (*clock_)() - start_; }
+  TraceSpan(const TraceSpan&) = delete;
+  TraceSpan& operator=(const TraceSpan&) = delete;
+
+ private:
+  const TraceClock* clock_;
+  TraceNode* node_;
+  uint64_t start_;
+};
+
+// "1.234 ms" / "56.7 us" / "890 ns" — human-scaled duration.
+std::string FormatDurationNs(uint64_t ns);
+
+}  // namespace scidb
+
+#endif  // SCIDB_COMMON_TRACE_H_

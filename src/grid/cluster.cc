@@ -5,8 +5,30 @@
 #include <thread>
 
 #include "common/macros.h"
+#include "common/metrics.h"
 
 namespace scidb {
+
+namespace {
+
+// Grid-wide scan counters (scidb.grid.*). Bumped once per parallel
+// operator at the coordinator — never per cell inside a worker, so the
+// hot loops stay free of shared atomics.
+struct GridMetrics {
+  Counter* const cells_scanned =
+      Metrics::Instance().counter("scidb.grid.cells_scanned");
+  Counter* const bytes_scanned =
+      Metrics::Instance().counter("scidb.grid.bytes_scanned");
+  Counter* const parallel_ops =
+      Metrics::Instance().counter("scidb.grid.parallel_ops");
+
+  static const GridMetrics& Get() {
+    static auto* const m = new GridMetrics();
+    return *m;
+  }
+};
+
+}  // namespace
 
 DistributedArray::DistributedArray(
     ArraySchema schema, std::shared_ptr<const Partitioner> partitioner)
@@ -62,7 +84,29 @@ Status DistributedArray::SetCell(const Coordinates& c,
 
 std::vector<NodeStats> DistributedArray::node_stats() const {
   MutexLock lk(stats_mu_);
-  return stats_;
+  std::vector<NodeStats> out = stats_;
+  // Byte residency is derived from the shards at snapshot time rather
+  // than maintained incrementally: SetCell can grow a chunk's blocks by
+  // more than the logical cell width, so incremental accounting drifts.
+  for (int i = 0; i < num_nodes(); ++i) {
+    out[static_cast<size_t>(i)].bytes_stored =
+        static_cast<int64_t>(shards_[static_cast<size_t>(i)].ByteSize());
+  }
+  return out;
+}
+
+void DistributedArray::RecordShardScan(int node) {
+  const MemArray& shard = shards_[static_cast<size_t>(node)];
+  int64_t cells = shard.CellCount();
+  int64_t bytes = static_cast<int64_t>(shard.ByteSize());
+  {
+    MutexLock lk(stats_mu_);
+    stats_[static_cast<size_t>(node)].cells_scanned += cells;
+    stats_[static_cast<size_t>(node)].bytes_scanned += bytes;
+  }
+  const GridMetrics& gm = GridMetrics::Get();
+  gm.cells_scanned->Inc(cells);
+  gm.bytes_scanned->Inc(bytes);
 }
 
 int64_t DistributedArray::TotalCells() const {
@@ -78,6 +122,19 @@ double DistributedArray::LoadImbalance() const {
   for (const auto& s : shards_) max_cells = std::max(max_cells, s.CellCount());
   double mean = static_cast<double>(total) / num_nodes();
   return static_cast<double>(max_cells) / mean;
+}
+
+double DistributedArray::LoadImbalanceBytes() const {
+  size_t total = 0;
+  size_t max_bytes = 0;
+  for (const auto& s : shards_) {
+    size_t b = s.ByteSize();
+    total += b;
+    max_bytes = std::max(max_bytes, b);
+  }
+  if (total == 0) return 1.0;
+  double mean = static_cast<double>(total) / num_nodes();
+  return static_cast<double>(max_bytes) / mean;
 }
 
 Result<int64_t> DistributedArray::Repartition(
@@ -136,6 +193,7 @@ Result<MemArray> DistributedArray::ParallelAggregate(
   if (ctx.aggregates == nullptr) {
     return Status::Internal("no aggregate registry");
   }
+  GridMetrics::Get().parallel_ops->Inc();
   ASSIGN_OR_RETURN(const AggregateFunction* afn, ctx.aggregates->Find(agg));
 
   std::vector<size_t> gidx;
@@ -155,11 +213,7 @@ Result<MemArray> DistributedArray::ParallelAggregate(
     std::vector<Status> worker_status(static_cast<size_t>(num_nodes()));
     for (int node = 0; node < num_nodes(); ++node) {
       workers.emplace_back([&, node] {
-        {
-          MutexLock lk(stats_mu_);
-          stats_[static_cast<size_t>(node)].cells_scanned +=
-              shards_[static_cast<size_t>(node)].CellCount();
-        }
+        RecordShardScan(node);
         auto& groups = node_states[static_cast<size_t>(node)];
         shards_[static_cast<size_t>(node)].ForEachCell(
             [&](const Coordinates& c, const Chunk& chunk, int64_t rank) {
@@ -214,12 +268,14 @@ Result<MemArray> DistributedArray::ParallelAggregate(
 
 Result<MemArray> DistributedArray::ParallelSubsample(const ExecContext& ctx,
                                                      const ExprPtr& pred) {
+  GridMetrics::Get().parallel_ops->Inc();
   std::vector<Result<MemArray>> partials(
       static_cast<size_t>(num_nodes()),
       Result<MemArray>(Status::Internal("not run")));
   std::vector<std::thread> workers;
   for (int node = 0; node < num_nodes(); ++node) {
     workers.emplace_back([&, node] {
+      RecordShardScan(node);
       ExecContext local = ctx;
       local.stats = nullptr;
       partials[static_cast<size_t>(node)] =
@@ -290,12 +346,14 @@ Result<MemArray> DistributedArray::ParallelSjoin(
   }
 
   // Node-local joins in parallel.
+  GridMetrics::Get().parallel_ops->Inc();
   std::vector<Result<MemArray>> partials(
       static_cast<size_t>(num_nodes()),
       Result<MemArray>(Status::Internal("not run")));
   std::vector<std::thread> workers;
   for (int node = 0; node < num_nodes(); ++node) {
     workers.emplace_back([&, node] {
+      RecordShardScan(node);
       ExecContext local = ctx;
       local.stats = nullptr;
       partials[static_cast<size_t>(node)] =

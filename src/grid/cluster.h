@@ -15,11 +15,14 @@ namespace scidb {
 
 // Per-node accounting of the simulated shared-nothing grid. The paper
 // reasons about load balance and data movement; these counters are what
-// EXP-PART reports.
+// EXP-PART reports. Byte counts matter independently of cell counts:
+// variable-width attributes make cell-balanced placements byte-skewed,
+// and repartitioning cost is paid in bytes.
 struct NodeStats {
   int64_t cells_stored = 0;
-  int64_t bytes_stored = 0;
+  int64_t bytes_stored = 0;   // shard residency at snapshot time
   int64_t cells_scanned = 0;
+  int64_t bytes_scanned = 0;  // cumulative bytes visited by Parallel* ops
 };
 
 // An array horizontally partitioned across the nodes of a simulated grid
@@ -53,6 +56,10 @@ class DistributedArray {
   // max(node cells) / mean(node cells) — 1.0 is perfect balance. The
   // skew metric EXP-PART reports for fixed vs adaptive schemes.
   double LoadImbalance() const;
+
+  // Same ratio measured in shard bytes instead of cells; diverges from
+  // LoadImbalance() when attribute widths vary across the array.
+  double LoadImbalanceBytes() const;
 
   // Re-partitions in place; returns the bytes that had to move between
   // nodes (cells whose node assignment changed).
@@ -91,6 +98,12 @@ class DistributedArray {
   Result<int64_t> ReplicateBoundaries(int64_t max_position_error);
 
  private:
+  // Accounts one full-shard scan by `node`'s worker: per-node counters
+  // under stats_mu_ plus the process-wide scidb.grid.* counters. Called
+  // once per worker thread, never per cell, so the scan loops stay free
+  // of shared atomics.
+  void RecordShardScan(int node) LOCKS_EXCLUDED(stats_mu_);
+
   ArraySchema schema_;
   std::shared_ptr<const Partitioner> partitioner_;
   std::vector<MemArray> shards_;

@@ -53,9 +53,14 @@ struct Statement {
     kEnhance,  // enhance X with func(args...)          (§2.1)
     kShape,    // shape X with func(args...)            (§2.1)
     kEnhancedRead,  // select X {v1, v2}  — pseudo-coordinate addressing
+    kExplain,  // explain [analyze] <query> — plan / annotated execution
   };
 
   Kind kind = Kind::kQuery;
+
+  // kExplain: true = execute and annotate ("explain analyze"), false =
+  // print the optimized plan shape only.
+  bool explain_analyze = false;
 
   // kDefine: the array type template (dims may be unbounded).
   ArraySchema define_schema;

@@ -42,6 +42,12 @@ class Parser {
       RETURN_NOT_OK(ParseTrace(&stmt));
     } else if (Peek().IsKeyword("enhance") || Peek().IsKeyword("shape")) {
       RETURN_NOT_OK(ParseEnhanceOrShape(&stmt));
+    } else if (Peek().IsKeyword("explain")) {
+      Advance();
+      stmt.kind = Statement::Kind::kExplain;
+      stmt.explain_analyze = AcceptKeyword("analyze");
+      if (Peek().IsKeyword("select")) Advance();
+      ASSIGN_OR_RETURN(stmt.query, ParseOpOrArray());
     } else if (Peek().IsKeyword("store")) {
       Advance();
       stmt.kind = Statement::Kind::kStore;

@@ -1,0 +1,22 @@
+#ifndef SCIDB_QUERY_PLAN_PRINTER_H_
+#define SCIDB_QUERY_PLAN_PRINTER_H_
+
+#include <string>
+
+#include "query/parse_tree.h"
+
+namespace scidb {
+
+// One-line label for an operator-tree node: the operator name plus a
+// bracketed argument summary ("filter [v > 10]", "scan A"). Both the
+// plain `explain` plan and the `explain analyze` trace use this label,
+// which is what makes their tree shapes directly comparable.
+std::string PlanLabel(const OpNode& node);
+
+// Indented rendering of a whole operator tree, one node per line,
+// children indented two spaces under their parent.
+std::string FormatPlan(const OpNode& root);
+
+}  // namespace scidb
+
+#endif  // SCIDB_QUERY_PLAN_PRINTER_H_

@@ -5,10 +5,20 @@
 #include "common/macros.h"
 #include "query/optimizer.h"
 #include "query/parser.h"
+#include "query/plan_printer.h"
+#include "storage/storage_manager.h"
 
 namespace scidb {
 
-Session::Session() = default;
+Session::Session() : clock_(SteadyNowNs) {}
+
+void Session::set_clock(TraceClock clock) {
+  clock_ = clock ? std::move(clock) : TraceClock(SteadyNowNs);
+}
+
+scidb::MetricsSnapshot Session::MetricsSnapshot() const {
+  return Metrics::Instance().Snapshot();
+}
 
 ExecContext Session::MakeContext() const {
   ExecContext ctx;
@@ -86,11 +96,15 @@ std::vector<std::string> Session::ArrayNames() const {
 }
 
 Result<QueryResult> Session::Execute(const std::string& statement) {
-  ASSIGN_OR_RETURN(
-      Statement stmt,
-      ParseStatement(statement,
-                     user_op_names_.empty() ? nullptr : &user_op_names_));
-  return Execute(stmt);
+  // Parse is timed here (the Statement overload never sees the text);
+  // ExecuteExplain picks the measurement up from pending_parse_ns_.
+  uint64_t t0 = clock_();
+  Result<Statement> stmt = ParseStatement(
+      statement, user_op_names_.empty() ? nullptr : &user_op_names_);
+  pending_parse_ns_ = clock_() - t0;
+  pending_statement_ = statement;
+  RETURN_NOT_OK(stmt.status());
+  return Execute(stmt.value());
 }
 
 namespace {
@@ -251,7 +265,40 @@ bool Session::HasArrayOp(const std::string& name) const {
   return user_ops_.count(ToLowerName(name)) > 0;
 }
 
+namespace {
+
+// Query-level metrics (scidb.query.*), registered once.
+struct QueryMetrics {
+  Counter* const statements =
+      Metrics::Instance().counter("scidb.query.statements");
+  Counter* const failures =
+      Metrics::Instance().counter("scidb.query.failures");
+  Histogram* const latency_us =
+      Metrics::Instance().histogram("scidb.query.latency_us");
+
+  static const QueryMetrics& Get() {
+    static auto* const m = new QueryMetrics();
+    return *m;
+  }
+};
+
+}  // namespace
+
 Result<QueryResult> Session::Execute(const Statement& stmt) {
+  const QueryMetrics& qm = QueryMetrics::Get();
+  uint64_t t0 = clock_();
+  Result<QueryResult> result = ExecuteStatement(stmt);
+  qm.latency_us->Record(static_cast<int64_t>((clock_() - t0) / 1000));
+  qm.statements->Inc();
+  if (!result.ok()) qm.failures->Inc();
+  // Parse bookkeeping is one-shot: whatever statement ran, the next
+  // Execute(Statement) from a binding must not inherit this text.
+  pending_parse_ns_ = 0;
+  pending_statement_.clear();
+  return result;
+}
+
+Result<QueryResult> Session::ExecuteStatement(const Statement& stmt) {
   QueryResult result;
   switch (stmt.kind) {
     case Statement::Kind::kDefine:
@@ -344,8 +391,57 @@ Result<QueryResult> Session::Execute(const Statement& stmt) {
       result.message = "stored " + stmt.store_into;
       return result;
     }
+    case Statement::Kind::kExplain:
+      return ExecuteExplain(stmt);
   }
   return Status::Internal("unhandled statement kind");
+}
+
+Result<QueryResult> Session::ExecuteExplain(const Statement& stmt) {
+  if (stmt.query == nullptr) {
+    return Status::Invalid("explain requires a query");
+  }
+  auto trace = std::make_shared<QueryTrace>();
+  trace->statement = pending_statement_;
+  trace->parse_ns = pending_parse_ns_;
+
+  OpNodePtr tree = stmt.query;
+  if (optimize_) {
+    uint64_t t0 = clock_();
+    ASSIGN_OR_RETURN(tree, OptimizeOpTree(tree));
+    trace->optimize_ns = clock_() - t0;
+  }
+
+  QueryResult result;
+  result.kind = QueryResult::Kind::kExplain;
+  if (!stmt.explain_analyze) {
+    // Plain explain: show the optimized plan, execute nothing.
+    result.message = FormatPlan(*tree);
+    return result;
+  }
+
+  trace->root.label = PlanLabel(*tree);
+  uint64_t t0 = clock_();
+  if (tree->op == "exists") {
+    // Top-level boolean probe: trace the input scan, note the verdict.
+    if (tree->inputs.size() != 1 || tree->inputs[0] == nullptr) {
+      return Status::Invalid("Exists takes one array");
+    }
+    TraceSpan span(clock_, &trace->root);
+    TraceNode* child = trace->root.AddChild();
+    child->label = PlanLabel(*tree->inputs[0]);
+    ASSIGN_OR_RETURN(MemArray in, EvalTraced(tree->inputs[0], child));
+    trace->root.AddNote("exists", in.Exists(tree->numbers) ? 1 : 0);
+  } else {
+    // EvalTraced stamps trace->root's span itself.
+    ASSIGN_OR_RETURN(MemArray out, EvalTraced(tree, &trace->root));
+    (void)out;  // explain analyze reports the trace, not the data
+  }
+  trace->execute_ns = clock_() - t0;
+  last_trace_ = trace;
+  result.trace = trace;
+  result.message = trace->ToString(true);
+  return result;
 }
 
 Result<QueryResult> Session::ExecuteQueryNode(const OpNodePtr& node) const {
@@ -401,107 +497,230 @@ Status ExtractDimPairs(
 
 }  // namespace
 
-Result<MemArray> Session::Eval(const OpNodePtr& node) const {
-  if (node == nullptr) return Status::Invalid("null query node");
-  if (node->is_array_ref()) {
-    ASSIGN_OR_RETURN(std::shared_ptr<MemArray> arr, GetArray(node->array));
-    return *arr;  // value copy: operators never mutate catalog arrays
-  }
-  ExecContext ctx = MakeContext();
-  const std::string& op = node->op;
+namespace {
 
-  auto input = [&](size_t i) -> Result<MemArray> {
-    if (i >= node->inputs.size()) {
-      return Status::Invalid(op + ": missing input " + std::to_string(i));
+// Exec-layer metrics (scidb.exec.*). The shared counters live in one
+// registered-once struct; the per-operator counter is looked up by name
+// on each flush — once per operator invocation, never per cell.
+struct ExecMetrics {
+  Counter* const ops = Metrics::Instance().counter("scidb.exec.ops");
+  Counter* const cells_visited =
+      Metrics::Instance().counter("scidb.exec.cells_visited");
+  Counter* const chunks_scanned =
+      Metrics::Instance().counter("scidb.exec.chunks_scanned");
+  Counter* const chunks_pruned =
+      Metrics::Instance().counter("scidb.exec.chunks_pruned");
+  Histogram* const op_latency_us =
+      Metrics::Instance().histogram("scidb.exec.op_latency_us");
+
+  static const ExecMetrics& Get() {
+    static auto* const m = new ExecMetrics();
+    return *m;
+  }
+};
+
+void FlushExecStats(const std::string& op, const ExecStats& stats,
+                    uint64_t wall_ns) {
+  const ExecMetrics& m = ExecMetrics::Get();
+  m.ops->Inc();
+  m.cells_visited->Inc(stats.cells_visited);
+  m.chunks_scanned->Inc(stats.chunks_scanned);
+  m.chunks_pruned->Inc(stats.chunks_pruned);
+  m.op_latency_us->Record(static_cast<int64_t>(wall_ns / 1000));
+  Metrics::Instance().counter("scidb.exec.op." + op)->Inc();
+}
+
+}  // namespace
+
+Result<MemArray> Session::ResolveArrayRef(const OpNode& node,
+                                          TraceNode* tn) const {
+  auto it = arrays_.find(node.array);
+  if (it != arrays_.end()) {
+    return *it->second;  // value copy: operators never mutate catalog arrays
+  }
+  if (storage_ != nullptr) {
+    Result<DiskArray*> da = storage_->OpenArray(node.array);
+    if (da.ok()) {
+      DiskArray* disk = da.value();
+      // Deltas, not totals: the trace reports what THIS scan did to the
+      // cache, not the cache's lifetime history.
+      ChunkCache::Stats before;
+      if (disk->cache() != nullptr) before = disk->cache()->stats();
+      int64_t bytes_read_before = disk->stats().bytes_read;
+      ASSIGN_OR_RETURN(MemArray out, disk->ReadAll());
+      if (tn != nullptr) {
+        tn->AddNote("disk_bytes_read",
+                    static_cast<double>(disk->stats().bytes_read -
+                                        bytes_read_before));
+        if (disk->cache() != nullptr) {
+          const ChunkCache::Stats& after = disk->cache()->stats();
+          double hits = static_cast<double>(after.hits - before.hits);
+          double misses = static_cast<double>(after.misses - before.misses);
+          tn->AddNote("cache_hits", hits);
+          tn->AddNote("cache_misses", misses);
+          if (hits + misses > 0) {
+            tn->AddNote("cache_hit_ratio", hits / (hits + misses));
+          }
+        }
+      }
+      return out;
     }
-    return Eval(node->inputs[i]);
+  }
+  return Status::NotFound("no array named '" + node.array + "'");
+}
+
+Result<MemArray> Session::EvalOp(const OpNode& node,
+                                 std::vector<MemArray>* inputs,
+                                 const ExecContext& ctx) const {
+  const std::string& op = node.op;
+  auto arity = [&](size_t n) -> Status {
+    if (inputs->size() != n) {
+      return Status::Invalid(op + " takes " + std::to_string(n) +
+                             " array input(s), got " +
+                             std::to_string(inputs->size()));
+    }
+    return Status::OK();
   };
 
   if (op == "subsample") {
-    ASSIGN_OR_RETURN(MemArray a, input(0));
-    return Subsample(ctx, a, node->exprs.at(0));
+    RETURN_NOT_OK(arity(1));
+    return Subsample(ctx, (*inputs)[0], node.exprs.at(0));
   }
   if (op == "filter") {
-    ASSIGN_OR_RETURN(MemArray a, input(0));
-    return Filter(ctx, a, node->exprs.at(0));
+    RETURN_NOT_OK(arity(1));
+    return Filter(ctx, (*inputs)[0], node.exprs.at(0));
   }
   if (op == "sjoin") {
-    ASSIGN_OR_RETURN(MemArray a, input(0));
-    ASSIGN_OR_RETURN(MemArray b, input(1));
+    RETURN_NOT_OK(arity(2));
     std::vector<std::pair<std::string, std::string>> pairs;
-    RETURN_NOT_OK(ExtractDimPairs(*node->exprs.at(0), &pairs));
-    return Sjoin(ctx, a, b, pairs);
+    RETURN_NOT_OK(ExtractDimPairs(*node.exprs.at(0), &pairs));
+    return Sjoin(ctx, (*inputs)[0], (*inputs)[1], pairs);
   }
   if (op == "cjoin") {
-    ASSIGN_OR_RETURN(MemArray a, input(0));
-    ASSIGN_OR_RETURN(MemArray b, input(1));
-    return Cjoin(ctx, a, b, node->exprs.at(0));
+    RETURN_NOT_OK(arity(2));
+    return Cjoin(ctx, (*inputs)[0], (*inputs)[1], node.exprs.at(0));
   }
   if (op == "aggregate") {
-    ASSIGN_OR_RETURN(MemArray a, input(0));
-    if (node->aggs.size() > 1) {
+    RETURN_NOT_OK(arity(1));
+    if (node.aggs.size() > 1) {
       std::vector<AggCall> calls;
-      for (const AggSpec& spec : node->aggs) {
+      for (const AggSpec& spec : node.aggs) {
         calls.push_back({spec.agg, spec.attr});
       }
-      return AggregateMulti(ctx, a, node->names, calls);
+      return AggregateMulti(ctx, (*inputs)[0], node.names, calls);
     }
-    return Aggregate(ctx, a, node->names, node->agg.agg, node->agg.attr);
+    return Aggregate(ctx, (*inputs)[0], node.names, node.agg.agg,
+                     node.agg.attr);
   }
   if (op == "apply") {
-    ASSIGN_OR_RETURN(MemArray a, input(0));
-    return Apply(ctx, a, node->names.at(0), DataType::kDouble,
-                 node->exprs.at(0));
+    RETURN_NOT_OK(arity(1));
+    return Apply(ctx, (*inputs)[0], node.names.at(0), DataType::kDouble,
+                 node.exprs.at(0));
   }
   if (op == "project") {
-    ASSIGN_OR_RETURN(MemArray a, input(0));
-    return Project(ctx, a, node->names);
+    RETURN_NOT_OK(arity(1));
+    return Project(ctx, (*inputs)[0], node.names);
   }
   if (op == "reshape") {
-    ASSIGN_OR_RETURN(MemArray a, input(0));
-    return Reshape(ctx, a, node->names, node->dims);
+    RETURN_NOT_OK(arity(1));
+    return Reshape(ctx, (*inputs)[0], node.names, node.dims);
   }
   if (op == "regrid") {
-    ASSIGN_OR_RETURN(MemArray a, input(0));
-    return Regrid(ctx, a, node->numbers, node->agg.agg, node->agg.attr);
+    RETURN_NOT_OK(arity(1));
+    return Regrid(ctx, (*inputs)[0], node.numbers, node.agg.agg,
+                  node.agg.attr);
   }
   if (op == "window") {
-    ASSIGN_OR_RETURN(MemArray a, input(0));
-    return WindowAggregate(ctx, a, node->numbers, node->agg.agg,
-                           node->agg.attr);
+    RETURN_NOT_OK(arity(1));
+    return WindowAggregate(ctx, (*inputs)[0], node.numbers, node.agg.agg,
+                           node.agg.attr);
   }
   if (op == "concat") {
-    ASSIGN_OR_RETURN(MemArray a, input(0));
-    ASSIGN_OR_RETURN(MemArray b, input(1));
-    return Concat(ctx, a, b, node->names.at(0));
+    RETURN_NOT_OK(arity(2));
+    return Concat(ctx, (*inputs)[0], (*inputs)[1], node.names.at(0));
   }
   if (op == "crossproduct") {
-    ASSIGN_OR_RETURN(MemArray a, input(0));
-    ASSIGN_OR_RETURN(MemArray b, input(1));
-    return CrossProduct(ctx, a, b);
+    RETURN_NOT_OK(arity(2));
+    return CrossProduct(ctx, (*inputs)[0], (*inputs)[1]);
   }
   if (op == "adddimension") {
-    ASSIGN_OR_RETURN(MemArray a, input(0));
-    return AddDimension(ctx, a, node->names.at(0));
+    RETURN_NOT_OK(arity(1));
+    return AddDimension(ctx, (*inputs)[0], node.names.at(0));
   }
   if (op == "removedimension") {
-    ASSIGN_OR_RETURN(MemArray a, input(0));
-    return RemoveDimension(ctx, a, node->names.at(0));
+    RETURN_NOT_OK(arity(1));
+    return RemoveDimension(ctx, (*inputs)[0], node.names.at(0));
   }
   if (op == "exists") {
     return Status::Invalid(
         "Exists is a top-level predicate, not an array expression");
   }
   if (auto it = user_ops_.find(op); it != user_ops_.end()) {
-    std::vector<MemArray> inputs;
-    inputs.reserve(node->inputs.size());
-    for (size_t i = 0; i < node->inputs.size(); ++i) {
-      ASSIGN_OR_RETURN(MemArray in, input(i));
-      inputs.push_back(std::move(in));
-    }
-    return it->second(ctx, inputs, node->exprs);
+    return it->second(ctx, *inputs, node.exprs);
   }
   return Status::NotImplemented("unknown operator '" + op + "'");
+}
+
+Result<MemArray> Session::Eval(const OpNodePtr& node) const {
+  if (node == nullptr) return Status::Invalid("null query node");
+  if (node->is_array_ref()) return ResolveArrayRef(*node, nullptr);
+
+  std::vector<MemArray> inputs;
+  inputs.reserve(node->inputs.size());
+  for (const auto& in : node->inputs) {
+    ASSIGN_OR_RETURN(MemArray a, Eval(in));
+    inputs.push_back(std::move(a));
+  }
+
+  ExecContext ctx = MakeContext();
+  ExecStats stats;
+  ctx.stats = &stats;
+  uint64_t t0 = clock_();
+  Result<MemArray> out = EvalOp(*node, &inputs, ctx);
+  FlushExecStats(node->op, stats, clock_() - t0);
+  return out;
+}
+
+Result<MemArray> Session::EvalTraced(const OpNodePtr& node,
+                                     TraceNode* self) const {
+  if (node == nullptr) return Status::Invalid("null query node");
+  TraceSpan span(clock_, self);
+
+  if (node->is_array_ref()) {
+    ASSIGN_OR_RETURN(MemArray out, ResolveArrayRef(*node, self));
+    self->out_cells = out.CellCount();
+    return out;
+  }
+
+  std::vector<MemArray> inputs;
+  inputs.reserve(node->inputs.size());
+  for (const auto& in : node->inputs) {
+    if (in == nullptr) return Status::Invalid("null query node");
+    TraceNode* child = self->AddChild();
+    child->label = PlanLabel(*in);
+    ASSIGN_OR_RETURN(MemArray a, EvalTraced(in, child));
+    inputs.push_back(std::move(a));
+  }
+
+  ExecContext ctx = MakeContext();
+  ExecStats stats;
+  ctx.stats = &stats;
+  uint64_t t0 = clock_();
+  ASSIGN_OR_RETURN(MemArray out, EvalOp(*node, &inputs, ctx));
+  FlushExecStats(node->op, stats, clock_() - t0);
+
+  self->out_cells = out.CellCount();
+  if (stats.cells_visited > 0) {
+    self->AddNote("cells_visited", static_cast<double>(stats.cells_visited));
+  }
+  if (stats.chunks_scanned > 0) {
+    self->AddNote("chunks_scanned",
+                  static_cast<double>(stats.chunks_scanned));
+  }
+  if (stats.chunks_pruned > 0) {
+    self->AddNote("chunks_pruned", static_cast<double>(stats.chunks_pruned));
+  }
+  return out;
 }
 
 // ------------------------------- binding --------------------------------

@@ -9,7 +9,9 @@
 #include <vector>
 
 #include "array/mem_array.h"
+#include "common/metrics.h"
 #include "common/result.h"
+#include "common/trace.h"
 #include "exec/operators.h"
 #include "provenance/provenance.h"
 #include "query/parse_tree.h"
@@ -19,15 +21,21 @@
 
 namespace scidb {
 
+class StorageManager;
+
 // The result of executing one statement.
 struct QueryResult {
-  enum class Kind { kNone, kArray, kBool, kCells, kValues };
+  enum class Kind { kNone, kArray, kBool, kCells, kValues, kExplain };
   Kind kind = Kind::kNone;
   std::shared_ptr<MemArray> array;
   bool boolean = false;
-  std::string message;             // "defined", "created", ...
+  std::string message;             // "defined", "created", ... ; for
+                                   // kExplain: the rendered plan/trace
   std::vector<CellRef> cells;      // trace results (kCells)
   std::vector<Value> values;       // enhanced-read results (kValues)
+  // kExplain with analyze: the structured per-operator trace behind
+  // `message` (null for plain explain).
+  std::shared_ptr<const QueryTrace> trace;
 };
 
 // A user-registered array operation (paper §2.3): receives the evaluated
@@ -70,6 +78,27 @@ class Session {
   void set_optimize(bool on) { optimize_ = on; }
   bool optimize() const { return optimize_; }
 
+  // ---- observability (DESIGN.md §7) ----
+  // Array references not found in the in-memory catalog fall back to this
+  // storage manager (DiskArray::ReadAll through its chunk cache), so
+  // `explain analyze` can report cache hit ratios for stored arrays.
+  // Non-owning; pass nullptr to detach.
+  void AttachStorage(StorageManager* storage) { storage_ = storage; }
+
+  // Injectable trace clock (nanoseconds, monotone). Tests install a fake
+  // to make `explain analyze` timings deterministic; null restores the
+  // steady clock.
+  void set_clock(TraceClock clock);
+
+  // The trace of the most recent `explain analyze`, or null.
+  std::shared_ptr<const QueryTrace> last_trace() const {
+    return last_trace_;
+  }
+
+  // Snapshot of the process-wide metrics registry (counters, gauges,
+  // histograms) — the programmatic face of tools/metrics_dump.
+  scidb::MetricsSnapshot MetricsSnapshot() const;
+
   // ---- §2.1 enhancements / shapes on catalog arrays ----
   // The enhanced wrapper for a catalog array (created on first use).
   Result<EnhancedArray*> Enhanced(const std::string& array_name);
@@ -88,6 +117,23 @@ class Session {
 
  private:
   Result<QueryResult> ExecuteQueryNode(const OpNodePtr& node) const;
+  Result<QueryResult> ExecuteStatement(const Statement& stmt);
+  Result<QueryResult> ExecuteExplain(const Statement& stmt);
+
+  // Resolves an array reference: in-memory catalog first, then the
+  // attached storage manager. When `tn` is non-null the scan is traced
+  // (cells out, chunk-cache delta for storage-backed reads).
+  Result<MemArray> ResolveArrayRef(const OpNode& node, TraceNode* tn) const;
+
+  // Applies one operator to its already-evaluated inputs — the single
+  // dispatch shared by the untraced Eval() path and EvalTraced().
+  Result<MemArray> EvalOp(const OpNode& node, std::vector<MemArray>* inputs,
+                          const ExecContext& ctx) const;
+
+  // Traced evaluation: fills `self` (labeled by the caller) with wall
+  // time, output cells, and per-operator ExecStats, recursing into child
+  // TraceNodes; also flushes the stats to the scidb.exec.* metrics.
+  Result<MemArray> EvalTraced(const OpNodePtr& node, TraceNode* self) const;
 
   FunctionRegistry functions_;
   AggregateRegistry aggregates_;
@@ -98,6 +144,13 @@ class Session {
   std::set<std::string> user_op_names_;  // lowercase, for the parser
   bool optimize_ = true;
   const ProvenanceLog* provenance_ = nullptr;
+  StorageManager* storage_ = nullptr;
+  TraceClock clock_;  // never null (ctor installs SteadyNowNs)
+  std::shared_ptr<const QueryTrace> last_trace_;
+  // Parse timing + statement text carried from Execute(string) into the
+  // Statement overload, so explain traces can report the parse phase.
+  uint64_t pending_parse_ns_ = 0;
+  std::string pending_statement_;
 };
 
 // ------------------- fluent C++ binding (paper §2.4) -------------------

@@ -6,7 +6,9 @@
 #include <thread>
 #include <utility>
 
+#include "common/metrics.h"
 #include "common/mutex.h"
+#include "common/trace.h"
 #include "storage/storage_manager.h"
 
 namespace scidb {
@@ -59,7 +61,7 @@ class BackgroundMerger {
   // Runs one merge pass synchronously (also usable without Start()).
   Result<int> RunOnce() LOCKS_EXCLUDED(mu_) {
     MutexLock lk(mu_);
-    return array_->MergeSmallBuckets(small_bytes_);
+    return TimedMergePass();
   }
 
   int64_t total_merges() const { return total_merges_.load(); }
@@ -80,10 +82,35 @@ class BackgroundMerger {
   }
 
  private:
+  // One MergeSmallBuckets pass with observability: pass latency lands in
+  // the scidb.storage.merge.latency_us histogram, merged-pair counts in
+  // scidb.storage.merge.merges, and the post-pass bucket count in the
+  // scidb.storage.merge.bucket_count gauge (the "delta-chain length" of
+  // the bucket table — how fragmented the array currently is).
+  Result<int> TimedMergePass() EXCLUSIVE_LOCKS_REQUIRED(mu_) {
+    static auto* const latency_us =
+        Metrics::Instance().histogram("scidb.storage.merge.latency_us");
+    static auto* const passes =
+        Metrics::Instance().counter("scidb.storage.merge.passes");
+    static auto* const merges =
+        Metrics::Instance().counter("scidb.storage.merge.merges");
+    static auto* const bucket_count =
+        Metrics::Instance().gauge("scidb.storage.merge.bucket_count");
+    uint64_t t0 = SteadyNowNs();
+    Result<int> merged = array_->MergeSmallBuckets(small_bytes_);
+    latency_us->Record(static_cast<int64_t>((SteadyNowNs() - t0) / 1000));
+    passes->Inc();
+    if (merged.ok()) {
+      merges->Inc(merged.value());
+      bucket_count->Set(static_cast<int64_t>(array_->bucket_count()));
+    }
+    return merged;
+  }
+
   void Run() LOCKS_EXCLUDED(mu_) {
     mu_.lock();
     while (running_) {
-      Result<int> merged = array_->MergeSmallBuckets(small_bytes_);
+      Result<int> merged = TimedMergePass();
       if (merged.ok()) {
         total_merges_ += merged.value();
       } else {

@@ -1,12 +1,14 @@
 #ifndef SCIDB_STORAGE_CHUNK_CACHE_H_
 #define SCIDB_STORAGE_CHUNK_CACHE_H_
 
+#include <cassert>
 #include <cstdint>
 #include <list>
 #include <map>
 #include <memory>
 
 #include "array/chunk.h"
+#include "common/metrics.h"
 
 namespace scidb {
 
@@ -15,18 +17,37 @@ namespace scidb {
 // the disk seek and the decompress+deserialize work. Byte-budgeted:
 // inserting past the budget evicts least-recently-used entries (a bucket
 // larger than the whole budget is simply not cached).
+//
+// Not internally synchronized (callers serialize access, e.g. via
+// BackgroundMerger::WithLock); the process-wide metrics it exports are
+// atomic and safe regardless.
 class ChunkCache {
  public:
   struct Stats {
     int64_t hits = 0;
     int64_t misses = 0;
     int64_t evictions = 0;
-    int64_t bytes = 0;  // current residency
+    size_t bytes = 0;  // current residency; never underflows (asserted)
+
+    // Fraction of lookups served from the cache; 0 when no lookups yet.
+    double hit_ratio() const {
+      int64_t lookups = hits + misses;
+      return lookups > 0
+                 ? static_cast<double>(hits) / static_cast<double>(lookups)
+                 : 0.0;
+    }
   };
 
-  explicit ChunkCache(size_t byte_budget) : budget_(byte_budget) {}
+  explicit ChunkCache(size_t byte_budget)
+      : budget_(byte_budget),
+        m_hits_(Metrics::Instance().counter("scidb.storage.cache.hits")),
+        m_misses_(Metrics::Instance().counter("scidb.storage.cache.misses")),
+        m_evictions_(
+            Metrics::Instance().counter("scidb.storage.cache.evictions")),
+        m_bytes_(Metrics::Instance().gauge("scidb.storage.cache.bytes")) {}
   ChunkCache(const ChunkCache&) = delete;
   ChunkCache& operator=(const ChunkCache&) = delete;
+  ~ChunkCache() { m_bytes_->Add(-static_cast<int64_t>(stats_.bytes)); }
 
   size_t budget() const { return budget_; }
   size_t size() const { return entries_.size(); }
@@ -37,9 +58,11 @@ class ChunkCache {
     auto it = entries_.find(id);
     if (it == entries_.end()) {
       ++stats_.misses;
+      m_misses_->Inc();
       return nullptr;
     }
     ++stats_.hits;
+    m_hits_->Inc();
     // Move to MRU position.
     lru_.splice(lru_.begin(), lru_, it->second.lru_pos);
     return it->second.chunk;
@@ -50,29 +73,30 @@ class ChunkCache {
     if (bytes > budget_) return;  // would evict everything for one entry
     auto it = entries_.find(id);
     if (it != entries_.end()) {
-      stats_.bytes -= static_cast<int64_t>(it->second.bytes);
+      RemoveBytes(it->second.bytes);
       lru_.erase(it->second.lru_pos);
       entries_.erase(it);
     }
-    while (static_cast<size_t>(stats_.bytes) + bytes > budget_ &&
-           !lru_.empty()) {
+    while (stats_.bytes + bytes > budget_ && !lru_.empty()) {
       EvictLru();
     }
     lru_.push_front(id);
     entries_.emplace(id, Entry{std::move(chunk), bytes, lru_.begin()});
-    stats_.bytes += static_cast<int64_t>(bytes);
+    stats_.bytes += bytes;
+    m_bytes_->Add(static_cast<int64_t>(bytes));
   }
 
   // Drops one entry (bucket rewritten or deleted by a merge pass).
   void Invalidate(uint64_t id) {
     auto it = entries_.find(id);
     if (it == entries_.end()) return;
-    stats_.bytes -= static_cast<int64_t>(it->second.bytes);
+    RemoveBytes(it->second.bytes);
     lru_.erase(it->second.lru_pos);
     entries_.erase(it);
   }
 
   void Clear() {
+    m_bytes_->Add(-static_cast<int64_t>(stats_.bytes));
     entries_.clear();
     lru_.clear();
     stats_.bytes = 0;
@@ -85,19 +109,34 @@ class ChunkCache {
     std::list<uint64_t>::iterator lru_pos;
   };
 
+  // All residency decrements funnel through here: the assert (active in
+  // the Debug/ASan presets) proves the unsigned accounting can never
+  // underflow — an entry's recorded size is always <= total residency.
+  void RemoveBytes(size_t bytes) {
+    assert(stats_.bytes >= bytes && "chunk cache byte accounting underflow");
+    stats_.bytes -= bytes;
+    m_bytes_->Add(-static_cast<int64_t>(bytes));
+  }
+
   void EvictLru() {
     uint64_t victim = lru_.back();
     lru_.pop_back();
     auto it = entries_.find(victim);
-    stats_.bytes -= static_cast<int64_t>(it->second.bytes);
+    RemoveBytes(it->second.bytes);
     entries_.erase(it);
     ++stats_.evictions;
+    m_evictions_->Inc();
   }
 
   size_t budget_;
   std::map<uint64_t, Entry> entries_;
   std::list<uint64_t> lru_;  // front = MRU
   Stats stats_;
+  // Process-wide counters, owned by the registry (see common/metrics.h).
+  Counter* const m_hits_;
+  Counter* const m_misses_;
+  Counter* const m_evictions_;
+  Gauge* const m_bytes_;
 };
 
 }  // namespace scidb

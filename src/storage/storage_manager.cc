@@ -9,6 +9,8 @@
 
 #include "common/byte_io.h"
 #include "common/macros.h"
+#include "common/metrics.h"
+#include "common/trace.h"
 #include "storage/chunk_serde.h"
 
 namespace scidb {
@@ -18,6 +20,29 @@ namespace fs = std::filesystem;
 namespace {
 
 constexpr uint32_t kManifestMagic = 0x53434D46;  // "SCMF"
+
+// Process-wide storage metrics (naming per DESIGN.md §7), registered once.
+struct StorageMetrics {
+  Counter* buckets_written;
+  Counter* buckets_read;
+  Counter* bytes_written;
+  Counter* bytes_read;
+  Counter* bytes_logical;
+  Histogram* bucket_read_latency_us;
+
+  static const StorageMetrics& Get() {
+    static auto* const m = new StorageMetrics{
+        Metrics::Instance().counter("scidb.storage.buckets_written"),
+        Metrics::Instance().counter("scidb.storage.buckets_read"),
+        Metrics::Instance().counter("scidb.storage.bytes_written"),
+        Metrics::Instance().counter("scidb.storage.bytes_read"),
+        Metrics::Instance().counter("scidb.storage.bytes_logical"),
+        Metrics::Instance().histogram(
+            "scidb.storage.bucket_read_latency_us"),
+    };
+    return *m;
+  }
+};
 
 void WriteSchemaTo(ByteWriter* w, const ArraySchema& s) {
   w->PutString(s.name());
@@ -118,6 +143,10 @@ Status DiskArray::WriteBucket(const Chunk& chunk) {
   ++stats_.buckets_written;
   stats_.bytes_written += static_cast<int64_t>(payload.size());
   stats_.bytes_logical += static_cast<int64_t>(raw.size());
+  const StorageMetrics& m = StorageMetrics::Get();
+  m.buckets_written->Inc();
+  m.bytes_written->Inc(static_cast<int64_t>(payload.size()));
+  m.bytes_logical->Inc(static_cast<int64_t>(raw.size()));
   return Status::OK();
 }
 
@@ -145,6 +174,7 @@ Result<std::shared_ptr<const Chunk>> DiskArray::ReadBucket(
   if (cache_ != nullptr) {
     if (auto hit = cache_->Get(meta.id); hit != nullptr) return hit;
   }
+  uint64_t t0 = SteadyNowNs();
   std::ifstream f(data_path_, std::ios::binary);
   if (!f) return Status::IOError("cannot open " + data_path_);
   f.seekg(static_cast<std::streamoff>(meta.offset));
@@ -154,6 +184,11 @@ Result<std::shared_ptr<const Chunk>> DiskArray::ReadBucket(
   if (!f) return Status::IOError("short read from " + data_path_);
   ++stats_.buckets_read;
   stats_.bytes_read += static_cast<int64_t>(meta.size);
+  const StorageMetrics& m = StorageMetrics::Get();
+  m.buckets_read->Inc();
+  m.bytes_read->Inc(static_cast<int64_t>(meta.size));
+  m.bucket_read_latency_us->Record(
+      static_cast<int64_t>((SteadyNowNs() - t0) / 1000));
   ASSIGN_OR_RETURN(std::vector<uint8_t> raw, Decompress(payload));
   ASSIGN_OR_RETURN(Chunk chunk, DeserializeChunk(raw, schema_.attrs()));
   auto shared = std::make_shared<const Chunk>(std::move(chunk));

@@ -32,6 +32,17 @@ TEST(ChunkCacheTest, HitAndMiss) {
   EXPECT_EQ(cache.stats().hits, 1);
 }
 
+TEST(ChunkCacheTest, HitRatio) {
+  ChunkCache cache(1 << 20);
+  EXPECT_EQ(cache.stats().hit_ratio(), 0.0);  // no lookups yet
+  cache.Put(1, MakeChunk(1, 8, 1.0));
+  EXPECT_NE(cache.Get(1), nullptr);
+  EXPECT_NE(cache.Get(1), nullptr);
+  EXPECT_NE(cache.Get(1), nullptr);
+  EXPECT_EQ(cache.Get(99), nullptr);
+  EXPECT_DOUBLE_EQ(cache.stats().hit_ratio(), 0.75);
+}
+
 TEST(ChunkCacheTest, EvictsLeastRecentlyUsed) {
   auto one = MakeChunk(1, 64, 1.0);
   size_t each = one->ByteSize();

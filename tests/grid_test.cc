@@ -97,6 +97,40 @@ TEST(DistributedArrayTest, LoadPartitionsCells) {
   }
 }
 
+TEST(DistributedArrayTest, NodeStatsReportBytes) {
+  auto p = std::make_shared<FixedGridPartitioner>(Box({1, 1}, {64, 64}),
+                                                  std::vector<int64_t>{2, 2});
+  DistributedArray d(Sky(), p);
+  MemArray src = UniformSky(64, 8, 1);
+  ASSERT_TRUE(d.Load(src, 0).ok());
+
+  // Byte skew is measurable, not just cell skew: each node's stats carry
+  // its shard's byte residency, matching the shard itself.
+  std::vector<NodeStats> stats = d.node_stats();
+  ASSERT_EQ(stats.size(), 4u);
+  int64_t total_bytes = 0;
+  for (int node = 0; node < 4; ++node) {
+    EXPECT_EQ(stats[node].bytes_stored,
+              static_cast<int64_t>(d.shard(node).ByteSize()));
+    EXPECT_GT(stats[node].bytes_stored, 0);
+    total_bytes += stats[node].bytes_stored;
+  }
+  EXPECT_GT(total_bytes, d.TotalCells());  // > 1 byte per cell
+  // Uniform data, uniform widths: byte balance tracks cell balance.
+  EXPECT_NEAR(d.LoadImbalanceBytes(), 1.0, 0.01);
+
+  // Parallel scans account their traffic in bytes per node.
+  FunctionRegistry fns;
+  AggregateRegistry aggs;
+  ExecContext ctx{&fns, &aggs, true, nullptr};
+  ASSERT_TRUE(d.ParallelAggregate(ctx, {}, "sum", "flux").ok());
+  stats = d.node_stats();
+  for (int node = 0; node < 4; ++node) {
+    EXPECT_EQ(stats[node].bytes_scanned, stats[node].bytes_stored);
+    EXPECT_EQ(stats[node].cells_scanned, d.shard(node).CellCount());
+  }
+}
+
 TEST(DistributedArrayTest, SkewedDataUnbalancesFixedGrid) {
   // El Nino-style skew: all the interesting cells in one corner.
   auto p = std::make_shared<FixedGridPartitioner>(Box({1, 1}, {64, 64}),

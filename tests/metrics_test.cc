@@ -1,0 +1,236 @@
+#include "common/metrics.h"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+#include "common/trace.h"
+
+namespace scidb {
+namespace {
+
+TEST(MetricsTest, RegistrationReturnsSamePointer) {
+  Counter* a = Metrics::Instance().counter("scidb.test.same_pointer");
+  Counter* b = Metrics::Instance().counter("scidb.test.same_pointer");
+  EXPECT_EQ(a, b);
+  Gauge* g1 = Metrics::Instance().gauge("scidb.test.same_gauge");
+  Gauge* g2 = Metrics::Instance().gauge("scidb.test.same_gauge");
+  EXPECT_EQ(g1, g2);
+  Histogram* h1 = Metrics::Instance().histogram("scidb.test.same_hist");
+  Histogram* h2 = Metrics::Instance().histogram("scidb.test.same_hist");
+  EXPECT_EQ(h1, h2);
+}
+
+// The hot-path contract: increments from many threads race-free (this is
+// the test the CI observability job runs under TSan) and nothing is lost.
+TEST(MetricsTest, ConcurrentIncrementsAreExact) {
+  Counter* c = Metrics::Instance().counter("scidb.test.concurrent");
+  Gauge* g = Metrics::Instance().gauge("scidb.test.concurrent_gauge");
+  Histogram* h = Metrics::Instance().histogram("scidb.test.concurrent_hist");
+  c->Reset();
+  g->Reset();
+  h->Reset();
+
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 10000;
+  std::vector<std::thread> workers;
+  for (int t = 0; t < kThreads; ++t) {
+    workers.emplace_back([&, t] {
+      for (int i = 0; i < kPerThread; ++i) {
+        c->Inc();
+        g->Add(t % 2 == 0 ? 1 : -1);
+        h->Record(i);
+      }
+    });
+  }
+  for (auto& w : workers) w.join();
+
+  EXPECT_EQ(c->value(), int64_t{kThreads} * kPerThread);
+  EXPECT_EQ(g->value(), 0);  // half the threads add, half subtract
+  EXPECT_EQ(h->count(), int64_t{kThreads} * kPerThread);
+  // Every thread records 0..kPerThread-1: sum = T * n(n-1)/2.
+  EXPECT_EQ(h->sum(),
+            int64_t{kThreads} * kPerThread * (kPerThread - 1) / 2);
+}
+
+// Concurrent registration against concurrent incrementing: the registry
+// mutex and the atomic hot path must compose without a race.
+TEST(MetricsTest, ConcurrentRegistrationIsSafe) {
+  constexpr int kThreads = 8;
+  std::vector<std::thread> workers;
+  for (int t = 0; t < kThreads; ++t) {
+    workers.emplace_back([t] {
+      for (int i = 0; i < 200; ++i) {
+        Metrics::Instance()
+            .counter("scidb.test.reg." + std::to_string(i % 10))
+            ->Inc();
+        if (t == 0) (void)Metrics::Instance().Snapshot();
+      }
+    });
+  }
+  for (auto& w : workers) w.join();
+  const MetricsSnapshot snap = Metrics::Instance().Snapshot();
+  const MetricsSnapshot::Entry* e = snap.find("scidb.test.reg.0");
+  ASSERT_NE(e, nullptr);
+  EXPECT_GE(e->value, kThreads * 20);
+}
+
+TEST(MetricsTest, HistogramBucketBoundaries) {
+  // Identity region: values below kSubCount map to their own bucket.
+  for (int64_t v = 0; v < Histogram::kSubCount; ++v) {
+    EXPECT_EQ(Histogram::BucketIndex(v), v);
+    EXPECT_EQ(Histogram::BucketLowerBound(static_cast<int>(v)), v);
+  }
+  // Log-linear region: every bucket's lower bound maps back to itself,
+  // and the value just below it maps to the previous bucket.
+  for (int i = Histogram::kSubCount; i < Histogram::kNumBuckets; ++i) {
+    int64_t low = Histogram::BucketLowerBound(i);
+    EXPECT_EQ(Histogram::BucketIndex(low), i) << "lower bound of " << i;
+    EXPECT_EQ(Histogram::BucketIndex(low - 1), i - 1)
+        << "value below bucket " << i;
+  }
+  // Spot checks: 4 sub-buckets per octave => width 1 at [4,8), 2 at [8,16).
+  EXPECT_EQ(Histogram::BucketIndex(4), 4);
+  EXPECT_EQ(Histogram::BucketIndex(7), 7);
+  EXPECT_EQ(Histogram::BucketIndex(8), 8);
+  EXPECT_EQ(Histogram::BucketIndex(9), 8);
+  EXPECT_EQ(Histogram::BucketIndex(10), 9);
+  // Negative values clamp into bucket 0.
+  EXPECT_EQ(Histogram::BucketIndex(-5), 0);
+  // The extremes stay in range.
+  EXPECT_LT(Histogram::BucketIndex(INT64_MAX), Histogram::kNumBuckets);
+}
+
+TEST(MetricsTest, HistogramPercentile) {
+  Histogram* h = Metrics::Instance().histogram("scidb.test.pct");
+  h->Reset();
+  EXPECT_EQ(h->Percentile(50), 0);  // empty
+  for (int64_t v = 1; v <= 100; ++v) h->Record(v);
+  // Bucketed estimate: the p50 of 1..100 lands in the bucket holding 50.
+  int64_t p50 = h->Percentile(50);
+  EXPECT_GE(p50, 32);
+  EXPECT_LE(p50, 56);
+  EXPECT_LE(h->Percentile(10), h->Percentile(90));
+}
+
+TEST(MetricsTest, DisabledModeDropsIncrements) {
+  Counter* c = Metrics::Instance().counter("scidb.test.disabled");
+  c->Reset();
+  Metrics::set_enabled(false);
+  c->Inc(42);
+  EXPECT_FALSE(Metrics::enabled());
+  Metrics::set_enabled(true);
+  EXPECT_EQ(c->value(), 0);
+  c->Inc(42);
+  EXPECT_EQ(c->value(), 42);
+}
+
+TEST(MetricsTest, SnapshotJsonRoundTrip) {
+  Counter* c = Metrics::Instance().counter("scidb.test.json.counter");
+  Gauge* g = Metrics::Instance().gauge("scidb.test.json.gauge");
+  Histogram* h = Metrics::Instance().histogram("scidb.test.json.hist");
+  c->Reset();
+  g->Reset();
+  h->Reset();
+  c->Inc(7);
+  g->Set(-3);
+  h->Record(1);
+  h->Record(100);
+  h->Record(100000);
+
+  const MetricsSnapshot snap = Metrics::Instance().Snapshot();
+  const std::string json = SnapshotToJson(snap);
+  Result<MetricsSnapshot> back = SnapshotFromJson(json);
+  ASSERT_TRUE(back.ok()) << back.status().ToString();
+
+  ASSERT_EQ(back.value().entries.size(), snap.entries.size());
+  for (size_t i = 0; i < snap.entries.size(); ++i) {
+    const auto& a = snap.entries[i];
+    const auto& b = back.value().entries[i];
+    EXPECT_EQ(a.name, b.name);
+    EXPECT_EQ(a.kind, b.kind);
+    EXPECT_EQ(a.value, b.value);
+    EXPECT_EQ(a.count, b.count);
+    EXPECT_EQ(a.sum, b.sum);
+    EXPECT_EQ(a.buckets, b.buckets);
+  }
+
+  const MetricsSnapshot::Entry* hist =
+      back.value().find("scidb.test.json.hist");
+  ASSERT_NE(hist, nullptr);
+  EXPECT_EQ(hist->kind, MetricsSnapshot::Kind::kHistogram);
+  EXPECT_EQ(hist->count, 3);
+  EXPECT_EQ(hist->sum, 100101);
+  EXPECT_EQ(hist->buckets.size(), 3u);  // three distinct buckets
+}
+
+TEST(MetricsTest, SnapshotJsonRejectsMalformedInput) {
+  EXPECT_FALSE(SnapshotFromJson("").ok());
+  EXPECT_FALSE(SnapshotFromJson("{}").ok());
+  EXPECT_FALSE(SnapshotFromJson("{\"metrics\":[").ok());
+  EXPECT_FALSE(SnapshotFromJson(
+                   "{\"metrics\":[{\"kind\":\"counter\",\"value\":1}]}")
+                   .ok());  // entry without a name
+  EXPECT_FALSE(SnapshotFromJson("{\"metrics\":[]}garbage").ok());
+  EXPECT_TRUE(SnapshotFromJson("{\"metrics\":[]}").ok());
+}
+
+TEST(MetricsTest, TextSnapshotListsEveryKind) {
+  Metrics::Instance().counter("scidb.test.text.counter")->Inc(5);
+  Metrics::Instance().gauge("scidb.test.text.gauge")->Set(9);
+  Metrics::Instance().histogram("scidb.test.text.hist")->Record(3);
+  const std::string text = Metrics::Instance().TextSnapshot();
+  EXPECT_NE(text.find("scidb.test.text.counter counter"), std::string::npos);
+  EXPECT_NE(text.find("scidb.test.text.gauge gauge 9"), std::string::npos);
+  EXPECT_NE(text.find("scidb.test.text.hist histogram"), std::string::npos);
+}
+
+TEST(TraceTest, SpanMeasuresWithInjectedClock) {
+  uint64_t now = 1000;
+  TraceClock clock = [&now]() { return now; };
+  TraceNode node;
+  {
+    TraceSpan span(clock, &node);
+    now += 250;
+  }
+  EXPECT_EQ(node.wall_ns, 250u);
+}
+
+TEST(TraceTest, NodeNotesAndRendering) {
+  QueryTrace trace;
+  trace.statement = "select Filter(A, v > 1)";
+  trace.parse_ns = 1000;
+  trace.root.label = "filter [(v > 1)]";
+  trace.root.wall_ns = 2000;
+  trace.root.out_cells = 5;
+  trace.root.AddNote("cells_visited", 10);
+  trace.root.AddNote("ratio", 0.5);
+  TraceNode* child = trace.root.AddChild();
+  child->label = "scan A";
+  child->out_cells = 10;
+
+  ASSERT_NE(trace.root.FindNote("ratio"), nullptr);
+  EXPECT_DOUBLE_EQ(*trace.root.FindNote("ratio"), 0.5);
+  EXPECT_EQ(trace.root.FindNote("missing"), nullptr);
+
+  const std::string analyzed = trace.ToString(true);
+  EXPECT_NE(analyzed.find("query: select Filter"), std::string::npos);
+  EXPECT_NE(analyzed.find("cells_visited 10"), std::string::npos);
+  EXPECT_NE(analyzed.find("ratio 0.500"), std::string::npos);
+  EXPECT_NE(analyzed.find("out 5 cells"), std::string::npos);
+  EXPECT_NE(analyzed.find("\n  scan A"), std::string::npos);
+
+  // Shape-only rendering: exactly labels + indentation.
+  EXPECT_EQ(trace.ToString(false), "filter [(v > 1)]\n  scan A\n");
+}
+
+TEST(TraceTest, FormatDurationScales) {
+  EXPECT_EQ(FormatDurationNs(500), "500 ns");
+  EXPECT_EQ(FormatDurationNs(1500), "1.5 us");
+  EXPECT_EQ(FormatDurationNs(2500000), "2.500 ms");
+  EXPECT_EQ(FormatDurationNs(3200000000ULL), "3.200 s");
+}
+
+}  // namespace
+}  // namespace scidb

@@ -10,6 +10,10 @@ Checks enforced over src/ (library code only):
   status-ladder   Manual `if (!st.ok()) return st;` ladders must use
                   RETURN_NOT_OK / ASSIGN_OR_RETURN from common/macros.h.
   include-guard   Header guards are SCIDB_<PATH>_<FILE>_H_.
+  metrics-state   Data members of the process-wide metrics registry
+                  (src/common/metrics.h) are shared across every thread;
+                  each must be std::atomic, const, a Mutex/CondVar, or
+                  GUARDED_BY a mutex.
 
 Plus a compile probe (--probe-compiler): discarding a Status must fail to
 compile under -Werror=unused-result, proving the [[nodiscard]] contract
@@ -115,6 +119,7 @@ class Linter:
         self._check_throw(path, code_lines, exempt)
         self._check_new_delete(path, code_lines, exempt)
         self._check_status_ladder(path, code, raw_lines)
+        self._check_metrics_state(path, code_lines, exempt)
         if path.endswith(".h"):
             self._check_include_guard(path, raw)
 
@@ -160,6 +165,33 @@ class Linter:
             fix = ("ASSIGN_OR_RETURN" if m.group(2) else "RETURN_NOT_OK")
             self.report(path, lineno, "status-ladder",
                         "manual .ok() ladder; use %s" % fix)
+
+    # A data member declaration, Google-style (name ends in '_'), with an
+    # optional array extent, brace-or-equals initializer, and trailing
+    # annotation macro. Parenthesized lines (methods) never match.
+    _METRIC_MEMBER = re.compile(
+        r"^\s+(?!return\b|using\b|typedef\b|static\b|friend\b)"
+        r"[A-Za-z_][\w:<>,&*\s]*[\s&*]"
+        r"[a-z_]\w*_\s*(\[[^\]]*\])?\s*(\{[^}]*\})?\s*(=[^;]*)?"
+        r"(\s*[A-Z_]+\([^)]*\))?\s*;\s*$")
+    _METRIC_SAFE = re.compile(
+        r"atomic|\bconst\b|GUARDED_BY|\bMutex\b|\bCondVar\b")
+
+    def _check_metrics_state(self, path, code_lines, exempt):
+        # The registry and its instruments are written from every thread;
+        # a plain member there is a data race by construction.
+        rel = os.path.relpath(path, self.root).replace(os.sep, "/")
+        if rel != "src/common/metrics.h":
+            return
+        for lineno, line in enumerate(code_lines, 1):
+            if exempt(lineno):
+                continue
+            if (self._METRIC_MEMBER.match(line)
+                    and not self._METRIC_SAFE.search(line)):
+                self.report(
+                    path, lineno, "metrics-state",
+                    "shared metric state must be atomic, const, a "
+                    "Mutex/CondVar, or GUARDED_BY a mutex")
 
     def _check_include_guard(self, path, raw):
         rel = os.path.relpath(path, os.path.join(self.root, "src"))
@@ -295,7 +327,7 @@ def main():
         for f in failures:
             print("  " + f)
         return 1
-    print("lint: OK (%d files, %d checks + nodiscard probe)" % (nfiles, 4))
+    print("lint: OK (%d files, %d checks + nodiscard probe)" % (nfiles, 5))
     return 0
 
 

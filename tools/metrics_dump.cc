@@ -1,0 +1,95 @@
+// Text endpoint for the process-wide metrics registry (DESIGN.md §7):
+// runs an AQL workload through a Session, then dumps every registered
+// counter, gauge, and histogram.
+//
+//   $ metrics_dump --demo            built-in workload, text dump
+//   $ metrics_dump --demo --json     same, JSON dump
+//   $ metrics_dump < queries.aql     one statement per line from stdin
+//
+// Lines that are empty or start with '#' are skipped. Statement failures
+// go to stderr and count toward the (nonzero) exit code; the dump is
+// printed regardless so partial workloads are still inspectable.
+#include <cstdio>
+#include <cstring>
+#include <iostream>
+#include <string>
+
+#include "common/metrics.h"
+#include "query/session.h"
+
+namespace {
+
+int RunStatements(scidb::Session* session, std::istream& in) {
+  std::string line;
+  int failures = 0;
+  while (std::getline(in, line)) {
+    if (line.empty() || line[0] == '#') continue;
+    scidb::Result<scidb::QueryResult> r = session->Execute(line);
+    if (!r.ok()) {
+      std::fprintf(stderr, "error: %s\n  in: %s\n",
+                   r.status().ToString().c_str(), line.c_str());
+      ++failures;
+      continue;
+    }
+    if (r.value().kind == scidb::QueryResult::Kind::kExplain) {
+      std::printf("%s", r.value().message.c_str());
+    }
+  }
+  return failures;
+}
+
+// A small workload touching every instrumented layer: catalog, exec
+// operators, and the explain-analyze path.
+int RunDemo(scidb::Session* session) {
+  const char* statements[] = {
+      "define Demo (v = double) (I, J)",
+      "create A as Demo [8, 8]",
+      "insert A [1, 1] values (1.5)",
+      "insert A [2, 3] values (2.5)",
+      "insert A [5, 7] values (4.0)",
+      "select Filter(A, v > 1)",
+      "select Aggregate(A, {I}, sum(v))",
+      "explain analyze select Aggregate(Filter(A, v > 1), {}, count(*))",
+  };
+  int failures = 0;
+  for (const char* s : statements) {
+    scidb::Result<scidb::QueryResult> r = session->Execute(s);
+    if (!r.ok()) {
+      std::fprintf(stderr, "error: %s\n  in: %s\n",
+                   r.status().ToString().c_str(), s);
+      ++failures;
+      continue;
+    }
+    if (r.value().kind == scidb::QueryResult::Kind::kExplain) {
+      std::printf("%s\n", r.value().message.c_str());
+    }
+  }
+  return failures;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool json = false;
+  bool demo = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--json") == 0) {
+      json = true;
+    } else if (std::strcmp(argv[i], "--demo") == 0) {
+      demo = true;
+    } else {
+      std::fprintf(stderr, "usage: %s [--demo] [--json] [< queries.aql]\n",
+                   argv[0]);
+      return 2;
+    }
+  }
+
+  scidb::Session session;
+  int failures = demo ? RunDemo(&session) : RunStatements(&session, std::cin);
+
+  const std::string dump = json ? scidb::Metrics::Instance().JsonSnapshot()
+                                : scidb::Metrics::Instance().TextSnapshot();
+  std::printf("%s", dump.c_str());
+  if (!json && dump.empty()) std::printf("(no metrics registered)\n");
+  return failures > 0 ? 1 : 0;
+}
