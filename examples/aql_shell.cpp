@@ -103,6 +103,9 @@ int main() {
           std::printf("  %s\n", cell.ToString().c_str());
         }
         break;
+      case QueryResult::Kind::kExplain:
+        std::printf("%s", r.message.c_str());
+        break;
       case QueryResult::Kind::kValues: {
         std::string row = "(";
         for (size_t i = 0; i < r.values.size(); ++i) {

@@ -1,0 +1,117 @@
+#include "common/thread_pool.h"
+
+#include <utility>
+
+#include "common/macros.h"
+
+namespace scidb {
+
+namespace {
+
+// True while this thread is executing morsels (worker or participating
+// owner). Nested ParallelFor calls observe it and run inline instead of
+// deadlocking on the one-job-at-a-time pool.
+thread_local bool tls_running_morsels = false;
+
+}  // namespace
+
+ThreadPool::ThreadPool(int parallelism)
+    : parallelism_(parallelism < 1 ? 1 : parallelism) {
+  workers_.reserve(static_cast<size_t>(parallelism_ - 1));
+  for (int w = 1; w < parallelism_; ++w) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    MutexLock lk(mu_);
+    shutdown_ = true;
+    cv_.notify_all();
+  }
+  for (std::thread& t : workers_) {
+    if (t.joinable()) t.join();
+  }
+}
+
+void ThreadPool::RunMorsels(Job* job) {
+  bool prev = tls_running_morsels;
+  tls_running_morsels = true;
+  for (;;) {
+    // A failure elsewhere cancels the job: unclaimed indices are skipped.
+    if (job->cancelled.load(std::memory_order_acquire)) break;
+    int64_t i = job->next.fetch_add(1, std::memory_order_relaxed);
+    if (i >= job->n) break;
+    Status st = (*job->body)(i);
+    if (!st.ok()) {
+      MutexLock lk(job->mu);
+      // Keep the lowest failing index: with increasing-order claiming and
+      // claimed morsels running to completion, that is exactly the index a
+      // serial loop would have failed on first.
+      if (job->failed_index < 0 || i < job->failed_index) {
+        job->failed_index = i;
+        job->error = std::move(st);
+      }
+      job->cancelled.store(true, std::memory_order_release);
+    }
+  }
+  tls_running_morsels = prev;
+}
+
+void ThreadPool::WorkerLoop() {
+  uint64_t seen = 0;
+  for (;;) {
+    Job* job = nullptr;
+    {
+      MutexLock lk(mu_);
+      while (!shutdown_ && (job_ == nullptr || generation_ == seen)) {
+        cv_.wait(mu_);
+      }
+      if (shutdown_) return;
+      job = job_;
+      seen = generation_;
+      ++workers_inside_;
+    }
+    RunMorsels(job);
+    {
+      MutexLock lk(mu_);
+      if (--workers_inside_ == 0) done_cv_.notify_all();
+    }
+  }
+}
+
+Status ThreadPool::ParallelFor(int64_t n,
+                               const std::function<Status(int64_t)>& body) {
+  if (n <= 0) return Status::OK();
+  // Serial fast path: width-1 pools, single-morsel jobs, and nested calls
+  // from inside a running morsel. This IS the pre-pool engine — same loop,
+  // same first-error-wins semantics.
+  if (workers_.empty() || n == 1 || tls_running_morsels) {
+    for (int64_t i = 0; i < n; ++i) {
+      RETURN_NOT_OK(body(i));
+    }
+    return Status::OK();
+  }
+
+  Job job;
+  job.n = n;
+  job.body = &body;
+  {
+    MutexLock lk(mu_);
+    job_ = &job;
+    ++generation_;
+    cv_.notify_all();
+  }
+  // The owner is worker zero: it claims morsels like everyone else, so a
+  // width-N pool applies N threads with N-1 spawned.
+  RunMorsels(&job);
+  {
+    MutexLock lk(mu_);
+    while (workers_inside_ > 0) done_cv_.wait(mu_);
+    job_ = nullptr;  // late wakers see no job; the stack Job stays private
+  }
+  MutexLock lk(job.mu);
+  return job.error;
+}
+
+}  // namespace scidb

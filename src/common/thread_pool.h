@@ -1,0 +1,83 @@
+#ifndef SCIDB_COMMON_THREAD_POOL_H_
+#define SCIDB_COMMON_THREAD_POOL_H_
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <thread>
+#include <vector>
+
+#include "common/mutex.h"
+#include "common/status.h"
+
+namespace scidb {
+
+// Fixed-width morsel executor (DESIGN.md §8). A pool of `parallelism - 1`
+// background workers plus the calling thread cooperate on ParallelFor:
+// indices [0, n) are claimed one at a time from a shared atomic counter —
+// no work stealing, no per-morsel queues — and the body runs once per
+// index. A pool of width 1 owns no threads at all and ParallelFor
+// degenerates to a plain serial loop, so the parallelism=1 path is
+// byte-for-byte the pre-pool engine.
+//
+// Error model: the body returns Status, never throws. On failure the job
+// is cancelled — unclaimed indices are skipped — and ParallelFor returns
+// the Status of the LOWEST failing index. Because indices are claimed in
+// increasing order and a claimed morsel always runs to completion, the
+// lowest failing index is the same index a serial loop would have failed
+// on first, making the returned Status deterministic across pool widths
+// (assuming a deterministic body).
+//
+// Nested ParallelFor calls from inside a worker run serially inline
+// (morsel bodies may reuse code that itself tries to parallelize).
+class ThreadPool {
+ public:
+  // `parallelism` is the total concurrency including the caller; values
+  // below 1 are clamped to 1.
+  explicit ThreadPool(int parallelism);
+  ~ThreadPool();
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  int parallelism() const { return parallelism_; }
+
+  // Runs body(i) for every i in [0, n), spread over the pool. Blocks until
+  // every claimed morsel finished. Not reentrant from two owner threads at
+  // once: one job at a time (the engine issues one ParallelFor per
+  // operator invocation).
+  [[nodiscard]] Status ParallelFor(
+      int64_t n, const std::function<Status(int64_t)>& body)
+      LOCKS_EXCLUDED(mu_);
+
+ private:
+  // One in-flight ParallelFor. Lives on the owner's stack; workers only
+  // touch it between the publish and the teardown barrier in ParallelFor.
+  struct Job {
+    int64_t n = 0;
+    const std::function<Status(int64_t)>* body = nullptr;
+    std::atomic<int64_t> next{0};         // next unclaimed index
+    std::atomic<bool> cancelled{false};   // set on first failure
+    Mutex mu;
+    int64_t failed_index GUARDED_BY(mu) = -1;
+    Status error GUARDED_BY(mu);
+  };
+
+  void WorkerLoop() LOCKS_EXCLUDED(mu_);
+  // Claims and runs morsels until the job is exhausted or cancelled.
+  static void RunMorsels(Job* job);
+
+  const int parallelism_;
+  std::vector<std::thread> workers_;
+
+  Mutex mu_;
+  CondVar cv_;        // workers: "a job was published" / "shut down"
+  CondVar done_cv_;   // owner: "the last worker left the job"
+  Job* job_ GUARDED_BY(mu_) = nullptr;
+  uint64_t generation_ GUARDED_BY(mu_) = 0;  // bumps per published job
+  int workers_inside_ GUARDED_BY(mu_) = 0;
+  bool shutdown_ GUARDED_BY(mu_) = false;
+};
+
+}  // namespace scidb
+
+#endif  // SCIDB_COMMON_THREAD_POOL_H_

@@ -4,6 +4,7 @@
 
 #include "common/macros.h"
 #include "exec/operators.h"
+#include "exec/parallel.h"
 
 namespace scidb {
 
@@ -12,41 +13,43 @@ namespace scidb {
 Result<MemArray> Filter(const ExecContext& ctx, const MemArray& a,
                         const ExprPtr& pred) {
   if (pred == nullptr) return Status::Invalid("Filter: null predicate");
-  MemArray out(a.schema());
-  out.mutable_schema()->set_name(a.schema().name() + "_filter");
+  const ArraySchema& schema = a.schema();
+  MemArray out(schema);
+  out.mutable_schema()->set_name(schema.name() + "_filter");
 
-  EvalContext ectx;
-  ectx.functions = ctx.functions;
-  Coordinates coords;
-  std::vector<Value> attrs;
-  ectx.sides.push_back({&a.schema(), &coords, &attrs});
+  const std::vector<Value> nulls(schema.nattrs());
+  RETURN_NOT_OK(ParallelChunkMap(
+      ctx, a, &out,
+      [&](const Coordinates&, const Chunk& chunk,
+          ExecStats* stats) -> Result<std::shared_ptr<Chunk>> {
+        // Expression bindings are by pointer, so each morsel owns its
+        // coordinate/attribute buffers.
+        EvalContext ectx;
+        ectx.functions = ctx.functions;
+        Coordinates coords;
+        std::vector<Value> attrs;
+        ectx.sides.push_back({&schema, &coords, &attrs});
 
-  std::vector<Value> nulls(a.schema().nattrs());
-  Status st;
-  bool failed = false;
-  a.ForEachCell([&](const Coordinates& c, const Chunk& chunk, int64_t rank) {
-    if (ctx.stats != nullptr) ++ctx.stats->cells_visited;
-    coords = c;
-    attrs.clear();
-    for (size_t at = 0; at < chunk.nattrs(); ++at) {
-      attrs.push_back(chunk.block(at).Get(rank));
-    }
-    auto ok = pred->Eval(ectx);
-    if (!ok.ok()) {
-      st = ok.status();
-      failed = true;
-      return false;
-    }
-    bool keep = ok.value().is_bool() && ok.value().bool_value();
-    // Paper: cells failing P "will contain NULL" — present, null-valued.
-    st = out.SetCell(c, keep ? attrs : nulls);
-    if (!st.ok()) {
-      failed = true;
-      return false;
-    }
-    return true;
-  });
-  if (failed) return st;
+        auto oc = std::make_shared<Chunk>(chunk.box(), schema.attrs());
+        for (Chunk::CellIterator it(chunk); it.valid(); it.Next()) {
+          ++stats->cells_visited;
+          coords = it.coords();
+          attrs.clear();
+          for (size_t at = 0; at < chunk.nattrs(); ++at) {
+            attrs.push_back(chunk.block(at).Get(it.rank()));
+          }
+          ASSIGN_OR_RETURN(Value verdict, pred->Eval(ectx));
+          bool keep = verdict.is_bool() && verdict.bool_value();
+          // Paper: cells failing P "will contain NULL" — present,
+          // null-valued.
+          const std::vector<Value>& row = keep ? attrs : nulls;
+          for (size_t at = 0; at < row.size(); ++at) {
+            oc->block(at).Set(it.rank(), row[at]);
+          }
+          oc->MarkPresent(it.rank());
+        }
+        return oc;
+      }));
   return out;
 }
 
@@ -94,31 +97,51 @@ Result<MemArray> Aggregate(const ExecContext& ctx, const MemArray& a,
                          {AggOutputAttr(agg)});
   MemArray out(out_schema);
 
-  // Group state keyed by grouping coordinates.
-  std::map<Coordinates, std::unique_ptr<AggregateState>> groups;
-  Status st;
-  bool failed = false;
-  a.ForEachCell([&](const Coordinates& c, const Chunk& chunk, int64_t rank) {
-    if (ctx.stats != nullptr) ++ctx.stats->cells_visited;
-    Coordinates key;
-    if (gidx.empty()) {
-      key.push_back(1);
-    } else {
-      key.reserve(gidx.size());
-      for (size_t d : gidx) key.push_back(c[d]);
+  // Partial-aggregate phase (DESIGN.md §8): one group map per chunk,
+  // accumulated independently. Run this way at EVERY pool width — the
+  // partial+merge shape is the algorithm, not a parallel special case, so
+  // results are bit-identical at parallelism 1/2/8.
+  using GroupMap = std::map<Coordinates, std::unique_ptr<AggregateState>>;
+  std::vector<GroupMap> partials(a.chunks().size());
+  RETURN_NOT_OK(ForEachChunkParallel(
+      ctx, a,
+      [&](size_t index, const Coordinates&, const Chunk& chunk,
+          ExecStats* stats) -> Status {
+        GroupMap& local = partials[index];
+        Coordinates key;
+        for (Chunk::CellIterator it(chunk); it.valid(); it.Next()) {
+          ++stats->cells_visited;
+          key.clear();
+          if (gidx.empty()) {
+            key.push_back(1);
+          } else {
+            Coordinates c = it.coords();
+            for (size_t d : gidx) key.push_back(c[d]);
+          }
+          auto git = local.find(key);
+          if (git == local.end()) {
+            git = local.emplace(key, afn->NewState()).first;
+          }
+          RETURN_NOT_OK(
+              git->second->Accumulate(chunk.block(attr_idx).Get(it.rank())));
+        }
+        return Status::OK();
+      }));
+
+  // Deterministic single-threaded merge in chunk-map order: the first
+  // chunk's state seeds each group, later partials Merge() in. Merge
+  // order never depends on worker count.
+  GroupMap groups;
+  for (GroupMap& part : partials) {
+    for (auto& [key, state] : part) {
+      auto it = groups.find(key);
+      if (it == groups.end()) {
+        groups.emplace(key, std::move(state));
+      } else {
+        RETURN_NOT_OK(it->second->Merge(*state));
+      }
     }
-    auto it = groups.find(key);
-    if (it == groups.end()) {
-      it = groups.emplace(std::move(key), afn->NewState()).first;
-    }
-    st = it->second->Accumulate(chunk.block(attr_idx).Get(rank));
-    if (!st.ok()) {
-      failed = true;
-      return false;
-    }
-    return true;
-  });
-  if (failed) return st;
+  }
 
   // A grand aggregate over an empty array still produces its one cell
   // (SQL semantics: SUM of nothing is NULL, COUNT of nothing is 0).
@@ -179,35 +202,53 @@ Result<MemArray> AggregateMulti(const ExecContext& ctx, const MemArray& a,
   MemArray out(out_schema);
 
   // One state vector per group; all aggregates fed from a single scan.
-  std::map<Coordinates, std::vector<std::unique_ptr<AggregateState>>>
-      groups;
-  Status st;
-  bool failed = false;
-  a.ForEachCell([&](const Coordinates& c, const Chunk& chunk, int64_t rank) {
-    if (ctx.stats != nullptr) ++ctx.stats->cells_visited;
-    Coordinates key;
-    if (gidx.empty()) {
-      key.push_back(1);
-    } else {
-      key.reserve(gidx.size());
-      for (size_t d : gidx) key.push_back(c[d]);
-    }
-    auto it = groups.find(key);
-    if (it == groups.end()) {
-      std::vector<std::unique_ptr<AggregateState>> states;
-      for (const auto* fn : fns) states.push_back(fn->NewState());
-      it = groups.emplace(std::move(key), std::move(states)).first;
-    }
-    for (size_t k = 0; k < fns.size(); ++k) {
-      st = it->second[k]->Accumulate(chunk.block(attr_idx[k]).Get(rank));
-      if (!st.ok()) {
-        failed = true;
-        return false;
+  // Same partial+merge shape as Aggregate: per-chunk partials at every
+  // pool width, merged single-threaded in chunk-map order.
+  using MultiGroupMap =
+      std::map<Coordinates, std::vector<std::unique_ptr<AggregateState>>>;
+  std::vector<MultiGroupMap> partials(a.chunks().size());
+  RETURN_NOT_OK(ForEachChunkParallel(
+      ctx, a,
+      [&](size_t index, const Coordinates&, const Chunk& chunk,
+          ExecStats* stats) -> Status {
+        MultiGroupMap& local = partials[index];
+        Coordinates key;
+        for (Chunk::CellIterator it(chunk); it.valid(); it.Next()) {
+          ++stats->cells_visited;
+          key.clear();
+          if (gidx.empty()) {
+            key.push_back(1);
+          } else {
+            Coordinates c = it.coords();
+            for (size_t d : gidx) key.push_back(c[d]);
+          }
+          auto git = local.find(key);
+          if (git == local.end()) {
+            std::vector<std::unique_ptr<AggregateState>> states;
+            for (const auto* fn : fns) states.push_back(fn->NewState());
+            git = local.emplace(key, std::move(states)).first;
+          }
+          for (size_t k = 0; k < fns.size(); ++k) {
+            RETURN_NOT_OK(git->second[k]->Accumulate(
+                chunk.block(attr_idx[k]).Get(it.rank())));
+          }
+        }
+        return Status::OK();
+      }));
+
+  MultiGroupMap groups;
+  for (MultiGroupMap& part : partials) {
+    for (auto& [key, states] : part) {
+      auto it = groups.find(key);
+      if (it == groups.end()) {
+        groups.emplace(key, std::move(states));
+      } else {
+        for (size_t k = 0; k < fns.size(); ++k) {
+          RETURN_NOT_OK(it->second[k]->Merge(*states[k]));
+        }
       }
     }
-    return true;
-  });
-  if (failed) return st;
+  }
 
   if (gidx.empty() && groups.empty()) {
     std::vector<std::unique_ptr<AggregateState>> states;
@@ -308,37 +349,35 @@ Result<MemArray> Apply(const ExecContext& ctx, const MemArray& a,
                          std::move(attrs));
   MemArray out(out_schema);
 
-  EvalContext ectx;
-  ectx.functions = ctx.functions;
-  Coordinates coords;
-  std::vector<Value> vals;
-  ectx.sides.push_back({&schema, &coords, &vals});
+  const std::vector<AttributeDesc>& out_attrs = out.schema().attrs();
+  RETURN_NOT_OK(ParallelChunkMap(
+      ctx, a, &out,
+      [&](const Coordinates&, const Chunk& chunk,
+          ExecStats* stats) -> Result<std::shared_ptr<Chunk>> {
+        EvalContext ectx;
+        ectx.functions = ctx.functions;
+        Coordinates coords;
+        std::vector<Value> vals;
+        ectx.sides.push_back({&schema, &coords, &vals});
 
-  Status st;
-  bool failed = false;
-  a.ForEachCell([&](const Coordinates& c, const Chunk& chunk, int64_t rank) {
-    if (ctx.stats != nullptr) ++ctx.stats->cells_visited;
-    coords = c;
-    vals.clear();
-    for (size_t at = 0; at < chunk.nattrs(); ++at) {
-      vals.push_back(chunk.block(at).Get(rank));
-    }
-    auto v = e->Eval(ectx);
-    if (!v.ok()) {
-      st = v.status();
-      failed = true;
-      return false;
-    }
-    std::vector<Value> cell = vals;
-    cell.push_back(v.value());
-    st = out.SetCell(c, cell);
-    if (!st.ok()) {
-      failed = true;
-      return false;
-    }
-    return true;
-  });
-  if (failed) return st;
+        auto oc = std::make_shared<Chunk>(chunk.box(), out_attrs);
+        const size_t new_at = chunk.nattrs();
+        for (Chunk::CellIterator it(chunk); it.valid(); it.Next()) {
+          ++stats->cells_visited;
+          coords = it.coords();
+          vals.clear();
+          for (size_t at = 0; at < chunk.nattrs(); ++at) {
+            vals.push_back(chunk.block(at).Get(it.rank()));
+          }
+          ASSIGN_OR_RETURN(Value v, e->Eval(ectx));
+          for (size_t at = 0; at < vals.size(); ++at) {
+            oc->block(at).Set(it.rank(), vals[at]);
+          }
+          oc->block(new_at).Set(it.rank(), v);
+          oc->MarkPresent(it.rank());
+        }
+        return oc;
+      }));
   return out;
 }
 
@@ -346,7 +385,6 @@ Result<MemArray> Apply(const ExecContext& ctx, const MemArray& a,
 
 Result<MemArray> Project(const ExecContext& ctx, const MemArray& a,
                          const std::vector<std::string>& attrs) {
-  (void)ctx;
   if (attrs.empty()) {
     return Status::Invalid("Project: need at least one attribute");
   }
@@ -362,20 +400,20 @@ Result<MemArray> Project(const ExecContext& ctx, const MemArray& a,
                          std::move(out_attrs));
   MemArray out(out_schema);
 
-  Status st;
-  bool failed = false;
-  std::vector<Value> cell;
-  a.ForEachCell([&](const Coordinates& c, const Chunk& chunk, int64_t rank) {
-    cell.clear();
-    for (size_t ai : idx) cell.push_back(chunk.block(ai).Get(rank));
-    st = out.SetCell(c, cell);
-    if (!st.ok()) {
-      failed = true;
-      return false;
-    }
-    return true;
-  });
-  if (failed) return st;
+  const std::vector<AttributeDesc>& kept = out.schema().attrs();
+  RETURN_NOT_OK(ParallelChunkMap(
+      ctx, a, &out,
+      [&](const Coordinates&, const Chunk& chunk,
+          ExecStats*) -> Result<std::shared_ptr<Chunk>> {
+        auto oc = std::make_shared<Chunk>(chunk.box(), kept);
+        for (Chunk::CellIterator it(chunk); it.valid(); it.Next()) {
+          for (size_t k = 0; k < idx.size(); ++k) {
+            oc->block(k).Set(it.rank(), chunk.block(idx[k]).Get(it.rank()));
+          }
+          oc->MarkPresent(it.rank());
+        }
+        return oc;
+      }));
   return out;
 }
 

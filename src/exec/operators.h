@@ -7,6 +7,7 @@
 
 #include "array/mem_array.h"
 #include "common/result.h"
+#include "common/thread_pool.h"
 #include "exec/expression.h"
 #include "udf/aggregate.h"
 #include "udf/function.h"
@@ -19,6 +20,10 @@ struct ExecStats {
   int64_t chunks_scanned = 0;
   int64_t chunks_pruned = 0;
   int64_t cells_visited = 0;
+  // Morsel accounting (DESIGN.md §8): chunk-morsels dispatched and the
+  // widest pool that ran them (1 = serial).
+  int64_t morsels = 0;
+  int64_t parallel_workers = 0;
 };
 
 struct ExecContext {
@@ -28,6 +33,9 @@ struct ExecContext {
   // visits every chunk instead of pruning via the predicate's box.
   bool enable_chunk_pruning = true;
   ExecStats* stats = nullptr;  // optional
+  // Morsel executor for chunk-parallel operators (exec/parallel.h); null
+  // or width-1 runs the serial path. Non-owning (Session owns it).
+  ThreadPool* pool = nullptr;
 };
 
 // ===================== structural operators (§2.2.1) =====================

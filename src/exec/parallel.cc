@@ -1,0 +1,85 @@
+#include "exec/parallel.h"
+
+#include <utility>
+#include <vector>
+
+#include "common/macros.h"
+
+namespace scidb {
+
+namespace {
+
+void FoldStats(const ExecContext& ctx, const std::vector<ExecStats>& slots,
+               int64_t morsels) {
+  if (ctx.stats == nullptr) return;
+  // Fixed index order; integer sums are order-independent but the habit
+  // keeps any future float stat deterministic too.
+  for (const ExecStats& s : slots) {
+    ctx.stats->chunks_scanned += s.chunks_scanned;
+    ctx.stats->chunks_pruned += s.chunks_pruned;
+    ctx.stats->cells_visited += s.cells_visited;
+  }
+  ctx.stats->morsels += morsels;
+  int64_t width = ctx.pool != nullptr ? ctx.pool->parallelism() : 1;
+  if (width > ctx.stats->parallel_workers) {
+    ctx.stats->parallel_workers = width;
+  }
+}
+
+}  // namespace
+
+Status ForEachChunkParallel(const ExecContext& ctx, const MemArray& in,
+                            const ChunkBody& body) {
+  // Snapshot the chunk map into an indexable morsel list. Pointers stay
+  // valid: `in` is const for the whole run.
+  std::vector<std::pair<const Coordinates*, const Chunk*>> morsels;
+  morsels.reserve(in.chunks().size());
+  for (const auto& [origin, chunk] : in.chunks()) {
+    morsels.emplace_back(&origin, chunk.get());
+  }
+  std::vector<ExecStats> slots(morsels.size());
+
+  auto run_one = [&](int64_t i) -> Status {
+    size_t idx = static_cast<size_t>(i);
+    return body(idx, *morsels[idx].first, *morsels[idx].second, &slots[idx]);
+  };
+
+  Status st;
+  if (ctx.pool != nullptr) {
+    st = ctx.pool->ParallelFor(static_cast<int64_t>(morsels.size()),
+                               run_one);
+  } else {
+    for (int64_t i = 0; i < static_cast<int64_t>(morsels.size()); ++i) {
+      st = run_one(i);
+      if (!st.ok()) break;
+    }
+  }
+  // Stats are folded even on failure (partial progress is still progress
+  // the trace should see), morsel count reflects what was dispatched.
+  FoldStats(ctx, slots, static_cast<int64_t>(morsels.size()));
+  return st;
+}
+
+Status ParallelChunkMap(const ExecContext& ctx, const MemArray& in,
+                        MemArray* out, const ChunkKernel& kernel) {
+  std::vector<std::shared_ptr<Chunk>> results(in.chunks().size());
+  RETURN_NOT_OK(ForEachChunkParallel(
+      ctx, in,
+      [&](size_t index, const Coordinates& origin, const Chunk& chunk,
+          ExecStats* stats) -> Status {
+        ASSIGN_OR_RETURN(results[index], kernel(origin, chunk, stats));
+        return Status::OK();
+      }));
+  // Single-threaded assembly in origin order; empty outputs are dropped so
+  // the chunk map matches what cell-at-a-time SetCell would have built.
+  size_t index = 0;
+  auto* chunks = out->mutable_chunks();
+  for (const auto& [origin, chunk] : in.chunks()) {
+    std::shared_ptr<Chunk>& produced = results[index++];
+    if (produced == nullptr || produced->present_count() == 0) continue;
+    chunks->emplace(origin, std::move(produced));
+  }
+  return Status::OK();
+}
+
+}  // namespace scidb

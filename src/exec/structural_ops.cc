@@ -4,25 +4,9 @@
 
 #include "common/macros.h"
 #include "exec/operators.h"
+#include "exec/parallel.h"
 
 namespace scidb {
-
-namespace {
-
-void CountChunk(const ExecContext& ctx, bool pruned) {
-  if (ctx.stats == nullptr) return;
-  if (pruned) {
-    ++ctx.stats->chunks_pruned;
-  } else {
-    ++ctx.stats->chunks_scanned;
-  }
-}
-
-void CountCells(const ExecContext& ctx, int64_t n) {
-  if (ctx.stats != nullptr) ctx.stats->cells_visited += n;
-}
-
-}  // namespace
 
 std::vector<AttributeDesc> MergeAttrs(const std::vector<AttributeDesc>& a,
                                       const std::vector<AttributeDesc>& b) {
@@ -48,56 +32,60 @@ Result<MemArray> Subsample(const ExecContext& ctx, const MemArray& a,
         "dimension independently: " +
         pred->ToString());
   }
-  MemArray out(a.schema());
-  out.mutable_schema()->set_name(a.schema().name() + "_subsample");
+  const ArraySchema& schema = a.schema();
+  MemArray out(schema);
+  out.mutable_schema()->set_name(schema.name() + "_subsample");
 
-  EvalContext ectx;
-  ectx.functions = ctx.functions;
-  Coordinates coords;
-  ectx.sides.push_back({&a.schema(), &coords, nullptr});
-
-  for (const auto& [origin, chunk] : a.chunks()) {
-    bool exact = false;
-    Box want = chunk->box();
-    if (ctx.enable_chunk_pruning) {
-      std::vector<DimBounds> bounds =
-          ExtractDimBounds(*pred, a.schema(), chunk->box(), &exact);
-      bool empty = false;
-      for (size_t d = 0; d < bounds.size(); ++d) {
-        if (bounds[d].empty()) {
-          empty = true;
-          break;
+  RETURN_NOT_OK(ParallelChunkMap(
+      ctx, a, &out,
+      [&](const Coordinates&, const Chunk& chunk,
+          ExecStats* stats) -> Result<std::shared_ptr<Chunk>> {
+        bool exact = false;
+        Box want = chunk.box();
+        if (ctx.enable_chunk_pruning) {
+          std::vector<DimBounds> bounds =
+              ExtractDimBounds(*pred, schema, chunk.box(), &exact);
+          for (size_t d = 0; d < bounds.size(); ++d) {
+            if (bounds[d].empty()) {
+              ++stats->chunks_pruned;
+              return std::shared_ptr<Chunk>();
+            }
+            want.low[d] = bounds[d].low;
+            want.high[d] = bounds[d].high;
+          }
         }
-        want.low[d] = bounds[d].low;
-        want.high[d] = bounds[d].high;
-      }
-      if (empty) {
-        CountChunk(ctx, /*pruned=*/true);
-        continue;
-      }
-    }
-    CountChunk(ctx, /*pruned=*/false);
-    // Iterate only the implied sub-box of the chunk; when the bounds fully
-    // capture the predicate, skip per-cell re-evaluation (data-agnostic
-    // fast path — the "opportunity for optimization" of §2.2.1).
-    Coordinates c = want.low;
-    do {
-      int64_t rank = RankInBox(chunk->box(), c);
-      if (!chunk->IsPresent(rank)) continue;
-      CountCells(ctx, 1);
-      if (!exact) {
-        coords = c;
-        ASSIGN_OR_RETURN(Value ok, pred->Eval(ectx));
-        if (!ok.is_bool() || !ok.bool_value()) continue;
-      }
-      Chunk* oc = out.GetOrCreateChunk(out.ChunkOriginFor(c));
-      int64_t orank = RankInBox(oc->box(), c);
-      for (size_t at = 0; at < chunk->nattrs(); ++at) {
-        oc->block(at).Set(orank, chunk->block(at).Get(rank));
-      }
-      oc->MarkPresent(orank);
-    } while (NextInBox(want, &c));
-  }
+        ++stats->chunks_scanned;
+
+        EvalContext ectx;
+        ectx.functions = ctx.functions;
+        Coordinates coords;
+        ectx.sides.push_back({&schema, &coords, nullptr});
+
+        std::shared_ptr<Chunk> oc;  // created lazily on the first keeper
+        // Iterate only the implied sub-box of the chunk; when the bounds
+        // fully capture the predicate, skip per-cell re-evaluation
+        // (data-agnostic fast path — the "opportunity for optimization"
+        // of §2.2.1).
+        Coordinates c = want.low;
+        do {
+          int64_t rank = RankInBox(chunk.box(), c);
+          if (!chunk.IsPresent(rank)) continue;
+          ++stats->cells_visited;
+          if (!exact) {
+            coords = c;
+            ASSIGN_OR_RETURN(Value keep, pred->Eval(ectx));
+            if (!keep.is_bool() || !keep.bool_value()) continue;
+          }
+          if (oc == nullptr) {
+            oc = std::make_shared<Chunk>(chunk.box(), schema.attrs());
+          }
+          for (size_t at = 0; at < chunk.nattrs(); ++at) {
+            oc->block(at).Set(rank, chunk.block(at).Get(rank));
+          }
+          oc->MarkPresent(rank);
+        } while (NextInBox(want, &c));
+        return oc;
+      }));
   return out;
 }
 

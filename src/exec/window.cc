@@ -1,5 +1,6 @@
 #include "common/macros.h"
 #include "exec/operators.h"
+#include "exec/parallel.h"
 
 namespace scidb {
 
@@ -31,42 +32,44 @@ Result<MemArray> WindowAggregate(const ExecContext& ctx, const MemArray& a,
   // evaluated via chunk-local random access: cost O(cells * window).
   // (A production engine would slide partial aggregates; the separable
   // optimization is noted in DESIGN.md §5 and benchmarked as-is.)
-  Status st;
-  bool failed = false;
-  a.ForEachCell([&](const Coordinates& c, const Chunk&, int64_t) {
-    if (ctx.stats != nullptr) ++ctx.stats->cells_visited;
-    Box window;
-    window.low.resize(c.size());
-    window.high.resize(c.size());
-    for (size_t d = 0; d < c.size(); ++d) {
-      window.low[d] = c[d] - radii[d];
-      window.high[d] = c[d] + radii[d];
-      // Clip to declared bounds so probes stay in-range.
-      window.low[d] = std::max(window.low[d], schema.dim(d).low);
-      if (!schema.dim(d).unbounded()) {
-        window.high[d] = std::min(window.high[d], schema.dim(d).high);
-      }
-    }
-    auto state = afn->NewState();
-    Coordinates probe = window.low;
-    do {
-      auto cell = a.GetCell(probe);
-      if (cell.has_value()) {
-        st = state->Accumulate((*cell)[attr_idx]);
-        if (!st.ok()) {
-          failed = true;
-          return false;
+  //
+  // Parallel-safe because each morsel only reads `a` (windows cross chunk
+  // boundaries, but reads of a const array share nothing mutable) and
+  // writes its own output chunk.
+  const std::vector<AttributeDesc>& out_attrs = out.schema().attrs();
+  RETURN_NOT_OK(ParallelChunkMap(
+      ctx, a, &out,
+      [&](const Coordinates&, const Chunk& chunk,
+          ExecStats* stats) -> Result<std::shared_ptr<Chunk>> {
+        auto oc = std::make_shared<Chunk>(chunk.box(), out_attrs);
+        for (Chunk::CellIterator it(chunk); it.valid(); it.Next()) {
+          ++stats->cells_visited;
+          Coordinates c = it.coords();
+          Box window;
+          window.low.resize(c.size());
+          window.high.resize(c.size());
+          for (size_t d = 0; d < c.size(); ++d) {
+            window.low[d] = c[d] - radii[d];
+            window.high[d] = c[d] + radii[d];
+            // Clip to declared bounds so probes stay in-range.
+            window.low[d] = std::max(window.low[d], schema.dim(d).low);
+            if (!schema.dim(d).unbounded()) {
+              window.high[d] = std::min(window.high[d], schema.dim(d).high);
+            }
+          }
+          auto state = afn->NewState();
+          Coordinates probe = window.low;
+          do {
+            auto cell = a.GetCell(probe);
+            if (cell.has_value()) {
+              RETURN_NOT_OK(state->Accumulate((*cell)[attr_idx]));
+            }
+          } while (NextInBox(window, &probe));
+          oc->block(0).Set(it.rank(), state->Finalize());
+          oc->MarkPresent(it.rank());
         }
-      }
-    } while (NextInBox(window, &probe));
-    st = out.SetCell(c, state->Finalize());
-    if (!st.ok()) {
-      failed = true;
-      return false;
-    }
-    return true;
-  });
-  if (failed) return st;
+        return oc;
+      }));
   return out;
 }
 

@@ -12,7 +12,7 @@ const std::set<std::string>& Keywords() {
       "define", "create",  "updatable", "as",   "and", "or",
       "not",    "with",    "into",      "store", "insert", "values",
       "uncertain", "select", "enhance", "shape", "true", "false", "null",
-      "trace", "back", "forward", "explain", "analyze",
+      "trace", "back", "forward", "explain", "analyze", "set",
   };
   return *kKeywords;
 }

@@ -54,6 +54,7 @@ struct Statement {
     kShape,    // shape X with func(args...)            (§2.1)
     kEnhancedRead,  // select X {v1, v2}  — pseudo-coordinate addressing
     kExplain,  // explain [analyze] <query> — plan / annotated execution
+    kSet,      // set <option> = <int>  (session knob, e.g. parallelism)
   };
 
   Kind kind = Kind::kQuery;
@@ -93,6 +94,10 @@ struct Statement {
   // kEnhancedRead:
   std::string read_array;
   std::vector<Value> read_pseudo;   // the {..} operands
+
+  // kSet:
+  std::string set_option;           // lowercase option name
+  int64_t set_value = 0;
 };
 
 }  // namespace scidb

@@ -42,6 +42,12 @@ class Parser {
       RETURN_NOT_OK(ParseTrace(&stmt));
     } else if (Peek().IsKeyword("enhance") || Peek().IsKeyword("shape")) {
       RETURN_NOT_OK(ParseEnhanceOrShape(&stmt));
+    } else if (Peek().IsKeyword("set")) {
+      Advance();
+      stmt.kind = Statement::Kind::kSet;
+      ASSIGN_OR_RETURN(stmt.set_option, ExpectIdentifier());
+      RETURN_NOT_OK(ExpectSymbol("="));
+      ASSIGN_OR_RETURN(stmt.set_value, ExpectInteger());
     } else if (Peek().IsKeyword("explain")) {
       Advance();
       stmt.kind = Statement::Kind::kExplain;

@@ -24,7 +24,23 @@ ExecContext Session::MakeContext() const {
   ExecContext ctx;
   ctx.functions = &functions_;
   ctx.aggregates = &aggregates_;
+  ctx.pool = pool_.get();  // null at parallelism 1 → serial engine
   return ctx;
+}
+
+Status Session::set_parallelism(int workers) {
+  if (workers < 1 || workers > kMaxParallelism) {
+    return Status::Invalid("parallelism must be in [1, " +
+                           std::to_string(kMaxParallelism) + "], got " +
+                           std::to_string(workers));
+  }
+  if (workers == parallelism()) return Status::OK();
+  if (workers == 1) {
+    pool_.reset();
+    return Status::OK();
+  }
+  pool_ = std::make_unique<ThreadPool>(workers);
+  return Status::OK();
 }
 
 Status Session::Define(const ArraySchema& type_schema) {
@@ -393,6 +409,22 @@ Result<QueryResult> Session::ExecuteStatement(const Statement& stmt) {
     }
     case Statement::Kind::kExplain:
       return ExecuteExplain(stmt);
+    case Statement::Kind::kSet: {
+      if (stmt.set_option != "parallelism") {
+        return Status::Invalid("unknown session option '" +
+                               stmt.set_option + "'");
+      }
+      if (stmt.set_value < 1 ||
+          stmt.set_value > static_cast<int64_t>(kMaxParallelism)) {
+        return Status::Invalid("parallelism must be in [1, " +
+                               std::to_string(kMaxParallelism) + "], got " +
+                               std::to_string(stmt.set_value));
+      }
+      RETURN_NOT_OK(set_parallelism(static_cast<int>(stmt.set_value)));
+      result.message =
+          "parallelism set to " + std::to_string(parallelism());
+      return result;
+    }
   }
   return Status::Internal("unhandled statement kind");
 }
@@ -510,6 +542,7 @@ struct ExecMetrics {
       Metrics::Instance().counter("scidb.exec.chunks_scanned");
   Counter* const chunks_pruned =
       Metrics::Instance().counter("scidb.exec.chunks_pruned");
+  Counter* const morsels = Metrics::Instance().counter("scidb.exec.morsels");
   Histogram* const op_latency_us =
       Metrics::Instance().histogram("scidb.exec.op_latency_us");
 
@@ -526,6 +559,7 @@ void FlushExecStats(const std::string& op, const ExecStats& stats,
   m.cells_visited->Inc(stats.cells_visited);
   m.chunks_scanned->Inc(stats.chunks_scanned);
   m.chunks_pruned->Inc(stats.chunks_pruned);
+  m.morsels->Inc(stats.morsels);
   m.op_latency_us->Record(static_cast<int64_t>(wall_ns / 1000));
   Metrics::Instance().counter("scidb.exec.op." + op)->Inc();
 }
@@ -547,7 +581,7 @@ Result<MemArray> Session::ResolveArrayRef(const OpNode& node,
       ChunkCache::Stats before;
       if (disk->cache() != nullptr) before = disk->cache()->stats();
       int64_t bytes_read_before = disk->stats().bytes_read;
-      ASSIGN_OR_RETURN(MemArray out, disk->ReadAll());
+      ASSIGN_OR_RETURN(MemArray out, disk->ReadAll(pool_.get()));
       if (tn != nullptr) {
         tn->AddNote("disk_bytes_read",
                     static_cast<double>(disk->stats().bytes_read -
@@ -719,6 +753,11 @@ Result<MemArray> Session::EvalTraced(const OpNodePtr& node,
   }
   if (stats.chunks_pruned > 0) {
     self->AddNote("chunks_pruned", static_cast<double>(stats.chunks_pruned));
+  }
+  // Gated on an actual pool so serial explain-analyze output is unchanged.
+  if (stats.parallel_workers > 1) {
+    self->AddNote("morsels", static_cast<double>(stats.morsels));
+    self->AddNote("workers", static_cast<double>(stats.parallel_workers));
   }
   return out;
 }

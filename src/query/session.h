@@ -11,6 +11,7 @@
 #include "array/mem_array.h"
 #include "common/metrics.h"
 #include "common/result.h"
+#include "common/thread_pool.h"
 #include "common/trace.h"
 #include "exec/operators.h"
 #include "provenance/provenance.h"
@@ -36,6 +37,13 @@ struct QueryResult {
   // kExplain with analyze: the structured per-operator trace behind
   // `message` (null for plain explain).
   std::shared_ptr<const QueryTrace> trace;
+};
+
+// Morsel-execution knob (DESIGN.md §8). `workers` is the pool width used
+// for chunk-parallel operators and storage reads; 1 means the serial
+// engine (no pool, no extra threads).
+struct ParallelismOptions {
+  int workers = 1;
 };
 
 // A user-registered array operation (paper §2.3): receives the evaluated
@@ -77,6 +85,18 @@ class Session {
   // see query/optimizer.h. Off-switch for ablation benchmarks.
   void set_optimize(bool on) { optimize_ = on; }
   bool optimize() const { return optimize_; }
+
+  // ---- morsel parallelism (DESIGN.md §8) ----
+  // Sets the worker-pool width for chunk-parallel execution; the AQL
+  // statement `set parallelism = N` routes here. Width 1 tears the pool
+  // down and restores the serial engine (identical to pre-pool behavior);
+  // widths above kMaxParallelism are rejected.
+  [[nodiscard]] Status set_parallelism(int workers);
+  Status set_parallelism(const ParallelismOptions& opts) {
+    return set_parallelism(opts.workers);
+  }
+  int parallelism() const { return pool_ != nullptr ? pool_->parallelism() : 1; }
+  static constexpr int kMaxParallelism = 64;
 
   // ---- observability (DESIGN.md §7) ----
   // Array references not found in the in-memory catalog fall back to this
@@ -143,6 +163,8 @@ class Session {
   std::map<std::string, UserArrayOp> user_ops_;
   std::set<std::string> user_op_names_;  // lowercase, for the parser
   bool optimize_ = true;
+  // Null at width 1: the serial path must not pay even an empty pool.
+  std::unique_ptr<ThreadPool> pool_;
   const ProvenanceLog* provenance_ = nullptr;
   StorageManager* storage_ = nullptr;
   TraceClock clock_;  // never null (ctor installs SteadyNowNs)

@@ -9,6 +9,7 @@
 
 #include "array/chunk.h"
 #include "common/metrics.h"
+#include "common/mutex.h"
 
 namespace scidb {
 
@@ -18,9 +19,11 @@ namespace scidb {
 // inserting past the budget evicts least-recently-used entries (a bucket
 // larger than the whole budget is simply not cached).
 //
-// Not internally synchronized (callers serialize access, e.g. via
-// BackgroundMerger::WithLock); the process-wide metrics it exports are
-// atomic and safe regardless.
+// Internally synchronized: parallel chunk reads (DESIGN.md §8 morsel
+// execution) hit Get/Put from every pool worker, so one mutex guards the
+// entry map, the LRU list, and the local stats. stats() returns a copy —
+// a reference would race with concurrent mutation. The process-wide
+// metrics it exports are atomic and safe regardless.
 class ChunkCache {
  public:
   struct Stats {
@@ -50,11 +53,18 @@ class ChunkCache {
   ~ChunkCache() { m_bytes_->Add(-static_cast<int64_t>(stats_.bytes)); }
 
   size_t budget() const { return budget_; }
-  size_t size() const { return entries_.size(); }
-  const Stats& stats() const { return stats_; }
+  size_t size() const LOCKS_EXCLUDED(mu_) {
+    MutexLock lk(mu_);
+    return entries_.size();
+  }
+  Stats stats() const LOCKS_EXCLUDED(mu_) {
+    MutexLock lk(mu_);
+    return stats_;
+  }
 
   // Shared ownership so a cached chunk stays valid across evictions.
-  std::shared_ptr<const Chunk> Get(uint64_t id) {
+  std::shared_ptr<const Chunk> Get(uint64_t id) LOCKS_EXCLUDED(mu_) {
+    MutexLock lk(mu_);
     auto it = entries_.find(id);
     if (it == entries_.end()) {
       ++stats_.misses;
@@ -68,9 +78,11 @@ class ChunkCache {
     return it->second.chunk;
   }
 
-  void Put(uint64_t id, std::shared_ptr<const Chunk> chunk) {
+  void Put(uint64_t id, std::shared_ptr<const Chunk> chunk)
+      LOCKS_EXCLUDED(mu_) {
     size_t bytes = chunk->ByteSize();
     if (bytes > budget_) return;  // would evict everything for one entry
+    MutexLock lk(mu_);
     auto it = entries_.find(id);
     if (it != entries_.end()) {
       RemoveBytes(it->second.bytes);
@@ -87,7 +99,8 @@ class ChunkCache {
   }
 
   // Drops one entry (bucket rewritten or deleted by a merge pass).
-  void Invalidate(uint64_t id) {
+  void Invalidate(uint64_t id) LOCKS_EXCLUDED(mu_) {
+    MutexLock lk(mu_);
     auto it = entries_.find(id);
     if (it == entries_.end()) return;
     RemoveBytes(it->second.bytes);
@@ -95,7 +108,8 @@ class ChunkCache {
     entries_.erase(it);
   }
 
-  void Clear() {
+  void Clear() LOCKS_EXCLUDED(mu_) {
+    MutexLock lk(mu_);
     m_bytes_->Add(-static_cast<int64_t>(stats_.bytes));
     entries_.clear();
     lru_.clear();
@@ -112,13 +126,13 @@ class ChunkCache {
   // All residency decrements funnel through here: the assert (active in
   // the Debug/ASan presets) proves the unsigned accounting can never
   // underflow — an entry's recorded size is always <= total residency.
-  void RemoveBytes(size_t bytes) {
+  void RemoveBytes(size_t bytes) EXCLUSIVE_LOCKS_REQUIRED(mu_) {
     assert(stats_.bytes >= bytes && "chunk cache byte accounting underflow");
     stats_.bytes -= bytes;
     m_bytes_->Add(-static_cast<int64_t>(bytes));
   }
 
-  void EvictLru() {
+  void EvictLru() EXCLUSIVE_LOCKS_REQUIRED(mu_) {
     uint64_t victim = lru_.back();
     lru_.pop_back();
     auto it = entries_.find(victim);
@@ -128,10 +142,11 @@ class ChunkCache {
     m_evictions_->Inc();
   }
 
-  size_t budget_;
-  std::map<uint64_t, Entry> entries_;
-  std::list<uint64_t> lru_;  // front = MRU
-  Stats stats_;
+  const size_t budget_;
+  mutable Mutex mu_;
+  std::map<uint64_t, Entry> entries_ GUARDED_BY(mu_);
+  std::list<uint64_t> lru_ GUARDED_BY(mu_);  // front = MRU
+  Stats stats_ GUARDED_BY(mu_);
   // Process-wide counters, owned by the registry (see common/metrics.h).
   Counter* const m_hits_;
   Counter* const m_misses_;

@@ -140,9 +140,12 @@ Status DiskArray::WriteBucket(const Chunk& chunk) {
   rtree_.Insert(meta.box, meta.id);
   buckets_.emplace(meta.id, std::move(meta));
 
-  ++stats_.buckets_written;
-  stats_.bytes_written += static_cast<int64_t>(payload.size());
-  stats_.bytes_logical += static_cast<int64_t>(raw.size());
+  {
+    MutexLock lk(stats_mu_);
+    ++stats_.buckets_written;
+    stats_.bytes_written += static_cast<int64_t>(payload.size());
+    stats_.bytes_logical += static_cast<int64_t>(raw.size());
+  }
   const StorageMetrics& m = StorageMetrics::Get();
   m.buckets_written->Inc();
   m.bytes_written->Inc(static_cast<int64_t>(payload.size()));
@@ -182,8 +185,11 @@ Result<std::shared_ptr<const Chunk>> DiskArray::ReadBucket(
   f.read(reinterpret_cast<char*>(payload.data()),
          static_cast<std::streamsize>(meta.size));
   if (!f) return Status::IOError("short read from " + data_path_);
-  ++stats_.buckets_read;
-  stats_.bytes_read += static_cast<int64_t>(meta.size);
+  {
+    MutexLock lk(stats_mu_);
+    ++stats_.buckets_read;
+    stats_.bytes_read += static_cast<int64_t>(meta.size);
+  }
   const StorageMetrics& m = StorageMetrics::Get();
   m.buckets_read->Inc();
   m.bytes_read->Inc(static_cast<int64_t>(meta.size));
@@ -226,11 +232,35 @@ Result<MemArray> DiskArray::ReadRegion(const Box& query) const {
   return out;
 }
 
-Result<MemArray> DiskArray::ReadAll() const {
+Result<MemArray> DiskArray::ReadAll(ThreadPool* pool) const {
+  // Phase 1 (parallel when a pool is supplied): read + decompress +
+  // deserialize every bucket into an id-ordered slot vector. ReadBucket
+  // is safe concurrently — each call has a private ifstream, the stat
+  // counters are mutex-guarded, and the cache synchronizes itself.
+  std::vector<const BucketMeta*> metas;
+  metas.reserve(buckets_.size());
+  for (const auto& [id, meta] : buckets_) metas.push_back(&meta);
+  std::vector<std::shared_ptr<const Chunk>> slots(metas.size());
+  auto read_one = [&](int64_t i) -> Status {
+    ASSIGN_OR_RETURN(slots[static_cast<size_t>(i)],
+                     ReadBucket(*metas[static_cast<size_t>(i)]));
+    return Status::OK();
+  };
+  if (pool != nullptr) {
+    RETURN_NOT_OK(pool->ParallelFor(static_cast<int64_t>(metas.size()),
+                                    read_one));
+  } else {
+    for (int64_t i = 0; i < static_cast<int64_t>(metas.size()); ++i) {
+      RETURN_NOT_OK(read_one(i));
+    }
+  }
+
+  // Phase 2 (always single-threaded): scatter cells in bucket-id order,
+  // so overlapping buckets resolve last-writer-wins identically at every
+  // pool width.
   MemArray out(schema_);
   std::vector<Value> cell;
-  for (const auto& [id, meta] : buckets_) {
-    ASSIGN_OR_RETURN(std::shared_ptr<const Chunk> chunk, ReadBucket(meta));
+  for (const std::shared_ptr<const Chunk>& chunk : slots) {
     for (Chunk::CellIterator it(*chunk); it.valid(); it.Next()) {
       cell.clear();
       for (size_t a = 0; a < chunk->nattrs(); ++a) {
@@ -325,7 +355,10 @@ Result<int> DiskArray::MergeSmallBuckets(int64_t small_bytes) {
     }
     RETURN_NOT_OK(WriteBucket(merged));
     ++merges;
-    ++stats_.merges;
+    {
+      MutexLock lk(stats_mu_);
+      ++stats_.merges;
+    }
     progress = true;
   }
 

@@ -9,7 +9,9 @@
 
 #include "array/mem_array.h"
 #include "array/schema.h"
+#include "common/mutex.h"
 #include "common/result.h"
+#include "common/thread_pool.h"
 #include "storage/chunk_cache.h"
 #include "storage/codec.h"
 #include "storage/rtree.h"
@@ -38,7 +40,12 @@ class DiskArray {
 
   const ArraySchema& schema() const { return schema_; }
   size_t bucket_count() const { return buckets_.size(); }
-  const StorageStats& stats() const { return stats_; }
+  // By value: parallel reads mutate the counters concurrently, so a
+  // reference would race with the readers it is trying to observe.
+  StorageStats stats() const LOCKS_EXCLUDED(stats_mu_) {
+    MutexLock lk(stats_mu_);
+    return stats_;
+  }
   CodecType codec() const { return codec_; }
   void set_codec(CodecType c) { codec_ = c; }
 
@@ -51,8 +58,11 @@ class DiskArray {
   // Reads the cells intersecting `query` into a grid-aligned MemArray.
   Result<MemArray> ReadRegion(const Box& query) const;
 
-  // Reads the whole array.
-  Result<MemArray> ReadAll() const;
+  // Reads the whole array. With a pool, bucket read+decompress+decode
+  // runs chunk-parallel (one bucket per morsel); the scatter into the
+  // output array stays single-threaded in bucket-id order, so the result
+  // is identical at every pool width (DESIGN.md §8).
+  Result<MemArray> ReadAll(ThreadPool* pool = nullptr) const;
 
   // Single cell lookup (empty optional when absent).
   Result<std::optional<std::vector<Value>>> ReadCell(
@@ -104,7 +114,10 @@ class DiskArray {
   uint64_t data_end_ = 0;  // append offset
   std::map<uint64_t, BucketMeta> buckets_;
   RTree<uint64_t> rtree_;
-  mutable StorageStats stats_;
+  // Guards only the stat counters: bucket metadata is never mutated while
+  // reads are in flight, and the cache synchronizes itself.
+  mutable Mutex stats_mu_;
+  mutable StorageStats stats_ GUARDED_BY(stats_mu_);
   mutable std::unique_ptr<ChunkCache> cache_;
 };
 

@@ -281,6 +281,41 @@ TEST_F(SessionTest, SjoinViaTextMatchesFigure1) {
   EXPECT_EQ((*r.array->GetCell({2}))[1].double_value(), 2.0);
 }
 
+TEST_F(SessionTest, SetParallelismStatement) {
+  EXPECT_EQ(session_.parallelism(), 1);
+  auto r = session_.Execute("set parallelism = 4").ValueOrDie();
+  ASSERT_EQ(r.kind, QueryResult::Kind::kNone);
+  EXPECT_EQ(r.message, "parallelism set to 4");
+  EXPECT_EQ(session_.parallelism(), 4);
+
+  // Queries under the pool return the same cells as the serial engine.
+  auto par = session_.Execute("select Aggregate(My_remote, {I}, sum(s1))")
+                 .ValueOrDie();
+  ASSERT_TRUE(session_.Execute("set parallelism = 1").ok());
+  EXPECT_EQ(session_.parallelism(), 1);
+  auto ser = session_.Execute("select Aggregate(My_remote, {I}, sum(s1))")
+                 .ValueOrDie();
+  ASSERT_EQ(par.array->CellCount(), ser.array->CellCount());
+  for (int64_t i = 1; i <= 8; ++i) {
+    EXPECT_EQ((*par.array->GetCell({i}))[0].double_value(),
+              (*ser.array->GetCell({i}))[0].double_value());
+  }
+
+  // Invalid knob values are rejected with the session unchanged.
+  EXPECT_TRUE(session_.Execute("set parallelism = 0").status().IsInvalid());
+  EXPECT_TRUE(
+      session_.Execute("set parallelism = 1000").status().IsInvalid());
+  EXPECT_TRUE(session_.Execute("set no_such_knob = 2").status().IsInvalid());
+  EXPECT_EQ(session_.parallelism(), 1);
+
+  // The programmatic knob mirrors the AQL statement.
+  ParallelismOptions opts;
+  opts.workers = 2;
+  ASSERT_TRUE(session_.set_parallelism(opts).ok());
+  EXPECT_EQ(session_.parallelism(), 2);
+  ASSERT_TRUE(session_.set_parallelism(1).ok());
+}
+
 TEST_F(SessionTest, RegisterExternalArray) {
   ArraySchema s("ext", {{"T", 1, 4, 4}},
                 {{"v", DataType::kDouble, true, false}});

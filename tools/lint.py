@@ -14,6 +14,11 @@ Checks enforced over src/ (library code only):
                   (src/common/metrics.h) are shared across every thread;
                   each must be std::atomic, const, a Mutex/CondVar, or
                   GUARDED_BY a mutex.
+  no-raw-thread   Exec-layer code (src/exec/) must parallelize through
+                  ExecContext::pool (common/thread_pool.h), never by
+                  spawning std::thread / std::async directly — raw
+                  threads bypass the morsel error model and the
+                  parallelism=1 determinism guarantee (DESIGN.md §8).
 
 Plus a compile probe (--probe-compiler): discarding a Status must fail to
 compile under -Werror=unused-result, proving the [[nodiscard]] contract
@@ -120,6 +125,7 @@ class Linter:
         self._check_new_delete(path, code_lines, exempt)
         self._check_status_ladder(path, code, raw_lines)
         self._check_metrics_state(path, code_lines, exempt)
+        self._check_raw_thread(path, code_lines, exempt)
         if path.endswith(".h"):
             self._check_include_guard(path, raw)
 
@@ -192,6 +198,25 @@ class Linter:
                     path, lineno, "metrics-state",
                     "shared metric state must be atomic, const, a "
                     "Mutex/CondVar, or GUARDED_BY a mutex")
+
+    _RAW_THREAD = re.compile(
+        r"std\s*::\s*(thread|jthread|async)\b|#\s*include\s*<thread>")
+
+    def _check_raw_thread(self, path, code_lines, exempt):
+        # Operators gain parallelism by taking the session's pool, not by
+        # spawning threads: a raw thread skips morsel claiming, Status
+        # propagation, and cancellation.
+        rel = os.path.relpath(path, self.root).replace(os.sep, "/")
+        if not rel.startswith("src/exec/"):
+            return
+        for lineno, line in enumerate(code_lines, 1):
+            if exempt(lineno):
+                continue
+            if self._RAW_THREAD.search(line):
+                self.report(
+                    path, lineno, "no-raw-thread",
+                    "exec code must use ExecContext::pool "
+                    "(common/thread_pool.h), not raw std::thread/async")
 
     def _check_include_guard(self, path, raw):
         rel = os.path.relpath(path, os.path.join(self.root, "src"))
@@ -327,7 +352,7 @@ def main():
         for f in failures:
             print("  " + f)
         return 1
-    print("lint: OK (%d files, %d checks + nodiscard probe)" % (nfiles, 5))
+    print("lint: OK (%d files, %d checks + nodiscard probe)" % (nfiles, 6))
     return 0
 
 
