@@ -1,0 +1,40 @@
+// Metrics JSON harness: SnapshotFromJson over arbitrary bytes must
+// return a Status (never crash; its integer parsing saturates rather
+// than overflows), and any snapshot it accepts must round-trip through
+// SnapshotToJson losslessly.
+
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "common/metrics.h"
+
+namespace {
+
+[[noreturn]] void Fail(const char* property, const std::string& detail) {
+  std::fprintf(stderr, "fuzz_metrics_json: %s\n%s\n", property,
+               detail.c_str());
+  std::fflush(stderr);
+  std::abort();
+}
+
+}  // namespace
+
+extern "C" int LLVMFuzzerTestOneInput(const uint8_t* data, size_t size) {
+  std::string input(reinterpret_cast<const char*>(data), size);
+  auto snap = scidb::SnapshotFromJson(input);
+  if (!snap.ok()) return 0;
+
+  std::string json = scidb::SnapshotToJson(snap.value());
+  auto snap2 = scidb::SnapshotFromJson(json);
+  if (!snap2.ok()) {
+    Fail("exported snapshot failed to re-parse", json);
+  }
+  std::string json2 = scidb::SnapshotToJson(snap2.value());
+  if (json2 != json) {
+    Fail("json -> snapshot -> json is not a fixed point",
+         json + "\n!=\n" + json2);
+  }
+  return 0;
+}

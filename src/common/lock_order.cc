@@ -1,0 +1,131 @@
+#include "common/lock_order.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <vector>
+
+namespace scidb {
+
+uint64_t LockOrderGraph::AddNode(const char* name) {
+  std::lock_guard<std::mutex> lk(mu_);
+  uint64_t id = next_id_++;
+  Node& n = nodes_[id];
+  if (name != nullptr) n.name = name;
+  return id;
+}
+
+void LockOrderGraph::RemoveNode(uint64_t id) {
+  std::lock_guard<std::mutex> lk(mu_);
+  nodes_.erase(id);
+  for (auto& [other, node] : nodes_) {
+    (void)other;
+    node.out.erase(id);
+  }
+}
+
+bool LockOrderGraph::Reachable(uint64_t from, uint64_t to,
+                               std::unordered_set<uint64_t>* seen) const {
+  if (from == to) return true;
+  if (!seen->insert(from).second) return false;
+  auto it = nodes_.find(from);
+  if (it == nodes_.end()) return false;
+  for (uint64_t next : it->second.out) {
+    if (Reachable(next, to, seen)) return true;
+  }
+  return false;
+}
+
+std::string LockOrderGraph::NodeLabel(uint64_t id) const {
+  auto it = nodes_.find(id);
+  std::string label = "lock#" + std::to_string(id);
+  if (it != nodes_.end() && !it->second.name.empty()) {
+    label += " (" + it->second.name + ")";
+  }
+  return label;
+}
+
+std::string LockOrderGraph::RecordEdge(uint64_t held, uint64_t acquiring) {
+  if (held == acquiring) {
+    // Relocking the lock you hold is self-deadlock for a non-recursive
+    // mutex; report it through the same channel.
+    std::lock_guard<std::mutex> lk(mu_);
+    return "lock-order violation: " + NodeLabel(held) +
+           " acquired while already held (self-deadlock)";
+  }
+  std::lock_guard<std::mutex> lk(mu_);
+  auto held_it = nodes_.find(held);
+  if (held_it == nodes_.end()) return "";  // destroyed concurrently; ignore
+  if (held_it->second.out.count(acquiring) > 0) return "";  // known-good edge
+  // Adding held -> acquiring closes a cycle iff `held` is already
+  // reachable from `acquiring` — i.e. some path says acquiring-before-held
+  // while this thread is doing held-before-acquiring.
+  std::unordered_set<uint64_t> seen;
+  if (Reachable(acquiring, held, &seen)) {
+    return "lock-order violation: acquiring " + NodeLabel(acquiring) +
+           " while holding " + NodeLabel(held) + ", but " +
+           NodeLabel(acquiring) + " was previously established as " +
+           "acquired-before " + NodeLabel(held) +
+           " (cycle in the acquisition-order graph)";
+  }
+  held_it->second.out.insert(acquiring);
+  return "";
+}
+
+size_t LockOrderGraph::EdgeCount() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  size_t n = 0;
+  for (const auto& [id, node] : nodes_) {
+    (void)id;
+    n += node.out.size();
+  }
+  return n;
+}
+
+namespace lock_order_internal {
+
+namespace {
+
+LockOrderGraph& Graph() {
+  static auto* const g = new LockOrderGraph();
+  return *g;
+}
+
+// Currently held lock ids, innermost last. A plain vector: lock nests are
+// shallow (2-3 deep) and release order may be non-LIFO, so erase-by-value.
+std::vector<uint64_t>& HeldStack() {
+  thread_local std::vector<uint64_t> held;
+  return held;
+}
+
+}  // namespace
+
+uint64_t OnCreate(const char* name) { return Graph().AddNode(name); }
+
+void OnDestroy(uint64_t id) { Graph().RemoveNode(id); }
+
+void PreAcquire(uint64_t id) {
+  for (uint64_t held : HeldStack()) {
+    std::string cycle = Graph().RecordEdge(held, id);
+    if (!cycle.empty()) {
+      std::fprintf(stderr, "scidb lock-order detector: %s\n", cycle.c_str());
+      std::fflush(stderr);
+      std::abort();
+    }
+  }
+}
+
+void PostAcquire(uint64_t id) { HeldStack().push_back(id); }
+
+void OnRelease(uint64_t id) {
+  std::vector<uint64_t>& held = HeldStack();
+  for (size_t i = held.size(); i > 0; --i) {
+    if (held[i - 1] == id) {
+      held.erase(held.begin() + static_cast<ptrdiff_t>(i - 1));
+      return;
+    }
+  }
+}
+
+}  // namespace lock_order_internal
+
+}  // namespace scidb

@@ -1,0 +1,85 @@
+#ifndef SCIDB_COMMON_LOCK_ORDER_H_
+#define SCIDB_COMMON_LOCK_ORDER_H_
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+
+namespace scidb {
+
+// Lock-acquisition-order graph with cycle detection (DESIGN.md §9).
+//
+// Every Mutex is a node; observing a thread acquire lock B while holding
+// lock A records the directed edge A -> B ("A is taken before B"). A
+// well-ordered program's graph is acyclic; a cycle means two code paths
+// acquire the same pair of locks in opposite orders — the classic
+// deadlock recipe, reported deterministically even when the interleaving
+// that would actually deadlock never happens in the test run.
+//
+// The graph itself is build-type independent and directly unit-testable.
+// The process-wide instance wired into common/mutex.h is active only when
+// SCIDB_LOCK_ORDER_CHECKS is 1 (debug builds, or -DSCIDB_LOCK_ORDER=ON);
+// release builds compile the hooks out entirely.
+class LockOrderGraph {
+ public:
+  LockOrderGraph() = default;
+  LockOrderGraph(const LockOrderGraph&) = delete;
+  LockOrderGraph& operator=(const LockOrderGraph&) = delete;
+
+  // Registers a lock; `name` is kept for diagnostics (may be null).
+  // Returned ids are unique for the lifetime of the graph, never reused.
+  uint64_t AddNode(const char* name);
+
+  // Forgets a destroyed lock and every edge touching it. Ids are never
+  // reused, so a stale edge could not misfire — this only bounds memory.
+  void RemoveNode(uint64_t id);
+
+  // Records "about to acquire `acquiring` while holding `held`". Returns
+  // an empty string when the order is consistent with every acquisition
+  // seen so far, otherwise a human-readable description of the cycle the
+  // new edge would close (the inverted pair plus the path between them).
+  [[nodiscard]] std::string RecordEdge(uint64_t held, uint64_t acquiring);
+
+  // Number of distinct edges recorded (test introspection).
+  size_t EdgeCount() const;
+
+ private:
+  struct Node {
+    std::string name;
+    std::unordered_set<uint64_t> out;  // ids acquired while holding this
+  };
+
+  // True when `to` is reachable from `from` over out-edges.
+  bool Reachable(uint64_t from, uint64_t to,
+                 std::unordered_set<uint64_t>* seen) const;
+  std::string NodeLabel(uint64_t id) const;
+
+  // A raw std::mutex, deliberately: the detector must not instrument its
+  // own synchronization.
+  mutable std::mutex mu_;
+  std::unordered_map<uint64_t, Node> nodes_;
+  uint64_t next_id_ = 1;
+};
+
+// Hooks called by scidb::Mutex when SCIDB_LOCK_ORDER_CHECKS is on. They
+// maintain a per-thread stack of held lock ids and feed the process-wide
+// LockOrderGraph; PreAcquire prints the offending cycle to stderr and
+// aborts when an acquisition inverts the established order.
+namespace lock_order_internal {
+
+uint64_t OnCreate(const char* name);
+void OnDestroy(uint64_t id);
+// Before blocking on the lock: checks every currently held lock -> `id`
+// edge for a cycle. Aborting *before* the deadlock leaves a clean stack.
+void PreAcquire(uint64_t id);
+// After the lock is held (lock() success or try_lock() returning true).
+void PostAcquire(uint64_t id);
+void OnRelease(uint64_t id);
+
+}  // namespace lock_order_internal
+
+}  // namespace scidb
+
+#endif  // SCIDB_COMMON_LOCK_ORDER_H_

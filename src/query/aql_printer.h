@@ -1,0 +1,28 @@
+#ifndef SCIDB_QUERY_AQL_PRINTER_H_
+#define SCIDB_QUERY_AQL_PRINTER_H_
+
+#include <string>
+
+#include "common/result.h"
+#include "query/parse_tree.h"
+
+namespace scidb {
+
+// Renders a parse tree back to AQL text that re-parses to an equivalent
+// tree. The contract fuzz_parser enforces is a STRING-level fixed point:
+// for s2 = StatementToAql(Parse(s)), Parse(s2) must succeed and
+// StatementToAql(Parse(s2)) == s2. One lossy normalization step is
+// allowed on the first hop (case folding, integral floats printing as
+// integers, redundant parens dropping), never on the second.
+//
+// Fails (Status::Invalid) only on trees the grammar cannot express —
+// e.g. literal Values of uncertain/nested-array type or non-finite
+// floats, which the C++ binding can build but no AQL text produces.
+[[nodiscard]] Result<std::string> StatementToAql(const Statement& stmt);
+
+// The same rendering for a single operator tree ("filter(A, x > 2)").
+[[nodiscard]] Result<std::string> OpNodeToAql(const OpNode& node);
+
+}  // namespace scidb
+
+#endif  // SCIDB_QUERY_AQL_PRINTER_H_

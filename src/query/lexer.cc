@@ -1,6 +1,10 @@
 #include "query/lexer.h"
 
 #include <cctype>
+#include <cerrno>
+#include <cmath>
+#include <cstdint>
+#include <cstdlib>
 #include <set>
 
 namespace scidb {
@@ -70,10 +74,30 @@ Result<std::vector<Token>> Tokenize(const std::string& input) {
       tok.text = input.substr(start, i - start);
       if (is_float) {
         tok.type = TokenType::kFloat;
-        tok.float_value = std::stod(tok.text);
+        // strtod never throws (std::stod throws out_of_range on literals
+        // like "1" + 400 digits, found by fuzz_parser). Overflow to
+        // infinity is a lex error; underflow to 0 is accepted as 0.
+        errno = 0;
+        tok.float_value = std::strtod(tok.text.c_str(), nullptr);
+        if (!std::isfinite(tok.float_value)) {
+          return Status::Invalid("float literal out of range at offset " +
+                                 std::to_string(tok.offset));
+        }
       } else {
         tok.type = TokenType::kInteger;
-        tok.int_value = std::stoll(tok.text);
+        // Manual accumulation: std::stoll throws out_of_range on
+        // "9223372036854775808" and longer digit runs (found by
+        // fuzz_parser); library code must return Status instead.
+        int64_t v = 0;
+        for (char d : tok.text) {
+          int digit = d - '0';
+          if (v > (INT64_MAX - digit) / 10) {
+            return Status::Invalid("integer literal out of range at offset " +
+                                   std::to_string(tok.offset));
+          }
+          v = v * 10 + digit;
+        }
+        tok.int_value = v;
       }
     } else if (c == '\'') {
       ++i;

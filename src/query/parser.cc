@@ -343,6 +343,8 @@ class Parser {
 
   // ---- operator calls / array refs ----
   Result<OpNodePtr> ParseOpOrArray() {
+    DepthGuard depth(&depth_);
+    if (depth_ > kMaxDepth) return Err("statement nesting too deep");
     ASSIGN_OR_RETURN(std::string name, ExpectIdentifier());
     std::string lower = ToLower(name);
     bool known = OperatorNames().count(lower) > 0 || IsUserOp(lower);
@@ -539,6 +541,8 @@ class Parser {
 
   Result<ExprPtr> ParseNot() {
     if (AcceptKeyword("not")) {
+      DepthGuard depth(&depth_);
+      if (depth_ > kMaxDepth) return Err("expression nesting too deep");
       ASSIGN_OR_RETURN(ExprPtr e, ParseNot());
       return Not(std::move(e));
     }
@@ -600,6 +604,8 @@ class Parser {
 
   Result<ExprPtr> ParseUnary() {
     if (AcceptSymbol("-")) {
+      DepthGuard depth(&depth_);
+      if (depth_ > kMaxDepth) return Err("expression nesting too deep");
       ASSIGN_OR_RETURN(ExprPtr e, ParseUnary());
       return Sub(Lit(int64_t{0}), std::move(e));
     }
@@ -607,6 +613,8 @@ class Parser {
   }
 
   Result<ExprPtr> ParsePrimary() {
+    DepthGuard depth(&depth_);
+    if (depth_ > kMaxDepth) return Err("expression nesting too deep");
     const Token& t = Peek();
     if (t.Is(TokenType::kInteger)) {
       Advance();
@@ -674,8 +682,23 @@ class Parser {
     return s;
   }
 
+  // The grammar recurses through nested operator calls ("filter(filter(…")
+  // and expressions ("((((…", "not not …"); without a ceiling a short
+  // hostile input overflows the stack (found by fuzz_parser). 200 frames
+  // is far beyond any legitimate statement yet safely inside the default
+  // 8 MB stack even with ASan's larger frames.
+  static constexpr int kMaxDepth = 200;
+  struct DepthGuard {
+    explicit DepthGuard(int* depth) : depth_(depth) { ++*depth_; }
+    ~DepthGuard() { --*depth_; }
+    DepthGuard(const DepthGuard&) = delete;
+    DepthGuard& operator=(const DepthGuard&) = delete;
+    int* depth_;
+  };
+
   std::vector<Token> toks_;
   size_t pos_ = 0;
+  int depth_ = 0;
   std::vector<std::string> input_names_;
   const std::set<std::string>* user_ops_;
 };

@@ -24,7 +24,10 @@ ExecContext Session::MakeContext() const {
   ExecContext ctx;
   ctx.functions = &functions_;
   ctx.aggregates = &aggregates_;
-  ctx.pool = pool_.get();  // null at parallelism 1 → serial engine
+  {
+    MutexLock lock(mu_);
+    ctx.pool = pool_.get();  // null at parallelism 1 → serial engine
+  }
   return ctx;
 }
 
@@ -34,7 +37,9 @@ Status Session::set_parallelism(int workers) {
                            std::to_string(kMaxParallelism) + "], got " +
                            std::to_string(workers));
   }
-  if (workers == parallelism()) return Status::OK();
+  MutexLock lock(mu_);
+  int current = pool_ != nullptr ? pool_->parallelism() : 1;
+  if (workers == current) return Status::OK();
   if (workers == 1) {
     pool_.reset();
     return Status::OK();
@@ -470,7 +475,10 @@ Result<QueryResult> Session::ExecuteExplain(const Statement& stmt) {
     (void)out;  // explain analyze reports the trace, not the data
   }
   trace->execute_ns = clock_() - t0;
-  last_trace_ = trace;
+  {
+    MutexLock lock(mu_);
+    last_trace_ = trace;
+  }
   result.trace = trace;
   result.message = trace->ToString(true);
   return result;
@@ -572,8 +580,17 @@ Result<MemArray> Session::ResolveArrayRef(const OpNode& node,
   if (it != arrays_.end()) {
     return *it->second;  // value copy: operators never mutate catalog arrays
   }
-  if (storage_ != nullptr) {
-    Result<DiskArray*> da = storage_->OpenArray(node.array);
+  // Snapshot the guarded pointers; mu_ must not be held across the read
+  // itself (ReadAll can run for a long time and takes engine locks).
+  StorageManager* storage = nullptr;
+  ThreadPool* pool = nullptr;
+  {
+    MutexLock lock(mu_);
+    storage = storage_;
+    pool = pool_.get();
+  }
+  if (storage != nullptr) {
+    Result<DiskArray*> da = storage->OpenArray(node.array);
     if (da.ok()) {
       DiskArray* disk = da.value();
       // Deltas, not totals: the trace reports what THIS scan did to the
@@ -581,7 +598,7 @@ Result<MemArray> Session::ResolveArrayRef(const OpNode& node,
       ChunkCache::Stats before;
       if (disk->cache() != nullptr) before = disk->cache()->stats();
       int64_t bytes_read_before = disk->stats().bytes_read;
-      ASSIGN_OR_RETURN(MemArray out, disk->ReadAll(pool_.get()));
+      ASSIGN_OR_RETURN(MemArray out, disk->ReadAll(pool));
       if (tn != nullptr) {
         tn->AddNote("disk_bytes_read",
                     static_cast<double>(disk->stats().bytes_read -

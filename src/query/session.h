@@ -10,6 +10,7 @@
 
 #include "array/mem_array.h"
 #include "common/metrics.h"
+#include "common/mutex.h"
 #include "common/result.h"
 #include "common/thread_pool.h"
 #include "common/trace.h"
@@ -91,11 +92,14 @@ class Session {
   // statement `set parallelism = N` routes here. Width 1 tears the pool
   // down and restores the serial engine (identical to pre-pool behavior);
   // widths above kMaxParallelism are rejected.
-  [[nodiscard]] Status set_parallelism(int workers);
+  [[nodiscard]] Status set_parallelism(int workers) LOCKS_EXCLUDED(mu_);
   Status set_parallelism(const ParallelismOptions& opts) {
     return set_parallelism(opts.workers);
   }
-  int parallelism() const { return pool_ != nullptr ? pool_->parallelism() : 1; }
+  int parallelism() const LOCKS_EXCLUDED(mu_) {
+    MutexLock lock(mu_);
+    return pool_ != nullptr ? pool_->parallelism() : 1;
+  }
   static constexpr int kMaxParallelism = 64;
 
   // ---- observability (DESIGN.md §7) ----
@@ -103,7 +107,10 @@ class Session {
   // storage manager (DiskArray::ReadAll through its chunk cache), so
   // `explain analyze` can report cache hit ratios for stored arrays.
   // Non-owning; pass nullptr to detach.
-  void AttachStorage(StorageManager* storage) { storage_ = storage; }
+  void AttachStorage(StorageManager* storage) LOCKS_EXCLUDED(mu_) {
+    MutexLock lock(mu_);
+    storage_ = storage;
+  }
 
   // Injectable trace clock (nanoseconds, monotone). Tests install a fake
   // to make `explain analyze` timings deterministic; null restores the
@@ -111,7 +118,8 @@ class Session {
   void set_clock(TraceClock clock);
 
   // The trace of the most recent `explain analyze`, or null.
-  std::shared_ptr<const QueryTrace> last_trace() const {
+  std::shared_ptr<const QueryTrace> last_trace() const LOCKS_EXCLUDED(mu_) {
+    MutexLock lock(mu_);
     return last_trace_;
   }
 
@@ -163,12 +171,20 @@ class Session {
   std::map<std::string, UserArrayOp> user_ops_;
   std::set<std::string> user_op_names_;  // lowercase, for the parser
   bool optimize_ = true;
+  // Control-plane state other threads may flip or inspect while a
+  // statement executes — the parallelism knob, the attached storage
+  // fallback, and the last explain-analyze trace. mu_ is held only for
+  // pointer reads/swaps, never across an execution, so it nests strictly
+  // outside every engine lock (Session::mu_ -> ThreadPool/cache locks is
+  // the only order the debug lock-order detector ever sees).
+  mutable Mutex mu_{"Session::mu_"};
   // Null at width 1: the serial path must not pay even an empty pool.
-  std::unique_ptr<ThreadPool> pool_;
+  std::unique_ptr<ThreadPool> pool_ GUARDED_BY(mu_);
   const ProvenanceLog* provenance_ = nullptr;
-  StorageManager* storage_ = nullptr;
-  TraceClock clock_;  // never null (ctor installs SteadyNowNs)
-  std::shared_ptr<const QueryTrace> last_trace_;
+  StorageManager* storage_ GUARDED_BY(mu_) = nullptr;
+  TraceClock clock_;  // never null (ctor installs SteadyNowNs); test-time
+                      // injection only, set before any concurrent use
+  std::shared_ptr<const QueryTrace> last_trace_ GUARDED_BY(mu_);
   // Parse timing + statement text carried from Execute(string) into the
   // Statement overload, so explain traces can report the parse phase.
   uint64_t pending_parse_ns_ = 0;

@@ -124,8 +124,34 @@ Result<Chunk> DeserializeChunk(const std::vector<uint8_t>& bytes,
                               std::to_string(attrs.size()));
   }
 
-  Chunk chunk(box, attrs);
+  // Validate the box's cell capacity BEFORE constructing the Chunk:
+  // Box::CellCount() multiplies extents unchecked, so a hostile box like
+  // [INT64_MIN, INT64_MAX]^64 is signed-overflow UB and/or a multi-GB
+  // allocation (found by fuzz_chunk_serde). Extents are computed in
+  // uint64 (exact since high >= low; the +1 wraps to 0 only for the
+  // full-int64 range, which the == 0 check rejects), and the running
+  // product is capped by the payload size: the format stores at least one
+  // present-bitmap byte per cell, so capacity can never legitimately
+  // exceed the bytes remaining in the buffer.
+  uint64_t capacity = 1;
+  const uint64_t max_cells = r.remaining();
+  for (size_t d = 0; d < ndims; ++d) {
+    uint64_t extent = static_cast<uint64_t>(box.high[d]) -
+                      static_cast<uint64_t>(box.low[d]) + 1;
+    if (extent == 0 || extent > max_cells || capacity > max_cells / extent) {
+      return Status::Corruption("chunk box larger than payload");
+    }
+    capacity *= extent;
+  }
   ASSIGN_OR_RETURN(uint64_t cells, r.GetVarint());
+  if (cells != capacity) {
+    return Status::Corruption("chunk cell count mismatch");
+  }
+  if (cells > r.remaining()) {
+    return Status::Corruption("chunk cell count exceeds payload");
+  }
+
+  Chunk chunk(box, attrs);
   if (static_cast<int64_t>(cells) != chunk.cell_capacity()) {
     return Status::Corruption("chunk cell count mismatch");
   }
@@ -210,12 +236,23 @@ Result<Chunk> DeserializeChunk(const std::vector<uint8_t>& bytes,
             b.Set(rank, Value::Null());
             break;
           }
+          // Each shape entry is at least one varint byte, so a declared
+          // rank beyond the remaining payload is corruption — checked
+          // before resize() so a 5-byte varint cannot demand a 2^60-entry
+          // allocation (found by fuzz_chunk_serde).
+          if (nd > r.remaining()) {
+            return Status::Corruption("nested array rank exceeds payload");
+          }
           auto na = std::make_shared<NestedArray>();
           na->shape.resize(nd);
           for (uint64_t d = 0; d < nd; ++d) {
             ASSIGN_OR_RETURN(na->shape[d], r.GetSignedVarint());
           }
           ASSIGN_OR_RETURN(uint64_t nv, r.GetVarint());
+          // Values are 8 bytes each; same declared-size-vs-payload guard.
+          if (nv > r.remaining() / sizeof(double)) {
+            return Status::Corruption("nested array size exceeds payload");
+          }
           na->values.reserve(nv);
           for (uint64_t k = 0; k < nv; ++k) {
             ASSIGN_OR_RETURN(double v, r.GetDouble());

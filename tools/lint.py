@@ -19,6 +19,13 @@ Checks enforced over src/ (library code only):
                   spawning std::thread / std::async directly — raw
                   threads bypass the morsel error model and the
                   parallelism=1 determinism guarantee (DESIGN.md §8).
+  atomic-order    std::memory_order_relaxed is allowed only in the two
+                  audited hot paths (src/common/metrics.* and
+                  src/common/thread_pool.*); anywhere else it needs a
+                  `// relaxed-ok: <why>` justification on the same line.
+                  Relaxed ordering is correct only when the value carries
+                  no release/acquire obligation — that argument must be
+                  written down where it is made.
 
 Plus a compile probe (--probe-compiler): discarding a Status must fail to
 compile under -Werror=unused-result, proving the [[nodiscard]] contract
@@ -126,6 +133,7 @@ class Linter:
         self._check_status_ladder(path, code, raw_lines)
         self._check_metrics_state(path, code_lines, exempt)
         self._check_raw_thread(path, code_lines, exempt)
+        self._check_atomic_order(path, code_lines, raw_lines, exempt)
         if path.endswith(".h"):
             self._check_include_guard(path, raw)
 
@@ -217,6 +225,31 @@ class Linter:
                     path, lineno, "no-raw-thread",
                     "exec code must use ExecContext::pool "
                     "(common/thread_pool.h), not raw std::thread/async")
+
+    # Paths whose relaxed atomics have been audited as a unit: the metric
+    # instruments (monotonic counters read by snapshot, no ordering
+    # obligations) and the pool's morsel claim/cancel flags (claiming is
+    # fetch_add on an index; the data handoff synchronizes via the Job
+    # mutex and thread join, not the counter).
+    _RELAXED_ALLOWED = ("src/common/metrics.", "src/common/thread_pool.")
+    _RELAXED_OK = re.compile(r"//\s*relaxed-ok:\s*\S")
+
+    def _check_atomic_order(self, path, code_lines, raw_lines, exempt):
+        rel = os.path.relpath(path, self.root).replace(os.sep, "/")
+        if rel.startswith(self._RELAXED_ALLOWED):
+            return
+        for lineno, line in enumerate(code_lines, 1):
+            if "memory_order_relaxed" not in line:
+                continue
+            if exempt(lineno):
+                continue
+            if self._RELAXED_OK.search(raw_lines[lineno - 1]):
+                continue
+            self.report(
+                path, lineno, "atomic-order",
+                "memory_order_relaxed outside the audited hot paths; "
+                "justify with `// relaxed-ok: <why>` or use the default "
+                "sequentially consistent ordering")
 
     def _check_include_guard(self, path, raw):
         rel = os.path.relpath(path, os.path.join(self.root, "src"))
@@ -352,7 +385,7 @@ def main():
         for f in failures:
             print("  " + f)
         return 1
-    print("lint: OK (%d files, %d checks + nodiscard probe)" % (nfiles, 6))
+    print("lint: OK (%d files, %d checks + nodiscard probe)" % (nfiles, 7))
     return 0
 
 
