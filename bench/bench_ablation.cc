@@ -18,7 +18,7 @@ Session& SharedSession() {
     SCIDB_CHECK(s->Execute("define T (v = double) (I, J)").ok());
     SCIDB_CHECK(s->Execute("create A as T [128, 128]").ok());
     auto arr = s->GetArray("A").ValueOrDie();
-    Rng rng(9);
+    Rng rng(TestSeed(9));
     for (int64_t i = 1; i <= 128; ++i) {
       for (int64_t j = 1; j <= 128; ++j) {
         SCIDB_CHECK(
@@ -61,7 +61,7 @@ void BM_ReplicationWidth(benchmark::State& state) {
     auto part = std::make_shared<RangePartitioner>(
         0, std::vector<int64_t>{1024, 2048, 3072});
     DistributedArray d(s, part);
-    Rng rng(5);
+    Rng rng(TestSeed(5));
     for (int64_t k = 0; k < 4096; ++k) {
       SCIDB_CHECK(
           d.SetCell({k + 1}, {Value(rng.NextDouble())}, 0).ok());

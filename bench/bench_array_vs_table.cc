@@ -150,7 +150,7 @@ BENCHMARK(BM_Regrid_Table)->Arg(256)->Unit(benchmark::kMillisecond);
 
 void BM_PointRead_Native(benchmark::State& state) {
   Fixture& f = SharedFixture(state.range(0));
-  Rng rng(9);
+  Rng rng(TestSeed(9));
   for (auto _ : state) {
     Coordinates c{rng.UniformInt(1, f.n), rng.UniformInt(1, f.n)};
     benchmark::DoNotOptimize(f.native.GetCell(c));
@@ -161,7 +161,7 @@ BENCHMARK(BM_PointRead_Native)->Arg(256);
 
 void BM_PointRead_Table(benchmark::State& state) {
   Fixture& f = SharedFixture(state.range(0));
-  Rng rng(9);
+  Rng rng(TestSeed(9));
   for (auto _ : state) {
     Coordinates c{rng.UniformInt(1, f.n), rng.UniformInt(1, f.n)};
     benchmark::DoNotOptimize(f.table->GetCell(c));

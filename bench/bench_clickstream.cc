@@ -33,7 +33,7 @@ struct ClickData {
                               {"position", DataType::kInt64},
                               {"item", DataType::kInt64},
                               {"clicked", DataType::kBool}});
-    Rng rng(777);
+    Rng rng(TestSeed(777));
     int64_t session_id = 1;
     for (int64_t t = 1; t <= kEvents; ++t) {
       if (rng.NextDouble() < 0.1) ++session_id;

@@ -21,7 +21,7 @@ MemArray Vector1D(const std::string& name, int64_t n, int64_t chunk,
   ArraySchema s(name, {{"x", 1, n, chunk}},
                 {{"val", DataType::kDouble, true, false}});
   MemArray a(s);
-  Rng rng(seed);
+  Rng rng(TestSeed(seed));
   for (int64_t x = 1; x <= n; ++x) {
     SCIDB_CHECK(
         a.SetCell({x}, Value(static_cast<double>(rng.Uniform(
@@ -90,7 +90,7 @@ void BM_Fig2_Aggregate(benchmark::State& state) {
   ArraySchema s("H", {{"x", 1, n, 64}, {"y", 1, 64, 64}},
                 {{"v", DataType::kDouble, true, false}});
   MemArray h(s);
-  Rng rng(3);
+  Rng rng(TestSeed(3));
   for (int64_t x = 1; x <= n; ++x) {
     for (int64_t y = 1; y <= 64; ++y) {
       SCIDB_CHECK(h.SetCell({x, y}, Value(rng.NextDouble())).ok());

@@ -103,7 +103,7 @@ void BM_RepeatedQueries(benchmark::State& state) {
   Files& files = SharedFiles();
   const int64_t queries = state.range(0);
   const bool in_situ = state.range(1) == 1;
-  Rng rng(5);
+  Rng rng(TestSeed(5));
   for (auto _ : state) {
     if (in_situ) {
       auto ext = SciDbFile::Open(files.sdb_path).ValueOrDie();
@@ -144,7 +144,7 @@ void BM_H5AdaptorRead(benchmark::State& state) {
     ds.name = "image";
     ds.dim_names = {"I", "J"};
     ds.shape = {kSide, kSide};
-    Rng rng(6);
+    Rng rng(TestSeed(6));
     for (int64_t k = 0; k < kSide * kSide; ++k) {
       ds.data.push_back(rng.NextDouble());
     }

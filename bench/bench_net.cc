@@ -1,0 +1,181 @@
+// Transport/RPC cost curves (EXP-NET, DESIGN.md §10): round-trip latency
+// of one correlated RPC and scatter/gather throughput of a full grid
+// workload, on each transport. Run
+//
+//   ./build/bench/bench_net --benchmark_out=BENCH_net.json
+//       --benchmark_out_format=json
+//
+// and compare across the /inline /threaded /tcp label suffixes. Inline
+// is the floor (function-call dispatch, no copies beyond framing);
+// threaded adds queue handoff and wakeups; tcp adds syscalls, kernel
+// buffering, and stream reassembly. The spread bounds what moving the
+// grid off real sockets costs — everything above inline is transport
+// overhead, not query work.
+#include <benchmark/benchmark.h>
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/logging.h"
+#include "common/rng.h"
+#include "grid/cluster.h"
+#include "grid/partitioner.h"
+#include "net/inprocess_transport.h"
+#include "net/rpc.h"
+#include "net/tcp_transport.h"
+
+namespace scidb {
+namespace {
+
+using net::InProcessTransport;
+using net::LoopbackTcpTransport;
+using net::MessageType;
+using net::RpcClient;
+using net::RpcServer;
+using net::Transport;
+
+using Kind = GridNetOptions::TransportKind;
+
+const char* KindName(Kind k) {
+  switch (k) {
+    case Kind::kInline:
+      return "inline";
+    case Kind::kThreaded:
+      return "threaded";
+    case Kind::kTcp:
+      return "tcp";
+  }
+  return "?";
+}
+
+std::unique_ptr<Transport> MakeTransport(Kind k) {
+  switch (k) {
+    case Kind::kInline:
+      return std::make_unique<InProcessTransport>(
+          InProcessTransport::Mode::kInline);
+    case Kind::kThreaded:
+      return std::make_unique<InProcessTransport>(
+          InProcessTransport::Mode::kThreaded);
+    case Kind::kTcp:
+      return std::make_unique<LoopbackTcpTransport>();
+  }
+  return nullptr;
+}
+
+// ---- single-RPC round trip: client node 0 <-> echo server node 1 ----
+
+void BM_RpcRoundTrip(benchmark::State& state) {
+  const Kind kind = static_cast<Kind>(state.range(0));
+  const size_t payload_size = static_cast<size_t>(state.range(1));
+  std::unique_ptr<Transport> t = MakeTransport(kind);
+  RpcServer server(t.get(), 1);
+  server.Handle(MessageType::kScanShard,
+                [](int, const std::vector<uint8_t>& payload)
+                    -> Result<std::vector<uint8_t>> { return payload; });
+  RpcClient client(t.get(), 0);
+  SCIDB_CHECK(net::BindNode(t.get(), 1, &server, nullptr).ok());
+  SCIDB_CHECK(net::BindNode(t.get(), 0, nullptr, &client).ok());
+
+  std::vector<uint8_t> payload(payload_size, 0x5A);
+  for (auto _ : state) {
+    auto r = client.Call(1, MessageType::kScanShard, payload);
+    SCIDB_CHECK(r.ok()) << r.status().ToString();
+    benchmark::DoNotOptimize(r.value().size());
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) * 2 *
+                          static_cast<int64_t>(payload_size));
+  state.SetLabel(std::string(KindName(kind)) + "/" +
+                 std::to_string(payload_size) + "B");
+  t->Shutdown();
+}
+BENCHMARK(BM_RpcRoundTrip)
+    ->ArgsProduct({{0, 1, 2}, {64, 64 * 1024}})
+    ->Unit(benchmark::kMicrosecond)
+    ->UseRealTime();
+
+// ---- grid scatter/gather: Load fans chunks out, aggregate gathers ----
+
+constexpr int64_t kN = 128;     // 128 x 128 cells
+constexpr int64_t kChunk = 16;  // 8 x 8 = 64 chunks over 4 nodes
+
+ArraySchema SkySchema() {
+  return ArraySchema("sky", {{"ra", 1, kN, kChunk}, {"dec", 1, kN, kChunk}},
+                     {{"flux", DataType::kDouble, true, false}});
+}
+
+const MemArray& SkyArray() {
+  static MemArray* a = [] {
+    auto* arr = new MemArray(SkySchema());
+    Rng rng(TestSeed(42));
+    for (int64_t i = 1; i <= kN; ++i) {
+      for (int64_t j = 1; j <= kN; ++j) {
+        Status st = arr->SetCell({i, j}, Value(rng.NextDouble() * 100.0));
+        SCIDB_CHECK(st.ok()) << st.ToString();
+      }
+    }
+    return arr;
+  }();
+  return *a;
+}
+
+GridNetOptions NetOptions(Kind kind) {
+  GridNetOptions net;
+  net.transport = kind;
+  // Bulk loads over TCP move 64 chunks through real sockets; give the
+  // per-call budget headroom so the bench never measures retry storms.
+  net.call.deadline_ns = 5'000'000'000;
+  net.call.attempt_timeout_ns = 2'000'000'000;
+  return net;
+}
+
+std::shared_ptr<FixedGridPartitioner> QuadPartitioner() {
+  return std::make_shared<FixedGridPartitioner>(Box({1, 1}, {kN, kN}),
+                                                std::vector<int64_t>{2, 2});
+}
+
+void BM_GridScatterLoad(benchmark::State& state) {
+  const Kind kind = static_cast<Kind>(state.range(0));
+  const MemArray& sky = SkyArray();
+  for (auto _ : state) {
+    DistributedArray d(SkySchema(), QuadPartitioner(), NetOptions(kind));
+    Status st = d.Load(sky, 0);
+    SCIDB_CHECK(st.ok()) << st.ToString();
+    benchmark::DoNotOptimize(d.TotalCells());
+  }
+  state.SetItemsProcessed(state.iterations() * kN * kN);
+  state.SetLabel(KindName(kind));
+}
+BENCHMARK(BM_GridScatterLoad)
+    ->Arg(0)
+    ->Arg(1)
+    ->Arg(2)
+    ->Unit(benchmark::kMillisecond)
+    ->UseRealTime();
+
+void BM_GridGatherAggregate(benchmark::State& state) {
+  const Kind kind = static_cast<Kind>(state.range(0));
+  DistributedArray d(SkySchema(), QuadPartitioner(), NetOptions(kind));
+  Status st = d.Load(SkyArray(), 0);
+  SCIDB_CHECK(st.ok()) << st.ToString();
+  static FunctionRegistry* fns = new FunctionRegistry();
+  static AggregateRegistry* aggs = new AggregateRegistry();
+  ExecContext ctx{fns, aggs, true, nullptr};
+  for (auto _ : state) {
+    auto r = d.ParallelAggregate(ctx, {"ra"}, "avg", "flux");
+    SCIDB_CHECK(r.ok()) << r.status().ToString();
+    benchmark::DoNotOptimize(r.value().CellCount());
+  }
+  state.SetItemsProcessed(state.iterations() * kN * kN);
+  state.SetLabel(KindName(kind));
+}
+BENCHMARK(BM_GridGatherAggregate)
+    ->Arg(0)
+    ->Arg(1)
+    ->Arg(2)
+    ->Unit(benchmark::kMillisecond)
+    ->UseRealTime();
+
+}  // namespace
+}  // namespace scidb

@@ -32,7 +32,7 @@ ArraySchema GridSchema() {
 // events, it is very interesting".
 MemArray UniformObservations(uint64_t seed) {
   MemArray a(GridSchema());
-  Rng rng(seed);
+  Rng rng(TestSeed(seed));
   for (int64_t x = 1; x <= kSide; ++x) {
     for (int64_t y = 1; y <= kSide; ++y) {
       SCIDB_CHECK(a.SetCell({x, y}, Value(rng.NextDouble())).ok());
@@ -43,7 +43,7 @@ MemArray UniformObservations(uint64_t seed) {
 
 // 85% of queries hit the hot band (rows 1..16), 15% uniform elsewhere.
 std::vector<Box> ElNinoQueries(int count, uint64_t seed) {
-  Rng rng(seed);
+  Rng rng(TestSeed(seed));
   std::vector<Box> queries;
   for (int q = 0; q < count; ++q) {
     int64_t x = rng.NextDouble() < 0.85 ? rng.UniformInt(1, 8)
@@ -157,7 +157,7 @@ void BM_JoinMovement(benchmark::State& state) {
                  {{"c", DataType::kDouble, true, false}});
   MemArray a_src = UniformObservations(7);
   MemArray b_src(sb);
-  Rng rng(8);
+  Rng rng(TestSeed(8));
   a_src.ForEachCell([&](const Coordinates& c, const Chunk&, int64_t) {
     SCIDB_CHECK(b_src.SetCell(c, Value(rng.NextDouble())).ok());
     return true;
@@ -205,7 +205,7 @@ void BM_TimeSplitAdaptivity(benchmark::State& state) {
     scheme = epoch1;
   }
 
-  Rng rng(11);
+  Rng rng(TestSeed(11));
   double epoch2_imbalance = 0;
   for (auto _ : state) {
     // Epoch-2 data only: observations concentrated in the new hot band,

@@ -67,7 +67,7 @@ void BM_TraceBack(benchmark::State& state) {
   bool cached = state.range(0) == 1;
   Pipeline p;
   if (cached) p.CacheAll();
-  Rng rng(1);
+  Rng rng(TestSeed(1));
   for (auto _ : state) {
     Coordinates c{rng.UniformInt(1, kSide / 4),
                   rng.UniformInt(1, kSide / 4)};
@@ -84,7 +84,7 @@ void BM_TraceForward(benchmark::State& state) {
   bool cached = state.range(0) == 1;
   Pipeline p;
   if (cached) p.CacheAll();
-  Rng rng(2);
+  Rng rng(TestSeed(2));
   for (auto _ : state) {
     Coordinates c{rng.UniformInt(1, kSide), rng.UniformInt(1, kSide)};
     auto affected = p.log.TraceForward({"raw", c});
@@ -124,7 +124,7 @@ void BM_AggregateBackTrace(benchmark::State& state) {
     for (int64_t j = 1; j <= kSide; ++j) outs.push_back({j});
     SCIDB_CHECK(p.log.CacheLineage(agg_id, outs).ok());
   }
-  Rng rng(3);
+  Rng rng(TestSeed(3));
   for (auto _ : state) {
     Coordinates c{rng.UniformInt(1, kSide)};
     auto steps = p.log.TraceBack({"colsums", c});

@@ -73,7 +73,7 @@ void BM_Q4_Composite(benchmark::State& state) {
                  {"cloud", DataType::kDouble, true, false}});
   static std::vector<MemArray>* passes = [] {
     auto* v = new std::vector<MemArray>();
-    Rng rng(3);
+    Rng rng(TestSeed(3));
     ArraySchema schema(
         "pass", {{"x", 1, kSide, kChunk}, {"y", 1, kSide, kChunk}},
         {{"value", DataType::kDouble, true, false},
@@ -120,7 +120,7 @@ BENCHMARK(BM_Q5_WindowAggregate)->Unit(benchmark::kMillisecond);
 void BM_Q6_HistoryEpoch(benchmark::State& state) {
   ArraySchema s("survey", {{"x", 1, kSide, kChunk}, {"y", 1, kSide, kChunk}},
                 {{"flux", DataType::kDouble, true, false}});
-  Rng rng(4);
+  Rng rng(TestSeed(4));
   for (auto _ : state) {
     HistoryArray arr(s);
     // Three observation epochs of 2000 detections each.

@@ -130,7 +130,7 @@ void BM_RegionRead_Fragmentation(benchmark::State& state) {
   DiskArray* arr = sm.OpenOrCreateArray(s).ValueOrDie();
   if (arr->bucket_count() == 0) {
     // Trickle-load: tiny buckets, the worst case §2.8's merge fixes.
-    Rng rng(1);
+    Rng rng(TestSeed(1));
     MemArray buf(s);
     for (int64_t t = 1; t <= 20000; ++t) {
       SCIDB_CHECK(buf.SetCell({t}, Value(rng.NextDouble())).ok());
@@ -195,7 +195,7 @@ void BM_StreamLoader(benchmark::State& state) {
     StorageManager sm(dir);
     DiskArray* arr = sm.CreateArray(s).ValueOrDie();
     StreamLoader loader(arr, budget);
-    Rng rng(2);
+    Rng rng(TestSeed(2));
     for (int64_t t = 1; t <= 20000; ++t) {
       SCIDB_CHECK(loader.Append({t}, {Value(rng.NextDouble())}).ok());
     }
@@ -229,7 +229,7 @@ void BM_RegionRead_Cache(benchmark::State& state) {
     SCIDB_CHECK(arr->WriteAll(copy).ok());
   }
   if (cached) arr->EnableCache(64 << 20);
-  Rng rng(3);
+  Rng rng(TestSeed(3));
   for (auto _ : state) {
     int64_t x = rng.UniformInt(1, 192);
     int64_t y = rng.UniformInt(1, 192);

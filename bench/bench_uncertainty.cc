@@ -23,7 +23,7 @@ MemArray MakeArray(bool uncertain, bool constant_err, uint64_t seed) {
   ArraySchema s("m", {{"x", 1, kSide, 32}, {"y", 1, kSide, 32}},
                 {{"v", DataType::kDouble, true, uncertain}});
   MemArray a(s);
-  Rng rng(seed);
+  Rng rng(TestSeed(seed));
   for (int64_t i = 1; i <= kSide; ++i) {
     for (int64_t j = 1; j <= kSide; ++j) {
       double mean = rng.NextDouble() * 100;
@@ -100,7 +100,7 @@ void BM_UncertainCjoin(benchmark::State& state) {
   ArraySchema sb("b", {{"y", 1, n, 64}},
                  {{"val", DataType::kDouble, true, uncertain}});
   MemArray a(sa), b(sb);
-  Rng rng(1);
+  Rng rng(TestSeed(1));
   for (int64_t i = 1; i <= n; ++i) {
     double va = rng.Uniform(40);
     double vb = rng.Uniform(40);

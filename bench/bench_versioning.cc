@@ -18,7 +18,7 @@ ArraySchema GridSchema() {
 }
 
 std::vector<CellUpdate> FullLoad(uint64_t seed) {
-  Rng rng(seed);
+  Rng rng(TestSeed(seed));
   std::vector<CellUpdate> updates;
   for (int64_t x = 1; x <= kSide; ++x) {
     for (int64_t y = 1; y <= kSide; ++y) {
@@ -38,7 +38,7 @@ void BM_VersionSpace(benchmark::State& state) {
   for (auto _ : state) {
     VersionTree tree(GridSchema());
     SCIDB_CHECK(tree.Commit("", FullLoad(1), 1000).ok());
-    Rng rng(2);
+    Rng rng(TestSeed(2));
     std::string parent;
     for (int v = 0; v < versions; ++v) {
       std::string name = "v" + std::to_string(v);
@@ -90,7 +90,7 @@ void BM_VersionChainRead(benchmark::State& state) {
   VersionTree tree(GridSchema());
   SCIDB_CHECK(tree.Commit("", FullLoad(1), 1000).ok());
   std::string parent;
-  Rng rng(3);
+  Rng rng(TestSeed(3));
   for (int v = 0; v < depth; ++v) {
     std::string name = "v" + std::to_string(v);
     SCIDB_CHECK(tree.CreateVersion(name, parent).ok());
@@ -119,7 +119,7 @@ void BM_MaterializedLeafRead(benchmark::State& state) {
   VersionTree tree(GridSchema());
   SCIDB_CHECK(tree.Commit("", FullLoad(1), 1000).ok());
   std::string parent;
-  Rng rng(3);
+  Rng rng(TestSeed(3));
   for (int v = 0; v < depth; ++v) {
     std::string name = "v" + std::to_string(v);
     SCIDB_CHECK(tree.CreateVersion(name, parent).ok());
@@ -146,7 +146,7 @@ BENCHMARK(BM_MaterializedLeafRead)->Arg(16)->Arg(64);
 void BM_HistoryCommit(benchmark::State& state) {
   const int64_t cells_per_txn = state.range(0);
   HistoryArray arr(GridSchema());
-  Rng rng(5);
+  Rng rng(TestSeed(5));
   int64_t ts = 1000;
   for (auto _ : state) {
     std::vector<CellUpdate> txn;
@@ -168,7 +168,7 @@ BENCHMARK(BM_HistoryCommit)->Arg(1)->Arg(64)->Arg(1024);
 void BM_TimeTravelRead(benchmark::State& state) {
   const int64_t depth = state.range(0);
   HistoryArray arr(GridSchema());
-  Rng rng(6);
+  Rng rng(TestSeed(6));
   for (int64_t h = 0; h < depth; ++h) {
     SCIDB_CHECK(arr.Commit({CellUpdate::Set({rng.UniformInt(1, kSide),
                                              rng.UniformInt(1, kSide)},

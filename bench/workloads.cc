@@ -21,7 +21,7 @@ MemArray MakeSkyImage(int64_t n, int64_t chunk, int sources, uint64_t seed) {
   ArraySchema schema("sky", {{"I", 1, n, chunk}, {"J", 1, n, chunk}},
                      {{"flux", DataType::kDouble, true, false}});
   MemArray a(schema);
-  Rng rng(seed);
+  Rng rng(TestSeed(seed));
   struct Source {
     double x, y, amp, sigma;
   };
@@ -54,7 +54,7 @@ MemArray MakeSparseArray(int64_t n, int64_t chunk, int64_t count,
   ArraySchema schema("sparse", {{"I", 1, n, chunk}, {"J", 1, n, chunk}},
                      {{"v", DataType::kDouble, true, false}});
   MemArray a(schema);
-  Rng rng(seed);
+  Rng rng(TestSeed(seed));
   for (int64_t k = 0; k < count; ++k) {
     Coordinates c{rng.UniformInt(1, n), rng.UniformInt(1, n)};
     MustSet(a, c, Value(rng.NextDouble() * 100));
@@ -66,7 +66,7 @@ MemArray MakeTimeSeries(int64_t n, int64_t chunk, uint64_t seed) {
   ArraySchema schema("series", {{"T", 1, n, chunk}},
                      {{"v", DataType::kDouble, true, false}});
   MemArray a(schema);
-  Rng rng(seed);
+  Rng rng(TestSeed(seed));
   double v = 0;
   for (int64_t t = 1; t <= n; ++t) {
     v += rng.NextGaussian();

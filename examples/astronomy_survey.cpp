@@ -26,7 +26,7 @@ int main() {
   ArraySchema raw_schema("raw", {{"x", 1, kSide, 32}, {"y", 1, kSide, 32}},
                          {{"adu", DataType::kDouble, true, false}});
   auto raw = std::make_shared<MemArray>(raw_schema);
-  Rng rng(20090101);
+  Rng rng(TestSeed(20090101));
   struct Star {
     double x, y, amp;
   };

@@ -27,7 +27,7 @@ int main() {
        {"impressions", DataType::kArray, true, false}});
   auto log = std::make_shared<MemArray>(log_schema);
 
-  Rng rng(777);
+  Rng rng(TestSeed(777));
   int64_t session_id = 1;
   for (int64_t t = 1; t <= kEvents; ++t) {
     if (rng.NextDouble() < 0.1) ++session_id;  // new user session

@@ -35,7 +35,7 @@ int main() {
       {{"temp", DataType::kDouble, true, /*uncertain=*/true},
        {"salinity", DataType::kDouble, true, false}});
   auto arr = std::make_shared<MemArray>(section);
-  Rng rng(1234);
+  Rng rng(TestSeed(1234));
   for (int64_t l = 1; l <= kDepths; ++l) {
     double depth = depths[static_cast<size_t>(l - 1)];
     for (int64_t s = 1; s <= kStations; ++s) {

@@ -31,6 +31,10 @@ const char* StatusCodeName(StatusCode code) {
       return "TypeMismatch";
     case StatusCode::kInternal:
       return "Internal";
+    case StatusCode::kUnavailable:
+      return "Unavailable";
+    case StatusCode::kDeadlineExceeded:
+      return "DeadlineExceeded";
   }
   return "Unknown";
 }

@@ -20,6 +20,12 @@ enum class StatusCode {
   kCorruption,
   kTypeMismatch,
   kInternal,
+  // Networking outcomes (src/net/, DESIGN.md §10). Unavailable = the peer
+  // cannot be reached right now (refused, partitioned, shut down) and the
+  // call is safe to retry; DeadlineExceeded = the caller's time budget ran
+  // out (retrying with the same deadline cannot succeed).
+  kUnavailable,
+  kDeadlineExceeded,
 };
 
 // Returns a stable human-readable name ("InvalidArgument", ...).
@@ -71,6 +77,12 @@ class [[nodiscard]] Status {
   static Status Internal(std::string msg) {
     return Status(StatusCode::kInternal, std::move(msg));
   }
+  static Status Unavailable(std::string msg) {
+    return Status(StatusCode::kUnavailable, std::move(msg));
+  }
+  static Status DeadlineExceeded(std::string msg) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(msg));
+  }
 
   [[nodiscard]] bool ok() const { return rep_ == nullptr; }
   [[nodiscard]] StatusCode code() const {
@@ -89,6 +101,10 @@ class [[nodiscard]] Status {
   bool IsCorruption() const { return code() == StatusCode::kCorruption; }
   bool IsTypeMismatch() const { return code() == StatusCode::kTypeMismatch; }
   bool IsInternal() const { return code() == StatusCode::kInternal; }
+  bool IsUnavailable() const { return code() == StatusCode::kUnavailable; }
+  bool IsDeadlineExceeded() const {
+    return code() == StatusCode::kDeadlineExceeded;
+  }
 
   // "OK" or "InvalidArgument: <message>".
   std::string ToString() const;

@@ -1,11 +1,17 @@
 #include "grid/cluster.h"
 
 #include <algorithm>
+#include <atomic>
 #include <map>
-#include <thread>
+#include <utility>
 
 #include "common/macros.h"
 #include "common/metrics.h"
+#include "grid/node_service.h"
+#include "net/inprocess_transport.h"
+#include "net/message.h"
+#include "net/tcp_transport.h"
+#include "storage/chunk_serde.h"
 
 namespace scidb {
 
@@ -28,38 +34,180 @@ struct GridMetrics {
   }
 };
 
+// Process-wide default for GridNetOptions::fault_seed; set by the
+// session `set net_faults` knob, read by the two-argument constructor.
+std::atomic<uint64_t>& DefaultFaultSeedSlot() {
+  static std::atomic<uint64_t> seed{0};
+  return seed;
+}
+
+GridNetOptions DefaultNetOptions() {
+  GridNetOptions net;
+  net.fault_seed = DefaultFaultSeedSlot().load();
+  return net;
+}
+
 }  // namespace
+
+void DistributedArray::SetDefaultFaultSeed(uint64_t seed) {
+  DefaultFaultSeedSlot().store(seed);
+}
+
+uint64_t DistributedArray::DefaultFaultSeed() {
+  return DefaultFaultSeedSlot().load();
+}
 
 DistributedArray::DistributedArray(
     ArraySchema schema, std::shared_ptr<const Partitioner> partitioner)
-    : schema_(std::move(schema)), partitioner_(std::move(partitioner)) {
+    : DistributedArray(std::move(schema), std::move(partitioner),
+                       DefaultNetOptions()) {}
+
+DistributedArray::DistributedArray(
+    ArraySchema schema, std::shared_ptr<const Partitioner> partitioner,
+    GridNetOptions net)
+    : schema_(std::move(schema)),
+      partitioner_(std::move(partitioner)),
+      net_opts_(std::move(net)) {
   SCIDB_CHECK(partitioner_ != nullptr);
+  clock_ = net_opts_.clock ? net_opts_.clock : TraceClock(SteadyNowNs);
   shards_.reserve(static_cast<size_t>(num_nodes()));
   for (int i = 0; i < num_nodes(); ++i) shards_.emplace_back(schema_);
-  stats_.resize(static_cast<size_t>(num_nodes()));
+  {
+    MutexLock lk(stats_mu_);
+    stats_.resize(static_cast<size_t>(num_nodes()));
+  }
+  InitNet();
+}
+
+DistributedArray::~DistributedArray() { ShutdownNet(); }
+
+void DistributedArray::InitNet() {
+  switch (net_opts_.transport) {
+    case GridNetOptions::TransportKind::kInline:
+      base_transport_ = std::make_unique<net::InProcessTransport>(
+          net::InProcessTransport::Mode::kInline);
+      break;
+    case GridNetOptions::TransportKind::kThreaded:
+      base_transport_ = std::make_unique<net::InProcessTransport>(
+          net::InProcessTransport::Mode::kThreaded);
+      break;
+    case GridNetOptions::TransportKind::kTcp:
+      base_transport_ = std::make_unique<net::LoopbackTcpTransport>();
+      break;
+  }
+  transport_ = base_transport_.get();
+  if (net_opts_.fault_seed != 0) {
+    fault_ = std::make_unique<net::FaultInjectingTransport>(
+        base_transport_.get(), net_opts_.fault_profile, net_opts_.fault_seed);
+    transport_ = fault_.get();
+  }
+  for (int node = 0; node < num_nodes(); ++node) {
+    services_.push_back(std::make_unique<GridNodeService>(this, node));
+    servers_.push_back(std::make_unique<net::RpcServer>(transport_, node));
+    services_.back()->Install(servers_.back().get());
+    Status bound =
+        net::BindNode(transport_, node, servers_.back().get(), nullptr);
+    SCIDB_CHECK(bound.ok());
+  }
+  net::RpcClient::Options copts;
+  copts.clock = net_opts_.clock;
+  copts.sleep = net_opts_.sleep;
+  copts.jitter_seed =
+      net_opts_.fault_seed != 0 ? net_opts_.fault_seed : uint64_t{1};
+  client_ = std::make_unique<net::RpcClient>(transport_, coordinator_id(),
+                                             copts);
+  Status bound =
+      net::BindNode(transport_, coordinator_id(), nullptr, client_.get());
+  SCIDB_CHECK(bound.ok());
+}
+
+void DistributedArray::ShutdownNet() {
+  if (transport_ != nullptr) transport_->Shutdown();
+  client_.reset();
+  servers_.clear();
+  services_.clear();
+  transport_ = nullptr;
+  fault_.reset();
+  base_transport_.reset();
+}
+
+ThreadPool* DistributedArray::FanoutPool() {
+  if (pool_ == nullptr) pool_ = std::make_unique<ThreadPool>(num_nodes());
+  return pool_.get();
+}
+
+TraceNode* DistributedArray::TraceChild(const char* label) {
+  if (trace_node_ == nullptr) return nullptr;
+  TraceNode* child = trace_node_->AddChild();
+  child->label = label;
+  return child;
+}
+
+Status DistributedArray::PutChunk(int dest, const Chunk& chunk,
+                                  int64_t time) {
+  net::ChunkPutRequest req;
+  req.time = time;
+  req.chunk_bytes = SerializeChunk(chunk);
+  ASSIGN_OR_RETURN(std::vector<uint8_t> ack,
+                   client_->Call(dest, net::MessageType::kChunkPut,
+                                 req.EncodePayload(), net_opts_.call));
+  (void)ack;  // the ack payload is empty; arrival is the information
+  return Status::OK();
+}
+
+Status DistributedArray::PutCell(int dest, const Coordinates& c,
+                                 const std::vector<Value>& values,
+                                 int64_t time) {
+  // A one-cell chunk travels; the receiving shard upserts just that
+  // cell (the presence bitmap carries which cells are real).
+  MemArray one(schema_);
+  RETURN_NOT_OK(one.SetCell(c, values));
+  return PutChunk(dest, *one.chunks().begin()->second, time);
+}
+
+Result<MemArray> DistributedArray::FetchShard(int node,
+                                              const ExprPtr& pred) const {
+  net::ScanShardRequest req;
+  req.pred = pred;
+  ASSIGN_OR_RETURN(std::vector<uint8_t> bytes,
+                   client_->Call(node, net::MessageType::kScanShard,
+                                 req.EncodePayload(), net_opts_.call));
+  ASSIGN_OR_RETURN(net::ScanShardResponse resp,
+                   net::ScanShardResponse::Decode(bytes));
+  MemArray arr(schema_);
+  for (const auto& chunk_bytes : resp.chunks) {
+    ASSIGN_OR_RETURN(Chunk chunk,
+                     DeserializeChunk(chunk_bytes, schema_.attrs()));
+    Coordinates origin = arr.ChunkOriginFor(chunk.box().low);
+    (*arr.mutable_chunks())[std::move(origin)] =
+        std::make_shared<Chunk>(std::move(chunk));
+  }
+  return arr;
 }
 
 Status DistributedArray::Load(const MemArray& source, int64_t time) {
   if (!(source.schema() == schema_)) {
     return Status::Invalid("schema mismatch loading distributed array");
   }
-  Status st;
-  bool failed = false;
-  std::vector<Value> cell;
-  source.ForEachCell([&](const Coordinates& c, const Chunk& chunk,
-                         int64_t rank) {
-    cell.clear();
-    for (size_t a = 0; a < chunk.nattrs(); ++a) {
-      cell.push_back(chunk.block(a).Get(rank));
+  TraceNode* child = TraceChild("grid.load");
+  int64_t rpcs = 0;
+  {
+    TraceNode scratch;  // TraceSpan needs a sink even when tracing is off
+    TraceSpan span(clock_, child != nullptr ? child : &scratch);
+    for (const auto& [origin, chunk] : source.chunks()) {
+      if (chunk->present_count() == 0) continue;  // nothing to place
+      // Source and destination share the schema, so the source chunk
+      // origin IS the placement key — every cell of it lands together.
+      int node = partitioner_->NodeFor(origin, time);
+      if (node < 0 || node >= num_nodes()) {
+        return Status::Internal("partitioner returned node " +
+                                std::to_string(node));
+      }
+      RETURN_NOT_OK(PutChunk(node, *chunk, time));
+      ++rpcs;
     }
-    st = SetCell(c, cell, time);
-    if (!st.ok()) {
-      failed = true;
-      return false;
-    }
-    return true;
-  });
-  if (failed) return st;
+  }
+  if (child != nullptr) child->AddNote("net.rpcs", static_cast<double>(rpcs));
   return Status::OK();
 }
 
@@ -74,25 +222,49 @@ Status DistributedArray::SetCell(const Coordinates& c,
     return Status::Internal("partitioner returned node " +
                             std::to_string(node));
   }
-  RETURN_NOT_OK(shards_[static_cast<size_t>(node)].SetCell(c, values));
-  {
-    MutexLock lk(stats_mu_);
-    ++stats_[static_cast<size_t>(node)].cells_stored;
-  }
-  return Status::OK();
+  return PutCell(node, c, values, time);
 }
 
 std::vector<NodeStats> DistributedArray::node_stats() const {
-  MutexLock lk(stats_mu_);
-  std::vector<NodeStats> out = stats_;
-  // Byte residency is derived from the shards at snapshot time rather
-  // than maintained incrementally: SetCell can grow a chunk's blocks by
-  // more than the logical cell width, so incremental accounting drifts.
-  for (int i = 0; i < num_nodes(); ++i) {
-    out[static_cast<size_t>(i)].bytes_stored =
-        static_cast<int64_t>(shards_[static_cast<size_t>(i)].ByteSize());
+  std::vector<NodeStats> out(static_cast<size_t>(num_nodes()));
+  for (int node = 0; node < num_nodes(); ++node) {
+    bool fetched = false;
+    Result<std::vector<uint8_t>> r = client_->Call(
+        node, net::MessageType::kNodeStatsReq, {}, net_opts_.call);
+    if (r.ok()) {
+      Result<net::NodeStatsResponse> resp =
+          net::NodeStatsResponse::Decode(r.value());
+      if (resp.ok()) {
+        out[static_cast<size_t>(node)].cells_stored =
+            resp.value().cells_stored;
+        out[static_cast<size_t>(node)].bytes_stored =
+            resp.value().bytes_stored;
+        out[static_cast<size_t>(node)].cells_scanned =
+            resp.value().cells_scanned;
+        out[static_cast<size_t>(node)].bytes_scanned =
+            resp.value().bytes_scanned;
+        fetched = true;
+      }
+    }
+    if (!fetched) {
+      // Unreachable node (partition, shutdown): fall back to the
+      // coordinator's last local accounting. Byte residency is derived
+      // from the shard at snapshot time rather than maintained
+      // incrementally: SetCell can grow a chunk's blocks by more than
+      // the logical cell width, so incremental accounting drifts.
+      MutexLock lk(stats_mu_);
+      out[static_cast<size_t>(node)] = stats_[static_cast<size_t>(node)];
+      out[static_cast<size_t>(node)].bytes_stored = static_cast<int64_t>(
+          shards_[static_cast<size_t>(node)].ByteSize());
+    }
   }
   return out;
+}
+
+void DistributedArray::SyncStoredStats(int node) {
+  int64_t cells = shards_[static_cast<size_t>(node)].CellCount();
+  MutexLock lk(stats_mu_);
+  stats_[static_cast<size_t>(node)].cells_stored = cells;
 }
 
 void DistributedArray::RecordShardScan(int node) {
@@ -117,7 +289,10 @@ int64_t DistributedArray::TotalCells() const {
 
 double DistributedArray::LoadImbalance() const {
   int64_t total = TotalCells();
-  if (total == 0) return 1.0;
+  // An empty array has no load and therefore no imbalance; returning
+  // the 0/0 ratio as NaN (or pretending perfect balance) would poison
+  // downstream comparisons.
+  if (total == 0) return 0.0;
   int64_t max_cells = 0;
   for (const auto& s : shards_) max_cells = std::max(max_cells, s.CellCount());
   double mean = static_cast<double>(total) / num_nodes();
@@ -132,7 +307,7 @@ double DistributedArray::LoadImbalanceBytes() const {
     total += b;
     max_bytes = std::max(max_bytes, b);
   }
-  if (total == 0) return 1.0;
+  if (total == 0) return 0.0;  // empty: no load, no imbalance
   double mean = static_cast<double>(total) / num_nodes();
   return static_cast<double>(max_bytes) / mean;
 }
@@ -140,6 +315,10 @@ double DistributedArray::LoadImbalanceBytes() const {
 Result<int64_t> DistributedArray::Repartition(
     std::shared_ptr<const Partitioner> to, int64_t time) {
   if (to == nullptr) return Status::Invalid("null partitioner");
+  // A repartition replaces every shard wholesale, so it is executed as
+  // a coordinator-local rebuild (the byte movement is still accounted);
+  // the per-chunk write path would route every chunk through the OLD
+  // node set's transport while the new one is being built.
   std::vector<MemArray> next;
   next.reserve(static_cast<size_t>(to->num_nodes()));
   for (int i = 0; i < to->num_nodes(); ++i) next.emplace_back(schema_);
@@ -169,8 +348,13 @@ Result<int64_t> DistributedArray::Repartition(
     if (failed) break;
   }
   if (failed) return st;
+  // The node count may change: tear the network down before the swap
+  // (its services hold this-pointers into the old topology) and rebuild
+  // it after.
+  ShutdownNet();
   shards_ = std::move(next);
   partitioner_ = std::move(to);
+  pool_.reset();
   {
     MutexLock lk(stats_mu_);
     stats_.assign(static_cast<size_t>(num_nodes()), NodeStats{});
@@ -179,17 +363,19 @@ Result<int64_t> DistributedArray::Repartition(
           shards_[static_cast<size_t>(i)].CellCount();
     }
   }
+  InitNet();
   return bytes_moved;
 }
 
 Result<MemArray> DistributedArray::ParallelAggregate(
     const ExecContext& ctx, const std::vector<std::string>& dims,
     const std::string& agg, const std::string& attr) {
-  // Per-node partial aggregation into mergeable state maps on worker
-  // threads, then a coordinator merge (AggregateState::Merge). Finalized
+  // Per-node partial aggregation into mergeable state maps on fan-out
+  // workers, then a coordinator merge (AggregateState::Merge). Finalized
   // values cannot be merged (avg of avgs is wrong), hence states travel,
-  // not results. Each worker records its own node's scan count under
-  // stats_mu_.
+  // not results — and since states have no wire form, the shard contents
+  // travel instead (ScanShard data shipping) and the partials are built
+  // coordinator-side.
   if (ctx.aggregates == nullptr) {
     return Status::Internal("no aggregate registry");
   }
@@ -206,42 +392,46 @@ Result<MemArray> DistributedArray::ParallelAggregate(
     ASSIGN_OR_RETURN(attr_idx, schema_.AttrIndex(attr));
   }
 
+  TraceNode* child = TraceChild("grid.parallel_aggregate");
   std::vector<std::map<Coordinates, std::unique_ptr<AggregateState>>>
       node_states(static_cast<size_t>(num_nodes()));
   {
-    std::vector<std::thread> workers;
-    std::vector<Status> worker_status(static_cast<size_t>(num_nodes()));
-    for (int node = 0; node < num_nodes(); ++node) {
-      workers.emplace_back([&, node] {
-        RecordShardScan(node);
-        auto& groups = node_states[static_cast<size_t>(node)];
-        shards_[static_cast<size_t>(node)].ForEachCell(
-            [&](const Coordinates& c, const Chunk& chunk, int64_t rank) {
-              Coordinates key;
-              if (gidx.empty()) {
-                key.push_back(1);
-              } else {
-                for (size_t d : gidx) key.push_back(c[d]);
-              }
-              auto it = groups.find(key);
-              if (it == groups.end()) {
-                it = groups.emplace(std::move(key), afn->NewState()).first;
-              }
-              Status s =
-                  it->second->Accumulate(chunk.block(attr_idx).Get(rank));
-              if (!s.ok()) {
-                worker_status[static_cast<size_t>(node)] = s;
-                return false;
-              }
-              return true;
-            });
-      });
-    }
-    for (auto& w : workers) w.join();
-    for (const Status& s : worker_status) RETURN_NOT_OK(s);
+    TraceNode scratch;
+    TraceSpan span(clock_, child != nullptr ? child : &scratch);
+    RETURN_NOT_OK(FanoutPool()->ParallelFor(
+        num_nodes(), [&](int64_t node) -> Status {
+          ASSIGN_OR_RETURN(MemArray partial,
+                           FetchShard(static_cast<int>(node), nullptr));
+          auto& groups = node_states[static_cast<size_t>(node)];
+          Status acc;
+          partial.ForEachCell(
+              [&](const Coordinates& c, const Chunk& chunk, int64_t rank) {
+                Coordinates key;
+                if (gidx.empty()) {
+                  key.push_back(1);
+                } else {
+                  for (size_t d : gidx) key.push_back(c[d]);
+                }
+                auto it = groups.find(key);
+                if (it == groups.end()) {
+                  it = groups.emplace(std::move(key), afn->NewState()).first;
+                }
+                Status s =
+                    it->second->Accumulate(chunk.block(attr_idx).Get(rank));
+                if (!s.ok()) {
+                  acc = s;
+                  return false;
+                }
+                return true;
+              });
+          return acc;
+        }));
+  }
+  if (child != nullptr) {
+    child->AddNote("net.rpcs", static_cast<double>(num_nodes()));
   }
 
-  // Coordinator merge.
+  // Coordinator merge, in node order (deterministic at every width).
   std::map<Coordinates, std::unique_ptr<AggregateState>> merged;
   for (auto& groups : node_states) {
     for (auto& [key, state] : groups) {
@@ -269,20 +459,28 @@ Result<MemArray> DistributedArray::ParallelAggregate(
 Result<MemArray> DistributedArray::ParallelSubsample(const ExecContext& ctx,
                                                      const ExprPtr& pred) {
   GridMetrics::Get().parallel_ops->Inc();
+  // Ship the execution environment so every node can evaluate the
+  // predicate (in a real grid the registry is replicated at deploy).
+  for (auto& svc : services_) {
+    svc->SetExecEnv(ctx.functions, ctx.enable_chunk_pruning);
+  }
+  TraceNode* child = TraceChild("grid.parallel_subsample");
   std::vector<Result<MemArray>> partials(
       static_cast<size_t>(num_nodes()),
       Result<MemArray>(Status::Internal("not run")));
-  std::vector<std::thread> workers;
-  for (int node = 0; node < num_nodes(); ++node) {
-    workers.emplace_back([&, node] {
-      RecordShardScan(node);
-      ExecContext local = ctx;
-      local.stats = nullptr;
-      partials[static_cast<size_t>(node)] =
-          Subsample(local, shards_[static_cast<size_t>(node)], pred);
-    });
+  {
+    TraceNode scratch;
+    TraceSpan span(clock_, child != nullptr ? child : &scratch);
+    RETURN_NOT_OK(
+        FanoutPool()->ParallelFor(num_nodes(), [&](int64_t node) -> Status {
+          partials[static_cast<size_t>(node)] =
+              FetchShard(static_cast<int>(node), pred);
+          return partials[static_cast<size_t>(node)].status();
+        }));
   }
-  for (auto& w : workers) w.join();
+  if (child != nullptr) {
+    child->AddNote("net.rpcs", static_cast<double>(num_nodes()));
+  }
 
   MemArray out(schema_);
   out.mutable_schema()->set_name(schema_.name() + "_subsample");
@@ -317,12 +515,18 @@ Result<MemArray> DistributedArray::ParallelSjoin(
 
   // Co-partitioned case: identical schemes over the same coordinate
   // system join node-locally with zero movement.
-  const DistributedArray* rhs = &other;
-  DistributedArray repartitioned(other.schema_, partitioner_);
+  const std::vector<MemArray>* rhs_shards = &other.shards_;
+  std::vector<MemArray> repartitioned;
   if (!partitioner_->Equals(*other.partitioner_)) {
     // Move the (usually smaller) other array to this scheme, counting
     // bytes. A production system would pick the cheaper direction; the
-    // benchmark wants the movement made visible, not hidden.
+    // benchmark wants the movement made visible, not hidden. The rebuild
+    // is a plain shard vector, not a full DistributedArray — the staged
+    // copy needs no network of its own.
+    repartitioned.reserve(static_cast<size_t>(num_nodes()));
+    for (int i = 0; i < num_nodes(); ++i) {
+      repartitioned.emplace_back(other.schema_);
+    }
     for (int node = 0; node < other.num_nodes(); ++node) {
       const MemArray& shard = other.shards_[static_cast<size_t>(node)];
       for (const auto& [origin, chunk] : shard.chunks()) {
@@ -336,32 +540,38 @@ Result<MemArray> DistributedArray::ParallelSjoin(
           for (size_t a = 0; a < chunk->nattrs(); ++a) {
             cell.push_back(chunk->block(a).Get(it.rank()));
           }
-          RETURN_NOT_OK(
-              repartitioned.shards_[static_cast<size_t>(dest)].SetCell(
-                  it.coords(), cell));
+          RETURN_NOT_OK(repartitioned[static_cast<size_t>(dest)].SetCell(
+              it.coords(), cell));
         }
       }
     }
-    rhs = &repartitioned;
+    rhs_shards = &repartitioned;
   }
 
-  // Node-local joins in parallel.
+  // Node-local joins: each worker fetches its node's lhs shard over the
+  // wire and joins it against the co-located rhs shard.
   GridMetrics::Get().parallel_ops->Inc();
+  TraceNode* child = TraceChild("grid.parallel_sjoin");
   std::vector<Result<MemArray>> partials(
       static_cast<size_t>(num_nodes()),
       Result<MemArray>(Status::Internal("not run")));
-  std::vector<std::thread> workers;
-  for (int node = 0; node < num_nodes(); ++node) {
-    workers.emplace_back([&, node] {
-      RecordShardScan(node);
-      ExecContext local = ctx;
-      local.stats = nullptr;
-      partials[static_cast<size_t>(node)] =
-          Sjoin(local, shards_[static_cast<size_t>(node)],
-                rhs->shards_[static_cast<size_t>(node)], dim_pairs);
-    });
+  {
+    TraceNode scratch;
+    TraceSpan span(clock_, child != nullptr ? child : &scratch);
+    RETURN_NOT_OK(
+        FanoutPool()->ParallelFor(num_nodes(), [&](int64_t node) -> Status {
+          ASSIGN_OR_RETURN(MemArray lhs,
+                           FetchShard(static_cast<int>(node), nullptr));
+          ExecContext local = ctx;
+          local.stats = nullptr;
+          partials[static_cast<size_t>(node)] = Sjoin(
+              local, lhs, (*rhs_shards)[static_cast<size_t>(node)], dim_pairs);
+          return partials[static_cast<size_t>(node)].status();
+        }));
   }
-  for (auto& w : workers) w.join();
+  if (child != nullptr) {
+    child->AddNote("net.rpcs", static_cast<double>(num_nodes()));
+  }
 
   Result<MemArray>& first = partials[0];
   RETURN_NOT_OK(first.status());
@@ -433,9 +643,9 @@ Result<int64_t> DistributedArray::ReplicateBoundaries(
       return true;
     });
   }
+  // Replica placement is a write like any other: through the wire.
   for (auto& [dest, kv] : to_copy) {
-    RETURN_NOT_OK(shards_[static_cast<size_t>(dest)].SetCell(kv.first,
-                                                             kv.second));
+    RETURN_NOT_OK(PutCell(dest, kv.first, kv.second, 0));
     ++replicated;
   }
   return replicated;

@@ -1,6 +1,7 @@
 #ifndef SCIDB_GRID_CLUSTER_H_
 #define SCIDB_GRID_CLUSTER_H_
 
+#include <cstdint>
 #include <memory>
 #include <string>
 #include <vector>
@@ -8,10 +9,16 @@
 #include "array/mem_array.h"
 #include "common/mutex.h"
 #include "common/result.h"
+#include "common/thread_pool.h"
+#include "common/trace.h"
 #include "exec/operators.h"
 #include "grid/partitioner.h"
+#include "net/fault_injection.h"
+#include "net/rpc.h"
 
 namespace scidb {
+
+class GridNodeService;
 
 // Per-node accounting of the simulated shared-nothing grid. The paper
 // reasons about load balance and data movement; these counters are what
@@ -25,13 +32,54 @@ struct NodeStats {
   int64_t bytes_scanned = 0;  // cumulative bytes visited by Parallel* ops
 };
 
+// How a DistributedArray's coordinator talks to its nodes (DESIGN.md
+// §10). The default — in-process inline delivery, no faults, steady
+// clock — is fully deterministic and thread-free, matching the old
+// direct-call grid exactly.
+struct GridNetOptions {
+  enum class TransportKind {
+    kInline,    // synchronous in-process delivery (deterministic)
+    kThreaded,  // per-node delivery threads (models asynchrony)
+    kTcp,       // real sockets on 127.0.0.1
+  };
+  TransportKind transport = TransportKind::kInline;
+
+  // Nonzero seeds a FaultInjectingTransport wrapper (drops, dups,
+  // delays, reorders at `fault_profile` rates); 0 = transparent
+  // network. The session knob `set net_faults = <seed>` feeds the
+  // process-wide default picked up by the two-argument constructor.
+  uint64_t fault_seed = 0;
+  net::FaultProfile fault_profile = net::FaultProfile::Lossy();
+
+  // Per-RPC deadline/retry budget for every grid call.
+  net::CallOptions call;
+
+  // Injectable time: tests drive deadlines from a VirtualTime pair so a
+  // full partition consumes its deadline without real sleeping.
+  TraceClock clock;    // null = SteadyNowNs
+  net::SleepFn sleep;  // null = real condition-variable waits
+};
+
 // An array horizontally partitioned across the nodes of a simulated grid
 // (paper §2.7). Chunks are the unit of placement: each exec-grid chunk
 // goes to Partitioner::NodeFor(origin, load_time).
+//
+// All data movement flows through the src/net/ stack: loads and cell
+// writes are ChunkPut RPCs to the owning node, the parallel operators
+// fetch their inputs with ScanShard RPCs, and node_stats() asks each
+// node over the wire. The coordinator is registered on the transport as
+// node id num_nodes(); shards are never written by reaching into a peer
+// directly.
 class DistributedArray {
  public:
   DistributedArray(ArraySchema schema,
                    std::shared_ptr<const Partitioner> partitioner);
+  DistributedArray(ArraySchema schema,
+                   std::shared_ptr<const Partitioner> partitioner,
+                   GridNetOptions net);
+  ~DistributedArray();
+  DistributedArray(const DistributedArray&) = delete;
+  DistributedArray& operator=(const DistributedArray&) = delete;
 
   const ArraySchema& schema() const { return schema_; }
   const Partitioner& partitioner() const { return *partitioner_; }
@@ -40,21 +88,22 @@ class DistributedArray {
   }
   int num_nodes() const { return partitioner_->num_nodes(); }
   const MemArray& shard(int node) const { return shards_[node]; }
-  // Snapshot of the per-node counters. Returns a copy: worker threads of
-  // the Parallel* operators update the counters under stats_mu_, so a
-  // reference into stats_ would be a data race waiting for a caller.
+  // Snapshot of the per-node counters, fetched from each node with a
+  // NodeStatsReq RPC (an unreachable node falls back to the
+  // coordinator's last local accounting). Returns a copy.
   std::vector<NodeStats> node_stats() const LOCKS_EXCLUDED(stats_mu_);
 
   // Loads every chunk of `source`, stamping the load epoch `time` (drives
-  // the adaptive time-split scheme).
+  // the adaptive time-split scheme). One ChunkPut RPC per source chunk.
   Status Load(const MemArray& source, int64_t time);
   Status SetCell(const Coordinates& c, const std::vector<Value>& values,
                  int64_t time);
 
   int64_t TotalCells() const;
 
-  // max(node cells) / mean(node cells) — 1.0 is perfect balance. The
-  // skew metric EXP-PART reports for fixed vs adaptive schemes.
+  // max(node cells) / mean(node cells) — 1.0 is perfect balance, 0.0 for
+  // an empty array (no load, no imbalance). The skew metric EXP-PART
+  // reports for fixed vs adaptive schemes.
   double LoadImbalance() const;
 
   // Same ratio measured in shard bytes instead of cells; diverges from
@@ -62,20 +111,24 @@ class DistributedArray {
   double LoadImbalanceBytes() const;
 
   // Re-partitions in place; returns the bytes that had to move between
-  // nodes (cells whose node assignment changed).
+  // nodes (cells whose node assignment changed). The network stack is
+  // rebuilt afterwards: the node count may have changed.
   Result<int64_t> Repartition(std::shared_ptr<const Partitioner> to,
                               int64_t time);
 
-  // ---- parallel execution (one thread per node) ----
+  // ---- parallel execution (one RPC-fetching worker per node) ----
 
   // Grand or grouped aggregate executed as per-node partials merged at
-  // the coordinator (AggregateState::Merge).
+  // the coordinator (AggregateState::Merge). Shard contents travel to
+  // the workers as ScanShard responses (data shipping: accumulator
+  // state has no wire form).
   Result<MemArray> ParallelAggregate(const ExecContext& ctx,
                                      const std::vector<std::string>& dims,
                                      const std::string& agg,
                                      const std::string& attr);
 
-  // Per-node Subsample; results are unioned (subsample commutes with
+  // Per-node Subsample with the predicate shipped to the serving node
+  // (function shipping); results are unioned (subsample commutes with
   // partitioning).
   Result<MemArray> ParallelSubsample(const ExecContext& ctx,
                                      const ExprPtr& pred);
@@ -94,23 +147,86 @@ class DistributedArray {
   // partition (|coordinate - boundary| <= max_position_error along the
   // range dimension) into that neighbor, so uncertain spatial joins can
   // run without data movement. Only meaningful under a RangePartitioner.
+  // Replica placement goes through ChunkPut like any other write.
   // Returns the number of replicated cells.
   Result<int64_t> ReplicateBoundaries(int64_t max_position_error);
 
+  // ---- network introspection ----
+
+  const GridNetOptions& net_options() const { return net_opts_; }
+  // The fault wrapper, or null when fault injection is off. Tests use it
+  // to partition nodes and read drop/dup counters.
+  net::FaultInjectingTransport* fault_injector() { return fault_.get(); }
+
+  // Attaches a trace node: each parallel operator adds a timed child
+  // span under it (clock = GridNetOptions::clock), which is how
+  // `explain analyze` surfaces network time. Null detaches.
+  void set_trace_node(TraceNode* node) { trace_node_ = node; }
+
+  // Process-wide default fault seed for newly constructed arrays (the
+  // two-argument constructor). Backs the session `set net_faults` knob.
+  static void SetDefaultFaultSeed(uint64_t seed);
+  static uint64_t DefaultFaultSeed();
+
  private:
-  // Accounts one full-shard scan by `node`'s worker: per-node counters
-  // under stats_mu_ plus the process-wide scidb.grid.* counters. Called
-  // once per worker thread, never per cell, so the scan loops stay free
-  // of shared atomics.
+  friend class GridNodeService;
+
+  // Builds the transport, the per-node services/servers, and the
+  // coordinator client. Called on construction and after Repartition.
+  void InitNet();
+  void ShutdownNet();
+
+  // One ChunkPut RPC: upserts `chunk`'s cells into node `dest`.
+  Status PutChunk(int dest, const Chunk& chunk, int64_t time);
+  // Single-cell write via PutChunk (a one-cell chunk travels).
+  Status PutCell(int dest, const Coordinates& c,
+                 const std::vector<Value>& values, int64_t time);
+  // One ScanShard RPC: node `node`'s cells, optionally filtered
+  // server-side by `pred`, rebuilt into a coordinator-side MemArray.
+  Result<MemArray> FetchShard(int node, const ExprPtr& pred) const;
+
+  // Lazy fan-out pool (one worker per node); rebuilt when the node
+  // count changes.
+  ThreadPool* FanoutPool();
+
+  // Re-derives cells_stored for `node` from its shard. Derived rather
+  // than incremented so replayed ChunkPuts are idempotent.
+  void SyncStoredStats(int node) LOCKS_EXCLUDED(stats_mu_);
+
+  // Accounts one full-shard scan by `node` (called by the node's
+  // ScanShard handler): per-node counters under stats_mu_ plus the
+  // process-wide scidb.grid.* counters. Once per shard scan, never per
+  // cell, so the scan loops stay free of shared atomics.
   void RecordShardScan(int node) LOCKS_EXCLUDED(stats_mu_);
+
+  // The coordinator's transport node id (one past the last grid node).
+  int coordinator_id() const { return num_nodes(); }
+
+  // Opens a timed child span under trace_node_, or null when detached.
+  TraceNode* TraceChild(const char* label);
 
   ArraySchema schema_;
   std::shared_ptr<const Partitioner> partitioner_;
   std::vector<MemArray> shards_;
   // Per-node accounting; written by the coordinator on load/repartition
-  // and by one worker thread per node during parallel execution.
+  // and by the per-node RPC handlers during parallel execution.
   mutable Mutex stats_mu_;
   std::vector<NodeStats> stats_ GUARDED_BY(stats_mu_);
+
+  // ---- network stack (DESIGN.md §10) ----
+  // Declaration order is teardown order in reverse: the client and
+  // servers must die before the transports they point into.
+  GridNetOptions net_opts_;
+  TraceClock clock_;  // resolved: net_opts_.clock or SteadyNowNs
+  std::unique_ptr<net::Transport> base_transport_;
+  std::unique_ptr<net::FaultInjectingTransport> fault_;
+  net::Transport* transport_ = nullptr;  // fault_ wrapper when enabled
+  std::vector<std::unique_ptr<GridNodeService>> services_;
+  std::vector<std::unique_ptr<net::RpcServer>> servers_;
+  // mutable: const reads (node_stats, FetchShard) still issue RPCs.
+  mutable std::unique_ptr<net::RpcClient> client_;
+  std::unique_ptr<ThreadPool> pool_;
+  TraceNode* trace_node_ = nullptr;
 };
 
 }  // namespace scidb

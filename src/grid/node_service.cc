@@ -1,0 +1,129 @@
+#include "grid/node_service.h"
+
+#include <string>
+#include <utility>
+
+#include "common/macros.h"
+#include "exec/operators.h"
+#include "grid/cluster.h"
+#include "net/message.h"
+#include "storage/chunk_serde.h"
+
+namespace scidb {
+
+void GridNodeService::Install(net::RpcServer* server) {
+  server->Handle(net::MessageType::kChunkPut,
+                 [this](int, const std::vector<uint8_t>& payload) {
+                   return ChunkPut(payload);
+                 });
+  server->Handle(net::MessageType::kChunkGet,
+                 [this](int, const std::vector<uint8_t>& payload) {
+                   return ChunkGet(payload);
+                 });
+  server->Handle(net::MessageType::kScanShard,
+                 [this](int, const std::vector<uint8_t>& payload) {
+                   return ScanShard(payload);
+                 });
+  server->Handle(net::MessageType::kNodeStatsReq,
+                 [this](int, const std::vector<uint8_t>& payload) {
+                   return NodeStatsReq(payload);
+                 });
+}
+
+void GridNodeService::SetExecEnv(const FunctionRegistry* functions,
+                                 bool enable_chunk_pruning) {
+  MutexLock lock(mu_);
+  functions_ = functions;
+  enable_chunk_pruning_ = enable_chunk_pruning;
+}
+
+Result<std::vector<uint8_t>> GridNodeService::ChunkPut(
+    const std::vector<uint8_t>& payload) {
+  ASSIGN_OR_RETURN(net::ChunkPutRequest req,
+                   net::ChunkPutRequest::Decode(payload));
+  // The load epoch decided placement on the sending side; the serving
+  // node just stores what it was handed.
+  (void)req.time;
+  ASSIGN_OR_RETURN(Chunk chunk, DeserializeChunk(req.chunk_bytes,
+                                                 owner_->schema_.attrs()));
+  MutexLock lock(mu_);
+  MemArray& shard = owner_->shards_[static_cast<size_t>(node_)];
+  std::vector<Value> cell;
+  for (Chunk::CellIterator it(chunk); it.valid(); it.Next()) {
+    cell.clear();
+    for (size_t a = 0; a < chunk.nattrs(); ++a) {
+      cell.push_back(chunk.block(a).Get(it.rank()));
+    }
+    RETURN_NOT_OK(shard.SetCell(it.coords(), cell));
+  }
+  // Derived, not incremented: replaying this request (an RPC retry or a
+  // fault-injected duplicate) leaves the count unchanged.
+  owner_->SyncStoredStats(node_);
+  return std::vector<uint8_t>{};  // empty ack
+}
+
+Result<std::vector<uint8_t>> GridNodeService::ChunkGet(
+    const std::vector<uint8_t>& payload) {
+  ASSIGN_OR_RETURN(net::ChunkGetRequest req,
+                   net::ChunkGetRequest::Decode(payload));
+  MutexLock lock(mu_);
+  const MemArray& shard = owner_->shards_[static_cast<size_t>(node_)];
+  const Chunk* chunk = shard.FindChunk(req.origin);
+  if (chunk == nullptr) {
+    return Status::NotFound("no chunk at requested origin on node " +
+                            std::to_string(node_));
+  }
+  return SerializeChunk(*chunk);
+}
+
+Result<std::vector<uint8_t>> GridNodeService::ScanShard(
+    const std::vector<uint8_t>& payload) {
+  ASSIGN_OR_RETURN(net::ScanShardRequest req,
+                   net::ScanShardRequest::Decode(payload));
+  MutexLock lock(mu_);
+  // The serving node pays the scan, so it is accounted here — a
+  // duplicated request really is scanned twice.
+  owner_->RecordShardScan(node_);
+  const MemArray& shard = owner_->shards_[static_cast<size_t>(node_)];
+  net::ScanShardResponse resp;
+  if (req.pred == nullptr) {
+    // Data shipping: the shard's chunks verbatim, in origin order.
+    for (const auto& [origin, chunk] : shard.chunks()) {
+      resp.chunks.push_back(SerializeChunk(*chunk));
+    }
+  } else {
+    // Function shipping: evaluate the shipped predicate server-side and
+    // return only the matching cells.
+    ExecContext local;
+    local.functions = functions_;
+    local.enable_chunk_pruning = enable_chunk_pruning_;
+    ASSIGN_OR_RETURN(MemArray filtered, Subsample(local, shard, req.pred));
+    for (const auto& [origin, chunk] : filtered.chunks()) {
+      resp.chunks.push_back(SerializeChunk(*chunk));
+    }
+  }
+  return resp.EncodePayload();
+}
+
+Result<std::vector<uint8_t>> GridNodeService::NodeStatsReq(
+    const std::vector<uint8_t>& payload) {
+  if (!payload.empty()) {
+    return Status::Invalid("NodeStatsReq carries no payload");
+  }
+  MutexLock lock(mu_);
+  net::NodeStatsResponse resp;
+  const MemArray& shard = owner_->shards_[static_cast<size_t>(node_)];
+  {
+    MutexLock stats_lock(owner_->stats_mu_);
+    const NodeStats& s = owner_->stats_[static_cast<size_t>(node_)];
+    resp.cells_stored = s.cells_stored;
+    resp.cells_scanned = s.cells_scanned;
+    resp.bytes_scanned = s.bytes_scanned;
+  }
+  // Byte residency is derived from the shard at snapshot time; see
+  // DistributedArray::node_stats().
+  resp.bytes_stored = static_cast<int64_t>(shard.ByteSize());
+  return resp.EncodePayload();
+}
+
+}  // namespace scidb

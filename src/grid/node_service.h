@@ -1,0 +1,61 @@
+#ifndef SCIDB_GRID_NODE_SERVICE_H_
+#define SCIDB_GRID_NODE_SERVICE_H_
+
+#include <vector>
+
+#include "common/mutex.h"
+#include "common/result.h"
+#include "net/rpc.h"
+
+namespace scidb {
+
+class DistributedArray;
+class FunctionRegistry;
+
+// The server half of one simulated grid node: RPC handlers for the grid
+// vocabulary (ChunkPut/ChunkGet/ScanShard/NodeStatsReq), operating on
+// the owner DistributedArray's shard for `node`. The shard is looked up
+// through the owner at handler time — never cached — so a Repartition
+// that replaces the shard vector cannot leave a dangling reference.
+//
+// Every handler is idempotent, which is what makes the RPC layer's
+// retries and fault-injected duplicates safe: ChunkPut upserts cells
+// (last-writer-wins) and re-derives cells_stored from the shard rather
+// than incrementing it; the reads are pure.
+class GridNodeService {
+ public:
+  GridNodeService(DistributedArray* owner, int node)
+      : owner_(owner), node_(node) {}
+
+  // Installs this node's handlers on `server`.
+  void Install(net::RpcServer* server);
+
+  // Execution environment for server-side predicate evaluation
+  // (ScanShard with a shipped predicate). In a real grid the function
+  // registry is replicated to every node; here the coordinator installs
+  // its registry before fanning out.
+  void SetExecEnv(const FunctionRegistry* functions,
+                  bool enable_chunk_pruning) LOCKS_EXCLUDED(mu_);
+
+ private:
+  Result<std::vector<uint8_t>> ChunkPut(const std::vector<uint8_t>& payload)
+      LOCKS_EXCLUDED(mu_);
+  Result<std::vector<uint8_t>> ChunkGet(const std::vector<uint8_t>& payload)
+      LOCKS_EXCLUDED(mu_);
+  Result<std::vector<uint8_t>> ScanShard(const std::vector<uint8_t>& payload)
+      LOCKS_EXCLUDED(mu_);
+  Result<std::vector<uint8_t>> NodeStatsReq(
+      const std::vector<uint8_t>& payload) LOCKS_EXCLUDED(mu_);
+
+  DistributedArray* const owner_;
+  const int node_;
+  // Serializes handler execution for this node: a duplicated write frame
+  // must not race a concurrent scan of the same shard.
+  Mutex mu_;
+  const FunctionRegistry* functions_ GUARDED_BY(mu_) = nullptr;
+  bool enable_chunk_pruning_ GUARDED_BY(mu_) = true;
+};
+
+}  // namespace scidb
+
+#endif  // SCIDB_GRID_NODE_SERVICE_H_

@@ -26,12 +26,22 @@ int FixedGridPartitioner::NodeFor(const Coordinates& origin,
   (void)time;
   int64_t node = 0;
   for (size_t d = 0; d < tiles_.size(); ++d) {
-    int64_t extent = domain_.high[d] - domain_.low[d] + 1;
-    int64_t tile_size = (extent + tiles_[d] - 1) / tiles_[d];
-    int64_t off = std::clamp<int64_t>(origin[d] - domain_.low[d], 0,
-                                      extent - 1);
-    int64_t tile = off / tile_size;
-    node = node * tiles_[d] + tile;
+    // Unsigned arithmetic throughout: an unbounded ('*') dimension has
+    // high == kUnboundedDim, where `extent + tiles - 1` and
+    // `origin - low` overflow int64 (UB). The unsigned forms are exact
+    // for every bounded domain, so bounded placement is unchanged.
+    const uint64_t tiles = static_cast<uint64_t>(tiles_[d]);
+    const uint64_t extent = static_cast<uint64_t>(domain_.high[d]) -
+                            static_cast<uint64_t>(domain_.low[d]) + 1;
+    uint64_t tile_size = extent / tiles + (extent % tiles != 0 ? 1 : 0);
+    if (tile_size == 0) tile_size = 1;
+    uint64_t off = origin[d] <= domain_.low[d]
+                       ? 0
+                       : static_cast<uint64_t>(origin[d]) -
+                             static_cast<uint64_t>(domain_.low[d]);
+    off = std::min(off, extent - 1);
+    const uint64_t tile = std::min(off / tile_size, tiles - 1);
+    node = node * tiles_[d] + static_cast<int64_t>(tile);
   }
   return static_cast<int>(node);
 }

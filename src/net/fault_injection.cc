@@ -1,0 +1,152 @@
+#include "net/fault_injection.h"
+
+#include <utility>
+
+#include "common/macros.h"
+#include "common/metrics.h"
+
+namespace scidb {
+namespace net {
+
+namespace {
+
+struct FaultCounters {
+  Counter* dropped;
+  Counter* duplicated;
+  Counter* delayed;
+  Counter* reordered;
+  Counter* partitioned;
+
+  static const FaultCounters& Get() {
+    static const FaultCounters c = {
+        Metrics::Instance().counter("scidb.net.fault.dropped"),
+        Metrics::Instance().counter("scidb.net.fault.duplicated"),
+        Metrics::Instance().counter("scidb.net.fault.delayed"),
+        Metrics::Instance().counter("scidb.net.fault.reordered"),
+        Metrics::Instance().counter("scidb.net.fault.partitioned"),
+    };
+    return c;
+  }
+};
+
+}  // namespace
+
+FaultInjectingTransport::FaultInjectingTransport(Transport* inner,
+                                                 FaultProfile profile,
+                                                 uint64_t seed)
+    : inner_(inner), profile_(profile), rng_(seed) {}
+
+Status FaultInjectingTransport::Register(int node, FrameHandler handler) {
+  return inner_->Register(node, std::move(handler));
+}
+
+Status FaultInjectingTransport::Send(int src, int dst, Frame frame) {
+  // Decide the frame's fate and collect what to physically deliver
+  // under mu_, then deliver outside it: inner_->Send may run the
+  // destination handler inline, and that handler may Send a response
+  // back through *this* transport (re-entrancy).
+  std::vector<HeldFrame> deliver;
+  {
+    MutexLock lock(mu_);
+    // Frames held by *earlier* Sends; the frame held below must not be
+    // flushed by its own Send or "delay" would be a no-op.
+    const size_t pre_held = held_.size();
+    const bool cut = partitioned_.count(src) > 0 || partitioned_.count(dst) > 0;
+    if (cut) {
+      ++dropped_;
+      FaultCounters::Get().partitioned->Inc();
+    } else if (rng_.NextDouble() < profile_.drop_p) {
+      ++dropped_;
+      FaultCounters::Get().dropped->Inc();
+    } else {
+      const bool dup = rng_.NextDouble() < profile_.dup_p;
+      const bool hold = rng_.NextDouble() < profile_.delay_p ||
+                        rng_.NextDouble() < profile_.reorder_p;
+      if (dup) {
+        ++duplicated_;
+        FaultCounters::Get().duplicated->Inc();
+        deliver.push_back({src, dst, frame});
+      }
+      if (hold) {
+        ++total_held_;
+        FaultCounters::Get().delayed->Inc();
+        held_.push_back({src, dst, std::move(frame)});
+      } else {
+        deliver.push_back({src, dst, std::move(frame)});
+      }
+    }
+    // Each Send flushes at most one previously-held frame (FIFO),
+    // appended after the current frame, so delayed traffic re-emerges
+    // behind — reordered against — later frames. Skip frames whose
+    // endpoint got partitioned while held.
+    size_t scanned = 0;
+    while (scanned < pre_held && !held_.empty()) {
+      HeldFrame h = std::move(held_.front());
+      held_.erase(held_.begin());
+      ++scanned;
+      if (partitioned_.count(h.src) > 0 || partitioned_.count(h.dst) > 0) {
+        ++dropped_;
+        FaultCounters::Get().partitioned->Inc();
+        continue;
+      }
+      FaultCounters::Get().reordered->Inc();
+      deliver.push_back(std::move(h));
+      break;
+    }
+  }
+  for (auto& d : deliver) {
+    // A delivery failure (unregistered node, shut-down inner) is
+    // reported to the caller; fault drops are not (the network "ate"
+    // the frame, which is exactly what the RPC layer must survive).
+    RETURN_NOT_OK(inner_->Send(d.src, d.dst, std::move(d.frame)));
+  }
+  return Status::OK();
+}
+
+void FaultInjectingTransport::Shutdown() {
+  {
+    MutexLock lock(mu_);
+    held_.clear();
+  }
+  inner_->Shutdown();
+}
+
+void FaultInjectingTransport::PartitionNode(int node) {
+  MutexLock lock(mu_);
+  partitioned_.insert(node);
+}
+
+void FaultInjectingTransport::HealPartition(int node) {
+  MutexLock lock(mu_);
+  partitioned_.erase(node);
+}
+
+Status FaultInjectingTransport::Flush() {
+  std::vector<HeldFrame> deliver;
+  {
+    MutexLock lock(mu_);
+    deliver.swap(held_);
+  }
+  for (auto& d : deliver) {
+    RETURN_NOT_OK(inner_->Send(d.src, d.dst, std::move(d.frame)));
+  }
+  return Status::OK();
+}
+
+int64_t FaultInjectingTransport::frames_dropped() const {
+  MutexLock lock(mu_);
+  return dropped_;
+}
+
+int64_t FaultInjectingTransport::frames_duplicated() const {
+  MutexLock lock(mu_);
+  return duplicated_;
+}
+
+int64_t FaultInjectingTransport::frames_held() const {
+  MutexLock lock(mu_);
+  return total_held_;
+}
+
+}  // namespace net
+}  // namespace scidb

@@ -1,0 +1,108 @@
+#ifndef SCIDB_NET_FRAME_H_
+#define SCIDB_NET_FRAME_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+
+namespace scidb {
+namespace net {
+
+// Wire framing (DESIGN.md §10). Every message between grid nodes travels
+// as one frame:
+//
+//   offset  size  field
+//   0       4     magic "SNET" (bytes 'S','N','E','T')
+//   4       1     version (kFrameVersion)
+//   5       1     message type (MessageType)
+//   6       2     flags, little-endian (reserved, must be 0 on encode)
+//   8       8     request id, little-endian
+//   16      4     payload length, little-endian
+//   20      4     CRC-32 of the payload bytes, little-endian
+//   24      n     payload
+//
+// The fixed 24-byte header makes stream reassembly trivial (read header,
+// then read exactly payload_len bytes) and the trailing-free layout means
+// a frame is self-delimiting: DecodeFrame can tell "need more bytes"
+// apart from "corrupt" without heuristics.
+
+inline constexpr size_t kFrameHeaderSize = 24;
+inline constexpr uint8_t kFrameVersion = 1;
+inline constexpr uint32_t kFrameMagic = 0x54454E53;  // "SNET" little-endian
+
+// Refuse absurd payload lengths up front so a corrupt or adversarial
+// header cannot drive a multi-gigabyte allocation (the fuzz harness
+// exercises exactly this path). 256 MiB comfortably covers the largest
+// chunk-shipping payload the grid produces.
+inline constexpr uint32_t kMaxFramePayload = 256u << 20;
+
+// Message vocabulary of the grid RPC layer. Requests carry an encoded
+// argument payload; the server answers every request with kAck (payload =
+// encoded result) or kError (payload = wire-encoded Status), echoing the
+// request id.
+enum class MessageType : uint8_t {
+  kChunkPut = 1,     // idempotent upsert of cells into a shard
+  kChunkGet = 2,     // fetch one chunk by origin
+  kScanShard = 3,    // scan a shard, optionally filtered server-side
+  kNodeStatsReq = 4, // per-node statistics snapshot
+  kAck = 5,          // success response
+  kError = 6,        // failure response (payload = wire Status)
+};
+
+// True if `t` is one of the enumerators above. Decoding rejects anything
+// else so handlers never see an out-of-vocabulary type.
+bool IsValidMessageType(uint8_t t);
+
+// "ChunkPut", "Ack", ... for logs and traces.
+const char* MessageTypeName(MessageType t);
+
+struct Frame {
+  MessageType type = MessageType::kAck;
+  uint16_t flags = 0;
+  uint64_t request_id = 0;
+  std::vector<uint8_t> payload;
+};
+
+// CRC-32 (IEEE 802.3 polynomial, the zlib/PNG one) over `n` bytes.
+// Exposed for tests; frame encode/decode use it internally.
+uint32_t Crc32(const uint8_t* data, size_t n);
+
+// Serializes header + payload into a contiguous buffer.
+std::vector<uint8_t> EncodeFrame(const Frame& frame);
+
+// Decodes exactly one frame from `data`. Returns Corruption for a bad
+// magic, version, type, length, or checksum, and for trailing garbage
+// (`size` must equal the frame's encoded size). `DecodeFramePrefix`
+// relaxes the trailing check for stream use and reports bytes consumed.
+Result<Frame> DecodeFrame(const uint8_t* data, size_t size);
+Result<Frame> DecodeFrame(const std::vector<uint8_t>& data);
+
+// Stream reassembly for the TCP transport: feed arbitrary byte spans in
+// arrival order, pull complete frames out. Corruption is sticky — a
+// stream that ever fails to parse cannot resynchronize (there are no
+// frame boundaries to hunt for once the length field is untrusted).
+class FrameAssembler {
+ public:
+  // Appends raw bytes received from the peer.
+  void Append(const uint8_t* data, size_t n);
+
+  // If a complete frame is buffered, moves it into `out` and returns
+  // true. Returns false if more bytes are needed. Returns Corruption if
+  // the buffered prefix is not a valid frame.
+  Result<bool> Next(Frame* out);
+
+  size_t buffered_bytes() const { return buf_.size() - consumed_; }
+
+ private:
+  std::vector<uint8_t> buf_;
+  size_t consumed_ = 0;  // prefix already handed out as frames
+  bool corrupt_ = false;
+};
+
+}  // namespace net
+}  // namespace scidb
+
+#endif  // SCIDB_NET_FRAME_H_

@@ -1,0 +1,106 @@
+#include "net/inprocess_transport.h"
+
+#include <utility>
+
+#include "common/metrics.h"
+
+namespace scidb {
+namespace net {
+
+void RecordFrameSent(const Frame& frame) {
+  static Counter* const frames =
+      Metrics::Instance().counter("scidb.net.frames_sent");
+  static Counter* const bytes =
+      Metrics::Instance().counter("scidb.net.bytes_sent");
+  frames->Inc();
+  bytes->Inc(static_cast<int64_t>(kFrameHeaderSize + frame.payload.size()));
+}
+
+InProcessTransport::InProcessTransport(Mode mode) : mode_(mode) {}
+
+InProcessTransport::~InProcessTransport() { Shutdown(); }
+
+Status InProcessTransport::Register(int node, FrameHandler handler) {
+  MutexLock lock(mu_);
+  if (shutdown_) return Status::Unavailable("transport is shut down");
+  auto [it, inserted] = nodes_.emplace(node, std::make_unique<Node>());
+  if (!inserted) {
+    return Status::AlreadyExists("node " + std::to_string(node) +
+                                 " already registered");
+  }
+  Node* n = it->second.get();
+  n->handler = std::move(handler);
+  if (mode_ == Mode::kThreaded) {
+    n->worker = std::thread([this, n] { DeliveryLoop(n); });
+  }
+  return Status::OK();
+}
+
+Status InProcessTransport::Send(int src, int dst, Frame frame) {
+  Node* node = nullptr;
+  {
+    MutexLock lock(mu_);
+    if (shutdown_) return Status::Unavailable("transport is shut down");
+    auto it = nodes_.find(dst);
+    if (it == nodes_.end()) {
+      return Status::Unavailable("node " + std::to_string(dst) +
+                                 " is not registered");
+    }
+    node = it->second.get();
+  }
+  RecordFrameSent(frame);
+  if (mode_ == Mode::kInline) {
+    // Synchronous delivery on the sender's thread, outside mu_ so the
+    // handler can itself Send (request -> handler -> response is one
+    // call stack in this mode).
+    node->handler(src, std::move(frame));
+    return Status::OK();
+  }
+  {
+    MutexLock lock(node->mu);
+    if (node->stop) return Status::Unavailable("node is shutting down");
+    node->queue.emplace_back(src, std::move(frame));
+  }
+  node->cv.notify_one();
+  return Status::OK();
+}
+
+void InProcessTransport::DeliveryLoop(Node* node) {
+  while (true) {
+    std::vector<std::pair<int, Frame>> batch;
+    {
+      MutexLock lock(node->mu);
+      while (node->queue.empty() && !node->stop) node->cv.wait(node->mu);
+      if (node->queue.empty() && node->stop) return;
+      batch.swap(node->queue);
+    }
+    for (auto& [src, frame] : batch) {
+      node->handler(src, std::move(frame));
+    }
+  }
+}
+
+void InProcessTransport::Shutdown() {
+  std::vector<Node*> nodes;
+  {
+    MutexLock lock(mu_);
+    if (shutdown_) return;
+    shutdown_ = true;
+    nodes.reserve(nodes_.size());
+    for (auto& [id, n] : nodes_) nodes.push_back(n.get());
+  }
+  for (Node* n : nodes) {
+    {
+      MutexLock lock(n->mu);
+      n->stop = true;
+    }
+    n->cv.notify_one();
+  }
+  // Joins outside every lock; delivery threads drain their queues first.
+  for (Node* n : nodes) {
+    if (n->worker.joinable()) n->worker.join();
+  }
+}
+
+}  // namespace net
+}  // namespace scidb

@@ -1,0 +1,149 @@
+#include "net/message.h"
+
+#include <utility>
+
+#include "common/byte_io.h"
+#include "common/macros.h"
+
+namespace scidb {
+namespace net {
+
+namespace {
+
+// Length-prefixed byte string. The count guard bounds the allocation:
+// a chunk body costs at least one byte on the wire.
+void PutByteString(const std::vector<uint8_t>& bytes, ByteWriter* w) {
+  w->PutVarint(bytes.size());
+  w->PutBytes(bytes.data(), bytes.size());
+}
+
+Result<std::vector<uint8_t>> GetByteString(ByteReader* r) {
+  ASSIGN_OR_RETURN(uint64_t n, r->GetVarint());
+  if (n > r->remaining()) {
+    return Status::Corruption("byte string length too large");
+  }
+  std::vector<uint8_t> bytes(static_cast<size_t>(n));
+  RETURN_NOT_OK(r->GetBytes(bytes.data(), bytes.size()));
+  return bytes;
+}
+
+Status ExpectExhausted(const ByteReader& r, const char* what) {
+  if (r.remaining() != 0) {
+    return Status::Corruption(std::string("trailing bytes after ") + what);
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+std::vector<uint8_t> ChunkPutRequest::EncodePayload() const {
+  ByteWriter w;
+  w.PutSignedVarint(time);
+  PutByteString(chunk_bytes, &w);
+  return w.Release();
+}
+
+Result<ChunkPutRequest> ChunkPutRequest::Decode(
+    const std::vector<uint8_t>& payload) {
+  ByteReader r(payload);
+  ChunkPutRequest req;
+  ASSIGN_OR_RETURN(req.time, r.GetSignedVarint());
+  ASSIGN_OR_RETURN(req.chunk_bytes, GetByteString(&r));
+  RETURN_NOT_OK(ExpectExhausted(r, "ChunkPut"));
+  return req;
+}
+
+std::vector<uint8_t> ChunkGetRequest::EncodePayload() const {
+  ByteWriter w;
+  EncodeCoordinates(origin, &w);
+  return w.Release();
+}
+
+Result<ChunkGetRequest> ChunkGetRequest::Decode(
+    const std::vector<uint8_t>& payload) {
+  ByteReader r(payload);
+  ChunkGetRequest req;
+  ASSIGN_OR_RETURN(req.origin, DecodeCoordinates(&r));
+  RETURN_NOT_OK(ExpectExhausted(r, "ChunkGet"));
+  return req;
+}
+
+std::vector<uint8_t> ScanShardRequest::EncodePayload() const {
+  ByteWriter w;
+  w.PutU8(pred != nullptr ? 1 : 0);
+  if (pred != nullptr) EncodeExpr(*pred, &w);
+  return w.Release();
+}
+
+Result<ScanShardRequest> ScanShardRequest::Decode(
+    const std::vector<uint8_t>& payload) {
+  ByteReader r(payload);
+  ASSIGN_OR_RETURN(uint8_t has_pred, r.GetU8());
+  if (has_pred > 1) return Status::Corruption("bad ScanShard pred flag");
+  ScanShardRequest req;
+  if (has_pred == 1) {
+    ASSIGN_OR_RETURN(req.pred, DecodeExpr(&r));
+  }
+  RETURN_NOT_OK(ExpectExhausted(r, "ScanShard"));
+  return req;
+}
+
+std::vector<uint8_t> ScanShardResponse::EncodePayload() const {
+  ByteWriter w;
+  w.PutVarint(chunks.size());
+  for (const auto& c : chunks) PutByteString(c, &w);
+  return w.Release();
+}
+
+Result<ScanShardResponse> ScanShardResponse::Decode(
+    const std::vector<uint8_t>& payload) {
+  ByteReader r(payload);
+  ASSIGN_OR_RETURN(uint64_t n, r.GetVarint());
+  if (n > r.remaining()) {
+    return Status::Corruption("chunk count too large");
+  }
+  ScanShardResponse resp;
+  resp.chunks.reserve(static_cast<size_t>(n));
+  for (uint64_t i = 0; i < n; ++i) {
+    ASSIGN_OR_RETURN(std::vector<uint8_t> bytes, GetByteString(&r));
+    resp.chunks.push_back(std::move(bytes));
+  }
+  RETURN_NOT_OK(ExpectExhausted(r, "ScanShard response"));
+  return resp;
+}
+
+std::vector<uint8_t> NodeStatsResponse::EncodePayload() const {
+  ByteWriter w;
+  w.PutSignedVarint(cells_stored);
+  w.PutSignedVarint(bytes_stored);
+  w.PutSignedVarint(cells_scanned);
+  w.PutSignedVarint(bytes_scanned);
+  return w.Release();
+}
+
+Result<NodeStatsResponse> NodeStatsResponse::Decode(
+    const std::vector<uint8_t>& payload) {
+  ByteReader r(payload);
+  NodeStatsResponse resp;
+  ASSIGN_OR_RETURN(resp.cells_stored, r.GetSignedVarint());
+  ASSIGN_OR_RETURN(resp.bytes_stored, r.GetSignedVarint());
+  ASSIGN_OR_RETURN(resp.cells_scanned, r.GetSignedVarint());
+  ASSIGN_OR_RETURN(resp.bytes_scanned, r.GetSignedVarint());
+  RETURN_NOT_OK(ExpectExhausted(r, "NodeStats response"));
+  return resp;
+}
+
+std::vector<uint8_t> EncodeErrorPayload(const Status& s) {
+  ByteWriter w;
+  EncodeStatus(s, &w);
+  return w.Release();
+}
+
+Status DecodeErrorPayload(const std::vector<uint8_t>& payload, Status* out) {
+  ByteReader r(payload);
+  RETURN_NOT_OK(DecodeStatus(&r, out));
+  return ExpectExhausted(r, "Error payload");
+}
+
+}  // namespace net
+}  // namespace scidb

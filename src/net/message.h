@@ -1,0 +1,87 @@
+#ifndef SCIDB_NET_MESSAGE_H_
+#define SCIDB_NET_MESSAGE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "array/coordinates.h"
+#include "common/result.h"
+#include "exec/expression.h"
+#include "net/frame.h"
+#include "net/wire.h"
+
+namespace scidb {
+namespace net {
+
+// Typed payloads for the grid RPC vocabulary (frame.h MessageType).
+// Each struct round-trips through EncodePayload/Decode: the encode side
+// produces the frame payload bytes, the decode side parses them with
+// full bounds checking. Chunk bodies use storage/chunk_serde's columnar
+// codec and travel as opaque length-prefixed byte strings here — the
+// schema needed to decode them lives on both ends (array manifest).
+
+// Idempotent upsert of one chunk's cells into the destination shard.
+// Applying the same ChunkPut twice leaves the shard in the same state
+// (SetCell is last-writer-wins per cell and a duplicate carries the
+// same cells), which is what makes the RPC safe to retry and to
+// duplicate under fault injection.
+struct ChunkPutRequest {
+  int64_t time = 0;                  // load epoch (drives time-split)
+  std::vector<uint8_t> chunk_bytes;  // SerializeChunk output
+
+  std::vector<uint8_t> EncodePayload() const;
+  static Result<ChunkPutRequest> Decode(const std::vector<uint8_t>& payload);
+};
+
+// Fetch one chunk by its origin coordinates. Response payload is the
+// serialized chunk; a missing chunk is a kError response with NotFound.
+struct ChunkGetRequest {
+  Coordinates origin;
+
+  std::vector<uint8_t> EncodePayload() const;
+  static Result<ChunkGetRequest> Decode(const std::vector<uint8_t>& payload);
+};
+
+// Scan the destination shard, optionally filtering server-side with a
+// shipped predicate (function shipping). With no predicate the response
+// is the shard's chunks verbatim (data shipping, e.g. for aggregates
+// whose accumulator state has no wire form).
+struct ScanShardRequest {
+  ExprPtr pred;  // null = unfiltered full-shard scan
+
+  std::vector<uint8_t> EncodePayload() const;
+  static Result<ScanShardRequest> Decode(const std::vector<uint8_t>& payload);
+};
+
+// Response to ScanShard: the matching cells re-chunked on the serving
+// node, in origin order (MemArray::chunks() iteration order), so the
+// coordinator's merge is deterministic.
+struct ScanShardResponse {
+  std::vector<std::vector<uint8_t>> chunks;  // SerializeChunk outputs
+
+  std::vector<uint8_t> EncodePayload() const;
+  static Result<ScanShardResponse> Decode(const std::vector<uint8_t>& payload);
+};
+
+// Response to NodeStatsReq (the request itself has an empty payload).
+// Mirrors grid NodeStats; defined here so net/ does not depend on grid/.
+struct NodeStatsResponse {
+  int64_t cells_stored = 0;
+  int64_t bytes_stored = 0;
+  int64_t cells_scanned = 0;
+  int64_t bytes_scanned = 0;
+
+  std::vector<uint8_t> EncodePayload() const;
+  static Result<NodeStatsResponse> Decode(const std::vector<uint8_t>& payload);
+};
+
+// Builds a kError frame payload from a Status, and parses one back.
+std::vector<uint8_t> EncodeErrorPayload(const Status& s);
+// Returns the transported status (non-OK by construction on the server
+// side) or Corruption if the payload does not parse.
+Status DecodeErrorPayload(const std::vector<uint8_t>& payload, Status* out);
+
+}  // namespace net
+}  // namespace scidb
+
+#endif  // SCIDB_NET_MESSAGE_H_

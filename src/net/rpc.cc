@@ -1,0 +1,255 @@
+#include "net/rpc.h"
+
+#include <algorithm>
+#include <chrono>
+#include <utility>
+
+#include "common/metrics.h"
+#include "net/message.h"
+
+namespace scidb {
+namespace net {
+
+namespace {
+
+struct RpcMetrics {
+  Counter* retries;
+  Counter* timeouts;
+  Counter* stale;
+  Counter* errors;
+  Histogram* latency_us;
+
+  static const RpcMetrics& Get() {
+    static const RpcMetrics m = {
+        Metrics::Instance().counter("scidb.net.retries"),
+        Metrics::Instance().counter("scidb.net.timeouts"),
+        Metrics::Instance().counter("scidb.net.stale_responses"),
+        Metrics::Instance().counter("scidb.net.rpc_errors"),
+        Metrics::Instance().histogram("scidb.net.rpc_latency_us"),
+    };
+    return m;
+  }
+};
+
+bool IsRetryable(const Status& s) {
+  return s.IsUnavailable() || s.IsDeadlineExceeded();
+}
+
+}  // namespace
+
+void RpcServer::Handle(MessageType type, Handler handler) {
+  MutexLock lock(mu_);
+  handlers_[static_cast<uint8_t>(type)] = std::move(handler);
+}
+
+void RpcServer::OnFrame(int src, Frame frame) {
+  Handler handler;
+  {
+    MutexLock lock(mu_);
+    auto it = handlers_.find(static_cast<uint8_t>(frame.type));
+    if (it != handlers_.end()) handler = it->second;
+  }
+  Frame reply;
+  reply.request_id = frame.request_id;
+  if (!handler) {
+    reply.type = MessageType::kError;
+    reply.payload = EncodeErrorPayload(Status::NotImplemented(
+        std::string("no handler for ") + MessageTypeName(frame.type)));
+  } else {
+    Result<std::vector<uint8_t>> r = handler(src, frame.payload);
+    if (r.ok()) {
+      reply.type = MessageType::kAck;
+      reply.payload = std::move(r).value();
+    } else {
+      reply.type = MessageType::kError;
+      reply.payload = EncodeErrorPayload(r.status());
+    }
+  }
+  // A failed reply send is indistinguishable from a lost reply to the
+  // caller, who handles it with its retry/deadline machinery.
+  (void)transport_->Send(node_, src, std::move(reply));
+}
+
+RpcClient::RpcClient(Transport* transport, int node)
+    : RpcClient(transport, node, Options()) {}
+
+RpcClient::RpcClient(Transport* transport, int node, Options opts)
+    : transport_(transport),
+      node_(node),
+      clock_(opts.clock ? std::move(opts.clock) : TraceClock(SteadyNowNs)),
+      sleep_(std::move(opts.sleep)),
+      jitter_(opts.jitter_seed) {}
+
+void RpcClient::OnFrame(int src, Frame frame) {
+  (void)src;
+  {
+    MutexLock lock(mu_);
+    auto it = pending_.find(frame.request_id);
+    if (it != pending_.end()) {
+      Pending* slot = it->second;
+      if (!slot->done) {
+        if (frame.type == MessageType::kError) {
+          Status transported = Status::OK();
+          Status parse = DecodeErrorPayload(frame.payload, &transported);
+          slot->is_error = true;
+          slot->error = parse.ok() ? transported : parse;
+        } else {
+          slot->payload = std::move(frame.payload);
+        }
+        slot->done = true;
+      }
+      // A second response for a still-pending id (fault-injected dup)
+      // is simply ignored; the slot already holds the answer.
+    } else {
+      // Response to an abandoned attempt (the call retried or gave up).
+      RpcMetrics::Get().stale->Inc();
+    }
+  }
+  cv_.notify_all();
+}
+
+bool RpcClient::WaitForResponse(Pending* slot, uint64_t deadline_ns) {
+  if (sleep_) {
+    // Virtual-time path: between checks the injected sleep advances the
+    // manual clock (it must advance by the requested amount, or this
+    // loop could spin forever).
+    while (true) {
+      {
+        MutexLock lock(mu_);
+        if (slot->done) return true;
+      }
+      uint64_t now = clock_();
+      if (now >= deadline_ns) {
+        MutexLock lock(mu_);
+        return slot->done;
+      }
+      sleep_(deadline_ns - now);
+    }
+  }
+  MutexLock lock(mu_);
+  while (!slot->done) {
+    uint64_t now = clock_();
+    if (now >= deadline_ns) return slot->done;
+    cv_.wait_for(mu_, std::chrono::nanoseconds(deadline_ns - now));
+  }
+  return true;
+}
+
+void RpcClient::SleepNs(uint64_t ns) {
+  if (ns == 0) return;
+  if (sleep_) {
+    sleep_(ns);
+    return;
+  }
+  // Real-time backoff. Waking early on an (unrelated) response signal
+  // only shortens the backoff, which is harmless.
+  MutexLock lock(mu_);
+  cv_.wait_for(mu_, std::chrono::nanoseconds(ns));
+}
+
+Result<std::vector<uint8_t>> RpcClient::Call(int dst, MessageType type,
+                                             std::vector<uint8_t> payload,
+                                             const CallOptions& opts) {
+  const RpcMetrics& metrics = RpcMetrics::Get();
+  const uint64_t start_ns = clock_();
+  const uint64_t deadline_ns = start_ns + opts.deadline_ns;
+  const int max_attempts = std::max(1, opts.max_attempts);
+  uint64_t backoff_ns = std::max<uint64_t>(1, opts.backoff_base_ns);
+  Status last = Status::Unavailable("rpc made no attempts");
+
+  for (int attempt = 0; attempt < max_attempts; ++attempt) {
+    if (attempt > 0) {
+      metrics.retries->Inc();
+      uint64_t jitter_ns;
+      {
+        MutexLock lock(mu_);
+        jitter_ns = backoff_ns / 2 + jitter_.Uniform(backoff_ns / 2 + 1);
+      }
+      uint64_t now = clock_();
+      if (now >= deadline_ns) break;
+      SleepNs(std::min(jitter_ns, deadline_ns - now));
+      backoff_ns = std::min(backoff_ns * 2, opts.backoff_cap_ns);
+    }
+    uint64_t now = clock_();
+    if (now >= deadline_ns) break;
+
+    // Fresh request id per attempt: a late response to an earlier
+    // attempt is then recognizably stale instead of being mistaken for
+    // the current attempt's answer.
+    Pending slot;
+    uint64_t id;
+    {
+      MutexLock lock(mu_);
+      id = next_id_++;
+      pending_[id] = &slot;
+    }
+    Frame frame;
+    frame.type = type;
+    frame.request_id = id;
+    frame.payload = payload;  // copied: later attempts resend it
+    Status sent = transport_->Send(node_, dst, std::move(frame));
+    if (!sent.ok()) {
+      {
+        MutexLock lock(mu_);
+        pending_.erase(id);
+      }
+      last = sent;
+      if (!IsRetryable(sent)) {
+        metrics.errors->Inc();
+        return sent;
+      }
+      continue;
+    }
+    const uint64_t attempt_deadline_ns =
+        std::min(deadline_ns, clock_() + opts.attempt_timeout_ns);
+    const bool got = WaitForResponse(&slot, attempt_deadline_ns);
+    {
+      MutexLock lock(mu_);
+      pending_.erase(id);
+    }
+    if (!got) {
+      metrics.timeouts->Inc();
+      last = Status::DeadlineExceeded(
+          std::string("rpc ") + MessageTypeName(type) + " to node " +
+          std::to_string(dst) + " timed out");
+      continue;
+    }
+    if (slot.is_error) {
+      last = slot.error;
+      if (!IsRetryable(slot.error)) {
+        metrics.errors->Inc();
+        return slot.error;
+      }
+      continue;
+    }
+    metrics.latency_us->Record(
+        static_cast<int64_t>((clock_() - start_ns) / 1000));
+    return std::move(slot.payload);
+  }
+
+  metrics.errors->Inc();
+  if (clock_() >= deadline_ns && !last.IsDeadlineExceeded()) {
+    return Status::DeadlineExceeded(
+        std::string("rpc ") + MessageTypeName(type) + " to node " +
+        std::to_string(dst) + " exceeded its deadline; last error: " +
+        last.ToString());
+  }
+  return last;
+}
+
+Status BindNode(Transport* transport, int node, RpcServer* server,
+                RpcClient* client) {
+  return transport->Register(
+      node, [server, client](int src, Frame frame) {
+        const bool is_response = frame.type == MessageType::kAck ||
+                                 frame.type == MessageType::kError;
+        if (is_response) {
+          if (client != nullptr) client->OnFrame(src, std::move(frame));
+        } else if (server != nullptr) {
+          server->OnFrame(src, std::move(frame));
+        }
+      });
+}
+
+}  // namespace net
+}  // namespace scidb

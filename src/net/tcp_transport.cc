@@ -1,0 +1,264 @@
+#include "net/tcp_transport.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <utility>
+
+#include "common/macros.h"
+
+namespace scidb {
+namespace net {
+
+namespace {
+
+// Full send() loop: handles partial writes and EINTR. MSG_NOSIGNAL so a
+// peer that vanished mid-write yields EPIPE instead of killing the
+// process with SIGPIPE.
+Status SendAll(int fd, const uint8_t* data, size_t n) {
+  size_t off = 0;
+  while (off < n) {
+    ssize_t w = ::send(fd, data + off, n - off, MSG_NOSIGNAL);
+    if (w < 0) {
+      if (errno == EINTR) continue;
+      return Status::Unavailable(std::string("send failed: ") +
+                                 std::strerror(errno));
+    }
+    off += static_cast<size_t>(w);
+  }
+  return Status::OK();
+}
+
+Status RecvExact(int fd, uint8_t* data, size_t n) {
+  size_t off = 0;
+  while (off < n) {
+    ssize_t r = ::recv(fd, data + off, n - off, 0);
+    if (r < 0) {
+      if (errno == EINTR) continue;
+      return Status::Unavailable(std::string("recv failed: ") +
+                                 std::strerror(errno));
+    }
+    if (r == 0) return Status::Unavailable("peer closed connection");
+    off += static_cast<size_t>(r);
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+LoopbackTcpTransport::LoopbackTcpTransport() = default;
+
+LoopbackTcpTransport::~LoopbackTcpTransport() { Shutdown(); }
+
+Status LoopbackTcpTransport::Register(int node, FrameHandler handler) {
+  int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) {
+    return Status::IOError(std::string("socket failed: ") +
+                           std::strerror(errno));
+  }
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = 0;  // ephemeral
+  if (::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0 ||
+      ::listen(fd, 64) != 0) {
+    Status s = Status::IOError(std::string("bind/listen failed: ") +
+                               std::strerror(errno));
+    ::close(fd);
+    return s;
+  }
+  socklen_t len = sizeof(addr);
+  if (::getsockname(fd, reinterpret_cast<sockaddr*>(&addr), &len) != 0) {
+    Status s = Status::IOError(std::string("getsockname failed: ") +
+                               std::strerror(errno));
+    ::close(fd);
+    return s;
+  }
+
+  MutexLock lock(mu_);
+  if (shutdown_) {
+    ::close(fd);
+    return Status::Unavailable("transport is shut down");
+  }
+  auto [it, inserted] = listeners_.emplace(node, std::make_unique<Listener>());
+  if (!inserted) {
+    ::close(fd);
+    return Status::AlreadyExists("node " + std::to_string(node) +
+                                 " already registered");
+  }
+  Listener* l = it->second.get();
+  l->fd = fd;
+  l->port = ntohs(addr.sin_port);
+  l->handler = std::move(handler);
+  l->accept_thread = std::thread([this, l] { AcceptLoop(l); });
+  return Status::OK();
+}
+
+void LoopbackTcpTransport::AcceptLoop(Listener* listener) {
+  while (true) {
+    int fd = ::accept(listener->fd, nullptr, nullptr);
+    if (fd < 0) {
+      if (errno == EINTR) continue;
+      return;  // listener was shut down
+    }
+    MutexLock lock(mu_);
+    if (shutdown_) {
+      ::close(fd);
+      return;
+    }
+    reader_fds_.push_back(fd);
+    readers_.emplace_back(
+        [this, listener, fd] { ReaderLoop(listener, fd); });
+  }
+}
+
+void LoopbackTcpTransport::ReaderLoop(Listener* listener, int fd) {
+  // Connection preamble: the peer's node id (frames carry no source).
+  uint8_t preamble[4];
+  if (!RecvExact(fd, preamble, sizeof(preamble)).ok()) return;
+  const int src = static_cast<int>(
+      static_cast<uint32_t>(preamble[0]) |
+      (static_cast<uint32_t>(preamble[1]) << 8) |
+      (static_cast<uint32_t>(preamble[2]) << 16) |
+      (static_cast<uint32_t>(preamble[3]) << 24));
+
+  FrameAssembler assembler;
+  uint8_t buf[64 * 1024];
+  while (true) {
+    ssize_t r = ::recv(fd, buf, sizeof(buf), 0);
+    if (r < 0 && errno == EINTR) continue;
+    if (r <= 0) return;  // EOF, error, or shutdown
+    assembler.Append(buf, static_cast<size_t>(r));
+    while (true) {
+      Frame frame;
+      Result<bool> got = assembler.Next(&frame);
+      if (!got.ok()) return;  // corrupt stream: drop the connection
+      if (!*got) break;
+      listener->handler(src, std::move(frame));
+    }
+  }
+}
+
+Status LoopbackTcpTransport::Send(int src, int dst, Frame frame) {
+  const std::vector<uint8_t> bytes = EncodeFrame(frame);
+  std::shared_ptr<Conn> conn;
+  {
+    MutexLock lock(mu_);
+    if (shutdown_) return Status::Unavailable("transport is shut down");
+    auto existing = conns_.find({src, dst});
+    if (existing != conns_.end()) {
+      conn = existing->second;
+    } else {
+      auto it = listeners_.find(dst);
+      if (it == listeners_.end()) {
+        return Status::Unavailable("node " + std::to_string(dst) +
+                                   " is not registered");
+      }
+      int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+      if (fd < 0) {
+        return Status::Unavailable(std::string("socket failed: ") +
+                                   std::strerror(errno));
+      }
+      sockaddr_in addr{};
+      addr.sin_family = AF_INET;
+      addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+      addr.sin_port = htons(it->second->port);
+      // connect/preamble stay under mu_: a loopback handshake completes
+      // in the listen backlog without userspace accept, and the 4-byte
+      // preamble fits an empty socket buffer, so neither can park.
+      if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) !=
+          0) {
+        Status s = Status::Unavailable(std::string("connect failed: ") +
+                                       std::strerror(errno));
+        ::close(fd);
+        return s;
+      }
+      int one = 1;
+      ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+      const uint8_t preamble[4] = {
+          static_cast<uint8_t>(src), static_cast<uint8_t>(src >> 8),
+          static_cast<uint8_t>(src >> 16), static_cast<uint8_t>(src >> 24)};
+      Status s = SendAll(fd, preamble, sizeof(preamble));
+      if (!s.ok()) {
+        ::close(fd);
+        return s;
+      }
+      conn = std::make_shared<Conn>(fd);
+      conns_[{src, dst}] = conn;
+    }
+  }
+  // The payload write runs outside mu_: a frame larger than the kernel's
+  // socket buffers blocks until the peer's reader drains them, and that
+  // reader is spawned by AcceptLoop, which needs mu_ — holding mu_ here
+  // would deadlock. write_mu still keeps concurrent senders from
+  // interleaving frames on the shared stream.
+  Status s;
+  {
+    MutexLock wlock(conn->write_mu);
+    s = SendAll(conn->fd, bytes.data(), bytes.size());
+  }
+  if (!s.ok()) {
+    MutexLock lock(mu_);
+    auto it = conns_.find({src, dst});
+    if (it != conns_.end() && it->second == conn) conns_.erase(it);
+    ::shutdown(conn->fd, SHUT_RDWR);  // closed by the last shared_ptr
+    return s;
+  }
+  RecordFrameSent(frame);
+  return Status::OK();
+}
+
+void LoopbackTcpTransport::DropConnection(int src, int dst) {
+  MutexLock lock(mu_);
+  auto it = conns_.find({src, dst});
+  if (it != conns_.end()) {
+    ::shutdown(it->second->fd, SHUT_RDWR);
+    conns_.erase(it);  // fd closes when in-flight writers drop their refs
+  }
+}
+
+uint16_t LoopbackTcpTransport::port(int node) const {
+  MutexLock lock(mu_);
+  auto it = listeners_.find(node);
+  return it == listeners_.end() ? 0 : it->second->port;
+}
+
+void LoopbackTcpTransport::Shutdown() {
+  std::vector<std::thread> accepts;
+  std::vector<std::thread> readers;
+  {
+    MutexLock lock(mu_);
+    if (shutdown_) return;
+    shutdown_ = true;
+    // shutdown(2) wakes the threads blocked in accept/recv; the fds are
+    // closed only after the joins so no fd number can be reused while a
+    // thread still reads it.
+    for (auto& [id, l] : listeners_) {
+      ::shutdown(l->fd, SHUT_RDWR);
+      accepts.push_back(std::move(l->accept_thread));
+    }
+    for (int fd : reader_fds_) ::shutdown(fd, SHUT_RDWR);
+    for (auto& [key, conn] : conns_) ::shutdown(conn->fd, SHUT_RDWR);
+    readers.swap(readers_);
+  }
+  for (auto& t : accepts) {
+    if (t.joinable()) t.join();
+  }
+  for (auto& t : readers) {
+    if (t.joinable()) t.join();
+  }
+  MutexLock lock(mu_);
+  for (auto& [id, l] : listeners_) ::close(l->fd);
+  for (int fd : reader_fds_) ::close(fd);
+  reader_fds_.clear();
+  conns_.clear();  // Conn dtors close the outbound fds
+  listeners_.clear();
+}
+
+}  // namespace net
+}  // namespace scidb

@@ -1,0 +1,88 @@
+#ifndef SCIDB_NET_TCP_TRANSPORT_H_
+#define SCIDB_NET_TCP_TRANSPORT_H_
+
+#include <unistd.h>
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "common/mutex.h"
+#include "net/transport.h"
+
+namespace scidb {
+namespace net {
+
+// Frame delivery over real TCP sockets on 127.0.0.1 — the same frames,
+// handlers, and RPC stack as InProcessTransport, but with genuine
+// kernel buffering, partial reads, and connection failures.
+//
+// Register(node) binds a listening socket on an ephemeral loopback port
+// and starts an accept thread; each accepted connection gets a reader
+// thread that reassembles frames (net/frame.h FrameAssembler) and
+// dispatches them to the node's handler. A connection starts with a
+// 4-byte little-endian preamble carrying the sender's node id, since
+// frames themselves do not name their source.
+//
+// Send(src, dst) lazily opens one connection per (src, dst) pair and
+// writes the encoded frame; connection or write failure surfaces as
+// Unavailable (retryable — the RPC layer re-dials via a fresh Send).
+class LoopbackTcpTransport : public Transport {
+ public:
+  LoopbackTcpTransport();
+  ~LoopbackTcpTransport() override;
+
+  Status Register(int node, FrameHandler handler) override
+      LOCKS_EXCLUDED(mu_);
+  Status Send(int src, int dst, Frame frame) override LOCKS_EXCLUDED(mu_);
+  void Shutdown() override LOCKS_EXCLUDED(mu_);
+  const char* name() const override { return "tcp"; }
+
+  // The ephemeral port `node` listens on; 0 if not registered.
+  uint16_t port(int node) const LOCKS_EXCLUDED(mu_);
+
+ private:
+  struct Listener {
+    int fd = -1;
+    uint16_t port = 0;
+    FrameHandler handler;
+    std::thread accept_thread;
+  };
+
+  // One outbound connection. The fd is closed by the destructor, and the
+  // map holds shared_ptrs, so a Send mid-write keeps its connection alive
+  // even if another thread drops it from the map. write_mu serializes
+  // frame writes on the stream; it is never taken while holding mu_,
+  // because a write can block on full kernel buffers until the peer's
+  // reader drains them — and spawning that reader needs mu_.
+  struct Conn {
+    explicit Conn(int fd_in) : fd(fd_in) {}
+    ~Conn() {
+      if (fd >= 0) ::close(fd);
+    }
+    Conn(const Conn&) = delete;
+    Conn& operator=(const Conn&) = delete;
+    const int fd;
+    Mutex write_mu;
+  };
+
+  void AcceptLoop(Listener* listener) LOCKS_EXCLUDED(mu_);
+  void ReaderLoop(Listener* listener, int fd);
+  // Shuts down and forgets the cached (src, dst) connection, if any, so
+  // the next Send re-dials.
+  void DropConnection(int src, int dst) LOCKS_EXCLUDED(mu_);
+
+  mutable Mutex mu_;
+  std::map<int, std::unique_ptr<Listener>> listeners_ GUARDED_BY(mu_);
+  std::map<std::pair<int, int>, std::shared_ptr<Conn>> conns_ GUARDED_BY(mu_);
+  std::vector<std::thread> readers_ GUARDED_BY(mu_);
+  std::vector<int> reader_fds_ GUARDED_BY(mu_);
+  bool shutdown_ GUARDED_BY(mu_) = false;
+};
+
+}  // namespace net
+}  // namespace scidb
+
+#endif  // SCIDB_NET_TCP_TRANSPORT_H_

@@ -1,0 +1,57 @@
+#ifndef SCIDB_NET_TRANSPORT_H_
+#define SCIDB_NET_TRANSPORT_H_
+
+#include <functional>
+
+#include "common/status.h"
+#include "net/frame.h"
+
+namespace scidb {
+namespace net {
+
+// Invoked for every frame delivered to a registered node. `src` is the
+// sending node id. Runs on a transport-defined thread: the sender's own
+// thread for InProcessTransport's inline mode, a delivery thread
+// otherwise — handlers must do their own locking.
+using FrameHandler = std::function<void(int src, Frame frame)>;
+
+// Node-to-node frame delivery (DESIGN.md §10). Implementations:
+//
+//   InProcessTransport   queues between simulated nodes in one process
+//   LoopbackTcpTransport real sockets on 127.0.0.1
+//   FaultInjectingTransport  wrapper that drops/delays/duplicates/
+//                            reorders/partitions under a seeded RNG
+//
+// Delivery is best-effort: Send returning OK means the frame was
+// accepted for delivery, not that it arrived (a faulty or partitioned
+// path may eat it). Reliability is the RPC layer's job (net/rpc.h).
+class Transport {
+ public:
+  virtual ~Transport() = default;
+
+  // Registers `node` as a destination. Must be called for every node
+  // before the first Send touching it; registering a node twice is
+  // AlreadyExists.
+  [[nodiscard]] virtual Status Register(int node, FrameHandler handler) = 0;
+
+  // Sends `frame` from `src` to `dst`. Unavailable when `dst` is not
+  // registered or the transport is shut down.
+  [[nodiscard]] virtual Status Send(int src, int dst, Frame frame) = 0;
+
+  // Stops delivery and joins any transport-owned threads. After
+  // Shutdown returns, no handler is running or will run again.
+  virtual void Shutdown() = 0;
+
+  // "inprocess", "tcp", ... for logs and benchmarks.
+  virtual const char* name() const = 0;
+};
+
+// Bumps scidb.net.frames_sent / scidb.net.bytes_sent for one physical
+// frame delivery. Called by the concrete transports (not by wrappers,
+// so fault-injected duplicates count and drops do not).
+void RecordFrameSent(const Frame& frame);
+
+}  // namespace net
+}  // namespace scidb
+
+#endif  // SCIDB_NET_TRANSPORT_H_

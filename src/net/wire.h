@@ -1,0 +1,56 @@
+#ifndef SCIDB_NET_WIRE_H_
+#define SCIDB_NET_WIRE_H_
+
+#include "array/coordinates.h"
+#include "common/byte_io.h"
+#include "common/result.h"
+#include "common/status.h"
+#include "exec/expression.h"
+#include "types/value.h"
+
+namespace scidb {
+namespace net {
+
+// Wire encodings for the engine types that cross node boundaries
+// (DESIGN.md §10). Chunks already have a columnar codec in
+// storage/chunk_serde; this file covers the rest: Status (for kError
+// responses), Value, Coordinates, and Expr trees (function shipping —
+// a ScanShard request carries its predicate so filtering runs on the
+// node that owns the data).
+//
+// Everything decodes with bounds checks and depth guards; a hostile
+// payload yields Corruption, never UB or unbounded recursion. The fuzz
+// frame harness drives these paths through DecodeFrame payloads.
+
+// Recursion cap shared by nested-array Values and Expr trees.
+inline constexpr int kMaxWireDepth = 32;
+
+// ---- Status ----
+// Encoded as code u8 + message string. Decoding an out-of-range code is
+// Corruption (codes are append-only in common/status.h, so a newer
+// peer's codes are the only way to see one).
+void EncodeStatus(const Status& s, ByteWriter* w);
+// On success stores the decoded status (which may itself be non-OK —
+// that is the point) into *out and returns OK; returns Corruption when
+// the bytes do not parse.
+Status DecodeStatus(ByteReader* r, Status* out);
+
+// ---- Value ----
+void EncodeValue(const Value& v, ByteWriter* w);
+Result<Value> DecodeValue(ByteReader* r);
+
+// ---- Coordinates ----
+void EncodeCoordinates(const Coordinates& c, ByteWriter* w);
+Result<Coordinates> DecodeCoordinates(ByteReader* r);
+
+// ---- Expr ----
+// Binary structural serde (not AQL-text round-tripping): the decoded
+// tree is node-for-node identical to the encoded one, so a shipped
+// predicate evaluates bit-identically to the coordinator's copy.
+void EncodeExpr(const Expr& e, ByteWriter* w);
+Result<ExprPtr> DecodeExpr(ByteReader* r);
+
+}  // namespace net
+}  // namespace scidb
+
+#endif  // SCIDB_NET_WIRE_H_

@@ -3,6 +3,7 @@
 #include <cctype>
 
 #include "common/macros.h"
+#include "grid/cluster.h"
 #include "query/optimizer.h"
 #include "query/parser.h"
 #include "query/plan_printer.h"
@@ -415,6 +416,23 @@ Result<QueryResult> Session::ExecuteStatement(const Statement& stmt) {
     case Statement::Kind::kExplain:
       return ExecuteExplain(stmt);
     case Statement::Kind::kSet: {
+      if (stmt.set_option == "net_faults") {
+        // Seed for the grid's fault-injecting transport: every
+        // DistributedArray constructed from now on misbehaves
+        // deterministically under this seed. 0 restores a transparent
+        // network.
+        if (stmt.set_value < 0) {
+          return Status::Invalid("net_faults seed must be >= 0, got " +
+                                 std::to_string(stmt.set_value));
+        }
+        DistributedArray::SetDefaultFaultSeed(
+            static_cast<uint64_t>(stmt.set_value));
+        result.message =
+            stmt.set_value == 0
+                ? "net fault injection disabled"
+                : "net fault seed set to " + std::to_string(stmt.set_value);
+        return result;
+      }
       if (stmt.set_option != "parallelism") {
         return Status::Invalid("unknown session option '" +
                                stmt.set_option + "'");
@@ -433,6 +451,26 @@ Result<QueryResult> Session::ExecuteStatement(const Statement& stmt) {
   }
   return Status::Internal("unhandled statement kind");
 }
+
+namespace {
+
+// Handles to the network counters `explain analyze` reports as root
+// notes (net.*). Registered once; reading them is two relaxed loads.
+struct NetExplainCounters {
+  Counter* const frames = Metrics::Instance().counter("scidb.net.frames_sent");
+  Counter* const bytes = Metrics::Instance().counter("scidb.net.bytes_sent");
+  Counter* const retries = Metrics::Instance().counter("scidb.net.retries");
+  Counter* const timeouts = Metrics::Instance().counter("scidb.net.timeouts");
+  Histogram* const latency =
+      Metrics::Instance().histogram("scidb.net.rpc_latency_us");
+
+  static const NetExplainCounters& Get() {
+    static const NetExplainCounters c;
+    return c;
+  }
+};
+
+}  // namespace
 
 Result<QueryResult> Session::ExecuteExplain(const Statement& stmt) {
   if (stmt.query == nullptr) {
@@ -458,6 +496,13 @@ Result<QueryResult> Session::ExecuteExplain(const Statement& stmt) {
   }
 
   trace->root.label = PlanLabel(*tree);
+  const NetExplainCounters& net = NetExplainCounters::Get();
+  const int64_t net_frames0 = net.frames->value();
+  const int64_t net_bytes0 = net.bytes->value();
+  const int64_t net_retries0 = net.retries->value();
+  const int64_t net_timeouts0 = net.timeouts->value();
+  const int64_t net_rpcs0 = net.latency->count();
+  const int64_t net_us0 = net.latency->sum();
   uint64_t t0 = clock_();
   if (tree->op == "exists") {
     // Top-level boolean probe: trace the input scan, note the verdict.
@@ -475,6 +520,27 @@ Result<QueryResult> Session::ExecuteExplain(const Statement& stmt) {
     (void)out;  // explain analyze reports the trace, not the data
   }
   trace->execute_ns = clock_() - t0;
+  // Network activity attributable to this query (grid-backed plans);
+  // queries that touched no transport stay note-free.
+  if (net.frames->value() != net_frames0) {
+    trace->root.AddNote(
+        "net.frames_sent",
+        static_cast<double>(net.frames->value() - net_frames0));
+    trace->root.AddNote(
+        "net.bytes_sent",
+        static_cast<double>(net.bytes->value() - net_bytes0));
+    trace->root.AddNote(
+        "net.rpcs", static_cast<double>(net.latency->count() - net_rpcs0));
+    trace->root.AddNote(
+        "net.rpc_time_us",
+        static_cast<double>(net.latency->sum() - net_us0));
+    trace->root.AddNote(
+        "net.retries",
+        static_cast<double>(net.retries->value() - net_retries0));
+    trace->root.AddNote(
+        "net.timeouts",
+        static_cast<double>(net.timeouts->value() - net_timeouts0));
+  }
   {
     MutexLock lock(mu_);
     last_trace_ = trace;

@@ -43,6 +43,18 @@ TEST(ChunkCacheTest, HitRatio) {
   EXPECT_DOUBLE_EQ(cache.stats().hit_ratio(), 0.75);
 }
 
+TEST(ChunkCacheTest, HitRatioZeroLookupsIsZeroNotNaN) {
+  // Regression guard: 0/0 here would poison every dashboard ratio that
+  // aggregates over caches, some of which are created and never probed.
+  ChunkCache::Stats fresh;
+  EXPECT_EQ(fresh.hit_ratio(), 0.0);
+  EXPECT_FALSE(fresh.hit_ratio() != fresh.hit_ratio());  // not NaN
+
+  ChunkCache cache(1 << 20);
+  cache.Put(1, MakeChunk(1, 8, 1.0));  // a Put is not a lookup
+  EXPECT_EQ(cache.stats().hit_ratio(), 0.0);
+}
+
 TEST(ChunkCacheTest, EvictsLeastRecentlyUsed) {
   auto one = MakeChunk(1, 64, 1.0);
   size_t each = one->ByteSize();

@@ -44,7 +44,7 @@ class GridPropertyTest
 
   MemArray RandomData(uint64_t seed, double density) {
     MemArray a(Schema());
-    Rng rng(seed);
+    Rng rng(TestSeed(seed));
     for (int64_t x = 1; x <= kSide; ++x) {
       for (int64_t y = 1; y <= kSide; ++y) {
         if (rng.NextDouble() < density) {
@@ -97,7 +97,7 @@ TEST_P(GridPropertyTest, ParallelSjoinEqualsSerial) {
   ArraySchema sb("h", {{"x", 1, kSide, 6}, {"y", 1, kSide, 6}},
                  {{"w", DataType::kDouble, true, false}});
   MemArray b_src(sb);
-  Rng rng(seed + 99);
+  Rng rng(TestSeed(seed + 99));
   for (int64_t x = 1; x <= kSide; ++x) {
     for (int64_t y = 1; y <= kSide; ++y) {
       if (rng.NextDouble() < 0.3) {

@@ -74,7 +74,7 @@ TEST(PartitionerTest, EqualsDetectsCoPartitioning) {
 
 MemArray UniformSky(int64_t n, int64_t chunk, uint64_t seed) {
   MemArray a(Sky(n, chunk));
-  Rng rng(seed);
+  Rng rng(TestSeed(seed));
   for (int64_t i = 1; i <= n; ++i) {
     for (int64_t j = 1; j <= n; ++j) {
       SCIDB_CHECK(a.SetCell({i, j}, Value(rng.NextDouble())).ok());
@@ -137,7 +137,7 @@ TEST(DistributedArrayTest, SkewedDataUnbalancesFixedGrid) {
                                                   std::vector<int64_t>{2, 2});
   DistributedArray d(Sky(64, 4), p);
   MemArray src(Sky(64, 4));
-  Rng rng(2);
+  Rng rng(TestSeed(2));
   for (int k = 0; k < 4000; ++k) {
     ASSERT_TRUE(src.SetCell({rng.UniformInt(1, 28), rng.UniformInt(1, 28)},
                             Value(1.0))

@@ -41,7 +41,7 @@ TEST(IntegrationTest, InSituToSessionToDisk) {
   NcVariable sst;
   sst.name = "sst";
   sst.dim_ids = {0, 1};
-  Rng rng(1);
+  Rng rng(TestSeed(1));
   for (int i = 0; i < 256; ++i) sst.data.push_back(10 + rng.NextDouble());
   nc.variables.push_back(sst);
   std::string nc_path = dir + "/buoy.snc";
@@ -148,7 +148,7 @@ TEST(IntegrationTest, DesignerDrivenRepartitioning) {
   ArraySchema s("obs", {{"x", 1, 64, 8}, {"y", 1, 64, 8}},
                 {{"v", DataType::kDouble, true, false}});
   MemArray src(s);
-  Rng rng(3);
+  Rng rng(TestSeed(3));
   for (int64_t x = 1; x <= 64; ++x) {
     for (int64_t y = 1; y <= 64; ++y) {
       ASSERT_TRUE(src.SetCell({x, y}, Value(rng.NextDouble())).ok());
@@ -179,7 +179,7 @@ TEST(IntegrationTest, SessionPipelineWithWindowAndStore) {
   Session session;
   ASSERT_TRUE(session.Execute("define T (v = double) (t)").ok());
   ASSERT_TRUE(session.Execute("create Series as T [32]").ok());
-  Rng rng(4);
+  Rng rng(TestSeed(4));
   for (int64_t t = 1; t <= 32; ++t) {
     ASSERT_TRUE(session
                     .Execute("insert Series [" + std::to_string(t) +

@@ -1,0 +1,276 @@
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/macros.h"
+#include "common/rng.h"
+#include "grid/cluster.h"
+#include "grid/partitioner.h"
+#include "net/rpc.h"
+#include "storage/chunk_serde.h"
+
+// Differential suite for the grid-over-RPC migration (DESIGN.md §10):
+// the same workload must produce bit-identical results on a clean
+// network, under seeded fault injection (drops/dups/delays/reorders
+// masked by the RPC retry machinery), and across all three transports.
+// Deadline behaviour under a full partition runs on net::VirtualTime —
+// no real sleeps anywhere in this file (tools/lint.py net-test-clock).
+
+namespace scidb {
+namespace {
+
+ArraySchema Sky(int64_t n = 16, int64_t chunk = 4) {
+  return ArraySchema("sky", {{"ra", 1, n, chunk}, {"dec", 1, n, chunk}},
+                     {{"flux", DataType::kDouble, true, false}});
+}
+
+MemArray UniformSky(int64_t n, int64_t chunk, uint64_t seed) {
+  MemArray a(Sky(n, chunk));
+  Rng rng(TestSeed(seed));
+  for (int64_t i = 1; i <= n; ++i) {
+    for (int64_t j = 1; j <= n; ++j) {
+      SCIDB_CHECK(a.SetCell({i, j}, Value(rng.NextDouble())).ok());
+    }
+  }
+  return a;
+}
+
+// Bit-exact equality via the columnar codec: identical serialized chunk
+// bytes imply identical presence bitmaps, null masks, and payload bits.
+void ExpectBitIdentical(const MemArray& a, const MemArray& b,
+                        const std::string& label) {
+  SCOPED_TRACE(label);
+  ASSERT_EQ(a.CellCount(), b.CellCount());
+  ASSERT_EQ(a.chunks().size(), b.chunks().size());
+  auto itb = b.chunks().begin();
+  for (auto ita = a.chunks().begin(); ita != a.chunks().end();
+       ++ita, ++itb) {
+    ASSERT_EQ(ita->first, itb->first) << "chunk origins diverge";
+    EXPECT_EQ(SerializeChunk(*ita->second), SerializeChunk(*itb->second))
+        << "chunk payload bits diverge at origin[0]=" << ita->first[0];
+  }
+}
+
+// Runs the workload every differential case compares: a grouped
+// aggregate, a grand aggregate, and a predicate-shipped subsample.
+struct WorkloadResult {
+  MemArray grouped;
+  MemArray grand;
+  MemArray filtered;
+};
+
+Result<WorkloadResult> RunWorkload(DistributedArray* d) {
+  FunctionRegistry fns;
+  AggregateRegistry aggs;
+  ExecContext ctx{&fns, &aggs, true, nullptr};
+  ASSIGN_OR_RETURN(MemArray grouped,
+                   d->ParallelAggregate(ctx, {"ra"}, "avg", "flux"));
+  ASSIGN_OR_RETURN(MemArray grand,
+                   d->ParallelAggregate(ctx, {}, "sum", "flux"));
+  ExprPtr pred = And(Le(Ref("ra"), Lit(int64_t{8})),
+                     Call("even", {Ref("dec")}));
+  ASSIGN_OR_RETURN(MemArray filtered, d->ParallelSubsample(ctx, pred));
+  return WorkloadResult{std::move(grouped), std::move(grand),
+                        std::move(filtered)};
+}
+
+void ExpectWorkloadsIdentical(const WorkloadResult& a,
+                              const WorkloadResult& b,
+                              const std::string& label) {
+  ExpectBitIdentical(a.grouped, b.grouped, label + "/grouped-aggregate");
+  ExpectBitIdentical(a.grand, b.grand, label + "/grand-aggregate");
+  ExpectBitIdentical(a.filtered, b.filtered, label + "/subsample");
+}
+
+std::shared_ptr<FixedGridPartitioner> QuadPartitioner(int64_t n = 16) {
+  return std::make_shared<FixedGridPartitioner>(
+      Box({1, 1}, {n, n}), std::vector<int64_t>{2, 2});
+}
+
+TEST(NetGridDifferentialTest, SeededFaultsAreBitTransparent) {
+  // The acceptance gate: a lossy, seeded network (drops, duplicates,
+  // delays, reorders) must be invisible in the results — retries and
+  // idempotent handlers mask every injected fault.
+  MemArray src = UniformSky(16, 4, 11);
+
+  DistributedArray clean(Sky(), QuadPartitioner());
+  ASSERT_TRUE(clean.Load(src, 0).ok());
+  Result<WorkloadResult> want = RunWorkload(&clean);
+  ASSERT_TRUE(want.ok()) << want.status().ToString();
+
+  for (uint64_t fault_seed : {1ull, 42ull, 20260806ull}) {
+    net::VirtualTime vt;
+    GridNetOptions net;
+    net.fault_seed = fault_seed;
+    net.fault_profile = net::FaultProfile::Lossy();
+    // Concurrent workers share the virtual clock, so one worker's
+    // timeout-sleeps age every in-flight deadline; let max_attempts do
+    // the bounding and keep the (virtual, instant) deadline out of play.
+    net.call.max_attempts = 20;
+    net.call.deadline_ns = 10'000'000'000'000ull;
+    net.clock = vt.clock();
+    net.sleep = vt.sleep();
+    DistributedArray faulty(Sky(), QuadPartitioner(), net);
+    ASSERT_TRUE(faulty.Load(src, 0).ok()) << "seed " << fault_seed;
+    ASSERT_NE(faulty.fault_injector(), nullptr);
+
+    Result<WorkloadResult> got = RunWorkload(&faulty);
+    ASSERT_TRUE(got.ok()) << got.status().ToString();
+    ExpectWorkloadsIdentical(want.value(), got.value(),
+                             "fault_seed=" + std::to_string(fault_seed));
+    // The network really did misbehave; the results just don't show it.
+    EXPECT_GT(faulty.fault_injector()->frames_dropped() +
+                  faulty.fault_injector()->frames_duplicated() +
+                  faulty.fault_injector()->frames_held(),
+              0);
+  }
+}
+
+TEST(NetGridDifferentialTest, TransportsProduceIdenticalResults) {
+  MemArray src = UniformSky(16, 4, 13);
+
+  DistributedArray inline_grid(Sky(), QuadPartitioner());
+  ASSERT_TRUE(inline_grid.Load(src, 0).ok());
+  Result<WorkloadResult> want = RunWorkload(&inline_grid);
+  ASSERT_TRUE(want.ok()) << want.status().ToString();
+
+  for (auto kind : {GridNetOptions::TransportKind::kThreaded,
+                    GridNetOptions::TransportKind::kTcp}) {
+    // Real transports need the real clock: virtual time would expire
+    // deadlines before an asynchronous delivery thread ever ran.
+    GridNetOptions net;
+    net.transport = kind;
+    DistributedArray d(Sky(), QuadPartitioner(), net);
+    ASSERT_TRUE(d.Load(src, 0).ok());
+    Result<WorkloadResult> got = RunWorkload(&d);
+    ASSERT_TRUE(got.ok()) << got.status().ToString();
+    ExpectWorkloadsIdentical(
+        want.value(), got.value(),
+        kind == GridNetOptions::TransportKind::kThreaded ? "threaded"
+                                                         : "tcp");
+  }
+}
+
+TEST(NetGridDifferentialTest, FullPartitionFailsCleanlyWithinDeadline) {
+  net::VirtualTime vt;
+  GridNetOptions net;
+  net.fault_seed = 5;          // enables the fault wrapper...
+  net.fault_profile = net::FaultProfile{};  // ...with no random faults
+  net.clock = vt.clock();
+  net.sleep = vt.sleep();
+  DistributedArray d(Sky(), QuadPartitioner(), net);
+  MemArray src = UniformSky(16, 4, 17);
+  ASSERT_TRUE(d.Load(src, 0).ok());
+
+  ASSERT_NE(d.fault_injector(), nullptr);
+  d.fault_injector()->PartitionNode(2);
+
+  // Writes to the severed node fail with a clean retryable error — the
+  // call returns (never hangs), within the deadline plus one attempt.
+  const uint64_t t0 = vt.Now();
+  Status put = d.SetCell({9, 1}, {Value(1.0)}, 0);  // node 2's corner
+  ASSERT_FALSE(put.ok());
+  EXPECT_TRUE(put.IsUnavailable() || put.IsDeadlineExceeded())
+      << put.ToString();
+  GridNetOptions defaults;
+  EXPECT_LE(vt.Now() - t0,
+            defaults.call.deadline_ns + defaults.call.attempt_timeout_ns);
+
+  // Reads fan out to every node; the severed one poisons the whole op.
+  Result<WorkloadResult> r = RunWorkload(&d);
+  ASSERT_FALSE(r.ok());
+  EXPECT_TRUE(r.status().IsUnavailable() || r.status().IsDeadlineExceeded())
+      << r.status().ToString();
+
+  // Healing restores exact results.
+  d.fault_injector()->HealPartition(2);
+  DistributedArray clean(Sky(), QuadPartitioner());
+  ASSERT_TRUE(clean.Load(src, 0).ok());
+  Result<WorkloadResult> want = RunWorkload(&clean);
+  Result<WorkloadResult> got = RunWorkload(&d);
+  ASSERT_TRUE(want.ok());
+  ASSERT_TRUE(got.ok()) << got.status().ToString();
+  ExpectWorkloadsIdentical(want.value(), got.value(), "healed");
+}
+
+TEST(NetGridDifferentialTest, FaultySjoinMatchesClean) {
+  // Sjoin moves rhs data between nodes when not co-partitioned; that
+  // repartitioning path must also be fault-transparent.
+  ArraySchema sa("a", {{"x", 1, 16, 4}},
+                 {{"u", DataType::kDouble, true, false}});
+  ArraySchema sb("b", {{"x", 1, 16, 4}},
+                 {{"w", DataType::kDouble, true, false}});
+  auto pa = std::make_shared<RangePartitioner>(0, std::vector<int64_t>{8});
+  auto pb = std::make_shared<HashPartitioner>(2);
+
+  FunctionRegistry fns;
+  AggregateRegistry aggs;
+  ExecContext ctx{&fns, &aggs, true, nullptr};
+
+  auto fill = [](DistributedArray* d, double sign) {
+    for (int64_t x = 1; x <= 16; ++x) {
+      ASSERT_TRUE(
+          d->SetCell({x}, {Value(sign * static_cast<double>(x))}, 0).ok());
+    }
+  };
+
+  DistributedArray clean_a(sa, pa), clean_b(sb, pb);
+  fill(&clean_a, 1.0);
+  fill(&clean_b, -1.0);
+  int64_t moved_clean = 0;
+  Result<MemArray> want =
+      clean_a.ParallelSjoin(ctx, clean_b, {{"x", "x"}}, &moved_clean);
+  ASSERT_TRUE(want.ok()) << want.status().ToString();
+  EXPECT_GT(moved_clean, 0);
+
+  net::VirtualTime vt;
+  GridNetOptions net;
+  net.fault_seed = 99;
+  net.call.max_attempts = 20;
+  net.call.deadline_ns = 10'000'000'000'000ull;  // see above: shared clock
+  net.clock = vt.clock();
+  net.sleep = vt.sleep();
+  DistributedArray faulty_a(sa, pa, net), faulty_b(sb, pb, net);
+  fill(&faulty_a, 1.0);
+  fill(&faulty_b, -1.0);
+  int64_t moved_faulty = 0;
+  Result<MemArray> got =
+      faulty_a.ParallelSjoin(ctx, faulty_b, {{"x", "x"}}, &moved_faulty);
+  ASSERT_TRUE(got.ok()) << got.status().ToString();
+  // Movement accounting is logical (cells that changed node), not a
+  // retry-sensitive wire count: it must match exactly.
+  EXPECT_EQ(moved_faulty, moved_clean);
+  ExpectBitIdentical(want.value(), got.value(), "sjoin");
+}
+
+TEST(NetGridDifferentialTest, RepartitionRebuildsNetworkAcrossNodeCounts) {
+  // Repartition tears down and rebuilds the transport (node count
+  // changes 4 -> 3); the rebuilt stack must serve RPCs as before.
+  net::VirtualTime vt;
+  GridNetOptions net;
+  net.fault_seed = 7;
+  net.call.max_attempts = 20;
+  net.call.deadline_ns = 10'000'000'000'000ull;  // see above: shared clock
+  net.clock = vt.clock();
+  net.sleep = vt.sleep();
+  DistributedArray d(Sky(), QuadPartitioner(), net);
+  MemArray src = UniformSky(16, 4, 19);
+  ASSERT_TRUE(d.Load(src, 0).ok());
+
+  ASSERT_TRUE(
+      d.Repartition(std::make_shared<HashPartitioner>(3), 0).ok());
+  EXPECT_EQ(d.num_nodes(), 3);
+
+  DistributedArray clean(Sky(), std::make_shared<HashPartitioner>(3));
+  ASSERT_TRUE(clean.Load(src, 0).ok());
+  Result<WorkloadResult> want = RunWorkload(&clean);
+  Result<WorkloadResult> got = RunWorkload(&d);
+  ASSERT_TRUE(want.ok());
+  ASSERT_TRUE(got.ok()) << got.status().ToString();
+  ExpectWorkloadsIdentical(want.value(), got.value(), "repartitioned");
+}
+
+}  // namespace
+}  // namespace scidb

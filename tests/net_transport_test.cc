@@ -1,0 +1,266 @@
+#include "net/transport.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <condition_variable>
+#include <mutex>
+#include <vector>
+
+#include "common/rng.h"
+#include "net/inprocess_transport.h"
+#include "net/tcp_transport.h"
+
+namespace scidb {
+namespace net {
+namespace {
+
+Frame MakeFrame(MessageType type, uint64_t id,
+                std::vector<uint8_t> payload) {
+  Frame f;
+  f.type = type;
+  f.request_id = id;
+  f.payload = std::move(payload);
+  return f;
+}
+
+// Collects delivered frames; safe under any transport's threading model.
+class Sink {
+ public:
+  FrameHandler handler() {
+    return [this](int src, Frame frame) {
+      std::lock_guard<std::mutex> lock(mu_);
+      got_.emplace_back(src, std::move(frame));
+      cv_.notify_all();
+    };
+  }
+
+  // Blocks until `n` frames arrived (the threaded/TCP transports deliver
+  // asynchronously). Returns false on a 10 s safety timeout.
+  bool WaitForCount(size_t n) {
+    std::unique_lock<std::mutex> lock(mu_);
+    return cv_.wait_for(lock, std::chrono::seconds(10),
+                        [&] { return got_.size() >= n; });
+  }
+
+  std::vector<std::pair<int, Frame>> Take() {
+    std::lock_guard<std::mutex> lock(mu_);
+    return std::move(got_);
+  }
+
+  size_t count() {
+    std::lock_guard<std::mutex> lock(mu_);
+    return got_.size();
+  }
+
+ private:
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::vector<std::pair<int, Frame>> got_;
+};
+
+// ------------------------- shared transport contract ----------------------
+
+void CheckBasicDelivery(Transport* t) {
+  Sink sink0, sink1;
+  ASSERT_TRUE(t->Register(0, sink0.handler()).ok());
+  ASSERT_TRUE(t->Register(1, sink1.handler()).ok());
+
+  ASSERT_TRUE(
+      t->Send(0, 1, MakeFrame(MessageType::kChunkPut, 7, {1, 2, 3})).ok());
+  ASSERT_TRUE(
+      t->Send(1, 0, MakeFrame(MessageType::kAck, 7, {4, 5})).ok());
+
+  ASSERT_TRUE(sink1.WaitForCount(1));
+  ASSERT_TRUE(sink0.WaitForCount(1));
+  auto at1 = sink1.Take();
+  ASSERT_EQ(at1.size(), 1u);
+  EXPECT_EQ(at1[0].first, 0);  // src propagated
+  EXPECT_EQ(at1[0].second.request_id, 7u);
+  EXPECT_EQ(at1[0].second.payload, (std::vector<uint8_t>{1, 2, 3}));
+  auto at0 = sink0.Take();
+  ASSERT_EQ(at0.size(), 1u);
+  EXPECT_EQ(at0[0].first, 1);
+  EXPECT_EQ(at0[0].second.type, MessageType::kAck);
+}
+
+void CheckUnregisteredDestination(Transport* t) {
+  Sink sink;
+  ASSERT_TRUE(t->Register(0, sink.handler()).ok());
+  Status s = t->Send(0, 99, MakeFrame(MessageType::kAck, 1, {}));
+  ASSERT_FALSE(s.ok());
+  EXPECT_TRUE(s.IsUnavailable()) << s.ToString();
+}
+
+void CheckDuplicateRegistration(Transport* t) {
+  Sink sink;
+  ASSERT_TRUE(t->Register(3, sink.handler()).ok());
+  Status s = t->Register(3, sink.handler());
+  ASSERT_FALSE(s.ok());
+  EXPECT_TRUE(s.IsAlreadyExists()) << s.ToString();
+}
+
+void CheckSendAfterShutdown(Transport* t) {
+  Sink sink;
+  ASSERT_TRUE(t->Register(0, sink.handler()).ok());
+  ASSERT_TRUE(t->Register(1, sink.handler()).ok());
+  t->Shutdown();
+  Status s = t->Send(0, 1, MakeFrame(MessageType::kAck, 1, {}));
+  ASSERT_FALSE(s.ok());
+  EXPECT_TRUE(s.IsUnavailable());
+  t->Shutdown();  // idempotent
+}
+
+// ------------------------------ in-process --------------------------------
+
+TEST(InProcessTransportTest, InlineDelivers) {
+  InProcessTransport t(InProcessTransport::Mode::kInline);
+  CheckBasicDelivery(&t);
+}
+
+TEST(InProcessTransportTest, ThreadedDelivers) {
+  InProcessTransport t(InProcessTransport::Mode::kThreaded);
+  CheckBasicDelivery(&t);
+  t.Shutdown();
+}
+
+TEST(InProcessTransportTest, UnregisteredDestinationIsUnavailable) {
+  InProcessTransport t;
+  CheckUnregisteredDestination(&t);
+}
+
+TEST(InProcessTransportTest, DuplicateRegistrationRejected) {
+  InProcessTransport t;
+  CheckDuplicateRegistration(&t);
+}
+
+TEST(InProcessTransportTest, ShutdownStopsDelivery) {
+  InProcessTransport t(InProcessTransport::Mode::kThreaded);
+  CheckSendAfterShutdown(&t);
+}
+
+TEST(InProcessTransportTest, InlineHandlerMaySendBack) {
+  // Inline delivery runs the handler on the sender's thread; a handler
+  // that replies re-enters Send. The transport must not hold its lock
+  // across the handler call or this deadlocks/asserts.
+  InProcessTransport t(InProcessTransport::Mode::kInline);
+  Sink replies;
+  ASSERT_TRUE(t.Register(1, [&t](int src, Frame frame) {
+                 frame.type = MessageType::kAck;
+                 ASSERT_TRUE(t.Send(1, src, std::move(frame)).ok());
+               }).ok());
+  ASSERT_TRUE(t.Register(0, replies.handler()).ok());
+  ASSERT_TRUE(
+      t.Send(0, 1, MakeFrame(MessageType::kChunkGet, 11, {1})).ok());
+  ASSERT_EQ(replies.count(), 1u);  // synchronous: already delivered
+  EXPECT_EQ(replies.Take()[0].second.request_id, 11u);
+}
+
+TEST(InProcessTransportTest, ThreadedPreservesPerSenderOrder) {
+  InProcessTransport t(InProcessTransport::Mode::kThreaded);
+  Sink sink;
+  ASSERT_TRUE(t.Register(1, sink.handler()).ok());
+  ASSERT_TRUE(t.Register(0, [](int, Frame) {}).ok());
+  const int kFrames = 200;
+  for (int i = 0; i < kFrames; ++i) {
+    ASSERT_TRUE(t.Send(0, 1,
+                       MakeFrame(MessageType::kChunkPut,
+                                 static_cast<uint64_t>(i + 1), {}))
+                    .ok());
+  }
+  ASSERT_TRUE(sink.WaitForCount(kFrames));
+  auto got = sink.Take();
+  for (int i = 0; i < kFrames; ++i) {
+    EXPECT_EQ(got[static_cast<size_t>(i)].second.request_id,
+              static_cast<uint64_t>(i + 1));
+  }
+  t.Shutdown();
+}
+
+// --------------------------------- TCP ------------------------------------
+
+TEST(TcpTransportTest, DeliversOverLoopback) {
+  LoopbackTcpTransport t;
+  CheckBasicDelivery(&t);
+  t.Shutdown();
+}
+
+TEST(TcpTransportTest, RegisterBindsEphemeralPort) {
+  LoopbackTcpTransport t;
+  Sink sink;
+  EXPECT_EQ(t.port(5), 0);
+  ASSERT_TRUE(t.Register(5, sink.handler()).ok());
+  EXPECT_GT(t.port(5), 0);
+  t.Shutdown();
+}
+
+TEST(TcpTransportTest, UnregisteredDestinationIsUnavailable) {
+  LoopbackTcpTransport t;
+  CheckUnregisteredDestination(&t);
+  t.Shutdown();
+}
+
+TEST(TcpTransportTest, DuplicateRegistrationRejected) {
+  LoopbackTcpTransport t;
+  CheckDuplicateRegistration(&t);
+  t.Shutdown();
+}
+
+TEST(TcpTransportTest, ShutdownStopsDelivery) {
+  LoopbackTcpTransport t;
+  CheckSendAfterShutdown(&t);
+}
+
+TEST(TcpTransportTest, LargePayloadSurvivesKernelBuffering) {
+  // A payload far past the socket buffer size forces partial writes on
+  // the send side and partial reads in the reader loop, exercising the
+  // FrameAssembler path end to end.
+  LoopbackTcpTransport t;
+  Sink sink;
+  ASSERT_TRUE(t.Register(0, [](int, Frame) {}).ok());
+  ASSERT_TRUE(t.Register(1, sink.handler()).ok());
+
+  std::vector<uint8_t> big(8 << 20);
+  Rng rng(TestSeed(123));
+  for (auto& b : big) b = static_cast<uint8_t>(rng.Next());
+  ASSERT_TRUE(
+      t.Send(0, 1, MakeFrame(MessageType::kChunkPut, 1, big)).ok());
+  ASSERT_TRUE(sink.WaitForCount(1));
+  auto got = sink.Take();
+  ASSERT_EQ(got.size(), 1u);
+  EXPECT_EQ(got[0].second.payload, big);  // bit-identical after reassembly
+  t.Shutdown();
+}
+
+TEST(TcpTransportTest, ManyFramesManySenders) {
+  LoopbackTcpTransport t;
+  Sink sink;
+  ASSERT_TRUE(t.Register(0, [](int, Frame) {}).ok());
+  ASSERT_TRUE(t.Register(1, [](int, Frame) {}).ok());
+  ASSERT_TRUE(t.Register(2, sink.handler()).ok());
+  const int kPerSender = 50;
+  for (int i = 0; i < kPerSender; ++i) {
+    for (int src = 0; src < 2; ++src) {
+      ASSERT_TRUE(
+          t.Send(src, 2,
+                 MakeFrame(MessageType::kScanShard,
+                           static_cast<uint64_t>(i),
+                           std::vector<uint8_t>(static_cast<size_t>(i), 0xCD)))
+              .ok());
+    }
+  }
+  ASSERT_TRUE(sink.WaitForCount(2 * kPerSender));
+  auto got = sink.Take();
+  // Per-connection FIFO: each sender's frames arrive in send order.
+  uint64_t next[2] = {0, 0};
+  for (const auto& [src, frame] : got) {
+    ASSERT_TRUE(src == 0 || src == 1);
+    EXPECT_EQ(frame.request_id, next[src]);
+    ++next[src];
+  }
+  t.Shutdown();
+}
+
+}  // namespace
+}  // namespace net
+}  // namespace scidb

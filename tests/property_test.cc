@@ -32,7 +32,7 @@ class SeededTest : public ::testing::TestWithParam<uint64_t> {
 // ---- MemArray behaves like a map<Coordinates, double> ----
 
 TEST_P(SeededTest, MemArrayMatchesReferenceMap) {
-  Rng rng(GetParam());
+  Rng rng(TestSeed(GetParam()));
   ArraySchema s("ref", {{"x", 1, 40, 7}, {"y", 1, 40, 9}},
                 {{"v", DataType::kDouble, true, false}});
   MemArray arr(s);
@@ -78,7 +78,7 @@ TEST_P(SeededTest, MemArrayMatchesReferenceMap) {
 // ---- codecs are lossless on arbitrary byte strings ----
 
 TEST_P(SeededTest, CodecsRoundTripRandomPayloads) {
-  Rng rng(GetParam());
+  Rng rng(TestSeed(GetParam()));
   for (int trial = 0; trial < 20; ++trial) {
     size_t len = rng.Uniform(5000);
     std::vector<uint8_t> payload(len);
@@ -107,7 +107,7 @@ TEST_P(SeededTest, CodecsRoundTripRandomPayloads) {
 // ---- corrupted chunk images never crash, only error ----
 
 TEST_P(SeededTest, ChunkSerdeSurvivesCorruption) {
-  Rng rng(GetParam());
+  Rng rng(TestSeed(GetParam()));
   std::vector<AttributeDesc> attrs = {
       {"v", DataType::kDouble, true, false},
       {"n", DataType::kInt64, true, false},
@@ -146,7 +146,7 @@ TEST_P(SeededTest, ChunkSerdeSurvivesCorruption) {
 // ---- Reshape is a bijection: reshaping back restores the array ----
 
 TEST_P(SeededTest, ReshapeRoundTripIsIdentity) {
-  Rng rng(GetParam());
+  Rng rng(TestSeed(GetParam()));
   ArraySchema s("g", {{"X", 1, 4, 4}, {"Y", 1, 6, 6}},
                 {{"v", DataType::kDouble, true, false}});
   MemArray g(s);
@@ -177,7 +177,7 @@ TEST_P(SeededTest, ReshapeRoundTripIsIdentity) {
 // ---- Aggregate merge equals aggregate of the union, any partitioning ----
 
 TEST_P(SeededTest, AggregateMergeAssociativity) {
-  Rng rng(GetParam());
+  Rng rng(TestSeed(GetParam()));
   for (const char* agg : {"sum", "count", "avg", "min", "max", "stddev"}) {
     const AggregateFunction* fn = aggs_.Find(agg).ValueOrDie();
     std::vector<double> values;
@@ -210,7 +210,7 @@ TEST_P(SeededTest, AggregateMergeAssociativity) {
 // ---- Subsample(p and q) == Subsample(Subsample(p), q) ----
 
 TEST_P(SeededTest, SubsampleComposition) {
-  Rng rng(GetParam());
+  Rng rng(TestSeed(GetParam()));
   ArraySchema s("f", {{"X", 1, 30, 8}, {"Y", 1, 30, 8}},
                 {{"v", DataType::kDouble, true, false}});
   MemArray f(s);
@@ -236,7 +236,7 @@ TEST_P(SeededTest, SubsampleComposition) {
 // ---- history: snapshot at h equals replaying a reference model ----
 
 TEST_P(SeededTest, HistoryMatchesReferenceReplay) {
-  Rng rng(GetParam());
+  Rng rng(TestSeed(GetParam()));
   ArraySchema s("h", {{"x", 1, 12, 5}},
                 {{"v", DataType::kDouble, true, false}});
   HistoryArray arr(s);
@@ -289,7 +289,7 @@ TEST_P(SeededTest, HistoryMatchesReferenceReplay) {
 // floating point and the equalities below are exact, not approximate.
 
 TEST_P(SeededTest, AggregateIndependentOfWorkerCount) {
-  Rng rng(GetParam());
+  Rng rng(TestSeed(GetParam()));
   ArraySchema s("w", {{"X", 1, 60, 7}, {"Y", 1, 60, 11}},
                 {{"v", DataType::kDouble, true, false}});
   MemArray arr(s);
@@ -358,7 +358,7 @@ TEST_P(SeededTest, AggregateIndependentOfWorkerCount) {
 }
 
 TEST_P(SeededTest, PartialMergeOrderInvariance) {
-  Rng rng(GetParam());
+  Rng rng(TestSeed(GetParam()));
   // Random partition of integer values into "chunk" partials, merged in
   // chunk order vs a shuffled order: identical finalized values. This is
   // the algebraic core of the morsel engine's determinism rule — the

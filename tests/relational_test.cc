@@ -101,7 +101,7 @@ ArraySchema Img(int64_t n = 32, int64_t chunk = 8) {
 TEST(ArrayOnTableTest, MatchesNativeSemantics) {
   MemArray native(Img());
   ArrayOnTable tab(Img());
-  Rng rng(5);
+  Rng rng(TestSeed(5));
   for (int64_t i = 1; i <= 32; ++i) {
     for (int64_t j = 1; j <= 32; ++j) {
       Value v(rng.NextDouble() * 100);

@@ -15,7 +15,7 @@ namespace {
 class ParserFuzzTest : public ::testing::TestWithParam<uint64_t> {};
 
 TEST_P(ParserFuzzTest, RandomTokenSoupNeverCrashes) {
-  Rng rng(GetParam());
+  Rng rng(TestSeed(GetParam()));
   static const char* kFragments[] = {
       "select", "define", "create", "insert", "store", "trace", "Subsample",
       "Filter", "Aggregate", "Sjoin", "Reshape", "(", ")", "[", "]", "{",
@@ -41,7 +41,7 @@ TEST_P(ParserFuzzTest, RandomTokenSoupNeverCrashes) {
 }
 
 TEST_P(ParserFuzzTest, MutatedValidStatementsNeverCrash) {
-  Rng rng(GetParam() + 1000);
+  Rng rng(TestSeed(GetParam() + 1000));
   const std::string base =
       "select Aggregate(Subsample(F, X < 10 and even(Y)), {Y}, sum(v))";
   for (int trial = 0; trial < 200; ++trial) {

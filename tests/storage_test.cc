@@ -29,7 +29,7 @@ std::string TempDir(const std::string& tag) {
 class CodecTest : public ::testing::TestWithParam<CodecType> {};
 
 TEST_P(CodecTest, RoundTripVariousPayloads) {
-  Rng rng(5);
+  Rng rng(TestSeed(5));
   std::vector<std::vector<uint8_t>> payloads;
   payloads.push_back({});                         // empty
   payloads.push_back({42});                       // single byte
@@ -196,7 +196,7 @@ TEST(RTreeTest, InsertAndSearch) {
 }
 
 TEST(RTreeTest, SearchMatchesBruteForce) {
-  Rng rng(3);
+  Rng rng(TestSeed(3));
   RTree<int> tree;
   std::vector<Box> boxes;
   for (int i = 0; i < 500; ++i) {

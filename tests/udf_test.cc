@@ -247,7 +247,7 @@ TEST(AggregateTest, MergeMatchesSequential) {
   auto a = reg.Find("stddev").ValueOrDie()->NewState();
   auto b = reg.Find("stddev").ValueOrDie()->NewState();
   auto all = reg.Find("stddev").ValueOrDie()->NewState();
-  Rng rng(17);
+  Rng rng(TestSeed(17));
   for (int i = 0; i < 100; ++i) {
     Value v(rng.NextGaussian() * 3 + 1);
     ASSERT_TRUE((i % 2 ? a : b)->Accumulate(v).ok());

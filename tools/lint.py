@@ -14,11 +14,21 @@ Checks enforced over src/ (library code only):
                   (src/common/metrics.h) are shared across every thread;
                   each must be std::atomic, const, a Mutex/CondVar, or
                   GUARDED_BY a mutex.
-  no-raw-thread   Exec-layer code (src/exec/) must parallelize through
-                  ExecContext::pool (common/thread_pool.h), never by
-                  spawning std::thread / std::async directly — raw
-                  threads bypass the morsel error model and the
-                  parallelism=1 determinism guarantee (DESIGN.md §8).
+  no-raw-thread   Threads are created in exactly three places: the morsel
+                  pool (common/thread_pool.*), the transport layer
+                  (src/net/), and the storage background merger. Everyone
+                  else parallelizes through ExecContext::pool or issues
+                  RPCs — raw threads bypass the morsel error model, the
+                  parallelism=1 determinism guarantee (DESIGN.md §8), and
+                  the net layer's shutdown discipline (DESIGN.md §10).
+  no-raw-socket   socket(2) and <sys/socket.h> are confined to src/net/;
+                  all other code talks to peers through the Transport /
+                  RpcClient abstractions so fault injection and the
+                  deadline machinery cannot be bypassed.
+  net-test-clock  tests/net_* must drive deadlines with the injectable
+                  clock (net::VirtualTime), never real sleeps — a
+                  sleep_for in a deadline test is either flaky (too
+                  short) or slow (too long), and always both eventually.
   atomic-order    std::memory_order_relaxed is allowed only in the two
                   audited hot paths (src/common/metrics.* and
                   src/common/thread_pool.*); anywhere else it needs a
@@ -133,6 +143,7 @@ class Linter:
         self._check_status_ladder(path, code, raw_lines)
         self._check_metrics_state(path, code_lines, exempt)
         self._check_raw_thread(path, code_lines, exempt)
+        self._check_raw_socket(path, code_lines, exempt)
         self._check_atomic_order(path, code_lines, raw_lines, exempt)
         if path.endswith(".h"):
             self._check_include_guard(path, raw)
@@ -209,13 +220,21 @@ class Linter:
 
     _RAW_THREAD = re.compile(
         r"std\s*::\s*(thread|jthread|async)\b|#\s*include\s*<thread>")
+    # The three audited homes for thread creation: the morsel pool, the
+    # transport layer's delivery/accept/reader loops, and the storage
+    # background merger's single daemon.
+    _THREAD_ALLOWED = (
+        "src/common/thread_pool.",
+        "src/net/",
+        "src/storage/background_merger.h",
+    )
 
     def _check_raw_thread(self, path, code_lines, exempt):
-        # Operators gain parallelism by taking the session's pool, not by
-        # spawning threads: a raw thread skips morsel claiming, Status
-        # propagation, and cancellation.
+        # Everyone else gains parallelism by taking the session's pool or
+        # issuing RPCs: a raw thread skips morsel claiming, Status
+        # propagation, cancellation, and transport shutdown.
         rel = os.path.relpath(path, self.root).replace(os.sep, "/")
-        if not rel.startswith("src/exec/"):
+        if rel.startswith(self._THREAD_ALLOWED):
             return
         for lineno, line in enumerate(code_lines, 1):
             if exempt(lineno):
@@ -223,8 +242,47 @@ class Linter:
             if self._RAW_THREAD.search(line):
                 self.report(
                     path, lineno, "no-raw-thread",
-                    "exec code must use ExecContext::pool "
-                    "(common/thread_pool.h), not raw std::thread/async")
+                    "threads live in common/thread_pool, src/net/, and the "
+                    "background merger only; use ExecContext::pool or the "
+                    "net/ transport instead of raw std::thread/async")
+
+    _RAW_SOCKET = re.compile(
+        r"#\s*include\s*<sys/socket\.h>|::\s*socket\s*\(|\bsocket\s*\(")
+
+    def _check_raw_socket(self, path, code_lines, exempt):
+        # Sockets outside src/net/ would bypass fault injection, frame
+        # accounting, and the RPC deadline machinery.
+        rel = os.path.relpath(path, self.root).replace(os.sep, "/")
+        if rel.startswith("src/net/"):
+            return
+        for lineno, line in enumerate(code_lines, 1):
+            if exempt(lineno):
+                continue
+            if self._RAW_SOCKET.search(line):
+                self.report(
+                    path, lineno, "no-raw-socket",
+                    "socket(2) is confined to src/net/; go through "
+                    "net::Transport / net::RpcClient")
+
+    _REAL_SLEEP = re.compile(
+        r"sleep_for|sleep_until|\busleep\s*\(|\bnanosleep\s*\(|"
+        r"(?<![_\w])sleep\s*\(\s*\d")
+
+    def check_net_test(self, path):
+        # tests/net_*: deadline and backoff behaviour must be driven by
+        # net::VirtualTime so the suite is fast and deterministic; a real
+        # sleep is either too short (flaky) or too long (slow).
+        with open(path, encoding="utf-8") as f:
+            raw = f.read()
+        code = strip_comments_and_strings(raw)
+        raw_lines = raw.splitlines()
+        for lineno, line in enumerate(code.splitlines(), 1):
+            if "NOLINT" in raw_lines[lineno - 1]:
+                continue
+            if self._REAL_SLEEP.search(line):
+                self.report(
+                    path, lineno, "net-test-clock",
+                    "net tests must use net::VirtualTime, not real sleeps")
 
     # Paths whose relaxed atomics have been audited as a unit: the metric
     # instruments (monotonic counters read by snapshot, no ordering
@@ -374,6 +432,12 @@ def main():
             if name.endswith((".h", ".cc")):
                 linter.check_file(os.path.join(dirpath, name))
                 nfiles += 1
+    tests_dir = os.path.join(root, "tests")
+    if os.path.isdir(tests_dir):
+        for name in sorted(os.listdir(tests_dir)):
+            if name.startswith("net_") and name.endswith((".h", ".cc")):
+                linter.check_net_test(os.path.join(tests_dir, name))
+                nfiles += 1
 
     failures = list(linter.violations)
     if args.probe_compiler:
@@ -385,7 +449,7 @@ def main():
         for f in failures:
             print("  " + f)
         return 1
-    print("lint: OK (%d files, %d checks + nodiscard probe)" % (nfiles, 7))
+    print("lint: OK (%d files, %d checks + nodiscard probe)" % (nfiles, 9))
     return 0
 
 

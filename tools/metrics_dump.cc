@@ -1,6 +1,7 @@
 // Text endpoint for the process-wide metrics registry (DESIGN.md §7):
-// runs an AQL workload through a Session, then dumps every registered
-// counter, gauge, and histogram.
+// runs an AQL workload through a Session (plus, under --demo, a small
+// grid scatter/gather that exercises the scidb.net.* transport
+// counters), then dumps every registered counter, gauge, and histogram.
 //
 //   $ metrics_dump --demo            built-in workload, text dump
 //   $ metrics_dump --demo --json     same, JSON dump
@@ -12,9 +13,12 @@
 #include <cstdio>
 #include <cstring>
 #include <iostream>
+#include <memory>
 #include <string>
 
 #include "common/metrics.h"
+#include "grid/cluster.h"
+#include "grid/partitioner.h"
 #include "query/session.h"
 
 namespace {
@@ -67,6 +71,45 @@ int RunDemo(scidb::Session* session) {
   return failures;
 }
 
+// AQL alone never touches the transport, so the demo also scatters a
+// small array across a 4-node grid and gathers an aggregate — that is
+// what populates the scidb.net.* counters (frames/bytes sent, RPC
+// latency, retries) in the dump below.
+int RunNetDemo() {
+  scidb::ArraySchema sky("net_demo",
+                         {{"ra", 1, 16, 4}, {"dec", 1, 16, 4}},
+                         {{"flux", scidb::DataType::kDouble, true, false}});
+  auto part = std::make_shared<scidb::FixedGridPartitioner>(
+      scidb::Box({1, 1}, {16, 16}), std::vector<int64_t>{2, 2});
+  scidb::DistributedArray grid(sky, part);
+  scidb::MemArray source(sky);
+  for (int64_t i = 1; i <= 16; ++i) {
+    for (int64_t j = 1; j <= 16; ++j) {
+      scidb::Status st =
+          source.SetCell({i, j}, scidb::Value(static_cast<double>(i * j)));
+      if (!st.ok()) {
+        std::fprintf(stderr, "net demo: %s\n", st.ToString().c_str());
+        return 1;
+      }
+    }
+  }
+  scidb::Status st = grid.Load(source, 0);
+  if (!st.ok()) {
+    std::fprintf(stderr, "net demo: %s\n", st.ToString().c_str());
+    return 1;
+  }
+  scidb::FunctionRegistry fns;
+  scidb::AggregateRegistry aggs;
+  scidb::ExecContext ctx{&fns, &aggs, true, nullptr};
+  scidb::Result<scidb::MemArray> agg =
+      grid.ParallelAggregate(ctx, {"ra"}, "avg", "flux");
+  if (!agg.ok()) {
+    std::fprintf(stderr, "net demo: %s\n", agg.status().ToString().c_str());
+    return 1;
+  }
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -85,7 +128,8 @@ int main(int argc, char** argv) {
   }
 
   scidb::Session session;
-  int failures = demo ? RunDemo(&session) : RunStatements(&session, std::cin);
+  int failures = demo ? RunDemo(&session) + RunNetDemo()
+                      : RunStatements(&session, std::cin);
 
   const std::string dump = json ? scidb::Metrics::Instance().JsonSnapshot()
                                 : scidb::Metrics::Instance().TextSnapshot();
