@@ -109,9 +109,15 @@ double AttributeBlock::GetDouble(int64_t i) const {
       return static_cast<double>(f32_[static_cast<size_t>(i)]);
     case DataType::kInt64:
       return static_cast<double>(i64_[static_cast<size_t>(i)]);
-    default:
+    case DataType::kBool:
+    case DataType::kString:
+    case DataType::kArray:
+      // Non-numeric blocks have no double view; callers gate on type()
+      // (and the kDouble-only setters DCHECK). Explicit cases so a new
+      // DataType enumerator is a compile error here, not a silent 0.0.
       return 0.0;
   }
+  return 0.0;
 }
 
 void AttributeBlock::SetInt64(int64_t i, int64_t v) {

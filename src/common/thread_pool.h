@@ -53,8 +53,12 @@ class ThreadPool {
   // One in-flight ParallelFor. Lives on the owner's stack; workers only
   // touch it between the publish and the teardown barrier in ParallelFor.
   struct Job {
-    int64_t n = 0;
-    const std::function<Status(int64_t)>* body = nullptr;
+    // n and body are written once by the owner before the job is
+    // published under ThreadPool::mu_ and read-only afterwards; the
+    // publish is the happens-before edge, not Job::mu.
+    int64_t n = 0;  // NOLINT(lock-coverage): immutable after publish
+    // NOLINT on the declaration line below: immutable after publish.
+    const std::function<Status(int64_t)>* body = nullptr;  // NOLINT(lock-coverage)
     std::atomic<int64_t> next{0};         // next unclaimed index
     std::atomic<bool> cancelled{false};   // set on first failure
     Mutex mu;
@@ -67,7 +71,9 @@ class ThreadPool {
   static void RunMorsels(Job* job);
 
   const int parallelism_;
-  std::vector<std::thread> workers_;
+  // Populated in the constructor before any worker can observe it and
+  // joined in the destructor; never touched in between.
+  std::vector<std::thread> workers_;  // NOLINT(lock-coverage): ctor/dtor
 
   Mutex mu_;
   CondVar cv_;        // workers: "a job was published" / "shut down"

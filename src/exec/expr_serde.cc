@@ -1,0 +1,128 @@
+#include "exec/expr_serde.h"
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/macros.h"
+#include "types/value_serde.h"
+
+namespace scidb {
+
+namespace {
+
+// Expr node tags. Append-only: renumbering breaks cross-version decode.
+enum class ExprTag : uint8_t {
+  kLiteral = 1,
+  kRef = 2,
+  kBinary = 3,
+  kNot = 4,
+  kCall = 5,
+};
+
+constexpr uint8_t kMaxBinaryOp = static_cast<uint8_t>(BinaryOp::kOr);
+
+void EncodeExprRec(const Expr& e, ByteWriter* w, int depth) {
+  // Engine-built predicates never approach the cap (the parser's own
+  // recursion limit is lower); encode a NULL literal as a defensive
+  // bottom rather than recursing past the decoder's limit.
+  if (depth >= kMaxWireDepth) {
+    w->PutU8(static_cast<uint8_t>(ExprTag::kLiteral));
+    EncodeValue(Value::Null(), w);
+    return;
+  }
+  switch (e.kind()) {
+    case Expr::Kind::kLiteral: {
+      const auto& lit = static_cast<const LiteralExpr&>(e);
+      w->PutU8(static_cast<uint8_t>(ExprTag::kLiteral));
+      EncodeValue(lit.value(), w);
+      return;
+    }
+    case Expr::Kind::kRef: {
+      const auto& ref = static_cast<const RefExpr&>(e);
+      w->PutU8(static_cast<uint8_t>(ExprTag::kRef));
+      w->PutString(ref.name());
+      w->PutSignedVarint(ref.side());
+      return;
+    }
+    case Expr::Kind::kBinary: {
+      const auto& bin = static_cast<const BinaryExpr&>(e);
+      w->PutU8(static_cast<uint8_t>(ExprTag::kBinary));
+      w->PutU8(static_cast<uint8_t>(bin.op()));
+      EncodeExprRec(*bin.lhs(), w, depth + 1);
+      EncodeExprRec(*bin.rhs(), w, depth + 1);
+      return;
+    }
+    case Expr::Kind::kNot: {
+      const auto& n = static_cast<const NotExpr&>(e);
+      w->PutU8(static_cast<uint8_t>(ExprTag::kNot));
+      EncodeExprRec(*n.operand(), w, depth + 1);
+      return;
+    }
+    case Expr::Kind::kCall: {
+      const auto& call = static_cast<const CallExpr&>(e);
+      w->PutU8(static_cast<uint8_t>(ExprTag::kCall));
+      w->PutString(call.fn());
+      w->PutVarint(call.args().size());
+      for (const auto& a : call.args()) EncodeExprRec(*a, w, depth + 1);
+      return;
+    }
+  }
+}
+
+Result<ExprPtr> DecodeExprRec(ByteReader* r, int depth) {
+  if (depth >= kMaxWireDepth) {
+    return Status::Corruption("expression nesting exceeds wire depth cap");
+  }
+  ASSIGN_OR_RETURN(uint8_t tag, r->GetU8());
+  switch (static_cast<ExprTag>(tag)) {
+    case ExprTag::kLiteral: {
+      ASSIGN_OR_RETURN(Value v, DecodeValue(r));
+      return Lit(std::move(v));
+    }
+    case ExprTag::kRef: {
+      ASSIGN_OR_RETURN(std::string name, r->GetString());
+      ASSIGN_OR_RETURN(int64_t side, r->GetSignedVarint());
+      if (side < -1 || side > 1) {
+        return Status::Corruption("expression ref side out of range");
+      }
+      return Ref(std::move(name), static_cast<int>(side));
+    }
+    case ExprTag::kBinary: {
+      ASSIGN_OR_RETURN(uint8_t op, r->GetU8());
+      if (op > kMaxBinaryOp) {
+        return Status::Corruption("unknown binary op " + std::to_string(op));
+      }
+      ASSIGN_OR_RETURN(ExprPtr lhs, DecodeExprRec(r, depth + 1));
+      ASSIGN_OR_RETURN(ExprPtr rhs, DecodeExprRec(r, depth + 1));
+      return Bin(static_cast<BinaryOp>(op), std::move(lhs), std::move(rhs));
+    }
+    case ExprTag::kNot: {
+      ASSIGN_OR_RETURN(ExprPtr operand, DecodeExprRec(r, depth + 1));
+      return Not(std::move(operand));
+    }
+    case ExprTag::kCall: {
+      ASSIGN_OR_RETURN(std::string fn, r->GetString());
+      ASSIGN_OR_RETURN(uint64_t nargs, r->GetVarint());
+      if (nargs > r->remaining()) {
+        return Status::Corruption("call argument count too large");
+      }
+      std::vector<ExprPtr> args;
+      args.reserve(static_cast<size_t>(nargs));
+      for (uint64_t i = 0; i < nargs; ++i) {
+        ASSIGN_OR_RETURN(ExprPtr a, DecodeExprRec(r, depth + 1));
+        args.push_back(std::move(a));
+      }
+      return Call(std::move(fn), std::move(args));
+    }
+  }
+  return Status::Corruption("unknown expression tag " + std::to_string(tag));
+}
+
+}  // namespace
+
+void EncodeExpr(const Expr& e, ByteWriter* w) { EncodeExprRec(e, w, 0); }
+
+Result<ExprPtr> DecodeExpr(ByteReader* r) { return DecodeExprRec(r, 0); }
+
+}  // namespace scidb

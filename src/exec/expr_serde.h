@@ -1,0 +1,30 @@
+#ifndef SCIDB_EXEC_EXPR_SERDE_H_
+#define SCIDB_EXEC_EXPR_SERDE_H_
+
+#include "common/byte_io.h"
+#include "common/result.h"
+#include "exec/expression.h"
+
+namespace scidb {
+
+// Binary structural serde for Expr trees (function shipping, DESIGN.md
+// §10): the decoded tree is node-for-node identical to the encoded one,
+// so a shipped predicate evaluates bit-identically to the coordinator's
+// copy. Not AQL-text round-tripping.
+//
+// Lives in exec/ — not net/ — so the transport never links against the
+// expression model; RPC messages carry predicates as opaque bytes
+// (ScanShardRequest::pred_bytes) that the grid layer encodes/decodes at
+// the boundary.
+//
+// Decoding is bounds-checked and depth-capped (types/value_serde's
+// kMaxWireDepth); hostile payloads yield Corruption, never UB or
+// unbounded recursion. Node tags are append-only and covered by the
+// protocol-drift check.
+
+void EncodeExpr(const Expr& e, ByteWriter* w);
+Result<ExprPtr> DecodeExpr(ByteReader* r);
+
+}  // namespace scidb
+
+#endif  // SCIDB_EXEC_EXPR_SERDE_H_

@@ -5,8 +5,10 @@
 #include <map>
 #include <utility>
 
+#include "common/byte_io.h"
 #include "common/macros.h"
 #include "common/metrics.h"
+#include "exec/expr_serde.h"
 #include "grid/node_service.h"
 #include "net/inprocess_transport.h"
 #include "net/message.h"
@@ -168,7 +170,13 @@ Status DistributedArray::PutCell(int dest, const Coordinates& c,
 Result<MemArray> DistributedArray::FetchShard(int node,
                                               const ExprPtr& pred) const {
   net::ScanShardRequest req;
-  req.pred = pred;
+  if (pred != nullptr) {
+    // Function shipping: serialize the predicate at the grid boundary;
+    // the message layer carries it as opaque bytes.
+    ByteWriter pw;
+    EncodeExpr(*pred, &pw);
+    req.pred_bytes = pw.Release();
+  }
   ASSIGN_OR_RETURN(std::vector<uint8_t> bytes,
                    client_->Call(node, net::MessageType::kScanShard,
                                  req.EncodePayload(), net_opts_.call));

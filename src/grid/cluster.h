@@ -205,9 +205,14 @@ class DistributedArray {
   // Opens a timed child span under trace_node_, or null when detached.
   TraceNode* TraceChild(const char* label);
 
-  ArraySchema schema_;
-  std::shared_ptr<const Partitioner> partitioner_;
-  std::vector<MemArray> shards_;
+  // Topology: written by the coordinator at construction / Load /
+  // Repartition, with no parallel execution in flight; during execution
+  // each node's RPC handler touches only its own disjoint shard. Not a
+  // stats_mu_ concern, so these opt out of lock-coverage.
+  ArraySchema schema_;  // NOLINT(lock-coverage): coordinator-only
+  std::shared_ptr<const Partitioner>
+      partitioner_;  // NOLINT(lock-coverage): coordinator-only
+  std::vector<MemArray> shards_;  // NOLINT(lock-coverage): disjoint per node
   // Per-node accounting; written by the coordinator on load/repartition
   // and by the per-node RPC handlers during parallel execution.
   mutable Mutex stats_mu_;
@@ -216,17 +221,26 @@ class DistributedArray {
   // ---- network stack (DESIGN.md §10) ----
   // Declaration order is teardown order in reverse: the client and
   // servers must die before the transports they point into.
-  GridNetOptions net_opts_;
-  TraceClock clock_;  // resolved: net_opts_.clock or SteadyNowNs
-  std::unique_ptr<net::Transport> base_transport_;
-  std::unique_ptr<net::FaultInjectingTransport> fault_;
-  net::Transport* transport_ = nullptr;  // fault_ wrapper when enabled
-  std::vector<std::unique_ptr<GridNodeService>> services_;
-  std::vector<std::unique_ptr<net::RpcServer>> servers_;
+  // The whole stack is wired once in the constructor and torn down in
+  // the destructor; pointers are stable for the object's lifetime.
+  GridNetOptions net_opts_;  // NOLINT(lock-coverage): ctor-wired
+  // Resolved: net_opts_.clock or SteadyNowNs.
+  TraceClock clock_;  // NOLINT(lock-coverage): ctor-wired
+  std::unique_ptr<net::Transport>
+      base_transport_;  // NOLINT(lock-coverage): ctor-wired
+  std::unique_ptr<net::FaultInjectingTransport>
+      fault_;  // NOLINT(lock-coverage): ctor-wired
+  // fault_ wrapper when enabled.
+  net::Transport* transport_ = nullptr;  // NOLINT(lock-coverage): ctor-wired
+  std::vector<std::unique_ptr<GridNodeService>>
+      services_;  // NOLINT(lock-coverage): ctor-wired
+  std::vector<std::unique_ptr<net::RpcServer>>
+      servers_;  // NOLINT(lock-coverage): ctor-wired
   // mutable: const reads (node_stats, FetchShard) still issue RPCs.
-  mutable std::unique_ptr<net::RpcClient> client_;
-  std::unique_ptr<ThreadPool> pool_;
-  TraceNode* trace_node_ = nullptr;
+  mutable std::unique_ptr<net::RpcClient>
+      client_;  // NOLINT(lock-coverage): ctor-wired
+  std::unique_ptr<ThreadPool> pool_;  // NOLINT(lock-coverage): ctor-wired
+  TraceNode* trace_node_ = nullptr;  // NOLINT(lock-coverage): set pre-exec
 };
 
 }  // namespace scidb

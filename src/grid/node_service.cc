@@ -3,7 +3,9 @@
 #include <string>
 #include <utility>
 
+#include "common/byte_io.h"
 #include "common/macros.h"
+#include "exec/expr_serde.h"
 #include "exec/operators.h"
 #include "grid/cluster.h"
 #include "net/message.h"
@@ -86,18 +88,26 @@ Result<std::vector<uint8_t>> GridNodeService::ScanShard(
   owner_->RecordShardScan(node_);
   const MemArray& shard = owner_->shards_[static_cast<size_t>(node_)];
   net::ScanShardResponse resp;
-  if (req.pred == nullptr) {
+  if (req.pred_bytes.empty()) {
     // Data shipping: the shard's chunks verbatim, in origin order.
     for (const auto& [origin, chunk] : shard.chunks()) {
       resp.chunks.push_back(SerializeChunk(*chunk));
     }
   } else {
-    // Function shipping: evaluate the shipped predicate server-side and
-    // return only the matching cells.
+    // Function shipping: the predicate arrives as opaque expr_serde
+    // bytes (net/ cannot name the Expr type); decode it here, at the
+    // grid boundary, rejecting trailing garbage after the tree.
+    ByteReader pr(req.pred_bytes);
+    ASSIGN_OR_RETURN(ExprPtr pred, DecodeExpr(&pr));
+    if (pr.remaining() != 0) {
+      return Status::Corruption("trailing bytes after ScanShard predicate");
+    }
+    // Evaluate the shipped predicate server-side and return only the
+    // matching cells.
     ExecContext local;
     local.functions = functions_;
     local.enable_chunk_pruning = enable_chunk_pruning_;
-    ASSIGN_OR_RETURN(MemArray filtered, Subsample(local, shard, req.pred));
+    ASSIGN_OR_RETURN(MemArray filtered, Subsample(local, shard, pred));
     for (const auto& [origin, chunk] : filtered.chunks()) {
       resp.chunks.push_back(SerializeChunk(*chunk));
     }

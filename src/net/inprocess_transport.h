@@ -44,9 +44,12 @@ class InProcessTransport : public Transport {
 
  private:
   struct Node {
-    FrameHandler handler;
-    // kThreaded state; unused in kInline mode.
-    std::thread worker;
+    // Written once under InProcessTransport::mu_ when the node registers
+    // and read-only afterwards; Register() is the happens-before edge.
+    FrameHandler handler;  // NOLINT(lock-coverage): set once at Register
+    // kThreaded state; unused in kInline mode. The worker thread object
+    // itself is only touched by the registering/shutdown thread.
+    std::thread worker;  // NOLINT(lock-coverage): owner-thread only
     Mutex mu;
     CondVar cv;
     std::vector<std::pair<int, Frame>> queue GUARDED_BY(mu);

@@ -70,8 +70,8 @@ Result<ChunkGetRequest> ChunkGetRequest::Decode(
 
 std::vector<uint8_t> ScanShardRequest::EncodePayload() const {
   ByteWriter w;
-  w.PutU8(pred != nullptr ? 1 : 0);
-  if (pred != nullptr) EncodeExpr(*pred, &w);
+  w.PutU8(!pred_bytes.empty() ? 1 : 0);
+  w.PutBytes(pred_bytes.data(), pred_bytes.size());
   return w.Release();
 }
 
@@ -82,7 +82,14 @@ Result<ScanShardRequest> ScanShardRequest::Decode(
   if (has_pred > 1) return Status::Corruption("bad ScanShard pred flag");
   ScanShardRequest req;
   if (has_pred == 1) {
-    ASSIGN_OR_RETURN(req.pred, DecodeExpr(&r));
+    // The expr bytes are the remainder of the payload; structural
+    // validation happens where they are decoded (grid layer), which
+    // also rejects trailing garbage after the tree.
+    if (r.remaining() == 0) {
+      return Status::Corruption("ScanShard pred flag set but no bytes");
+    }
+    req.pred_bytes.resize(r.remaining());
+    RETURN_NOT_OK(r.GetBytes(req.pred_bytes.data(), req.pred_bytes.size()));
   }
   RETURN_NOT_OK(ExpectExhausted(r, "ScanShard"));
   return req;

@@ -6,7 +6,6 @@
 
 #include "array/coordinates.h"
 #include "common/result.h"
-#include "exec/expression.h"
 #include "net/frame.h"
 #include "net/wire.h"
 
@@ -46,8 +45,14 @@ struct ChunkGetRequest {
 // shipped predicate (function shipping). With no predicate the response
 // is the shard's chunks verbatim (data shipping, e.g. for aggregates
 // whose accumulator state has no wire form).
+//
+// The predicate travels as opaque bytes (exec/expr_serde's EncodeExpr
+// output): net/ must not know the expression model — the grid layer
+// encodes on the coordinator and decodes on the serving node. The wire
+// format is unchanged from when this struct held the tree directly
+// (presence flag byte, then the expr bytes).
 struct ScanShardRequest {
-  ExprPtr pred;  // null = unfiltered full-shard scan
+  std::vector<uint8_t> pred_bytes;  // empty = unfiltered full-shard scan
 
   std::vector<uint8_t> EncodePayload() const;
   static Result<ScanShardRequest> Decode(const std::vector<uint8_t>& payload);

@@ -65,9 +65,9 @@ void RpcServer::OnFrame(int src, Frame frame) {
       reply.payload = EncodeErrorPayload(r.status());
     }
   }
-  // A failed reply send is indistinguishable from a lost reply to the
-  // caller, who handles it with its retry/deadline machinery.
-  (void)transport_->Send(node_, src, std::move(reply));
+  (void)transport_->Send(  // status-ignored: a failed reply send is
+      node_, src,          // indistinguishable from a lost reply to the
+      std::move(reply));   // caller, whose retry/deadline machinery owns it
 }
 
 RpcClient::RpcClient(Transport* transport, int node)

@@ -1,240 +1,17 @@
 #include "net/wire.h"
 
-#include <memory>
+#include <string>
 #include <utility>
-#include <vector>
 
 #include "common/macros.h"
-#include "types/uncertain.h"
 
 namespace scidb {
 namespace net {
 
 namespace {
 
-// Value type tags. Append-only: renumbering breaks cross-version decode.
-enum class ValueTag : uint8_t {
-  kNull = 0,
-  kBool = 1,
-  kInt64 = 2,
-  kDouble = 3,
-  kUncertain = 4,
-  kString = 5,
-  kNestedArray = 6,
-};
-
-// Expr node tags.
-enum class ExprTag : uint8_t {
-  kLiteral = 1,
-  kRef = 2,
-  kBinary = 3,
-  kNot = 4,
-  kCall = 5,
-};
-
 constexpr uint8_t kMaxStatusCode =
     static_cast<uint8_t>(StatusCode::kDeadlineExceeded);
-constexpr uint8_t kMaxBinaryOp = static_cast<uint8_t>(BinaryOp::kOr);
-
-Status DepthExceeded(const char* what) {
-  return Status::Corruption(std::string(what) + " nesting exceeds wire depth cap");
-}
-
-void EncodeValueRec(const Value& v, ByteWriter* w, int depth);
-Result<Value> DecodeValueRec(ByteReader* r, int depth);
-
-void EncodeValueRec(const Value& v, ByteWriter* w, int depth) {
-  if (v.is_null()) {
-    w->PutU8(static_cast<uint8_t>(ValueTag::kNull));
-  } else if (v.is_bool()) {
-    w->PutU8(static_cast<uint8_t>(ValueTag::kBool));
-    w->PutU8(v.bool_value() ? 1 : 0);
-  } else if (v.is_int64()) {
-    w->PutU8(static_cast<uint8_t>(ValueTag::kInt64));
-    w->PutSignedVarint(v.int64_value());
-  } else if (v.is_double()) {
-    w->PutU8(static_cast<uint8_t>(ValueTag::kDouble));
-    w->PutDouble(v.double_value());
-  } else if (v.is_uncertain()) {
-    w->PutU8(static_cast<uint8_t>(ValueTag::kUncertain));
-    w->PutDouble(v.uncertain_value().mean);
-    w->PutDouble(v.uncertain_value().stderr_);
-  } else if (v.is_string()) {
-    w->PutU8(static_cast<uint8_t>(ValueTag::kString));
-    w->PutString(v.string_value());
-  } else {
-    // Nested array. A null shared_ptr is encoded as NULL — the engine
-    // never stores one, but the codec must not crash on it.
-    const auto& arr = v.array_value();
-    if (arr == nullptr || depth + 1 >= kMaxWireDepth) {
-      // Depth overflow on encode cannot happen for engine-built values
-      // (parser and executor cap nesting far below the wire cap); encode
-      // NULL rather than emit bytes the decoder would reject.
-      w->PutU8(static_cast<uint8_t>(ValueTag::kNull));
-      return;
-    }
-    w->PutU8(static_cast<uint8_t>(ValueTag::kNestedArray));
-    w->PutVarint(arr->shape.size());
-    for (int64_t s : arr->shape) w->PutSignedVarint(s);
-    w->PutVarint(arr->values.size());
-    for (const Value& e : arr->values) EncodeValueRec(e, w, depth + 1);
-  }
-}
-
-Result<Value> DecodeValueRec(ByteReader* r, int depth) {
-  if (depth >= kMaxWireDepth) return DepthExceeded("value");
-  ASSIGN_OR_RETURN(uint8_t tag, r->GetU8());
-  switch (static_cast<ValueTag>(tag)) {
-    case ValueTag::kNull:
-      return Value::Null();
-    case ValueTag::kBool: {
-      ASSIGN_OR_RETURN(uint8_t b, r->GetU8());
-      if (b > 1) return Status::Corruption("bool value out of range");
-      return Value(b != 0);
-    }
-    case ValueTag::kInt64: {
-      ASSIGN_OR_RETURN(int64_t i, r->GetSignedVarint());
-      return Value(i);
-    }
-    case ValueTag::kDouble: {
-      ASSIGN_OR_RETURN(double d, r->GetDouble());
-      return Value(d);
-    }
-    case ValueTag::kUncertain: {
-      ASSIGN_OR_RETURN(double mean, r->GetDouble());
-      ASSIGN_OR_RETURN(double se, r->GetDouble());
-      return Value(Uncertain(mean, se));
-    }
-    case ValueTag::kString: {
-      ASSIGN_OR_RETURN(std::string s, r->GetString());
-      return Value(std::move(s));
-    }
-    case ValueTag::kNestedArray: {
-      ASSIGN_OR_RETURN(uint64_t ndims, r->GetVarint());
-      // A dimension costs at least one byte on the wire; anything larger
-      // than the remaining input is definitionally corrupt, and this
-      // check bounds the allocation below.
-      if (ndims > r->remaining()) {
-        return Status::Corruption("nested array dimension count too large");
-      }
-      auto arr = std::make_shared<NestedArray>();
-      arr->shape.reserve(static_cast<size_t>(ndims));
-      for (uint64_t i = 0; i < ndims; ++i) {
-        ASSIGN_OR_RETURN(int64_t s, r->GetSignedVarint());
-        arr->shape.push_back(s);
-      }
-      ASSIGN_OR_RETURN(uint64_t count, r->GetVarint());
-      if (count > r->remaining()) {
-        return Status::Corruption("nested array value count too large");
-      }
-      arr->values.reserve(static_cast<size_t>(count));
-      for (uint64_t i = 0; i < count; ++i) {
-        ASSIGN_OR_RETURN(Value e, DecodeValueRec(r, depth + 1));
-        arr->values.push_back(std::move(e));
-      }
-      return Value(std::move(arr));
-    }
-  }
-  return Status::Corruption("unknown value tag " + std::to_string(tag));
-}
-
-void EncodeExprRec(const Expr& e, ByteWriter* w, int depth);
-Result<ExprPtr> DecodeExprRec(ByteReader* r, int depth);
-
-void EncodeExprRec(const Expr& e, ByteWriter* w, int depth) {
-  // Engine-built predicates never approach the cap (the parser's own
-  // recursion limit is lower); encode a NULL literal as a defensive
-  // bottom rather than recursing past the decoder's limit.
-  if (depth >= kMaxWireDepth) {
-    w->PutU8(static_cast<uint8_t>(ExprTag::kLiteral));
-    EncodeValueRec(Value::Null(), w, 0);
-    return;
-  }
-  switch (e.kind()) {
-    case Expr::Kind::kLiteral: {
-      const auto& lit = static_cast<const LiteralExpr&>(e);
-      w->PutU8(static_cast<uint8_t>(ExprTag::kLiteral));
-      EncodeValueRec(lit.value(), w, 0);
-      return;
-    }
-    case Expr::Kind::kRef: {
-      const auto& ref = static_cast<const RefExpr&>(e);
-      w->PutU8(static_cast<uint8_t>(ExprTag::kRef));
-      w->PutString(ref.name());
-      w->PutSignedVarint(ref.side());
-      return;
-    }
-    case Expr::Kind::kBinary: {
-      const auto& bin = static_cast<const BinaryExpr&>(e);
-      w->PutU8(static_cast<uint8_t>(ExprTag::kBinary));
-      w->PutU8(static_cast<uint8_t>(bin.op()));
-      EncodeExprRec(*bin.lhs(), w, depth + 1);
-      EncodeExprRec(*bin.rhs(), w, depth + 1);
-      return;
-    }
-    case Expr::Kind::kNot: {
-      const auto& n = static_cast<const NotExpr&>(e);
-      w->PutU8(static_cast<uint8_t>(ExprTag::kNot));
-      EncodeExprRec(*n.operand(), w, depth + 1);
-      return;
-    }
-    case Expr::Kind::kCall: {
-      const auto& call = static_cast<const CallExpr&>(e);
-      w->PutU8(static_cast<uint8_t>(ExprTag::kCall));
-      w->PutString(call.fn());
-      w->PutVarint(call.args().size());
-      for (const auto& a : call.args()) EncodeExprRec(*a, w, depth + 1);
-      return;
-    }
-  }
-}
-
-Result<ExprPtr> DecodeExprRec(ByteReader* r, int depth) {
-  if (depth >= kMaxWireDepth) return DepthExceeded("expression");
-  ASSIGN_OR_RETURN(uint8_t tag, r->GetU8());
-  switch (static_cast<ExprTag>(tag)) {
-    case ExprTag::kLiteral: {
-      ASSIGN_OR_RETURN(Value v, DecodeValueRec(r, 0));
-      return Lit(std::move(v));
-    }
-    case ExprTag::kRef: {
-      ASSIGN_OR_RETURN(std::string name, r->GetString());
-      ASSIGN_OR_RETURN(int64_t side, r->GetSignedVarint());
-      if (side < -1 || side > 1) {
-        return Status::Corruption("expression ref side out of range");
-      }
-      return Ref(std::move(name), static_cast<int>(side));
-    }
-    case ExprTag::kBinary: {
-      ASSIGN_OR_RETURN(uint8_t op, r->GetU8());
-      if (op > kMaxBinaryOp) {
-        return Status::Corruption("unknown binary op " + std::to_string(op));
-      }
-      ASSIGN_OR_RETURN(ExprPtr lhs, DecodeExprRec(r, depth + 1));
-      ASSIGN_OR_RETURN(ExprPtr rhs, DecodeExprRec(r, depth + 1));
-      return Bin(static_cast<BinaryOp>(op), std::move(lhs), std::move(rhs));
-    }
-    case ExprTag::kNot: {
-      ASSIGN_OR_RETURN(ExprPtr operand, DecodeExprRec(r, depth + 1));
-      return Not(std::move(operand));
-    }
-    case ExprTag::kCall: {
-      ASSIGN_OR_RETURN(std::string fn, r->GetString());
-      ASSIGN_OR_RETURN(uint64_t nargs, r->GetVarint());
-      if (nargs > r->remaining()) {
-        return Status::Corruption("call argument count too large");
-      }
-      std::vector<ExprPtr> args;
-      args.reserve(static_cast<size_t>(nargs));
-      for (uint64_t i = 0; i < nargs; ++i) {
-        ASSIGN_OR_RETURN(ExprPtr a, DecodeExprRec(r, depth + 1));
-        args.push_back(std::move(a));
-      }
-      return Call(std::move(fn), std::move(args));
-    }
-  }
-  return Status::Corruption("unknown expression tag " + std::to_string(tag));
-}
 
 }  // namespace
 
@@ -254,10 +31,6 @@ Status DecodeStatus(ByteReader* r, Status* out) {
   return Status::OK();
 }
 
-void EncodeValue(const Value& v, ByteWriter* w) { EncodeValueRec(v, w, 0); }
-
-Result<Value> DecodeValue(ByteReader* r) { return DecodeValueRec(r, 0); }
-
 void EncodeCoordinates(const Coordinates& c, ByteWriter* w) {
   w->PutVarint(c.size());
   for (int64_t x : c) w->PutSignedVarint(x);
@@ -276,10 +49,6 @@ Result<Coordinates> DecodeCoordinates(ByteReader* r) {
   }
   return c;
 }
-
-void EncodeExpr(const Expr& e, ByteWriter* w) { EncodeExprRec(e, w, 0); }
-
-Result<ExprPtr> DecodeExpr(ByteReader* r) { return DecodeExprRec(r, 0); }
 
 }  // namespace net
 }  // namespace scidb

@@ -5,25 +5,22 @@
 #include "common/byte_io.h"
 #include "common/result.h"
 #include "common/status.h"
-#include "exec/expression.h"
-#include "types/value.h"
 
 namespace scidb {
 namespace net {
 
-// Wire encodings for the engine types that cross node boundaries
-// (DESIGN.md §10). Chunks already have a columnar codec in
-// storage/chunk_serde; this file covers the rest: Status (for kError
-// responses), Value, Coordinates, and Expr trees (function shipping —
-// a ScanShard request carries its predicate so filtering runs on the
-// node that owns the data).
+// Wire encodings for the transport-level types (DESIGN.md §10): Status
+// (for kError responses) and Coordinates (chunk addressing). Engine
+// types stay out of this layer by design — Value serde lives in
+// types/value_serde and Expr serde in exec/expr_serde, and RPC messages
+// carry predicates as opaque bytes — so net/ never depends on the
+// compute layer (the layering manifest enforces net -> {common, array}
+// only). Chunks already have a columnar codec in storage/chunk_serde
+// and likewise travel as opaque byte strings.
 //
-// Everything decodes with bounds checks and depth guards; a hostile
-// payload yields Corruption, never UB or unbounded recursion. The fuzz
-// frame harness drives these paths through DecodeFrame payloads.
-
-// Recursion cap shared by nested-array Values and Expr trees.
-inline constexpr int kMaxWireDepth = 32;
+// Everything decodes with bounds checks; a hostile payload yields
+// Corruption, never UB. The fuzz frame harness drives these paths
+// through DecodeFrame payloads.
 
 // ---- Status ----
 // Encoded as code u8 + message string. Decoding an out-of-range code is
@@ -35,20 +32,9 @@ void EncodeStatus(const Status& s, ByteWriter* w);
 // the bytes do not parse.
 Status DecodeStatus(ByteReader* r, Status* out);
 
-// ---- Value ----
-void EncodeValue(const Value& v, ByteWriter* w);
-Result<Value> DecodeValue(ByteReader* r);
-
 // ---- Coordinates ----
 void EncodeCoordinates(const Coordinates& c, ByteWriter* w);
 Result<Coordinates> DecodeCoordinates(ByteReader* r);
-
-// ---- Expr ----
-// Binary structural serde (not AQL-text round-tripping): the decoded
-// tree is node-for-node identical to the encoded one, so a shipped
-// predicate evaluates bit-identically to the coordinator's copy.
-void EncodeExpr(const Expr& e, ByteWriter* w);
-Result<ExprPtr> DecodeExpr(ByteReader* r);
 
 }  // namespace net
 }  // namespace scidb

@@ -163,14 +163,24 @@ class Session {
   // TraceNodes; also flushes the stats to the scidb.exec.* metrics.
   Result<MemArray> EvalTraced(const OpNodePtr& node, TraceNode* self) const;
 
-  FunctionRegistry functions_;
-  AggregateRegistry aggregates_;
-  std::map<std::string, ArraySchema> defines_;
-  std::map<std::string, std::shared_ptr<MemArray>> arrays_;
-  std::map<std::string, std::shared_ptr<EnhancedArray>> enhanced_;
-  std::map<std::string, UserArrayOp> user_ops_;
-  std::set<std::string> user_op_names_;  // lowercase, for the parser
-  bool optimize_ = true;
+  // Catalog state: a Session is driven by one statement-issuing thread
+  // (worker threads only see operator-local state), so the registries and
+  // named-array catalog are not under mu_ — only the control-plane knobs
+  // below are shared.
+  FunctionRegistry functions_;   // NOLINT(lock-coverage): statement thread
+  AggregateRegistry aggregates_;  // NOLINT(lock-coverage): statement thread
+  std::map<std::string, ArraySchema>
+      defines_;  // NOLINT(lock-coverage): statement thread
+  std::map<std::string, std::shared_ptr<MemArray>>
+      arrays_;  // NOLINT(lock-coverage): statement thread
+  std::map<std::string, std::shared_ptr<EnhancedArray>>
+      enhanced_;  // NOLINT(lock-coverage): statement thread
+  std::map<std::string, UserArrayOp>
+      user_ops_;  // NOLINT(lock-coverage): statement thread
+  // Lowercase, for the parser.
+  std::set<std::string>
+      user_op_names_;  // NOLINT(lock-coverage): statement thread
+  bool optimize_ = true;  // NOLINT(lock-coverage): statement thread
   // Control-plane state other threads may flip or inspect while a
   // statement executes — the parallelism knob, the attached storage
   // fallback, and the last explain-analyze trace. mu_ is held only for
@@ -180,15 +190,17 @@ class Session {
   mutable Mutex mu_{"Session::mu_"};
   // Null at width 1: the serial path must not pay even an empty pool.
   std::unique_ptr<ThreadPool> pool_ GUARDED_BY(mu_);
-  const ProvenanceLog* provenance_ = nullptr;
+  const ProvenanceLog*
+      provenance_ = nullptr;  // NOLINT(lock-coverage): set pre-exec
   StorageManager* storage_ GUARDED_BY(mu_) = nullptr;
-  TraceClock clock_;  // never null (ctor installs SteadyNowNs); test-time
-                      // injection only, set before any concurrent use
+  // Never null (ctor installs SteadyNowNs); test-time injection only,
+  // set before any concurrent use.
+  TraceClock clock_;  // NOLINT(lock-coverage): set pre-exec
   std::shared_ptr<const QueryTrace> last_trace_ GUARDED_BY(mu_);
   // Parse timing + statement text carried from Execute(string) into the
   // Statement overload, so explain traces can report the parse phase.
-  uint64_t pending_parse_ns_ = 0;
-  std::string pending_statement_;
+  uint64_t pending_parse_ns_ = 0;  // NOLINT(lock-coverage): stmt thread
+  std::string pending_statement_;  // NOLINT(lock-coverage): stmt thread
 };
 
 // ------------------- fluent C++ binding (paper §2.4) -------------------

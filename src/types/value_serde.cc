@@ -1,0 +1,131 @@
+#include "types/value_serde.h"
+
+#include <memory>
+#include <string>
+#include <utility>
+
+#include "common/macros.h"
+#include "types/uncertain.h"
+
+namespace scidb {
+
+namespace {
+
+// Value type tags. Append-only: renumbering breaks cross-version decode.
+enum class ValueTag : uint8_t {
+  kNull = 0,
+  kBool = 1,
+  kInt64 = 2,
+  kDouble = 3,
+  kUncertain = 4,
+  kString = 5,
+  kNestedArray = 6,
+};
+
+Status DepthExceeded(const char* what) {
+  return Status::Corruption(std::string(what) +
+                            " nesting exceeds wire depth cap");
+}
+
+void EncodeValueRec(const Value& v, ByteWriter* w, int depth) {
+  if (v.is_null()) {
+    w->PutU8(static_cast<uint8_t>(ValueTag::kNull));
+  } else if (v.is_bool()) {
+    w->PutU8(static_cast<uint8_t>(ValueTag::kBool));
+    w->PutU8(v.bool_value() ? 1 : 0);
+  } else if (v.is_int64()) {
+    w->PutU8(static_cast<uint8_t>(ValueTag::kInt64));
+    w->PutSignedVarint(v.int64_value());
+  } else if (v.is_double()) {
+    w->PutU8(static_cast<uint8_t>(ValueTag::kDouble));
+    w->PutDouble(v.double_value());
+  } else if (v.is_uncertain()) {
+    w->PutU8(static_cast<uint8_t>(ValueTag::kUncertain));
+    w->PutDouble(v.uncertain_value().mean);
+    w->PutDouble(v.uncertain_value().stderr_);
+  } else if (v.is_string()) {
+    w->PutU8(static_cast<uint8_t>(ValueTag::kString));
+    w->PutString(v.string_value());
+  } else {
+    // Nested array. A null shared_ptr is encoded as NULL — the engine
+    // never stores one, but the codec must not crash on it.
+    const auto& arr = v.array_value();
+    if (arr == nullptr || depth + 1 >= kMaxWireDepth) {
+      // Depth overflow on encode cannot happen for engine-built values
+      // (parser and executor cap nesting far below the wire cap); encode
+      // NULL rather than emit bytes the decoder would reject.
+      w->PutU8(static_cast<uint8_t>(ValueTag::kNull));
+      return;
+    }
+    w->PutU8(static_cast<uint8_t>(ValueTag::kNestedArray));
+    w->PutVarint(arr->shape.size());
+    for (int64_t s : arr->shape) w->PutSignedVarint(s);
+    w->PutVarint(arr->values.size());
+    for (const Value& e : arr->values) EncodeValueRec(e, w, depth + 1);
+  }
+}
+
+Result<Value> DecodeValueRec(ByteReader* r, int depth) {
+  if (depth >= kMaxWireDepth) return DepthExceeded("value");
+  ASSIGN_OR_RETURN(uint8_t tag, r->GetU8());
+  switch (static_cast<ValueTag>(tag)) {
+    case ValueTag::kNull:
+      return Value::Null();
+    case ValueTag::kBool: {
+      ASSIGN_OR_RETURN(uint8_t b, r->GetU8());
+      if (b > 1) return Status::Corruption("bool value out of range");
+      return Value(b != 0);
+    }
+    case ValueTag::kInt64: {
+      ASSIGN_OR_RETURN(int64_t i, r->GetSignedVarint());
+      return Value(i);
+    }
+    case ValueTag::kDouble: {
+      ASSIGN_OR_RETURN(double d, r->GetDouble());
+      return Value(d);
+    }
+    case ValueTag::kUncertain: {
+      ASSIGN_OR_RETURN(double mean, r->GetDouble());
+      ASSIGN_OR_RETURN(double se, r->GetDouble());
+      return Value(Uncertain(mean, se));
+    }
+    case ValueTag::kString: {
+      ASSIGN_OR_RETURN(std::string s, r->GetString());
+      return Value(std::move(s));
+    }
+    case ValueTag::kNestedArray: {
+      ASSIGN_OR_RETURN(uint64_t ndims, r->GetVarint());
+      // A dimension costs at least one byte on the wire; anything larger
+      // than the remaining input is definitionally corrupt, and this
+      // check bounds the allocation below.
+      if (ndims > r->remaining()) {
+        return Status::Corruption("nested array dimension count too large");
+      }
+      auto arr = std::make_shared<NestedArray>();
+      arr->shape.reserve(static_cast<size_t>(ndims));
+      for (uint64_t i = 0; i < ndims; ++i) {
+        ASSIGN_OR_RETURN(int64_t s, r->GetSignedVarint());
+        arr->shape.push_back(s);
+      }
+      ASSIGN_OR_RETURN(uint64_t count, r->GetVarint());
+      if (count > r->remaining()) {
+        return Status::Corruption("nested array value count too large");
+      }
+      arr->values.reserve(static_cast<size_t>(count));
+      for (uint64_t i = 0; i < count; ++i) {
+        ASSIGN_OR_RETURN(Value e, DecodeValueRec(r, depth + 1));
+        arr->values.push_back(std::move(e));
+      }
+      return Value(std::move(arr));
+    }
+  }
+  return Status::Corruption("unknown value tag " + std::to_string(tag));
+}
+
+}  // namespace
+
+void EncodeValue(const Value& v, ByteWriter* w) { EncodeValueRec(v, w, 0); }
+
+Result<Value> DecodeValue(ByteReader* r) { return DecodeValueRec(r, 0); }
+
+}  // namespace scidb

@@ -1,0 +1,29 @@
+#ifndef SCIDB_TYPES_VALUE_SERDE_H_
+#define SCIDB_TYPES_VALUE_SERDE_H_
+
+#include "common/byte_io.h"
+#include "common/result.h"
+#include "types/value.h"
+
+namespace scidb {
+
+// Tagged wire codec for Value (DESIGN.md §10). Lives in types/ — not
+// net/ — because a Value's byte form is a property of the value model,
+// and the transport must stay ignorant of engine types (net/ carries
+// opaque payload bytes; the layering manifest forbids net -> types).
+//
+// Decoding is fully bounds-checked and depth-capped: a hostile payload
+// yields Corruption, never UB or unbounded recursion. Tags are
+// append-only (renumbering breaks cross-version decode); the tag enum
+// itself is private to the .cc and covered by the protocol-drift check.
+
+// Recursion cap shared by nested-array Values and Expr trees
+// (exec/expr_serde reuses it so one limit governs the whole payload).
+inline constexpr int kMaxWireDepth = 32;
+
+void EncodeValue(const Value& v, ByteWriter* w);
+Result<Value> DecodeValue(ByteReader* r);
+
+}  // namespace scidb
+
+#endif  // SCIDB_TYPES_VALUE_SERDE_H_

@@ -128,8 +128,8 @@ Result<MemArray> HistoryArray::SnapshotAt(int64_t history) const {
         });
     if (failed) return st;
     for (const Coordinates& c : layer.deletions) {
-      // Deleting a never-present cell is a no-op at snapshot level.
-      (void)out.DeleteCell(c);
+      (void)out.DeleteCell(c);  // status-ignored: deleting a never-present
+                                // cell is a no-op at snapshot level
     }
   }
   return out;

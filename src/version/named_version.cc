@@ -145,7 +145,8 @@ Result<MemArray> VersionTree::SnapshotVersionAt(const NamedVersion& v,
         });
     if (failed) return st;
     for (const Coordinates& c : layer.deletions) {
-      (void)out.DeleteCell(c);
+      (void)out.DeleteCell(c);  // status-ignored: deleting a never-present
+                                // cell is a no-op at snapshot level
     }
   }
   return out;

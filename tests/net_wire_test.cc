@@ -7,8 +7,10 @@
 #include <string>
 #include <vector>
 
+#include "exec/expr_serde.h"
 #include "net/message.h"
 #include "types/uncertain.h"
+#include "types/value_serde.h"
 
 namespace scidb {
 namespace net {
@@ -260,21 +262,34 @@ TEST(WireMessageTest, ChunkGetRoundTrips) {
 
 TEST(WireMessageTest, ScanShardRoundTripsWithAndWithoutPredicate) {
   {
-    ScanShardRequest req;  // null predicate = full scan
+    ScanShardRequest req;  // no predicate bytes = full scan
     Result<ScanShardRequest> back =
         ScanShardRequest::Decode(req.EncodePayload());
     ASSERT_TRUE(back.ok());
-    EXPECT_EQ(back.value().pred, nullptr);
+    EXPECT_TRUE(back.value().pred_bytes.empty());
   }
   {
+    // The predicate travels as opaque expr_serde bytes; the message
+    // layer must hand them back verbatim, and they must still decode to
+    // a tree whose re-encoding is byte-identical.
     ScanShardRequest req;
-    req.pred = Gt(Ref("flux"), Lit(0.5));
+    ExprPtr pred = Gt(Ref("flux"), Lit(0.5));
+    req.pred_bytes = EncodeExprBytes(*pred);
     Result<ScanShardRequest> back =
         ScanShardRequest::Decode(req.EncodePayload());
     ASSERT_TRUE(back.ok());
-    ASSERT_NE(back.value().pred, nullptr);
-    EXPECT_EQ(EncodeExprBytes(*back.value().pred),
-              EncodeExprBytes(*req.pred));
+    ASSERT_EQ(back.value().pred_bytes, req.pred_bytes);
+    ByteReader pr(back.value().pred_bytes.data(),
+                  back.value().pred_bytes.size());
+    Result<ExprPtr> decoded = DecodeExpr(&pr);
+    ASSERT_TRUE(decoded.ok());
+    EXPECT_EQ(pr.remaining(), 0u);
+    EXPECT_EQ(EncodeExprBytes(*decoded.value()), req.pred_bytes);
+  }
+  {
+    // Presence flag set but nothing after it: corrupt.
+    std::vector<uint8_t> payload = {1};
+    EXPECT_FALSE(ScanShardRequest::Decode(payload).ok());
   }
 }
 

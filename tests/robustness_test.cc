@@ -35,7 +35,8 @@ TEST_P(ParserFuzzTest, RandomTokenSoupNeverCrashes) {
       // Whatever parsed must also survive execution attempts against an
       // empty session (errors expected, crashes not).
       Session session;
-      (void)session.Execute(stmt);
+      (void)session.Execute(stmt);  // status-ignored: fuzz trial — any
+                                    // Status is fine, crashes are not
     }
   }
 }
@@ -61,7 +62,8 @@ TEST_P(ParserFuzzTest, MutatedValidStatementsNeverCrash) {
           break;
       }
     }
-    (void)ParseStatement(stmt);
+    (void)ParseStatement(stmt);  // status-ignored: fuzz trial — any
+                                 // Status is fine, crashes are not
   }
 }
 

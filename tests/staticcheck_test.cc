@@ -1,0 +1,432 @@
+// tools/staticcheck: tokenizer corner cases, a positive and a negative
+// per pass, suppression (NOLINT, baseline), SARIF shape, and a
+// regression guard that shells out to the built binary against seeded
+// bad fixtures — so a future refactor cannot quietly turn the analyzer
+// into a yes-machine.
+#include "tools/staticcheck/staticcheck.h"
+
+#include <gtest/gtest.h>
+
+#include <sys/wait.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+namespace staticcheck {
+namespace {
+
+SourceFile MakeFile(const std::string& path, const std::string& text) {
+  SourceFile f;
+  f.path = path;
+  f.text = text;
+  Lex(&f);
+  return f;
+}
+
+std::vector<Token> TokensOfKind(const SourceFile& f, TokKind k) {
+  std::vector<Token> out;
+  for (const auto& t : f.tokens) {
+    if (t.kind == k) out.push_back(t);
+  }
+  return out;
+}
+
+bool HasIdent(const SourceFile& f, const std::string& name) {
+  for (const auto& t : f.tokens) {
+    if (t.kind == TokKind::kIdent && t.text == name) return true;
+  }
+  return false;
+}
+
+// ------------------------------------------------------------- tokenizer
+
+TEST(Lexer, RawStringsHideCommentAndStringSyntax) {
+  SourceFile f = MakeFile(
+      "src/x/a.cc",
+      "const char* s = R\"x(no \"quote\" // not a comment)x\";\n"
+      "int after = 1;\n");
+  // The raw string is one token; its contents never leak into the
+  // comment-stripped view the per-line rules run on.
+  ASSERT_EQ(TokensOfKind(f, TokKind::kString).size(), 1u);
+  EXPECT_TRUE(HasIdent(f, "after"));
+  ASSERT_GE(f.code_lines.size(), 2u);
+  EXPECT_EQ(f.code_lines[0].find("comment"), std::string::npos);
+  EXPECT_EQ(f.code_lines[0].find("quote"), std::string::npos);
+}
+
+TEST(Lexer, LineSplicedCommentSwallowsNextLine) {
+  SourceFile f = MakeFile("src/x/a.cc",
+                          "// spliced comment \\\n"
+                          "int not_code = 1;\n"
+                          "int real = 2;\n");
+  // Line 2 is still comment (the backslash splices it into line 1); the
+  // first real token is on line 3.
+  EXPECT_FALSE(HasIdent(f, "not_code"));
+  ASSERT_TRUE(HasIdent(f, "real"));
+  EXPECT_EQ(f.tokens.front().line, 3);
+}
+
+TEST(Lexer, BlockCommentsDoNotNest) {
+  // Per the language, /* */ does not nest: the first */ closes the
+  // comment, so `mid` is code and the trailing */ would be a stray
+  // token, not swallowed text.
+  SourceFile f =
+      MakeFile("src/x/a.cc", "/* outer /* inner */ int mid = 3;\n");
+  EXPECT_TRUE(HasIdent(f, "mid"));
+  EXPECT_FALSE(HasIdent(f, "inner"));
+}
+
+TEST(Lexer, DirectivesAreCapturedNotTokenized) {
+  SourceFile f = MakeFile("src/x/a.cc",
+                          "#include \"net/rpc.h\"  // trailing\n"
+                          "#define WIDTH 4\n"
+                          "int x = WIDTH;\n");
+  ASSERT_EQ(f.directives.size(), 2u);
+  EXPECT_EQ(f.directives[0].kind, "include");
+  EXPECT_EQ(f.directives[0].rest, "\"net/rpc.h\"");
+  EXPECT_EQ(f.directives[0].line, 1);
+  EXPECT_EQ(f.directives[1].kind, "define");
+  // Directive bodies are not part of the expression token stream.
+  EXPECT_EQ(f.tokens.front().text, "int");
+}
+
+// ------------------------------------------------------------- layering
+
+constexpr char kManifest[] =
+    "common:\n"
+    "net: common\n"
+    "exec: common\n";
+
+TEST(LayeringPass, FlagsUndeclaredEdgeAtIncludeLine) {
+  Analysis a;
+  a.config.layering_manifest = kManifest;
+  a.files.push_back(MakeFile("src/net/a.h",
+                             "#include \"common/status.h\"\n"
+                             "#include \"exec/expression.h\"\n"));
+  std::vector<Diagnostic> diags;
+  RunLayeringPass(a, &diags);
+  ASSERT_EQ(diags.size(), 1u);
+  EXPECT_EQ(diags[0].path, "src/net/a.h");
+  EXPECT_EQ(diags[0].line, 2);
+  EXPECT_EQ(diags[0].check, "layering");
+  EXPECT_NE(diags[0].message.find("net -> exec"), std::string::npos);
+}
+
+TEST(LayeringPass, DeclaredEdgesAndNonModuleIncludesAreClean) {
+  Analysis a;
+  a.config.layering_manifest = kManifest;
+  a.files.push_back(MakeFile("src/net/a.h",
+                             "#include <vector>\n"
+                             "#include \"common/status.h\"\n"
+                             "#include \"net/frame.h\"\n"));
+  std::vector<Diagnostic> diags;
+  RunLayeringPass(a, &diags);
+  EXPECT_TRUE(diags.empty());
+}
+
+TEST(LayeringPass, ManifestCycleCannotLegalizeItself) {
+  // Declaring both directions must itself be an error, or a back-edge
+  // report could be "fixed" by adding the reverse edge to the manifest.
+  Analysis a;
+  a.config.layering_manifest = "net: exec\nexec: net\n";
+  std::vector<Diagnostic> diags;
+  RunLayeringPass(a, &diags);
+  ASSERT_EQ(diags.size(), 1u);
+  EXPECT_NE(diags[0].message.find("cycle"), std::string::npos);
+}
+
+// -------------------------------------------------------- lock-coverage
+
+TEST(LockCoveragePass, FlagsUnguardedMemberOfMutexOwningClass) {
+  Analysis a;
+  a.files.push_back(MakeFile("src/x/c.h",
+                             "class Cache {\n"
+                             " private:\n"
+                             "  Mutex mu_;\n"
+                             "  int hits_ = 0;\n"
+                             "  int total_ GUARDED_BY(mu_) = 0;\n"
+                             "};\n"));
+  std::vector<Diagnostic> diags;
+  RunLockCoveragePass(a, &diags);
+  ASSERT_EQ(diags.size(), 1u);
+  EXPECT_EQ(diags[0].line, 4);
+  EXPECT_EQ(diags[0].check, "lock-coverage");
+  EXPECT_NE(diags[0].message.find("'hits_'"), std::string::npos);
+}
+
+TEST(LockCoveragePass, SafeMembersAndMutexFreeClassesAreClean) {
+  Analysis a;
+  a.files.push_back(MakeFile(
+      "src/x/c.h",
+      "class Plain {\n"
+      "  int anything_ = 0;\n"  // no mutex: out of scope for this pass
+      "};\n"
+      "class Guarded {\n"
+      "  std::mutex mu_;\n"
+      "  const int limit_ = 8;\n"
+      "  std::atomic<int> seq_{0};\n"
+      "  std::vector<int> rows_ GUARDED_BY(mu_);\n"
+      "};\n"));
+  std::vector<Diagnostic> diags;
+  RunLockCoveragePass(a, &diags);
+  EXPECT_TRUE(diags.empty());
+}
+
+TEST(LockCoveragePass, BraceInitializedMutexStillMarksOwnership) {
+  // Regression: `Mutex mu_{"name"};` must read as a member with a brace
+  // initializer, not a function body that hides the rest of the class.
+  Analysis a;
+  a.files.push_back(MakeFile("src/x/c.h",
+                             "class S {\n"
+                             "  mutable Mutex mu_{\"S::mu_\"};\n"
+                             "  int state_ = 0;\n"
+                             "};\n"));
+  std::vector<Diagnostic> diags;
+  RunLockCoveragePass(a, &diags);
+  ASSERT_EQ(diags.size(), 1u);
+  EXPECT_NE(diags[0].message.find("'state_'"), std::string::npos);
+}
+
+// ------------------------------------------------------- protocol-drift
+
+TEST(ProtocolDriftPass, FlagsSwitchMissingEnumeratorAndDefaultArm) {
+  Analysis a;
+  a.config.protocol_manifest = "enum Color\n";
+  a.files.push_back(
+      MakeFile("src/x/e.h", "enum class Color { kRed, kGreen };\n"));
+  a.files.push_back(MakeFile("src/x/u.cc",
+                             "int F(Color c) {\n"
+                             "  switch (c) {\n"
+                             "    case Color::kRed: return 1;\n"
+                             "  }\n"
+                             "  return 0;\n"
+                             "}\n"
+                             "int G(Color c) {\n"
+                             "  switch (c) {\n"
+                             "    case Color::kRed: return 1;\n"
+                             "    case Color::kGreen: return 2;\n"
+                             "    default: return 0;\n"
+                             "  }\n"
+                             "}\n"));
+  std::vector<Diagnostic> diags;
+  RunProtocolDriftPass(a, &diags);
+  ASSERT_EQ(diags.size(), 2u);
+  EXPECT_NE(diags[0].message.find("kGreen"), std::string::npos);
+  EXPECT_NE(diags[1].message.find("default"), std::string::npos);
+}
+
+TEST(ProtocolDriftPass, CompleteSwitchIsClean) {
+  Analysis a;
+  a.config.protocol_manifest = "enum Color\n";
+  a.files.push_back(
+      MakeFile("src/x/e.h", "enum class Color { kRed, kGreen };\n"));
+  a.files.push_back(MakeFile("src/x/u.cc",
+                             "int F(Color c) {\n"
+                             "  switch (c) {\n"
+                             "    case Color::kRed: return 1;\n"
+                             "    case Color::kGreen: return 2;\n"
+                             "  }\n"
+                             "  return 0;\n"
+                             "}\n"));
+  std::vector<Diagnostic> diags;
+  RunProtocolDriftPass(a, &diags);
+  EXPECT_TRUE(diags.empty());
+}
+
+TEST(ProtocolDriftPass, DispatchTableMustRegisterEveryEnumerator) {
+  Analysis a;
+  a.config.protocol_manifest =
+      "enum Color\n"
+      "dispatch Color src/x/reg.cc Register except kGreen\n";
+  a.files.push_back(
+      MakeFile("src/x/e.h", "enum class Color { kRed, kGreen, kBlue };\n"));
+  a.files.push_back(MakeFile("src/x/reg.cc",
+                             "void Wire() {\n"
+                             "  Register(Color::kRed, 1);\n"
+                             "}\n"));
+  std::vector<Diagnostic> diags;
+  RunProtocolDriftPass(a, &diags);
+  ASSERT_EQ(diags.size(), 1u);
+  EXPECT_EQ(diags[0].check, "protocol-drift");
+  EXPECT_NE(diags[0].message.find("kBlue"), std::string::npos);
+}
+
+// ---------------------------------------------------------- status-flow
+
+TEST(StatusFlowPass, FlagsUntaggedDiscardAcrossFiles) {
+  Analysis a;
+  // The fallible callee is declared in a different file than the
+  // discard: the pass must union names across the whole tree.
+  a.files.push_back(MakeFile("src/x/api.h", "Status Flush(int fd);\n"));
+  a.files.push_back(MakeFile(
+      "src/x/use.cc",
+      "void A(int fd) { (void)Flush(fd); }\n"
+      "void B(int fd) { (void)Flush(fd); }  // status-ignored: "
+      "best-effort\n"
+      "void C() { (void)printf(\"x\"); }\n"));  // not fallible: ignored
+  std::vector<Diagnostic> diags;
+  RunStatusFlowPass(a, &diags);
+  ASSERT_EQ(diags.size(), 1u);
+  EXPECT_EQ(diags[0].line, 1);
+  EXPECT_EQ(diags[0].check, "status-flow");
+  EXPECT_NE(diags[0].message.find("'Flush'"), std::string::npos);
+}
+
+// ------------------------------------------- textual rules + suppression
+
+TEST(TextualPass, MigratedRulesFireOnLibraryCode) {
+  Analysis a;
+  a.files.push_back(MakeFile("src/x/t.cc",
+                             "void F() { throw 1; }\n"
+                             "int* G() { return new int(3); }\n"));
+  std::vector<Diagnostic> diags;
+  RunTextualPass(a, &diags);
+  ASSERT_EQ(diags.size(), 2u);
+  EXPECT_EQ(diags[0].check, "no-throw");
+  EXPECT_EQ(diags[1].check, "no-naked-new");
+}
+
+TEST(Suppression, ScopedNolintSilencesOnlyTheNamedCheck) {
+  Analysis a;
+  a.files.push_back(
+      MakeFile("src/x/t.cc",
+               "void F() { throw 1; }  // NOLINT(no-throw)\n"
+               "void G() { throw 2; }  // NOLINT(no-naked-new)\n"
+               "void H() { throw 3; }  // NOLINT\n"));
+  size_t n = RunAnalysis(&a);
+  // Line 1: scoped match, suppressed. Line 2: scope names a different
+  // check, NOT suppressed. Line 3: bare NOLINT suppresses everything.
+  ASSERT_EQ(n, 1u);
+  EXPECT_EQ(a.diagnostics[0].line, 2);
+}
+
+TEST(Suppression, BaselineFiltersExactMatchAndReportsStaleEntries) {
+  Analysis a;
+  a.files.push_back(MakeFile("src/x/t.cc", "void F() { throw 1; }\n"));
+  std::vector<Diagnostic> raw;
+  RunTextualPass(a, &raw);
+  ASSERT_EQ(raw.size(), 1u);
+  a.config.baseline = "no-throw|src/x/t.cc|" + raw[0].message +
+                      "\n"
+                      "no-throw|src/gone.cc|stale entry\n";
+  size_t n = RunAnalysis(&a);
+  EXPECT_EQ(n, 0u);
+  // The entry that matched nothing must be surfaced, or baselines only
+  // ever grow.
+  ASSERT_EQ(a.notes.size(), 1u);
+  EXPECT_NE(a.notes[0].find("src/gone.cc"), std::string::npos);
+}
+
+TEST(Sarif, EmitsRuleAndResultForEachDiagnostic) {
+  Analysis a;
+  a.files.push_back(MakeFile("src/x/t.cc", "void F() { throw 1; }\n"));
+  size_t n = RunAnalysis(&a);
+  ASSERT_EQ(n, 1u);
+  std::string sarif = ToSarif(a);
+  EXPECT_NE(sarif.find("\"2.1.0\""), std::string::npos);
+  EXPECT_NE(sarif.find("\"no-throw\""), std::string::npos);
+  EXPECT_NE(sarif.find("src/x/t.cc"), std::string::npos);
+  EXPECT_NE(sarif.find("\"startLine\": 1"), std::string::npos);
+}
+
+// ------------------------------------------------- regression guard (f)
+
+#ifdef SCIDB_STATICCHECK_BIN
+
+struct RunResult {
+  int exit_code;
+  std::string output;
+};
+
+RunResult RunBinary(const std::string& args) {
+  std::string cmd = std::string(SCIDB_STATICCHECK_BIN) + " " + args + " 2>&1";
+  FILE* pipe = popen(cmd.c_str(), "r");
+  EXPECT_NE(pipe, nullptr) << cmd;
+  std::string out;
+  char buf[512];
+  while (pipe != nullptr && fgets(buf, sizeof(buf), pipe) != nullptr) {
+    out += buf;
+  }
+  int status = pipe != nullptr ? pclose(pipe) : -1;
+  int code = (status >= 0 && WIFEXITED(status)) ? WEXITSTATUS(status) : -1;
+  return {code, out};
+}
+
+void WriteFixture(const std::filesystem::path& p, const std::string& text) {
+  std::filesystem::create_directories(p.parent_path());
+  std::ofstream out(p, std::ios::binary);
+  ASSERT_TRUE(out.good()) << p;
+  out << text;
+}
+
+// Seeds a layering back-edge (net -> exec) and an unguarded member into
+// throwaway fixtures and asserts the binary exits non-zero naming the
+// exact file:line of each. If this test starts passing with exit 0, the
+// analyzer has stopped analyzing.
+TEST(RegressionGuard, SeededViolationsFailWithExactLocations) {
+  namespace fs = std::filesystem;
+  fs::path tmp = fs::path(::testing::TempDir()) / "staticcheck_fixture";
+  fs::remove_all(tmp);
+
+  WriteFixture(tmp / "src/net/bad.h",
+               "#ifndef SCIDB_NET_BAD_H_\n"
+               "#define SCIDB_NET_BAD_H_\n"
+               "\n"
+               "#include \"exec/expression.h\"\n"
+               "\n"
+               "#endif  // SCIDB_NET_BAD_H_\n");
+  WriteFixture(tmp / "src/common/bad_lock.h",
+               "#ifndef SCIDB_COMMON_BAD_LOCK_H_\n"
+               "#define SCIDB_COMMON_BAD_LOCK_H_\n"
+               "\n"
+               "class Cache {\n"
+               " public:\n"
+               "  int Get();\n"
+               "\n"
+               " private:\n"
+               "  Mutex mu_;\n"
+               "  int hits_ = 0;\n"
+               "};\n"
+               "\n"
+               "#endif  // SCIDB_COMMON_BAD_LOCK_H_\n");
+  WriteFixture(tmp / "layering.manifest",
+               "common:\n"
+               "net: common\n"
+               "exec: common\n");
+
+  RunResult r = RunBinary(
+      "--root " + tmp.string() + " --manifest " +
+      (tmp / "layering.manifest").string() + " " +
+      (tmp / "src/net/bad.h").string() + " " +
+      (tmp / "src/common/bad_lock.h").string());
+  EXPECT_EQ(r.exit_code, 1) << r.output;
+  EXPECT_NE(r.output.find("src/net/bad.h:4"), std::string::npos)
+      << r.output;
+  EXPECT_NE(r.output.find("[layering]"), std::string::npos) << r.output;
+  EXPECT_NE(r.output.find("src/common/bad_lock.h:10"), std::string::npos)
+      << r.output;
+  EXPECT_NE(r.output.find("[lock-coverage]"), std::string::npos)
+      << r.output;
+
+  fs::remove_all(tmp);
+}
+
+// The real tree must be clean under the checked-in manifests — the same
+// invocation the `staticcheck` ctest entry and CI run.
+TEST(RegressionGuard, CheckedInTreeIsClean) {
+  std::string root = SCIDB_SOURCE_ROOT;
+  std::string sc = root + "/tools/staticcheck";
+  RunResult r = RunBinary("--root " + root + " --manifest " + sc +
+                          "/layering.manifest --protocol " + sc +
+                          "/protocol.manifest --baseline " + sc +
+                          "/baseline");
+  EXPECT_EQ(r.exit_code, 0) << r.output;
+}
+
+#endif  // SCIDB_STATICCHECK_BIN
+
+}  // namespace
+}  // namespace staticcheck

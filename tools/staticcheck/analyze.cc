@@ -1,0 +1,230 @@
+// Pass orchestration plus the two suppression layers and both output
+// formats.
+//
+// Suppression precedence: a NOLINT on the offending source line wins
+// first (bare NOLINT suppresses every check on that line; a scoped
+// NOLINT(check-a, check-b) suppresses only those), then the checked-in
+// baseline file (`check|path|message` lines — exact match). Baseline
+// entries that no longer match anything are reported as notes so the
+// file shrinks instead of fossilizing.
+
+#include <algorithm>
+#include <cctype>
+#include <cstdio>
+#include <sstream>
+
+#include "staticcheck.h"
+
+namespace staticcheck {
+
+namespace {
+
+// True if `raw_line` carries a NOLINT that suppresses `check`.
+bool NolintSuppresses(const std::string& raw_line, const std::string& check) {
+  size_t pos = raw_line.find("NOLINT");
+  while (pos != std::string::npos) {
+    size_t after = pos + 6;
+    // NOLINTNEXTLINE etc. — require a word boundary.
+    if (after < raw_line.size() &&
+        (std::isalnum(static_cast<unsigned char>(raw_line[after])) ||
+         raw_line[after] == '_')) {
+      pos = raw_line.find("NOLINT", after);
+      continue;
+    }
+    if (after >= raw_line.size() || raw_line[after] != '(') {
+      return true;  // bare NOLINT: everything suppressed
+    }
+    size_t close = raw_line.find(')', after);
+    std::string list = raw_line.substr(
+        after + 1,
+        close == std::string::npos ? std::string::npos : close - after - 1);
+    std::istringstream ls(list);
+    std::string item;
+    while (std::getline(ls, item, ',')) {
+      size_t b = item.find_first_not_of(" \t");
+      if (b == std::string::npos) continue;
+      size_t e = item.find_last_not_of(" \t");
+      if (item.substr(b, e - b + 1) == check) return true;
+    }
+    pos = raw_line.find("NOLINT", close == std::string::npos ? after : close);
+  }
+  return false;
+}
+
+std::string JsonEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 8);
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      case '\r': out += "\\r"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+size_t RunAnalysis(Analysis* a) {
+  std::vector<Diagnostic> all;
+  RunLayeringPass(*a, &all);
+  RunLockCoveragePass(*a, &all);
+  RunProtocolDriftPass(*a, &all);
+  RunStatusFlowPass(*a, &all);
+  RunTextualPass(*a, &all);
+
+  // Index files by path for NOLINT lookups.
+  std::map<std::string, const SourceFile*> by_path;
+  for (const auto& f : a->files) by_path[f.path] = &f;
+
+  // Parse baseline.
+  struct BaselineEntry {
+    std::string check, path, message;
+    bool used = false;
+  };
+  std::vector<BaselineEntry> baseline;
+  {
+    std::istringstream in(a->config.baseline);
+    std::string line;
+    while (std::getline(in, line)) {
+      if (line.empty() || line[0] == '#') continue;
+      size_t p1 = line.find('|');
+      size_t p2 = p1 == std::string::npos ? std::string::npos
+                                          : line.find('|', p1 + 1);
+      if (p2 == std::string::npos) {
+        a->notes.push_back("baseline: malformed line (want "
+                           "'check|path|message'): " + line);
+        continue;
+      }
+      baseline.push_back({line.substr(0, p1),
+                          line.substr(p1 + 1, p2 - p1 - 1),
+                          line.substr(p2 + 1), false});
+    }
+  }
+
+  a->diagnostics.clear();
+  for (const auto& d : all) {
+    // NOLINT on the reported line.
+    auto it = by_path.find(d.path);
+    if (it != by_path.end() && d.line >= 1 &&
+        d.line <= static_cast<int>(it->second->raw_lines.size()) &&
+        NolintSuppresses(it->second->raw_lines[d.line - 1], d.check)) {
+      continue;
+    }
+    // Baseline (exact check+path+message; line numbers intentionally
+    // excluded so unrelated edits above the site don't churn the file).
+    bool suppressed = false;
+    for (auto& b : baseline) {
+      if (b.check == d.check && b.path == d.path && b.message == d.message) {
+        b.used = true;
+        suppressed = true;
+        break;
+      }
+    }
+    if (suppressed) continue;
+    a->diagnostics.push_back(d);
+  }
+
+  for (const auto& b : baseline) {
+    if (!b.used) {
+      a->notes.push_back("baseline: stale entry (no longer matches): " +
+                         b.check + "|" + b.path + "|" + b.message);
+    }
+  }
+
+  std::sort(a->diagnostics.begin(), a->diagnostics.end(),
+            [](const Diagnostic& x, const Diagnostic& y) {
+              if (x.path != y.path) return x.path < y.path;
+              if (x.line != y.line) return x.line < y.line;
+              if (x.check != y.check) return x.check < y.check;
+              return x.message < y.message;
+            });
+  a->diagnostics.erase(
+      std::unique(a->diagnostics.begin(), a->diagnostics.end(),
+                  [](const Diagnostic& x, const Diagnostic& y) {
+                    return x.path == y.path && x.line == y.line &&
+                           x.check == y.check && x.message == y.message;
+                  }),
+      a->diagnostics.end());
+  return a->diagnostics.size();
+}
+
+std::string ToText(const Analysis& a) {
+  std::ostringstream os;
+  for (const auto& d : a.diagnostics) {
+    os << d.path << ":" << d.line << ": [" << d.check << "] " << d.message
+       << "\n";
+  }
+  return os.str();
+}
+
+std::string ToSarif(const Analysis& a) {
+  // Collect the rule ids actually present, in stable order.
+  std::vector<std::string> rules;
+  for (const auto& d : a.diagnostics) {
+    if (std::find(rules.begin(), rules.end(), d.check) == rules.end()) {
+      rules.push_back(d.check);
+    }
+  }
+  std::sort(rules.begin(), rules.end());
+
+  std::ostringstream os;
+  os << "{\n"
+     << "  \"$schema\": \"https://json.schemastore.org/sarif-2.1.0.json\",\n"
+     << "  \"version\": \"2.1.0\",\n"
+     << "  \"runs\": [\n"
+     << "    {\n"
+     << "      \"tool\": {\n"
+     << "        \"driver\": {\n"
+     << "          \"name\": \"staticcheck\",\n"
+     << "          \"informationUri\": "
+        "\"tools/staticcheck/README-section in repo README.md\",\n"
+     << "          \"rules\": [";
+  for (size_t i = 0; i < rules.size(); ++i) {
+    if (i) os << ",";
+    os << "\n            {\"id\": \"" << JsonEscape(rules[i]) << "\"}";
+  }
+  if (!rules.empty()) os << "\n          ";
+  os << "]\n"
+     << "        }\n"
+     << "      },\n"
+     << "      \"results\": [";
+  for (size_t i = 0; i < a.diagnostics.size(); ++i) {
+    const Diagnostic& d = a.diagnostics[i];
+    if (i) os << ",";
+    os << "\n        {\n"
+       << "          \"ruleId\": \"" << JsonEscape(d.check) << "\",\n"
+       << "          \"level\": \"error\",\n"
+       << "          \"message\": {\"text\": \"" << JsonEscape(d.message)
+       << "\"},\n"
+       << "          \"locations\": [\n"
+       << "            {\n"
+       << "              \"physicalLocation\": {\n"
+       << "                \"artifactLocation\": {\"uri\": \""
+       << JsonEscape(d.path) << "\"},\n"
+       << "                \"region\": {\"startLine\": " << d.line << "}\n"
+       << "              }\n"
+       << "            }\n"
+       << "          ]\n"
+       << "        }";
+  }
+  if (!a.diagnostics.empty()) os << "\n      ";
+  os << "]\n"
+     << "    }\n"
+     << "  ]\n"
+     << "}\n";
+  return os.str();
+}
+
+}  // namespace staticcheck

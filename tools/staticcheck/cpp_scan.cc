@@ -1,0 +1,597 @@
+// Structure scans over the token stream: enum definitions, switch
+// statements, class layouts, fallible-function names, and (void)
+// discards. These are deliberately shallow — no name lookup, no
+// templates — but because they run on real tokens (not raw text) they
+// are immune to comments, strings, and macro-ish formatting that defeat
+// line regexes.
+
+#include <cstddef>
+
+#include "staticcheck.h"
+
+namespace staticcheck {
+
+namespace {
+
+bool IsIdent(const Token& t) { return t.kind == TokKind::kIdent; }
+bool IsPunct(const Token& t, const char* p) {
+  return t.kind == TokKind::kPunct && t.text == p;
+}
+
+// Finds the index of the matching closer for the opener at `open`
+// (tokens[open] must be one of ( [ { <). Returns tokens.size() if
+// unbalanced. `<` matching is naive (no shift disambiguation) — callers
+// only use it on template argument lists in declarations.
+size_t MatchForward(const std::vector<Token>& toks, size_t open) {
+  const std::string& o = toks[open].text;
+  std::string c;
+  if (o == "(") c = ")";
+  else if (o == "[") c = "]";
+  else if (o == "{") c = "}";
+  else if (o == "<") c = ">";
+  else return toks.size();
+  int depth = 0;
+  for (size_t i = open; i < toks.size(); ++i) {
+    if (toks[i].kind != TokKind::kPunct) continue;
+    if (toks[i].text == o) ++depth;
+    else if (toks[i].text == c && --depth == 0) return i;
+  }
+  return toks.size();
+}
+
+// Member-safety annotation macros (expand to nothing under GCC but are
+// visible to this scanner as plain identifiers).
+bool IsGuardAnnotation(const std::string& id) {
+  return id == "GUARDED_BY" || id == "PT_GUARDED_BY";
+}
+
+// Other thread-safety attribute macros that may trail a declaration.
+bool IsAnnotationMacro(const std::string& id) {
+  return IsGuardAnnotation(id) || id == "ACQUIRED_BEFORE" ||
+         id == "ACQUIRED_AFTER" || id == "EXCLUSIVE_LOCKS_REQUIRED" ||
+         id == "LOCKS_EXCLUDED" || id == "REQUIRES" || id == "EXCLUDES" ||
+         id == "ACQUIRE" || id == "RELEASE" || id == "TRY_ACQUIRE" ||
+         id == "NO_THREAD_SAFETY_ANALYSIS" || id == "RETURN_CAPABILITY" ||
+         id == "ASSERT_CAPABILITY" || id == "SCOPED_CAPABILITY" ||
+         id == "CAPABILITY";
+}
+
+bool IsMutexType(const std::vector<std::string>& type_idents) {
+  // Matches `Mutex m_;`, `common::Mutex m_;`, `std::mutex m_;` etc. by
+  // the last type identifier before the member name.
+  if (type_idents.empty()) return false;
+  const std::string& last = type_idents.back();
+  return last == "Mutex" || last == "mutex" || last == "shared_mutex" ||
+         last == "recursive_mutex" || last == "timed_mutex";
+}
+
+bool IsCondVarType(const std::vector<std::string>& type_idents) {
+  if (type_idents.empty()) return false;
+  const std::string& last = type_idents.back();
+  return last == "CondVar" || last == "condition_variable" ||
+         last == "condition_variable_any";
+}
+
+bool IsAtomicType(const std::vector<std::string>& type_idents) {
+  for (const auto& id : type_idents) {
+    if (id == "atomic" || id == "atomic_bool" || id == "atomic_int" ||
+        id == "atomic_flag" || id == "atomic_uint64_t" ||
+        id == "atomic_size_t") {
+      return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace
+
+// Classifies the class-body declaration tokens [begin, end) and appends
+// a MemberDecl to cd when it is a data member (defined below).
+void AnalyzeDecl(const std::vector<Token>& t, size_t begin, size_t end,
+                 bool body_block, ClassDef* cd);
+
+std::vector<EnumDef> FindEnums(const SourceFile& f) {
+  std::vector<EnumDef> out;
+  const auto& t = f.tokens;
+  for (size_t i = 0; i < t.size(); ++i) {
+    if (!IsIdent(t[i]) || t[i].text != "enum") continue;
+    size_t j = i + 1;
+    if (j < t.size() && IsIdent(t[j]) &&
+        (t[j].text == "class" || t[j].text == "struct")) {
+      ++j;
+    }
+    if (j >= t.size() || !IsIdent(t[j])) continue;  // anonymous enum
+    EnumDef e;
+    e.name = t[j].text;
+    e.path = f.path;
+    e.line = t[i].line;
+    ++j;
+    // optional underlying type: `: uint8_t`
+    if (j < t.size() && IsPunct(t[j], ":")) {
+      ++j;
+      while (j < t.size() && !IsPunct(t[j], "{") && !IsPunct(t[j], ";")) ++j;
+    }
+    if (j >= t.size() || !IsPunct(t[j], "{")) continue;  // fwd decl
+    size_t close = MatchForward(t, j);
+    // Enumerator names: identifiers in the body at brace depth 1 that
+    // directly follow `{` or `,`.
+    bool expect_name = true;
+    for (size_t k = j + 1; k < close; ++k) {
+      if (expect_name && IsIdent(t[k])) {
+        e.enumerators.push_back(t[k].text);
+        expect_name = false;
+      } else if (IsPunct(t[k], ",")) {
+        expect_name = true;
+      } else if (IsPunct(t[k], "(") || IsPunct(t[k], "{")) {
+        k = MatchForward(t, k);  // skip initializer expressions
+      }
+    }
+    out.push_back(std::move(e));
+    i = close;
+  }
+  return out;
+}
+
+std::vector<SwitchStmt> FindSwitches(const SourceFile& f) {
+  std::vector<SwitchStmt> out;
+  const auto& t = f.tokens;
+  for (size_t i = 0; i < t.size(); ++i) {
+    if (!IsIdent(t[i]) || t[i].text != "switch") continue;
+    size_t paren = i + 1;
+    if (paren >= t.size() || !IsPunct(t[paren], "(")) continue;
+    size_t close_paren = MatchForward(t, paren);
+    size_t brace = close_paren + 1;
+    if (brace >= t.size() || !IsPunct(t[brace], "{")) continue;
+    size_t close_brace = MatchForward(t, brace);
+    SwitchStmt sw;
+    sw.line = t[i].line;
+    // Walk the body at depth 1; nested switches are scanned by the outer
+    // loop on their own, so skip their braces here.
+    for (size_t k = brace + 1; k < close_brace; ++k) {
+      if (IsIdent(t[k]) && t[k].text == "switch") {
+        // skip nested switch body entirely
+        size_t p = k + 1;
+        if (p < t.size() && IsPunct(t[p], "(")) {
+          size_t cp = MatchForward(t, p);
+          if (cp + 1 < t.size() && IsPunct(t[cp + 1], "{")) {
+            k = MatchForward(t, cp + 1);
+            continue;
+          }
+        }
+      }
+      if (IsIdent(t[k]) && t[k].text == "default" && k + 1 < close_brace &&
+          IsPunct(t[k + 1], ":")) {
+        sw.has_default = true;
+        continue;
+      }
+      if (IsIdent(t[k]) && t[k].text == "case") {
+        // collect the label up to the ':' terminator (skipping a `::`
+        // which is a single token and so does not terminate).
+        std::string label;
+        size_t m = k + 1;
+        for (; m < close_brace; ++m) {
+          if (IsPunct(t[m], ":")) break;
+          label += t[m].text;
+        }
+        sw.case_labels.push_back(label);
+        k = m;
+      }
+    }
+    out.push_back(std::move(sw));
+    // Do NOT advance past the body: nested switches are rescanned as
+    // independent statements (outer loop naturally finds them).
+  }
+  return out;
+}
+
+std::vector<ClassDef> FindClasses(const SourceFile& f) {
+  std::vector<ClassDef> out;
+  const auto& t = f.tokens;
+  for (size_t i = 0; i < t.size(); ++i) {
+    if (!IsIdent(t[i]) ||
+        (t[i].text != "class" && t[i].text != "struct")) {
+      continue;
+    }
+    // "enum class"/"enum struct" handled by FindEnums; skip.
+    if (i > 0 && IsIdent(t[i - 1]) && t[i - 1].text == "enum") continue;
+    size_t j = i + 1;
+    // Skip attribute-ish macros between keyword and name (e.g.
+    // `class CAPABILITY("mutex") Mutex {`).
+    while (j < t.size() && IsIdent(t[j]) && IsAnnotationMacro(t[j].text)) {
+      ++j;
+      if (j < t.size() && IsPunct(t[j], "(")) j = MatchForward(t, j) + 1;
+    }
+    if (j >= t.size() || !IsIdent(t[j])) continue;
+    ClassDef cd;
+    cd.name = t[j].text;
+    cd.line = t[i].line;
+    ++j;
+    // template-id in a specialization: skip <...>
+    if (j < t.size() && IsPunct(t[j], "<")) j = MatchForward(t, j) + 1;
+    if (j < t.size() && IsIdent(t[j]) && t[j].text == "final") ++j;
+    // base clause: skip to '{' or ';'
+    if (j < t.size() && IsPunct(t[j], ":")) {
+      while (j < t.size() && !IsPunct(t[j], "{") && !IsPunct(t[j], ";")) ++j;
+    }
+    if (j >= t.size() || !IsPunct(t[j], "{")) continue;  // fwd decl
+    size_t close = MatchForward(t, j);
+
+    // Scan declarations at depth 1. A "declaration" is the token run
+    // between ; / { boundaries at depth 1.
+    size_t k = j + 1;
+    while (k < close) {
+      // Access specifiers
+      if (IsIdent(t[k]) &&
+          (t[k].text == "public" || t[k].text == "private" ||
+           t[k].text == "protected") &&
+          k + 1 < close && IsPunct(t[k + 1], ":")) {
+        k += 2;
+        continue;
+      }
+      // Collect one declaration's tokens.
+      size_t decl_begin = k;
+      size_t decl_end = k;
+      bool body_block = false;  // ended at '{' (function body / nested type)
+      while (decl_end < close) {
+        const Token& tok = t[decl_end];
+        if (IsPunct(tok, ";")) break;
+        if (IsPunct(tok, "{")) {
+          // Disambiguate brace-init (`Mutex mu_{"name"};`, part of the
+          // member declaration) from a function/nested-type body. A
+          // brace-init directly follows the declarator name or an array
+          // extent; bodies follow ')', 'const', 'override', a ctor init
+          // list, or a type head (class/struct/enum/union first token).
+          const std::string& head = t[decl_begin].text;
+          bool type_head = head == "class" || head == "struct" ||
+                           head == "enum" || head == "union";
+          bool after_name =
+              decl_end > decl_begin &&
+              (IsIdent(t[decl_end - 1]) || IsPunct(t[decl_end - 1], "]") ||
+               IsPunct(t[decl_end - 1], ">")) &&
+              !(IsIdent(t[decl_end - 1]) &&
+                (t[decl_end - 1].text == "const" ||
+                 t[decl_end - 1].text == "override" ||
+                 t[decl_end - 1].text == "final" ||
+                 t[decl_end - 1].text == "noexcept" ||
+                 t[decl_end - 1].text == "try"));
+          if (!type_head && after_name) {
+            size_t m = MatchForward(t, decl_end);
+            if (m >= close) {
+              decl_end = close;
+              break;
+            }
+            decl_end = m + 1;
+            continue;  // brace-init consumed; decl continues (to ';')
+          }
+          body_block = true;
+          break;
+        }
+        if (IsPunct(tok, "<") &&
+            !(decl_end > decl_begin && IsIdent(t[decl_end - 1]) &&
+              t[decl_end - 1].text != "operator")) {
+          // `operator<` or a stray less-than: plain token, not a group.
+          ++decl_end;
+          continue;
+        }
+        if (IsPunct(tok, "(") || IsPunct(tok, "[") || IsPunct(tok, "<")) {
+          size_t m = MatchForward(t, decl_end);
+          if (m >= close) {
+            // `<` used as less-than or unbalanced; treat as plain token.
+            if (tok.text == "<") {
+              ++decl_end;
+              continue;
+            }
+            decl_end = close;
+            break;
+          }
+          decl_end = m + 1;
+          continue;
+        }
+        if (IsPunct(tok, "=")) {
+          // Default member initializer or `= default/delete`; everything
+          // to the ';' belongs to this decl but a brace-init `{...}`
+          // must not look like a body.
+          size_t m = decl_end + 1;
+          int angle = 0;
+          while (m < close) {
+            if (IsPunct(t[m], ";") && angle == 0) break;
+            if (IsPunct(t[m], "(") || IsPunct(t[m], "[") ||
+                IsPunct(t[m], "{")) {
+              m = MatchForward(t, m);
+              if (m >= close) break;
+            }
+            ++m;
+          }
+          (void)angle;
+          decl_end = m;
+          break;
+        }
+        ++decl_end;
+      }
+
+      // Analyze tokens [decl_begin, decl_end).
+      AnalyzeDecl(t, decl_begin, decl_end, body_block, &cd);
+
+      // Advance past the declaration.
+      if (decl_end >= close) break;
+      if (body_block) {
+        size_t b = MatchForward(t, decl_end);
+        k = b + 1;
+        // A nested struct/class with a body may be followed by
+        // `name;` (variable of anonymous-ish type) — consume to ';' if
+        // the next token is an identifier+';' pair... keep simple: also
+        // swallow a trailing ';'.
+        if (k < close && IsPunct(t[k], ";")) ++k;
+      } else {
+        k = decl_end + 1;  // past ';'
+      }
+    }
+
+    for (const auto& m : cd.members) {
+      if (m.is_mutex_like) {
+        cd.owns_mutex = true;
+        break;
+      }
+    }
+    out.push_back(std::move(cd));
+    // Continue scanning from inside? Nested classes are found naturally
+    // because the outer loop iterates every token; but that would
+    // re-enter this body. Simplicity: outer loop continues from i+1 and
+    // the nested `class` keyword will be found again — acceptable, and
+    // it means nested classes are analyzed as their own ClassDef.
+  }
+  return out;
+}
+
+void CollectFallibleNames(const SourceFile& f, std::set<std::string>* out) {
+  const auto& t = f.tokens;
+  for (size_t i = 0; i + 1 < t.size(); ++i) {
+    if (!IsIdent(t[i])) continue;
+    if (t[i].text == "Status") {
+      // Status name(   — possibly ClassName::name
+      size_t j = i + 1;
+      std::string last_ident;
+      while (j < t.size() && (IsIdent(t[j]) || IsPunct(t[j], "::"))) {
+        if (IsIdent(t[j])) last_ident = t[j].text;
+        ++j;
+      }
+      if (!last_ident.empty() && j < t.size() && IsPunct(t[j], "(")) {
+        out->insert(last_ident);
+      }
+    } else if (t[i].text == "Result") {
+      size_t j = i + 1;
+      if (j >= t.size() || !IsPunct(t[j], "<")) continue;
+      size_t close = MatchForward(t, j);
+      if (close >= t.size()) continue;
+      j = close + 1;
+      std::string last_ident;
+      while (j < t.size() && (IsIdent(t[j]) || IsPunct(t[j], "::"))) {
+        if (IsIdent(t[j])) last_ident = t[j].text;
+        ++j;
+      }
+      if (!last_ident.empty() && j < t.size() && IsPunct(t[j], "(")) {
+        out->insert(last_ident);
+      }
+    }
+  }
+}
+
+std::vector<VoidDiscard> FindVoidDiscards(const SourceFile& f) {
+  std::vector<VoidDiscard> out;
+  const auto& t = f.tokens;
+  for (size_t i = 0; i + 3 < t.size(); ++i) {
+    if (!IsPunct(t[i], "(")) continue;
+    if (!IsIdent(t[i + 1]) || t[i + 1].text != "void") continue;
+    if (!IsPunct(t[i + 2], ")")) continue;
+    // The discarded expression: find the first identifier that is
+    // directly called — ident (possibly ::-qualified, possibly after
+    // `obj.` / `obj->`) followed by '('.
+    VoidDiscard d;
+    d.line = t[i].line;
+    size_t j = i + 3;
+    int depth = 0;
+    std::string pending;  // most recent identifier seen
+    for (; j < t.size(); ++j) {
+      const Token& tok = t[j];
+      if (tok.kind == TokKind::kPunct) {
+        if (tok.text == ";" && depth == 0) break;
+        if (tok.text == "(") {
+          if (!pending.empty()) {
+            d.callee = pending;
+            break;
+          }
+          ++depth;
+          continue;
+        }
+        if (tok.text == ")") {
+          if (depth == 0) break;
+          --depth;
+          continue;
+        }
+        if (tok.text == "," && depth == 0) break;
+        // member access / scope tokens keep the chain going; anything
+        // else (operators) resets the pending identifier.
+        if (tok.text != "." && tok.text != "->" && tok.text != "::" &&
+            tok.text != "-" && tok.text != ">") {
+          pending.clear();
+        }
+        continue;
+      }
+      if (IsIdent(tok)) {
+        pending = tok.text;
+        continue;
+      }
+      pending.clear();
+    }
+    if (!d.callee.empty()) out.push_back(std::move(d));
+  }
+  return out;
+}
+
+// ----------------------------------------------------- member analysis
+
+namespace {
+
+// Decides whether the declaration tokens [begin, end) are a data member
+// of `cd`, and if so appends a MemberDecl.
+void AnalyzeDeclTokens(const std::vector<Token>& t, size_t begin, size_t end,
+                       bool body_block, ClassDef* cd) {
+  if (begin >= end) return;
+
+  // Fast rejects: nested types, aliases, friends, statics, macros.
+  const std::string& first = t[begin].text;
+  if (first == "using" || first == "typedef" || first == "friend" ||
+      first == "static" || first == "constexpr" || first == "enum" ||
+      first == "class" || first == "struct" || first == "template" ||
+      first == "public" || first == "private" || first == "protected") {
+    return;
+  }
+  if (body_block) return;  // function definition or nested type body
+
+  // Walk the declaration, splitting into "type tokens" then "declarator".
+  // Heuristic: the member name is the LAST identifier at angle depth 0
+  // that is not inside parens/brackets and is not an annotation macro
+  // argument, scanning up to the first top-level `=`, `[`, or end.
+  bool is_const_top = false;     // const at top level of the declarator
+  bool is_reference = false;     // & or && in declarator position
+  bool has_guard = false;        // GUARDED_BY / PT_GUARDED_BY present
+  bool is_function = false;      // name followed by '(' at top level
+  std::vector<std::string> type_idents;
+  std::string name;
+  int name_pos = -1;
+
+  int angle = 0;
+  size_t i = begin;
+  int last_star_or_amp = -1;  // position of last * or & seen at depth 0
+  while (i < end) {
+    const Token& tok = t[i];
+    if (tok.kind == TokKind::kPunct) {
+      if (tok.text == "<") {
+        ++angle;
+        ++i;
+        continue;
+      }
+      if (tok.text == ">") {
+        if (angle > 0) --angle;
+        ++i;
+        continue;
+      }
+      if (angle > 0) {
+        ++i;
+        continue;
+      }
+      if (tok.text == "=") break;  // initializer — name already seen
+      if (tok.text == "*") {
+        last_star_or_amp = static_cast<int>(i);
+        is_const_top = false;  // const before a '*' is pointee const
+        ++i;
+        continue;
+      }
+      if (tok.text == "&") {
+        is_reference = true;
+        last_star_or_amp = static_cast<int>(i);
+        ++i;
+        continue;
+      }
+      if (tok.text == "(") {
+        // Either a function declaration `name(...)` or an annotation
+        // macro call; the caller pre-skips matched groups, so this is
+        // reached only when begin..end was cut mid-group. Treat as
+        // function if the previous token is the (candidate) name.
+        if (!name.empty() && name_pos == static_cast<int>(i) - 1) {
+          is_function = true;
+        }
+        break;
+      }
+      if (tok.text == "[") break;  // array declarator — name already set
+      ++i;
+      continue;
+    }
+    if (IsIdent(tok)) {
+      if (angle > 0) {
+        ++i;
+        continue;
+      }
+      const std::string& id = tok.text;
+      if (id == "const") {
+        // Top-level unless a later '*' supersedes it (the '*' branch
+        // clears the flag, so `const T* p` ends up non-const while
+        // `T* const p` and `const T x` stay const).
+        is_const_top = true;
+        ++i;
+        continue;
+      }
+      if (id == "mutable" || id == "volatile" || id == "inline" ||
+          id == "explicit" || id == "virtual" || id == "operator") {
+        if (id == "operator") is_function = true;
+        ++i;
+        continue;
+      }
+      if (IsGuardAnnotation(id)) {
+        has_guard = true;
+        // Skip its argument list if present (matched group).
+        if (i + 1 < end && IsPunct(t[i + 1], "(")) {
+          size_t m = MatchForward(t, i + 1);
+          i = (m < end) ? m + 1 : end;
+        } else {
+          ++i;
+        }
+        continue;
+      }
+      if (IsAnnotationMacro(id)) {
+        if (i + 1 < end && IsPunct(t[i + 1], "(")) {
+          size_t m = MatchForward(t, i + 1);
+          i = (m < end) ? m + 1 : end;
+        } else {
+          ++i;
+        }
+        continue;
+      }
+      // Candidate name; previous candidate becomes a type identifier.
+      if (!name.empty()) type_idents.push_back(name);
+      name = id;
+      name_pos = static_cast<int>(i);
+      ++i;
+      continue;
+    }
+    ++i;
+  }
+
+  if (name.empty() || is_function) return;
+  // A lone identifier with no type tokens is not a member (e.g. macro).
+  if (type_idents.empty()) return;
+  // Function declarations: caller-skipped parens right after name.
+  // Detect: the token AFTER the name inside [begin,end) is '(' — but the
+  // scan above breaks on '(' already. Also handle `name() = default`
+  // style: `=` break happened after parens were skipped by caller, in
+  // which case name_pos + 1 token is '('.
+  if (name_pos + 1 < static_cast<int>(end) &&
+      IsPunct(t[name_pos + 1], "(")) {
+    return;  // function declaration
+  }
+
+  MemberDecl m;
+  m.name = name;
+  m.line = t[name_pos].line;
+  m.is_mutex_like =
+      IsMutexType(type_idents) &&
+      last_star_or_amp < 0;  // pointer/ref to mutex is not ownership
+  bool condvar = IsCondVarType(type_idents) && last_star_or_amp < 0;
+  bool atomic = IsAtomicType(type_idents);
+  bool ptr = (last_star_or_amp >= 0) && !is_reference;
+  m.is_safe = has_guard || is_reference || atomic || m.is_mutex_like ||
+              condvar || (is_const_top && !ptr) ||
+              (ptr && is_const_top);  // `T* const` non-reseatable
+  // Plain `const T*` (pointee const, reseatable pointer) is NOT safe;
+  // the is_const_top logic above already distinguishes.
+  cd->members.push_back(std::move(m));
+}
+
+}  // namespace
+
+void AnalyzeDecl(const std::vector<Token>& t, size_t begin, size_t end,
+                 bool body_block, ClassDef* cd) {
+  AnalyzeDeclTokens(t, begin, end, body_block, cd);
+}
+
+}  // namespace staticcheck

@@ -1,0 +1,335 @@
+// Token scanner for the analyzer. One forward pass over the bytes,
+// tracking enough C++ lexical structure to be trustworthy about what is
+// code and what is not: comments (both kinds, with line-spliced //
+// continuations), string and char literals with escapes, raw strings
+// with arbitrary delimiters, and preprocessor directives (captured
+// separately, not tokenized). Block comments do not nest — `/* /* */`
+// ends at the first `*/`, per the language — which is exactly the kind
+// of fact a regex gate gets wrong and a scanner gets right.
+
+#include <cctype>
+
+#include "staticcheck.h"
+
+namespace staticcheck {
+
+namespace {
+
+bool IsIdentStart(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) || c == '_';
+}
+bool IsIdentChar(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+}
+
+// Splits text into physical lines (newline removed).
+std::vector<std::string> SplitLines(const std::string& text) {
+  std::vector<std::string> lines;
+  std::string cur;
+  for (char c : text) {
+    if (c == '\n') {
+      lines.push_back(cur);
+      cur.clear();
+    } else if (c != '\r') {
+      cur += c;
+    }
+  }
+  lines.push_back(cur);
+  return lines;
+}
+
+std::string Trim(const std::string& s) {
+  size_t b = s.find_first_not_of(" \t");
+  if (b == std::string::npos) return "";
+  size_t e = s.find_last_not_of(" \t");
+  return s.substr(b, e - b + 1);
+}
+
+class Lexer {
+ public:
+  explicit Lexer(SourceFile* f) : f_(*f), text_(f->text), n_(f->text.size()) {
+    // code view starts as a copy; comment/string content is blanked as
+    // the scan classifies it.
+    code_ = text_;
+  }
+
+  void Run() {
+    bool at_line_start = true;  // only whitespace seen on this line
+    while (i_ < n_) {
+      char c = text_[i_];
+      if (c == '\n') {
+        ++line_;
+        ++i_;
+        at_line_start = true;
+        continue;
+      }
+      if (c == ' ' || c == '\t' || c == '\r') {
+        ++i_;
+        continue;
+      }
+      if (c == '\\' && Peek(1) == '\n') {  // splice in code
+        Blank(i_, 2);
+        i_ += 2;
+        ++line_;
+        continue;
+      }
+      if (c == '/' && Peek(1) == '/') {
+        LineComment();
+        continue;
+      }
+      if (c == '/' && Peek(1) == '*') {
+        BlockComment();
+        continue;
+      }
+      if (c == '#' && at_line_start) {
+        Directive();
+        at_line_start = true;  // Directive consumed through the newline
+        continue;
+      }
+      at_line_start = false;
+      if (c == '"') {
+        StringLit("");
+        continue;
+      }
+      if (c == '\'') {
+        CharLit();
+        continue;
+      }
+      if (IsIdentStart(c)) {
+        Ident();
+        continue;
+      }
+      if (std::isdigit(static_cast<unsigned char>(c)) ||
+          (c == '.' && std::isdigit(static_cast<unsigned char>(Peek(1))))) {
+        Number();
+        continue;
+      }
+      Punct();
+    }
+    Finish();
+  }
+
+ private:
+  char Peek(size_t off) const { return i_ + off < n_ ? text_[i_ + off] : '\0'; }
+
+  void Blank(size_t from, size_t len) {
+    for (size_t k = from; k < from + len && k < n_; ++k) {
+      if (code_[k] != '\n') code_[k] = ' ';
+    }
+  }
+
+  void Emit(TokKind kind, size_t from, size_t len, int line) {
+    f_.tokens.push_back({kind, text_.substr(from, len), line});
+  }
+
+  // `//...` runs to end of line, but a trailing backslash splices the
+  // next physical line into the comment.
+  void LineComment() {
+    size_t start = i_;
+    i_ += 2;
+    while (i_ < n_) {
+      if (text_[i_] == '\\' &&
+          (Peek(1) == '\n' || (Peek(1) == '\r' && Peek(2) == '\n'))) {
+        i_ += (Peek(1) == '\r') ? 3 : 2;
+        ++line_;
+        continue;
+      }
+      if (text_[i_] == '\n') break;
+      ++i_;
+    }
+    Blank(start, i_ - start);
+  }
+
+  void BlockComment() {
+    size_t start = i_;
+    i_ += 2;
+    while (i_ < n_ && !(text_[i_] == '*' && Peek(1) == '/')) {
+      if (text_[i_] == '\n') ++line_;
+      ++i_;
+    }
+    if (i_ < n_) i_ += 2;  // consume */
+    Blank(start, i_ - start);
+  }
+
+  // Consumes a directive through its (spliced) end of line. The raw text
+  // is recorded; tokens are not emitted. Comments inside the directive
+  // are honored.
+  void Directive() {
+    int start_line = line_;
+    size_t start = i_;
+    ++i_;  // '#'
+    std::string body;
+    while (i_ < n_) {
+      char c = text_[i_];
+      if (c == '\\' && Peek(1) == '\n') {
+        i_ += 2;
+        ++line_;
+        body += ' ';
+        continue;
+      }
+      if (c == '/' && Peek(1) == '/') {
+        LineComment();
+        continue;
+      }
+      if (c == '/' && Peek(1) == '*') {
+        BlockComment();
+        body += ' ';
+        continue;
+      }
+      if (c == '\n') break;
+      body += c;
+      ++i_;
+    }
+    (void)start;
+    std::string t = Trim(body);
+    size_t sp = t.find_first_of(" \t<\"");
+    std::string kind = sp == std::string::npos ? t : t.substr(0, sp);
+    std::string rest = sp == std::string::npos ? "" : Trim(t.substr(sp));
+    f_.directives.push_back({kind, rest, start_line});
+  }
+
+  // `prefix` is the already-consumed encoding prefix for raw strings
+  // ("R", "u8R", ...); empty for a plain literal starting at i_ == '"'.
+  void StringLit(const std::string& prefix) {
+    int start_line = line_;
+    if (!prefix.empty() && prefix.back() == 'R') {
+      RawString(start_line);
+      return;
+    }
+    size_t start = i_;
+    ++i_;  // opening quote
+    while (i_ < n_) {
+      char c = text_[i_];
+      if (c == '\\') {
+        if (Peek(1) == '\n') ++line_;
+        i_ += 2;
+        continue;
+      }
+      if (c == '"') {
+        ++i_;
+        break;
+      }
+      if (c == '\n') ++line_;  // unterminated; tolerate
+      ++i_;
+    }
+    // Blank the contents but keep the quotes' positions as spaces too
+    // (matches the old lint.py strip, whose checks never keyed on them).
+    Blank(start, i_ - start);
+    Emit(TokKind::kString, start, i_ - start, start_line);
+  }
+
+  // R"delim( ... )delim" — i_ is at the opening quote.
+  void RawString(int start_line) {
+    size_t start = i_;
+    ++i_;  // quote
+    std::string delim;
+    while (i_ < n_ && text_[i_] != '(') delim += text_[i_++];
+    if (i_ < n_) ++i_;  // '('
+    const std::string close = ")" + delim + "\"";
+    size_t end = text_.find(close, i_);
+    if (end == std::string::npos) {
+      end = n_;
+    } else {
+      end += close.size();
+    }
+    for (size_t k = i_; k < end; ++k) {
+      if (text_[k] == '\n') ++line_;
+    }
+    i_ = end;
+    Blank(start, i_ - start);
+    Emit(TokKind::kString, start, i_ - start, start_line);
+  }
+
+  void CharLit() {
+    int start_line = line_;
+    size_t start = i_;
+    ++i_;
+    while (i_ < n_) {
+      char c = text_[i_];
+      if (c == '\\') {
+        i_ += 2;
+        continue;
+      }
+      if (c == '\'' || c == '\n') {
+        if (c == '\'') ++i_;
+        break;
+      }
+      ++i_;
+    }
+    Blank(start, i_ - start);
+    Emit(TokKind::kChar, start, i_ - start, start_line);
+  }
+
+  void Ident() {
+    size_t start = i_;
+    while (i_ < n_ && IsIdentChar(text_[i_])) ++i_;
+    // Raw/encoded string literal prefix glued to a quote: R"(, u8R"(, ...
+    std::string id = text_.substr(start, i_ - start);
+    if (i_ < n_ && text_[i_] == '"' &&
+        (id == "R" || id == "u8R" || id == "uR" || id == "UR" || id == "LR")) {
+      StringLit(id);
+      return;
+    }
+    if (i_ < n_ && text_[i_] == '"' &&
+        (id == "u8" || id == "u" || id == "U" || id == "L")) {
+      StringLit(id);
+      return;
+    }
+    Emit(TokKind::kIdent, start, i_ - start, line_);
+  }
+
+  void Number() {
+    size_t start = i_;
+    while (i_ < n_) {
+      char c = text_[i_];
+      if (IsIdentChar(c) || c == '.' || c == '\'') {
+        ++i_;
+        continue;
+      }
+      // exponent sign: 1e+5, 0x1p-3
+      if ((c == '+' || c == '-') && i_ > start) {
+        char prev = text_[i_ - 1];
+        if (prev == 'e' || prev == 'E' || prev == 'p' || prev == 'P') {
+          ++i_;
+          continue;
+        }
+      }
+      break;
+    }
+    Emit(TokKind::kNumber, start, i_ - start, line_);
+  }
+
+  void Punct() {
+    // `::` is the one multi-char punctuator the passes key on (qualified
+    // case labels, std::mutex); everything else is emitted char-by-char.
+    if (text_[i_] == ':' && Peek(1) == ':') {
+      Emit(TokKind::kPunct, i_, 2, line_);
+      i_ += 2;
+      return;
+    }
+    Emit(TokKind::kPunct, i_, 1, line_);
+    ++i_;
+  }
+
+  void Finish() {
+    f_.raw_lines = SplitLines(text_);
+    f_.code_lines = SplitLines(code_);
+  }
+
+  SourceFile& f_;
+  const std::string& text_;
+  const size_t n_;
+  std::string code_;
+  size_t i_ = 0;
+  int line_ = 1;
+};
+
+}  // namespace
+
+void Lex(SourceFile* f) {
+  f->tokens.clear();
+  f->directives.clear();
+  Lexer(f).Run();
+}
+
+}  // namespace staticcheck

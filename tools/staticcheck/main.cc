@@ -1,0 +1,165 @@
+// CLI for the analyzer. Walks --root's src/ and tests/ trees, lexes
+// everything once, runs every pass, and prints diagnostics. Exit 0 when
+// clean, 1 when violations survive NOLINT + baseline filtering, 2 on
+// usage/IO errors.
+//
+//   staticcheck --root .
+//       --manifest tools/staticcheck/layering.manifest
+//       --protocol tools/staticcheck/protocol.manifest
+//       --baseline tools/staticcheck/baseline
+//       [--sarif out.sarif] [paths...]
+//
+// With explicit [paths...] only those files are scanned (useful for the
+// fixture-driven regression tests); cross-file checks then see only the
+// given set.
+
+#include <algorithm>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+
+#include "staticcheck.h"
+
+namespace fs = std::filesystem;
+
+namespace {
+
+bool ReadFile(const fs::path& p, std::string* out) {
+  std::ifstream in(p, std::ios::binary);
+  if (!in) return false;
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  *out = ss.str();
+  return true;
+}
+
+bool HasSuffix(const std::string& s, const char* suf) {
+  std::string t(suf);
+  return s.size() >= t.size() &&
+         s.compare(s.size() - t.size(), t.size(), t) == 0;
+}
+
+// Path relative to root with '/' separators.
+std::string RelPath(const fs::path& root, const fs::path& p) {
+  std::string rel = fs::relative(p, root).generic_string();
+  return rel;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string root = ".";
+  std::string manifest_path, protocol_path, baseline_path, sarif_path;
+  std::vector<std::string> explicit_paths;
+
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    auto need = [&](const char* flag) -> const char* {
+      if (i + 1 >= argc) {
+        std::cerr << "staticcheck: " << flag << " needs a value\n";
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (arg == "--root") {
+      root = need("--root");
+    } else if (arg == "--manifest") {
+      manifest_path = need("--manifest");
+    } else if (arg == "--protocol") {
+      protocol_path = need("--protocol");
+    } else if (arg == "--baseline") {
+      baseline_path = need("--baseline");
+    } else if (arg == "--sarif") {
+      sarif_path = need("--sarif");
+    } else if (arg == "--help" || arg == "-h") {
+      std::cout << "usage: staticcheck --root DIR [--manifest F] "
+                   "[--protocol F] [--baseline F] [--sarif OUT] [paths...]\n";
+      return 0;
+    } else if (!arg.empty() && arg[0] == '-') {
+      std::cerr << "staticcheck: unknown flag " << arg << "\n";
+      return 2;
+    } else {
+      explicit_paths.push_back(arg);
+    }
+  }
+
+  fs::path root_path = fs::absolute(root);
+  staticcheck::Analysis analysis;
+
+  auto load_config = [&](const std::string& path, std::string* dst,
+                         const char* what) {
+    if (path.empty()) return true;
+    if (!ReadFile(path, dst)) {
+      std::cerr << "staticcheck: cannot read " << what << " " << path
+                << "\n";
+      return false;
+    }
+    return true;
+  };
+  if (!load_config(manifest_path, &analysis.config.layering_manifest,
+                   "layering manifest") ||
+      !load_config(protocol_path, &analysis.config.protocol_manifest,
+                   "protocol manifest") ||
+      !load_config(baseline_path, &analysis.config.baseline, "baseline")) {
+    return 2;
+  }
+
+  // Gather inputs.
+  std::vector<fs::path> inputs;
+  if (!explicit_paths.empty()) {
+    for (const auto& p : explicit_paths) inputs.emplace_back(p);
+  } else {
+    for (const char* sub : {"src", "tests"}) {
+      fs::path dir = root_path / sub;
+      std::error_code ec;
+      if (!fs::is_directory(dir, ec)) continue;
+      for (auto it = fs::recursive_directory_iterator(dir, ec);
+           it != fs::recursive_directory_iterator(); ++it) {
+        if (!it->is_regular_file()) continue;
+        std::string name = it->path().filename().string();
+        if (HasSuffix(name, ".h") || HasSuffix(name, ".cc")) {
+          inputs.push_back(it->path());
+        }
+      }
+    }
+    std::sort(inputs.begin(), inputs.end());
+  }
+
+  for (const auto& p : inputs) {
+    staticcheck::SourceFile f;
+    f.path = explicit_paths.empty()
+                 ? RelPath(root_path, p)
+                 : RelPath(root_path, fs::absolute(p));
+    if (!ReadFile(p, &f.text)) {
+      std::cerr << "staticcheck: cannot read " << p << "\n";
+      return 2;
+    }
+    staticcheck::Lex(&f);
+    analysis.files.push_back(std::move(f));
+  }
+
+  size_t n = staticcheck::RunAnalysis(&analysis);
+
+  if (!sarif_path.empty()) {
+    std::ofstream out(sarif_path, std::ios::binary);
+    if (!out) {
+      std::cerr << "staticcheck: cannot write " << sarif_path << "\n";
+      return 2;
+    }
+    out << staticcheck::ToSarif(analysis);
+  }
+
+  for (const auto& note : analysis.notes) {
+    std::cerr << "staticcheck: note: " << note << "\n";
+  }
+  if (n > 0) {
+    std::cout << staticcheck::ToText(analysis);
+    std::cout << "staticcheck: " << n << " problem(s) in "
+              << analysis.files.size() << " files\n";
+    return 1;
+  }
+  std::cout << "staticcheck: OK (" << analysis.files.size() << " files)\n";
+  return 0;
+}

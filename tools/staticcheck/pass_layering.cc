@@ -1,0 +1,178 @@
+// Layering pass: builds the #include DAG over src/<module>/ directories
+// and checks every edge against tools/staticcheck/layering.manifest.
+// Two failure modes, both fatal: an edge not declared in the manifest
+// (back-edge / undeclared dependency), and a cycle among modules even if
+// each individual edge were somehow declared (the manifest loader also
+// rejects manifests whose declared edges are cyclic, so the gate cannot
+// be talked into approving a cycle).
+
+#include <algorithm>
+#include <functional>
+#include <sstream>
+
+#include "staticcheck.h"
+
+namespace staticcheck {
+
+namespace {
+
+// "src/net/rpc.h" -> "net"; returns "" for non-module paths.
+std::string ModuleOf(const std::string& path) {
+  if (path.rfind("src/", 0) != 0) return "";
+  size_t slash = path.find('/', 4);
+  if (slash == std::string::npos) return "";
+  return path.substr(4, slash - 4);
+}
+
+// Include target for quoted/system includes that point into src/:
+// `"net/rpc.h"` or `"src/net/rpc.h"` -> "net".
+std::string ModuleOfInclude(const std::string& rest) {
+  // rest looks like "net/rpc.h" or <vector> (delimiters included).
+  if (rest.size() < 2) return "";
+  char open = rest[0];
+  if (open != '"' && open != '<') return "";
+  std::string inner = rest.substr(1, rest.find_first_of("\">", 1) - 1);
+  if (inner.rfind("src/", 0) == 0) inner = inner.substr(4);
+  size_t slash = inner.find('/');
+  if (slash == std::string::npos) return "";
+  return inner.substr(0, slash);
+}
+
+struct Manifest {
+  // module -> allowed direct dependencies
+  std::map<std::string, std::set<std::string>> allowed;
+  std::vector<std::string> errors;
+};
+
+Manifest ParseManifest(const std::string& text) {
+  Manifest m;
+  std::istringstream in(text);
+  std::string line;
+  int lineno = 0;
+  while (std::getline(in, line)) {
+    ++lineno;
+    size_t hash = line.find('#');
+    if (hash != std::string::npos) line = line.substr(0, hash);
+    std::istringstream ls(line);
+    std::string head;
+    if (!(ls >> head)) continue;
+    if (head.back() != ':') {
+      m.errors.push_back("layering.manifest line " + std::to_string(lineno) +
+                         ": expected 'module:'; got '" + head + "'");
+      continue;
+    }
+    head.pop_back();
+    auto& deps = m.allowed[head];  // creates entry even with no deps
+    std::string dep;
+    while (ls >> dep) deps.insert(dep);
+  }
+  return m;
+}
+
+// Detects a cycle among `edges` (module -> deps); returns a readable
+// cycle path or "" if acyclic.
+std::string FindCycle(const std::map<std::string, std::set<std::string>>& e) {
+  std::map<std::string, int> state;  // 0 new, 1 in-stack, 2 done
+  std::vector<std::string> stack;
+  std::string cycle;
+  std::function<bool(const std::string&)> dfs = [&](const std::string& n) {
+    state[n] = 1;
+    stack.push_back(n);
+    auto it = e.find(n);
+    if (it != e.end()) {
+      for (const auto& d : it->second) {
+        if (d == n) continue;  // self-edge is meaningless here
+        int s = state.count(d) ? state[d] : 0;
+        if (s == 1) {
+          // found a back edge; render stack from d onward
+          auto pos = std::find(stack.begin(), stack.end(), d);
+          std::ostringstream os;
+          for (auto p = pos; p != stack.end(); ++p) os << *p << " -> ";
+          os << d;
+          cycle = os.str();
+          return true;
+        }
+        if (s == 0 && dfs(d)) return true;
+      }
+    }
+    stack.pop_back();
+    state[n] = 2;
+    return false;
+  };
+  for (const auto& kv : e) {
+    if ((state.count(kv.first) ? state[kv.first] : 0) == 0 && dfs(kv.first)) {
+      break;
+    }
+  }
+  return cycle;
+}
+
+}  // namespace
+
+void RunLayeringPass(const Analysis& a, std::vector<Diagnostic>* out) {
+  Manifest manifest = ParseManifest(a.config.layering_manifest);
+  for (const auto& err : manifest.errors) {
+    out->push_back({"tools/staticcheck/layering.manifest", 1, "layering", err});
+  }
+
+  // The manifest itself must describe a DAG; otherwise someone could
+  // "fix" a cycle report by declaring both directions.
+  std::string manifest_cycle = FindCycle(manifest.allowed);
+  if (!manifest_cycle.empty()) {
+    out->push_back({"tools/staticcheck/layering.manifest", 1, "layering",
+                    "manifest declares a dependency cycle: " +
+                        manifest_cycle});
+  }
+
+  // Observed edges with a representative (path, line) witness per edge.
+  std::map<std::string, std::set<std::string>> observed;
+  struct Witness {
+    std::string path;
+    int line;
+    std::string target;
+  };
+  std::map<std::string, std::map<std::string, Witness>> witness;
+
+  for (const auto& f : a.files) {
+    std::string from = ModuleOf(f.path);
+    if (from.empty()) continue;
+    for (const auto& d : f.directives) {
+      if (d.kind != "include") continue;
+      std::string to = ModuleOfInclude(d.rest);
+      if (to.empty() || to == from) continue;
+      // Only modules named in the manifest participate; unknown include
+      // roots (e.g. <vector>, gtest) are not module edges.
+      if (!manifest.allowed.count(to)) continue;
+      observed[from].insert(to);
+      if (!witness[from].count(to)) {
+        witness[from][to] = {f.path, d.line, d.rest};
+      }
+      if (!manifest.allowed.count(from)) {
+        out->push_back({f.path, d.line, "layering",
+                        "module '" + from +
+                            "' is not declared in layering.manifest"});
+        continue;
+      }
+      if (!manifest.allowed.at(from).count(to)) {
+        out->push_back({f.path, d.line, "layering",
+                        "undeclared layering edge " + from + " -> " + to +
+                            " (include " + d.rest +
+                            "); declare it in "
+                            "tools/staticcheck/layering.manifest or break "
+                            "the dependency"});
+      }
+    }
+  }
+
+  // Cycle check on the observed graph (covers the case where each edge
+  // is individually declared but the combination is cyclic — only
+  // possible if the manifest check above also fired, but report the
+  // concrete include chain too).
+  std::string cyc = FindCycle(observed);
+  if (!cyc.empty() && manifest_cycle.empty()) {
+    out->push_back({"src", 1, "layering",
+                    "include cycle among modules: " + cyc});
+  }
+}
+
+}  // namespace staticcheck

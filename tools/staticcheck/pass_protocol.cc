@@ -1,0 +1,240 @@
+// Protocol-drift pass: wire enums evolve append-only, and every place
+// that dispatches on one must grow a case in the same commit that grows
+// the enum. -Wswitch already catches the no-default case; this pass
+// additionally (a) refuses `default:` arms that swallow known
+// enumerators in switches over tracked enums, and (b) checks declared
+// dispatch tables (registration-style call sites, which -Wswitch cannot
+// see) for full coverage.
+//
+// tools/staticcheck/protocol.manifest grammar, one entry per line:
+//   enum <Name>
+//       track switches whose case labels reference <Name>::
+//   dispatch <Enum> <path> <callee> [except <member>...]
+//       in file <path>, calls `<callee>(... <Enum>::<member> ...)` must
+//       collectively cover every enumerator of <Enum> except the listed
+//       exemptions (each exemption is a reviewed decision, visible in
+//       the manifest diff).
+
+#include <sstream>
+
+#include "staticcheck.h"
+
+namespace staticcheck {
+
+namespace {
+
+struct DispatchRule {
+  std::string enum_name;
+  std::string path;
+  std::string callee;
+  std::set<std::string> except;
+  int manifest_line;
+};
+
+struct ProtocolManifest {
+  std::set<std::string> tracked_enums;
+  std::vector<DispatchRule> dispatches;
+  std::vector<std::string> errors;
+};
+
+ProtocolManifest ParseProtocolManifest(const std::string& text) {
+  ProtocolManifest m;
+  std::istringstream in(text);
+  std::string line;
+  int lineno = 0;
+  while (std::getline(in, line)) {
+    ++lineno;
+    size_t hash = line.find('#');
+    if (hash != std::string::npos) line = line.substr(0, hash);
+    std::istringstream ls(line);
+    std::string kw;
+    if (!(ls >> kw)) continue;
+    if (kw == "enum") {
+      std::string name;
+      if (ls >> name) {
+        m.tracked_enums.insert(name);
+      } else {
+        m.errors.push_back("protocol.manifest line " +
+                           std::to_string(lineno) + ": 'enum' needs a name");
+      }
+    } else if (kw == "dispatch") {
+      DispatchRule r;
+      r.manifest_line = lineno;
+      std::string word;
+      if (!(ls >> r.enum_name >> r.path >> r.callee)) {
+        m.errors.push_back("protocol.manifest line " +
+                           std::to_string(lineno) +
+                           ": dispatch needs <Enum> <path> <callee>");
+        continue;
+      }
+      if (ls >> word) {
+        if (word != "except") {
+          m.errors.push_back("protocol.manifest line " +
+                             std::to_string(lineno) + ": expected 'except'");
+          continue;
+        }
+        while (ls >> word) r.except.insert(word);
+      }
+      m.dispatches.push_back(std::move(r));
+    } else {
+      m.errors.push_back("protocol.manifest line " + std::to_string(lineno) +
+                         ": unknown keyword '" + kw + "'");
+    }
+  }
+  return m;
+}
+
+// "net::MessageType::kAck" / "MessageType::kAck" -> {"MessageType","kAck"};
+// unqualified labels -> {"", label}.
+std::pair<std::string, std::string> SplitLabel(const std::string& label) {
+  size_t last = label.rfind("::");
+  if (last == std::string::npos) return {"", label};
+  std::string member = label.substr(last + 2);
+  std::string qual = label.substr(0, last);
+  size_t prev = qual.rfind("::");
+  std::string enum_name =
+      prev == std::string::npos ? qual : qual.substr(prev + 2);
+  return {enum_name, member};
+}
+
+}  // namespace
+
+void RunProtocolDriftPass(const Analysis& a, std::vector<Diagnostic>* out) {
+  ProtocolManifest manifest =
+      ParseProtocolManifest(a.config.protocol_manifest);
+  for (const auto& err : manifest.errors) {
+    out->push_back(
+        {"tools/staticcheck/protocol.manifest", 1, "protocol-drift", err});
+  }
+
+  // Collect tracked enum definitions across all files.
+  std::map<std::string, EnumDef> enums;
+  for (const auto& f : a.files) {
+    for (auto& e : FindEnums(f)) {
+      if (!manifest.tracked_enums.count(e.name)) continue;
+      if (enums.count(e.name)) {
+        out->push_back({e.path, e.line, "protocol-drift",
+                        "tracked enum '" + e.name +
+                            "' defined in multiple files (also " +
+                            enums[e.name].path + ")"});
+        continue;
+      }
+      enums.emplace(e.name, std::move(e));
+    }
+  }
+  for (const auto& name : manifest.tracked_enums) {
+    if (!enums.count(name)) {
+      out->push_back({"tools/staticcheck/protocol.manifest", 1,
+                      "protocol-drift",
+                      "tracked enum '" + name + "' not found in the tree"});
+    }
+  }
+
+  // Switch coverage: any switch with >=1 case label naming a tracked
+  // enum must name every enumerator, and must not carry `default:` —
+  // a default over a tracked wire enum is exactly the hole this pass
+  // exists to close (untrusted-byte decoding validates BEFORE the cast
+  // instead; see DecodeValue). Intentional subsets use NOLINT.
+  for (const auto& f : a.files) {
+    for (const auto& sw : FindSwitches(f)) {
+      std::map<std::string, std::set<std::string>> by_enum;
+      for (const auto& label : sw.case_labels) {
+        auto [enum_name, member] = SplitLabel(label);
+        if (enum_name.empty() || !enums.count(enum_name)) continue;
+        by_enum[enum_name].insert(member);
+      }
+      for (const auto& [enum_name, covered] : by_enum) {
+        const EnumDef& e = enums.at(enum_name);
+        std::string missing;
+        for (const auto& en : e.enumerators) {
+          if (!covered.count(en)) {
+            if (!missing.empty()) missing += ", ";
+            missing += en;
+          }
+        }
+        if (!missing.empty()) {
+          out->push_back(
+              {f.path, sw.line, "protocol-drift",
+               "switch over " + enum_name + " misses enumerator(s): " +
+                   missing +
+                   (sw.has_default
+                        ? " (hidden by a default: arm)"
+                        : "") +
+                   "; add explicit cases or NOLINT(protocol-drift)"});
+        } else if (sw.has_default) {
+          out->push_back(
+              {f.path, sw.line, "protocol-drift",
+               "switch over " + enum_name +
+                   " has a default: arm that would silently swallow the "
+                   "next enumerator; handle out-of-range input before the "
+                   "cast and drop the default"});
+        }
+      }
+    }
+  }
+
+  // Dispatch-table coverage: `callee(... Enum::kMember ...)` call sites.
+  for (const auto& rule : manifest.dispatches) {
+    if (!enums.count(rule.enum_name)) continue;  // reported above
+    const EnumDef& e = enums.at(rule.enum_name);
+    for (const auto& ex : rule.except) {
+      bool known = false;
+      for (const auto& en : e.enumerators) known = known || en == ex;
+      if (!known) {
+        out->push_back({"tools/staticcheck/protocol.manifest",
+                        rule.manifest_line, "protocol-drift",
+                        "dispatch exemption '" + ex +
+                            "' is not an enumerator of " + rule.enum_name +
+                            " (stale manifest?)"});
+      }
+    }
+    const SourceFile* file = nullptr;
+    for (const auto& f : a.files) {
+      if (f.path == rule.path) {
+        file = &f;
+        break;
+      }
+    }
+    if (!file) {
+      out->push_back({"tools/staticcheck/protocol.manifest",
+                      rule.manifest_line, "protocol-drift",
+                      "dispatch file '" + rule.path + "' not found"});
+      continue;
+    }
+    // Scan tokens for callee( ... Enum :: kMember ... ) registrations.
+    std::set<std::string> registered;
+    const auto& t = file->tokens;
+    int first_line = 1;
+    for (size_t i = 0; i + 1 < t.size(); ++i) {
+      if (t[i].kind != TokKind::kIdent || t[i].text != rule.callee) continue;
+      if (t[i + 1].kind != TokKind::kPunct || t[i + 1].text != "(") continue;
+      if (first_line == 1) first_line = t[i].line;
+      // look for Enum :: member within the argument list
+      int depth = 0;
+      for (size_t j = i + 1; j < t.size(); ++j) {
+        if (t[j].kind == TokKind::kPunct) {
+          if (t[j].text == "(") ++depth;
+          if (t[j].text == ")" && --depth == 0) break;
+        }
+        if (t[j].kind == TokKind::kIdent && t[j].text == rule.enum_name &&
+            j + 2 < t.size() && t[j + 1].kind == TokKind::kPunct &&
+            t[j + 1].text == "::" && t[j + 2].kind == TokKind::kIdent) {
+          registered.insert(t[j + 2].text);
+        }
+      }
+    }
+    for (const auto& en : e.enumerators) {
+      if (rule.except.count(en)) continue;
+      if (!registered.count(en)) {
+        out->push_back(
+            {rule.path, first_line, "protocol-drift",
+             "dispatch table '" + rule.callee + "' does not register " +
+                 rule.enum_name + "::" + en +
+                 "; add a handler or an 'except' entry in "
+                 "tools/staticcheck/protocol.manifest"});
+      }
+    }
+  }
+}
+
+}  // namespace staticcheck

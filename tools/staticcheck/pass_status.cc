@@ -1,0 +1,46 @@
+// Status-flow pass: the error model is [[nodiscard]] Status/Result, and
+// the compiler enforces plain discards — but `(void)expr` defeats
+// [[nodiscard]] by design, and that escape hatch needs a paper trail.
+// Any `(void)call(...)` whose callee returns Status or Result ANYWHERE
+// in the tree must carry a same-line `// status-ignored: <why>` tag.
+//
+// Callee resolution is name-based (no overload resolution): the set of
+// fallible names is the union of every `Status name(...)` and
+// `Result<...> name(...)` declaration across all scanned files, so a
+// discard in one file is caught even when the callee lives in another —
+// the cross-file property regex lint could not provide.
+
+#include "staticcheck.h"
+
+namespace staticcheck {
+
+void RunStatusFlowPass(const Analysis& a, std::vector<Diagnostic>* out) {
+  std::set<std::string> fallible;
+  for (const auto& f : a.files) CollectFallibleNames(f, &fallible);
+
+  for (const auto& f : a.files) {
+    for (const auto& d : FindVoidDiscards(f)) {
+      if (!fallible.count(d.callee)) continue;
+      // Same-line waiver: `// status-ignored: <reason>` in the raw text.
+      const std::string& raw = (d.line >= 1 &&
+                                d.line <= static_cast<int>(f.raw_lines.size()))
+                                   ? f.raw_lines[d.line - 1]
+                                   : std::string();
+      size_t tag = raw.find("status-ignored:");
+      bool justified = false;
+      if (tag != std::string::npos) {
+        // Require a non-empty reason after the colon.
+        std::string why = raw.substr(tag + 15);
+        justified = why.find_first_not_of(" \t") != std::string::npos;
+      }
+      if (justified) continue;
+      out->push_back(
+          {f.path, d.line, "status-flow",
+           "(void)-discarded call to fallible '" + d.callee +
+               "' needs a same-line `// status-ignored: <why>` tag (or "
+               "handle the Status)"});
+    }
+  }
+}
+
+}  // namespace staticcheck
