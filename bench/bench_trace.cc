@@ -1,0 +1,114 @@
+// Observability cost curves (EXP-OBS, DESIGN.md §12): what the flight
+// recorder charges per event (enabled, disabled via the kill switch),
+// and the premium `explain analyze` pays for distributed tracing — the
+// same grid aggregate run untraced vs traced-and-stitched. Run
+//
+//   ./build/bench/bench_trace --benchmark_out=BENCH_trace.json
+//       --benchmark_out_format=json
+//
+// The recorder targets single-digit ns disabled and tens of ns enabled
+// (one relaxed fetch_add + five stores); the analyze premium is per
+// *operation* (one extra TraceGet RPC per node plus span bookkeeping),
+// so it amortizes over the shard work the operation fans out.
+#include <benchmark/benchmark.h>
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "common/flight_recorder.h"
+#include "common/logging.h"
+#include "common/rng.h"
+#include "common/trace.h"
+#include "exec/operators.h"
+#include "grid/cluster.h"
+#include "grid/partitioner.h"
+
+namespace scidb {
+namespace {
+
+// ---- flight recorder: per-event cost -------------------------------------
+
+void BM_FlightRecord(benchmark::State& state) {
+  const bool enabled = state.range(0) != 0;
+  FlightRecorder::set_enabled(enabled);
+  FlightRecorder& rec = FlightRecorder::Instance();
+  uint64_t i = 0;
+  for (auto _ : state) {
+    rec.Record(FlightEventKind::kMark, /*node=*/0, i++, 42);
+  }
+  FlightRecorder::set_enabled(true);
+  state.SetItemsProcessed(state.iterations());
+  state.SetLabel(enabled ? "enabled" : "disabled");
+}
+BENCHMARK(BM_FlightRecord)->Arg(1)->Arg(0);
+
+// RecordAt is the variant the RPC layer uses (caller-supplied clock);
+// measured separately so the steady_clock read in Record is visible.
+void BM_FlightRecordAt(benchmark::State& state) {
+  FlightRecorder& rec = FlightRecorder::Instance();
+  uint64_t i = 0;
+  for (auto _ : state) {
+    rec.RecordAt(i, FlightEventKind::kMark, /*node=*/0, i, 42);
+    ++i;
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_FlightRecordAt);
+
+void BM_FlightDump(benchmark::State& state) {
+  FlightRecorder& rec = FlightRecorder::Instance();
+  rec.Clear();
+  for (uint64_t i = 0; i < FlightRecorder::kRingSize; ++i) {
+    rec.RecordAt(i, FlightEventKind::kMark, 0, i, 0);
+  }
+  for (auto _ : state) {
+    std::vector<FlightEvent> events = rec.Dump();
+    benchmark::DoNotOptimize(events);
+  }
+  rec.Clear();
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(FlightRecorder::kRingSize));
+}
+BENCHMARK(BM_FlightDump);
+
+// ---- explain analyze premium on a distributed aggregate -------------------
+
+ArraySchema Sky(int64_t n, int64_t chunk) {
+  return ArraySchema("sky", {{"ra", 1, n, chunk}, {"dec", 1, n, chunk}},
+                     {{"flux", DataType::kDouble, true, false}});
+}
+
+void BM_GridAggregate(benchmark::State& state) {
+  const bool traced = state.range(0) != 0;
+  const int64_t n = 64;
+  MemArray src(Sky(n, 8));
+  Rng rng(7);
+  for (int64_t i = 1; i <= n; ++i) {
+    for (int64_t j = 1; j <= n; ++j) {
+      SCIDB_CHECK(src.SetCell({i, j}, Value(rng.NextDouble())).ok());
+    }
+  }
+  auto part = std::make_shared<FixedGridPartitioner>(
+      Box({1, 1}, {n, n}), std::vector<int64_t>{2, 2});
+  DistributedArray d(Sky(n, 8), part);
+  SCIDB_CHECK(d.Load(src, 0).ok());
+
+  FunctionRegistry fns;
+  AggregateRegistry aggs;
+  ExecContext ctx{&fns, &aggs, true, nullptr};
+  for (auto _ : state) {
+    QueryTrace trace;
+    if (traced) d.set_trace_node(&trace.root);
+    Result<MemArray> r = d.ParallelAggregate(ctx, {}, "sum", "flux");
+    d.set_trace_node(nullptr);
+    SCIDB_CHECK(r.ok());
+    benchmark::DoNotOptimize(r.value());
+  }
+  state.SetItemsProcessed(state.iterations());
+  state.SetLabel(traced ? "traced+stitched" : "untraced");
+}
+BENCHMARK(BM_GridAggregate)->Arg(0)->Arg(1)->Unit(benchmark::kMicrosecond);
+
+}  // namespace
+}  // namespace scidb

@@ -67,6 +67,20 @@ void CheckPayload(const scidb::net::Frame& frame) {
       }
       break;
     }
+    case MessageType::kMetricsGet: {
+      auto m = scidb::net::MetricsGetRequest::Decode(frame.payload);
+      if (m.ok() && m.value().EncodePayload() != frame.payload) {
+        Fail("MetricsGetRequest decode/encode is not a fixed point");
+      }
+      break;
+    }
+    case MessageType::kTraceGet: {
+      auto m = scidb::net::TraceGetRequest::Decode(frame.payload);
+      if (m.ok() && m.value().EncodePayload() != frame.payload) {
+        Fail("TraceGetRequest decode/encode is not a fixed point");
+      }
+      break;
+    }
     case MessageType::kError: {
       scidb::Status transported;
       (void)scidb::net::DecodeErrorPayload(frame.payload, &transported);

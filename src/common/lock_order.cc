@@ -4,6 +4,8 @@
 #include <cstdlib>
 #include <vector>
 
+#include "common/flight_recorder.h"
+
 namespace scidb {
 
 uint64_t LockOrderGraph::AddNode(const char* name) {
@@ -109,6 +111,11 @@ void PreAcquire(uint64_t id) {
     if (!cycle.empty()) {
       std::fprintf(stderr, "scidb lock-order detector: %s\n", cycle.c_str());
       std::fflush(stderr);
+      // Dump the flight-recorder timeline before dying: the sequence of
+      // RPC/fault/cache events leading up to the inversion is usually the
+      // diagnosis (DESIGN.md §12). FlightRecorder is lock-free, so this
+      // cannot re-enter the detector.
+      FlightRecorder::Instance().DumpToStderr();
       std::abort();
     }
   }

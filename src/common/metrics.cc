@@ -87,6 +87,9 @@ MetricsSnapshot Metrics::Snapshot() const {
     e.kind = MetricsSnapshot::Kind::kHistogram;
     e.count = h->count();
     e.sum = h->sum();
+    e.p50 = h->Percentile(50);
+    e.p90 = h->Percentile(90);
+    e.p99 = h->Percentile(99);
     for (int i = 0; i < Histogram::kNumBuckets; ++i) {
       int64_t n = h->bucket_count(i);
       if (n != 0) e.buckets.push_back({Histogram::BucketLowerBound(i), n});
@@ -171,6 +174,7 @@ std::string SnapshotToText(const MetricsSnapshot& snap) {
                                 static_cast<double>(e.count)
                           : 0.0;
         out << " mean=" << mean;
+        out << " p50=" << e.p50 << " p90=" << e.p90 << " p99=" << e.p99;
         for (const auto& [low, n] : e.buckets) {
           out << " ge" << low << ":" << n;
         }
@@ -196,6 +200,9 @@ std::string SnapshotToJson(const MetricsSnapshot& snap) {
     if (e.kind == MetricsSnapshot::Kind::kHistogram) {
       out += ",\"count\":" + std::to_string(e.count);
       out += ",\"sum\":" + std::to_string(e.sum);
+      out += ",\"p50\":" + std::to_string(e.p50);
+      out += ",\"p90\":" + std::to_string(e.p90);
+      out += ",\"p99\":" + std::to_string(e.p99);
       out += ",\"buckets\":[";
       bool bfirst = true;
       for (const auto& [low, n] : e.buckets) {
@@ -344,6 +351,12 @@ Result<MetricsSnapshot::Entry> ParseEntry(JsonCursor* c) {
       ASSIGN_OR_RETURN(e.count, c->ParseInt());
     } else if (key == "sum") {
       ASSIGN_OR_RETURN(e.sum, c->ParseInt());
+    } else if (key == "p50") {
+      ASSIGN_OR_RETURN(e.p50, c->ParseInt());
+    } else if (key == "p90") {
+      ASSIGN_OR_RETURN(e.p90, c->ParseInt());
+    } else if (key == "p99") {
+      ASSIGN_OR_RETURN(e.p99, c->ParseInt());
     } else if (key == "buckets") {
       RETURN_NOT_OK(c->Expect('['));
       bool bfirst = true;

@@ -140,6 +140,12 @@ struct MetricsSnapshot {
     int64_t value = 0;           // counter / gauge
     int64_t count = 0;           // histogram
     int64_t sum = 0;             // histogram
+    // Histogram quantiles (Histogram::Percentile at snapshot time):
+    // lower bound of the bucket holding the ranked sample, so exact-value
+    // tests on seeded distributions are meaningful (DESIGN.md §12).
+    int64_t p50 = 0;
+    int64_t p90 = 0;
+    int64_t p99 = 0;
     // Non-empty histogram buckets as {lower_bound, count} pairs.
     std::vector<std::pair<int64_t, int64_t>> buckets;
   };

@@ -1,11 +1,55 @@
 #include "common/trace.h"
 
+#include <atomic>
 #include <chrono>
 #include <cmath>
 #include <cstdio>
 #include <sstream>
 
 namespace scidb {
+
+uint64_t NextTraceId() {
+  static std::atomic<uint64_t> next{1};
+  return next.fetch_add(1, std::memory_order_relaxed);  // relaxed-ok: unique-id counter, no ordering needed
+}
+
+uint64_t NextSpanId() {
+  static std::atomic<uint64_t> next{1};
+  return next.fetch_add(1, std::memory_order_relaxed);  // relaxed-ok: unique-id counter, no ordering needed
+}
+
+void SpanStore::Add(SpanRecord span) {
+  MutexLock lock(mu_);
+  if (spans_.size() >= max_spans_) {
+    spans_.pop_front();
+    ++dropped_;
+  }
+  spans_.push_back(std::move(span));
+}
+
+std::vector<SpanRecord> SpanStore::Take(uint64_t trace_id) {
+  MutexLock lock(mu_);
+  std::vector<SpanRecord> out;
+  for (auto it = spans_.begin(); it != spans_.end();) {
+    if (it->trace_id == trace_id) {
+      out.push_back(std::move(*it));
+      it = spans_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  return out;
+}
+
+size_t SpanStore::size() const {
+  MutexLock lock(mu_);
+  return spans_.size();
+}
+
+int64_t SpanStore::dropped() const {
+  MutexLock lock(mu_);
+  return dropped_;
+}
 
 uint64_t SteadyNowNs() {
   return static_cast<uint64_t>(

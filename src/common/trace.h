@@ -2,11 +2,14 @@
 #define SCIDB_COMMON_TRACE_H_
 
 #include <cstdint>
+#include <deque>
 #include <functional>
 #include <memory>
 #include <string>
 #include <utility>
 #include <vector>
+
+#include "common/mutex.h"
 
 namespace scidb {
 
@@ -80,6 +83,76 @@ class TraceSpan {
 
 // "1.234 ms" / "56.7 us" / "890 ns" — human-scaled duration.
 std::string FormatDurationNs(uint64_t ns);
+
+// ----- Distributed tracing (DESIGN.md §12) ---------------------------------
+//
+// A TraceContext names one query-scoped trace and one position in its span
+// tree. It is carried on every RPC frame (net/frame encodes it as a 24-byte
+// prefix of the payload region, gated by a header flag) so client-side RPC
+// spans and server-side handler spans can be stitched back into a single
+// QueryTrace tree after the query completes.
+
+struct TraceContext {
+  uint64_t trace_id = 0;        // 0 = not traced
+  uint64_t span_id = 0;         // span that emitted the message
+  uint64_t parent_span_id = 0;  // 0 = root span of the trace
+
+  bool active() const { return trace_id != 0; }
+};
+
+// Process-unique, monotonically increasing ids. Never returns 0 (0 is the
+// "absent" sentinel throughout).
+uint64_t NextTraceId();
+uint64_t NextSpanId();
+
+// One finished span, as recorded by the RPC layer. `notes` mirrors
+// TraceNode::notes so spans graft directly onto an explain-analyze tree.
+struct SpanRecord {
+  uint64_t trace_id = 0;
+  uint64_t span_id = 0;
+  uint64_t parent_span_id = 0;
+  int32_t node = -1;  // transport node id that recorded the span
+  std::string label;
+  uint64_t start_ns = 0;
+  uint64_t wall_ns = 0;
+  std::vector<std::pair<std::string, double>> notes;
+
+  void AddNote(std::string key, double value) {
+    notes.push_back({std::move(key), value});
+  }
+  const double* FindNote(const std::string& key) const {
+    for (const auto& [k, v] : notes) {
+      if (k == key) return &v;
+    }
+    return nullptr;
+  }
+};
+
+// Bounded, thread-safe store of finished spans. Each RpcServer owns one
+// (server-side handler spans, fetched over the wire via TraceGet) and the
+// coordinator owns one for client-side call spans. Oldest spans are dropped
+// once `max_spans` is reached; `dropped()` exposes how many, so tests can
+// assert nothing was lost.
+class SpanStore {
+ public:
+  explicit SpanStore(size_t max_spans = 4096) : max_spans_(max_spans) {}
+  SpanStore(const SpanStore&) = delete;
+  SpanStore& operator=(const SpanStore&) = delete;
+
+  void Add(SpanRecord span);
+
+  // Removes and returns every span of `trace_id`, in insertion order.
+  std::vector<SpanRecord> Take(uint64_t trace_id);
+
+  size_t size() const;
+  int64_t dropped() const;
+
+ private:
+  mutable Mutex mu_{"SpanStore::mu_"};
+  const size_t max_spans_;
+  std::deque<SpanRecord> spans_ GUARDED_BY(mu_);
+  int64_t dropped_ GUARDED_BY(mu_) = 0;
+};
 
 }  // namespace scidb
 

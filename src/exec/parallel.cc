@@ -3,6 +3,7 @@
 #include <utility>
 #include <vector>
 
+#include "common/flight_recorder.h"
 #include "common/macros.h"
 
 namespace scidb {
@@ -46,6 +47,12 @@ Status ForEachChunkParallel(const ExecContext& ctx, const MemArray& in,
 
   Status st;
   if (ctx.pool != nullptr) {
+    if (FlightRecorder::enabled()) {
+      FlightRecorder::Instance().Record(
+          FlightEventKind::kParallelFor, /*node=*/-1,
+          static_cast<uint64_t>(morsels.size()),
+          static_cast<uint64_t>(ctx.pool->parallelism()));
+    }
     st = ctx.pool->ParallelFor(static_cast<int64_t>(morsels.size()),
                                run_one);
   } else {

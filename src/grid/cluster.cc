@@ -6,6 +6,7 @@
 #include <utility>
 
 #include "common/byte_io.h"
+#include "common/flight_recorder.h"
 #include "common/macros.h"
 #include "common/metrics.h"
 #include "exec/expr_serde.h"
@@ -50,6 +51,19 @@ GridNetOptions DefaultNetOptions() {
 }
 
 }  // namespace
+
+MetricsSnapshot ClusterMetrics::Labeled() const {
+  MetricsSnapshot out;
+  for (const NodeMetrics& nm : nodes) {
+    if (!nm.reachable) continue;
+    for (const MetricsSnapshot::Entry& e : nm.snapshot.entries) {
+      MetricsSnapshot::Entry labeled = e;
+      labeled.name = "node" + std::to_string(nm.node) + "." + e.name;
+      out.entries.push_back(std::move(labeled));
+    }
+  }
+  return out;
+}
 
 void DistributedArray::SetDefaultFaultSeed(uint64_t seed) {
   DefaultFaultSeedSlot().store(seed);
@@ -103,9 +117,14 @@ void DistributedArray::InitNet() {
         base_transport_.get(), net_opts_.fault_profile, net_opts_.fault_seed);
     transport_ = fault_.get();
   }
+  // Servers share the resolved clock so server-side handler spans are
+  // deterministic under VirtualTime, like every other timing here.
+  net::RpcServer::Options sopts;
+  sopts.clock = clock_;
   for (int node = 0; node < num_nodes(); ++node) {
     services_.push_back(std::make_unique<GridNodeService>(this, node));
-    servers_.push_back(std::make_unique<net::RpcServer>(transport_, node));
+    servers_.push_back(
+        std::make_unique<net::RpcServer>(transport_, node, sopts));
     services_.back()->Install(servers_.back().get());
     Status bound =
         net::BindNode(transport_, node, servers_.back().get(), nullptr);
@@ -116,6 +135,7 @@ void DistributedArray::InitNet() {
   copts.sleep = net_opts_.sleep;
   copts.jitter_seed =
       net_opts_.fault_seed != 0 ? net_opts_.fault_seed : uint64_t{1};
+  copts.spans = &client_spans_;
   client_ = std::make_unique<net::RpcClient>(transport_, coordinator_id(),
                                              copts);
   Status bound =
@@ -145,14 +165,113 @@ TraceNode* DistributedArray::TraceChild(const char* label) {
   return child;
 }
 
-Status DistributedArray::PutChunk(int dest, const Chunk& chunk,
-                                  int64_t time) {
+TraceContext DistributedArray::BeginOpTrace() const {
+  if (trace_node_ == nullptr) return {};
+  TraceContext ctx;
+  ctx.trace_id = NextTraceId();
+  ctx.span_id = NextSpanId();
+  ctx.parent_span_id = 0;
+  return ctx;
+}
+
+void DistributedArray::StitchOpTrace(TraceNode* child,
+                                     const TraceContext& ctx) const {
+  if (child == nullptr || !ctx.active()) return;
+  std::vector<SpanRecord> client = client_spans_.Take(ctx.trace_id);
+  // The stitch's own TraceGet RPCs are deliberately untraced: they must
+  // not add spans to the trace they are collecting.
+  net::CallOptions co = net_opts_.call;
+  co.trace = {};
+  for (int node = 0; node < num_nodes(); ++node) {
+    std::vector<SpanRecord> server;
+    net::TraceGetRequest req;
+    req.trace_id = ctx.trace_id;
+    Result<std::vector<uint8_t>> r = client_->Call(
+        node, net::MessageType::kTraceGet, req.EncodePayload(), co);
+    if (r.ok()) {
+      Result<net::TraceGetResponse> resp =
+          net::TraceGetResponse::Decode(r.value());
+      if (resp.ok()) server = std::move(resp.value().spans);
+    }
+    // Every node gets a sub-tree even when it served no RPC of this
+    // trace (or was unreachable for the stitch), so the tree shape stays
+    // comparable across runs and transports.
+    TraceNode* node_child = child->AddChild();
+    node_child->label = "node " + std::to_string(node);
+    for (const SpanRecord& cs : client) {
+      const double* dst = cs.FindNote("dst");
+      if (dst == nullptr || static_cast<int>(*dst) != node) continue;
+      TraceNode* rpc = node_child->AddChild();
+      rpc->label = cs.label;
+      rpc->wall_ns = cs.wall_ns;
+      for (const auto& [k, v] : cs.notes) {
+        if (k == "dst") continue;  // already encoded in the parent label
+        rpc->AddNote(k, v);
+      }
+      // The matching server-side handler span(s): more than one when the
+      // network duplicated or the client retried a delivered request.
+      for (const SpanRecord& ss : server) {
+        if (ss.parent_span_id != cs.span_id) continue;
+        TraceNode* srv = rpc->AddChild();
+        srv->label = ss.label;
+        srv->wall_ns = ss.wall_ns;
+        for (const auto& [k, v] : ss.notes) srv->AddNote(k, v);
+      }
+    }
+  }
+}
+
+ClusterMetrics DistributedArray::ScrapeClusterMetrics(
+    bool include_process) const {
+  ClusterMetrics out;
+  for (int node = 0; node < num_nodes(); ++node) {
+    ClusterMetrics::NodeMetrics nm;
+    nm.node = node;
+    net::MetricsGetRequest req;
+    req.include_process = include_process ? 1 : 0;
+    Result<std::vector<uint8_t>> r = client_->Call(
+        node, net::MessageType::kMetricsGet, req.EncodePayload(),
+        net_opts_.call);
+    if (r.ok()) {
+      Result<net::MetricsGetResponse> resp =
+          net::MetricsGetResponse::Decode(r.value());
+      if (resp.ok()) {
+        std::string json(resp.value().json.begin(), resp.value().json.end());
+        Result<MetricsSnapshot> snap = SnapshotFromJson(json);
+        if (snap.ok()) {
+          nm.snapshot = std::move(snap.value());
+          nm.reachable = true;
+        }
+      }
+    }
+    out.nodes.push_back(std::move(nm));
+  }
+  return out;
+}
+
+Result<std::vector<FlightEvent>> DistributedArray::FetchFlightEvents(
+    int node) const {
+  net::TraceGetRequest req;
+  req.trace_id = 0;  // no spans wanted, only the flight ring
+  req.include_flight = 1;
+  ASSIGN_OR_RETURN(std::vector<uint8_t> bytes,
+                   client_->Call(node, net::MessageType::kTraceGet,
+                                 req.EncodePayload(), net_opts_.call));
+  ASSIGN_OR_RETURN(net::TraceGetResponse resp,
+                   net::TraceGetResponse::Decode(bytes));
+  return std::move(resp.events);
+}
+
+Status DistributedArray::PutChunk(int dest, const Chunk& chunk, int64_t time,
+                                  const TraceContext& ctx) {
   net::ChunkPutRequest req;
   req.time = time;
   req.chunk_bytes = SerializeChunk(chunk);
+  net::CallOptions co = net_opts_.call;
+  co.trace = ctx;
   ASSIGN_OR_RETURN(std::vector<uint8_t> ack,
                    client_->Call(dest, net::MessageType::kChunkPut,
-                                 req.EncodePayload(), net_opts_.call));
+                                 req.EncodePayload(), co));
   (void)ack;  // the ack payload is empty; arrival is the information
   return Status::OK();
 }
@@ -167,8 +286,8 @@ Status DistributedArray::PutCell(int dest, const Coordinates& c,
   return PutChunk(dest, *one.chunks().begin()->second, time);
 }
 
-Result<MemArray> DistributedArray::FetchShard(int node,
-                                              const ExprPtr& pred) const {
+Result<MemArray> DistributedArray::FetchShard(int node, const ExprPtr& pred,
+                                              const TraceContext& ctx) const {
   net::ScanShardRequest req;
   if (pred != nullptr) {
     // Function shipping: serialize the predicate at the grid boundary;
@@ -177,9 +296,11 @@ Result<MemArray> DistributedArray::FetchShard(int node,
     EncodeExpr(*pred, &pw);
     req.pred_bytes = pw.Release();
   }
+  net::CallOptions co = net_opts_.call;
+  co.trace = ctx;
   ASSIGN_OR_RETURN(std::vector<uint8_t> bytes,
                    client_->Call(node, net::MessageType::kScanShard,
-                                 req.EncodePayload(), net_opts_.call));
+                                 req.EncodePayload(), co));
   ASSIGN_OR_RETURN(net::ScanShardResponse resp,
                    net::ScanShardResponse::Decode(bytes));
   MemArray arr(schema_);
@@ -198,6 +319,7 @@ Status DistributedArray::Load(const MemArray& source, int64_t time) {
     return Status::Invalid("schema mismatch loading distributed array");
   }
   TraceNode* child = TraceChild("grid.load");
+  const TraceContext ctx = BeginOpTrace();
   int64_t rpcs = 0;
   {
     TraceNode scratch;  // TraceSpan needs a sink even when tracing is off
@@ -211,11 +333,12 @@ Status DistributedArray::Load(const MemArray& source, int64_t time) {
         return Status::Internal("partitioner returned node " +
                                 std::to_string(node));
       }
-      RETURN_NOT_OK(PutChunk(node, *chunk, time));
+      RETURN_NOT_OK(PutChunk(node, *chunk, time, ctx));
       ++rpcs;
     }
   }
   if (child != nullptr) child->AddNote("net.rpcs", static_cast<double>(rpcs));
+  StitchOpTrace(child, ctx);
   return Status::OK();
 }
 
@@ -279,6 +402,11 @@ void DistributedArray::RecordShardScan(int node) {
   const MemArray& shard = shards_[static_cast<size_t>(node)];
   int64_t cells = shard.CellCount();
   int64_t bytes = static_cast<int64_t>(shard.ByteSize());
+  if (FlightRecorder::enabled()) {
+    FlightRecorder::Instance().RecordAt(clock_(), FlightEventKind::kShardScan,
+                                        node, static_cast<uint64_t>(cells),
+                                        static_cast<uint64_t>(bytes));
+  }
   {
     MutexLock lk(stats_mu_);
     stats_[static_cast<size_t>(node)].cells_scanned += cells;
@@ -401,6 +529,7 @@ Result<MemArray> DistributedArray::ParallelAggregate(
   }
 
   TraceNode* child = TraceChild("grid.parallel_aggregate");
+  const TraceContext tctx = BeginOpTrace();
   std::vector<std::map<Coordinates, std::unique_ptr<AggregateState>>>
       node_states(static_cast<size_t>(num_nodes()));
   {
@@ -409,7 +538,7 @@ Result<MemArray> DistributedArray::ParallelAggregate(
     RETURN_NOT_OK(FanoutPool()->ParallelFor(
         num_nodes(), [&](int64_t node) -> Status {
           ASSIGN_OR_RETURN(MemArray partial,
-                           FetchShard(static_cast<int>(node), nullptr));
+                           FetchShard(static_cast<int>(node), nullptr, tctx));
           auto& groups = node_states[static_cast<size_t>(node)];
           Status acc;
           partial.ForEachCell(
@@ -438,6 +567,7 @@ Result<MemArray> DistributedArray::ParallelAggregate(
   if (child != nullptr) {
     child->AddNote("net.rpcs", static_cast<double>(num_nodes()));
   }
+  StitchOpTrace(child, tctx);
 
   // Coordinator merge, in node order (deterministic at every width).
   std::map<Coordinates, std::unique_ptr<AggregateState>> merged;
@@ -473,6 +603,7 @@ Result<MemArray> DistributedArray::ParallelSubsample(const ExecContext& ctx,
     svc->SetExecEnv(ctx.functions, ctx.enable_chunk_pruning);
   }
   TraceNode* child = TraceChild("grid.parallel_subsample");
+  const TraceContext tctx = BeginOpTrace();
   std::vector<Result<MemArray>> partials(
       static_cast<size_t>(num_nodes()),
       Result<MemArray>(Status::Internal("not run")));
@@ -482,13 +613,14 @@ Result<MemArray> DistributedArray::ParallelSubsample(const ExecContext& ctx,
     RETURN_NOT_OK(
         FanoutPool()->ParallelFor(num_nodes(), [&](int64_t node) -> Status {
           partials[static_cast<size_t>(node)] =
-              FetchShard(static_cast<int>(node), pred);
+              FetchShard(static_cast<int>(node), pred, tctx);
           return partials[static_cast<size_t>(node)].status();
         }));
   }
   if (child != nullptr) {
     child->AddNote("net.rpcs", static_cast<double>(num_nodes()));
   }
+  StitchOpTrace(child, tctx);
 
   MemArray out(schema_);
   out.mutable_schema()->set_name(schema_.name() + "_subsample");
@@ -560,6 +692,7 @@ Result<MemArray> DistributedArray::ParallelSjoin(
   // wire and joins it against the co-located rhs shard.
   GridMetrics::Get().parallel_ops->Inc();
   TraceNode* child = TraceChild("grid.parallel_sjoin");
+  const TraceContext tctx = BeginOpTrace();
   std::vector<Result<MemArray>> partials(
       static_cast<size_t>(num_nodes()),
       Result<MemArray>(Status::Internal("not run")));
@@ -569,7 +702,7 @@ Result<MemArray> DistributedArray::ParallelSjoin(
     RETURN_NOT_OK(
         FanoutPool()->ParallelFor(num_nodes(), [&](int64_t node) -> Status {
           ASSIGN_OR_RETURN(MemArray lhs,
-                           FetchShard(static_cast<int>(node), nullptr));
+                           FetchShard(static_cast<int>(node), nullptr, tctx));
           ExecContext local = ctx;
           local.stats = nullptr;
           partials[static_cast<size_t>(node)] = Sjoin(
@@ -580,6 +713,7 @@ Result<MemArray> DistributedArray::ParallelSjoin(
   if (child != nullptr) {
     child->AddNote("net.rpcs", static_cast<double>(num_nodes()));
   }
+  StitchOpTrace(child, tctx);
 
   Result<MemArray>& first = partials[0];
   RETURN_NOT_OK(first.status());

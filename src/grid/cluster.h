@@ -7,6 +7,8 @@
 #include <vector>
 
 #include "array/mem_array.h"
+#include "common/flight_recorder.h"
+#include "common/metrics.h"
 #include "common/mutex.h"
 #include "common/result.h"
 #include "common/thread_pool.h"
@@ -58,6 +60,27 @@ struct GridNetOptions {
   // full partition consumes its deadline without real sleeping.
   TraceClock clock;    // null = SteadyNowNs
   net::SleepFn sleep;  // null = real condition-variable waits
+};
+
+// One scrape of every node's metrics, pulled over MetricsGet RPCs
+// (DESIGN.md §12). Each node contributes its snapshot plus a
+// reachability flag; Labeled() merges them into one flat view whose
+// entry names carry a "node<i>." prefix, which is what
+// tools/metrics_dump --cluster prints.
+struct ClusterMetrics {
+  struct NodeMetrics {
+    int node = -1;
+    // False when the scrape RPC failed (partitioned / shut-down node);
+    // `snapshot` is then empty rather than stale.
+    bool reachable = false;
+    MetricsSnapshot snapshot;
+  };
+  std::vector<NodeMetrics> nodes;
+
+  // Flat merged view: every entry of every reachable node, renamed
+  // "node<i>.<original name>", in node order.
+  MetricsSnapshot Labeled() const;
+  std::string ToText() const { return SnapshotToText(Labeled()); }
 };
 
 // An array horizontally partitioned across the nodes of a simulated grid
@@ -151,6 +174,22 @@ class DistributedArray {
   // Returns the number of replicated cells.
   Result<int64_t> ReplicateBoundaries(int64_t max_position_error);
 
+  // ---- cluster-wide observability (DESIGN.md §12) ----
+
+  // Pulls every node's metrics snapshot with a MetricsGet RPC. Node-local
+  // gauges (cells/bytes stored and scanned) always travel; when
+  // `include_process` is set the shared process-wide registry snapshot is
+  // appended too (every simulated node shares one process, so those
+  // entries repeat per node — exactly what a real per-process scrape of a
+  // real grid would return). Unreachable nodes come back with
+  // reachable=false instead of failing the scrape.
+  ClusterMetrics ScrapeClusterMetrics(bool include_process = false) const;
+
+  // Pulls node `node`'s view of the process flight recorder over a
+  // TraceGet RPC (trace_id 0 = no spans, include_flight set). The remote
+  // path tools/flight_dump --rpc exercises.
+  Result<std::vector<FlightEvent>> FetchFlightEvents(int node) const;
+
   // ---- network introspection ----
 
   const GridNetOptions& net_options() const { return net_opts_; }
@@ -176,14 +215,31 @@ class DistributedArray {
   void InitNet();
   void ShutdownNet();
 
-  // One ChunkPut RPC: upserts `chunk`'s cells into node `dest`.
-  Status PutChunk(int dest, const Chunk& chunk, int64_t time);
+  // One ChunkPut RPC: upserts `chunk`'s cells into node `dest`. An
+  // active `ctx` rides on the request frame and yields client/server
+  // spans for the stitch.
+  Status PutChunk(int dest, const Chunk& chunk, int64_t time,
+                  const TraceContext& ctx = {});
   // Single-cell write via PutChunk (a one-cell chunk travels).
   Status PutCell(int dest, const Coordinates& c,
                  const std::vector<Value>& values, int64_t time);
   // One ScanShard RPC: node `node`'s cells, optionally filtered
   // server-side by `pred`, rebuilt into a coordinator-side MemArray.
-  Result<MemArray> FetchShard(int node, const ExprPtr& pred) const;
+  Result<MemArray> FetchShard(int node, const ExprPtr& pred,
+                              const TraceContext& ctx = {}) const;
+
+  // Starts a distributed trace for one grid operation: fresh trace id
+  // plus a root span the per-RPC client spans parent onto. Inactive
+  // (all-zero) when no trace node is attached, which turns the whole
+  // span machinery off.
+  TraceContext BeginOpTrace() const;
+  // Completes the distributed half of `explain analyze` for `ctx`:
+  // drains the coordinator's client spans, fetches every node's server
+  // spans with an (untraced) TraceGet RPC, and grafts a "node <i>"
+  // sub-tree under `child` — rpc.* spans with their attempt/retry/wire
+  // notes, each with the matching server.* handler span as a child.
+  // No-op when `child` is null or `ctx` is inactive.
+  void StitchOpTrace(TraceNode* child, const TraceContext& ctx) const;
 
   // Lazy fan-out pool (one worker per node); rebuilt when the node
   // count changes.
@@ -239,6 +295,9 @@ class DistributedArray {
   // mutable: const reads (node_stats, FetchShard) still issue RPCs.
   mutable std::unique_ptr<net::RpcClient>
       client_;  // NOLINT(lock-coverage): ctor-wired
+  // Client-side rpc.* spans of traced calls; survives Repartition so an
+  // in-flight trace is never torn down with the network.
+  mutable SpanStore client_spans_;  // NOLINT(lock-coverage): internally synchronized
   std::unique_ptr<ThreadPool> pool_;  // NOLINT(lock-coverage): ctor-wired
   TraceNode* trace_node_ = nullptr;  // NOLINT(lock-coverage): set pre-exec
 };

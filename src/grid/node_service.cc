@@ -4,7 +4,9 @@
 #include <utility>
 
 #include "common/byte_io.h"
+#include "common/flight_recorder.h"
 #include "common/macros.h"
+#include "common/metrics.h"
 #include "exec/expr_serde.h"
 #include "exec/operators.h"
 #include "grid/cluster.h"
@@ -29,6 +31,14 @@ void GridNodeService::Install(net::RpcServer* server) {
   server->Handle(net::MessageType::kNodeStatsReq,
                  [this](int, const std::vector<uint8_t>& payload) {
                    return NodeStatsReq(payload);
+                 });
+  server->Handle(net::MessageType::kMetricsGet,
+                 [this](int, const std::vector<uint8_t>& payload) {
+                   return MetricsGet(payload);
+                 });
+  server->Handle(net::MessageType::kTraceGet,
+                 [this, server](int, const std::vector<uint8_t>& payload) {
+                   return TraceGet(server, payload);
                  });
 }
 
@@ -133,6 +143,56 @@ Result<std::vector<uint8_t>> GridNodeService::NodeStatsReq(
   // Byte residency is derived from the shard at snapshot time; see
   // DistributedArray::node_stats().
   resp.bytes_stored = static_cast<int64_t>(shard.ByteSize());
+  return resp.EncodePayload();
+}
+
+Result<std::vector<uint8_t>> GridNodeService::MetricsGet(
+    const std::vector<uint8_t>& payload) {
+  ASSIGN_OR_RETURN(net::MetricsGetRequest req,
+                   net::MetricsGetRequest::Decode(payload));
+  MetricsSnapshot snap;
+  auto gauge = [&snap](const char* name, int64_t v) {
+    MetricsSnapshot::Entry e;
+    e.name = name;
+    e.kind = MetricsSnapshot::Kind::kGauge;
+    e.value = v;
+    snap.entries.push_back(std::move(e));
+  };
+  {
+    MutexLock lock(mu_);
+    {
+      MutexLock stats_lock(owner_->stats_mu_);
+      const NodeStats& s = owner_->stats_[static_cast<size_t>(node_)];
+      gauge("scidb.node.cells_stored", s.cells_stored);
+      gauge("scidb.node.cells_scanned", s.cells_scanned);
+      gauge("scidb.node.bytes_scanned", s.bytes_scanned);
+    }
+    // Derived from the shard at scrape time, like NodeStatsReq.
+    const MemArray& shard = owner_->shards_[static_cast<size_t>(node_)];
+    gauge("scidb.node.bytes_stored", static_cast<int64_t>(shard.ByteSize()));
+  }
+  if (req.include_process != 0) {
+    // Every simulated node shares one process, so the process-wide
+    // registry repeats per node — exactly what scraping each process of
+    // a real grid would return.
+    MetricsSnapshot process = Metrics::Instance().Snapshot();
+    for (auto& e : process.entries) snap.entries.push_back(std::move(e));
+  }
+  const std::string json = SnapshotToJson(snap);
+  net::MetricsGetResponse resp;
+  resp.json.assign(json.begin(), json.end());
+  return resp.EncodePayload();
+}
+
+Result<std::vector<uint8_t>> GridNodeService::TraceGet(
+    net::RpcServer* server, const std::vector<uint8_t>& payload) {
+  ASSIGN_OR_RETURN(net::TraceGetRequest req,
+                   net::TraceGetRequest::Decode(payload));
+  net::TraceGetResponse resp;
+  if (req.trace_id != 0) resp.spans = server->TakeSpans(req.trace_id);
+  if (req.include_flight != 0) {
+    resp.events = FlightRecorder::Instance().Dump();
+  }
   return resp.EncodePayload();
 }
 

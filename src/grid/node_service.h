@@ -21,7 +21,11 @@ class FunctionRegistry;
 // Every handler is idempotent, which is what makes the RPC layer's
 // retries and fault-injected duplicates safe: ChunkPut upserts cells
 // (last-writer-wins) and re-derives cells_stored from the shard rather
-// than incrementing it; the reads are pure.
+// than incrementing it; the reads are pure. The observability handlers
+// (MetricsGet/TraceGet, DESIGN.md §12) ride the same vocabulary:
+// MetricsGet is a pure read; TraceGet *takes* spans, but a retried
+// TraceGet simply returns the spans the lost reply carried plus any
+// recorded since, which the stitch tolerates.
 class GridNodeService {
  public:
   GridNodeService(DistributedArray* owner, int node)
@@ -46,6 +50,12 @@ class GridNodeService {
       LOCKS_EXCLUDED(mu_);
   Result<std::vector<uint8_t>> NodeStatsReq(
       const std::vector<uint8_t>& payload) LOCKS_EXCLUDED(mu_);
+  Result<std::vector<uint8_t>> MetricsGet(const std::vector<uint8_t>& payload)
+      LOCKS_EXCLUDED(mu_);
+  // Needs the owning server for TakeSpans, so Install's lambda passes it
+  // back in rather than caching a server pointer here.
+  Result<std::vector<uint8_t>> TraceGet(net::RpcServer* server,
+                                        const std::vector<uint8_t>& payload);
 
   DistributedArray* const owner_;
   const int node_;

@@ -2,6 +2,7 @@
 
 #include <utility>
 
+#include "common/flight_recorder.h"
 #include "common/macros.h"
 #include "common/metrics.h"
 
@@ -29,6 +30,15 @@ struct FaultCounters {
   }
 };
 
+// Injected faults are exactly what a post-mortem flight-recorder dump
+// must show (DESIGN.md §12): each decision leaves one event keyed by the
+// victim frame's request id and type, attributed to the destination node.
+void RecordFault(FlightEventKind kind, int dst, const Frame& frame) {
+  if (!FlightRecorder::enabled()) return;
+  FlightRecorder::Instance().Record(kind, dst, frame.request_id,
+                                    static_cast<uint64_t>(frame.type));
+}
+
 }  // namespace
 
 FaultInjectingTransport::FaultInjectingTransport(Transport* inner,
@@ -55,9 +65,11 @@ Status FaultInjectingTransport::Send(int src, int dst, Frame frame) {
     if (cut) {
       ++dropped_;
       FaultCounters::Get().partitioned->Inc();
+      RecordFault(FlightEventKind::kFaultPartition, dst, frame);
     } else if (rng_.NextDouble() < profile_.drop_p) {
       ++dropped_;
       FaultCounters::Get().dropped->Inc();
+      RecordFault(FlightEventKind::kFaultDrop, dst, frame);
     } else {
       const bool dup = rng_.NextDouble() < profile_.dup_p;
       const bool hold = rng_.NextDouble() < profile_.delay_p ||
@@ -65,11 +77,13 @@ Status FaultInjectingTransport::Send(int src, int dst, Frame frame) {
       if (dup) {
         ++duplicated_;
         FaultCounters::Get().duplicated->Inc();
+        RecordFault(FlightEventKind::kFaultDup, dst, frame);
         deliver.push_back({src, dst, frame});
       }
       if (hold) {
         ++total_held_;
         FaultCounters::Get().delayed->Inc();
+        RecordFault(FlightEventKind::kFaultHold, dst, frame);
         held_.push_back({src, dst, std::move(frame)});
       } else {
         deliver.push_back({src, dst, std::move(frame)});
@@ -87,6 +101,7 @@ Status FaultInjectingTransport::Send(int src, int dst, Frame frame) {
       if (partitioned_.count(h.src) > 0 || partitioned_.count(h.dst) > 0) {
         ++dropped_;
         FaultCounters::Get().partitioned->Inc();
+        RecordFault(FlightEventKind::kFaultPartition, h.dst, h.frame);
         continue;
       }
       FaultCounters::Get().reordered->Inc();

@@ -41,7 +41,7 @@ uint32_t Crc32(const uint8_t* data, size_t n) {
 
 bool IsValidMessageType(uint8_t t) {
   return t >= static_cast<uint8_t>(MessageType::kChunkPut) &&
-         t <= static_cast<uint8_t>(MessageType::kError);
+         t <= static_cast<uint8_t>(MessageType::kTraceGet);
 }
 
 const char* MessageTypeName(MessageType t) {
@@ -58,21 +58,45 @@ const char* MessageTypeName(MessageType t) {
       return "Ack";
     case MessageType::kError:
       return "Error";
+    case MessageType::kMetricsGet:
+      return "MetricsGet";
+    case MessageType::kTraceGet:
+      return "TraceGet";
   }
   return "Unknown";
 }
 
 std::vector<uint8_t> EncodeFrame(const Frame& frame) {
+  // The payload region is [trace context if traced] + payload; both the
+  // length field and the CRC cover the whole region. The trace flag is
+  // derived from frame.trace, never trusted from frame.flags, so encoding
+  // is canonical (flag set iff trace_id != 0).
+  const bool traced = frame.trace.active();
+  uint16_t flags = frame.flags;
+  if (traced) {
+    flags |= kFrameFlagTrace;
+  } else {
+    flags &= static_cast<uint16_t>(~kFrameFlagTrace);
+  }
+  ByteWriter body;
+  if (traced) {
+    body.PutU64(frame.trace.trace_id);
+    body.PutU64(frame.trace.span_id);
+    body.PutU64(frame.trace.parent_span_id);
+  }
+  body.PutBytes(frame.payload.data(), frame.payload.size());
+  const std::vector<uint8_t> region = body.Release();
+
   ByteWriter w;
   w.PutU32(kFrameMagic);
   w.PutU8(kFrameVersion);
   w.PutU8(static_cast<uint8_t>(frame.type));
-  w.PutU8(static_cast<uint8_t>(frame.flags & 0xFF));
-  w.PutU8(static_cast<uint8_t>(frame.flags >> 8));
+  w.PutU8(static_cast<uint8_t>(flags & 0xFF));
+  w.PutU8(static_cast<uint8_t>(flags >> 8));
   w.PutU64(frame.request_id);
-  w.PutU32(static_cast<uint32_t>(frame.payload.size()));
-  w.PutU32(Crc32(frame.payload.data(), frame.payload.size()));
-  w.PutBytes(frame.payload.data(), frame.payload.size());
+  w.PutU32(static_cast<uint32_t>(region.size()));
+  w.PutU32(Crc32(region.data(), region.size()));
+  w.PutBytes(region.data(), region.size());
   return w.Release();
 }
 
@@ -112,16 +136,32 @@ Result<Frame> DecodeFramePrefix(const uint8_t* data, size_t size,
   if (size - kFrameHeaderSize < payload_len) {
     return Status::OutOfRange("frame payload incomplete");
   }
+  const uint8_t* region = data + kFrameHeaderSize;
+  if (Crc32(region, payload_len) != expected_crc) {
+    return Status::Corruption("frame checksum mismatch");
+  }
   Frame f;
   f.type = static_cast<MessageType>(type);
   f.flags = static_cast<uint16_t>(flags_lo) |
             (static_cast<uint16_t>(flags_hi) << 8);
   f.request_id = request_id;
-  f.payload.assign(data + kFrameHeaderSize,
-                   data + kFrameHeaderSize + payload_len);
-  if (Crc32(f.payload.data(), f.payload.size()) != expected_crc) {
-    return Status::Corruption("frame checksum mismatch");
+  size_t payload_off = 0;
+  if ((f.flags & kFrameFlagTrace) != 0) {
+    if (payload_len < kTraceContextWireSize) {
+      return Status::Corruption("traced frame shorter than trace context");
+    }
+    ByteReader tr(region, kTraceContextWireSize);
+    ASSIGN_OR_RETURN(f.trace.trace_id, tr.GetU64());
+    ASSIGN_OR_RETURN(f.trace.span_id, tr.GetU64());
+    ASSIGN_OR_RETURN(f.trace.parent_span_id, tr.GetU64());
+    if (f.trace.trace_id == 0) {
+      // Encode derives the flag from trace_id != 0; accepting this form
+      // would break the decode->encode fixed point fuzz_frame relies on.
+      return Status::Corruption("traced frame with zero trace id");
+    }
+    payload_off = kTraceContextWireSize;
   }
+  f.payload.assign(region + payload_off, region + payload_len);
   *consumed = kFrameHeaderSize + payload_len;
   return f;
 }

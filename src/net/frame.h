@@ -7,6 +7,7 @@
 
 #include "common/result.h"
 #include "common/status.h"
+#include "common/trace.h"
 
 namespace scidb {
 namespace net {
@@ -18,7 +19,8 @@ namespace net {
 //   0       4     magic "SNET" (bytes 'S','N','E','T')
 //   4       1     version (kFrameVersion)
 //   5       1     message type (MessageType)
-//   6       2     flags, little-endian (reserved, must be 0 on encode)
+//   6       2     flags, little-endian (bit 0 = trace context present;
+//                 the rest reserved, must be 0 on encode)
 //   8       8     request id, little-endian
 //   16      4     payload length, little-endian
 //   20      4     CRC-32 of the payload bytes, little-endian
@@ -28,6 +30,17 @@ namespace net {
 // then read exactly payload_len bytes) and the trailing-free layout means
 // a frame is self-delimiting: DecodeFrame can tell "need more bytes"
 // apart from "corrupt" without heuristics.
+//
+// Distributed tracing (DESIGN.md §12): when flags bit kFrameFlagTrace is
+// set, the first kTraceContextWireSize bytes of the payload region are a
+// TraceContext — trace_id, span_id, parent_span_id as three little-endian
+// u64s — and `Frame::payload` holds only the bytes after it. The prefix is
+// counted by payload_len and covered by the CRC, so pre-trace decoders
+// and the assembler see a perfectly ordinary frame. Encoding is canonical:
+// the flag is set iff trace_id != 0, and decode rejects a set flag with a
+// zero trace_id or a payload shorter than the prefix as Corruption (this
+// keeps decode->encode a byte-identical fixed point, which fuzz_frame
+// checks).
 
 inline constexpr size_t kFrameHeaderSize = 24;
 inline constexpr uint8_t kFrameVersion = 1;
@@ -38,6 +51,12 @@ inline constexpr uint32_t kFrameMagic = 0x54454E53;  // "SNET" little-endian
 // exercises exactly this path). 256 MiB comfortably covers the largest
 // chunk-shipping payload the grid produces.
 inline constexpr uint32_t kMaxFramePayload = 256u << 20;
+
+// Flags bit 0: the payload region starts with an encoded TraceContext.
+inline constexpr uint16_t kFrameFlagTrace = 0x1;
+
+// Encoded TraceContext size: trace_id + span_id + parent_span_id, u64 each.
+inline constexpr size_t kTraceContextWireSize = 24;
 
 // Message vocabulary of the grid RPC layer. Requests carry an encoded
 // argument payload; the server answers every request with kAck (payload =
@@ -50,6 +69,8 @@ enum class MessageType : uint8_t {
   kNodeStatsReq = 4, // per-node statistics snapshot
   kAck = 5,          // success response
   kError = 6,        // failure response (payload = wire Status)
+  kMetricsGet = 7,   // pull one node's metrics snapshot (DESIGN.md §12)
+  kTraceGet = 8,     // pull spans / flight-recorder events from a node
 };
 
 // True if `t` is one of the enumerators above. Decoding rejects anything
@@ -63,6 +84,9 @@ struct Frame {
   MessageType type = MessageType::kAck;
   uint16_t flags = 0;
   uint64_t request_id = 0;
+  // Carried iff trace.trace_id != 0; EncodeFrame derives the flag bit from
+  // this field (see the wire-format comment above).
+  TraceContext trace;
   std::vector<uint8_t> payload;
 };
 

@@ -140,6 +140,173 @@ Result<NodeStatsResponse> NodeStatsResponse::Decode(
   return resp;
 }
 
+std::vector<uint8_t> MetricsGetRequest::EncodePayload() const {
+  ByteWriter w;
+  w.PutU8(include_process);
+  return w.Release();
+}
+
+Result<MetricsGetRequest> MetricsGetRequest::Decode(
+    const std::vector<uint8_t>& payload) {
+  ByteReader r(payload);
+  MetricsGetRequest req;
+  ASSIGN_OR_RETURN(req.include_process, r.GetU8());
+  if (req.include_process > 1) {
+    return Status::Corruption("bad MetricsGet include_process flag");
+  }
+  RETURN_NOT_OK(ExpectExhausted(r, "MetricsGet"));
+  return req;
+}
+
+std::vector<uint8_t> MetricsGetResponse::EncodePayload() const {
+  ByteWriter w;
+  PutByteString(json, &w);
+  return w.Release();
+}
+
+Result<MetricsGetResponse> MetricsGetResponse::Decode(
+    const std::vector<uint8_t>& payload) {
+  ByteReader r(payload);
+  MetricsGetResponse resp;
+  ASSIGN_OR_RETURN(resp.json, GetByteString(&r));
+  RETURN_NOT_OK(ExpectExhausted(r, "MetricsGet response"));
+  return resp;
+}
+
+std::vector<uint8_t> TraceGetRequest::EncodePayload() const {
+  ByteWriter w;
+  w.PutU64(trace_id);
+  w.PutU8(include_flight);
+  return w.Release();
+}
+
+Result<TraceGetRequest> TraceGetRequest::Decode(
+    const std::vector<uint8_t>& payload) {
+  ByteReader r(payload);
+  TraceGetRequest req;
+  ASSIGN_OR_RETURN(req.trace_id, r.GetU64());
+  ASSIGN_OR_RETURN(req.include_flight, r.GetU8());
+  if (req.include_flight > 1) {
+    return Status::Corruption("bad TraceGet include_flight flag");
+  }
+  RETURN_NOT_OK(ExpectExhausted(r, "TraceGet"));
+  return req;
+}
+
+namespace {
+
+void PutSpan(const SpanRecord& s, ByteWriter* w) {
+  w->PutU64(s.trace_id);
+  w->PutU64(s.span_id);
+  w->PutU64(s.parent_span_id);
+  w->PutSignedVarint(s.node);
+  w->PutString(s.label);
+  w->PutU64(s.start_ns);
+  w->PutU64(s.wall_ns);
+  w->PutVarint(s.notes.size());
+  for (const auto& [key, value] : s.notes) {
+    w->PutString(key);
+    w->PutDouble(value);
+  }
+}
+
+Result<SpanRecord> GetSpan(ByteReader* r) {
+  SpanRecord s;
+  ASSIGN_OR_RETURN(s.trace_id, r->GetU64());
+  ASSIGN_OR_RETURN(s.span_id, r->GetU64());
+  ASSIGN_OR_RETURN(s.parent_span_id, r->GetU64());
+  ASSIGN_OR_RETURN(int64_t node, r->GetSignedVarint());
+  if (node < INT32_MIN || node > INT32_MAX) {
+    return Status::Corruption("span node id out of range");
+  }
+  s.node = static_cast<int32_t>(node);
+  ASSIGN_OR_RETURN(s.label, r->GetString());
+  ASSIGN_OR_RETURN(s.start_ns, r->GetU64());
+  ASSIGN_OR_RETURN(s.wall_ns, r->GetU64());
+  ASSIGN_OR_RETURN(uint64_t n_notes, r->GetVarint());
+  // A note costs at least one key byte plus the 8-byte double.
+  if (n_notes > r->remaining() / 9 + 1) {
+    return Status::Corruption("span note count too large");
+  }
+  s.notes.reserve(static_cast<size_t>(n_notes));
+  for (uint64_t i = 0; i < n_notes; ++i) {
+    std::string key;
+    ASSIGN_OR_RETURN(key, r->GetString());
+    double value = 0;
+    ASSIGN_OR_RETURN(value, r->GetDouble());
+    s.notes.push_back({std::move(key), value});
+  }
+  return s;
+}
+
+void PutFlightEvent(const FlightEvent& e, ByteWriter* w) {
+  w->PutU64(e.seq);
+  w->PutU64(e.t_ns);
+  w->PutU8(static_cast<uint8_t>(e.kind));
+  w->PutSignedVarint(e.node);
+  w->PutU64(e.a);
+  w->PutU64(e.b);
+}
+
+Result<FlightEvent> GetFlightEvent(ByteReader* r) {
+  FlightEvent e;
+  ASSIGN_OR_RETURN(e.seq, r->GetU64());
+  ASSIGN_OR_RETURN(e.t_ns, r->GetU64());
+  ASSIGN_OR_RETURN(uint8_t kind, r->GetU8());
+  if (!IsValidFlightEventKind(kind)) {
+    return Status::Corruption("unknown flight event kind " +
+                              std::to_string(kind));
+  }
+  e.kind = static_cast<FlightEventKind>(kind);
+  ASSIGN_OR_RETURN(int64_t node, r->GetSignedVarint());
+  if (node < INT32_MIN || node > INT32_MAX) {
+    return Status::Corruption("flight event node id out of range");
+  }
+  e.node = static_cast<int32_t>(node);
+  ASSIGN_OR_RETURN(e.a, r->GetU64());
+  ASSIGN_OR_RETURN(e.b, r->GetU64());
+  return e;
+}
+
+}  // namespace
+
+std::vector<uint8_t> TraceGetResponse::EncodePayload() const {
+  ByteWriter w;
+  w.PutVarint(spans.size());
+  for (const SpanRecord& s : spans) PutSpan(s, &w);
+  w.PutVarint(events.size());
+  for (const FlightEvent& e : events) PutFlightEvent(e, &w);
+  return w.Release();
+}
+
+Result<TraceGetResponse> TraceGetResponse::Decode(
+    const std::vector<uint8_t>& payload) {
+  ByteReader r(payload);
+  TraceGetResponse resp;
+  ASSIGN_OR_RETURN(uint64_t n_spans, r.GetVarint());
+  // A span costs at least 3x8 id bytes + node + empty label + 2x8 times.
+  if (n_spans > r.remaining() / 42 + 1) {
+    return Status::Corruption("span count too large");
+  }
+  resp.spans.reserve(static_cast<size_t>(n_spans));
+  for (uint64_t i = 0; i < n_spans; ++i) {
+    ASSIGN_OR_RETURN(SpanRecord s, GetSpan(&r));
+    resp.spans.push_back(std::move(s));
+  }
+  ASSIGN_OR_RETURN(uint64_t n_events, r.GetVarint());
+  // An event costs at least 4x8 fixed fields + kind + node byte.
+  if (n_events > r.remaining() / 34 + 1) {
+    return Status::Corruption("flight event count too large");
+  }
+  resp.events.reserve(static_cast<size_t>(n_events));
+  for (uint64_t i = 0; i < n_events; ++i) {
+    ASSIGN_OR_RETURN(FlightEvent e, GetFlightEvent(&r));
+    resp.events.push_back(std::move(e));
+  }
+  RETURN_NOT_OK(ExpectExhausted(r, "TraceGet response"));
+  return resp;
+}
+
 std::vector<uint8_t> EncodeErrorPayload(const Status& s) {
   ByteWriter w;
   EncodeStatus(s, &w);

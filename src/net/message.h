@@ -5,7 +5,9 @@
 #include <vector>
 
 #include "array/coordinates.h"
+#include "common/flight_recorder.h"
 #include "common/result.h"
+#include "common/trace.h"
 #include "net/frame.h"
 #include "net/wire.h"
 
@@ -78,6 +80,45 @@ struct NodeStatsResponse {
 
   std::vector<uint8_t> EncodePayload() const;
   static Result<NodeStatsResponse> Decode(const std::vector<uint8_t>& payload);
+};
+
+// Pull one node's metrics snapshot (DESIGN.md §12). The response carries
+// the snapshot as metrics-JSON bytes (common/metrics SnapshotToJson): the
+// format already has a fuzz-hardened parser, and keeping it opaque here
+// means net/ does not depend on the registry's entry model.
+struct MetricsGetRequest {
+  uint8_t include_process = 0;  // 1 = append the process-wide registry too
+
+  std::vector<uint8_t> EncodePayload() const;
+  static Result<MetricsGetRequest> Decode(const std::vector<uint8_t>& payload);
+};
+
+struct MetricsGetResponse {
+  std::vector<uint8_t> json;  // SnapshotToJson bytes
+
+  std::vector<uint8_t> EncodePayload() const;
+  static Result<MetricsGetResponse> Decode(const std::vector<uint8_t>& payload);
+};
+
+// Pull finished spans for one trace — and, optionally, the node's view of
+// the process flight recorder — from a node's RpcServer. This is how the
+// coordinator stitches server-side handler timings into explain analyze:
+// the spans genuinely cross the RPC boundary instead of being read out of
+// shared process memory.
+struct TraceGetRequest {
+  uint64_t trace_id = 0;     // spans to fetch (0 = none, events only)
+  uint8_t include_flight = 0;  // 1 = append flight-recorder events
+
+  std::vector<uint8_t> EncodePayload() const;
+  static Result<TraceGetRequest> Decode(const std::vector<uint8_t>& payload);
+};
+
+struct TraceGetResponse {
+  std::vector<SpanRecord> spans;     // insertion order preserved
+  std::vector<FlightEvent> events;   // oldest first
+
+  std::vector<uint8_t> EncodePayload() const;
+  static Result<TraceGetResponse> Decode(const std::vector<uint8_t>& payload);
 };
 
 // Builds a kError frame payload from a Status, and parses one back.

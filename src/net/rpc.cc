@@ -4,6 +4,7 @@
 #include <chrono>
 #include <utility>
 
+#include "common/flight_recorder.h"
 #include "common/metrics.h"
 #include "net/message.h"
 
@@ -18,6 +19,10 @@ struct RpcMetrics {
   Counter* stale;
   Counter* errors;
   Histogram* latency_us;
+  // Retries-per-successful-call distribution: a call that succeeds after
+  // N retries records N, so p99 here answers "how often does the grid
+  // need more than one shot" — the aggregate `retries` counter cannot.
+  Histogram* retries_per_call;
 
   static const RpcMetrics& Get() {
     static const RpcMetrics m = {
@@ -26,6 +31,7 @@ struct RpcMetrics {
         Metrics::Instance().counter("scidb.net.stale_responses"),
         Metrics::Instance().counter("scidb.net.rpc_errors"),
         Metrics::Instance().histogram("scidb.net.rpc_latency_us"),
+        Metrics::Instance().histogram("scidb.net.rpc_retries"),
     };
     return m;
   }
@@ -37,20 +43,37 @@ bool IsRetryable(const Status& s) {
 
 }  // namespace
 
+RpcServer::RpcServer(Transport* transport, int node)
+    : RpcServer(transport, node, Options()) {}
+
+RpcServer::RpcServer(Transport* transport, int node, Options opts)
+    : transport_(transport),
+      node_(node),
+      clock_(opts.clock ? std::move(opts.clock) : TraceClock(SteadyNowNs)),
+      spans_(opts.max_spans) {}
+
 void RpcServer::Handle(MessageType type, Handler handler) {
   MutexLock lock(mu_);
   handlers_[static_cast<uint8_t>(type)] = std::move(handler);
 }
 
 void RpcServer::OnFrame(int src, Frame frame) {
+  if (FlightRecorder::enabled()) {
+    FlightRecorder::Instance().RecordAt(
+        clock_(), FlightEventKind::kRpcRecv, node_, frame.request_id,
+        static_cast<uint64_t>(frame.type));
+  }
   Handler handler;
   {
     MutexLock lock(mu_);
     auto it = handlers_.find(static_cast<uint8_t>(frame.type));
     if (it != handlers_.end()) handler = it->second;
   }
+  const bool traced = frame.trace.active();
+  const uint64_t handler_start_ns = traced ? clock_() : 0;
   Frame reply;
   reply.request_id = frame.request_id;
+  bool ok = false;
   if (!handler) {
     reply.type = MessageType::kError;
     reply.payload = EncodeErrorPayload(Status::NotImplemented(
@@ -58,12 +81,31 @@ void RpcServer::OnFrame(int src, Frame frame) {
   } else {
     Result<std::vector<uint8_t>> r = handler(src, frame.payload);
     if (r.ok()) {
+      ok = true;
       reply.type = MessageType::kAck;
       reply.payload = std::move(r).value();
     } else {
       reply.type = MessageType::kError;
       reply.payload = EncodeErrorPayload(r.status());
     }
+  }
+  if (traced) {
+    // One handler span per delivered request frame; a duplicated or
+    // retried request therefore yields multiple spans, which is the
+    // truth worth surfacing (the duplicate really did execute).
+    SpanRecord span;
+    span.trace_id = frame.trace.trace_id;
+    span.span_id = NextSpanId();
+    span.parent_span_id = frame.trace.span_id;
+    span.node = node_;
+    span.label = std::string("server.") + MessageTypeName(frame.type);
+    span.start_ns = handler_start_ns;
+    span.wall_ns = clock_() - handler_start_ns;
+    span.AddNote("src", src);
+    span.AddNote("ok", ok ? 1 : 0);
+    spans_.Add(std::move(span));
+    // Echo the request's context so the reply frame is traceable too.
+    reply.trace = frame.trace;
   }
   (void)transport_->Send(  // status-ignored: a failed reply send is
       node_, src,          // indistinguishable from a lost reply to the
@@ -78,6 +120,7 @@ RpcClient::RpcClient(Transport* transport, int node, Options opts)
       node_(node),
       clock_(opts.clock ? std::move(opts.clock) : TraceClock(SteadyNowNs)),
       sleep_(std::move(opts.sleep)),
+      spans_(opts.spans),
       jitter_(opts.jitter_seed) {}
 
 void RpcClient::OnFrame(int src, Frame frame) {
@@ -157,9 +200,42 @@ Result<std::vector<uint8_t>> RpcClient::Call(int dst, MessageType type,
   uint64_t backoff_ns = std::max<uint64_t>(1, opts.backoff_base_ns);
   Status last = Status::Unavailable("rpc made no attempts");
 
+  // Distributed tracing (DESIGN.md §12): one client span per Call, named
+  // rpc.<Type>, covering every attempt. Each request frame carries the
+  // caller's trace with span_id rewritten to this call's span, so the
+  // server-side handler spans parent onto it.
+  const bool trace_wire = opts.trace.active();
+  const uint64_t call_span_id = trace_wire ? NextSpanId() : 0;
+  int sends = 0;                  // attempts actually put on the wire
+  uint64_t backoff_spent_ns = 0;  // total time slept between attempts
+  uint64_t wire_wait_ns = 0;      // total time waiting on responses
+  auto record_span = [&](bool call_ok) {
+    if (!trace_wire || spans_ == nullptr) return;
+    SpanRecord span;
+    span.trace_id = opts.trace.trace_id;
+    span.span_id = call_span_id;
+    span.parent_span_id = opts.trace.span_id;
+    span.node = node_;
+    span.label = std::string("rpc.") + MessageTypeName(type);
+    span.start_ns = start_ns;
+    span.wall_ns = clock_() - start_ns;
+    span.AddNote("dst", dst);
+    span.AddNote("attempts", sends);
+    span.AddNote("retries", sends > 0 ? sends - 1 : 0);
+    span.AddNote("backoff_us", static_cast<double>(backoff_spent_ns / 1000));
+    span.AddNote("wire_us", static_cast<double>(wire_wait_ns / 1000));
+    if (!call_ok) span.AddNote("err", 1);
+    spans_->Add(std::move(span));
+  };
+
   for (int attempt = 0; attempt < max_attempts; ++attempt) {
     if (attempt > 0) {
       metrics.retries->Inc();
+      if (FlightRecorder::enabled()) {
+        FlightRecorder::Instance().RecordAt(
+            clock_(), FlightEventKind::kRpcRetry, node_,
+            static_cast<uint64_t>(attempt), static_cast<uint64_t>(type));
+      }
       uint64_t jitter_ns;
       {
         MutexLock lock(mu_);
@@ -167,7 +243,9 @@ Result<std::vector<uint8_t>> RpcClient::Call(int dst, MessageType type,
       }
       uint64_t now = clock_();
       if (now >= deadline_ns) break;
-      SleepNs(std::min(jitter_ns, deadline_ns - now));
+      const uint64_t sleep_ns = std::min(jitter_ns, deadline_ns - now);
+      SleepNs(sleep_ns);
+      backoff_spent_ns += sleep_ns;
       backoff_ns = std::min(backoff_ns * 2, opts.backoff_cap_ns);
     }
     uint64_t now = clock_();
@@ -186,7 +264,18 @@ Result<std::vector<uint8_t>> RpcClient::Call(int dst, MessageType type,
     Frame frame;
     frame.type = type;
     frame.request_id = id;
+    if (trace_wire) {
+      frame.trace.trace_id = opts.trace.trace_id;
+      frame.trace.span_id = call_span_id;
+      frame.trace.parent_span_id = opts.trace.span_id;
+    }
     frame.payload = payload;  // copied: later attempts resend it
+    ++sends;
+    if (FlightRecorder::enabled()) {
+      FlightRecorder::Instance().RecordAt(
+          clock_(), FlightEventKind::kRpcSend, node_, id,
+          static_cast<uint64_t>(type));
+    }
     Status sent = transport_->Send(node_, dst, std::move(frame));
     if (!sent.ok()) {
       {
@@ -196,19 +285,27 @@ Result<std::vector<uint8_t>> RpcClient::Call(int dst, MessageType type,
       last = sent;
       if (!IsRetryable(sent)) {
         metrics.errors->Inc();
+        record_span(false);
         return sent;
       }
       continue;
     }
+    const uint64_t wait_start_ns = clock_();
     const uint64_t attempt_deadline_ns =
-        std::min(deadline_ns, clock_() + opts.attempt_timeout_ns);
+        std::min(deadline_ns, wait_start_ns + opts.attempt_timeout_ns);
     const bool got = WaitForResponse(&slot, attempt_deadline_ns);
+    wire_wait_ns += clock_() - wait_start_ns;
     {
       MutexLock lock(mu_);
       pending_.erase(id);
     }
     if (!got) {
       metrics.timeouts->Inc();
+      if (FlightRecorder::enabled()) {
+        FlightRecorder::Instance().RecordAt(
+            clock_(), FlightEventKind::kRpcTimeout, node_, id,
+            static_cast<uint64_t>(type));
+      }
       last = Status::DeadlineExceeded(
           std::string("rpc ") + MessageTypeName(type) + " to node " +
           std::to_string(dst) + " timed out");
@@ -218,16 +315,22 @@ Result<std::vector<uint8_t>> RpcClient::Call(int dst, MessageType type,
       last = slot.error;
       if (!IsRetryable(slot.error)) {
         metrics.errors->Inc();
+        record_span(false);
         return slot.error;
       }
       continue;
     }
     metrics.latency_us->Record(
         static_cast<int64_t>((clock_() - start_ns) / 1000));
+    // A call that succeeded after N retries records N — traceable to a
+    // query via the span note, aggregated across queries here.
+    metrics.retries_per_call->Record(sends - 1);
+    record_span(true);
     return std::move(slot.payload);
   }
 
   metrics.errors->Inc();
+  record_span(false);
   if (clock_() >= deadline_ns && !last.IsDeadlineExceeded()) {
     return Status::DeadlineExceeded(
         std::string("rpc ") + MessageTypeName(type) + " to node " +

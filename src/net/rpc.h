@@ -63,6 +63,12 @@ struct CallOptions {
   // [base/2, base], doubling up to the cap.
   uint64_t backoff_base_ns = 1'000'000;
   uint64_t backoff_cap_ns = 50'000'000;
+  // When active, the call is distributed-traced (DESIGN.md §12): the
+  // context rides on every request frame (span_id rewritten to this
+  // call's span, parent = trace.span_id), the server records a handler
+  // span, and the client records one rpc.* span covering all attempts
+  // into Options::spans.
+  TraceContext trace;
 };
 
 // Dispatches request frames to per-MessageType handlers and replies
@@ -76,19 +82,38 @@ class RpcServer {
   using Handler = std::function<Result<std::vector<uint8_t>>(
       int src, const std::vector<uint8_t>& payload)>;
 
-  RpcServer(Transport* transport, int node)
-      : transport_(transport), node_(node) {}
+  struct Options {
+    // Null = SteadyNowNs. Handler spans and flight-recorder events read
+    // this clock, so virtual-time tests get deterministic timings.
+    TraceClock clock;
+    // Bound on buffered server-side handler spans (oldest dropped).
+    size_t max_spans = 4096;
+  };
+
+  RpcServer(Transport* transport, int node);
+  RpcServer(Transport* transport, int node, Options opts);
 
   void Handle(MessageType type, Handler handler) LOCKS_EXCLUDED(mu_);
 
-  // Frame entry point; wired up by BindNode.
+  // Frame entry point; wired up by BindNode. A traced request frame
+  // (frame.trace.active()) gets its handler timed into a server.* span,
+  // and the reply echoes the request's trace context.
   void OnFrame(int src, Frame frame) LOCKS_EXCLUDED(mu_);
+
+  // Removes and returns the handler spans of one trace, in execution
+  // order. Served over the wire by the grid's TraceGet handler, so the
+  // coordinator's stitch crosses the RPC boundary like any other read.
+  std::vector<SpanRecord> TakeSpans(uint64_t trace_id) {
+    return spans_.Take(trace_id);
+  }
 
  private:
   Transport* const transport_;
   const int node_;
+  const TraceClock clock_;
   Mutex mu_;
   std::map<uint8_t, Handler> handlers_ GUARDED_BY(mu_);
+  SpanStore spans_;  // NOLINT(lock-coverage): internally synchronized
 };
 
 // Issues correlated calls from one node. Thread-safe: concurrent Calls
@@ -102,6 +127,10 @@ class RpcClient {
     // Null = real condition-variable waits.
     SleepFn sleep;
     uint64_t jitter_seed = 1;
+    // Destination for client-side rpc.* spans of traced calls (one span
+    // per Call, covering every attempt). Null = spans not recorded even
+    // when the call carries a TraceContext. Must outlive the client.
+    SpanStore* spans = nullptr;
   };
 
   // Two-arg form = default Options (an `= {}` default argument would
@@ -142,6 +171,7 @@ class RpcClient {
   const int node_;
   const TraceClock clock_;
   const SleepFn sleep_;
+  SpanStore* const spans_;
 
   Mutex mu_;
   CondVar cv_;

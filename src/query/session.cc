@@ -2,6 +2,7 @@
 
 #include <cctype>
 
+#include "common/flight_recorder.h"
 #include "common/macros.h"
 #include "grid/cluster.h"
 #include "query/optimizer.h"
@@ -431,6 +432,15 @@ Result<QueryResult> Session::ExecuteStatement(const Statement& stmt) {
             stmt.set_value == 0
                 ? "net fault injection disabled"
                 : "net fault seed set to " + std::to_string(stmt.set_value);
+        return result;
+      }
+      if (stmt.set_option == "flight_recorder") {
+        // Process-wide flight-recorder kill switch (DESIGN.md §12):
+        // 0 stops recording (single-digit-ns hot paths), nonzero
+        // resumes. Already-recorded events stay in the ring.
+        FlightRecorder::set_enabled(stmt.set_value != 0);
+        result.message = stmt.set_value != 0 ? "flight recorder enabled"
+                                             : "flight recorder disabled";
         return result;
       }
       if (stmt.set_option != "parallelism") {

@@ -6,6 +6,7 @@
 #include <thread>
 #include <utility>
 
+#include "common/flight_recorder.h"
 #include "common/metrics.h"
 #include "common/mutex.h"
 #include "common/trace.h"
@@ -103,6 +104,12 @@ class BackgroundMerger {
     if (merged.ok()) {
       merges->Inc(merged.value());
       bucket_count->Set(static_cast<int64_t>(array_->bucket_count()));
+      if (FlightRecorder::enabled()) {
+        FlightRecorder::Instance().Record(
+            FlightEventKind::kMergePass, /*node=*/-1,
+            static_cast<uint64_t>(merged.value()),
+            static_cast<uint64_t>(array_->bucket_count()));
+      }
     }
     return merged;
   }

@@ -8,6 +8,7 @@
 #include <memory>
 
 #include "array/chunk.h"
+#include "common/flight_recorder.h"
 #include "common/metrics.h"
 #include "common/mutex.h"
 
@@ -136,6 +137,12 @@ class ChunkCache {
     uint64_t victim = lru_.back();
     lru_.pop_back();
     auto it = entries_.find(victim);
+    if (FlightRecorder::enabled()) {
+      FlightRecorder::Instance().Record(FlightEventKind::kCacheEvict,
+                                        /*node=*/-1,
+                                        static_cast<uint64_t>(it->second.bytes),
+                                        victim);
+    }
     RemoveBytes(it->second.bytes);
     entries_.erase(it);
     ++stats_.evictions;

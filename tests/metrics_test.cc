@@ -232,5 +232,40 @@ TEST(TraceTest, FormatDurationScales) {
   EXPECT_EQ(FormatDurationNs(3200000000ULL), "3.200 s");
 }
 
+// Snapshot quantiles (DESIGN.md §12): a seeded distribution has known
+// bucket lower bounds, so the exported p50/p90/p99 are exact-checkable.
+// For 1..100 under the 4-sub-bucket log-linear layout, rank 50 lands in
+// the bucket [48,56), rank 90 in [80,96), rank 99 in [96,112).
+TEST(MetricsTest, SnapshotQuantilesExactOnSeededDistribution) {
+  Histogram* h = Metrics::Instance().histogram("scidb.test.quantiles");
+  h->Reset();
+  for (int64_t v = 1; v <= 100; ++v) h->Record(v);
+
+  MetricsSnapshot snap = Metrics::Instance().Snapshot();
+  const MetricsSnapshot::Entry* e = snap.find("scidb.test.quantiles");
+  ASSERT_NE(e, nullptr);
+  EXPECT_EQ(e->p50, 48);
+  EXPECT_EQ(e->p90, 80);
+  EXPECT_EQ(e->p99, 96);
+
+  // The text rendering carries them on the histogram line...
+  const std::string text = SnapshotToText(snap);
+  const size_t line = text.find("scidb.test.quantiles");
+  ASSERT_NE(line, std::string::npos);
+  const std::string rest = text.substr(line, text.find('\n', line) - line);
+  EXPECT_NE(rest.find("p50=48"), std::string::npos) << rest;
+  EXPECT_NE(rest.find("p90=80"), std::string::npos) << rest;
+  EXPECT_NE(rest.find("p99=96"), std::string::npos) << rest;
+
+  // ...and the JSON export round-trips them losslessly.
+  Result<MetricsSnapshot> back = SnapshotFromJson(SnapshotToJson(snap));
+  ASSERT_TRUE(back.ok()) << back.status().ToString();
+  const MetricsSnapshot::Entry* be = back.value().find("scidb.test.quantiles");
+  ASSERT_NE(be, nullptr);
+  EXPECT_EQ(be->p50, 48);
+  EXPECT_EQ(be->p90, 80);
+  EXPECT_EQ(be->p99, 96);
+}
+
 }  // namespace
 }  // namespace scidb

@@ -6,6 +6,7 @@
 #include <string>
 #include <vector>
 
+#include "common/metrics.h"
 #include "net/fault_injection.h"
 #include "net/inprocess_transport.h"
 #include "net/message.h"
@@ -246,6 +247,175 @@ TEST(RpcTest, StaleResponseIsIgnored) {
       client.Call(0, MessageType::kScanShard, Bytes({4, 5}));
   ASSERT_TRUE(r.ok());
   EXPECT_EQ(r.value(), Bytes({5, 4}));
+}
+
+TEST(RpcTest, RetriesHistogramRecordsPerCallRetryCount) {
+  // scidb.net.rpc_retries is a histogram over *successful* calls: each
+  // success records how many retries it needed, so p99 answers "how
+  // flaky is the network" without mixing in hard failures.
+  InProcessTransport inner;
+  DropFirstN transport(&inner, 2);  // first two attempts vanish
+  RpcServer server(&transport, 0);
+  server.Handle(MessageType::kChunkPut,
+                [](int, const std::vector<uint8_t>&)
+                    -> Result<std::vector<uint8_t>> {
+                  return std::vector<uint8_t>{};
+                });
+  VirtualTime vt;
+  RpcClient client(&transport, 1, VirtualOptions(&vt));
+  ASSERT_TRUE(BindNode(&transport, 0, &server, nullptr).ok());
+  ASSERT_TRUE(BindNode(&transport, 1, nullptr, &client).ok());
+
+  Histogram* h = Metrics::Instance().histogram("scidb.net.rpc_retries");
+  const int64_t count0 = h->count();
+  const int64_t sum0 = h->sum();
+
+  Result<std::vector<uint8_t>> r =
+      client.Call(0, MessageType::kChunkPut, Bytes({5}), FastCall());
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_EQ(h->count() - count0, 1);  // one successful call...
+  EXPECT_EQ(h->sum() - sum0, 2);      // ...that needed two retries
+
+  // A first-attempt success records a zero.
+  r = client.Call(0, MessageType::kChunkPut, Bytes({6}), FastCall());
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_EQ(h->count() - count0, 2);
+  EXPECT_EQ(h->sum() - sum0, 2);
+
+  // A failed call records nothing: node 7 is never registered.
+  r = client.Call(7, MessageType::kChunkPut, Bytes({7}), FastCall());
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(h->count() - count0, 2);
+  EXPECT_EQ(h->sum() - sum0, 2);
+}
+
+TEST(RpcTest, TracedCallStitchesClientAndServerSpans) {
+  InProcessTransport transport;
+  VirtualTime vt;
+  RpcServer::Options sopts;
+  sopts.clock = vt.clock();
+  RpcServer server(&transport, 0, sopts);
+  InstallReverse(&server);
+  SpanStore client_spans;
+  RpcClient::Options copts = VirtualOptions(&vt);
+  copts.spans = &client_spans;
+  RpcClient client(&transport, 1, copts);
+  ASSERT_TRUE(BindNode(&transport, 0, &server, nullptr).ok());
+  ASSERT_TRUE(BindNode(&transport, 1, nullptr, &client).ok());
+
+  CallOptions co = FastCall();
+  co.trace.trace_id = NextTraceId();
+  co.trace.span_id = NextSpanId();  // the coordinator-side operator span
+
+  Result<std::vector<uint8_t>> r =
+      client.Call(0, MessageType::kScanShard, Bytes({1, 2}), co);
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_EQ(r.value(), Bytes({2, 1}));
+
+  std::vector<SpanRecord> cs = client_spans.Take(co.trace.trace_id);
+  ASSERT_EQ(cs.size(), 1u);
+  EXPECT_EQ(cs[0].label, "rpc.ScanShard");
+  EXPECT_EQ(cs[0].parent_span_id, co.trace.span_id);
+  EXPECT_EQ(cs[0].node, 1);
+  const double* attempts = cs[0].FindNote("attempts");
+  ASSERT_NE(attempts, nullptr);
+  EXPECT_EQ(*attempts, 1.0);
+  const double* retries = cs[0].FindNote("retries");
+  ASSERT_NE(retries, nullptr);
+  EXPECT_EQ(*retries, 0.0);
+  EXPECT_NE(cs[0].FindNote("wire_us"), nullptr);
+  EXPECT_EQ(cs[0].FindNote("err"), nullptr);  // success: no error note
+
+  // The handler span parents onto the client call span — the edge the
+  // coordinator's stitch walks to hang server work under the RPC.
+  std::vector<SpanRecord> ss = server.TakeSpans(co.trace.trace_id);
+  ASSERT_EQ(ss.size(), 1u);
+  EXPECT_EQ(ss[0].label, "server.ScanShard");
+  EXPECT_EQ(ss[0].parent_span_id, cs[0].span_id);
+  EXPECT_EQ(ss[0].node, 0);
+  const double* src = ss[0].FindNote("src");
+  ASSERT_NE(src, nullptr);
+  EXPECT_EQ(*src, 1.0);
+  const double* ok_note = ss[0].FindNote("ok");
+  ASSERT_NE(ok_note, nullptr);
+  EXPECT_EQ(*ok_note, 1.0);
+}
+
+TEST(RpcTest, TracedRetriedCallNotesRetryCountOnOneSpan) {
+  InProcessTransport inner;
+  DropFirstN transport(&inner, 2);
+  RpcServer server(&transport, 0);
+  server.Handle(MessageType::kChunkPut,
+                [](int, const std::vector<uint8_t>&)
+                    -> Result<std::vector<uint8_t>> {
+                  return std::vector<uint8_t>{};
+                });
+  VirtualTime vt;
+  SpanStore client_spans;
+  RpcClient::Options copts = VirtualOptions(&vt);
+  copts.spans = &client_spans;
+  RpcClient client(&transport, 1, copts);
+  ASSERT_TRUE(BindNode(&transport, 0, &server, nullptr).ok());
+  ASSERT_TRUE(BindNode(&transport, 1, nullptr, &client).ok());
+
+  CallOptions co = FastCall();
+  co.trace.trace_id = NextTraceId();
+  co.trace.span_id = NextSpanId();
+  Result<std::vector<uint8_t>> r =
+      client.Call(0, MessageType::kChunkPut, Bytes({9}), co);
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+
+  // One span covers all three attempts; its notes carry the retry
+  // count and the backoff spent getting there.
+  std::vector<SpanRecord> cs = client_spans.Take(co.trace.trace_id);
+  ASSERT_EQ(cs.size(), 1u);
+  const double* attempts = cs[0].FindNote("attempts");
+  ASSERT_NE(attempts, nullptr);
+  EXPECT_EQ(*attempts, 3.0);
+  const double* retries = cs[0].FindNote("retries");
+  ASSERT_NE(retries, nullptr);
+  EXPECT_EQ(*retries, 2.0);
+  EXPECT_NE(cs[0].FindNote("backoff_us"), nullptr);
+
+  // Only the delivered attempt reached the server: one handler span.
+  EXPECT_EQ(server.TakeSpans(co.trace.trace_id).size(), 1u);
+}
+
+TEST(RpcTest, SpansRequireBothActiveTraceAndStore) {
+  InProcessTransport transport;
+  VirtualTime vt;
+  RpcServer::Options sopts;
+  sopts.clock = vt.clock();
+  RpcServer server(&transport, 0, sopts);
+  InstallReverse(&server);
+  SpanStore client_spans;
+  RpcClient::Options copts = VirtualOptions(&vt);
+  copts.spans = &client_spans;
+  RpcClient client(&transport, 1, copts);
+  ASSERT_TRUE(BindNode(&transport, 0, &server, nullptr).ok());
+  ASSERT_TRUE(BindNode(&transport, 1, nullptr, &client).ok());
+
+  // Untraced call, store present: no spans on either side.
+  Result<std::vector<uint8_t>> r =
+      client.Call(0, MessageType::kScanShard, Bytes({1}), FastCall());
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_EQ(client_spans.size(), 0u);
+
+  // Traced call, no store: the client records nothing (and must not
+  // crash), but the trace still crosses the wire — the server span
+  // parents onto the call span it carried.
+  RpcClient bare(&transport, 2, VirtualOptions(&vt));
+  ASSERT_TRUE(BindNode(&transport, 2, nullptr, &bare).ok());
+  CallOptions co = FastCall();
+  co.trace.trace_id = NextTraceId();
+  co.trace.span_id = NextSpanId();
+  r = bare.Call(0, MessageType::kScanShard, Bytes({2}), co);
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_EQ(client_spans.size(), 0u);
+  std::vector<SpanRecord> ss = server.TakeSpans(co.trace.trace_id);
+  ASSERT_EQ(ss.size(), 1u);
+  EXPECT_NE(ss[0].parent_span_id, co.trace.span_id);  // rewritten
+  EXPECT_NE(ss[0].parent_span_id, 0u);
 }
 
 TEST(RpcTest, VirtualTimeAdvancesBySleptAmount) {

@@ -335,6 +335,93 @@ TEST(WireMessageTest, DecodeRejectsGarbage) {
   EXPECT_FALSE(ScanShardRequest::Decode(garbage).ok());
   EXPECT_FALSE(ScanShardResponse::Decode(garbage).ok());
   EXPECT_FALSE(NodeStatsResponse::Decode(garbage).ok());
+  EXPECT_FALSE(TraceGetResponse::Decode(garbage).ok());
+}
+
+TEST(WireMessageTest, MetricsGetRoundTrips) {
+  for (uint8_t flag : {uint8_t{0}, uint8_t{1}}) {
+    MetricsGetRequest req;
+    req.include_process = flag;
+    Result<MetricsGetRequest> back =
+        MetricsGetRequest::Decode(req.EncodePayload());
+    ASSERT_TRUE(back.ok()) << back.status().ToString();
+    EXPECT_EQ(back.value().include_process, flag);
+  }
+  // The flag is a strict boolean on the wire.
+  EXPECT_FALSE(MetricsGetRequest::Decode({2}).ok());
+
+  MetricsGetResponse resp;
+  const std::string json = "{\"metrics\":[]}";
+  resp.json.assign(json.begin(), json.end());
+  Result<MetricsGetResponse> rback =
+      MetricsGetResponse::Decode(resp.EncodePayload());
+  ASSERT_TRUE(rback.ok()) << rback.status().ToString();
+  EXPECT_EQ(rback.value().json, resp.json);
+}
+
+TEST(WireMessageTest, TraceGetRoundTripsSpansAndEvents) {
+  TraceGetRequest req;
+  req.trace_id = 77;
+  req.include_flight = 1;
+  Result<TraceGetRequest> back = TraceGetRequest::Decode(req.EncodePayload());
+  ASSERT_TRUE(back.ok()) << back.status().ToString();
+  EXPECT_EQ(back.value().trace_id, 77u);
+  EXPECT_EQ(back.value().include_flight, 1);
+
+  TraceGetResponse resp;
+  SpanRecord span;
+  span.trace_id = 77;
+  span.span_id = 5;
+  span.parent_span_id = 2;
+  span.node = 3;
+  span.label = "server.ChunkPut";
+  span.start_ns = 1000;
+  span.wall_ns = 250;
+  span.AddNote("src", 4);
+  span.AddNote("ok", 1);
+  resp.spans.push_back(span);
+  FlightEvent ev;
+  ev.seq = 9;
+  ev.t_ns = 1234;
+  ev.kind = FlightEventKind::kFaultDrop;
+  ev.node = -1;
+  ev.a = 42;
+  ev.b = 1;
+  resp.events.push_back(ev);
+
+  Result<TraceGetResponse> rback =
+      TraceGetResponse::Decode(resp.EncodePayload());
+  ASSERT_TRUE(rback.ok()) << rback.status().ToString();
+  ASSERT_EQ(rback.value().spans.size(), 1u);
+  const SpanRecord& s = rback.value().spans[0];
+  EXPECT_EQ(s.trace_id, 77u);
+  EXPECT_EQ(s.span_id, 5u);
+  EXPECT_EQ(s.parent_span_id, 2u);
+  EXPECT_EQ(s.node, 3);
+  EXPECT_EQ(s.label, "server.ChunkPut");
+  EXPECT_EQ(s.start_ns, 1000u);
+  EXPECT_EQ(s.wall_ns, 250u);
+  ASSERT_EQ(s.notes.size(), 2u);
+  EXPECT_EQ(s.notes[0].first, "src");
+  EXPECT_EQ(s.notes[0].second, 4.0);
+  ASSERT_EQ(rback.value().events.size(), 1u);
+  const FlightEvent& e = rback.value().events[0];
+  EXPECT_EQ(e.seq, 9u);
+  EXPECT_EQ(e.t_ns, 1234u);
+  EXPECT_EQ(e.kind, FlightEventKind::kFaultDrop);
+  EXPECT_EQ(e.node, -1);
+  EXPECT_EQ(e.a, 42u);
+  EXPECT_EQ(e.b, 1u);
+
+  // An out-of-vocabulary event kind is rejected at decode, not passed
+  // on. With no spans, the layout is fixed: span count (1 varint byte),
+  // event count (1 byte), seq (8), t_ns (8), then the kind byte.
+  TraceGetResponse events_only;
+  events_only.events.push_back(ev);
+  std::vector<uint8_t> bytes = events_only.EncodePayload();
+  ASSERT_EQ(bytes[18], static_cast<uint8_t>(FlightEventKind::kFaultDrop));
+  bytes[18] = 200;  // not a FlightEventKind
+  EXPECT_FALSE(TraceGetResponse::Decode(bytes).ok());
 }
 
 }  // namespace

@@ -5,6 +5,9 @@
 //
 //   $ metrics_dump --demo            built-in workload, text dump
 //   $ metrics_dump --demo --json     same, JSON dump
+//   $ metrics_dump --demo --cluster  also scrape each grid node's metrics
+//                                    over MetricsGet RPCs (labeled
+//                                    node<i>.* view, DESIGN.md §12)
 //   $ metrics_dump < queries.aql     one statement per line from stdin
 //
 // Lines that are empty or start with '#' are skipped. Statement failures
@@ -75,7 +78,7 @@ int RunDemo(scidb::Session* session) {
 // small array across a 4-node grid and gathers an aggregate — that is
 // what populates the scidb.net.* counters (frames/bytes sent, RPC
 // latency, retries) in the dump below.
-int RunNetDemo() {
+int RunNetDemo(bool cluster, bool json) {
   scidb::ArraySchema sky("net_demo",
                          {{"ra", 1, 16, 4}, {"dec", 1, 16, 4}},
                          {{"flux", scidb::DataType::kDouble, true, false}});
@@ -107,6 +110,22 @@ int RunNetDemo() {
     std::fprintf(stderr, "net demo: %s\n", agg.status().ToString().c_str());
     return 1;
   }
+  if (cluster) {
+    // Pull every node's snapshot over the wire (MetricsGet) and print
+    // the merged, node<i>.-prefixed view — the coordinator-side scrape
+    // path a real deployment's collector would use.
+    scidb::ClusterMetrics cm = grid.ScrapeClusterMetrics(false);
+    const scidb::MetricsSnapshot labeled = cm.Labeled();
+    std::printf("%s", json ? scidb::SnapshotToJson(labeled).c_str()
+                           : scidb::SnapshotToText(labeled).c_str());
+    if (!json) {
+      for (const auto& nm : cm.nodes) {
+        if (!nm.reachable) {
+          std::printf("# node%d unreachable\n", nm.node);
+        }
+      }
+    }
+  }
   return 0;
 }
 
@@ -115,20 +134,25 @@ int RunNetDemo() {
 int main(int argc, char** argv) {
   bool json = false;
   bool demo = false;
+  bool cluster = false;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--json") == 0) {
       json = true;
     } else if (std::strcmp(argv[i], "--demo") == 0) {
       demo = true;
+    } else if (std::strcmp(argv[i], "--cluster") == 0) {
+      demo = true;  // the cluster scrape needs the demo grid
+      cluster = true;
     } else {
-      std::fprintf(stderr, "usage: %s [--demo] [--json] [< queries.aql]\n",
+      std::fprintf(stderr,
+                   "usage: %s [--demo] [--cluster] [--json] [< queries.aql]\n",
                    argv[0]);
       return 2;
     }
   }
 
   scidb::Session session;
-  int failures = demo ? RunDemo(&session) + RunNetDemo()
+  int failures = demo ? RunDemo(&session) + RunNetDemo(cluster, json)
                       : RunStatements(&session, std::cin);
 
   const std::string dump = json ? scidb::Metrics::Instance().JsonSnapshot()
