@@ -1,0 +1,187 @@
+// Replication cost curves (EXP-REP, DESIGN.md §13): what k-way chunk
+// replication charges at load time, what a failover read costs while a
+// primary is unreachable, and what one full kill -> detect -> recover
+// cycle moves over the wire. Run
+//
+//   ./build/bench/bench_replication --benchmark_out=BENCH_replication.json
+//       --benchmark_out_format=json
+//
+// Load traffic should scale linearly with k (the counters report frames
+// and bytes per load). The failover premium is bounded by the primary's
+// share of the call deadline — the coordinator waits out deadline/2 on
+// the dead primary before reading the surviving replica. The recovery
+// cycle runs under virtual time, so its wall clock is pure compute; the
+// interesting output is rereplicated chunks/bytes per cycle.
+#include <benchmark/benchmark.h>
+
+#include <memory>
+#include <vector>
+
+#include "common/logging.h"
+#include "common/metrics.h"
+#include "common/rng.h"
+#include "exec/operators.h"
+#include "grid/cluster.h"
+#include "grid/partitioner.h"
+#include "net/fault_injection.h"
+#include "net/rpc.h"
+
+namespace scidb {
+namespace {
+
+constexpr int64_t kN = 128;     // 128 x 128 cells
+constexpr int64_t kChunk = 16;  // 8 x 8 = 64 chunks over 4 nodes
+
+ArraySchema SkySchema() {
+  return ArraySchema("sky", {{"ra", 1, kN, kChunk}, {"dec", 1, kN, kChunk}},
+                     {{"flux", DataType::kDouble, true, false}});
+}
+
+const MemArray& SkyArray() {
+  static MemArray* a = [] {
+    auto* arr = new MemArray(SkySchema());
+    Rng rng(TestSeed(42));
+    for (int64_t i = 1; i <= kN; ++i) {
+      for (int64_t j = 1; j <= kN; ++j) {
+        Status st = arr->SetCell({i, j}, Value(rng.NextDouble() * 100.0));
+        SCIDB_CHECK(st.ok()) << st.ToString();
+      }
+    }
+    return arr;
+  }();
+  return *a;
+}
+
+std::shared_ptr<FixedGridPartitioner> QuadPartitioner() {
+  return std::make_shared<FixedGridPartitioner>(Box({1, 1}, {kN, kN}),
+                                                std::vector<int64_t>{2, 2});
+}
+
+int64_t CounterValue(const char* name) {
+  return Metrics::Instance().counter(name)->value();
+}
+
+ExecContext Ctx() {
+  static FunctionRegistry* fns = new FunctionRegistry();
+  static AggregateRegistry* aggs = new AggregateRegistry();
+  return ExecContext{fns, aggs, true, nullptr};
+}
+
+// ---- load amplification: frames and bytes per load at k = 1/2/3 ----------
+
+void BM_ReplicatedLoad(benchmark::State& state) {
+  const int k = static_cast<int>(state.range(0));
+  const MemArray& sky = SkyArray();
+  const int64_t frames0 = CounterValue("scidb.net.frames_sent");
+  const int64_t bytes0 = CounterValue("scidb.net.bytes_sent");
+  for (auto _ : state) {
+    GridNetOptions net;
+    net.replication = k;
+    DistributedArray d(SkySchema(), QuadPartitioner(), net);
+    Status st = d.Load(sky, 0);
+    SCIDB_CHECK(st.ok()) << st.ToString();
+    benchmark::DoNotOptimize(d.TotalCells());
+  }
+  const double iters = static_cast<double>(state.iterations());
+  state.counters["frames/load"] =
+      static_cast<double>(CounterValue("scidb.net.frames_sent") - frames0) /
+      iters;
+  state.counters["MB/load"] =
+      static_cast<double>(CounterValue("scidb.net.bytes_sent") - bytes0) /
+      iters / 1e6;
+  state.SetItemsProcessed(state.iterations() * kN * kN);
+}
+BENCHMARK(BM_ReplicatedLoad)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(3)
+    ->Unit(benchmark::kMillisecond)
+    ->UseRealTime();
+
+// ---- failover premium: the same aggregate, primary up vs unreachable -----
+
+void BM_FailoverAggregate(benchmark::State& state) {
+  const bool primary_down = state.range(0) != 0;
+  GridNetOptions net;
+  net.replication = 2;
+  net.fault_seed = 7;                        // enables the fault wrapper...
+  net.fault_profile = net::FaultProfile{};   // ...with no random faults
+  // Real clock: the partitioned primary consumes its half of this
+  // deadline before the read fails over, so the premium is ~deadline/2.
+  // Wide enough that the surviving replica's read fits in the second
+  // half even under a sanitizer's slowdown.
+  net.call.deadline_ns = 60'000'000;         // 60 ms per call
+  net.call.attempt_timeout_ns = 15'000'000;  // 15 ms per attempt
+  net.call.max_attempts = 2;
+  net.dead_after_failures = 1 << 30;  // never declare dead: every
+                                      // iteration pays the failover path
+  DistributedArray d(SkySchema(), QuadPartitioner(), net);
+  Status st = d.Load(SkyArray(), 0);
+  SCIDB_CHECK(st.ok()) << st.ToString();
+  if (primary_down) d.fault_injector()->PartitionNode(1);
+  ExecContext ctx = Ctx();
+  const int64_t failovers0 = CounterValue("scidb.grid.failover_reads");
+  for (auto _ : state) {
+    auto r = d.ParallelAggregate(ctx, {"ra"}, "avg", "flux");
+    SCIDB_CHECK(r.ok()) << r.status().ToString();
+    benchmark::DoNotOptimize(r.value().CellCount());
+  }
+  state.counters["failovers/op"] =
+      static_cast<double>(CounterValue("scidb.grid.failover_reads") -
+                          failovers0) /
+      static_cast<double>(state.iterations());
+  state.SetItemsProcessed(state.iterations() * kN * kN);
+  state.SetLabel(primary_down ? "primary-down" : "healthy");
+}
+BENCHMARK(BM_FailoverAggregate)
+    ->Arg(0)
+    ->Arg(1)
+    ->Unit(benchmark::kMillisecond)
+    ->UseRealTime();
+
+// ---- one full kill -> detect -> recover cycle ----------------------------
+
+void BM_KillAndRecover(benchmark::State& state) {
+  const MemArray& sky = SkyArray();
+  ExecContext ctx = Ctx();
+  const int64_t chunks0 = CounterValue("scidb.grid.rereplicated_chunks");
+  const int64_t bytes0 = CounterValue("scidb.grid.rereplicated_bytes");
+  for (auto _ : state) {
+    // Virtual time: the dead primary's deadline burns without sleeping,
+    // so the measured wall clock is detection + re-replication compute.
+    net::VirtualTime vt;
+    GridNetOptions net;
+    net.replication = 2;
+    net.fault_seed = 7;
+    net.fault_profile = net::FaultProfile{};
+    net.call.max_attempts = 20;
+    net.call.deadline_ns = 10'000'000'000'000ull;
+    net.clock = vt.clock();
+    net.sleep = vt.sleep();
+    net.dead_after_failures = 1;
+    DistributedArray d(SkySchema(), QuadPartitioner(), net);
+    Status st = d.Load(sky, 0);
+    SCIDB_CHECK(st.ok()) << st.ToString();
+    d.fault_injector()->PartitionNode(1);
+    // One op: failover reads, node declared dead, recovery runs at the
+    // end of the operation.
+    auto r = d.ParallelAggregate(ctx, {"ra"}, "avg", "flux");
+    SCIDB_CHECK(r.ok()) << r.status().ToString();
+    SCIDB_CHECK(d.dead_nodes().count(1) == 1);
+    benchmark::DoNotOptimize(r.value().CellCount());
+  }
+  const double iters = static_cast<double>(state.iterations());
+  state.counters["chunks/cycle"] =
+      static_cast<double>(CounterValue("scidb.grid.rereplicated_chunks") -
+                          chunks0) /
+      iters;
+  state.counters["MB/cycle"] =
+      static_cast<double>(CounterValue("scidb.grid.rereplicated_bytes") -
+                          bytes0) /
+      iters / 1e6;
+  state.SetItemsProcessed(state.iterations() * kN * kN);
+}
+BENCHMARK(BM_KillAndRecover)->Unit(benchmark::kMillisecond)->UseRealTime();
+
+}  // namespace
+}  // namespace scidb

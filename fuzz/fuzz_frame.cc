@@ -81,6 +81,13 @@ void CheckPayload(const scidb::net::Frame& frame) {
       }
       break;
     }
+    case MessageType::kMarkDead: {
+      auto m = scidb::net::MarkDeadRequest::Decode(frame.payload);
+      if (m.ok() && m.value().EncodePayload() != frame.payload) {
+        Fail("MarkDeadRequest decode/encode is not a fixed point");
+      }
+      break;
+    }
     case MessageType::kError: {
       scidb::Status transported;
       (void)scidb::net::DecodeErrorPayload(frame.payload, &transported);

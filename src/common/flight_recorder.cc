@@ -13,7 +13,7 @@ std::atomic<bool> g_enabled{true};
 
 bool IsValidFlightEventKind(uint8_t k) {
   return k >= static_cast<uint8_t>(FlightEventKind::kRpcSend) &&
-         k <= static_cast<uint8_t>(FlightEventKind::kMark);
+         k <= static_cast<uint8_t>(FlightEventKind::kRereplicate);
 }
 
 const char* FlightEventKindName(FlightEventKind k) {
@@ -44,6 +44,12 @@ const char* FlightEventKindName(FlightEventKind k) {
       return "ParallelFor";
     case FlightEventKind::kMark:
       return "Mark";
+    case FlightEventKind::kFailoverRead:
+      return "FailoverRead";
+    case FlightEventKind::kNodeDead:
+      return "NodeDead";
+    case FlightEventKind::kRereplicate:
+      return "Rereplicate";
   }
   return "Unknown";
 }

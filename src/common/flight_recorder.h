@@ -39,6 +39,9 @@ enum class FlightEventKind : uint8_t {
   kShardScan = 11,      // grid shard scan (a=cells, b=bytes)
   kParallelFor = 12,    // morsel fan-out (a=morsels, b=width)
   kMark = 13,           // free-form user marker
+  kFailoverRead = 14,   // read degraded to replicas (a=slot, b=dead count)
+  kNodeDead = 15,       // node declared dead (a=consecutive failures)
+  kRereplicate = 16,    // recovery copied a chunk (a=source, b=target)
 };
 
 // True if `k` names one of the enumerators above; wire decode rejects the

@@ -30,6 +30,15 @@ struct GridMetrics {
       Metrics::Instance().counter("scidb.grid.bytes_scanned");
   Counter* const parallel_ops =
       Metrics::Instance().counter("scidb.grid.parallel_ops");
+  // Replication & failover (DESIGN.md §13).
+  Counter* const failover_reads =
+      Metrics::Instance().counter("scidb.grid.failover_reads");
+  Counter* const nodes_declared_dead =
+      Metrics::Instance().counter("scidb.grid.nodes_declared_dead");
+  Counter* const rereplicated_chunks =
+      Metrics::Instance().counter("scidb.grid.rereplicated_chunks");
+  Counter* const rereplicated_bytes =
+      Metrics::Instance().counter("scidb.grid.rereplicated_bytes");
 
   static const GridMetrics& Get() {
     static auto* const m = new GridMetrics();
@@ -44,10 +53,24 @@ std::atomic<uint64_t>& DefaultFaultSeedSlot() {
   return seed;
 }
 
+// Same pattern for GridNetOptions::replication (`set replication`).
+std::atomic<int>& DefaultReplicationSlot() {
+  static std::atomic<int> k{1};
+  return k;
+}
+
 GridNetOptions DefaultNetOptions() {
   GridNetOptions net;
   net.fault_seed = DefaultFaultSeedSlot().load();
+  net.replication = DefaultReplicationSlot().load();
   return net;
+}
+
+// RPC outcomes that mean "the peer may be gone" — the ones failover and
+// failure detection react to. Anything else (Invalid, Corruption, a
+// server-side error Status) is a real answer from a live node.
+bool IsPeerFailure(const Status& s) {
+  return s.IsUnavailable() || s.IsDeadlineExceeded();
 }
 
 }  // namespace
@@ -73,6 +96,14 @@ uint64_t DistributedArray::DefaultFaultSeed() {
   return DefaultFaultSeedSlot().load();
 }
 
+void DistributedArray::SetDefaultReplication(int k) {
+  DefaultReplicationSlot().store(k < 1 ? 1 : k);
+}
+
+int DistributedArray::DefaultReplication() {
+  return DefaultReplicationSlot().load();
+}
+
 DistributedArray::DistributedArray(
     ArraySchema schema, std::shared_ptr<const Partitioner> partitioner)
     : DistributedArray(std::move(schema), std::move(partitioner),
@@ -86,11 +117,17 @@ DistributedArray::DistributedArray(
       net_opts_(std::move(net)) {
   SCIDB_CHECK(partitioner_ != nullptr);
   clock_ = net_opts_.clock ? net_opts_.clock : TraceClock(SteadyNowNs);
+  placement_ =
+      std::make_unique<ReplicaPlacement>(partitioner_, net_opts_.replication);
   shards_.reserve(static_cast<size_t>(num_nodes()));
   for (int i = 0; i < num_nodes(); ++i) shards_.emplace_back(schema_);
   {
     MutexLock lk(stats_mu_);
     stats_.resize(static_cast<size_t>(num_nodes()));
+  }
+  {
+    MutexLock lk(meta_mu_);
+    consec_fail_.assign(static_cast<size_t>(num_nodes()), 0);
   }
   InitNet();
 }
@@ -179,19 +216,23 @@ void DistributedArray::StitchOpTrace(TraceNode* child,
   if (child == nullptr || !ctx.active()) return;
   std::vector<SpanRecord> client = client_spans_.Take(ctx.trace_id);
   // The stitch's own TraceGet RPCs are deliberately untraced: they must
-  // not add spans to the trace they are collecting.
+  // not add spans to the trace they are collecting. Declared-dead nodes
+  // are skipped outright rather than burning a deadline each.
+  const std::set<int> dead = DeadSnapshot();
   net::CallOptions co = net_opts_.call;
   co.trace = {};
   for (int node = 0; node < num_nodes(); ++node) {
     std::vector<SpanRecord> server;
-    net::TraceGetRequest req;
-    req.trace_id = ctx.trace_id;
-    Result<std::vector<uint8_t>> r = client_->Call(
-        node, net::MessageType::kTraceGet, req.EncodePayload(), co);
-    if (r.ok()) {
-      Result<net::TraceGetResponse> resp =
-          net::TraceGetResponse::Decode(r.value());
-      if (resp.ok()) server = std::move(resp.value().spans);
+    if (dead.count(node) == 0) {
+      net::TraceGetRequest req;
+      req.trace_id = ctx.trace_id;
+      Result<std::vector<uint8_t>> r = client_->Call(
+          node, net::MessageType::kTraceGet, req.EncodePayload(), co);
+      if (r.ok()) {
+        Result<net::TraceGetResponse> resp =
+            net::TraceGetResponse::Decode(r.value());
+        if (resp.ok()) server = std::move(resp.value().spans);
+      }
     }
     // Every node gets a sub-tree even when it served no RPC of this
     // trace (or was unreachable for the stitch), so the tree shape stays
@@ -287,8 +328,15 @@ Status DistributedArray::PutCell(int dest, const Coordinates& c,
 }
 
 Result<MemArray> DistributedArray::FetchShard(int node, const ExprPtr& pred,
-                                              const TraceContext& ctx) const {
+                                              const TraceContext& ctx,
+                                              int view_of,
+                                              const std::set<int>& dead,
+                                              const net::CallOptions& call)
+    const {
   net::ScanShardRequest req;
+  req.view_of = view_of;
+  // std::set iterates ascending — exactly the canonical wire order.
+  req.suspect_dead.assign(dead.begin(), dead.end());
   if (pred != nullptr) {
     // Function shipping: serialize the predicate at the grid boundary;
     // the message layer carries it as opaque bytes.
@@ -296,7 +344,7 @@ Result<MemArray> DistributedArray::FetchShard(int node, const ExprPtr& pred,
     EncodeExpr(*pred, &pw);
     req.pred_bytes = pw.Release();
   }
-  net::CallOptions co = net_opts_.call;
+  net::CallOptions co = call;
   co.trace = ctx;
   ASSIGN_OR_RETURN(std::vector<uint8_t> bytes,
                    client_->Call(node, net::MessageType::kScanShard,
@@ -314,6 +362,318 @@ Result<MemArray> DistributedArray::FetchShard(int node, const ExprPtr& pred,
   return arr;
 }
 
+Result<MemArray> DistributedArray::FetchSlot(
+    int slot, const ExprPtr& pred, const TraceContext& ctx,
+    std::atomic<int64_t>* failovers) const {
+  const int k = placement_->replication();
+  std::set<int> dead = DeadSnapshot();
+  const uint64_t start_ns = clock_();
+  const uint64_t budget_ns = net_opts_.call.deadline_ns;
+
+  if (dead.count(slot) == 0) {
+    // Primary read: when failover is possible the primary attempt gets
+    // half the call budget, so a dead primary still leaves time to ask
+    // the survivors within the caller's original deadline.
+    net::CallOptions co = net_opts_.call;
+    if (k > 1) co.deadline_ns = budget_ns / 2;
+    Result<MemArray> r = FetchShard(slot, pred, ctx, -1, dead, co);
+    if (r.ok()) {
+      RecordCallResult(slot, true);
+      return r;
+    }
+    if (!IsPeerFailure(r.status())) return r;
+    RecordCallResult(slot, false);
+    if (k <= 1) return r;
+    dead.insert(slot);
+  } else if (k <= 1) {
+    return Status::Unavailable("node " + std::to_string(slot) + " is dead");
+  }
+
+  // Failover read: every survivor is asked for slot `slot`'s chunks with
+  // the suspect set attached; exactly one node serves each chunk (its
+  // first live replica), so the union below never double-counts. A
+  // survivor failing mid-failover joins the suspects and the pass
+  // restarts.
+  GridMetrics::Get().failover_reads->Inc();
+  if (FlightRecorder::enabled()) {
+    FlightRecorder::Instance().RecordAt(
+        clock_(), FlightEventKind::kFailoverRead, slot,
+        static_cast<uint64_t>(slot), static_cast<uint64_t>(dead.size()));
+  }
+  if (failovers != nullptr) failovers->fetch_add(1);
+  for (;;) {
+    MemArray merged(schema_);
+    bool restart = false;
+    for (int n = 0; n < num_nodes(); ++n) {
+      if (dead.count(n) != 0) continue;
+      const uint64_t elapsed = clock_() - start_ns;
+      if (elapsed >= budget_ns) {
+        return Status::DeadlineExceeded("failover read for slot " +
+                                        std::to_string(slot) +
+                                        " exhausted the call deadline");
+      }
+      net::CallOptions co = net_opts_.call;
+      co.deadline_ns = budget_ns - elapsed;
+      Result<MemArray> r = FetchShard(n, pred, ctx, slot, dead, co);
+      if (!r.ok()) {
+        if (!IsPeerFailure(r.status())) return r;
+        RecordCallResult(n, false);
+        dead.insert(n);
+        restart = true;
+        break;
+      }
+      RecordCallResult(n, true);
+      for (const auto& [origin, chunk] : r.value().chunks()) {
+        // Replicas are byte-identical, so an upsert is a no-op on the
+        // (impossible) duplicate.
+        (*merged.mutable_chunks())[origin] = chunk;
+      }
+    }
+    if (restart) continue;
+    if (pred == nullptr) {
+      // Unfiltered scans can be audited against the chunk directory:
+      // every chunk whose primary is `slot` must have been served by
+      // someone, or data really was lost (more than k-1 holders died).
+      MutexLock lk(meta_mu_);
+      for (const auto& [origin, meta] : chunk_dir_) {
+        if (placement_->PrimaryFor(origin, meta.time) != slot) continue;
+        if (merged.chunks().count(origin) == 0) {
+          return Status::Unavailable(
+              "chunk lost: no surviving replica covers slot " +
+              std::to_string(slot));
+        }
+      }
+    }
+    return merged;
+  }
+}
+
+Status DistributedArray::PlaceChunk(const Coordinates& origin,
+                                    const Chunk& chunk, int64_t time,
+                                    const TraceContext& ctx) {
+  const int k = placement_->replication();
+  if (k <= 1) {
+    // The legacy write path, byte for byte: placement is NodeFor at the
+    // write's own epoch, no directory, no failure detection.
+    int node = partitioner_->NodeFor(origin, time);
+    if (node < 0 || node >= num_nodes()) {
+      return Status::Internal("partitioner returned node " +
+                              std::to_string(node));
+    }
+    return PutChunk(node, chunk, time, ctx);
+  }
+
+  bool existing = false;
+  ChunkMeta meta;
+  {
+    MutexLock lk(meta_mu_);
+    auto it = chunk_dir_.find(origin);
+    if (it != chunk_dir_.end()) {
+      existing = true;
+      meta = it->second;
+    }
+  }
+  const std::set<int> dead = DeadSnapshot();
+
+  if (existing) {
+    // Updates go to every live holder, strictly: a failed holder write
+    // fails the whole operation rather than leaving replicas divergent.
+    // (Declared-dead holders are skipped — recovery replaces them.)
+    int written = 0;
+    for (int h : meta.holders) {
+      if (dead.count(h) != 0) continue;
+      Status st = PutChunk(h, chunk, meta.time, ctx);
+      if (!st.ok()) {
+        if (IsPeerFailure(st)) RecordCallResult(h, false);
+        return st;
+      }
+      RecordCallResult(h, true);
+      ++written;
+    }
+    if (written == 0) {
+      return Status::Unavailable("every holder of the chunk is dead");
+    }
+    return Status::OK();
+  }
+
+  // Fresh chunk: walk the preference order placing k copies, stepping
+  // past dead or unreachable candidates. One successful copy is enough
+  // to accept the write; Recover() tops the chunk back up to k.
+  const std::vector<int> order = placement_->PreferenceOrder(origin, time);
+  std::vector<int> holders;
+  Status last = Status::Unavailable("no live node accepted the chunk");
+  for (int cand : order) {
+    if (static_cast<int>(holders.size()) == k) break;
+    if (dead.count(cand) != 0) continue;
+    Status st = PutChunk(cand, chunk, time, ctx);
+    if (st.ok()) {
+      RecordCallResult(cand, true);
+      holders.push_back(cand);
+      continue;
+    }
+    if (!IsPeerFailure(st)) return st;
+    RecordCallResult(cand, false);
+    last = st;
+  }
+  if (holders.empty()) return last;
+  {
+    MutexLock lk(meta_mu_);
+    ChunkMeta& m = chunk_dir_[origin];
+    m.time = time;  // the first write's epoch, sticky (pins placement)
+    m.holders = holders;
+  }
+  return Status::OK();
+}
+
+Result<Chunk> DistributedArray::GetChunk(int src,
+                                         const Coordinates& origin) const {
+  net::ChunkGetRequest req;
+  req.origin = origin;
+  ASSIGN_OR_RETURN(std::vector<uint8_t> bytes,
+                   client_->Call(src, net::MessageType::kChunkGet,
+                                 req.EncodePayload(), net_opts_.call));
+  return DeserializeChunk(bytes, schema_.attrs());
+}
+
+void DistributedArray::RecordCallResult(int node, bool ok) const {
+  if (placement_->replication() <= 1) return;  // legacy grid: no detector
+  if (node < 0 || node >= num_nodes()) return;
+  bool newly_dead = false;
+  int fails = 0;
+  {
+    MutexLock lk(meta_mu_);
+    int& f = consec_fail_[static_cast<size_t>(node)];
+    if (ok) {
+      f = 0;
+      return;
+    }
+    if (dead_.count(node) != 0) return;  // already declared
+    ++f;
+    if (f >= net_opts_.dead_after_failures) {
+      dead_.insert(node);
+      recover_pending_ = true;
+      newly_dead = true;
+      fails = f;
+    }
+  }
+  if (newly_dead) {
+    GridMetrics::Get().nodes_declared_dead->Inc();
+    if (FlightRecorder::enabled()) {
+      FlightRecorder::Instance().RecordAt(clock_(),
+                                          FlightEventKind::kNodeDead, node,
+                                          static_cast<uint64_t>(fails));
+    }
+  }
+}
+
+std::set<int> DistributedArray::DeadSnapshot() const {
+  MutexLock lk(meta_mu_);
+  return dead_;
+}
+
+std::set<int> DistributedArray::dead_nodes() const { return DeadSnapshot(); }
+
+int64_t DistributedArray::DirTimeFor(const Coordinates& origin) const {
+  MutexLock lk(meta_mu_);
+  auto it = chunk_dir_.find(origin);
+  return it != chunk_dir_.end() ? it->second.time : 0;
+}
+
+void DistributedArray::BroadcastDeadSet() const {
+  const std::set<int> dead = DeadSnapshot();
+  net::MarkDeadRequest req;
+  req.dead.assign(dead.begin(), dead.end());
+  for (int n = 0; n < num_nodes(); ++n) {
+    if (dead.count(n) != 0) continue;
+    // Best-effort: a survivor that misses the broadcast still filters
+    // correctly per request (the coordinator attaches its suspect set to
+    // every ScanShard).
+    (void)client_->Call(  // status-ignored: best-effort broadcast; see above
+        n, net::MessageType::kMarkDead, req.EncodePayload(), net_opts_.call);
+  }
+}
+
+void DistributedArray::MaybeRecover() {
+  bool pending;
+  {
+    MutexLock lk(meta_mu_);
+    pending = recover_pending_;
+  }
+  if (pending) (void)Recover();  // status-ignored: retried on the next op
+                                 // via the sticky recover_pending_ flag
+}
+
+Result<int64_t> DistributedArray::Recover() {
+  {
+    MutexLock lk(meta_mu_);
+    recover_pending_ = false;
+  }
+  if (placement_->replication() <= 1) return 0;
+  const std::set<int> dead = DeadSnapshot();
+  if (dead.empty()) return 0;
+  BroadcastDeadSet();
+  // Snapshot the directory so no RPC runs under meta_mu_ (the inline
+  // transport executes handlers on this thread, and handlers read the
+  // directory through DirTimeFor).
+  std::vector<std::pair<Coordinates, ChunkMeta>> entries;
+  {
+    MutexLock lk(meta_mu_);
+    entries.assign(chunk_dir_.begin(), chunk_dir_.end());
+  }
+  int64_t copies = 0;
+  for (const auto& [origin, meta] : entries) {
+    const std::vector<int> desired =
+        placement_->LiveReplicasFor(origin, meta.time, dead);
+    std::vector<int> live;
+    for (int h : meta.holders) {
+      if (dead.count(h) == 0) live.push_back(h);
+    }
+    if (live.empty()) {
+      return Status::Unavailable(
+          "chunk lost: every holder died before recovery");
+    }
+    std::vector<int> holders;
+    for (int target : desired) {
+      bool have = false;
+      for (int h : live) have = have || h == target;
+      if (have) {
+        holders.push_back(target);
+        continue;
+      }
+      // Copy from the first live holder that answers (holder order is
+      // deterministic, so so is the source choice).
+      Result<Chunk> chunk = Status::Unavailable("no source answered");
+      int src = -1;
+      for (int s : live) {
+        chunk = GetChunk(s, origin);
+        if (chunk.ok()) {
+          src = s;
+          break;
+        }
+        if (!IsPeerFailure(chunk.status())) return chunk.status();
+        RecordCallResult(s, false);
+      }
+      RETURN_NOT_OK(chunk.status());
+      RETURN_NOT_OK(PutChunk(target, chunk.value(), meta.time));
+      GridMetrics::Get().rereplicated_chunks->Inc();
+      GridMetrics::Get().rereplicated_bytes->Inc(
+          static_cast<int64_t>(chunk.value().ByteSize()));
+      if (FlightRecorder::enabled()) {
+        FlightRecorder::Instance().RecordAt(
+            clock_(), FlightEventKind::kRereplicate, target,
+            static_cast<uint64_t>(src), static_cast<uint64_t>(target));
+      }
+      holders.push_back(target);
+      ++copies;
+    }
+    if (holders != meta.holders) {
+      MutexLock lk(meta_mu_);
+      chunk_dir_[origin].holders = holders;
+    }
+  }
+  return copies;
+}
+
 Status DistributedArray::Load(const MemArray& source, int64_t time) {
   if (!(source.schema() == schema_)) {
     return Status::Invalid("schema mismatch loading distributed array");
@@ -327,14 +687,10 @@ Status DistributedArray::Load(const MemArray& source, int64_t time) {
     for (const auto& [origin, chunk] : source.chunks()) {
       if (chunk->present_count() == 0) continue;  // nothing to place
       // Source and destination share the schema, so the source chunk
-      // origin IS the placement key — every cell of it lands together.
-      int node = partitioner_->NodeFor(origin, time);
-      if (node < 0 || node >= num_nodes()) {
-        return Status::Internal("partitioner returned node " +
-                                std::to_string(node));
-      }
-      RETURN_NOT_OK(PutChunk(node, *chunk, time, ctx));
-      ++rpcs;
+      // origin IS the placement key — every cell of it lands together
+      // (on every replica, when replication > 1).
+      RETURN_NOT_OK(PlaceChunk(origin, *chunk, time, ctx));
+      rpcs += replication();
     }
   }
   if (child != nullptr) child->AddNote("net.rpcs", static_cast<double>(rpcs));
@@ -346,22 +702,26 @@ Status DistributedArray::SetCell(const Coordinates& c,
                                  const std::vector<Value>& values,
                                  int64_t time) {
   // Placement is per chunk, so every cell of one chunk lands together.
-  MemArray probe(schema_);
-  Coordinates origin = probe.ChunkOriginFor(c);
-  int node = partitioner_->NodeFor(origin, time);
-  if (node < 0 || node >= num_nodes()) {
-    return Status::Internal("partitioner returned node " +
-                            std::to_string(node));
-  }
-  return PutCell(node, c, values, time);
+  // A one-cell chunk travels (to every live replica at k > 1).
+  MemArray one(schema_);
+  RETURN_NOT_OK(one.SetCell(c, values));
+  const auto& [origin, chunk] = *one.chunks().begin();
+  return PlaceChunk(origin, *chunk, time);
 }
 
 std::vector<NodeStats> DistributedArray::node_stats() const {
   std::vector<NodeStats> out(static_cast<size_t>(num_nodes()));
+  const std::set<int> dead = DeadSnapshot();
   for (int node = 0; node < num_nodes(); ++node) {
     bool fetched = false;
-    Result<std::vector<uint8_t>> r = client_->Call(
-        node, net::MessageType::kNodeStatsReq, {}, net_opts_.call);
+    // A declared-dead node goes straight to the local fallback instead
+    // of burning a full RPC deadline per stats call.
+    Result<std::vector<uint8_t>> r =
+        dead.count(node) != 0
+            ? Result<std::vector<uint8_t>>(
+                  Status::Unavailable("node declared dead"))
+            : client_->Call(node, net::MessageType::kNodeStatsReq, {},
+                            net_opts_.call);
     if (r.ok()) {
       Result<net::NodeStatsResponse> resp =
           net::NodeStatsResponse::Decode(r.value());
@@ -459,6 +819,12 @@ Result<int64_t> DistributedArray::Repartition(
   next.reserve(static_cast<size_t>(to->num_nodes()));
   for (int i = 0; i < to->num_nodes(); ++i) next.emplace_back(schema_);
 
+  // Replication-aware: each (deduplicated) chunk lands on every node of
+  // its new replica set; the directory is rebuilt alongside the shards.
+  ReplicaPlacement next_place(to, net_opts_.replication);
+  std::map<Coordinates, ChunkMeta> next_dir;
+  std::set<Coordinates> seen;  // k > 1 stores each chunk k times
+
   int64_t bytes_moved = 0;
   Status st;
   bool failed = false;
@@ -466,18 +832,28 @@ Result<int64_t> DistributedArray::Repartition(
   for (int node = 0; node < num_nodes(); ++node) {
     const MemArray& shard = shards_[static_cast<size_t>(node)];
     for (const auto& [origin, chunk] : shard.chunks()) {
+      // Replicas are byte-identical; rebuild each chunk once, from the
+      // first shard that holds a copy.
+      if (!seen.insert(origin).second) continue;
       int dest = to->NodeFor(origin, time);
       if (dest != node) bytes_moved += static_cast<int64_t>(chunk->ByteSize());
+      std::vector<int> dests = next_place.ReplicasFor(origin, time);
+      if (next_place.replication() > 1) {
+        next_dir[origin] = ChunkMeta{time, dests};
+      }
       for (Chunk::CellIterator it(*chunk); it.valid(); it.Next()) {
         cell.clear();
         for (size_t a = 0; a < chunk->nattrs(); ++a) {
           cell.push_back(chunk->block(a).Get(it.rank()));
         }
-        st = next[static_cast<size_t>(dest)].SetCell(it.coords(), cell);
-        if (!st.ok()) {
-          failed = true;
-          break;
+        for (int d : dests) {
+          st = next[static_cast<size_t>(d)].SetCell(it.coords(), cell);
+          if (!st.ok()) {
+            failed = true;
+            break;
+          }
         }
+        if (failed) break;
       }
       if (failed) break;
     }
@@ -490,6 +866,8 @@ Result<int64_t> DistributedArray::Repartition(
   ShutdownNet();
   shards_ = std::move(next);
   partitioner_ = std::move(to);
+  placement_ =
+      std::make_unique<ReplicaPlacement>(partitioner_, net_opts_.replication);
   pool_.reset();
   {
     MutexLock lk(stats_mu_);
@@ -498,6 +876,15 @@ Result<int64_t> DistributedArray::Repartition(
       stats_[static_cast<size_t>(i)].cells_stored =
           shards_[static_cast<size_t>(i)].CellCount();
     }
+  }
+  {
+    // A repartition is a fresh start for the failure detector: the old
+    // dead set indexed the old topology.
+    MutexLock lk(meta_mu_);
+    chunk_dir_ = std::move(next_dir);
+    dead_.clear();
+    consec_fail_.assign(static_cast<size_t>(num_nodes()), 0);
+    recover_pending_ = false;
   }
   InitNet();
   return bytes_moved;
@@ -530,6 +917,7 @@ Result<MemArray> DistributedArray::ParallelAggregate(
 
   TraceNode* child = TraceChild("grid.parallel_aggregate");
   const TraceContext tctx = BeginOpTrace();
+  std::atomic<int64_t> failovers{0};
   std::vector<std::map<Coordinates, std::unique_ptr<AggregateState>>>
       node_states(static_cast<size_t>(num_nodes()));
   {
@@ -538,7 +926,8 @@ Result<MemArray> DistributedArray::ParallelAggregate(
     RETURN_NOT_OK(FanoutPool()->ParallelFor(
         num_nodes(), [&](int64_t node) -> Status {
           ASSIGN_OR_RETURN(MemArray partial,
-                           FetchShard(static_cast<int>(node), nullptr, tctx));
+                           FetchSlot(static_cast<int>(node), nullptr, tctx,
+                                     &failovers));
           auto& groups = node_states[static_cast<size_t>(node)];
           Status acc;
           partial.ForEachCell(
@@ -566,8 +955,12 @@ Result<MemArray> DistributedArray::ParallelAggregate(
   }
   if (child != nullptr) {
     child->AddNote("net.rpcs", static_cast<double>(num_nodes()));
+    if (failovers.load() > 0) {
+      child->AddNote("failover", static_cast<double>(failovers.load()));
+    }
   }
   StitchOpTrace(child, tctx);
+  MaybeRecover();
 
   // Coordinator merge, in node order (deterministic at every width).
   std::map<Coordinates, std::unique_ptr<AggregateState>> merged;
@@ -604,6 +997,7 @@ Result<MemArray> DistributedArray::ParallelSubsample(const ExecContext& ctx,
   }
   TraceNode* child = TraceChild("grid.parallel_subsample");
   const TraceContext tctx = BeginOpTrace();
+  std::atomic<int64_t> failovers{0};
   std::vector<Result<MemArray>> partials(
       static_cast<size_t>(num_nodes()),
       Result<MemArray>(Status::Internal("not run")));
@@ -613,14 +1007,18 @@ Result<MemArray> DistributedArray::ParallelSubsample(const ExecContext& ctx,
     RETURN_NOT_OK(
         FanoutPool()->ParallelFor(num_nodes(), [&](int64_t node) -> Status {
           partials[static_cast<size_t>(node)] =
-              FetchShard(static_cast<int>(node), pred, tctx);
+              FetchSlot(static_cast<int>(node), pred, tctx, &failovers);
           return partials[static_cast<size_t>(node)].status();
         }));
   }
   if (child != nullptr) {
     child->AddNote("net.rpcs", static_cast<double>(num_nodes()));
+    if (failovers.load() > 0) {
+      child->AddNote("failover", static_cast<double>(failovers.load()));
+    }
   }
   StitchOpTrace(child, tctx);
+  MaybeRecover();
 
   MemArray out(schema_);
   out.mutable_schema()->set_name(schema_.name() + "_subsample");
@@ -693,6 +1091,7 @@ Result<MemArray> DistributedArray::ParallelSjoin(
   GridMetrics::Get().parallel_ops->Inc();
   TraceNode* child = TraceChild("grid.parallel_sjoin");
   const TraceContext tctx = BeginOpTrace();
+  std::atomic<int64_t> failovers{0};
   std::vector<Result<MemArray>> partials(
       static_cast<size_t>(num_nodes()),
       Result<MemArray>(Status::Internal("not run")));
@@ -702,7 +1101,8 @@ Result<MemArray> DistributedArray::ParallelSjoin(
     RETURN_NOT_OK(
         FanoutPool()->ParallelFor(num_nodes(), [&](int64_t node) -> Status {
           ASSIGN_OR_RETURN(MemArray lhs,
-                           FetchShard(static_cast<int>(node), nullptr, tctx));
+                           FetchSlot(static_cast<int>(node), nullptr, tctx,
+                                     &failovers));
           ExecContext local = ctx;
           local.stats = nullptr;
           partials[static_cast<size_t>(node)] = Sjoin(
@@ -712,8 +1112,12 @@ Result<MemArray> DistributedArray::ParallelSjoin(
   }
   if (child != nullptr) {
     child->AddNote("net.rpcs", static_cast<double>(num_nodes()));
+    if (failovers.load() > 0) {
+      child->AddNote("failover", static_cast<double>(failovers.load()));
+    }
   }
   StitchOpTrace(child, tctx);
+  MaybeRecover();
 
   Result<MemArray>& first = partials[0];
   RETURN_NOT_OK(first.status());
@@ -743,6 +1147,13 @@ Result<MemArray> DistributedArray::ParallelSjoin(
 
 Result<int64_t> DistributedArray::ReplicateBoundaries(
     int64_t max_position_error) {
+  if (placement_->replication() > 1) {
+    // Boundary replicas are deliberately placed on the "wrong" node,
+    // which contradicts the chunk directory's holder bookkeeping; the
+    // two replication mechanisms do not compose (DESIGN.md §13).
+    return Status::Invalid(
+        "boundary replication requires replication = 1");
+  }
   const auto* range = dynamic_cast<const RangePartitioner*>(
       partitioner_.get());
   if (range == nullptr) {

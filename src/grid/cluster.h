@@ -1,8 +1,11 @@
 #ifndef SCIDB_GRID_CLUSTER_H_
 #define SCIDB_GRID_CLUSTER_H_
 
+#include <atomic>
 #include <cstdint>
+#include <map>
 #include <memory>
+#include <set>
 #include <string>
 #include <vector>
 
@@ -60,6 +63,22 @@ struct GridNetOptions {
   // full partition consumes its deadline without real sleeping.
   TraceClock clock;    // null = SteadyNowNs
   net::SleepFn sleep;  // null = real condition-variable waits
+
+  // k-way chunk replication (DESIGN.md §13): every chunk is written to
+  // the first k nodes of its ReplicaPlacement preference order, reads
+  // fail over to a surviving replica when the primary is unreachable,
+  // and Recover() re-replicates a dead node's chunks onto survivors.
+  // 1 (the default) is the exact pre-replication grid: no extra writes,
+  // no failover, no failure detection. The session knob
+  // `set replication = k` feeds the process-wide default picked up by
+  // the two-argument constructor. Clamped to [1, num_nodes()].
+  int replication = 1;
+
+  // Consecutive failed data-path RPCs to one node before the
+  // coordinator declares it dead (triggers MarkDead broadcast +
+  // re-replication at the end of the running operation). Only
+  // meaningful when replication > 1.
+  int dead_after_failures = 3;
 };
 
 // One scrape of every node's metrics, pulled over MetricsGet RPCs
@@ -111,6 +130,25 @@ class DistributedArray {
   }
   int num_nodes() const { return partitioner_->num_nodes(); }
   const MemArray& shard(int node) const { return shards_[node]; }
+
+  // ---- replication & failover (DESIGN.md §13) ----
+
+  // Effective replication factor (GridNetOptions::replication clamped).
+  int replication() const { return placement_->replication(); }
+  const ReplicaPlacement& placement() const { return *placement_; }
+
+  // Nodes the coordinator has declared dead (dead_after_failures
+  // consecutive data-path RPC failures). Snapshot copy.
+  std::set<int> dead_nodes() const LOCKS_EXCLUDED(meta_mu_);
+
+  // Re-replicates every chunk whose replica set lost nodes to the dead
+  // set, copying from a surviving holder (ChunkGet) onto the first live
+  // nodes of the chunk's preference order (ChunkPut), after broadcasting
+  // the dead set to every survivor (MarkDead). Returns the number of
+  // chunk copies created. Runs automatically at the end of a parallel
+  // operation that declared a node dead; callable explicitly too.
+  // No-op at replication = 1 (there is nothing to copy from).
+  Result<int64_t> Recover() LOCKS_EXCLUDED(meta_mu_);
   // Snapshot of the per-node counters, fetched from each node with a
   // NodeStatsReq RPC (an unreachable node falls back to the
   // coordinator's last local accounting). Returns a copy.
@@ -207,6 +245,11 @@ class DistributedArray {
   static void SetDefaultFaultSeed(uint64_t seed);
   static uint64_t DefaultFaultSeed();
 
+  // Process-wide default replication factor for newly constructed
+  // arrays. Backs the session `set replication = k` knob.
+  static void SetDefaultReplication(int k);
+  static int DefaultReplication();
+
  private:
   friend class GridNodeService;
 
@@ -223,10 +266,53 @@ class DistributedArray {
   // Single-cell write via PutChunk (a one-cell chunk travels).
   Status PutCell(int dest, const Coordinates& c,
                  const std::vector<Value>& values, int64_t time);
-  // One ScanShard RPC: node `node`'s cells, optionally filtered
-  // server-side by `pred`, rebuilt into a coordinator-side MemArray.
+  // Replica-aware chunk write: at replication = 1 this is exactly the
+  // legacy NodeFor + PutChunk path; at k > 1 a fresh chunk is written
+  // to the first k live nodes of its preference order (walking past
+  // unreachable candidates) and an existing chunk is re-written to all
+  // of its live holders, so copies never diverge. Updates the chunk
+  // directory.
+  Status PlaceChunk(const Coordinates& origin, const Chunk& chunk,
+                    int64_t time, const TraceContext& ctx = {})
+      LOCKS_EXCLUDED(meta_mu_);
+  // One ChunkGet RPC: fetches the chunk at `origin` from node `src`.
+  Result<Chunk> GetChunk(int src, const Coordinates& origin) const;
+  // One ScanShard RPC: the chunks of fan-out slot `view_of` (-1 = node's
+  // own slot) that `node` currently serves given the dead view, rebuilt
+  // into a coordinator-side MemArray. `pred` filters server-side.
   Result<MemArray> FetchShard(int node, const ExprPtr& pred,
-                              const TraceContext& ctx = {}) const;
+                              const TraceContext& ctx, int view_of,
+                              const std::set<int>& dead,
+                              const net::CallOptions& call) const;
+  // The parallel operators' per-slot fetch: asks slot `slot` for its own
+  // chunks, and when the slot is dead or unreachable (and k > 1)
+  // degrades to a failover read — the survivors are asked for the
+  // slot's chunks (first-live-replica serves), within what remains of
+  // the original call deadline. Bumps scidb.grid.failover_reads and
+  // `failovers` (the op's `failover` explain-analyze note) when the
+  // degraded path runs.
+  Result<MemArray> FetchSlot(int slot, const ExprPtr& pred,
+                             const TraceContext& ctx,
+                             std::atomic<int64_t>* failovers) const
+      LOCKS_EXCLUDED(meta_mu_);
+
+  // Failure-detection bookkeeping for one data-path RPC outcome.
+  // Declares the node dead on the dead_after_failures'th consecutive
+  // failure (flight-recorder kNodeDead + scidb.grid.nodes_declared_dead)
+  // and remembers that a recovery pass is owed. No-op at k = 1, so the
+  // legacy grid never changes behavior.
+  void RecordCallResult(int node, bool ok) const LOCKS_EXCLUDED(meta_mu_);
+  std::set<int> DeadSnapshot() const LOCKS_EXCLUDED(meta_mu_);
+  // The chunk's load epoch from the directory (0 when unknown); the
+  // node services use it to compute placement orders for scan
+  // filtering.
+  int64_t DirTimeFor(const Coordinates& origin) const
+      LOCKS_EXCLUDED(meta_mu_);
+  // Pushes the coordinator's dead set to every survivor (MarkDead).
+  void BroadcastDeadSet() const LOCKS_EXCLUDED(meta_mu_);
+  // Runs Recover() if RecordCallResult declared a node dead since the
+  // last pass. Called at the end of each parallel operation.
+  void MaybeRecover();
 
   // Starts a distributed trace for one grid operation: fresh trace id
   // plus a root span the per-RPC client spans parent onto. Inactive
@@ -273,6 +359,24 @@ class DistributedArray {
   // and by the per-node RPC handlers during parallel execution.
   mutable Mutex stats_mu_;
   std::vector<NodeStats> stats_ GUARDED_BY(stats_mu_);
+
+  // ---- replication metadata (DESIGN.md §13) ----
+  // Rebuilt alongside partitioner_ on construction and Repartition.
+  std::unique_ptr<ReplicaPlacement>
+      placement_;  // NOLINT(lock-coverage): coordinator-only
+  // Chunk directory: load epoch (sticky: the first write's time, which
+  // pins the chunk's placement order forever) plus current holders.
+  struct ChunkMeta {
+    int64_t time = 0;
+    std::vector<int> holders;
+  };
+  mutable Mutex meta_mu_;
+  mutable std::map<Coordinates, ChunkMeta> chunk_dir_ GUARDED_BY(meta_mu_);
+  // Nodes declared dead + per-node consecutive data-path failures.
+  mutable std::set<int> dead_ GUARDED_BY(meta_mu_);
+  mutable std::vector<int> consec_fail_ GUARDED_BY(meta_mu_);
+  // Set when RecordCallResult declares a death; cleared by Recover().
+  mutable bool recover_pending_ GUARDED_BY(meta_mu_) = false;
 
   // ---- network stack (DESIGN.md §10) ----
   // Declaration order is teardown order in reverse: the client and

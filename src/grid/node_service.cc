@@ -1,5 +1,6 @@
 #include "grid/node_service.h"
 
+#include <set>
 #include <string>
 #include <utility>
 
@@ -27,6 +28,10 @@ void GridNodeService::Install(net::RpcServer* server) {
   server->Handle(net::MessageType::kScanShard,
                  [this](int, const std::vector<uint8_t>& payload) {
                    return ScanShard(payload);
+                 });
+  server->Handle(net::MessageType::kMarkDead,
+                 [this](int, const std::vector<uint8_t>& payload) {
+                   return MarkDead(payload);
                  });
   server->Handle(net::MessageType::kNodeStatsReq,
                  [this](int, const std::vector<uint8_t>& payload) {
@@ -88,19 +93,58 @@ Result<std::vector<uint8_t>> GridNodeService::ChunkGet(
   return SerializeChunk(*chunk);
 }
 
+Result<std::vector<uint8_t>> GridNodeService::MarkDead(
+    const std::vector<uint8_t>& payload) {
+  ASSIGN_OR_RETURN(net::MarkDeadRequest req,
+                   net::MarkDeadRequest::Decode(payload));
+  MutexLock lock(mu_);
+  known_dead_.assign(req.dead.begin(), req.dead.end());
+  return std::vector<uint8_t>{};  // empty ack
+}
+
 Result<std::vector<uint8_t>> GridNodeService::ScanShard(
     const std::vector<uint8_t>& payload) {
   ASSIGN_OR_RETURN(net::ScanShardRequest req,
                    net::ScanShardRequest::Decode(payload));
+  if (req.view_of >= owner_->num_nodes()) {
+    return Status::Invalid("ScanShard view_of names no grid node");
+  }
   MutexLock lock(mu_);
   // The serving node pays the scan, so it is accounted here — a
   // duplicated request really is scanned twice.
   owner_->RecordShardScan(node_);
   const MemArray& shard = owner_->shards_[static_cast<size_t>(node_)];
+
+  // Replication view (DESIGN.md §13): the scan serves exactly the chunks
+  // of fan-out slot `target` (a slot is a primary partition, fixed for
+  // the chunk's lifetime) that this node currently owns — owns meaning
+  // "is the first live replica of", under the union of this node's
+  // MarkDead view and the request's suspect set. With replication = 1
+  // and no replication view in the request, the legacy whole-shard scan
+  // runs untouched.
+  const ReplicaPlacement& place = owner_->placement();
+  std::set<int> dead(known_dead_.begin(), known_dead_.end());
+  for (int32_t d : req.suspect_dead) dead.insert(d);
+  const int target = req.view_of >= 0 ? req.view_of : node_;
+  const bool filtered =
+      place.replication() > 1 || req.view_of >= 0 || !dead.empty();
+
+  MemArray view(owner_->schema_);
+  const MemArray* source = &shard;
+  if (filtered) {
+    for (const auto& [origin, chunk] : shard.chunks()) {
+      const int64_t t = owner_->DirTimeFor(origin);
+      if (place.PrimaryFor(origin, t) != target) continue;
+      if (place.OwnerFor(origin, t, dead) != node_) continue;
+      (*view.mutable_chunks())[origin] = chunk;
+    }
+    source = &view;
+  }
+
   net::ScanShardResponse resp;
   if (req.pred_bytes.empty()) {
-    // Data shipping: the shard's chunks verbatim, in origin order.
-    for (const auto& [origin, chunk] : shard.chunks()) {
+    // Data shipping: the served chunks verbatim, in origin order.
+    for (const auto& [origin, chunk] : source->chunks()) {
       resp.chunks.push_back(SerializeChunk(*chunk));
     }
   } else {
@@ -117,8 +161,8 @@ Result<std::vector<uint8_t>> GridNodeService::ScanShard(
     ExecContext local;
     local.functions = functions_;
     local.enable_chunk_pruning = enable_chunk_pruning_;
-    ASSIGN_OR_RETURN(MemArray filtered, Subsample(local, shard, pred));
-    for (const auto& [origin, chunk] : filtered.chunks()) {
+    ASSIGN_OR_RETURN(MemArray filtered_arr, Subsample(local, *source, pred));
+    for (const auto& [origin, chunk] : filtered_arr.chunks()) {
       resp.chunks.push_back(SerializeChunk(*chunk));
     }
   }

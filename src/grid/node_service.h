@@ -1,6 +1,7 @@
 #ifndef SCIDB_GRID_NODE_SERVICE_H_
 #define SCIDB_GRID_NODE_SERVICE_H_
 
+#include <cstdint>
 #include <vector>
 
 #include "common/mutex.h"
@@ -48,6 +49,10 @@ class GridNodeService {
       LOCKS_EXCLUDED(mu_);
   Result<std::vector<uint8_t>> ScanShard(const std::vector<uint8_t>& payload)
       LOCKS_EXCLUDED(mu_);
+  // Replaces this node's dead-set view (DESIGN.md §13). Idempotent: the
+  // payload is the whole set, so retries and duplicates are no-ops.
+  Result<std::vector<uint8_t>> MarkDead(const std::vector<uint8_t>& payload)
+      LOCKS_EXCLUDED(mu_);
   Result<std::vector<uint8_t>> NodeStatsReq(
       const std::vector<uint8_t>& payload) LOCKS_EXCLUDED(mu_);
   Result<std::vector<uint8_t>> MetricsGet(const std::vector<uint8_t>& payload)
@@ -64,6 +69,10 @@ class GridNodeService {
   Mutex mu_;
   const FunctionRegistry* functions_ GUARDED_BY(mu_) = nullptr;
   bool enable_chunk_pruning_ GUARDED_BY(mu_) = true;
+  // This node's view of the dead set, replaced wholesale by MarkDead
+  // broadcasts; union'd with each ScanShard request's suspect set to
+  // decide which chunks this node serves (see ScanShard).
+  std::vector<int32_t> known_dead_ GUARDED_BY(mu_);
 };
 
 }  // namespace scidb

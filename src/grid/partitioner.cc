@@ -140,4 +140,81 @@ bool TimeSplitPartitioner::Equals(const Partitioner& other) const {
   return true;
 }
 
+// ----------------------------------------------------- ReplicaPlacement
+
+ReplicaPlacement::ReplicaPlacement(
+    std::shared_ptr<const Partitioner> scheme, int replication)
+    : scheme_(std::move(scheme)) {
+  SCIDB_CHECK(scheme_ != nullptr);
+  k_ = std::max(1, std::min(replication, scheme_->num_nodes()));
+}
+
+uint64_t ReplicaPlacement::Score(const Coordinates& origin, int node) {
+  uint64_t h = 1469598103934665603ull;  // FNV-1a
+  auto mix = [&h](uint64_t x) {
+    for (int b = 0; b < 8; ++b) {
+      h ^= (x >> (b * 8)) & 0xFF;
+      h *= 1099511628211ull;
+    }
+  };
+  for (int64_t c : origin) mix(static_cast<uint64_t>(c));
+  mix(static_cast<uint64_t>(node));
+  h ^= h >> 33;
+  h *= 0xFF51AFD7ED558CCDull;
+  h ^= h >> 33;
+  return h;
+}
+
+std::vector<int> ReplicaPlacement::PreferenceOrder(const Coordinates& origin,
+                                                   int64_t time) const {
+  const int n = num_nodes();
+  const int primary = scheme_->NodeFor(origin, time);
+  std::vector<int> order;
+  order.reserve(static_cast<size_t>(n));
+  order.push_back(primary);
+  std::vector<int> rest;
+  rest.reserve(static_cast<size_t>(n) - 1);
+  for (int node = 0; node < n; ++node) {
+    if (node != primary) rest.push_back(node);
+  }
+  // Highest score first; ties (possible, if astronomically rare) break
+  // on node id so the order is total and deterministic.
+  std::sort(rest.begin(), rest.end(), [&origin](int a, int b) {
+    uint64_t sa = Score(origin, a);
+    uint64_t sb = Score(origin, b);
+    if (sa != sb) return sa > sb;
+    return a < b;
+  });
+  order.insert(order.end(), rest.begin(), rest.end());
+  return order;
+}
+
+std::vector<int> ReplicaPlacement::ReplicasFor(const Coordinates& origin,
+                                               int64_t time) const {
+  std::vector<int> order = PreferenceOrder(origin, time);
+  order.resize(static_cast<size_t>(std::min<int>(k_, num_nodes())));
+  return order;
+}
+
+std::vector<int> ReplicaPlacement::LiveReplicasFor(
+    const Coordinates& origin, int64_t time,
+    const std::set<int>& dead) const {
+  std::vector<int> out;
+  for (int node : PreferenceOrder(origin, time)) {
+    if (dead.count(node) != 0) continue;
+    out.push_back(node);
+    if (static_cast<int>(out.size()) == k_) break;
+  }
+  return out;
+}
+
+int ReplicaPlacement::OwnerFor(const Coordinates& origin, int64_t time,
+                               const std::set<int>& dead) const {
+  if (dead.empty()) return scheme_->NodeFor(origin, time);
+  for (int node : PreferenceOrder(origin, time)) {
+    if (dead.count(node) == 0) return node;
+  }
+  return -1;
+}
+
 }  // namespace scidb

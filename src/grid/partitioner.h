@@ -2,6 +2,7 @@
 #define SCIDB_GRID_PARTITIONER_H_
 
 #include <memory>
+#include <set>
 #include <string>
 #include <vector>
 
@@ -108,6 +109,74 @@ class TimeSplitPartitioner : public Partitioner {
  private:
   std::string name_ = "time_split";
   std::vector<Epoch> epochs_;
+};
+
+// k-way replica placement on top of any Partitioner (DESIGN.md §13).
+//
+// Every chunk has a *total preference order* over the nodes: the
+// scheme's own NodeFor(origin, time) first (so k=1 placement is exactly
+// the un-replicated grid), then every other node ranked by a
+// rendezvous-style hash score of (origin, node), descending. The order
+// is a pure function of (origin, time, node set size): it never depends
+// on which nodes happen to be alive, so two coordinators with the same
+// view compute the same placement, and a node's death permutes nothing —
+// survivors keep their ranks (placement stability under node-set
+// identity, the property grid_property_test pins down).
+//
+//   replicas   = first k entries of the order (k distinct nodes)
+//   owner(D)   = first entry not in the dead set D — the node that
+//                *serves* the chunk; equals the primary while it lives
+//   recovery   = re-replicate until the first k live entries hold a copy
+//
+// As long as fewer than k holders have died since the last recovery,
+// owner(D) is always a holder, which is the failover-read guarantee.
+class ReplicaPlacement {
+ public:
+  // `replication` is clamped to [1, scheme->num_nodes()]: you cannot put
+  // two copies of a chunk on one node and call it fault tolerance.
+  ReplicaPlacement(std::shared_ptr<const Partitioner> scheme,
+                   int replication);
+
+  int replication() const { return k_; }
+  int num_nodes() const { return scheme_->num_nodes(); }
+  const Partitioner& scheme() const { return *scheme_; }
+
+  // The chunk's primary: scheme placement, unchanged from k=1.
+  int PrimaryFor(const Coordinates& origin, int64_t time) const {
+    return scheme_->NodeFor(origin, time);
+  }
+
+  // Total preference order (primary first, then rendezvous ranks).
+  std::vector<int> PreferenceOrder(const Coordinates& origin,
+                                   int64_t time) const;
+
+  // First min(k, n) entries of the preference order: where copies go at
+  // load time (no dead nodes yet).
+  std::vector<int> ReplicasFor(const Coordinates& origin, int64_t time) const;
+
+  // First min(k, live) entries not in `dead`: where copies should live
+  // given the current dead set — what recovery restores.
+  std::vector<int> LiveReplicasFor(const Coordinates& origin, int64_t time,
+                                   const std::set<int>& dead) const;
+
+  // First entry not in `dead`, or -1 when every node is dead. The node
+  // that serves the chunk's reads.
+  int OwnerFor(const Coordinates& origin, int64_t time,
+               const std::set<int>& dead) const;
+
+  [[nodiscard]] bool Equals(const ReplicaPlacement& other) const {
+    return k_ == other.k_ && scheme_->Equals(*other.scheme_);
+  }
+
+ private:
+  // Rendezvous score of placing `origin` on `node`: FNV-1a over the
+  // origin coordinates and the node id, finished with an avalanche so
+  // per-node ranks decorrelate even though chunk origins are congruent
+  // modulo the chunk interval.
+  static uint64_t Score(const Coordinates& origin, int node);
+
+  std::shared_ptr<const Partitioner> scheme_;
+  int k_;
 };
 
 }  // namespace scidb

@@ -1,5 +1,6 @@
 #include "net/fault_injection.h"
 
+#include <cstddef>
 #include <utility>
 
 #include "common/flight_recorder.h"
@@ -58,6 +59,18 @@ Status FaultInjectingTransport::Send(int src, int dst, Frame frame) {
   std::vector<HeldFrame> deliver;
   {
     MutexLock lock(mu_);
+    // Armed kills tick on the serialized send sequence; a kill that
+    // reaches zero fires before this frame's fate is decided, so the
+    // triggering frame already finds the node partitioned.
+    for (size_t i = 0; i < pending_kills_.size();) {
+      if (--pending_kills_[i].second <= 0) {
+        partitioned_.insert(pending_kills_[i].first);
+        pending_kills_.erase(pending_kills_.begin() +
+                             static_cast<ptrdiff_t>(i));
+      } else {
+        ++i;
+      }
+    }
     // Frames held by *earlier* Sends; the frame held below must not be
     // flushed by its own Send or "delay" would be a no-op.
     const size_t pre_held = held_.size();
@@ -134,6 +147,16 @@ void FaultInjectingTransport::PartitionNode(int node) {
 void FaultInjectingTransport::HealPartition(int node) {
   MutexLock lock(mu_);
   partitioned_.erase(node);
+}
+
+void FaultInjectingTransport::KillNodeAfterSends(int node,
+                                                 int64_t after_sends) {
+  MutexLock lock(mu_);
+  if (after_sends <= 0) {
+    partitioned_.insert(node);
+    return;
+  }
+  pending_kills_.push_back({node, after_sends});
 }
 
 Status FaultInjectingTransport::Flush() {

@@ -1,7 +1,9 @@
 #ifndef SCIDB_NET_FAULT_INJECTION_H_
 #define SCIDB_NET_FAULT_INJECTION_H_
 
+#include <cstdint>
 #include <set>
+#include <utility>
 #include <vector>
 
 #include "common/mutex.h"
@@ -60,6 +62,16 @@ class FaultInjectingTransport : public Transport {
   void PartitionNode(int node) LOCKS_EXCLUDED(mu_);
   void HealPartition(int node) LOCKS_EXCLUDED(mu_);
 
+  // Seeded mid-query kill: partitions `node` the moment `after_sends`
+  // more frames have entered Send (replies and fault-flushed frames
+  // count — the counter ticks on the transport's serialized send
+  // sequence, so a given (seed, schedule) kills at exactly the same
+  // point in the frame stream every run). The `after_sends`-th frame
+  // already finds the node dead. This is what the kill-a-node failover
+  // harness uses to die mid-query deterministically.
+  void KillNodeAfterSends(int node, int64_t after_sends)
+      LOCKS_EXCLUDED(mu_);
+
   // Delivers every held (delayed/reordered) frame now, in hold order.
   // Called by tests to drain the queue at quiescence.
   Status Flush() LOCKS_EXCLUDED(mu_);
@@ -81,6 +93,8 @@ class FaultInjectingTransport : public Transport {
   mutable Mutex mu_;
   Rng rng_ GUARDED_BY(mu_);
   std::set<int> partitioned_ GUARDED_BY(mu_);
+  // (node, sends remaining) armed by KillNodeAfterSends.
+  std::vector<std::pair<int, int64_t>> pending_kills_ GUARDED_BY(mu_);
   std::vector<HeldFrame> held_ GUARDED_BY(mu_);
   int64_t dropped_ GUARDED_BY(mu_) = 0;
   int64_t duplicated_ GUARDED_BY(mu_) = 0;

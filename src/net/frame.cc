@@ -41,7 +41,7 @@ uint32_t Crc32(const uint8_t* data, size_t n) {
 
 bool IsValidMessageType(uint8_t t) {
   return t >= static_cast<uint8_t>(MessageType::kChunkPut) &&
-         t <= static_cast<uint8_t>(MessageType::kTraceGet);
+         t <= static_cast<uint8_t>(MessageType::kMarkDead);
 }
 
 const char* MessageTypeName(MessageType t) {
@@ -62,6 +62,8 @@ const char* MessageTypeName(MessageType t) {
       return "MetricsGet";
     case MessageType::kTraceGet:
       return "TraceGet";
+    case MessageType::kMarkDead:
+      return "MarkDead";
   }
   return "Unknown";
 }

@@ -71,6 +71,7 @@ enum class MessageType : uint8_t {
   kError = 6,        // failure response (payload = wire Status)
   kMetricsGet = 7,   // pull one node's metrics snapshot (DESIGN.md §12)
   kTraceGet = 8,     // pull spans / flight-recorder events from a node
+  kMarkDead = 9,     // replace a node's dead-set view (DESIGN.md §13)
 };
 
 // True if `t` is one of the enumerators above. Decoding rejects anything

@@ -68,8 +68,45 @@ Result<ChunkGetRequest> ChunkGetRequest::Decode(
   return req;
 }
 
+namespace {
+
+// Strictly ascending non-negative node list — the canonical form for
+// dead sets on the wire. Canonicality (no duplicates, no reordering)
+// keeps decode->encode a byte-identical fixed point for fuzz_frame.
+void PutNodeSet(const std::vector<int32_t>& nodes, ByteWriter* w) {
+  w->PutVarint(nodes.size());
+  for (int32_t n : nodes) w->PutVarint(static_cast<uint64_t>(n));
+}
+
+Result<std::vector<int32_t>> GetNodeSet(ByteReader* r, const char* what) {
+  ASSIGN_OR_RETURN(uint64_t n, r->GetVarint());
+  // Each node id costs at least one byte on the wire.
+  if (n > r->remaining()) {
+    return Status::Corruption(std::string(what) + " node count too large");
+  }
+  std::vector<int32_t> nodes;
+  nodes.reserve(static_cast<size_t>(n));
+  for (uint64_t i = 0; i < n; ++i) {
+    ASSIGN_OR_RETURN(uint64_t v, r->GetVarint());
+    if (v > INT32_MAX) {
+      return Status::Corruption(std::string(what) + " node id out of range");
+    }
+    int32_t node = static_cast<int32_t>(v);
+    if (!nodes.empty() && node <= nodes.back()) {
+      return Status::Corruption(std::string(what) +
+                                " node set not strictly ascending");
+    }
+    nodes.push_back(node);
+  }
+  return nodes;
+}
+
+}  // namespace
+
 std::vector<uint8_t> ScanShardRequest::EncodePayload() const {
   ByteWriter w;
+  w.PutSignedVarint(view_of);
+  PutNodeSet(suspect_dead, &w);
   w.PutU8(!pred_bytes.empty() ? 1 : 0);
   w.PutBytes(pred_bytes.data(), pred_bytes.size());
   return w.Release();
@@ -78,9 +115,15 @@ std::vector<uint8_t> ScanShardRequest::EncodePayload() const {
 Result<ScanShardRequest> ScanShardRequest::Decode(
     const std::vector<uint8_t>& payload) {
   ByteReader r(payload);
+  ScanShardRequest req;
+  ASSIGN_OR_RETURN(int64_t view, r.GetSignedVarint());
+  if (view < -1 || view > INT32_MAX) {
+    return Status::Corruption("bad ScanShard view_of");
+  }
+  req.view_of = static_cast<int32_t>(view);
+  ASSIGN_OR_RETURN(req.suspect_dead, GetNodeSet(&r, "ScanShard"));
   ASSIGN_OR_RETURN(uint8_t has_pred, r.GetU8());
   if (has_pred > 1) return Status::Corruption("bad ScanShard pred flag");
-  ScanShardRequest req;
   if (has_pred == 1) {
     // The expr bytes are the remainder of the payload; structural
     // validation happens where they are decoded (grid layer), which
@@ -92,6 +135,21 @@ Result<ScanShardRequest> ScanShardRequest::Decode(
     RETURN_NOT_OK(r.GetBytes(req.pred_bytes.data(), req.pred_bytes.size()));
   }
   RETURN_NOT_OK(ExpectExhausted(r, "ScanShard"));
+  return req;
+}
+
+std::vector<uint8_t> MarkDeadRequest::EncodePayload() const {
+  ByteWriter w;
+  PutNodeSet(dead, &w);
+  return w.Release();
+}
+
+Result<MarkDeadRequest> MarkDeadRequest::Decode(
+    const std::vector<uint8_t>& payload) {
+  ByteReader r(payload);
+  MarkDeadRequest req;
+  ASSIGN_OR_RETURN(req.dead, GetNodeSet(&r, "MarkDead"));
+  RETURN_NOT_OK(ExpectExhausted(r, "MarkDead"));
   return req;
 }
 

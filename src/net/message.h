@@ -50,14 +50,36 @@ struct ChunkGetRequest {
 //
 // The predicate travels as opaque bytes (exec/expr_serde's EncodeExpr
 // output): net/ must not know the expression model — the grid layer
-// encodes on the coordinator and decodes on the serving node. The wire
-// format is unchanged from when this struct held the tree directly
-// (presence flag byte, then the expr bytes).
+// encodes on the coordinator and decodes on the serving node.
+//
+// Replication view (DESIGN.md §13): `view_of` and `suspect_dead` scope
+// the scan to one fan-out slot's chunk set. view_of = -1 asks for the
+// serving node's own slot (the chunks it is primary for); view_of = X
+// is a failover read — "serve the chunks node X would have served, if
+// you are their first live replica given this dead set". suspect_dead
+// is the coordinator's current dead view (strictly ascending node ids;
+// canonical so decode->encode stays a byte-identical fixed point, which
+// fuzz_frame checks). Both default to the pre-replication behavior.
 struct ScanShardRequest {
+  int32_t view_of = -1;  // -1 = own slot; >= 0 = failover for that node
+  std::vector<int32_t> suspect_dead;  // strictly ascending, may be empty
   std::vector<uint8_t> pred_bytes;  // empty = unfiltered full-shard scan
 
   std::vector<uint8_t> EncodePayload() const;
   static Result<ScanShardRequest> Decode(const std::vector<uint8_t>& payload);
+};
+
+// Replaces the destination node's view of the dead set (strictly
+// ascending node ids). Idempotent by construction — the payload is the
+// entire set, not a delta — so retries and fault-injected duplicates
+// are safe, like every other message here. The coordinator broadcasts
+// one of these to every survivor when it declares a node dead, so
+// server-side scan filtering and the coordinator agree on ownership.
+struct MarkDeadRequest {
+  std::vector<int32_t> dead;  // strictly ascending, may be empty
+
+  std::vector<uint8_t> EncodePayload() const;
+  static Result<MarkDeadRequest> Decode(const std::vector<uint8_t>& payload);
 };
 
 // Response to ScanShard: the matching cells re-chunked on the serving

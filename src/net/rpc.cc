@@ -228,98 +228,144 @@ Result<std::vector<uint8_t>> RpcClient::Call(int dst, MessageType type,
     spans_->Add(std::move(span));
   };
 
+  // One shared response slot for the whole call. Every attempt registers
+  // a fresh request id, but all of them resolve to this slot and stay
+  // registered until the call ends: a late response to an *earlier*
+  // attempt of a still-running call (a partition healing mid-call can
+  // release one right as the retry goes out) completes the call instead
+  // of being discarded as stale — discarding it both wasted the answer
+  // and double-counted the call in scidb.net.rpc_retries. Stale
+  // accounting now means what it says: a response nobody is waiting for.
+  Pending slot;
+  std::vector<uint64_t> call_ids;
+  auto forget_ids = [&]() {
+    MutexLock lock(mu_);
+    for (uint64_t id : call_ids) pending_.erase(id);
+    call_ids.clear();
+  };
+
   for (int attempt = 0; attempt < max_attempts; ++attempt) {
     if (attempt > 0) {
-      metrics.retries->Inc();
-      if (FlightRecorder::enabled()) {
-        FlightRecorder::Instance().RecordAt(
-            clock_(), FlightEventKind::kRpcRetry, node_,
-            static_cast<uint64_t>(attempt), static_cast<uint64_t>(type));
-      }
       uint64_t jitter_ns;
       {
         MutexLock lock(mu_);
         jitter_ns = backoff_ns / 2 + jitter_.Uniform(backoff_ns / 2 + 1);
       }
-      uint64_t now = clock_();
-      if (now >= deadline_ns) break;
-      const uint64_t sleep_ns = std::min(jitter_ns, deadline_ns - now);
+      uint64_t backoff_now = clock_();
+      if (backoff_now >= deadline_ns) break;
+      const uint64_t sleep_ns = std::min(jitter_ns, deadline_ns - backoff_now);
       SleepNs(sleep_ns);
       backoff_spent_ns += sleep_ns;
       backoff_ns = std::min(backoff_ns * 2, opts.backoff_cap_ns);
     }
-    uint64_t now = clock_();
-    if (now >= deadline_ns) break;
-
-    // Fresh request id per attempt: a late response to an earlier
-    // attempt is then recognizably stale instead of being mistaken for
-    // the current attempt's answer.
-    Pending slot;
-    uint64_t id;
+    // An earlier attempt's response may have arrived during the backoff;
+    // skip straight to consuming it rather than resending (and rather
+    // than counting a retry that never went on the wire).
+    bool have_response;
     {
       MutexLock lock(mu_);
-      id = next_id_++;
-      pending_[id] = &slot;
+      have_response = slot.done;
     }
-    Frame frame;
-    frame.type = type;
-    frame.request_id = id;
-    if (trace_wire) {
-      frame.trace.trace_id = opts.trace.trace_id;
-      frame.trace.span_id = call_span_id;
-      frame.trace.parent_span_id = opts.trace.span_id;
-    }
-    frame.payload = payload;  // copied: later attempts resend it
-    ++sends;
-    if (FlightRecorder::enabled()) {
-      FlightRecorder::Instance().RecordAt(
-          clock_(), FlightEventKind::kRpcSend, node_, id,
-          static_cast<uint64_t>(type));
-    }
-    Status sent = transport_->Send(node_, dst, std::move(frame));
-    if (!sent.ok()) {
+    uint64_t id = 0;
+    if (!have_response) {
+      uint64_t now = clock_();
+      if (now >= deadline_ns) break;
+      if (attempt > 0) {
+        // Counted here — after the deadline checks and the arrived-late
+        // check — so the counter only moves for retries actually sent.
+        metrics.retries->Inc();
+        if (FlightRecorder::enabled()) {
+          FlightRecorder::Instance().RecordAt(
+              clock_(), FlightEventKind::kRpcRetry, node_,
+              static_cast<uint64_t>(attempt), static_cast<uint64_t>(type));
+        }
+      }
+      // Fresh request id per attempt: responses stay attributable to the
+      // attempt that solicited them even when the network duplicates.
       {
         MutexLock lock(mu_);
-        pending_.erase(id);
+        id = next_id_++;
+        pending_[id] = &slot;
+        call_ids.push_back(id);
       }
-      last = sent;
-      if (!IsRetryable(sent)) {
-        metrics.errors->Inc();
-        record_span(false);
-        return sent;
+      Frame frame;
+      frame.type = type;
+      frame.request_id = id;
+      if (trace_wire) {
+        frame.trace.trace_id = opts.trace.trace_id;
+        frame.trace.span_id = call_span_id;
+        frame.trace.parent_span_id = opts.trace.span_id;
       }
-      continue;
-    }
-    const uint64_t wait_start_ns = clock_();
-    const uint64_t attempt_deadline_ns =
-        std::min(deadline_ns, wait_start_ns + opts.attempt_timeout_ns);
-    const bool got = WaitForResponse(&slot, attempt_deadline_ns);
-    wire_wait_ns += clock_() - wait_start_ns;
-    {
-      MutexLock lock(mu_);
-      pending_.erase(id);
-    }
-    if (!got) {
-      metrics.timeouts->Inc();
+      frame.payload = payload;  // copied: later attempts resend it
+      ++sends;
       if (FlightRecorder::enabled()) {
         FlightRecorder::Instance().RecordAt(
-            clock_(), FlightEventKind::kRpcTimeout, node_, id,
+            clock_(), FlightEventKind::kRpcSend, node_, id,
             static_cast<uint64_t>(type));
       }
-      last = Status::DeadlineExceeded(
-          std::string("rpc ") + MessageTypeName(type) + " to node " +
-          std::to_string(dst) + " timed out");
-      continue;
+      Status sent = transport_->Send(node_, dst, std::move(frame));
+      if (!sent.ok()) {
+        last = sent;
+        if (!IsRetryable(sent)) {
+          forget_ids();
+          metrics.errors->Inc();
+          record_span(false);
+          return sent;
+        }
+        continue;
+      }
+      const uint64_t wait_start_ns = clock_();
+      const uint64_t attempt_deadline_ns =
+          std::min(deadline_ns, wait_start_ns + opts.attempt_timeout_ns);
+      const bool got = WaitForResponse(&slot, attempt_deadline_ns);
+      wire_wait_ns += clock_() - wait_start_ns;
+      if (!got) {
+        // The id stays registered: if the response shows up while a
+        // later attempt is in flight (or backing off), it completes the
+        // call. Only call end abandons the ids.
+        metrics.timeouts->Inc();
+        if (FlightRecorder::enabled()) {
+          FlightRecorder::Instance().RecordAt(
+              clock_(), FlightEventKind::kRpcTimeout, node_, id,
+              static_cast<uint64_t>(type));
+        }
+        last = Status::DeadlineExceeded(
+            std::string("rpc ") + MessageTypeName(type) + " to node " +
+            std::to_string(dst) + " timed out");
+        continue;
+      }
     }
-    if (slot.is_error) {
-      last = slot.error;
-      if (!IsRetryable(slot.error)) {
+    bool is_error;
+    Status error;
+    {
+      MutexLock lock(mu_);
+      is_error = slot.is_error;
+      error = slot.error;
+    }
+    if (is_error) {
+      last = error;
+      if (!IsRetryable(error)) {
+        forget_ids();
         metrics.errors->Inc();
         record_span(false);
-        return slot.error;
+        return error;
+      }
+      // Retrying after a server-delivered retryable error: the error
+      // answered every outstanding id (the server is reachable), so
+      // abandon them and arm the slot for the next attempt. Without the
+      // reset a duplicate of the error reply could shadow the retry's
+      // real answer.
+      forget_ids();
+      {
+        MutexLock lock(mu_);
+        slot.done = false;
+        slot.is_error = false;
+        slot.error = Status::OK();
+        slot.payload.clear();
       }
       continue;
     }
+    forget_ids();
     metrics.latency_us->Record(
         static_cast<int64_t>((clock_() - start_ns) / 1000));
     // A call that succeeded after N retries records N — traceable to a
@@ -329,6 +375,7 @@ Result<std::vector<uint8_t>> RpcClient::Call(int dst, MessageType type,
     return std::move(slot.payload);
   }
 
+  forget_ids();
   metrics.errors->Inc();
   record_span(false);
   if (clock_() >= deadline_ns && !last.IsDeadlineExceeded()) {

@@ -434,6 +434,21 @@ Result<QueryResult> Session::ExecuteStatement(const Statement& stmt) {
                 : "net fault seed set to " + std::to_string(stmt.set_value);
         return result;
       }
+      if (stmt.set_option == "replication") {
+        // k-way chunk replication (DESIGN.md §13): every
+        // DistributedArray constructed from now on writes each chunk to
+        // its first k replica nodes and fails reads over to survivors.
+        // 1 restores the legacy single-copy grid.
+        if (stmt.set_value < 1 || stmt.set_value > 64) {
+          return Status::Invalid("replication must be in [1, 64], got " +
+                                 std::to_string(stmt.set_value));
+        }
+        DistributedArray::SetDefaultReplication(
+            static_cast<int>(stmt.set_value));
+        result.message =
+            "replication set to " + std::to_string(stmt.set_value);
+        return result;
+      }
       if (stmt.set_option == "flight_recorder") {
         // Process-wide flight-recorder kill switch (DESIGN.md §12):
         // 0 stops recording (single-digit-ns hot paths), nonzero

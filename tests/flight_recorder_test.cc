@@ -93,10 +93,10 @@ TEST(FlightRecorderTest, KillSwitchStopsRecording) {
 
 TEST(FlightRecorderTest, KindVocabularyNamesAndBounds) {
   EXPECT_FALSE(IsValidFlightEventKind(0));
-  for (uint8_t k = 1; k <= 13; ++k) {
+  for (uint8_t k = 1; k <= 16; ++k) {
     EXPECT_TRUE(IsValidFlightEventKind(k)) << static_cast<int>(k);
   }
-  EXPECT_FALSE(IsValidFlightEventKind(14));
+  EXPECT_FALSE(IsValidFlightEventKind(17));
   EXPECT_FALSE(IsValidFlightEventKind(200));
   EXPECT_STREQ(FlightEventKindName(FlightEventKind::kRpcSend), "RpcSend");
   EXPECT_STREQ(FlightEventKindName(FlightEventKind::kFaultDrop),
@@ -104,6 +104,11 @@ TEST(FlightRecorderTest, KindVocabularyNamesAndBounds) {
   EXPECT_STREQ(FlightEventKindName(FlightEventKind::kShardScan),
                "ShardScan");
   EXPECT_STREQ(FlightEventKindName(FlightEventKind::kMark), "Mark");
+  EXPECT_STREQ(FlightEventKindName(FlightEventKind::kFailoverRead),
+               "FailoverRead");
+  EXPECT_STREQ(FlightEventKindName(FlightEventKind::kNodeDead), "NodeDead");
+  EXPECT_STREQ(FlightEventKindName(FlightEventKind::kRereplicate),
+               "Rereplicate");
 }
 
 TEST(FlightRecorderTest, SessionKnobTogglesTheRecorder) {

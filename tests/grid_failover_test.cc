@@ -1,0 +1,231 @@
+// The deterministic kill-a-node harness (DESIGN.md §13): an SS-DB style
+// cook/detect pipeline runs while a seeded kill schedule partitions a
+// node mid-query. For every seed the workload's results are bit-identical
+// to the healthy run, the kill replays identically (same seed, same
+// frame schedule, same fault counters), and the grid recovers to full
+// replication under virtual time — observable through the cluster
+// metrics scrape and the flight recorder, exactly as an operator would
+// see it. No real sleeps anywhere (net::VirtualTime drives deadlines).
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <set>
+#include <string>
+#include <tuple>
+#include <vector>
+
+#include "common/flight_recorder.h"
+#include "common/macros.h"
+#include "common/metrics.h"
+#include "common/rng.h"
+#include "grid/cluster.h"
+#include "grid/partitioner.h"
+#include "net/rpc.h"
+#include "storage/chunk_serde.h"
+
+namespace scidb {
+namespace {
+
+// SS-DB in miniature: a dense 16x16 sky of per-pixel flux.
+ArraySchema Sky() {
+  return ArraySchema("sky", {{"ra", 1, 16, 4}, {"dec", 1, 16, 4}},
+                     {{"flux", DataType::kDouble, true, false}});
+}
+
+MemArray ObservedSky(uint64_t seed) {
+  MemArray a(Sky());
+  Rng rng(TestSeed(seed));
+  for (int64_t i = 1; i <= 16; ++i) {
+    for (int64_t j = 1; j <= 16; ++j) {
+      SCIDB_CHECK(a.SetCell({i, j}, Value(rng.NextDouble())).ok());
+    }
+  }
+  return a;
+}
+
+std::shared_ptr<FixedGridPartitioner> QuadPartitioner() {
+  return std::make_shared<FixedGridPartitioner>(
+      Box({1, 1}, {16, 16}), std::vector<int64_t>{2, 2});
+}
+
+// The cook/detect pipeline: "cook" grids raw pixels into a per-ra
+// summary plus a grand calibration sum, "detect" ships a predicate to
+// every node and pulls back the matching pixels.
+struct CookDetect {
+  MemArray cooked;
+  MemArray grand;
+  MemArray detected;
+};
+
+Result<CookDetect> RunCookDetect(DistributedArray* d) {
+  FunctionRegistry fns;
+  AggregateRegistry aggs;
+  ExecContext ctx{&fns, &aggs, true, nullptr};
+  ASSIGN_OR_RETURN(MemArray cooked,
+                   d->ParallelAggregate(ctx, {"ra"}, "avg", "flux"));
+  ASSIGN_OR_RETURN(MemArray grand,
+                   d->ParallelAggregate(ctx, {}, "sum", "flux"));
+  ExprPtr pred =
+      And(Le(Ref("ra"), Lit(int64_t{8})), Call("even", {Ref("dec")}));
+  ASSIGN_OR_RETURN(MemArray detected, d->ParallelSubsample(ctx, pred));
+  return CookDetect{std::move(cooked), std::move(grand),
+                    std::move(detected)};
+}
+
+void ExpectBitIdentical(const MemArray& a, const MemArray& b,
+                        const std::string& label) {
+  SCOPED_TRACE(label);
+  ASSERT_EQ(a.CellCount(), b.CellCount());
+  ASSERT_EQ(a.chunks().size(), b.chunks().size());
+  auto itb = b.chunks().begin();
+  for (auto ita = a.chunks().begin(); ita != a.chunks().end();
+       ++ita, ++itb) {
+    ASSERT_EQ(ita->first, itb->first) << "chunk origins diverge";
+    EXPECT_EQ(SerializeChunk(*ita->second), SerializeChunk(*itb->second))
+        << "chunk payload bits diverge at origin[0]=" << ita->first[0];
+  }
+}
+
+void ExpectResultsIdentical(const CookDetect& a, const CookDetect& b,
+                            const std::string& label) {
+  ExpectBitIdentical(a.cooked, b.cooked, label + "/cooked");
+  ExpectBitIdentical(a.grand, b.grand, label + "/grand");
+  ExpectBitIdentical(a.detected, b.detected, label + "/detected");
+}
+
+// One seeded kill run: build a k=2 grid on virtual time, load the sky,
+// arm the kill, run cook/detect. Returns the grid for post-mortem
+// assertions alongside the results. The VirtualTime rides along: the
+// grid's clock/sleep callbacks point into it, so it must outlive the
+// grid (declared first — destroyed last).
+struct KillRun {
+  std::unique_ptr<net::VirtualTime> vt;
+  std::unique_ptr<DistributedArray> grid;
+  CookDetect results;
+  int64_t frames_dropped = 0;
+};
+
+KillRun RunWithKill(const MemArray& src, uint64_t seed, int victim,
+                    int64_t after_sends) {
+  KillRun run;
+  run.vt = std::make_unique<net::VirtualTime>();
+  GridNetOptions net;
+  net.fault_seed = seed;  // enables the fault wrapper...
+  net.fault_profile = net::FaultProfile{};  // ...with no random faults
+  net.call.max_attempts = 20;
+  net.call.deadline_ns = 10'000'000'000'000ull;  // shared virtual clock
+  net.clock = run.vt->clock();
+  net.sleep = run.vt->sleep();
+  net.replication = 2;
+  net.dead_after_failures = 1;
+  run.grid =
+      std::make_unique<DistributedArray>(Sky(), QuadPartitioner(), net);
+  SCIDB_CHECK(run.grid->Load(src, 0).ok());
+  SCIDB_CHECK(run.grid->fault_injector() != nullptr);
+  // Armed after load: the countdown ticks on query traffic only, so the
+  // node dies mid-cook, deterministically at the same frame every run.
+  run.grid->fault_injector()->KillNodeAfterSends(victim, after_sends);
+  Result<CookDetect> got = RunCookDetect(run.grid.get());
+  SCIDB_CHECK(got.ok());
+  run.results = std::move(got).value();
+  run.frames_dropped = run.grid->fault_injector()->frames_dropped();
+  return run;
+}
+
+int64_t LabeledValue(const ClusterMetrics& cm, const std::string& name) {
+  for (const auto& e : cm.Labeled().entries) {
+    if (e.name == name) return e.value;
+  }
+  ADD_FAILURE() << "metric " << name << " missing from cluster scrape";
+  return -1;
+}
+
+TEST(GridFailoverTest, KillANodeMidQueryIsBitIdenticalAndRecovers) {
+  for (auto [seed, victim, after_sends] :
+       {std::tuple<uint64_t, int, int64_t>{101, 0, 3},
+        std::tuple<uint64_t, int, int64_t>{202, 1, 5},
+        std::tuple<uint64_t, int, int64_t>{303, 3, 8}}) {
+    SCOPED_TRACE("seed=" + std::to_string(seed) + " victim=" +
+                 std::to_string(victim) + " after_sends=" +
+                 std::to_string(after_sends));
+    MemArray src = ObservedSky(seed);
+
+    // Ground truth: the same pipeline on a healthy, un-replicated grid.
+    DistributedArray healthy(Sky(), QuadPartitioner());
+    ASSERT_TRUE(healthy.Load(src, 0).ok());
+    Result<CookDetect> want = RunCookDetect(&healthy);
+    ASSERT_TRUE(want.ok()) << want.status().ToString();
+
+    const int64_t failovers_before =
+        Metrics::Instance().counter("scidb.grid.failover_reads")->value();
+    const int64_t rerep_before =
+        Metrics::Instance().counter("scidb.grid.rereplicated_chunks")->value();
+
+    KillRun run = RunWithKill(src, seed, victim, after_sends);
+    ExpectResultsIdentical(want.value(), run.results, "killed-vs-healthy");
+    EXPECT_GT(Metrics::Instance().counter("scidb.grid.failover_reads")->value(),
+              failovers_before);
+
+    // The victim was declared dead and its chunks re-replicated back to
+    // full k — asserted the way an operator would: through the cluster
+    // metrics scrape (the dead node is unreachable, the coordinator's
+    // process counters show the recovery) and the flight recorder.
+    const std::set<int> dead = run.grid->dead_nodes();
+    ASSERT_EQ(dead, (std::set<int>{victim}));
+    ClusterMetrics cm = run.grid->ScrapeClusterMetrics(true);
+    ASSERT_EQ(cm.nodes.size(), 4u);
+    EXPECT_FALSE(cm.nodes[static_cast<size_t>(victim)].reachable);
+    int live = victim == 0 ? 1 : 0;
+    EXPECT_TRUE(cm.nodes[static_cast<size_t>(live)].reachable);
+    EXPECT_GT(LabeledValue(cm, "node" + std::to_string(live) +
+                                   ".scidb.grid.rereplicated_chunks"),
+              rerep_before);
+    EXPECT_GT(LabeledValue(cm, "node" + std::to_string(live) +
+                                   ".scidb.grid.nodes_declared_dead"),
+              0);
+
+    Result<std::vector<FlightEvent>> events =
+        run.grid->FetchFlightEvents(live);
+    ASSERT_TRUE(events.ok()) << events.status().ToString();
+    bool saw_dead = false, saw_rereplicate = false, saw_failover = false;
+    for (const FlightEvent& e : events.value()) {
+      if (e.kind == FlightEventKind::kNodeDead &&
+          e.node == victim) {
+        saw_dead = true;
+      }
+      if (e.kind == FlightEventKind::kRereplicate) saw_rereplicate = true;
+      if (e.kind == FlightEventKind::kFailoverRead) saw_failover = true;
+    }
+    EXPECT_TRUE(saw_dead) << "no NodeDead flight event for the victim";
+    EXPECT_TRUE(saw_rereplicate) << "no Rereplicate flight events";
+    EXPECT_TRUE(saw_failover) << "no FailoverRead flight events";
+
+    // Full replication restored: every chunk sits on exactly its k
+    // surviving preferred replicas.
+    for (const auto& [origin, chunk] : src.chunks()) {
+      (void)chunk;
+      std::vector<int> holders =
+          run.grid->placement().LiveReplicasFor(origin, 0, dead);
+      ASSERT_EQ(holders.size(), 2u);
+      for (int n : holders) {
+        EXPECT_NE(run.grid->shard(n).FindChunk(origin), nullptr)
+            << "node " << n << " missing chunk after recovery";
+      }
+    }
+
+    // Post-recovery reads come off the re-replicated copies: same bits.
+    Result<CookDetect> after = RunCookDetect(run.grid.get());
+    ASSERT_TRUE(after.ok()) << after.status().ToString();
+    ExpectResultsIdentical(want.value(), after.value(), "post-recovery");
+
+    // The kill is deterministic: replaying the identical (seed,
+    // schedule) drops the same frames and produces the same bits.
+    KillRun replay = RunWithKill(src, seed, victim, after_sends);
+    ExpectResultsIdentical(run.results, replay.results, "replay");
+    EXPECT_EQ(run.frames_dropped, replay.frames_dropped);
+    EXPECT_EQ(replay.grid->dead_nodes(), dead);
+  }
+}
+
+}  // namespace
+}  // namespace scidb

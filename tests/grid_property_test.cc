@@ -1,10 +1,18 @@
 // Distributed execution must be semantically invisible: for any data and
 // any partitioner, parallel results equal serial results, and
-// repartitioning never loses or duplicates cells.
+// repartitioning never loses or duplicates cells. The replica-placement
+// properties (DESIGN.md §13) live here too: k distinct nodes per chunk,
+// placement stability under node-set identity, bounded replica spread,
+// and monotone recovery.
 #include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+#include <vector>
 
 #include "common/rng.h"
 #include "grid/cluster.h"
+#include "net/rpc.h"
 
 namespace scidb {
 namespace {
@@ -151,6 +159,176 @@ TEST_P(GridPropertyTest, RepartitionPreservesEveryCell) {
     EXPECT_EQ(value, chunk.block(0).GetDouble(rank));
     return true;
   });
+}
+
+// Every chunk origin of the kSide x kSide grid with chunk interval 6.
+std::vector<Coordinates> AllChunkOrigins() {
+  std::vector<Coordinates> v;
+  for (int64_t x = 1; x <= 48; x += 6) {
+    for (int64_t y = 1; y <= 48; y += 6) v.push_back({x, y});
+  }
+  return v;
+}
+
+TEST_P(GridPropertyTest, ReplicasAreKDistinctNodesPrimaryFirst) {
+  auto [seed, scheme] = GetParam();
+  (void)seed;
+  auto part = Scheme(scheme);
+  for (int k = 1; k <= part->num_nodes() + 1; ++k) {
+    ReplicaPlacement place(part, k);
+    const int want = std::min(k, part->num_nodes());
+    ASSERT_EQ(place.replication(), want);
+    for (const Coordinates& origin : AllChunkOrigins()) {
+      std::vector<int> replicas = place.ReplicasFor(origin, 0);
+      ASSERT_EQ(static_cast<int>(replicas.size()), want);
+      std::set<int> distinct(replicas.begin(), replicas.end());
+      EXPECT_EQ(distinct.size(), replicas.size())
+          << "duplicate replica node at " << CoordsToString(origin);
+      for (int n : replicas) {
+        EXPECT_GE(n, 0);
+        EXPECT_LT(n, part->num_nodes());
+      }
+      // k = 1 placement is exactly the un-replicated grid.
+      EXPECT_EQ(replicas[0], part->NodeFor(origin, 0));
+      // The preference order is a total order over the nodes.
+      std::vector<int> order = place.PreferenceOrder(origin, 0);
+      std::vector<int> sorted = order;
+      std::sort(sorted.begin(), sorted.end());
+      std::vector<int> ident(part->num_nodes());
+      for (int i = 0; i < part->num_nodes(); ++i) ident[i] = i;
+      EXPECT_EQ(sorted, ident);
+    }
+  }
+}
+
+TEST_P(GridPropertyTest, PlacementStableUnderNodeSetIdentity) {
+  // Death permutes nothing: the owner and live replica set under any
+  // dead set D are the preference order with D's members deleted —
+  // survivors keep their relative ranks. Two placements built over
+  // equal schemes agree exactly.
+  auto [seed, scheme] = GetParam();
+  auto part = Scheme(scheme);
+  ReplicaPlacement place(part, 2);
+  ReplicaPlacement twin(Scheme(scheme), 2);
+  Rng rng(TestSeed(seed));
+  for (const Coordinates& origin : AllChunkOrigins()) {
+    const std::vector<int> order = place.PreferenceOrder(origin, 0);
+    ASSERT_EQ(order, twin.PreferenceOrder(origin, 0));
+    EXPECT_EQ(place.OwnerFor(origin, 0, {}), part->NodeFor(origin, 0));
+    // A handful of random dead sets per origin, including the empty
+    // and the all-dead one.
+    for (int trial = 0; trial < 4; ++trial) {
+      std::set<int> dead;
+      for (int n = 0; n < part->num_nodes(); ++n) {
+        if (rng.NextDouble() < 0.4) dead.insert(n);
+      }
+      std::vector<int> survivors;
+      for (int n : order) {
+        if (dead.count(n) == 0) survivors.push_back(n);
+      }
+      const int want_owner = survivors.empty() ? -1 : survivors[0];
+      EXPECT_EQ(place.OwnerFor(origin, 0, dead), want_owner);
+      if (static_cast<int>(survivors.size()) > place.replication()) {
+        survivors.resize(static_cast<size_t>(place.replication()));
+      }
+      EXPECT_EQ(place.LiveReplicasFor(origin, 0, dead), survivors);
+    }
+  }
+}
+
+TEST_P(GridPropertyTest, ReplicaCountSpreadIsBounded) {
+  // Rendezvous scores must not pile the copies onto a few nodes: over
+  // all 64 chunk origins at k = 2, every node holds a bounded share.
+  auto [seed, scheme] = GetParam();
+  (void)seed;
+  auto part = Scheme(scheme);
+  ReplicaPlacement place(part, 2);
+  std::vector<int> count(static_cast<size_t>(part->num_nodes()), 0);
+  int total = 0;
+  for (const Coordinates& origin : AllChunkOrigins()) {
+    for (int n : place.ReplicasFor(origin, 0)) {
+      ++count[static_cast<size_t>(n)];
+      ++total;
+    }
+  }
+  const double mean = static_cast<double>(total) / part->num_nodes();
+  const int max = *std::max_element(count.begin(), count.end());
+  const int min = *std::min_element(count.begin(), count.end());
+  EXPECT_GE(min, static_cast<int>(mean / 4)) << "starved node";
+  EXPECT_LE(max, static_cast<int>(mean * 2.5)) << "overloaded node";
+}
+
+TEST_P(GridPropertyTest, RecoveryRestoresReplicationMonotonically) {
+  // Kill one node: the next parallel op fails over, declares it dead,
+  // and auto-recovers. Afterwards every chunk is back to k live
+  // copies, no live shard shrank (re-replication only adds bytes), and
+  // a second Recover() is a fixed point.
+  auto [seed, scheme] = GetParam();
+  MemArray src = RandomData(seed, 0.4);
+
+  net::VirtualTime vt;
+  GridNetOptions net;
+  net.fault_seed = seed + 1;  // enables the fault wrapper...
+  net.fault_profile = net::FaultProfile{};  // ...with no random faults
+  net.call.max_attempts = 20;
+  net.call.deadline_ns = 10'000'000'000'000ull;  // shared virtual clock
+  net.clock = vt.clock();
+  net.sleep = vt.sleep();
+  net.replication = 2;
+  net.dead_after_failures = 1;
+  DistributedArray d(Schema(), Scheme(scheme), net);
+  ASSERT_TRUE(d.Load(src, 0).ok());
+
+  const int victim = 1;
+  std::vector<size_t> bytes_before(static_cast<size_t>(d.num_nodes()));
+  for (int n = 0; n < d.num_nodes(); ++n) {
+    bytes_before[static_cast<size_t>(n)] = d.shard(n).ByteSize();
+  }
+
+  ASSERT_NE(d.fault_injector(), nullptr);
+  d.fault_injector()->PartitionNode(victim);
+  MemArray par = d.ParallelAggregate(ctx_, {"x"}, "sum", "v").ValueOrDie();
+  MemArray ser = Aggregate(ctx_, src, {"x"}, "sum", "v").ValueOrDie();
+  EXPECT_EQ(par.CellCount(), ser.CellCount());
+
+  const std::set<int> dead = d.dead_nodes();
+  ASSERT_EQ(dead, (std::set<int>{victim}));
+
+  // Monotone: no live shard lost bytes to the recovery.
+  for (int n = 0; n < d.num_nodes(); ++n) {
+    if (dead.count(n) != 0) continue;
+    EXPECT_GE(d.shard(n).ByteSize(), bytes_before[static_cast<size_t>(n)])
+        << "node " << n;
+  }
+
+  // Full k restored: every chunk lives on exactly its k live replicas.
+  for (const Coordinates& origin : AllChunkOrigins()) {
+    bool exists = false;
+    for (int n = 0; n < d.num_nodes(); ++n) {
+      if (d.shard(n).FindChunk(origin) != nullptr && dead.count(n) == 0) {
+        exists = true;
+      }
+    }
+    if (!exists) continue;  // density < 1: some chunks hold no cells
+    std::vector<int> want = d.placement().LiveReplicasFor(origin, 0, dead);
+    ASSERT_EQ(want.size(), 2u);
+    for (int n = 0; n < d.num_nodes(); ++n) {
+      const bool holds =
+          dead.count(n) == 0 && d.shard(n).FindChunk(origin) != nullptr;
+      const bool should =
+          std::find(want.begin(), want.end(), n) != want.end();
+      EXPECT_EQ(holds, should)
+          << "node " << n << " at " << CoordsToString(origin);
+    }
+  }
+
+  // Fixed point: recovery with nothing missing copies nothing and
+  // leaves the byte imbalance exactly where it was.
+  const double imbalance = d.LoadImbalanceBytes();
+  Result<int64_t> again = d.Recover();
+  ASSERT_TRUE(again.ok()) << again.status().ToString();
+  EXPECT_EQ(*again, 0);
+  EXPECT_EQ(d.LoadImbalanceBytes(), imbalance);
 }
 
 std::string ParamName(

@@ -5,7 +5,9 @@
 #include <cstdint>
 #include <vector>
 
+#include "common/metrics.h"
 #include "net/inprocess_transport.h"
+#include "net/rpc.h"
 
 namespace scidb {
 namespace net {
@@ -129,6 +131,102 @@ TEST(FaultInjectionTest, PartitionCutsBothDirectionsUntilHealed) {
   ASSERT_TRUE(fault.Send(1, 0, MakeFrame(4)).ok());
   EXPECT_EQ(at1, (std::vector<int>{0}));
   EXPECT_EQ(at0, (std::vector<int>{1}));
+}
+
+TEST(FaultInjectionTest, KillAfterSendsFiresAtExactFrame) {
+  // KillNodeAfterSends(n, 3): the countdown ticks at the top of every
+  // Send, and the triggering frame already finds the node partitioned —
+  // so exactly the first two frames land, deterministically.
+  for (int run = 0; run < 2; ++run) {
+    InProcessTransport inner(InProcessTransport::Mode::kInline);
+    FaultInjectingTransport fault(&inner, FaultProfile{}, 77);
+    std::vector<uint64_t> at1;
+    ASSERT_TRUE(fault.Register(0, [](int, Frame) {}).ok());
+    ASSERT_TRUE(fault
+                    .Register(1,
+                              [&at1](int, Frame f) {
+                                at1.push_back(f.request_id);
+                              })
+                    .ok());
+    fault.KillNodeAfterSends(1, 3);
+    for (int i = 0; i < 6; ++i) {
+      ASSERT_TRUE(fault.Send(0, 1, MakeFrame(static_cast<uint64_t>(i))).ok());
+    }
+    EXPECT_EQ(at1, (std::vector<uint64_t>{0, 1}));
+    EXPECT_EQ(fault.frames_dropped(), 4);
+  }
+}
+
+TEST(FaultInjectionTest, KillAfterZeroSendsIsImmediatePartition) {
+  InProcessTransport inner(InProcessTransport::Mode::kInline);
+  FaultInjectingTransport fault(&inner, FaultProfile{}, 1);
+  std::vector<uint64_t> at1;
+  ASSERT_TRUE(fault.Register(0, [](int, Frame) {}).ok());
+  ASSERT_TRUE(
+      fault.Register(1, [&at1](int, Frame f) { at1.push_back(f.request_id); })
+          .ok());
+  fault.KillNodeAfterSends(1, 0);
+  ASSERT_TRUE(fault.Send(0, 1, MakeFrame(9)).ok());
+  EXPECT_TRUE(at1.empty());
+  EXPECT_EQ(fault.frames_dropped(), 1);
+}
+
+TEST(FaultInjectionTest, HealMidCallDoesNotDoubleCountRetries) {
+  // Regression: delay_p = 1 holds attempt 1's request; attempt 2's Send
+  // flushes it, the server's reply Send flushes attempt 2's request,
+  // and the second reply's Send flushes the FIRST reply to the client —
+  // all inline, *during* attempt 2's Send. The partition effectively
+  // "heals" mid-call. The client must accept that late reply to the
+  // earlier attempt (its id is still registered), complete the call
+  // with exactly one counted retry, and count nothing as stale. The old
+  // accounting erased attempt 1's id on timeout, discarded the reply as
+  // stale, and the call could never complete under this schedule.
+  VirtualTime vt;
+  InProcessTransport inner(InProcessTransport::Mode::kInline);
+  FaultProfile all_delay;
+  all_delay.delay_p = 1.0;
+  FaultInjectingTransport fault(&inner, all_delay, 11);
+
+  RpcServer::Options sopts;
+  sopts.clock = vt.clock();
+  RpcServer server(&fault, 1, sopts);
+  server.Handle(MessageType::kChunkPut,
+                [](int, const std::vector<uint8_t>& payload) {
+                  return Result<std::vector<uint8_t>>(payload);  // echo
+                });
+  RpcClient::Options copts;
+  copts.clock = vt.clock();
+  copts.sleep = vt.sleep();
+  RpcClient client(&fault, 0, copts);
+  ASSERT_TRUE(BindNode(&fault, 0, nullptr, &client).ok());
+  ASSERT_TRUE(BindNode(&fault, 1, &server, nullptr).ok());
+
+  const int64_t retries_before =
+      Metrics::Instance().counter("scidb.net.retries")->value();
+  const int64_t stale_before =
+      Metrics::Instance().counter("scidb.net.stale_responses")->value();
+
+  CallOptions call;
+  call.deadline_ns = 1'000'000'000;
+  call.attempt_timeout_ns = 10'000'000;
+  call.max_attempts = 4;
+  call.backoff_base_ns = 1'000'000;
+  Result<std::vector<uint8_t>> got =
+      client.Call(1, MessageType::kChunkPut, {0xAB, 0xCD}, call);
+  ASSERT_TRUE(got.ok()) << got.status().ToString();
+  EXPECT_EQ(*got, (std::vector<uint8_t>{0xAB, 0xCD}));
+
+  EXPECT_EQ(Metrics::Instance().counter("scidb.net.retries")->value(),
+            retries_before + 1);
+  EXPECT_EQ(Metrics::Instance().counter("scidb.net.stale_responses")->value(),
+            stale_before);
+
+  // The reply to attempt 2 is still in the hold queue; once flushed it
+  // really is stale (the call is over) and must be counted as such, not
+  // crash into a dangling slot.
+  ASSERT_TRUE(fault.Flush().ok());
+  EXPECT_EQ(Metrics::Instance().counter("scidb.net.stale_responses")->value(),
+            stale_before + 1);
 }
 
 TEST(FaultInjectionTest, FramesHeldAcrossPartitionAreDropped) {

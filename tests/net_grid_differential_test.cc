@@ -1,10 +1,13 @@
 #include <gtest/gtest.h>
 
 #include <memory>
+#include <set>
 #include <string>
+#include <tuple>
 #include <vector>
 
 #include "common/macros.h"
+#include "common/metrics.h"
 #include "common/rng.h"
 #include "grid/cluster.h"
 #include "grid/partitioner.h"
@@ -270,6 +273,142 @@ TEST(NetGridDifferentialTest, RepartitionRebuildsNetworkAcrossNodeCounts) {
   ASSERT_TRUE(want.ok());
   ASSERT_TRUE(got.ok()) << got.status().ToString();
   ExpectWorkloadsIdentical(want.value(), got.value(), "repartitioned");
+}
+
+TEST(NetGridDifferentialTest, ReplicationSweepIsBitTransparent) {
+  // Replication must be invisible to a healthy grid: k = 1, 2, 3 and
+  // every transport produce the same bits as the un-replicated
+  // baseline — cells, nulls, and chunk payloads alike.
+  MemArray src = UniformSky(16, 4, 23);
+
+  DistributedArray base(Sky(), QuadPartitioner());
+  ASSERT_TRUE(base.Load(src, 0).ok());
+  Result<WorkloadResult> want = RunWorkload(&base);
+  ASSERT_TRUE(want.ok()) << want.status().ToString();
+
+  for (int k : {1, 2, 3}) {
+    GridNetOptions net;
+    net.replication = k;
+    DistributedArray d(Sky(), QuadPartitioner(), net);
+    ASSERT_TRUE(d.Load(src, 0).ok());
+    EXPECT_EQ(d.replication(), k);
+    Result<WorkloadResult> got = RunWorkload(&d);
+    ASSERT_TRUE(got.ok()) << got.status().ToString();
+    ExpectWorkloadsIdentical(want.value(), got.value(),
+                             "replication k=" + std::to_string(k));
+  }
+
+  for (auto kind : {GridNetOptions::TransportKind::kThreaded,
+                    GridNetOptions::TransportKind::kTcp}) {
+    GridNetOptions net;
+    net.transport = kind;
+    net.replication = 2;
+    DistributedArray d(Sky(), QuadPartitioner(), net);
+    ASSERT_TRUE(d.Load(src, 0).ok());
+    Result<WorkloadResult> got = RunWorkload(&d);
+    ASSERT_TRUE(got.ok()) << got.status().ToString();
+    ExpectWorkloadsIdentical(
+        want.value(), got.value(),
+        std::string("replicated/") +
+            (kind == GridNetOptions::TransportKind::kThreaded ? "threaded"
+                                                              : "tcp"));
+  }
+}
+
+TEST(NetGridDifferentialTest, PrimaryDeathFailoverIsBitTransparent) {
+  // The tentpole guarantee: kill any node under any replicated layout
+  // and the workload's bits do not move. The three ops of the workload
+  // also walk the victim through failure detection (three consecutive
+  // peer failures), so by the end it is declared dead, recovery has
+  // re-replicated its chunks, and post-recovery reads still match.
+  for (auto [data_seed, victim, k] :
+       {std::tuple<uint64_t, int, int>{31, 0, 2},
+        std::tuple<uint64_t, int, int>{37, 1, 2},
+        std::tuple<uint64_t, int, int>{41, 2, 3},
+        std::tuple<uint64_t, int, int>{43, 3, 3}}) {
+    SCOPED_TRACE("seed=" + std::to_string(data_seed) + " victim=" +
+                 std::to_string(victim) + " k=" + std::to_string(k));
+    MemArray src = UniformSky(16, 4, data_seed);
+    DistributedArray clean(Sky(), QuadPartitioner());
+    ASSERT_TRUE(clean.Load(src, 0).ok());
+    Result<WorkloadResult> want = RunWorkload(&clean);
+    ASSERT_TRUE(want.ok()) << want.status().ToString();
+
+    net::VirtualTime vt;
+    GridNetOptions net;
+    net.fault_seed = data_seed;  // enables the fault wrapper...
+    net.fault_profile = net::FaultProfile{};  // ...with no random faults
+    net.call.max_attempts = 20;
+    net.call.deadline_ns = 10'000'000'000'000ull;  // shared virtual clock
+    net.clock = vt.clock();
+    net.sleep = vt.sleep();
+    net.replication = k;
+    DistributedArray d(Sky(), QuadPartitioner(), net);
+    ASSERT_TRUE(d.Load(src, 0).ok());
+    ASSERT_NE(d.fault_injector(), nullptr);
+    d.fault_injector()->PartitionNode(victim);
+
+    const int64_t failovers_before =
+        Metrics::Instance().counter("scidb.grid.failover_reads")->value();
+    Result<WorkloadResult> got = RunWorkload(&d);
+    ASSERT_TRUE(got.ok()) << got.status().ToString();
+    ExpectWorkloadsIdentical(want.value(), got.value(), "under-death");
+    EXPECT_GT(Metrics::Instance().counter("scidb.grid.failover_reads")->value(),
+              failovers_before);
+
+    // dead_after_failures = 3 and the workload ran three parallel ops:
+    // the victim is now declared dead and recovery has run.
+    const std::set<int> dead = d.dead_nodes();
+    ASSERT_EQ(dead, (std::set<int>{victim}));
+    for (const auto& [origin, chunk] : src.chunks()) {
+      (void)chunk;
+      std::vector<int> holders = d.placement().LiveReplicasFor(origin, 0, dead);
+      for (int n : holders) {
+        EXPECT_NE(d.shard(n).FindChunk(origin), nullptr)
+            << "node " << n << " missing re-replicated chunk";
+      }
+    }
+
+    // Reads after recovery come off the re-replicated copies — still
+    // the same bits.
+    Result<WorkloadResult> after = RunWorkload(&d);
+    ASSERT_TRUE(after.ok()) << after.status().ToString();
+    ExpectWorkloadsIdentical(want.value(), after.value(), "post-recovery");
+  }
+}
+
+TEST(NetGridDifferentialTest, PrimaryDeathFailoverOnRealTransports) {
+  // Same guarantee over the asynchronous transports on the real clock:
+  // deadlines are trimmed so the dead primary costs milliseconds, not
+  // the default half-second budget.
+  MemArray src = UniformSky(16, 4, 47);
+  DistributedArray clean(Sky(), QuadPartitioner());
+  ASSERT_TRUE(clean.Load(src, 0).ok());
+  Result<WorkloadResult> want = RunWorkload(&clean);
+  ASSERT_TRUE(want.ok()) << want.status().ToString();
+
+  for (auto kind : {GridNetOptions::TransportKind::kThreaded,
+                    GridNetOptions::TransportKind::kTcp}) {
+    SCOPED_TRACE(kind == GridNetOptions::TransportKind::kThreaded
+                     ? "threaded"
+                     : "tcp");
+    GridNetOptions net;
+    net.transport = kind;
+    net.fault_seed = 3;
+    net.fault_profile = net::FaultProfile{};
+    net.replication = 2;
+    net.call.deadline_ns = 200'000'000;       // 200ms
+    net.call.attempt_timeout_ns = 50'000'000;  // 50ms
+    net.call.max_attempts = 2;
+    DistributedArray d(Sky(), QuadPartitioner(), net);
+    ASSERT_TRUE(d.Load(src, 0).ok());
+    ASSERT_NE(d.fault_injector(), nullptr);
+    d.fault_injector()->PartitionNode(1);
+
+    Result<WorkloadResult> got = RunWorkload(&d);
+    ASSERT_TRUE(got.ok()) << got.status().ToString();
+    ExpectWorkloadsIdentical(want.value(), got.value(), "real-transport");
+  }
 }
 
 }  // namespace
