@@ -14,7 +14,7 @@ namespace {
 
 Session& SharedSession() {
   static Session* session = [] {
-    auto* s = new Session();
+    auto* s = new Session();  // NOLINT(no-naked-new): leaky bench singleton
     SCIDB_CHECK(s->Execute("define T (v = double) (I, J)").ok());
     SCIDB_CHECK(s->Execute("create A as T [128, 128]").ok());
     auto arr = s->GetArray("A").ValueOrDie();

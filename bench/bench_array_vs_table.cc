@@ -31,7 +31,7 @@ struct Fixture {
 
 Fixture& SharedFixture(int64_t n) {
   static std::map<int64_t, std::unique_ptr<Fixture>>* cache =
-      new std::map<int64_t, std::unique_ptr<Fixture>>();
+      new std::map<int64_t, std::unique_ptr<Fixture>>();  // NOLINT(no-naked-new): leaky bench singleton
   auto it = cache->find(n);
   if (it == cache->end()) {
     it = cache->emplace(n, std::make_unique<Fixture>(n)).first;

@@ -91,12 +91,12 @@ BENCHMARK(BM_MetricsSnapshot);
 
 Session* BenchSession() {
   static Session* session = [] {
-    auto* s = new Session();
-    (void)s->Execute("define B (v = double) (I, J)");
-    (void)s->Execute("create A as B [32, 32]");
+    auto* s = new Session();  // NOLINT(no-naked-new): leaky bench singleton
+    (void)s->Execute("define B (v = double) (I, J)");  // status-ignored: bench setup, SCIDB_CHECKed queries follow
+    (void)s->Execute("create A as B [32, 32]");  // status-ignored: bench setup
     for (int64_t i = 1; i <= 32; ++i) {
       for (int64_t j = 1; j <= 32; ++j) {
-        (void)s->Execute("insert A [" + std::to_string(i) + ", " +
+        (void)s->Execute("insert A [" + std::to_string(i) + ", " +  // status-ignored: bench setup
                          std::to_string(j) + "] values (" +
                          std::to_string(i * j) + ")");
       }

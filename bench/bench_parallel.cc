@@ -44,7 +44,7 @@ ExecContext Ctx(ThreadPool* pool) {
 
 const MemArray& SkyArray() {
   static MemArray* a =
-      new MemArray(bench::MakeSkyImage(kN, kChunk, 20, 42));
+      new MemArray(bench::MakeSkyImage(kN, kChunk, 20, 42));  // NOLINT(no-naked-new): leaky bench singleton
   return *a;
 }
 
@@ -58,7 +58,7 @@ DiskArray* StoredSky() {
                        ("scidb_bench_parallel_" + std::to_string(::getpid())))
                           .string();
     fs::create_directories(dir);
-    return new StorageManager(dir);
+    return new StorageManager(dir);  // NOLINT(no-naked-new): leaky bench singleton
   }();
   static DiskArray* disk = [] {
     DiskArray* da =
@@ -73,10 +73,11 @@ DiskArray* StoredSky() {
 // Per-width pools are created once: ThreadPool startup (N-1 std::thread
 // spawns) is not what these benchmarks measure.
 ThreadPool* PoolOfWidth(int width) {
-  static std::map<int, ThreadPool*>* pools = new std::map<int, ThreadPool*>();
+  static std::map<int, ThreadPool*>* pools =
+      new std::map<int, ThreadPool*>();  // NOLINT(no-naked-new): leaky bench singleton
   auto it = pools->find(width);
   if (it == pools->end()) {
-    it = pools->emplace(width, new ThreadPool(width)).first;
+    it = pools->emplace(width, new ThreadPool(width)).first;  // NOLINT(no-naked-new): pools leak by design; teardown races the bench timer
   }
   return it->second;
 }

@@ -39,7 +39,7 @@ ArraySchema SkySchema() {
 
 const MemArray& SkyArray() {
   static MemArray* a = [] {
-    auto* arr = new MemArray(SkySchema());
+    auto* arr = new MemArray(SkySchema());  // NOLINT(no-naked-new): leaky bench singleton
     Rng rng(TestSeed(42));
     for (int64_t i = 1; i <= kN; ++i) {
       for (int64_t j = 1; j <= kN; ++j) {

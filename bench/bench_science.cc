@@ -27,7 +27,7 @@ ExecContext Ctx() {
 
 MemArray& RawImage() {
   static MemArray* img =
-      new MemArray(bench::MakeSkyImage(kSide, kChunk, 30, 20090101));
+      new MemArray(bench::MakeSkyImage(kSide, kChunk, 30, 20090101));  // NOLINT(no-naked-new): leaky bench singleton
   return *img;
 }
 
@@ -72,7 +72,7 @@ void BM_Q4_Composite(benchmark::State& state) {
                 {{"value", DataType::kDouble, true, false},
                  {"cloud", DataType::kDouble, true, false}});
   static std::vector<MemArray>* passes = [] {
-    auto* v = new std::vector<MemArray>();
+    auto* v = new std::vector<MemArray>();  // NOLINT(no-naked-new): leaky bench singleton
     Rng rng(TestSeed(3));
     ArraySchema schema(
         "pass", {{"x", 1, kSide, kChunk}, {"y", 1, kSide, kChunk}},

@@ -23,7 +23,7 @@ ExecContext Ctx() {
 
 std::string BenchDir() {
   static std::string* dir = [] {
-    auto* d = new std::string(
+    auto* d = new std::string(  // NOLINT(no-naked-new): leaky bench singleton
         (fs::temp_directory_path() /
          ("scidb_bench_storage_" + std::to_string(::getpid())))
             .string());

@@ -161,7 +161,10 @@ Result<std::vector<uint8_t>> GridNodeService::ScanShard(
     ExecContext local;
     local.functions = functions_;
     local.enable_chunk_pruning = enable_chunk_pruning_;
-    ASSIGN_OR_RETURN(MemArray filtered_arr, Subsample(local, *source, pred));
+    // `local.pool` is null, so Subsample's ParallelChunkMap takes the
+    // serial path — no ParallelFor wait happens under mu_ despite what
+    // the call graph's context-insensitive closure concludes.
+    ASSIGN_OR_RETURN(MemArray filtered_arr, Subsample(local, *source, pred));  // NOLINT(blocking-under-lock)
     for (const auto& [origin, chunk] : filtered_arr.chunks()) {
       resp.chunks.push_back(SerializeChunk(*chunk));
     }

@@ -175,7 +175,7 @@ TEST(FlightRecorderDeathTest, AbortDumpContainsInjectedEventsInOrder) {
         Mutex b("flight.death.b");
         {
           MutexLock la(a);
-          MutexLock lb(b);
+          MutexLock lb(b);  // NOLINT(lock-order): inversion under test — drives the recorder dump
         }
         {
           MutexLock lb(b);

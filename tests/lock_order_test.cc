@@ -5,7 +5,7 @@
 
 #include "common/lock_order.h"
 
-#include <thread>
+#include <thread>  // NOLINT(no-raw-thread): raw threads hammer the detector on purpose
 #include <vector>
 
 #include <gtest/gtest.h>
@@ -80,7 +80,7 @@ TEST(LockOrderGraphTest, ManyThreadsRecordingDisjointEdges) {
   for (int i = 0; i < kLocks; ++i) {
     ids.push_back(g.AddNode(nullptr));
   }
-  std::vector<std::thread> threads;
+  std::vector<std::thread> threads;  // NOLINT(no-raw-thread): detector test needs unmanaged racers
   for (int t = 0; t < 4; ++t) {
     threads.emplace_back([&g, &ids, t] {
       // All threads agree on the id order, so no cycle can form.
@@ -110,7 +110,7 @@ TEST(LockOrderDeathTest, InvertedMutexAcquisitionAborts) {
         Mutex b("death.b");
         {
           MutexLock la(a);
-          MutexLock lb(b);
+          MutexLock lb(b);  // NOLINT(lock-order): inversion under test — the runtime detector must catch it
         }
         {
           MutexLock lb(b);

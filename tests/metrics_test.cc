@@ -2,7 +2,7 @@
 
 #include <gtest/gtest.h>
 
-#include <thread>
+#include <thread>  // NOLINT(no-raw-thread): registry race tests need unmanaged threads
 #include <vector>
 
 #include "common/trace.h"
@@ -34,7 +34,7 @@ TEST(MetricsTest, ConcurrentIncrementsAreExact) {
 
   constexpr int kThreads = 8;
   constexpr int kPerThread = 10000;
-  std::vector<std::thread> workers;
+  std::vector<std::thread> workers;  // NOLINT(no-raw-thread): registry race test needs unmanaged threads
   for (int t = 0; t < kThreads; ++t) {
     workers.emplace_back([&, t] {
       for (int i = 0; i < kPerThread; ++i) {
@@ -58,7 +58,7 @@ TEST(MetricsTest, ConcurrentIncrementsAreExact) {
 // mutex and the atomic hot path must compose without a race.
 TEST(MetricsTest, ConcurrentRegistrationIsSafe) {
   constexpr int kThreads = 8;
-  std::vector<std::thread> workers;
+  std::vector<std::thread> workers;  // NOLINT(no-raw-thread): registry race test needs unmanaged threads
   for (int t = 0; t < kThreads; ++t) {
     workers.emplace_back([t] {
       for (int i = 0; i < 200; ++i) {

@@ -17,6 +17,7 @@
 #include <vector>
 
 #include "bench/workloads.h"
+#include "common/macros.h"
 #include "common/thread_pool.h"
 #include "exec/operators.h"
 
@@ -199,11 +200,12 @@ TEST_F(ParallelDifferentialTest, Project) {
   for (auto& [name, a] : Inputs2D()) {
     const std::string attr = a.schema().attr(0).name;
     // Widen to two attributes first so Project actually selects.
-    RunDifferential("Project/" + name, [&](const ExecContext& ctx) {
-      auto widened = Apply(ctx, a, "twice", DataType::kDouble,
-                           Add(Ref(attr), Ref(attr)));
-      if (!widened.ok()) return widened;
-      return Project(ctx, widened.value(), {"twice"});
+    RunDifferential("Project/" + name,
+                    [&](const ExecContext& ctx) -> Result<MemArray> {
+      ASSIGN_OR_RETURN(MemArray widened,
+                       Apply(ctx, a, "twice", DataType::kDouble,
+                             Add(Ref(attr), Ref(attr))));
+      return Project(ctx, widened, {"twice"});
     });
   }
 }
@@ -333,12 +335,12 @@ TEST_F(ParallelDifferentialTest, ErrorsOnBadArgumentsAgree) {
 TEST_F(ParallelDifferentialTest, PipelineFilterApplyAggregate) {
   MemArray sky = bench::MakeSkyImage(48, 16, 5, 43);
   RunDifferential("Pipeline", [&](const ExecContext& ctx) -> Result<MemArray> {
-    auto filtered = Filter(ctx, sky, Gt(Ref("flux"), Lit(10.0)));
-    if (!filtered.ok()) return filtered;
-    auto applied = Apply(ctx, filtered.value(), "db", DataType::kDouble,
-                         Mul(Ref("flux"), Lit(0.1)));
-    if (!applied.ok()) return applied;
-    return Aggregate(ctx, applied.value(), {"I"}, "sum", "db");
+    ASSIGN_OR_RETURN(MemArray filtered,
+                     Filter(ctx, sky, Gt(Ref("flux"), Lit(10.0))));
+    ASSIGN_OR_RETURN(MemArray applied,
+                     Apply(ctx, filtered, "db", DataType::kDouble,
+                           Mul(Ref("flux"), Lit(0.1))));
+    return Aggregate(ctx, applied, {"I"}, "sum", "db");
   });
 }
 

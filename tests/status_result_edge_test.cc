@@ -3,7 +3,6 @@
 #include <algorithm>
 #include <filesystem>
 #include <string>
-#include <thread>
 #include <utility>
 #include <vector>
 

@@ -59,7 +59,7 @@ TEST(ThreadPoolTest, AllIndicesRunExactlyOnce) {
 TEST(ThreadPoolTest, WidthOneRunsInOrderOnCaller) {
   ThreadPool pool(1);
   std::vector<int64_t> order;
-  std::thread::id caller = std::this_thread::get_id();
+  std::thread::id caller = std::this_thread::get_id();  // NOLINT(no-raw-thread): id only, no spawn
   Status st = pool.ParallelFor(100, [&](int64_t i) -> Status {
     EXPECT_EQ(std::this_thread::get_id(), caller);
     order.push_back(i);
@@ -99,7 +99,7 @@ TEST(ThreadPoolTest, CancellationSkipsUnclaimedMorsels) {
   const int64_t n = 100000;
   std::atomic<int64_t> executed{0};
   Status st = pool.ParallelFor(n, [&](int64_t i) -> Status {
-    executed.fetch_add(1, std::memory_order_relaxed);
+    executed.fetch_add(1, std::memory_order_relaxed);  // relaxed-ok: count read after join barrier
     if (i == 0) return Status::Internal("boom");
     return Status::OK();
   });
@@ -118,7 +118,7 @@ TEST(ThreadPoolTest, NestedParallelForRunsInline) {
   std::atomic<int64_t> inner_total{0};
   Status st = pool.ParallelFor(8, [&](int64_t) -> Status {
     return pool.ParallelFor(10, [&](int64_t) -> Status {
-      inner_total.fetch_add(1, std::memory_order_relaxed);
+      inner_total.fetch_add(1, std::memory_order_relaxed);  // relaxed-ok: count read after join barrier
       return Status::OK();
     });
   });
@@ -132,7 +132,7 @@ TEST(ThreadPoolTest, PoolIsReusableAcrossJobs) {
   for (int round = 0; round < 50; ++round) {
     std::atomic<int64_t> sum{0};
     Status st = pool.ParallelFor(64, [&](int64_t i) -> Status {
-      sum.fetch_add(i, std::memory_order_relaxed);
+      sum.fetch_add(i, std::memory_order_relaxed);  // relaxed-ok: sum read after join barrier
       return Status::OK();
     });
     ASSERT_TRUE(st.ok()) << "round " << round;

@@ -65,13 +65,17 @@ def run_staticcheck(root, binary, compiler):
                 return [err]
         cmd = [binary, "--root", root]
         # Config files are optional so the probe works on crafted trees
-        # (the real repo always has all three).
+        # (the real repo always has all four).
         for flag, name in [("--manifest", "layering.manifest"),
                            ("--protocol", "protocol.manifest"),
-                           ("--baseline", "baseline")]:
+                           ("--baseline", "baseline"),
+                           ("--blocking", "blocking.manifest")]:
             path = os.path.join(sc_dir, name)
             if os.path.isfile(path):
                 cmd += [flag, path]
+        # Stale baseline entries and pathological analyzer slowdowns are
+        # failures here, exactly as in ctest and CI.
+        cmd += ["--baseline-strict", "--max-wall-ms", "60000"]
         proc = subprocess.run(cmd, capture_output=True, text=True)
         if proc.returncode == 0:
             if proc.stderr.strip():

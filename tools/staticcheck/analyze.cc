@@ -83,6 +83,8 @@ size_t RunAnalysis(Analysis* a) {
   RunProtocolDriftPass(*a, &all);
   RunStatusFlowPass(*a, &all);
   RunTextualPass(*a, &all);
+  RunLockOrderPass(*a, &all);
+  RunBlockingPass(*a, &all);
 
   // Index files by path for NOLINT lookups.
   std::map<std::string, const SourceFile*> by_path;
@@ -136,8 +138,10 @@ size_t RunAnalysis(Analysis* a) {
     a->diagnostics.push_back(d);
   }
 
+  a->stale_baseline = 0;
   for (const auto& b : baseline) {
     if (!b.used) {
+      ++a->stale_baseline;
       a->notes.push_back("baseline: stale entry (no longer matches): " +
                          b.check + "|" + b.path + "|" + b.message);
     }
@@ -193,7 +197,18 @@ std::string ToSarif(const Analysis& a) {
      << "          \"rules\": [";
   for (size_t i = 0; i < rules.size(); ++i) {
     if (i) os << ",";
-    os << "\n            {\"id\": \"" << JsonEscape(rules[i]) << "\"}";
+    os << "\n            {\"id\": \"" << JsonEscape(rules[i]) << "\"";
+    // --explain prose doubles as SARIF rule metadata, so a viewer shows
+    // the same rationale the CLI does.
+    if (const CheckInfo* info = FindCheck(rules[i])) {
+      os << ",\n             \"shortDescription\": {\"text\": \""
+         << JsonEscape(info->summary) << "\"},\n"
+         << "             \"fullDescription\": {\"text\": \""
+         << JsonEscape(info->rationale) << "\"},\n"
+         << "             \"help\": {\"text\": \""
+         << JsonEscape(std::string("Example: ") + info->example) << "\"}";
+    }
+    os << "}";
   }
   if (!rules.empty()) os << "\n          ";
   os << "]\n"

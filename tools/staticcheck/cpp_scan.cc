@@ -411,8 +411,7 @@ std::vector<VoidDiscard> FindVoidDiscards(const SourceFile& f) {
         if (tok.text == "," && depth == 0) break;
         // member access / scope tokens keep the chain going; anything
         // else (operators) resets the pending identifier.
-        if (tok.text != "." && tok.text != "->" && tok.text != "::" &&
-            tok.text != "-" && tok.text != ">") {
+        if (tok.text != "." && tok.text != "->" && tok.text != "::") {
           pending.clear();
         }
         continue;
@@ -457,6 +456,7 @@ void AnalyzeDeclTokens(const std::vector<Token>& t, size_t begin, size_t end,
   bool has_guard = false;        // GUARDED_BY / PT_GUARDED_BY present
   bool is_function = false;      // name followed by '(' at top level
   std::vector<std::string> type_idents;
+  std::string deep_type;         // last identifier seen inside <...>
   std::string name;
   int name_pos = -1;
 
@@ -509,6 +509,7 @@ void AnalyzeDeclTokens(const std::vector<Token>& t, size_t begin, size_t end,
     }
     if (IsIdent(tok)) {
       if (angle > 0) {
+        if (tok.text != "const") deep_type = tok.text;
         ++i;
         continue;
       }
@@ -573,6 +574,22 @@ void AnalyzeDeclTokens(const std::vector<Token>& t, size_t begin, size_t end,
   MemberDecl m;
   m.name = name;
   m.line = t[name_pos].line;
+  // Receiver-type heuristic for the call-graph resolver. Smart pointers
+  // forward method calls to the element type, so take the innermost
+  // template argument there; for any other template (`map<uint64_t,
+  // Entry>`) calls on the member hit the *container*, and claiming the
+  // element type would union `entries_.size()` into every in-tree
+  // `size()`. Those keep the outer template name, never an indexed
+  // class.
+  bool smart_ptr = false;
+  for (const auto& id : type_idents) {
+    if (id == "unique_ptr" || id == "shared_ptr" || id == "weak_ptr") {
+      smart_ptr = true;
+    }
+  }
+  m.type = (smart_ptr && !deep_type.empty())
+               ? deep_type
+               : (type_idents.empty() ? std::string() : type_idents.back());
   m.is_mutex_like =
       IsMutexType(type_idents) &&
       last_star_or_amp < 0;  // pointer/ref to mutex is not ownership

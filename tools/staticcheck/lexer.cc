@@ -300,9 +300,17 @@ class Lexer {
   }
 
   void Punct() {
-    // `::` is the one multi-char punctuator the passes key on (qualified
-    // case labels, std::mutex); everything else is emitted char-by-char.
+    // `::` and `->` are the multi-char punctuators the passes key on
+    // (qualified names, member access through pointers — the call-graph
+    // scanner reads receiver chains token-by-token); everything else is
+    // emitted char-by-char. Keeping `->` whole also stops the stray `>`
+    // from unbalancing angle-bracket matching.
     if (text_[i_] == ':' && Peek(1) == ':') {
+      Emit(TokKind::kPunct, i_, 2, line_);
+      i_ += 2;
+      return;
+    }
+    if (text_[i_] == '-' && Peek(1) == '>') {
       Emit(TokKind::kPunct, i_, 2, line_);
       i_ += 2;
       return;

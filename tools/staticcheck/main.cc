@@ -1,19 +1,26 @@
-// CLI for the analyzer. Walks --root's src/ and tests/ trees, lexes
-// everything once, runs every pass, and prints diagnostics. Exit 0 when
-// clean, 1 when violations survive NOLINT + baseline filtering, 2 on
-// usage/IO errors.
+// CLI for the analyzer. Walks --root's src/, tests/, and bench/ trees,
+// lexes everything once, runs every pass, and prints diagnostics. Exit 0
+// when clean, 1 when violations survive NOLINT + baseline filtering
+// (or, under --baseline-strict, when stale baseline entries remain; or
+// when --max-wall-ms is exceeded), 2 on usage/IO errors.
 //
 //   staticcheck --root .
 //       --manifest tools/staticcheck/layering.manifest
 //       --protocol tools/staticcheck/protocol.manifest
 //       --baseline tools/staticcheck/baseline
+//       --blocking tools/staticcheck/blocking.manifest
+//       [--baseline-strict] [--max-wall-ms N]
 //       [--sarif out.sarif] [paths...]
+//
+//   staticcheck --list-checks          one line per registered check
+//   staticcheck --explain <check>      rationale + example for one check
 //
 // With explicit [paths...] only those files are scanned (useful for the
 // fixture-driven regression tests); cross-file checks then see only the
 // given set.
 
 #include <algorithm>
+#include <chrono>
 #include <cstdlib>
 #include <filesystem>
 #include <fstream>
@@ -47,12 +54,35 @@ std::string RelPath(const fs::path& root, const fs::path& p) {
   return rel;
 }
 
+int ListChecks() {
+  for (const auto& c : staticcheck::AllChecks()) {
+    std::cout << c.id << "\n    " << c.summary << "\n";
+  }
+  return 0;
+}
+
+int ExplainCheck(const std::string& id) {
+  const staticcheck::CheckInfo* c = staticcheck::FindCheck(id);
+  if (c == nullptr) {
+    std::cerr << "staticcheck: unknown check '" << id
+              << "' (see --list-checks)\n";
+    return 2;
+  }
+  std::cout << c->id << ": " << c->summary << "\n\n"
+            << c->rationale << "\n\n"
+            << "Example: " << c->example << "\n";
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   std::string root = ".";
-  std::string manifest_path, protocol_path, baseline_path, sarif_path;
+  std::string manifest_path, protocol_path, baseline_path, blocking_path,
+      sarif_path;
   std::vector<std::string> explicit_paths;
+  bool baseline_strict = false;
+  long max_wall_ms = 0;  // 0 = no budget
 
   for (int i = 1; i < argc; ++i) {
     std::string arg = argv[i];
@@ -71,11 +101,24 @@ int main(int argc, char** argv) {
       protocol_path = need("--protocol");
     } else if (arg == "--baseline") {
       baseline_path = need("--baseline");
+    } else if (arg == "--blocking") {
+      blocking_path = need("--blocking");
     } else if (arg == "--sarif") {
       sarif_path = need("--sarif");
+    } else if (arg == "--baseline-strict") {
+      baseline_strict = true;
+    } else if (arg == "--max-wall-ms") {
+      max_wall_ms = std::atol(need("--max-wall-ms"));
+    } else if (arg == "--list-checks") {
+      return ListChecks();
+    } else if (arg == "--explain") {
+      return ExplainCheck(need("--explain"));
     } else if (arg == "--help" || arg == "-h") {
       std::cout << "usage: staticcheck --root DIR [--manifest F] "
-                   "[--protocol F] [--baseline F] [--sarif OUT] [paths...]\n";
+                   "[--protocol F] [--baseline F] [--blocking F]\n"
+                   "       [--baseline-strict] [--max-wall-ms N] "
+                   "[--sarif OUT] [paths...]\n"
+                   "       staticcheck --list-checks | --explain CHECK\n";
       return 0;
     } else if (!arg.empty() && arg[0] == '-') {
       std::cerr << "staticcheck: unknown flag " << arg << "\n";
@@ -84,6 +127,8 @@ int main(int argc, char** argv) {
       explicit_paths.push_back(arg);
     }
   }
+
+  const auto t_start = std::chrono::steady_clock::now();
 
   fs::path root_path = fs::absolute(root);
   staticcheck::Analysis analysis;
@@ -102,7 +147,9 @@ int main(int argc, char** argv) {
                    "layering manifest") ||
       !load_config(protocol_path, &analysis.config.protocol_manifest,
                    "protocol manifest") ||
-      !load_config(baseline_path, &analysis.config.baseline, "baseline")) {
+      !load_config(baseline_path, &analysis.config.baseline, "baseline") ||
+      !load_config(blocking_path, &analysis.config.blocking_manifest,
+                   "blocking manifest")) {
     return 2;
   }
 
@@ -111,7 +158,7 @@ int main(int argc, char** argv) {
   if (!explicit_paths.empty()) {
     for (const auto& p : explicit_paths) inputs.emplace_back(p);
   } else {
-    for (const char* sub : {"src", "tests"}) {
+    for (const char* sub : {"src", "tests", "bench"}) {
       fs::path dir = root_path / sub;
       std::error_code ec;
       if (!fs::is_directory(dir, ec)) continue;
@@ -151,15 +198,40 @@ int main(int argc, char** argv) {
     out << staticcheck::ToSarif(analysis);
   }
 
+  const auto elapsed_ms =
+      std::chrono::duration_cast<std::chrono::milliseconds>(
+          std::chrono::steady_clock::now() - t_start)
+          .count();
+
   for (const auto& note : analysis.notes) {
     std::cerr << "staticcheck: note: " << note << "\n";
   }
+  int rc = 0;
   if (n > 0) {
     std::cout << staticcheck::ToText(analysis);
     std::cout << "staticcheck: " << n << " problem(s) in "
               << analysis.files.size() << " files\n";
-    return 1;
+    rc = 1;
   }
-  std::cout << "staticcheck: OK (" << analysis.files.size() << " files)\n";
-  return 0;
+  if (baseline_strict && analysis.stale_baseline > 0) {
+    std::cerr << "staticcheck: " << analysis.stale_baseline
+              << " stale baseline entr"
+              << (analysis.stale_baseline == 1 ? "y" : "ies")
+              << " (--baseline-strict): delete the lines listed above\n";
+    rc = std::max(rc, 1);
+  }
+  // Self-time: always reported so the CI log shows the trend, and a
+  // gate so the call-graph passes cannot silently make the lint slow.
+  std::cerr << "staticcheck: analyzed " << analysis.files.size()
+            << " files in " << elapsed_ms << " ms\n";
+  if (max_wall_ms > 0 && elapsed_ms > max_wall_ms) {
+    std::cerr << "staticcheck: wall-clock budget exceeded (" << elapsed_ms
+              << " ms > " << max_wall_ms << " ms)\n";
+    rc = std::max(rc, 1);
+  }
+  if (rc == 0) {
+    std::cout << "staticcheck: OK (" << analysis.files.size()
+              << " files)\n";
+  }
+  return rc;
 }

@@ -1,0 +1,397 @@
+// The two call-graph passes (DESIGN.md §14):
+//
+//   lock-order            whole-program "acquires B while holding A"
+//                         edges, direct and through the call graph; any
+//                         cycle (including a re-acquire self-cycle) is a
+//                         diagnostic carrying the full witness path.
+//   blocking-under-lock   blocking roots from blocking.manifest are
+//                         propagated transitively to a may-block
+//                         attribute; a may-block call while any Mutex is
+//                         held is a diagnostic. A condition-variable
+//                         wait whose first argument is a held lock
+//                         releases that lock for the duration of the
+//                         call (`cv` flag in the manifest), so
+//                         `cv_.wait(mu_)` under mu_ is clean.
+//
+// Lock *acquisitions* are deliberately not "blocking" here — nested
+// acquisition is exactly what the lock-order pass judges, and flagging
+// it twice would force a NOLINT on every legitimate nesting.
+
+#include <algorithm>
+#include <functional>
+#include <sstream>
+
+#include "staticcheck.h"
+
+namespace staticcheck {
+
+namespace {
+
+std::string Hop(const FunctionDef& f, int line, const std::string& what) {
+  return f.path + ":" + std::to_string(line) + ": " + what;
+}
+
+std::string FnName(const FunctionDef& f) {
+  return f.cls.empty() ? f.name : f.cls + "::" + f.name;
+}
+
+// ------------------------------------------------ may-acquire closure
+
+// Transitive lock-acquisition summaries with one witness chain per
+// (function, lock). Cycles in the call graph terminate via the
+// in-progress state (partial summaries — conservative, still sound for
+// termination).
+class AcquireClosure {
+ public:
+  explicit AcquireClosure(const ConcurrencyModel& m)
+      : m_(m), state_(m.functions.size(), 0), memo_(m.functions.size()) {}
+
+  using Chains = std::map<std::string, std::vector<std::string>>;
+
+  const Chains& MayAcquire(size_t fi) {
+    if (state_[fi] != 0) return memo_[fi];
+    state_[fi] = 1;
+    const FunctionDef& f = m_.functions[fi];
+    Chains& out = memo_[fi];
+    for (const auto& acq : f.acquires) {
+      if (!out.count(acq.lock)) {
+        out[acq.lock] = {Hop(f, acq.line,
+                             "acquires `" + acq.lock + "` (" + acq.how +
+                                 ") in `" + FnName(f) + "`")};
+      }
+    }
+    for (const auto& c : f.calls) {
+      for (size_t ti : ResolveCall(m_, f, c)) {
+        if (state_[ti] == 1) continue;  // call-graph cycle: skip
+        const Chains& sub = MayAcquire(ti);
+        for (const auto& [lock, chain] : sub) {
+          if (out.count(lock)) continue;
+          std::vector<std::string> ext;
+          ext.push_back(Hop(f, c.line, "call to `" +
+                                           FnName(m_.functions[ti]) + "`"));
+          ext.insert(ext.end(), chain.begin(), chain.end());
+          out[lock] = std::move(ext);
+        }
+      }
+    }
+    state_[fi] = 2;
+    return out;
+  }
+
+ private:
+  const ConcurrencyModel& m_;
+  std::vector<int> state_;  // 0 unvisited, 1 in progress, 2 done
+  std::vector<Chains> memo_;
+};
+
+struct Edge {
+  std::vector<std::string> witness;  // hops from holder to acquisition
+  std::string path;                  // anchor (first hop's location)
+  int line = 1;
+};
+
+std::string JoinWitness(const std::vector<std::string>& hops) {
+  std::string out;
+  for (const auto& h : hops) {
+    if (!out.empty()) out += " | ";
+    out += h;
+  }
+  return out;
+}
+
+}  // namespace
+
+// ------------------------------------------------------------ lock-order
+
+void RunLockOrderPass(const Analysis& a, std::vector<Diagnostic>* out) {
+  ConcurrencyModel m = BuildConcurrencyModel(a);
+  AcquireClosure closure(m);
+
+  // Edge graph over canonical lock ids; first witness per edge wins
+  // (file iteration order is deterministic).
+  std::map<std::string, std::map<std::string, Edge>> edges;
+  auto add_edge = [&edges](const std::string& from, const std::string& to,
+                           Edge e) {
+    auto& slot = edges[from];
+    if (!slot.count(to)) slot.emplace(to, std::move(e));
+  };
+
+  for (size_t fi = 0; fi < m.functions.size(); ++fi) {
+    const FunctionDef& f = m.functions[fi];
+    for (const auto& acq : f.acquires) {
+      for (const auto& h : acq.held) {
+        Edge e;
+        e.witness = {Hop(f, acq.line,
+                         "acquires `" + acq.lock + "` (" + acq.how +
+                             ") in `" + FnName(f) + "` while holding `" + h +
+                             "`")};
+        e.path = f.path;
+        e.line = acq.line;
+        add_edge(h, acq.lock, std::move(e));
+      }
+    }
+    for (const auto& c : f.calls) {
+      if (c.held.empty()) continue;
+      for (size_t ti : ResolveCall(m, f, c)) {
+        for (const auto& [lock, chain] : closure.MayAcquire(ti)) {
+          for (const auto& h : c.held) {
+            // Holding h, the callee may acquire `lock`.
+            if (h == lock) continue;  // re-acquire via call: too noisy
+                                      // under union resolution; direct
+                                      // re-acquires are still edges
+            Edge e;
+            e.witness.push_back(
+                Hop(f, c.line, "call to `" + FnName(m.functions[ti]) +
+                                   "` in `" + FnName(f) +
+                                   "` while holding `" + h + "`"));
+            e.witness.insert(e.witness.end(), chain.begin(), chain.end());
+            e.path = f.path;
+            e.line = c.line;
+            add_edge(h, lock, std::move(e));
+          }
+        }
+      }
+    }
+  }
+
+  // Cycle detection (DFS, deterministic order), one report per distinct
+  // node set.
+  std::set<std::vector<std::string>> reported;  // sorted cycle signature
+  std::map<std::string, int> color;             // 0 white 1 grey 2 black
+  std::vector<std::string> stack;
+
+  std::function<void(const std::string&)> dfs = [&](const std::string& n) {
+    color[n] = 1;
+    stack.push_back(n);
+    auto it = edges.find(n);
+    if (it != edges.end()) {
+      for (const auto& [next, edge] : it->second) {
+        (void)edge;
+        int c = color.count(next) ? color[next] : 0;
+        if (c == 0) {
+          dfs(next);
+        } else if (c == 1) {
+          // Found a cycle: stack suffix from `next` to n, plus n->next.
+          auto b = std::find(stack.begin(), stack.end(), next);
+          std::vector<std::string> cyc(b, stack.end());
+          std::vector<std::string> sig = cyc;
+          std::sort(sig.begin(), sig.end());
+          if (reported.insert(sig).second) {
+            // Rotate so the smallest lock leads — stable report text.
+            auto mn = std::min_element(cyc.begin(), cyc.end());
+            std::rotate(cyc.begin(), mn, cyc.end());
+            std::ostringstream msg;
+            msg << "lock-order cycle: ";
+            for (const auto& l : cyc) msg << "`" << l << "` -> ";
+            msg << "`" << cyc.front() << "`";
+            const Edge* anchor = nullptr;
+            for (size_t i = 0; i < cyc.size(); ++i) {
+              const std::string& from = cyc[i];
+              const std::string& to = cyc[(i + 1) % cyc.size()];
+              const Edge& e = edges[from][to];
+              if (!anchor) anchor = &e;
+              msg << " | [" << from << " -> " << to << "] "
+                  << JoinWitness(e.witness);
+            }
+            out->push_back({anchor->path, anchor->line, "lock-order",
+                            msg.str()});
+          }
+        }
+      }
+    }
+    stack.pop_back();
+    color[n] = 2;
+  };
+
+  // Self-cycles (A -> A: re-acquiring a held non-recursive mutex). Mark
+  // the one-node signature as reported so the DFS below does not report
+  // the same self-edge a second time with a less specific message.
+  for (const auto& [from, tos] : edges) {
+    auto self = tos.find(from);
+    if (self != tos.end()) {
+      reported.insert({from});
+      out->push_back({self->second.path, self->second.line, "lock-order",
+                      "lock-order cycle: `" + from + "` -> `" + from +
+                          "` (re-acquired while held) | " +
+                          JoinWitness(self->second.witness)});
+    }
+  }
+  for (const auto& [n, tos] : edges) {
+    (void)tos;
+    if (!color.count(n) || color[n] == 0) dfs(n);
+  }
+}
+
+// --------------------------------------------------- blocking-under-lock
+
+namespace {
+
+struct BlockRoot {
+  std::string cls;  // "" = match any receiver; else only this class
+  bool cv = false;  // wait-style: first argument is the released lock
+};
+
+// name -> entries (a name can have one bare and several qualified rows).
+using BlockRoots = std::map<std::string, std::vector<BlockRoot>>;
+
+BlockRoots ParseBlockingManifest(const std::string& text,
+                                 std::vector<std::string>* notes) {
+  BlockRoots roots;
+  std::istringstream in(text);
+  std::string line;
+  while (std::getline(in, line)) {
+    size_t b = line.find_first_not_of(" \t");
+    if (b == std::string::npos || line[b] == '#') continue;
+    std::istringstream ls(line);
+    std::string kw, name, flag;
+    ls >> kw >> name;
+    if (kw != "root" || name.empty()) {
+      if (notes) {
+        notes->push_back("blocking manifest: malformed line (want "
+                         "'root [Class::]name [cv]'): " + line);
+      }
+      continue;
+    }
+    BlockRoot r;
+    size_t sep = name.find("::");
+    if (sep != std::string::npos) {
+      r.cls = name.substr(0, sep);
+      name = name.substr(sep + 2);
+    }
+    while (ls >> flag) {
+      if (flag == "cv") r.cv = true;
+    }
+    roots[name].push_back(r);
+  }
+  return roots;
+}
+
+// Does call `c` from `f` hit a blocking root? Bare roots match by short
+// name whatever the receiver; qualified roots (`RpcClient::Call`) need
+// the receiver to be visibly of that class — by explicit qualifier,
+// declared receiver type, or a resolved callee. Keeps `Call(fn, args)`
+// (the expression builder) distinct from `client_->Call(...)` (the RPC
+// round trip).
+const BlockRoot* MatchRoot(const ConcurrencyModel& m, const FunctionDef& f,
+                           const CallSite& c, const BlockRoots& roots) {
+  auto it = roots.find(c.name);
+  if (it == roots.end()) return nullptr;
+  for (const BlockRoot& r : it->second) {
+    if (r.cls.empty()) return &r;
+    if (c.qual == r.cls || c.recv_type == r.cls) return &r;
+  }
+  for (size_t ti : ResolveCall(m, f, c)) {
+    for (const BlockRoot& r : it->second) {
+      if (!r.cls.empty() && m.functions[ti].cls == r.cls) return &r;
+    }
+  }
+  return nullptr;
+}
+
+// Transitive may-block with one witness chain per function.
+class BlockClosure {
+ public:
+  BlockClosure(const ConcurrencyModel& m, const BlockRoots& roots)
+      : m_(m), roots_(roots), state_(m.functions.size(), 0),
+        memo_(m.functions.size()) {}
+
+  // Empty chain = does not block (as far as the model can see).
+  const std::vector<std::string>& MayBlock(size_t fi) {
+    if (state_[fi] != 0) return memo_[fi];
+    state_[fi] = 1;
+    const FunctionDef& f = m_.functions[fi];
+    for (const auto& c : f.calls) {
+      if (MatchRoot(m_, f, c, roots_) != nullptr) {
+        memo_[fi] = {Hop(f, c.line, "call to `" + c.name +
+                                        "` (blocking root) in `" +
+                                        FnName(f) + "`")};
+        break;
+      }
+    }
+    if (memo_[fi].empty()) {
+      for (const auto& c : f.calls) {
+        bool done = false;
+        for (size_t ti : ResolveCall(m_, f, c)) {
+          if (state_[ti] == 1) continue;
+          const std::vector<std::string>& sub = MayBlock(ti);
+          if (sub.empty()) continue;
+          std::vector<std::string>& chain = memo_[fi];
+          chain.push_back(Hop(f, c.line,
+                              "call to `" + FnName(m_.functions[ti]) +
+                                  "` in `" + FnName(f) + "`"));
+          chain.insert(chain.end(), sub.begin(), sub.end());
+          done = true;
+          break;
+        }
+        if (done) break;
+      }
+    }
+    state_[fi] = 2;
+    return memo_[fi];
+  }
+
+ private:
+  const ConcurrencyModel& m_;
+  const BlockRoots& roots_;
+  std::vector<int> state_;
+  std::vector<std::vector<std::string>> memo_;
+};
+
+std::string HeldList(const std::vector<std::string>& held) {
+  std::string out;
+  for (const auto& h : held) {
+    if (!out.empty()) out += ", ";
+    out += "`" + h + "`";
+  }
+  return out;
+}
+
+}  // namespace
+
+void RunBlockingPass(const Analysis& a, std::vector<Diagnostic>* out) {
+  if (a.config.blocking_manifest.empty()) return;  // pass not configured
+  BlockRoots roots = ParseBlockingManifest(a.config.blocking_manifest,
+                                           nullptr);
+  if (roots.empty()) return;
+
+  ConcurrencyModel m = BuildConcurrencyModel(a);
+  BlockClosure closure(m, roots);
+
+  for (size_t fi = 0; fi < m.functions.size(); ++fi) {
+    const FunctionDef& f = m.functions[fi];
+    for (const auto& c : f.calls) {
+      if (c.held.empty()) continue;
+      const BlockRoot* root = MatchRoot(m, f, c, roots);
+      if (root != nullptr) {
+        // Direct blocking root. A cv-style wait releases the lock it is
+        // handed, so drop a held first argument before judging.
+        std::vector<std::string> held = c.held;
+        if (root->cv && !c.first_arg_lock.empty()) {
+          held.erase(std::remove(held.begin(), held.end(),
+                                 c.first_arg_lock),
+                     held.end());
+        }
+        if (!held.empty()) {
+          out->push_back(
+              {f.path, c.line, "blocking-under-lock",
+               "call to blocking `" + c.name + "` in `" + FnName(f) +
+                   "` while holding " + HeldList(held)});
+        }
+        continue;
+      }
+      // Transitive: first resolvable target that may block.
+      for (size_t ti : ResolveCall(m, f, c)) {
+        const std::vector<std::string>& chain = closure.MayBlock(ti);
+        if (chain.empty()) continue;
+        out->push_back(
+            {f.path, c.line, "blocking-under-lock",
+             "call to `" + FnName(m.functions[ti]) + "` in `" + FnName(f) +
+                 "` may block while holding " + HeldList(c.held) + " | " +
+                 JoinWitness(chain)});
+        break;
+      }
+    }
+  }
+}
+
+}  // namespace staticcheck

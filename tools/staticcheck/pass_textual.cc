@@ -22,6 +22,14 @@ bool IsLibrarySource(const std::string& path) {
   return StartsWith(path, "src/");
 }
 
+// The per-line rules audit the whole checked tree, not just the
+// library: tests and benchmarks follow the same error-model and
+// concurrency policies (deliberate exceptions carry a NOLINT).
+bool IsCheckedTree(const std::string& path) {
+  return IsLibrarySource(path) || StartsWith(path, "tests/") ||
+         StartsWith(path, "bench/");
+}
+
 bool IsNetTest(const std::string& path) {
   return StartsWith(path, "tests/net_");
 }
@@ -184,7 +192,9 @@ void CheckIncludeGuard(const SourceFile& f, std::vector<Diagnostic>* out) {
       f.path.compare(f.path.size() - 2, 2, ".h") != 0) {
     return;
   }
-  std::string rel = f.path.substr(4);  // past "src/"
+  // src/ headers drop the prefix (SCIDB_NET_RPC_H_); other roots keep
+  // the full path (SCIDB_BENCH_WORKLOADS_H_) so guards stay unique.
+  std::string rel = StartsWith(f.path, "src/") ? f.path.substr(4) : f.path;
   std::string expected = "SCIDB_";
   for (char c : rel) {
     expected += std::isalnum(static_cast<unsigned char>(c))
@@ -255,7 +265,7 @@ void CheckIncludeGuard(const SourceFile& f, std::vector<Diagnostic>* out) {
 
 void RunTextualPass(const Analysis& a, std::vector<Diagnostic>* out) {
   for (const auto& f : a.files) {
-    if (IsLibrarySource(f.path)) {
+    if (IsCheckedTree(f.path)) {
       CheckThrow(f, out);
       CheckNewDelete(f, out);
       CheckStatusLadder(f, out);

@@ -21,6 +21,19 @@
 //   status-flow     (void)-cast discards of calls whose callee returns
 //                   Status/Result anywhere in the tree need a same-line
 //                   `// status-ignored: <why>` tag.
+//   lock-order      whole-program "acquires B while holding A" graph
+//                   built over the cross-file call graph; any cycle is
+//                   reported with its full witness path (files:lines
+//                   through the call chain). Static complement to the
+//                   runtime detector in common/lock_order, which only
+//                   sees interleavings that actually execute.
+//   blocking-under-lock
+//                   a manifest of blocking roots (RPC Call, socket
+//                   send/recv, ThreadPool waits, file I/O, sleeps) is
+//                   propagated transitively to a "may-block" attribute;
+//                   a may-block call made while a Mutex is held is a
+//                   diagnostic. Condition-variable waits that release a
+//                   held lock (cv.wait(mu_)) are exempt for that lock.
 //
 // plus the portable per-line rules migrated from tools/lint.py (no-throw,
 // no-naked-new, status-ladder, include-guard, metrics-state,
@@ -110,6 +123,12 @@ struct MemberDecl {
   int line;
   bool is_mutex_like = false;   // Mutex / std::mutex / CondVar / ...
   bool is_safe = false;         // const / atomic / GUARDED_BY / reference
+  // Best-effort element/pointee type for call-graph receiver resolution:
+  // the innermost template-argument identifier when one exists
+  // (`std::unique_ptr<net::RpcClient>` -> "RpcClient"), else the last
+  // top-level type identifier (`DistributedArray* owner_` ->
+  // "DistributedArray").
+  std::string type;
 };
 
 struct ClassDef {
@@ -133,6 +152,72 @@ std::vector<ClassDef> FindClasses(const SourceFile& f);
 void CollectFallibleNames(const SourceFile& f, std::set<std::string>* out);
 std::vector<VoidDiscard> FindVoidDiscards(const SourceFile& f);
 
+// ----------------------------------------------- call graph / lock effects
+
+struct Analysis;  // defined below
+
+// One direct lock acquisition inside a function body: a MutexLock /
+// lock_guard / unique_lock / scoped_lock RAII site, a direct
+// `mu.lock()`, or an ACQUIRE() annotation on the function itself.
+struct LockAcq {
+  std::string lock;  // canonical id, e.g. "DistributedArray::stats_mu_"
+  int line;
+  std::string how;                // "MutexLock", "lock()", "ACQUIRE", ...
+  std::vector<std::string> held;  // locks already held at this site
+};
+
+// One call site inside a function body, with the lock context it runs in.
+struct CallSite {
+  std::string name;  // callee short name, e.g. "SyncStoredStats"
+  std::string qual;  // explicit qualifier for `Qual::name(...)` calls
+  std::string recv;  // receiver identifier for obj.name / obj->name calls
+  // Declared class of the receiver when the scanner can see it (member
+  // or parameter type, "this"); "" when unknown. Calls on receivers of
+  // unknown type are NOT resolved — unioning every `size`/`count`
+  // definition behind an `auto` local manufactures phantom edges.
+  std::string recv_type;
+  int line;
+  std::vector<std::string> held;  // canonical lock ids held at this call
+  // When the first argument is a lock expression that resolves (the
+  // condition-variable wait pattern `cv_.wait(mu_)`), its canonical id.
+  std::string first_arg_lock;
+};
+
+// A function or member-function definition with its lock-effect summary.
+struct FunctionDef {
+  std::string cls;   // enclosing/qualifying class, "" for free functions
+  std::string name;  // short name
+  std::string path;
+  int line;                               // line of the definition head
+  std::vector<LockAcq> acquires;          // direct acquisitions
+  std::vector<CallSite> calls;            // direct call sites
+  std::vector<std::string> requires_locks;  // REQUIRES/EXCLUSIVE_LOCKS_REQUIRED
+};
+
+// Whole-program function index: every definition, indexed by short name,
+// plus the class-member info the resolver needs.
+struct ConcurrencyModel {
+  std::vector<FunctionDef> functions;
+  std::map<std::string, std::vector<size_t>> by_name;  // short name -> idx
+  // class name -> member name -> (is_mutex_like, declared type)
+  std::map<std::string, std::map<std::string, MemberDecl>> class_members;
+  // member name -> classes declaring a mutex-like member with that name
+  // (the unique-class fallback for untyped receivers).
+  std::map<std::string, std::set<std::string>> mutex_member_owners;
+};
+
+// Builds the function index + per-function lock-effect summaries over
+// every file in `a`. src/common/mutex.h and src/common/lock_order.* are
+// excluded: they *are* the lock implementation, and modeling their
+// internals would alias every Mutex onto the wrapped std::mutex member.
+ConcurrencyModel BuildConcurrencyModel(const Analysis& a);
+
+// Conservative name+class call resolution (exposed for tests): indices
+// into m.functions that call site `c` made from `caller` may target.
+std::vector<size_t> ResolveCall(const ConcurrencyModel& m,
+                                const FunctionDef& caller,
+                                const CallSite& c);
+
 // ------------------------------------------------------------- analysis
 
 struct Config {
@@ -143,6 +228,10 @@ struct Config {
   std::string protocol_manifest;
   // Baseline contents: "check|path|message" lines.
   std::string baseline;
+  // blocking.manifest contents: "root name [cv]" lines naming functions
+  // that block by themselves; `cv` marks condition-variable waits whose
+  // first argument is the lock they atomically release.
+  std::string blocking_manifest;
 };
 
 struct Analysis {
@@ -152,6 +241,7 @@ struct Analysis {
   // Filled by RunAnalysis:
   std::vector<Diagnostic> diagnostics;  // after NOLINT + baseline filter
   std::vector<std::string> notes;       // non-fatal (stale baseline, ...)
+  size_t stale_baseline = 0;            // count of unused baseline entries
 };
 
 // Individual passes (exposed for the test suite).
@@ -160,6 +250,8 @@ void RunLockCoveragePass(const Analysis& a, std::vector<Diagnostic>* out);
 void RunProtocolDriftPass(const Analysis& a, std::vector<Diagnostic>* out);
 void RunStatusFlowPass(const Analysis& a, std::vector<Diagnostic>* out);
 void RunTextualPass(const Analysis& a, std::vector<Diagnostic>* out);
+void RunLockOrderPass(const Analysis& a, std::vector<Diagnostic>* out);
+void RunBlockingPass(const Analysis& a, std::vector<Diagnostic>* out);
 
 // Runs every pass, then filters NOLINT'd lines and baseline entries and
 // sorts by (path, line, check). Returns the number of surviving
@@ -170,6 +262,20 @@ size_t RunAnalysis(Analysis* a);
 std::string ToSarif(const Analysis& a);
 // Human-readable one-per-line report.
 std::string ToText(const Analysis& a);
+
+// ---------------------------------------------------------- check registry
+
+// Every check the analyzer can emit, with the prose `--explain` serves
+// and SARIF embeds as rule metadata.
+struct CheckInfo {
+  const char* id;         // "lock-order"
+  const char* summary;    // one line, for --list-checks
+  const char* rationale;  // one paragraph, for --explain
+  const char* example;    // a minimal triggering example
+};
+
+const std::vector<CheckInfo>& AllChecks();
+const CheckInfo* FindCheck(const std::string& id);  // nullptr if unknown
 
 }  // namespace staticcheck
 
