@@ -1,0 +1,250 @@
+// Concurrent query-server throughput/latency (EXP-SRV, DESIGN.md §15):
+// N client threads, each with its own QueryClient on its own transport
+// node, hammer one QueryServer with snapshot scans of a shared-catalog
+// array. Reported per configuration:
+//
+//   p50_us / p99_us  per-query latency percentiles (submit -> released)
+//   qps              completed queries per second across all clients
+//   busy_retries     admission rejections absorbed by client backoff
+//
+// Run
+//
+//   ./build/bench/bench_server --benchmark_out=BENCH_server.json
+//       --benchmark_out_format=json
+//
+// The /inline variants isolate protocol + scheduling cost (function-call
+// transport); the /tcp variants add real loopback sockets — the
+// acceptance configuration (8 clients over LoopbackTcpTransport).
+// Fairness is visible in the p99/p50 ratio: FIFO slice scheduling keeps
+// the tail bounded by queued competitors, not by the heaviest query.
+#include <benchmark/benchmark.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <thread>  // NOLINT(no-raw-thread): concurrent-client harness
+#include <vector>
+
+#include "common/logging.h"
+#include "common/mutex.h"
+#include "common/trace.h"
+#include "net/inprocess_transport.h"
+#include "net/tcp_transport.h"
+#include "server/query_client.h"
+#include "server/query_server.h"
+
+namespace scidb {
+namespace {
+
+using server::QueryClient;
+using server::QueryServer;
+
+constexpr int kServerNode = 0;
+
+std::unique_ptr<net::Transport> MakeTransport(bool tcp) {
+  if (tcp) return std::make_unique<net::LoopbackTcpTransport>();
+  return std::make_unique<net::InProcessTransport>(
+      net::InProcessTransport::Mode::kInline);
+}
+
+int64_t Percentile(std::vector<int64_t>* v, double p) {
+  if (v->empty()) return 0;
+  size_t idx = static_cast<size_t>(p * static_cast<double>(v->size() - 1));
+  std::nth_element(v->begin(), v->begin() + static_cast<int64_t>(idx),
+                   v->end());
+  return (*v)[idx];
+}
+
+// n_clients concurrent QueryClients, each issuing `per_client` snapshot
+// scans per iteration.
+void BM_ConcurrentClients(benchmark::State& state, bool tcp) {
+  const int n_clients = static_cast<int>(state.range(0));
+  const int per_client = 8;
+
+  std::unique_ptr<net::Transport> transport = MakeTransport(tcp);
+  QueryServer::Options opts;
+  opts.max_concurrent_queries = n_clients;
+  opts.pool_width = 4;
+  opts.per_query_parallelism = 2;
+  opts.slice_morsels = 4;
+  QueryServer server(transport.get(), kServerNode, opts);
+  SCIDB_CHECK(server.Start().ok());
+
+  // One shared updatable array, seeded through the protocol.
+  SCIDB_CHECK(server.catalog()
+                  ->Define(ArraySchema(
+                      "S", {{"i", 1, 256, 64}},
+                      {{"v", DataType::kDouble, true, false}}, true))
+                  .ok());
+  {
+    QueryClient seeder(transport.get(), 1000, kServerNode);
+    SCIDB_CHECK(seeder.Bind().ok());
+    for (int i = 1; i <= 256; i += 2) {
+      SCIDB_CHECK(seeder
+                      .Execute("insert S [" + std::to_string(i) +
+                               "] values (" + std::to_string(i * 0.25) + ")")
+                      .value()
+                      .status.ok());
+    }
+  }
+
+  std::vector<std::unique_ptr<QueryClient>> clients;
+  for (int c = 0; c < n_clients; ++c) {
+    clients.push_back(std::make_unique<QueryClient>(transport.get(), 1 + c,
+                                                    kServerNode));
+    SCIDB_CHECK(clients.back()->Bind().ok());
+  }
+
+  Mutex agg_mu;
+  std::vector<int64_t> latencies_us;  // all clients, all iterations
+  int64_t busy_retries = 0;
+  int64_t completed = 0;
+  uint64_t active_ns = 0;
+
+  for (auto _ : state) {
+    const uint64_t t_iter = SteadyNowNs();
+    std::vector<std::thread> workers;  // NOLINT(no-raw-thread): bench load
+    workers.reserve(static_cast<size_t>(n_clients));
+    for (int c = 0; c < n_clients; ++c) {
+      workers.emplace_back([&, c] {
+        std::vector<int64_t> local_lat;
+        int64_t local_busy = 0;
+        for (int q = 0; q < per_client; ++q) {
+          const uint64_t t0 = SteadyNowNs();
+          for (;;) {
+            auto out = clients[static_cast<size_t>(c)]->Execute(
+                "select Filter(S, v > 0)");
+            if (!out.ok() && out.status().IsBusy()) {
+              ++local_busy;  // typed backpressure: back off and retry
+              continue;
+            }
+            SCIDB_CHECK(out.ok()) << out.status().ToString();
+            SCIDB_CHECK(out.value().status.ok())
+                << out.value().status.ToString();
+            break;
+          }
+          local_lat.push_back(
+              static_cast<int64_t>((SteadyNowNs() - t0) / 1000));
+        }
+        MutexLock lk(agg_mu);
+        latencies_us.insert(latencies_us.end(), local_lat.begin(),
+                            local_lat.end());
+        busy_retries += local_busy;
+        completed += static_cast<int64_t>(local_lat.size());
+      });
+    }
+    for (auto& w : workers) w.join();
+    active_ns += SteadyNowNs() - t_iter;
+  }
+
+  state.SetItemsProcessed(completed);
+  state.counters["p50_us"] =
+      static_cast<double>(Percentile(&latencies_us, 0.50));
+  state.counters["p99_us"] =
+      static_cast<double>(Percentile(&latencies_us, 0.99));
+  state.counters["qps"] = active_ns > 0
+                              ? static_cast<double>(completed) * 1e9 /
+                                    static_cast<double>(active_ns)
+                              : 0.0;
+  state.counters["busy_retries"] = static_cast<double>(busy_retries);
+}
+
+void BM_ConcurrentClientsInline(benchmark::State& state) {
+  BM_ConcurrentClients(state, /*tcp=*/false);
+}
+void BM_ConcurrentClientsTcp(benchmark::State& state) {
+  BM_ConcurrentClients(state, /*tcp=*/true);
+}
+
+BENCHMARK(BM_ConcurrentClientsInline)
+    ->Arg(1)
+    ->Arg(4)
+    ->Arg(8)
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_ConcurrentClientsTcp)
+    ->Arg(1)
+    ->Arg(8)
+    ->Arg(16)
+    ->Unit(benchmark::kMillisecond);
+
+// Fairness under a heavy competitor: one background client runs a large
+// window aggregate while `range(0)` cheap scanners measure their own
+// latency. The counter of interest is cheap_p99_us — bounded by slice
+// waits, not by the window query's multi-hundred-ms runtime.
+void BM_CheapLatencyUnderHeavyQuery(benchmark::State& state) {
+  const int n_cheap = static_cast<int>(state.range(0));
+
+  auto transport = MakeTransport(/*tcp=*/false);
+  QueryServer::Options opts;
+  opts.max_concurrent_queries = n_cheap + 1;
+  opts.pool_width = 2;
+  opts.per_query_parallelism = 2;
+  opts.slice_morsels = 1;
+  QueryServer server(transport.get(), kServerNode, opts);
+  SCIDB_CHECK(server.Start().ok());
+  SCIDB_CHECK(server.catalog()
+                  ->Define(ArraySchema(
+                      "S", {{"i", 1, 64, 64}},
+                      {{"v", DataType::kDouble, true, false}}, true))
+                  .ok());
+
+  QueryClient heavy(transport.get(), 999, kServerNode);
+  SCIDB_CHECK(heavy.Bind().ok());
+  SCIDB_CHECK(heavy.Execute("insert S [1] values (1.0)").value().status.ok());
+  SCIDB_CHECK(
+      heavy.Execute("define Grid (v = double) (i, j)").value().status.ok());
+  SCIDB_CHECK(heavy.Execute("create G as Grid [256, 256]").value().status.ok());
+  for (int i = 1; i <= 256; i += 3) {
+    SCIDB_CHECK(heavy
+                    .Execute("insert G [" + std::to_string(i) + ", " +
+                             std::to_string(i) + "] values (2.0)")
+                    .value()
+                    .status.ok());
+  }
+
+  std::vector<std::unique_ptr<QueryClient>> cheap;
+  for (int c = 0; c < n_cheap; ++c) {
+    cheap.push_back(
+        std::make_unique<QueryClient>(transport.get(), 1 + c, kServerNode));
+    SCIDB_CHECK(cheap.back()->Bind().ok());
+  }
+
+  Mutex agg_mu;
+  std::vector<int64_t> cheap_lat_us;
+
+  for (auto _ : state) {
+    uint64_t heavy_qid =
+        heavy.Submit("select Window(G, [16, 16], avg(v))").ValueOrDie();
+    std::vector<std::thread> workers;  // NOLINT(no-raw-thread): bench load
+    for (int c = 0; c < n_cheap; ++c) {
+      workers.emplace_back([&, c] {
+        std::vector<int64_t> local;
+        for (int q = 0; q < 8; ++q) {
+          const uint64_t t0 = SteadyNowNs();
+          auto out = cheap[static_cast<size_t>(c)]->Execute(
+              "select Filter(S, v > 0)");
+          SCIDB_CHECK(out.ok() && out.value().status.ok());
+          local.push_back(static_cast<int64_t>((SteadyNowNs() - t0) / 1000));
+        }
+        MutexLock lk(agg_mu);
+        cheap_lat_us.insert(cheap_lat_us.end(), local.begin(), local.end());
+      });
+    }
+    for (auto& w : workers) w.join();
+    SCIDB_CHECK(heavy.Cancel(heavy_qid).ok());
+  }
+
+  state.counters["cheap_p50_us"] =
+      static_cast<double>(Percentile(&cheap_lat_us, 0.50));
+  state.counters["cheap_p99_us"] =
+      static_cast<double>(Percentile(&cheap_lat_us, 0.99));
+}
+
+BENCHMARK(BM_CheapLatencyUnderHeavyQuery)
+    ->Arg(2)
+    ->Arg(4)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace scidb

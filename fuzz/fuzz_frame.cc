@@ -88,6 +88,37 @@ void CheckPayload(const scidb::net::Frame& frame) {
       }
       break;
     }
+    case MessageType::kQuery: {
+      auto m = scidb::net::QueryRequest::Decode(frame.payload);
+      if (m.ok() && m.value().EncodePayload() != frame.payload) {
+        Fail("QueryRequest decode/encode is not a fixed point");
+      }
+      break;
+    }
+    case MessageType::kResultChunk: {
+      auto m = scidb::net::ResultChunkRequest::Decode(frame.payload);
+      if (m.ok() && m.value().EncodePayload() != frame.payload) {
+        Fail("ResultChunkRequest decode/encode is not a fixed point");
+      }
+      break;
+    }
+    case MessageType::kQueryDone: {
+      // The response is the interesting decoder (status + schema on the
+      // wire), so the harness aims it at the kQueryDone payload even
+      // though live traffic carries it inside kAck.
+      auto m = scidb::net::QueryDoneResponse::Decode(frame.payload);
+      if (m.ok() && m.value().EncodePayload() != frame.payload) {
+        Fail("QueryDoneResponse decode/encode is not a fixed point");
+      }
+      break;
+    }
+    case MessageType::kCancel: {
+      auto m = scidb::net::CancelRequest::Decode(frame.payload);
+      if (m.ok() && m.value().EncodePayload() != frame.payload) {
+        Fail("CancelRequest decode/encode is not a fixed point");
+      }
+      break;
+    }
     case MessageType::kError: {
       scidb::Status transported;
       (void)scidb::net::DecodeErrorPayload(frame.payload, &transported);

@@ -1,0 +1,89 @@
+#include "array/schema_serde.h"
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/macros.h"
+#include "types/data_type.h"
+
+namespace scidb {
+
+namespace {
+
+// A boolean on the wire is exactly 0 or 1; anything else is either
+// corruption or a non-canonical encoding that would break the
+// decode -> encode fixed point.
+Result<bool> GetBool(ByteReader* r, const char* field) {
+  ASSIGN_OR_RETURN(uint8_t b, r->GetU8());
+  if (b > 1) {
+    return Status::Corruption(std::string("schema ") + field +
+                              " byte out of range: " + std::to_string(b));
+  }
+  return b != 0;
+}
+
+}  // namespace
+
+void EncodeSchema(const ArraySchema& s, ByteWriter* w) {
+  w->PutString(s.name());
+  w->PutU8(s.updatable() ? 1 : 0);
+  w->PutVarint(s.ndims());
+  for (const auto& d : s.dims()) {
+    w->PutString(d.name);
+    w->PutSignedVarint(d.low);
+    w->PutSignedVarint(d.high);
+    w->PutSignedVarint(d.chunk_interval);
+  }
+  w->PutVarint(s.nattrs());
+  for (const auto& a : s.attrs()) {
+    w->PutString(a.name);
+    w->PutU8(static_cast<uint8_t>(a.type));
+    w->PutU8(a.nullable ? 1 : 0);
+    w->PutU8(a.uncertain ? 1 : 0);
+  }
+}
+
+Result<ArraySchema> DecodeSchema(ByteReader* r) {
+  ASSIGN_OR_RETURN(std::string name, r->GetString());
+  ASSIGN_OR_RETURN(bool updatable, GetBool(r, "updatable"));
+  ASSIGN_OR_RETURN(uint64_t ndims, r->GetVarint());
+  // Each dimension costs at least 4 payload bytes; a count beyond the
+  // remaining bytes is a hostile length field, not a schema.
+  if (ndims > r->remaining()) {
+    return Status::Corruption("schema dimension count too large");
+  }
+  std::vector<DimensionDesc> dims;
+  dims.reserve(static_cast<size_t>(ndims));
+  for (uint64_t i = 0; i < ndims; ++i) {
+    DimensionDesc d;
+    ASSIGN_OR_RETURN(d.name, r->GetString());
+    ASSIGN_OR_RETURN(d.low, r->GetSignedVarint());
+    ASSIGN_OR_RETURN(d.high, r->GetSignedVarint());
+    ASSIGN_OR_RETURN(d.chunk_interval, r->GetSignedVarint());
+    dims.push_back(std::move(d));
+  }
+  ASSIGN_OR_RETURN(uint64_t nattrs, r->GetVarint());
+  if (nattrs > r->remaining()) {
+    return Status::Corruption("schema attribute count too large");
+  }
+  std::vector<AttributeDesc> attrs;
+  attrs.reserve(static_cast<size_t>(nattrs));
+  for (uint64_t i = 0; i < nattrs; ++i) {
+    AttributeDesc a;
+    ASSIGN_OR_RETURN(a.name, r->GetString());
+    ASSIGN_OR_RETURN(uint8_t t, r->GetU8());
+    if (t > static_cast<uint8_t>(DataType::kArray)) {
+      return Status::Corruption("schema attribute type out of range: " +
+                                std::to_string(t));
+    }
+    a.type = static_cast<DataType>(t);
+    ASSIGN_OR_RETURN(a.nullable, GetBool(r, "nullable"));
+    ASSIGN_OR_RETURN(a.uncertain, GetBool(r, "uncertain"));
+    attrs.push_back(std::move(a));
+  }
+  return ArraySchema(std::move(name), std::move(dims), std::move(attrs),
+                     updatable);
+}
+
+}  // namespace scidb

@@ -1,0 +1,32 @@
+#ifndef SCIDB_ARRAY_SCHEMA_SERDE_H_
+#define SCIDB_ARRAY_SCHEMA_SERDE_H_
+
+#include "array/schema.h"
+#include "common/byte_io.h"
+#include "common/result.h"
+
+namespace scidb {
+
+// Canonical byte codec for ArraySchema, shared by the storage manifest
+// (storage/storage_manager.cc) and the query-server wire protocol
+// (net/message.cc QueryDoneResponse): result chunks travel as opaque
+// SerializeChunk bytes, so the schema needed to decode them must cross
+// the wire alongside.
+//
+// Layout: name, updatable u8, dim count + per-dim name/low/high/
+// chunk_interval (signed varints), attr count + per-attr name/type u8/
+// nullable u8/uncertain u8. Encoding is canonical — every field is
+// written unconditionally in a fixed order and boolean bytes are
+// strictly 0/1 — so decode -> encode is a byte-identical fixed point
+// (fuzz_frame checks this through the message layer).
+void EncodeSchema(const ArraySchema& s, ByteWriter* w);
+
+// Bounds-checked parse. Rejects out-of-vocabulary DataType bytes and
+// non-canonical boolean bytes (> 1) as Corruption; does NOT run
+// ArraySchema::Validate — storage reloads historical manifests whose
+// semantic rules may evolve, and wire callers validate at use.
+Result<ArraySchema> DecodeSchema(ByteReader* r);
+
+}  // namespace scidb
+
+#endif  // SCIDB_ARRAY_SCHEMA_SERDE_H_

@@ -18,8 +18,14 @@ class ByteWriter {
  public:
   void PutU8(uint8_t v) { buf_.push_back(v); }
   void PutBytes(const void* data, size_t n) {
-    const uint8_t* p = static_cast<const uint8_t*>(data);
-    buf_.insert(buf_.end(), p, p + n);
+    // resize + memcpy rather than vector::insert: identical behavior,
+    // but insert's pointer-range path trips a GCC 12 -Wstringop-overflow
+    // false positive when inlined into fresh-buffer writers. The n == 0
+    // guard keeps memcpy away from null `data` (UB even for 0 bytes).
+    if (n == 0) return;
+    const size_t old = buf_.size();
+    buf_.resize(old + n);
+    std::memcpy(buf_.data() + old, data, n);
   }
   void PutU32(uint32_t v) { PutFixed(v); }
   void PutU64(uint64_t v) { PutFixed(v); }

@@ -35,6 +35,10 @@ const char* StatusCodeName(StatusCode code) {
       return "Unavailable";
     case StatusCode::kDeadlineExceeded:
       return "DeadlineExceeded";
+    case StatusCode::kBusy:
+      return "Busy";
+    case StatusCode::kCancelled:
+      return "Cancelled";
   }
   return "Unknown";
 }

@@ -26,6 +26,14 @@ enum class StatusCode {
   // out (retrying with the same deadline cannot succeed).
   kUnavailable,
   kDeadlineExceeded,
+  // Query-server outcomes (src/server/, DESIGN.md §15). Busy = the
+  // admission controller rejected the query because the server is at its
+  // concurrency or queued-bytes bound — typed so clients can back off and
+  // resubmit instead of treating it as a hard failure. Cancelled = the
+  // query was aborted by an explicit client Cancel; retrying verbatim is
+  // pointless (the caller asked for the abort).
+  kBusy,
+  kCancelled,
 };
 
 // Returns a stable human-readable name ("InvalidArgument", ...).
@@ -83,6 +91,12 @@ class [[nodiscard]] Status {
   static Status DeadlineExceeded(std::string msg) {
     return Status(StatusCode::kDeadlineExceeded, std::move(msg));
   }
+  static Status Busy(std::string msg) {
+    return Status(StatusCode::kBusy, std::move(msg));
+  }
+  static Status Cancelled(std::string msg) {
+    return Status(StatusCode::kCancelled, std::move(msg));
+  }
 
   [[nodiscard]] bool ok() const { return rep_ == nullptr; }
   [[nodiscard]] StatusCode code() const {
@@ -105,6 +119,8 @@ class [[nodiscard]] Status {
   bool IsDeadlineExceeded() const {
     return code() == StatusCode::kDeadlineExceeded;
   }
+  bool IsBusy() const { return code() == StatusCode::kBusy; }
+  bool IsCancelled() const { return code() == StatusCode::kCancelled; }
 
   // "OK" or "InvalidArgument: <message>".
   std::string ToString() const;

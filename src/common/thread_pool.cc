@@ -70,6 +70,12 @@ void ThreadPool::WorkerLoop() {
       if (shutdown_) return;
       job = job_;
       seen = generation_;
+      // Per-job worker cap: claim a slot or sit this job out (the
+      // generation is marked seen either way, so the worker sleeps
+      // until the next publish instead of spinning).
+      if (job->extra_slots.fetch_sub(1, std::memory_order_acq_rel) <= 0) {
+        continue;
+      }
       ++workers_inside_;
     }
     RunMorsels(job);
@@ -81,12 +87,15 @@ void ThreadPool::WorkerLoop() {
 }
 
 Status ThreadPool::ParallelFor(int64_t n,
-                               const std::function<Status(int64_t)>& body) {
+                               const std::function<Status(int64_t)>& body,
+                               int max_workers) {
   if (n <= 0) return Status::OK();
-  // Serial fast path: width-1 pools, single-morsel jobs, and nested calls
-  // from inside a running morsel. This IS the pre-pool engine — same loop,
-  // same first-error-wins semantics.
-  if (workers_.empty() || n == 1 || tls_running_morsels) {
+  // Serial fast path: width-1 pools (by construction or by cap),
+  // single-morsel jobs, and nested calls from inside a running morsel.
+  // This IS the pre-pool engine — same loop, same first-error-wins
+  // semantics.
+  if (workers_.empty() || n == 1 || max_workers == 1 ||
+      tls_running_morsels) {
     for (int64_t i = 0; i < n; ++i) {
       RETURN_NOT_OK(body(i));
     }
@@ -96,6 +105,11 @@ Status ThreadPool::ParallelFor(int64_t n,
   Job job;
   job.n = n;
   job.body = &body;
+  // Slots for background workers; the owner participates outside the cap
+  // accounting, so a cap of k means k threads total touch the job.
+  job.extra_slots.store(
+      max_workers <= 0 ? parallelism_ - 1 : max_workers - 1,
+      std::memory_order_relaxed);
   {
     MutexLock lk(mu_);
     job_ = &job;

@@ -45,9 +45,15 @@ class ThreadPool {
   // every claimed morsel finished. Not reentrant from two owner threads at
   // once: one job at a time (the engine issues one ParallelFor per
   // operator invocation).
+  //
+  // `max_workers` caps the threads applied to THIS job, owner included
+  // (0 or >= parallelism() = the full pool). The query server uses it to
+  // hold each query to its per-query share of the shared pool without
+  // rebuilding pools per session; excess workers simply skip the job and
+  // go back to sleep. max_workers == 1 is the serial fast path.
   [[nodiscard]] Status ParallelFor(
-      int64_t n, const std::function<Status(int64_t)>& body)
-      LOCKS_EXCLUDED(mu_);
+      int64_t n, const std::function<Status(int64_t)>& body,
+      int max_workers = 0) LOCKS_EXCLUDED(mu_);
 
  private:
   // One in-flight ParallelFor. Lives on the owner's stack; workers only
@@ -61,6 +67,9 @@ class ThreadPool {
     const std::function<Status(int64_t)>* body = nullptr;  // NOLINT(lock-coverage)
     std::atomic<int64_t> next{0};         // next unclaimed index
     std::atomic<bool> cancelled{false};   // set on first failure
+    // Worker-cap slots beyond the owner: each background worker claims
+    // one before touching the job; at 0 it skips the job entirely.
+    std::atomic<int> extra_slots{0};
     Mutex mu;
     int64_t failed_index GUARDED_BY(mu) = -1;
     Status error GUARDED_BY(mu);

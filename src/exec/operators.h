@@ -1,6 +1,7 @@
 #ifndef SCIDB_EXEC_OPERATORS_H_
 #define SCIDB_EXEC_OPERATORS_H_
 
+#include <atomic>
 #include <string>
 #include <utility>
 #include <vector>
@@ -9,6 +10,7 @@
 #include "common/result.h"
 #include "common/thread_pool.h"
 #include "exec/expression.h"
+#include "exec/slice_gate.h"
 #include "udf/aggregate.h"
 #include "udf/function.h"
 
@@ -36,6 +38,16 @@ struct ExecContext {
   // Morsel executor for chunk-parallel operators (exec/parallel.h); null
   // or width-1 runs the serial path. Non-owning (Session owns it).
   ThreadPool* pool = nullptr;
+  // Query-server hooks (DESIGN.md §15), all optional and non-owning.
+  // `cancel` is checked before every morsel (parallel and serial paths):
+  // once set, the operator aborts with Cancelled within one morsel.
+  const std::atomic<bool>* cancel = nullptr;
+  // Fair-scheduling gate: morsels dispatch in bounded slices so the
+  // shared pool time-slices across concurrent queries.
+  SliceGate* gate = nullptr;
+  // Per-query worker cap on the shared pool (0 = full pool width). The
+  // server clamps each session's requested parallelism to this.
+  int max_workers = 0;
 };
 
 // ===================== structural operators (§2.2.1) =====================

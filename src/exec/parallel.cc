@@ -1,5 +1,6 @@
 #include "exec/parallel.h"
 
+#include <algorithm>
 #include <utility>
 #include <vector>
 
@@ -22,9 +23,21 @@ void FoldStats(const ExecContext& ctx, const std::vector<ExecStats>& slots,
   }
   ctx.stats->morsels += morsels;
   int64_t width = ctx.pool != nullptr ? ctx.pool->parallelism() : 1;
+  if (ctx.max_workers > 0 && ctx.max_workers < width) {
+    width = ctx.max_workers;  // per-query cap (DESIGN.md §15)
+  }
   if (width > ctx.stats->parallel_workers) {
     ctx.stats->parallel_workers = width;
   }
+}
+
+bool Cancelled(const ExecContext& ctx) {
+  return ctx.cancel != nullptr &&
+         ctx.cancel->load(std::memory_order_acquire);
+}
+
+Status CancelledStatus() {
+  return Status::Cancelled("query cancelled");
 }
 
 }  // namespace
@@ -39,8 +52,13 @@ Status ForEachChunkParallel(const ExecContext& ctx, const MemArray& in,
     morsels.emplace_back(&origin, chunk.get());
   }
   std::vector<ExecStats> slots(morsels.size());
+  const int64_t n = static_cast<int64_t>(morsels.size());
 
+  // The cancel flag is polled before every morsel — in the pool path and
+  // the serial path alike — so an aborted query stops within one morsel
+  // (the satellite contract the server's Cancel RPC relies on).
   auto run_one = [&](int64_t i) -> Status {
+    if (Cancelled(ctx)) return CancelledStatus();
     size_t idx = static_cast<size_t>(i);
     return body(idx, *morsels[idx].first, *morsels[idx].second, &slots[idx]);
   };
@@ -53,17 +71,39 @@ Status ForEachChunkParallel(const ExecContext& ctx, const MemArray& in,
           static_cast<uint64_t>(morsels.size()),
           static_cast<uint64_t>(ctx.pool->parallelism()));
     }
-    st = ctx.pool->ParallelFor(static_cast<int64_t>(morsels.size()),
-                               run_one);
+    if (ctx.gate != nullptr) {
+      // Sliced dispatch (DESIGN.md §15): at most slice_morsels() morsels
+      // per gate acquisition, so concurrent queries interleave on the
+      // shared pool. Slices run in index order and stop at the first
+      // failing slice, which preserves the lowest-failing-index error
+      // determinism of the unsliced path.
+      const int64_t slice = std::max<int64_t>(1, ctx.gate->slice_morsels());
+      for (int64_t start = 0; start < n; start += slice) {
+        if (Cancelled(ctx)) {
+          st = CancelledStatus();
+          break;
+        }
+        st = ctx.gate->Acquire();
+        if (!st.ok()) break;
+        const int64_t count = std::min(slice, n - start);
+        st = ctx.pool->ParallelFor(
+            count, [&](int64_t i) { return run_one(start + i); },
+            ctx.max_workers);
+        ctx.gate->Release();
+        if (!st.ok()) break;
+      }
+    } else {
+      st = ctx.pool->ParallelFor(n, run_one, ctx.max_workers);
+    }
   } else {
-    for (int64_t i = 0; i < static_cast<int64_t>(morsels.size()); ++i) {
+    for (int64_t i = 0; i < n; ++i) {
       st = run_one(i);
       if (!st.ok()) break;
     }
   }
   // Stats are folded even on failure (partial progress is still progress
   // the trace should see), morsel count reflects what was dispatched.
-  FoldStats(ctx, slots, static_cast<int64_t>(morsels.size()));
+  FoldStats(ctx, slots, n);
   return st;
 }
 

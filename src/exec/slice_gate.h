@@ -1,0 +1,35 @@
+#ifndef SCIDB_EXEC_SLICE_GATE_H_
+#define SCIDB_EXEC_SLICE_GATE_H_
+
+#include <cstdint>
+
+#include "common/status.h"
+
+namespace scidb {
+
+// Fair-scheduling hook for chunk-parallel loops (DESIGN.md §15). When an
+// ExecContext carries a gate, ForEachChunkParallel dispatches morsels in
+// slices: Acquire, run at most slice_morsels() morsels on the pool,
+// Release, repeat. The gate's implementation (server/fair_scheduler)
+// grants slices in FIFO order across concurrent queries, so a heavy
+// operator is preempted every slice and a cheap query waits at most one
+// slice per active query instead of the heavy query's full runtime.
+//
+// Acquire may block (it is a blocking.manifest root); a non-OK return —
+// typically Cancelled, when the query was aborted while waiting — stops
+// the loop without running the slice. Release never blocks and must be
+// called exactly once per successful Acquire.
+class SliceGate {
+ public:
+  virtual ~SliceGate() = default;
+
+  [[nodiscard]] virtual Status Acquire() = 0;
+  virtual void Release() = 0;
+
+  // Morsel budget per slice; values < 1 are treated as 1.
+  virtual int64_t slice_morsels() const = 0;
+};
+
+}  // namespace scidb
+
+#endif  // SCIDB_EXEC_SLICE_GATE_H_

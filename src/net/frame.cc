@@ -41,7 +41,7 @@ uint32_t Crc32(const uint8_t* data, size_t n) {
 
 bool IsValidMessageType(uint8_t t) {
   return t >= static_cast<uint8_t>(MessageType::kChunkPut) &&
-         t <= static_cast<uint8_t>(MessageType::kMarkDead);
+         t <= static_cast<uint8_t>(MessageType::kCancel);
 }
 
 const char* MessageTypeName(MessageType t) {
@@ -64,6 +64,14 @@ const char* MessageTypeName(MessageType t) {
       return "TraceGet";
     case MessageType::kMarkDead:
       return "MarkDead";
+    case MessageType::kQuery:
+      return "Query";
+    case MessageType::kResultChunk:
+      return "ResultChunk";
+    case MessageType::kQueryDone:
+      return "QueryDone";
+    case MessageType::kCancel:
+      return "Cancel";
   }
   return "Unknown";
 }

@@ -72,6 +72,15 @@ enum class MessageType : uint8_t {
   kMetricsGet = 7,   // pull one node's metrics snapshot (DESIGN.md §12)
   kTraceGet = 8,     // pull spans / flight-recorder events from a node
   kMarkDead = 9,     // replace a node's dead-set view (DESIGN.md §13)
+  // Query-server vocabulary (DESIGN.md §15). All four are idempotent:
+  // queries are keyed by a client-generated id, result chunks are
+  // fetched by (query id, seq), and Cancel of an unknown or finished
+  // query acknowledges without effect — so RPC retries and
+  // fault-injected duplicates are safe like every other message here.
+  kQuery = 10,       // submit one AQL statement under a client query id
+  kResultChunk = 11, // pull one buffered result chunk by sequence number
+  kQueryDone = 12,   // poll completion; response carries status + schema
+  kCancel = 13,      // abort a running query / release a finished one
 };
 
 // True if `t` is one of the enumerators above. Decoding rejects anything

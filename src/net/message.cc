@@ -2,6 +2,7 @@
 
 #include <utility>
 
+#include "array/schema_serde.h"
 #include "common/byte_io.h"
 #include "common/macros.h"
 
@@ -363,6 +364,145 @@ Result<TraceGetResponse> TraceGetResponse::Decode(
   }
   RETURN_NOT_OK(ExpectExhausted(r, "TraceGet response"));
   return resp;
+}
+
+namespace {
+
+// Strict 0/1 byte: anything else is non-canonical and would break the
+// decode -> encode fixed point fuzz_frame enforces.
+Result<uint8_t> GetFlagByte(ByteReader* r, const char* field) {
+  ASSIGN_OR_RETURN(uint8_t b, r->GetU8());
+  if (b > 1) {
+    return Status::Corruption(std::string(field) + " byte out of range: " +
+                              std::to_string(b));
+  }
+  return b;
+}
+
+}  // namespace
+
+std::vector<uint8_t> QueryRequest::EncodePayload() const {
+  ByteWriter w;
+  w.PutVarint(client_qid);
+  w.PutString(statement);
+  return w.Release();
+}
+
+Result<QueryRequest> QueryRequest::Decode(
+    const std::vector<uint8_t>& payload) {
+  ByteReader r(payload);
+  QueryRequest req;
+  ASSIGN_OR_RETURN(req.client_qid, r.GetVarint());
+  ASSIGN_OR_RETURN(req.statement, r.GetString());
+  RETURN_NOT_OK(ExpectExhausted(r, "Query"));
+  return req;
+}
+
+std::vector<uint8_t> QueryDoneRequest::EncodePayload() const {
+  ByteWriter w;
+  w.PutVarint(client_qid);
+  return w.Release();
+}
+
+Result<QueryDoneRequest> QueryDoneRequest::Decode(
+    const std::vector<uint8_t>& payload) {
+  ByteReader r(payload);
+  QueryDoneRequest req;
+  ASSIGN_OR_RETURN(req.client_qid, r.GetVarint());
+  RETURN_NOT_OK(ExpectExhausted(r, "QueryDone"));
+  return req;
+}
+
+std::vector<uint8_t> QueryDoneResponse::EncodePayload() const {
+  ByteWriter w;
+  w.PutU8(done);
+  w.PutU8(status_code);
+  w.PutString(status_message);
+  w.PutU8(kind);
+  w.PutU8(boolean);
+  w.PutString(message);
+  w.PutVarint(n_chunks);
+  w.PutSignedVarint(snapshot_epoch);
+  w.PutU8(has_schema);
+  if (has_schema != 0) EncodeSchema(schema, &w);
+  return w.Release();
+}
+
+Result<QueryDoneResponse> QueryDoneResponse::Decode(
+    const std::vector<uint8_t>& payload) {
+  ByteReader r(payload);
+  QueryDoneResponse resp;
+  ASSIGN_OR_RETURN(resp.done, GetFlagByte(&r, "done"));
+  ASSIGN_OR_RETURN(resp.status_code, r.GetU8());
+  if (resp.status_code > static_cast<uint8_t>(StatusCode::kCancelled)) {
+    return Status::Corruption("status code out of range: " +
+                              std::to_string(resp.status_code));
+  }
+  ASSIGN_OR_RETURN(resp.status_message, r.GetString());
+  ASSIGN_OR_RETURN(resp.kind, r.GetU8());
+  if (resp.kind > QueryDoneResponse::kMaxKind) {
+    return Status::Corruption("result kind out of range: " +
+                              std::to_string(resp.kind));
+  }
+  ASSIGN_OR_RETURN(resp.boolean, GetFlagByte(&r, "boolean"));
+  ASSIGN_OR_RETURN(resp.message, r.GetString());
+  ASSIGN_OR_RETURN(resp.n_chunks, r.GetVarint());
+  ASSIGN_OR_RETURN(resp.snapshot_epoch, r.GetSignedVarint());
+  ASSIGN_OR_RETURN(resp.has_schema, GetFlagByte(&r, "has_schema"));
+  if (resp.has_schema != 0) {
+    ASSIGN_OR_RETURN(resp.schema, DecodeSchema(&r));
+  }
+  RETURN_NOT_OK(ExpectExhausted(r, "QueryDone response"));
+  return resp;
+}
+
+std::vector<uint8_t> ResultChunkRequest::EncodePayload() const {
+  ByteWriter w;
+  w.PutVarint(client_qid);
+  w.PutVarint(seq);
+  return w.Release();
+}
+
+Result<ResultChunkRequest> ResultChunkRequest::Decode(
+    const std::vector<uint8_t>& payload) {
+  ByteReader r(payload);
+  ResultChunkRequest req;
+  ASSIGN_OR_RETURN(req.client_qid, r.GetVarint());
+  ASSIGN_OR_RETURN(req.seq, r.GetVarint());
+  RETURN_NOT_OK(ExpectExhausted(r, "ResultChunk"));
+  return req;
+}
+
+std::vector<uint8_t> ResultChunkResponse::EncodePayload() const {
+  ByteWriter w;
+  w.PutU8(ready);
+  PutByteString(chunk_bytes, &w);
+  return w.Release();
+}
+
+Result<ResultChunkResponse> ResultChunkResponse::Decode(
+    const std::vector<uint8_t>& payload) {
+  ByteReader r(payload);
+  ResultChunkResponse resp;
+  ASSIGN_OR_RETURN(resp.ready, GetFlagByte(&r, "ready"));
+  ASSIGN_OR_RETURN(resp.chunk_bytes, GetByteString(&r));
+  RETURN_NOT_OK(ExpectExhausted(r, "ResultChunk response"));
+  return resp;
+}
+
+std::vector<uint8_t> CancelRequest::EncodePayload() const {
+  ByteWriter w;
+  w.PutVarint(client_qid);
+  return w.Release();
+}
+
+Result<CancelRequest> CancelRequest::Decode(
+    const std::vector<uint8_t>& payload) {
+  ByteReader r(payload);
+  CancelRequest req;
+  ASSIGN_OR_RETURN(req.client_qid, r.GetVarint());
+  RETURN_NOT_OK(ExpectExhausted(r, "Cancel"));
+  return req;
 }
 
 std::vector<uint8_t> EncodeErrorPayload(const Status& s) {

@@ -2,9 +2,11 @@
 #define SCIDB_NET_MESSAGE_H_
 
 #include <cstdint>
+#include <string>
 #include <vector>
 
 #include "array/coordinates.h"
+#include "array/schema.h"
 #include "common/flight_recorder.h"
 #include "common/result.h"
 #include "common/trace.h"
@@ -141,6 +143,89 @@ struct TraceGetResponse {
 
   std::vector<uint8_t> EncodePayload() const;
   static Result<TraceGetResponse> Decode(const std::vector<uint8_t>& payload);
+};
+
+// ---------------- query-server vocabulary (DESIGN.md §15) ----------------
+// The client generates the query id (unique per client node, strictly
+// increasing), so a retried or fault-duplicated kQuery is recognizable
+// as the same submission — the server executes each (src, client_qid)
+// pair at most once. Results are PULLED chunk-by-chunk with
+// kResultChunk, never pushed: a lost response is simply retried, which
+// both makes reassembly idempotent per query id and gives the client
+// natural backpressure (it paces the fetches).
+
+// Submit one AQL statement for asynchronous execution.
+struct QueryRequest {
+  uint64_t client_qid = 0;
+  std::string statement;
+
+  std::vector<uint8_t> EncodePayload() const;
+  static Result<QueryRequest> Decode(const std::vector<uint8_t>& payload);
+};
+
+// Poll query completion. The request is just the id; the response says
+// whether the query finished and, once done, carries everything except
+// the chunk data itself: terminal status (split into raw code+message so
+// the payload round-trips byte-identically), result kind, and — for
+// array results — the chunk count plus the schema needed to decode the
+// SerializeChunk bytes fetched afterwards.
+struct QueryDoneRequest {
+  uint64_t client_qid = 0;
+
+  std::vector<uint8_t> EncodePayload() const;
+  static Result<QueryDoneRequest> Decode(const std::vector<uint8_t>& payload);
+};
+
+struct QueryDoneResponse {
+  // QueryResult::Kind ordinals (query/session.h); bounded by kMaxKind on
+  // decode. net/ carries the byte, server/ owns the mapping.
+  static constexpr uint8_t kMaxKind = 5;
+
+  uint8_t done = 0;            // 0 = still running (all else ignored)
+  uint8_t status_code = 0;     // StatusCode ordinal of the terminal status
+  std::string status_message;
+  uint8_t kind = 0;
+  uint8_t boolean = 0;         // kBool results
+  std::string message;         // kNone/kExplain results
+  uint64_t n_chunks = 0;       // kArray results: chunks to fetch
+  int64_t snapshot_epoch = 0;  // catalog epoch the query read from
+  uint8_t has_schema = 0;
+  ArraySchema schema;          // present iff has_schema
+
+  std::vector<uint8_t> EncodePayload() const;
+  static Result<QueryDoneResponse> Decode(
+      const std::vector<uint8_t>& payload);
+};
+
+// Fetch one buffered result chunk of a finished query by sequence
+// number (0-based, dense). Pure read — safe to retry and duplicate.
+struct ResultChunkRequest {
+  uint64_t client_qid = 0;
+  uint64_t seq = 0;
+
+  std::vector<uint8_t> EncodePayload() const;
+  static Result<ResultChunkRequest> Decode(
+      const std::vector<uint8_t>& payload);
+};
+
+struct ResultChunkResponse {
+  uint8_t ready = 0;                 // 0 = query still running
+  std::vector<uint8_t> chunk_bytes;  // SerializeChunk output when ready
+
+  std::vector<uint8_t> EncodePayload() const;
+  static Result<ResultChunkResponse> Decode(
+      const std::vector<uint8_t>& payload);
+};
+
+// Abort a running query (it stops within one morsel) or release a
+// finished one (frees its buffered result bytes). Unknown or already
+// released ids acknowledge as success, which is what makes the retry
+// path safe.
+struct CancelRequest {
+  uint64_t client_qid = 0;
+
+  std::vector<uint8_t> EncodePayload() const;
+  static Result<CancelRequest> Decode(const std::vector<uint8_t>& payload);
 };
 
 // Builds a kError frame payload from a Status, and parses one back.

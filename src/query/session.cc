@@ -28,9 +28,48 @@ ExecContext Session::MakeContext() const {
   ctx.aggregates = &aggregates_;
   {
     MutexLock lock(mu_);
-    ctx.pool = pool_.get();  // null at parallelism 1 → serial engine
+    if (shared_pool_ != nullptr) {
+      // Shared-pool mode: borrow the server's pool under the per-query
+      // clamp (README "parallelism precedence"). An effective width of 1
+      // runs the serial engine — no pool, no gate, no slice overhead —
+      // exactly like a width-1 session pool.
+      int width = EffectiveParallelismLocked();
+      if (width > 1) {
+        ctx.pool = shared_pool_;
+        ctx.max_workers = width;
+        ctx.gate = controls_.gate;
+      }
+    } else {
+      ctx.pool = pool_.get();  // null at parallelism 1 → serial engine
+    }
+    ctx.cancel = controls_.cancel;
   }
   return ctx;
+}
+
+int Session::EffectiveParallelismLocked() const {
+  if (shared_pool_ == nullptr) {
+    return pool_ != nullptr ? pool_->parallelism() : 1;
+  }
+  int width = requested_parallelism_ > 0 ? requested_parallelism_
+                                         : per_query_cap_;
+  if (per_query_cap_ > 0 && width > per_query_cap_) width = per_query_cap_;
+  if (width > shared_pool_->parallelism()) {
+    width = shared_pool_->parallelism();
+  }
+  return width < 1 ? 1 : width;
+}
+
+int Session::parallelism() const {
+  MutexLock lock(mu_);
+  return EffectiveParallelismLocked();
+}
+
+void Session::UseSharedPool(ThreadPool* pool, int per_query_cap) {
+  MutexLock lock(mu_);
+  shared_pool_ = pool;
+  per_query_cap_ = pool != nullptr ? per_query_cap : 0;
+  if (pool != nullptr) pool_.reset();  // one pool per query server
 }
 
 Status Session::set_parallelism(int workers) {
@@ -40,6 +79,12 @@ Status Session::set_parallelism(int workers) {
                            std::to_string(workers));
   }
   MutexLock lock(mu_);
+  if (shared_pool_ != nullptr) {
+    // Shared-pool mode records the wish; the clamp happens in
+    // MakeContext so a later cap change applies to the same request.
+    requested_parallelism_ = workers;
+    return Status::OK();
+  }
   int current = pool_ != nullptr ? pool_->parallelism() : 1;
   if (workers == current) return Status::OK();
   if (workers == 1) {
@@ -469,8 +514,14 @@ Result<QueryResult> Session::ExecuteStatement(const Statement& stmt) {
                                std::to_string(stmt.set_value));
       }
       RETURN_NOT_OK(set_parallelism(static_cast<int>(stmt.set_value)));
-      result.message =
-          "parallelism set to " + std::to_string(parallelism());
+      int effective = parallelism();
+      result.message = "parallelism set to " + std::to_string(effective);
+      if (effective < stmt.set_value) {
+        // Shared-pool mode (DESIGN.md §15): the server's per-query cap
+        // wins; README documents the precedence.
+        result.message += " (requested " + std::to_string(stmt.set_value) +
+                          ", clamped to the server's per-query cap)";
+      }
       return result;
     }
   }
@@ -675,10 +726,24 @@ Result<MemArray> Session::ResolveArrayRef(const OpNode& node,
   // itself (ReadAll can run for a long time and takes engine locks).
   StorageManager* storage = nullptr;
   ThreadPool* pool = nullptr;
+  ArrayResolver resolver;
   {
     MutexLock lock(mu_);
     storage = storage_;
     pool = pool_.get();
+    resolver = resolver_;
+  }
+  // Query-server snapshots shadow disk arrays but not session-local
+  // names: a session's own `store` always wins (session isolation),
+  // while shared arrays resolve to the epoch-pinned version.
+  if (resolver != nullptr) {
+    Result<MemArray> resolved = resolver(node.array);
+    if (resolved.ok() || !resolved.status().IsNotFound()) {
+      if (resolved.ok() && tn != nullptr) {
+        tn->AddNote("snapshot", 1.0);
+      }
+      return resolved;
+    }
   }
   if (storage != nullptr) {
     Result<DiskArray*> da = storage->OpenArray(node.array);

@@ -1,6 +1,7 @@
 #ifndef SCIDB_QUERY_SESSION_H_
 #define SCIDB_QUERY_SESSION_H_
 
+#include <atomic>
 #include <functional>
 #include <map>
 #include <set>
@@ -96,11 +97,45 @@ class Session {
   Status set_parallelism(const ParallelismOptions& opts) {
     return set_parallelism(opts.workers);
   }
-  int parallelism() const LOCKS_EXCLUDED(mu_) {
-    MutexLock lock(mu_);
-    return pool_ != nullptr ? pool_->parallelism() : 1;
-  }
+  int parallelism() const LOCKS_EXCLUDED(mu_);
   static constexpr int kMaxParallelism = 64;
+
+  // ---- query-server hooks (DESIGN.md §15) ----
+  // Shared-pool mode: the session stops owning a worker pool and instead
+  // borrows `pool` (non-owning, must outlive the session), with each
+  // query's effective width clamped to `per_query_cap`. In this mode
+  // `set parallelism = N` records a per-session REQUEST — precedence is
+  // min(requested, per_query_cap), documented in README — instead of
+  // building a private pool, so one session cannot grab the whole
+  // server. Pass nullptr to leave shared mode.
+  void UseSharedPool(ThreadPool* pool, int per_query_cap)
+      LOCKS_EXCLUDED(mu_);
+
+  // Per-query controls the server installs around each Execute call:
+  // a cancel flag polled once per morsel and a fair-scheduling slice
+  // gate (both non-owning; cleared with {}). Read by MakeContext.
+  struct QueryControls {
+    const std::atomic<bool>* cancel = nullptr;
+    SliceGate* gate = nullptr;
+  };
+  void set_query_controls(const QueryControls& qc) LOCKS_EXCLUDED(mu_) {
+    MutexLock lock(mu_);
+    controls_ = qc;
+  }
+
+  // Fallback array source consulted by array references that miss the
+  // session catalog, BEFORE the attached storage manager. The query
+  // server installs a per-query resolver that materializes
+  // epoch-pinned snapshots of shared arrays (DESIGN.md §15), which is
+  // what makes reads run against a stable version while loaders
+  // commit. Return NotFound to fall through; any other error aborts
+  // the query. Null detaches.
+  using ArrayResolver =
+      std::function<Result<MemArray>(const std::string& name)>;
+  void set_array_resolver(ArrayResolver resolver) LOCKS_EXCLUDED(mu_) {
+    MutexLock lock(mu_);
+    resolver_ = std::move(resolver);
+  }
 
   // ---- observability (DESIGN.md §7) ----
   // Array references not found in the in-memory catalog fall back to this
@@ -144,6 +179,7 @@ class Session {
   [[nodiscard]] bool HasArrayOp(const std::string& name) const;
 
  private:
+  int EffectiveParallelismLocked() const EXCLUSIVE_LOCKS_REQUIRED(mu_);
   Result<QueryResult> ExecuteQueryNode(const OpNodePtr& node) const;
   Result<QueryResult> ExecuteStatement(const Statement& stmt);
   Result<QueryResult> ExecuteExplain(const Statement& stmt);
@@ -190,6 +226,14 @@ class Session {
   mutable Mutex mu_{"Session::mu_"};
   // Null at width 1: the serial path must not pay even an empty pool.
   std::unique_ptr<ThreadPool> pool_ GUARDED_BY(mu_);
+  // Shared-pool mode (DESIGN.md §15): non-null shared_pool_ supersedes
+  // pool_; requested_parallelism_ is the session's `set parallelism`
+  // wish, clamped to per_query_cap_ at context-build time.
+  ThreadPool* shared_pool_ GUARDED_BY(mu_) = nullptr;
+  int per_query_cap_ GUARDED_BY(mu_) = 0;
+  int requested_parallelism_ GUARDED_BY(mu_) = 0;  // 0 = use the cap
+  QueryControls controls_ GUARDED_BY(mu_);
+  ArrayResolver resolver_ GUARDED_BY(mu_);
   const ProvenanceLog*
       provenance_ = nullptr;  // NOLINT(lock-coverage): set pre-exec
   StorageManager* storage_ GUARDED_BY(mu_) = nullptr;

@@ -1,0 +1,67 @@
+#include "server/fair_scheduler.h"
+
+#include <algorithm>
+
+namespace scidb {
+namespace server {
+
+// The SliceGate the engine sees: thin forwarding onto the scheduler,
+// carrying the query's cancel flag so a queued acquire can abort.
+class FairScheduler::Gate : public SliceGate {
+ public:
+  Gate(FairScheduler* sched, const std::atomic<bool>* cancel)
+      : sched_(sched), cancel_(cancel) {}
+
+  Status Acquire() override { return sched_->AcquireSlice(cancel_); }
+  void Release() override { sched_->ReleaseSlice(); }
+  int64_t slice_morsels() const override { return sched_->slice_morsels(); }
+
+ private:
+  FairScheduler* const sched_;
+  const std::atomic<bool>* const cancel_;
+};
+
+FairScheduler::FairScheduler(Options opts)
+    : opts_(opts),
+      pool_(opts.pool_width),
+      slices_(Metrics::Instance().counter("scidb.server.scheduler_slices")) {}
+
+std::unique_ptr<SliceGate> FairScheduler::MakeGate(
+    const std::atomic<bool>* cancel) {
+  return std::make_unique<Gate>(this, cancel);
+}
+
+Status FairScheduler::AcquireSlice(const std::atomic<bool>* cancel) {
+  MutexLock lk(mu_);
+  const uint64_t ticket = next_ticket_++;
+  queue_.push_back(ticket);
+  for (;;) {
+    if (cancel != nullptr && cancel->load(std::memory_order_acquire)) {
+      // Abandon the ticket wherever it sits; whoever is behind it moves
+      // up, so a cancelled waiter never stalls the queue.
+      queue_.erase(std::find(queue_.begin(), queue_.end(), ticket));
+      cv_.notify_all();
+      return Status::Cancelled("query cancelled");
+    }
+    if (!busy_ && queue_.front() == ticket) break;
+    cv_.wait(mu_);
+  }
+  queue_.pop_front();
+  busy_ = true;
+  slices_->Inc();
+  return Status::OK();
+}
+
+void FairScheduler::ReleaseSlice() {
+  MutexLock lk(mu_);
+  busy_ = false;
+  cv_.notify_all();
+}
+
+void FairScheduler::Poke() {
+  MutexLock lk(mu_);
+  cv_.notify_all();
+}
+
+}  // namespace server
+}  // namespace scidb

@@ -7,6 +7,7 @@
 #include <fstream>
 #include <iostream>
 
+#include "array/schema_serde.h"
 #include "common/byte_io.h"
 #include "common/macros.h"
 #include "common/metrics.h"
@@ -44,54 +45,15 @@ struct StorageMetrics {
   }
 };
 
+// Manifest schema blocks use the shared canonical codec (DESIGN.md §15:
+// the query server ships result schemas over the wire in the same
+// format). Kept as thin local names so manifest read/write sites below
+// stay unchanged.
 void WriteSchemaTo(ByteWriter* w, const ArraySchema& s) {
-  w->PutString(s.name());
-  w->PutU8(s.updatable() ? 1 : 0);
-  w->PutVarint(s.ndims());
-  for (const auto& d : s.dims()) {
-    w->PutString(d.name);
-    w->PutSignedVarint(d.low);
-    w->PutSignedVarint(d.high);
-    w->PutSignedVarint(d.chunk_interval);
-  }
-  w->PutVarint(s.nattrs());
-  for (const auto& a : s.attrs()) {
-    w->PutString(a.name);
-    w->PutU8(static_cast<uint8_t>(a.type));
-    w->PutU8(a.nullable ? 1 : 0);
-    w->PutU8(a.uncertain ? 1 : 0);
-  }
+  EncodeSchema(s, w);
 }
 
-Result<ArraySchema> ReadSchemaFrom(ByteReader* r) {
-  ASSIGN_OR_RETURN(std::string name, r->GetString());
-  ASSIGN_OR_RETURN(uint8_t updatable, r->GetU8());
-  ASSIGN_OR_RETURN(uint64_t ndims, r->GetVarint());
-  std::vector<DimensionDesc> dims;
-  for (uint64_t i = 0; i < ndims; ++i) {
-    DimensionDesc d;
-    ASSIGN_OR_RETURN(d.name, r->GetString());
-    ASSIGN_OR_RETURN(d.low, r->GetSignedVarint());
-    ASSIGN_OR_RETURN(d.high, r->GetSignedVarint());
-    ASSIGN_OR_RETURN(d.chunk_interval, r->GetSignedVarint());
-    dims.push_back(std::move(d));
-  }
-  ASSIGN_OR_RETURN(uint64_t nattrs, r->GetVarint());
-  std::vector<AttributeDesc> attrs;
-  for (uint64_t i = 0; i < nattrs; ++i) {
-    AttributeDesc a;
-    ASSIGN_OR_RETURN(a.name, r->GetString());
-    ASSIGN_OR_RETURN(uint8_t t, r->GetU8());
-    a.type = static_cast<DataType>(t);
-    ASSIGN_OR_RETURN(uint8_t nullable, r->GetU8());
-    a.nullable = nullable != 0;
-    ASSIGN_OR_RETURN(uint8_t unc, r->GetU8());
-    a.uncertain = unc != 0;
-    attrs.push_back(std::move(a));
-  }
-  return ArraySchema(std::move(name), std::move(dims), std::move(attrs),
-                     updatable != 0);
-}
+Result<ArraySchema> ReadSchemaFrom(ByteReader* r) { return DecodeSchema(r); }
 
 }  // namespace
 

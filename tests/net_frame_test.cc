@@ -86,7 +86,7 @@ TEST(FrameTest, RejectsBadVersion) {
 }
 
 TEST(FrameTest, RejectsUnknownMessageType) {
-  for (uint8_t bad : {uint8_t{0}, uint8_t{10}, uint8_t{255}}) {
+  for (uint8_t bad : {uint8_t{0}, uint8_t{14}, uint8_t{255}}) {
     std::vector<uint8_t> bytes =
         EncodeFrame(MakeFrame(MessageType::kAck, 1, {1}));
     bytes[5] = bad;
@@ -142,13 +142,17 @@ TEST(FrameTest, RejectsOversizePayloadLengthBeforeAllocating) {
 
 TEST(FrameTest, MessageTypeVocabulary) {
   EXPECT_FALSE(IsValidMessageType(0));
-  for (uint8_t t = 1; t <= 9; ++t) EXPECT_TRUE(IsValidMessageType(t));
-  EXPECT_FALSE(IsValidMessageType(10));
+  for (uint8_t t = 1; t <= 13; ++t) EXPECT_TRUE(IsValidMessageType(t));
+  EXPECT_FALSE(IsValidMessageType(14));
   EXPECT_STREQ(MessageTypeName(MessageType::kChunkPut), "ChunkPut");
   EXPECT_STREQ(MessageTypeName(MessageType::kError), "Error");
   EXPECT_STREQ(MessageTypeName(MessageType::kMetricsGet), "MetricsGet");
   EXPECT_STREQ(MessageTypeName(MessageType::kTraceGet), "TraceGet");
   EXPECT_STREQ(MessageTypeName(MessageType::kMarkDead), "MarkDead");
+  EXPECT_STREQ(MessageTypeName(MessageType::kQuery), "Query");
+  EXPECT_STREQ(MessageTypeName(MessageType::kResultChunk), "ResultChunk");
+  EXPECT_STREQ(MessageTypeName(MessageType::kQueryDone), "QueryDone");
+  EXPECT_STREQ(MessageTypeName(MessageType::kCancel), "Cancel");
 }
 
 // ----------------------------- FrameAssembler -----------------------------

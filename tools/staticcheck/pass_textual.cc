@@ -115,10 +115,12 @@ void CheckMetricsState(const SourceFile& f, std::vector<Diagnostic>* out) {
 }
 
 void CheckRawThread(const SourceFile& f, std::vector<Diagnostic>* out) {
-  // The three audited homes for thread creation: the morsel pool, the
-  // transport layer, and the storage background merger's single daemon.
+  // The audited homes for thread creation: the morsel pool, the
+  // transport layer, the storage background merger's single daemon, and
+  // the query server's per-query driver threads (DESIGN.md §15).
   if (StartsWith(f.path, "src/common/thread_pool.") ||
       StartsWith(f.path, "src/net/") ||
+      StartsWith(f.path, "src/server/query_server.") ||
       f.path == "src/storage/background_merger.h") {
     return;
   }
@@ -127,9 +129,10 @@ void CheckRawThread(const SourceFile& f, std::vector<Diagnostic>* out) {
   for (size_t i = 0; i < f.code_lines.size(); ++i) {
     if (std::regex_search(f.code_lines[i], re)) {
       Emit(out, f, static_cast<int>(i + 1), "no-raw-thread",
-           "threads live in common/thread_pool, src/net/, and the "
-           "background merger only; use ExecContext::pool or the net/ "
-           "transport instead of raw std::thread/async");
+           "threads live in common/thread_pool, src/net/, the query "
+           "server's drivers, and the background merger only; use "
+           "ExecContext::pool or the net/ transport instead of raw "
+           "std::thread/async");
     }
   }
 }
